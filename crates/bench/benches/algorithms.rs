@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the tuning algorithms themselves: how long
+//! EA, RA and HA take as the budget and the task count grow (the paper's
+//! complexity claims: EA is O(1), RA and HA are O(n·B')).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdtune_core::algorithms::{EvenAllocation, HeterogeneousAlgorithm, RepetitionAlgorithm};
+use crowdtune_core::money::Budget;
+use crowdtune_core::problem::{HTuningProblem, TuningStrategy};
+use crowdtune_core::rate::LinearRate;
+use crowdtune_core::task::TaskSet;
+use std::sync::Arc;
+
+fn homogeneous_problem(tasks: usize, budget: u64) -> HTuningProblem {
+    let mut set = TaskSet::new();
+    let ty = set.add_type("vote", 2.0).unwrap();
+    set.add_tasks(ty, 5, tasks).unwrap();
+    HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope())).unwrap()
+}
+
+fn repetition_problem(tasks: usize, budget: u64) -> HTuningProblem {
+    let mut set = TaskSet::new();
+    let ty = set.add_type("vote", 2.0).unwrap();
+    set.add_tasks(ty, 3, tasks / 2).unwrap();
+    set.add_tasks(ty, 5, tasks - tasks / 2).unwrap();
+    HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope())).unwrap()
+}
+
+fn heterogeneous_problem(tasks: usize, budget: u64) -> HTuningProblem {
+    let mut set = TaskSet::new();
+    let easy = set.add_type("easy", 2.0).unwrap();
+    let hard = set.add_type("hard", 3.0).unwrap();
+    set.add_tasks(easy, 3, tasks / 2).unwrap();
+    set.add_tasks(hard, 5, tasks - tasks / 2).unwrap();
+    HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope())).unwrap()
+}
+
+fn bench_even_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("even_allocation");
+    group.sample_size(20);
+    for &tasks in &[100usize, 1000] {
+        let problem = homogeneous_problem(tasks, tasks as u64 * 20);
+        group.bench_with_input(BenchmarkId::new("tasks", tasks), &problem, |b, problem| {
+            let strategy = EvenAllocation::new().without_objective();
+            b.iter(|| strategy.tune(problem).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_repetition_algorithm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repetition_algorithm");
+    group.sample_size(10);
+    for &budget in &[1000u64, 2000, 4000] {
+        let problem = repetition_problem(100, budget);
+        group.bench_with_input(BenchmarkId::new("budget", budget), &problem, |b, problem| {
+            let strategy = RepetitionAlgorithm::new();
+            b.iter(|| strategy.tune(problem).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_heterogeneous_algorithm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heterogeneous_algorithm");
+    group.sample_size(10);
+    for &budget in &[1000u64, 2000] {
+        let problem = heterogeneous_problem(100, budget);
+        group.bench_with_input(BenchmarkId::new("budget", budget), &problem, |b, problem| {
+            let strategy = HeterogeneousAlgorithm::new();
+            b.iter(|| strategy.tune(problem).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_even_allocation,
+    bench_repetition_algorithm,
+    bench_heterogeneous_algorithm
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmark over the Figure 2 panels: time to produce one panel
+//! (tune every strategy at every budget and evaluate the latencies) for each
+//! scenario, using a reduced workload so the bench suite stays fast. The
+//! full-size sweep is produced by the `fig2_synthetic` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdtune_bench::{run_panel, SyntheticConfig, SyntheticScenario};
+use crowdtune_core::rate::PaperRateModel;
+
+fn bench_panels(c: &mut Criterion) {
+    let config = SyntheticConfig::small();
+    let mut group = c.benchmark_group("fig2_panel");
+    group.sample_size(10);
+    for scenario in SyntheticScenario::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("scenario", scenario.label()),
+            &scenario,
+            |b, &scenario| {
+                b.iter(|| run_panel(scenario, PaperRateModel::UnitSlope, &config).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_nonlinear_panel(c: &mut Criterion) {
+    let config = SyntheticConfig::small();
+    let mut group = c.benchmark_group("fig2_panel_nonlinear");
+    group.sample_size(10);
+    for model in [PaperRateModel::Quadratic, PaperRateModel::Logarithmic] {
+        group.bench_with_input(BenchmarkId::new("model", model.label()), &model, |b, &model| {
+            b.iter(|| run_panel(SyntheticScenario::Repetition, model, &config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_panels, bench_nonlinear_panel);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the marketplace simulator and the analytic
+//! latency estimator: the two evaluation paths every experiment relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdtune_core::latency::{JobLatencyEstimator, PhaseSelection};
+use crowdtune_core::money::{Allocation, Payment};
+use crowdtune_core::rate::LinearRate;
+use crowdtune_core::task::TaskSet;
+use crowdtune_market::{ChoiceModel, MarketConfig, MarketSimulator, WorkerPoolConfig};
+
+fn task_set(tasks: usize) -> TaskSet {
+    let mut set = TaskSet::new();
+    let ty = set.add_type("vote", 2.0).unwrap();
+    set.add_tasks(ty, 5, tasks).unwrap();
+    set
+}
+
+fn bench_independent_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_independent");
+    group.sample_size(20);
+    for &tasks in &[50usize, 200] {
+        let set = task_set(tasks);
+        let allocation = Allocation::uniform(&set.repetition_counts(), Payment::units(3));
+        group.bench_with_input(BenchmarkId::new("tasks", tasks), &tasks, |b, _| {
+            let simulator = MarketSimulator::new(MarketConfig::independent(1));
+            b.iter(|| {
+                simulator
+                    .run(&set, &allocation, &LinearRate::unit_slope())
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_worker_pool_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_worker_pool");
+    group.sample_size(10);
+    let set = task_set(50);
+    let allocation = Allocation::uniform(&set.repetition_counts(), Payment::units(10));
+    let pool = WorkerPoolConfig {
+        arrival_rate: 5.0,
+        choice: ChoiceModel::PriceProbability { scale: 0.05 },
+    };
+    group.bench_function("50_tasks", |b| {
+        let simulator = MarketSimulator::new(MarketConfig::worker_pool(1, pool));
+        b.iter(|| {
+            simulator
+                .run(&set, &allocation, &LinearRate::unit_slope())
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_analytic_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic_estimator");
+    group.sample_size(20);
+    for &tasks in &[50usize, 200] {
+        let set = task_set(tasks);
+        let allocation = Allocation::uniform(&set.repetition_counts(), Payment::units(3));
+        let model = LinearRate::unit_slope();
+        group.bench_with_input(BenchmarkId::new("tasks", tasks), &tasks, |b, _| {
+            let estimator = JobLatencyEstimator::new(&set, &model);
+            b.iter(|| {
+                estimator
+                    .analytic_expected_latency(&allocation, PhaseSelection::Both)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_independent_mode,
+    bench_worker_pool_mode,
+    bench_analytic_estimator
+);
+criterion_main!(benches);

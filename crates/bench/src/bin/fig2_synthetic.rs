@@ -1,0 +1,66 @@
+//! Reproduces **Figure 2** of the paper: the 18-panel synthetic sweep.
+//!
+//! Three scenarios (Homogeneity, Repetition, Heterogeneous) × six
+//! price-to-rate models (λ = 1+p, 10p+1, 0.1p+10, 3p+3, 1+p², log(1+p)),
+//! 100 tasks, budgets 1000–5000, optimal strategy vs two baselines per
+//! scenario. One table per panel is printed and a CSV per panel is written to
+//! `results/fig2/`.
+//!
+//! Run with `--small` for a fast smoke-test configuration.
+
+use crowdtune_bench::{format_latencies, run_figure2, SyntheticConfig, Table};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let config = if small {
+        SyntheticConfig::small()
+    } else {
+        SyntheticConfig::default()
+    };
+    println!(
+        "Figure 2 sweep: {} tasks, budgets {:?}{}",
+        config.tasks,
+        config.budgets,
+        if small { " (small mode)" } else { "" }
+    );
+
+    let panels = run_figure2(&config).expect("figure-2 sweep runs");
+    let mut dominated = 0usize;
+    for panel in &panels {
+        let title = format!(
+            "Figure 2 [{} | λ(p) = {}] — expected latency vs budget",
+            panel.scenario.label(),
+            panel.model.label()
+        );
+        let header: Vec<&str> = std::iter::once("budget")
+            .chain(panel.rows[0].latencies.iter().map(|(label, _)| label.as_str()))
+            .collect();
+        let mut table = Table::new(title, &header);
+        for row in &panel.rows {
+            let values: Vec<f64> = row.latencies.iter().map(|(_, l)| *l).collect();
+            table.push_numeric_row(row.budget.to_string(), &values, 3);
+        }
+        table.print();
+        let path = format!(
+            "results/fig2/{}_{}.csv",
+            panel.scenario.label(),
+            panel.model.label().replace(['+', '(', ')', '^'], "_")
+        );
+        table.write_csv(&path).expect("can write results CSV");
+
+        if panel.optimal_dominates(0.02) {
+            dominated += 1;
+        } else {
+            println!(
+                "NOTE: opt did not dominate in panel {} / {} — last row: {}",
+                panel.scenario.label(),
+                panel.model.label(),
+                format_latencies(&panel.rows.last().expect("rows nonempty").latencies)
+            );
+        }
+    }
+    println!(
+        "\nopt dominated the baselines in {dominated}/{} panels; CSVs in results/fig2/",
+        panels.len()
+    );
+}

@@ -1,0 +1,78 @@
+//! Reproduces **Figure 3** of the paper: "Worker Arrival Moments".
+//!
+//! The paper publishes image-filter tasks at $0.05 and plots, for the first
+//! 20 arrivals, the cumulative phase-1 epoch, the phase-2 latency and the
+//! overall latency against the arrival order; the phase-1 epochs grow
+//! linearly with the order, supporting the Poisson-process model. We replay
+//! the same probe on the calibrated simulated market.
+
+use crowdtune_bench::Table;
+use crowdtune_core::inference::{estimate_rate_random_period, fit_linearity, PriceRatePoint};
+use crowdtune_market::MarketConfig;
+use crowdtune_platform::campaign::{Campaign, CampaignRunner, CampaignTaskSpec};
+
+fn main() {
+    let arrivals = 20u32;
+    let reward_cents = 5u64;
+    // One HIT asking for 20 sequential answers reproduces the probe: each
+    // acceptance is a fresh exposure to the worker pool, so the acceptance
+    // epochs form the arrival trace.
+    let campaign = Campaign::new(
+        vec![CampaignTaskSpec {
+            count: 1,
+            votes: 4,
+            threshold: 10,
+            reward_cents,
+            repetitions: arrivals,
+        }],
+        2024,
+    );
+    let runner = CampaignRunner::new(7).with_market_config(MarketConfig::independent(7));
+    let outcome = runner.run(&campaign).expect("campaign runs");
+
+    let mut assignments = outcome.assignments.clone();
+    assignments.sort_by(|a, b| a.submitted_at_secs.total_cmp(&b.submitted_at_secs));
+
+    let mut table = Table::new(
+        format!("Figure 3 — worker arrival moments (reward ${:.2}, first {arrivals} arrivals)", reward_cents as f64 / 100.0),
+        &["order", "phase1 epoch (min)", "phase2 (min)", "overall (min)"],
+    );
+    let mut phase1_cumulative = 0.0;
+    let mut epochs = Vec::with_capacity(assignments.len());
+    for (order, assignment) in assignments.iter().enumerate() {
+        phase1_cumulative += assignment.on_hold_secs;
+        epochs.push(phase1_cumulative);
+        table.push_numeric_row(
+            (order + 1).to_string(),
+            &[
+                phase1_cumulative / 60.0,
+                assignment.processing_secs / 60.0,
+                (phase1_cumulative + assignment.processing_secs) / 60.0,
+            ],
+            2,
+        );
+    }
+    table.print();
+    table
+        .write_csv("results/fig3_arrivals.csv")
+        .expect("can write results CSV");
+
+    // The paper's reading of the figure: the arrival epochs are linear in the
+    // order (Poisson process). Quantify that with a linear fit of epoch vs
+    // order and the MLE of the arrival rate.
+    let points: Vec<PriceRatePoint> = epochs
+        .iter()
+        .enumerate()
+        .map(|(order, &epoch)| PriceRatePoint::new((order + 1) as f64, epoch))
+        .collect();
+    let fit = fit_linearity(&points).expect("fit runs");
+    let rate = estimate_rate_random_period(&epochs).expect("rate estimate");
+    println!(
+        "arrival epochs vs order: slope {:.1}s per arrival, R² = {:.3} (linear ⇒ Poisson arrivals hold)",
+        fit.k, fit.r_squared
+    );
+    println!(
+        "MLE arrival rate λ̂ = {:.5} s⁻¹ (paper's $0.05 estimate: 0.0038 s⁻¹); CSV in results/fig3_arrivals.csv",
+        rate.rate
+    );
+}

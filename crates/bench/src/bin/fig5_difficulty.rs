@@ -1,0 +1,112 @@
+//! Reproduces **Figure 5(a) and 5(b)** of the paper: "Difficulty v.s.
+//! Latency" for the two phases.
+//!
+//! Six configurations — rewards {$0.05, $0.08} × internal votes {4, 6, 8} —
+//! are replayed on the calibrated market. Harder tasks (more votes) are taken
+//! up more slowly (phase 1) and processed more slowly (phase 2); a higher
+//! reward speeds up phase 1 but leaves phase 2 unchanged.
+
+use crowdtune_bench::Table;
+use crowdtune_market::MarketConfig;
+use crowdtune_platform::campaign::{Campaign, CampaignRunner, CampaignTaskSpec};
+
+fn main() {
+    let rewards_cents = [5u64, 8];
+    let votes_levels = [4u32, 6, 8];
+    let hits = 30usize;
+    let repetitions = 3u32;
+
+    let mut phase1 = Table::new(
+        "Figure 5(a) — difficulty vs phase-1 (on-hold) latency, minutes",
+        &["configuration", "mean", "p50", "p90"],
+    );
+    let mut phase2 = Table::new(
+        "Figure 5(b) — difficulty vs phase-2 (processing) latency, seconds",
+        &["configuration", "mean", "p50", "p90"],
+    );
+
+    let mut means_by_config: Vec<(u64, u32, f64, f64)> = Vec::new();
+    for (index, &reward) in rewards_cents.iter().enumerate() {
+        for (jndex, &votes) in votes_levels.iter().enumerate() {
+            let seed = 1000 + (index * 10 + jndex) as u64;
+            let runner = CampaignRunner::new(seed)
+                .with_market_config(MarketConfig::independent(seed));
+            let campaign = Campaign::new(
+                vec![CampaignTaskSpec {
+                    count: hits,
+                    votes,
+                    threshold: 10,
+                    reward_cents: reward,
+                    repetitions,
+                }],
+                seed,
+            );
+            let outcome = runner.run(&campaign).expect("campaign runs");
+            let label = format!("${:.2} + {votes}v", reward as f64 / 100.0);
+
+            let summarize = |mut values: Vec<f64>| {
+                values.sort_by(f64::total_cmp);
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                let p50 = values[values.len() / 2];
+                let p90 = values[(values.len() as f64 * 0.9) as usize - 1];
+                (mean, p50, p90)
+            };
+            let (mean1, p50_1, p90_1) = summarize(outcome.phase1_latencies());
+            let (mean2, p50_2, p90_2) = summarize(outcome.phase2_latencies());
+            phase1.push_numeric_row(
+                label.clone(),
+                &[mean1 / 60.0, p50_1 / 60.0, p90_1 / 60.0],
+                2,
+            );
+            phase2.push_numeric_row(label, &[mean2, p50_2, p90_2], 1);
+            means_by_config.push((reward, votes, mean1, mean2));
+        }
+    }
+    phase1.print();
+    phase2.print();
+    phase1
+        .write_csv("results/fig5a_difficulty_phase1.csv")
+        .expect("can write results CSV");
+    phase2
+        .write_csv("results/fig5b_difficulty_phase2.csv")
+        .expect("can write results CSV");
+
+    // Shape checks reported alongside the tables.
+    let mean_for = |reward: u64, votes: u32, phase: usize| {
+        means_by_config
+            .iter()
+            .find(|(r, v, _, _)| *r == reward && *v == votes)
+            .map(|(_, _, p1, p2)| if phase == 1 { *p1 } else { *p2 })
+            .expect("configuration present")
+    };
+    println!(
+        "difficulty effect on phase 1 at $0.05: 4v {:.0}s < 8v {:.0}s → {}",
+        mean_for(5, 4, 1),
+        mean_for(5, 8, 1),
+        if mean_for(5, 8, 1) > mean_for(5, 4, 1) {
+            "harder tasks wait longer (matches Fig 5a)"
+        } else {
+            "UNEXPECTED"
+        }
+    );
+    println!(
+        "difficulty effect on phase 2 at $0.08: 4v {:.0}s < 8v {:.0}s → {}",
+        mean_for(8, 4, 2),
+        mean_for(8, 8, 2),
+        if mean_for(8, 8, 2) > mean_for(8, 4, 2) {
+            "harder tasks process longer (matches Fig 5b)"
+        } else {
+            "UNEXPECTED"
+        }
+    );
+    println!(
+        "reward effect on phase 1 at 6 votes: $0.05 {:.0}s vs $0.08 {:.0}s → {}",
+        mean_for(5, 6, 1),
+        mean_for(8, 6, 1),
+        if mean_for(8, 6, 1) < mean_for(5, 6, 1) {
+            "higher reward, faster uptake"
+        } else {
+            "UNEXPECTED"
+        }
+    );
+}

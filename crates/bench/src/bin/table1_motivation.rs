@@ -1,0 +1,36 @@
+//! Reproduces **Table 1** of the paper: "HPU Processing Rate for Motivation
+//! Example" — the on-hold clock rate of the two vote types (sorting vote,
+//! yes/no vote) at rewards $1.5, $2 and $3.
+//!
+//! The table is generated from the two tabulated rate models used throughout
+//! the motivation examples, so the same models feed Figure 1's latency
+//! computation (`fig1_motivation`).
+
+use crowdtune_bench::Table;
+use crowdtune_core::rate::{RateModel, TabulatedRate};
+
+fn main() {
+    // Table 1 of the paper: sorting votes are taken up more slowly than
+    // yes/no votes at the same price.
+    let sorting = TabulatedRate::new(vec![(1.5, 1.5), (2.0, 2.0), (3.0, 3.0)])
+        .expect("sorting-vote table is valid");
+    let yes_no = TabulatedRate::new(vec![(1.5, 2.0), (2.0, 3.0), (3.0, 5.0)])
+        .expect("yes/no-vote table is valid");
+
+    let mut table = Table::new(
+        "Table 1 — HPU processing (uptake) rate for the motivation example",
+        &["reward ($)", "sorting vote", "yes or no vote"],
+    );
+    for reward in [2.0, 3.0, 1.5] {
+        table.push_numeric_row(
+            format!("{reward}"),
+            &[sorting.on_hold_rate(reward), yes_no.on_hold_rate(reward)],
+            1,
+        );
+    }
+    table.print();
+    table
+        .write_csv("results/table1_motivation.csv")
+        .expect("can write results CSV");
+    println!("CSV written to results/table1_motivation.csv");
+}

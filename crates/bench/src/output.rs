@@ -1,0 +1,161 @@
+//! Experiment output helpers: aligned text tables and CSV emission.
+//!
+//! Every figure/table binary prints a human-readable table to stdout (the
+//! rows and series the paper reports) and can additionally dump CSV into
+//! `results/` for plotting.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table that renders to plain text (markdown-ish).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of floating point values formatted to `precision`
+    /// decimals, prefixed by a label cell.
+    pub fn push_numeric_row(&mut self, label: impl Into<String>, values: &[f64], precision: usize) {
+        let mut cells = vec![label.into()];
+        cells.extend(values.iter().map(|v| format!("{v:.precision$}")));
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                let width = widths.get(i).copied().unwrap_or(cell.len());
+                line.push_str(&format!(" {cell:<width$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        let mut separator = String::from("|");
+        for width in &widths {
+            separator.push_str(&format!("{}|", "-".repeat(width + 2)));
+        }
+        separator.push('\n');
+        out.push_str(&separator);
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut file = fs::File::create(path)?;
+        file.write_all(self.to_csv().as_bytes())
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut table = Table::new("demo", &["budget", "opt", "baseline"]);
+        table.push_numeric_row("1000", &[1.25, 2.5], 2);
+        table.push_numeric_row("5000", &[0.5, 1.0], 2);
+        let text = table.render();
+        assert!(text.contains("## demo"));
+        assert!(text.contains("| budget |"));
+        assert!(text.contains("| 1000   | 1.25 | 2.50     |"));
+        assert_eq!(table.row_count(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut table = Table::new("x", &["a", "b"]);
+        table.push_row(vec!["hello, world".to_owned(), "say \"hi\"".to_owned()]);
+        let csv = table.to_csv();
+        assert!(csv.contains("\"hello, world\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join(format!("crowdtune-test-{}", std::process::id()));
+        let path = dir.join("nested/out.csv");
+        let mut table = Table::new("x", &["a"]);
+        table.push_row(vec!["1".to_owned()]);
+        table.write_csv(&path).unwrap();
+        let contents = fs::read_to_string(&path).unwrap();
+        assert!(contents.starts_with("a\n"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

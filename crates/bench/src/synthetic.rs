@@ -1,0 +1,298 @@
+//! The synthetic experiment machinery behind Figure 2 of the paper.
+//!
+//! Figure 2 is an 18-panel grid: three scenarios (Homogeneity, Repetition,
+//! Heterogeneous) crossed with six price-to-rate models (four linear, two
+//! non-linear), each panel sweeping the budget from 1000 to 5000 units over
+//! 100 tasks and comparing the optimal strategy against two baselines. The
+//! builders here reproduce the exact workload settings of Section 5.1.1 and
+//! evaluate every strategy's allocation with the analytic expected-latency
+//! estimator (both phases), so the binaries and Criterion benches only have
+//! to iterate panels.
+
+use crowdtune_core::algorithms::{
+    BiasedAllocation, EvenAllocation, HeterogeneousAlgorithm, RepetitionAlgorithm,
+    RepetitionEvenAllocation, TaskEvenAllocation,
+};
+use crowdtune_core::error::Result;
+use crowdtune_core::latency::{JobLatencyEstimator, PhaseSelection};
+use crowdtune_core::money::Budget;
+use crowdtune_core::problem::{HTuningProblem, TuningStrategy};
+use crowdtune_core::rate::PaperRateModel;
+use crowdtune_core::task::TaskSet;
+use serde::{Deserialize, Serialize};
+
+/// The three scenario columns of Figure 2, with the paper's workload
+/// parameters baked in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyntheticScenario {
+    /// 100 identical tasks, 5 repetitions each, `λp = 2.0`; baselines are the
+    /// biased allocations with `α = 0.67` and `α = 0.75`.
+    Homogeneous,
+    /// 50 tasks with 3 repetitions and 50 with 5, identical difficulty
+    /// (`λp = 2.0`); baselines are task-even and rep-even.
+    Repetition,
+    /// 50 tasks with 3 repetitions (`λp = 2.0`) and 50 with 5 repetitions
+    /// (`λp = 3.0`); baselines are task-even and rep-even.
+    Heterogeneous,
+}
+
+impl SyntheticScenario {
+    /// All three scenarios in paper order.
+    pub const ALL: [SyntheticScenario; 3] = [
+        SyntheticScenario::Homogeneous,
+        SyntheticScenario::Repetition,
+        SyntheticScenario::Heterogeneous,
+    ];
+
+    /// Short label used in output files (`homo`, `repe`, `heter`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SyntheticScenario::Homogeneous => "homo",
+            SyntheticScenario::Repetition => "repe",
+            SyntheticScenario::Heterogeneous => "heter",
+        }
+    }
+
+    /// Builds the paper's task set for this scenario scaled to `tasks` atomic
+    /// tasks (the paper uses 100).
+    pub fn build_task_set(self, tasks: usize) -> Result<TaskSet> {
+        let mut set = TaskSet::new();
+        match self {
+            SyntheticScenario::Homogeneous => {
+                let ty = set.add_type("vote", 2.0)?;
+                set.add_tasks(ty, 5, tasks)?;
+            }
+            SyntheticScenario::Repetition => {
+                let ty = set.add_type("vote", 2.0)?;
+                set.add_tasks(ty, 3, tasks / 2)?;
+                set.add_tasks(ty, 5, tasks - tasks / 2)?;
+            }
+            SyntheticScenario::Heterogeneous => {
+                let easy = set.add_type("easy vote", 2.0)?;
+                let hard = set.add_type("hard vote", 3.0)?;
+                set.add_tasks(easy, 3, tasks / 2)?;
+                set.add_tasks(hard, 5, tasks - tasks / 2)?;
+            }
+        }
+        Ok(set)
+    }
+
+    /// The strategies plotted in this scenario's panels, optimal first.
+    pub fn strategies(self) -> Vec<(String, Box<dyn TuningStrategy>)> {
+        match self {
+            SyntheticScenario::Homogeneous => vec![
+                ("opt".to_owned(), Box::new(EvenAllocation::new().without_objective()) as Box<dyn TuningStrategy>),
+                ("bias_1".to_owned(), Box::new(BiasedAllocation::bias_1())),
+                ("bias_2".to_owned(), Box::new(BiasedAllocation::bias_2())),
+            ],
+            SyntheticScenario::Repetition => vec![
+                ("opt".to_owned(), Box::new(RepetitionAlgorithm::new()) as Box<dyn TuningStrategy>),
+                ("te".to_owned(), Box::new(TaskEvenAllocation::new())),
+                ("re".to_owned(), Box::new(RepetitionEvenAllocation::new())),
+            ],
+            SyntheticScenario::Heterogeneous => vec![
+                ("opt".to_owned(), Box::new(HeterogeneousAlgorithm::new()) as Box<dyn TuningStrategy>),
+                ("te".to_owned(), Box::new(TaskEvenAllocation::new())),
+                ("re".to_owned(), Box::new(RepetitionEvenAllocation::new())),
+            ],
+        }
+    }
+}
+
+/// One budget level of one panel: the expected latency achieved by every
+/// strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PanelRow {
+    /// Budget in payment units.
+    pub budget: u64,
+    /// `(strategy label, expected latency)` pairs in strategy order.
+    pub latencies: Vec<(String, f64)>,
+}
+
+/// One panel of Figure 2: a scenario × rate-model combination swept over the
+/// budgets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PanelResult {
+    /// The scenario column.
+    pub scenario: SyntheticScenario,
+    /// The price-to-rate model row.
+    pub model: PaperRateModel,
+    /// One row per budget level.
+    pub rows: Vec<PanelRow>,
+}
+
+impl PanelResult {
+    /// Whether the optimal strategy ("opt", the first column) is no worse
+    /// than every baseline at every budget, up to `tolerance` relative slack.
+    pub fn optimal_dominates(&self, tolerance: f64) -> bool {
+        self.rows.iter().all(|row| {
+            let opt = row.latencies[0].1;
+            row.latencies[1..]
+                .iter()
+                .all(|(_, baseline)| opt <= baseline * (1.0 + tolerance))
+        })
+    }
+}
+
+/// Configuration of a Figure 2 reproduction run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of atomic tasks per panel (the paper uses 100).
+    pub tasks: usize,
+    /// Budget levels to sweep (the paper uses 1000–5000).
+    pub budgets: Vec<u64>,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            tasks: 100,
+            budgets: vec![1000, 2000, 3000, 4000, 5000],
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A reduced configuration for quick smoke tests and Criterion benches.
+    pub fn small() -> Self {
+        SyntheticConfig {
+            tasks: 20,
+            budgets: vec![200, 400, 800],
+        }
+    }
+}
+
+/// Runs one panel: builds the workload, tunes it with every strategy at every
+/// budget and evaluates the expected latency (both phases) analytically.
+pub fn run_panel(
+    scenario: SyntheticScenario,
+    model: PaperRateModel,
+    config: &SyntheticConfig,
+) -> Result<PanelResult> {
+    let task_set = scenario.build_task_set(config.tasks)?;
+    let rate_model: std::sync::Arc<dyn crowdtune_core::rate::RateModel> = model.build().into();
+    let strategies = scenario.strategies();
+    let mut rows = Vec::with_capacity(config.budgets.len());
+    for &budget in &config.budgets {
+        let problem = HTuningProblem::new(task_set.clone(), Budget::units(budget), rate_model.clone())?;
+        let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
+        let mut latencies = Vec::with_capacity(strategies.len());
+        for (label, strategy) in &strategies {
+            let result = strategy.tune(&problem)?;
+            let latency =
+                estimator.analytic_expected_latency(&result.allocation, PhaseSelection::Both)?;
+            latencies.push((label.clone(), latency));
+        }
+        rows.push(PanelRow { budget, latencies });
+    }
+    Ok(PanelResult {
+        scenario,
+        model,
+        rows,
+    })
+}
+
+/// Runs the full 18-panel grid, parallelising across panels with scoped
+/// threads.
+pub fn run_figure2(config: &SyntheticConfig) -> Result<Vec<PanelResult>> {
+    let combos: Vec<(SyntheticScenario, PaperRateModel)> = SyntheticScenario::ALL
+        .into_iter()
+        .flat_map(|s| PaperRateModel::ALL.into_iter().map(move |m| (s, m)))
+        .collect();
+    let mut results: Vec<Option<Result<PanelResult>>> = Vec::new();
+    results.resize_with(combos.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(combos.len());
+        for &(scenario, model) in &combos {
+            handles.push(scope.spawn(move |_| run_panel(scenario, model, config)));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("panel thread panicked"));
+        }
+    })
+    .expect("panel scope panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every panel slot is filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_sets_match_paper_settings() {
+        let homo = SyntheticScenario::Homogeneous.build_task_set(100).unwrap();
+        assert_eq!(homo.len(), 100);
+        assert!(homo.is_uniform_repetitions());
+        assert!(homo.is_homogeneous_type());
+
+        let repe = SyntheticScenario::Repetition.build_task_set(100).unwrap();
+        assert_eq!(repe.len(), 100);
+        assert!(!repe.is_uniform_repetitions());
+        assert!(repe.is_homogeneous_type());
+        assert_eq!(repe.group_by_repetitions().len(), 2);
+
+        let heter = SyntheticScenario::Heterogeneous.build_task_set(100).unwrap();
+        assert!(!heter.is_homogeneous_type());
+        assert_eq!(heter.group_by_type_and_repetitions().len(), 2);
+        assert_eq!(SyntheticScenario::Homogeneous.label(), "homo");
+    }
+
+    #[test]
+    fn strategies_have_opt_first() {
+        for scenario in SyntheticScenario::ALL {
+            let strategies = scenario.strategies();
+            assert_eq!(strategies.len(), 3);
+            assert_eq!(strategies[0].0, "opt");
+        }
+    }
+
+    #[test]
+    fn panel_runs_and_optimal_dominates_on_linear_models() {
+        let config = SyntheticConfig::small();
+        for scenario in SyntheticScenario::ALL {
+            let panel = run_panel(scenario, PaperRateModel::UnitSlope, &config).unwrap();
+            assert_eq!(panel.rows.len(), config.budgets.len());
+            assert!(
+                panel.optimal_dominates(0.02),
+                "{scenario:?} opt should dominate: {:?}",
+                panel.rows
+            );
+            // latency decreases (weakly) with budget for the optimal strategy
+            let opt: Vec<f64> = panel.rows.iter().map(|r| r.latencies[0].1).collect();
+            assert!(opt.windows(2).all(|w| w[1] <= w[0] + 1e-6));
+        }
+    }
+
+    #[test]
+    fn panel_handles_nonlinear_models() {
+        let config = SyntheticConfig::small();
+        let panel = run_panel(
+            SyntheticScenario::Repetition,
+            PaperRateModel::Logarithmic,
+            &config,
+        )
+        .unwrap();
+        assert!(panel.rows.iter().all(|r| r.latencies.iter().all(|(_, l)| l.is_finite() && *l > 0.0)));
+    }
+
+    #[test]
+    fn full_grid_has_eighteen_panels() {
+        let config = SyntheticConfig {
+            tasks: 10,
+            budgets: vec![100, 200],
+        };
+        let grid = run_figure2(&config).unwrap();
+        assert_eq!(grid.len(), 18);
+        // Every (scenario, model) combination appears exactly once.
+        let mut seen = std::collections::BTreeSet::new();
+        for panel in &grid {
+            seen.insert((panel.scenario.label(), panel.model.label()));
+        }
+        assert_eq!(seen.len(), 18);
+    }
+}

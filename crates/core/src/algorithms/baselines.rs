@@ -1,0 +1,447 @@
+//! Baseline allocation strategies used as comparison points in Section 5.
+//!
+//! * [`BiasedAllocation`] — the `bias_1` / `bias_2` baselines of the
+//!   Scenario I experiments: a randomly chosen half of the tasks (the "prior
+//!   group") receives a fraction `α > 1/2` of the budget, the rest receives
+//!   `1 − α`.
+//! * [`TaskEvenAllocation`] — the `task-even` (`te`) baseline: every task
+//!   receives the same total payment, split evenly over its repetitions.
+//! * [`RepetitionEvenAllocation`] — the `rep-even` (`re`) baseline: every
+//!   repetition of every task receives the same payment.
+//! * [`UniformPerGroupAllocation`] — the heuristic of Figure 5(c): each task
+//!   type/group receives the same total payment.
+
+use crate::algorithms::common::spread_evenly;
+use crate::error::{CoreError, Result};
+use crate::money::{Allocation, Payment};
+use crate::problem::{HTuningProblem, LatencyTarget, TuningResult, TuningStrategy};
+use crate::task::TaskSet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits `budget` units over tasks so that each task in `selected` receives
+/// a share of `favoured_total` and the rest a share of `budget −
+/// favoured_total`, every repetition getting at least one unit. Shares are
+/// then spread evenly over the repetitions of each side.
+fn build_two_tier_allocation(
+    task_set: &TaskSet,
+    budget: u64,
+    favoured: &[usize],
+    favoured_total: u64,
+) -> Result<Allocation> {
+    let favoured_slots: u64 = favoured
+        .iter()
+        .map(|&i| u64::from(task_set.tasks()[i].repetitions))
+        .sum();
+    let total_slots = task_set.total_repetitions();
+    let other_slots = total_slots - favoured_slots;
+
+    // Clamp the favoured share so both sides can pay one unit per slot.
+    let favoured_total = favoured_total
+        .max(favoured_slots)
+        .min(budget.saturating_sub(other_slots));
+    let other_total = budget - favoured_total;
+    if favoured_total < favoured_slots || other_total < other_slots {
+        return Err(CoreError::InsufficientBudget {
+            provided: budget,
+            required: total_slots,
+        });
+    }
+
+    let favoured_spread = spread_evenly(favoured_total, favoured_slots as usize)?;
+    let other_spread = spread_evenly(other_total, other_slots as usize)?;
+    let favoured_set: std::collections::BTreeSet<usize> = favoured.iter().copied().collect();
+
+    let mut allocation = Allocation::with_capacity(task_set.len());
+    let mut favoured_cursor = 0usize;
+    let mut other_cursor = 0usize;
+    for (index, task) in task_set.tasks().iter().enumerate() {
+        let reps = task.repetitions as usize;
+        let payments = if favoured_set.contains(&index) {
+            let slice = &favoured_spread[favoured_cursor..favoured_cursor + reps];
+            favoured_cursor += reps;
+            slice.iter().map(|&u| Payment::units(u)).collect()
+        } else {
+            let slice = &other_spread[other_cursor..other_cursor + reps];
+            other_cursor += reps;
+            slice.iter().map(|&u| Payment::units(u)).collect()
+        };
+        allocation.push_task(payments);
+    }
+    Ok(allocation)
+}
+
+/// The biased baseline of the Scenario I experiments: half of the tasks take
+/// `α` of the budget, the other half `1 − α`. `α = 1/2` degenerates to the
+/// even allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct BiasedAllocation {
+    alpha: f64,
+    seed: Option<u64>,
+}
+
+impl BiasedAllocation {
+    /// Creates a biased baseline with the given `α ∈ [1/2, 1)`.
+    pub fn new(alpha: f64) -> Result<Self> {
+        if !(0.5..1.0).contains(&alpha) {
+            return Err(CoreError::invalid_argument(format!(
+                "alpha must be in [0.5, 1.0), got {alpha}"
+            )));
+        }
+        Ok(BiasedAllocation { alpha, seed: None })
+    }
+
+    /// The paper's `bias_1` setting (`α = 0.67`).
+    pub fn bias_1() -> Self {
+        BiasedAllocation {
+            alpha: 0.67,
+            seed: None,
+        }
+    }
+
+    /// The paper's `bias_2` setting (`α = 0.75`).
+    pub fn bias_2() -> Self {
+        BiasedAllocation {
+            alpha: 0.75,
+            seed: None,
+        }
+    }
+
+    /// Selects the prior group at random with the given seed instead of
+    /// taking the first half of the tasks.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The bias fraction.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl TuningStrategy for BiasedAllocation {
+    fn name(&self) -> &str {
+        if (self.alpha - 0.67).abs() < 1e-9 {
+            "bias_1"
+        } else if (self.alpha - 0.75).abs() < 1e-9 {
+            "bias_2"
+        } else {
+            "bias"
+        }
+    }
+
+    fn tune(&self, problem: &HTuningProblem) -> Result<TuningResult> {
+        let task_set = problem.task_set();
+        let n = task_set.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        if let Some(seed) = self.seed {
+            let mut rng = StdRng::seed_from_u64(seed);
+            order.shuffle(&mut rng);
+        }
+        let favoured: Vec<usize> = order.into_iter().take(n / 2).collect();
+        let budget = problem.budget().as_units();
+        let favoured_total = (budget as f64 * self.alpha).floor() as u64;
+        let allocation = build_two_tier_allocation(task_set, budget, &favoured, favoured_total)?;
+        problem.check_feasible(&allocation)?;
+        Ok(TuningResult::new(
+            self.name(),
+            allocation,
+            None,
+            LatencyTarget::ExpectedMaxOnHold,
+        ))
+    }
+}
+
+/// The `task-even` baseline: every task gets the same total payment, split
+/// evenly over its repetitions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskEvenAllocation;
+
+impl TaskEvenAllocation {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        TaskEvenAllocation
+    }
+}
+
+impl TuningStrategy for TaskEvenAllocation {
+    fn name(&self) -> &str {
+        "task_even"
+    }
+
+    fn tune(&self, problem: &HTuningProblem) -> Result<TuningResult> {
+        let task_set = problem.task_set();
+        let budget = problem.budget().as_units();
+        let n = task_set.len();
+        // Each task's total share, as even as possible.
+        let per_task_totals = spread_evenly(budget, n)?;
+        let mut allocation = Allocation::with_capacity(n);
+        for (task, &total) in task_set.tasks().iter().zip(&per_task_totals) {
+            let reps = task.repetitions as usize;
+            // A task's share may be smaller than its repetition count when
+            // repetitions are very uneven; clamp to one unit per repetition.
+            let total = total.max(reps as u64);
+            let spread = spread_evenly(total, reps)?;
+            allocation.push_task(spread.into_iter().map(Payment::units).collect());
+        }
+        // Clamping may have pushed the total over budget for extreme inputs;
+        // reject rather than silently overspend.
+        problem.check_feasible(&allocation)?;
+        Ok(TuningResult::new(
+            self.name(),
+            allocation,
+            None,
+            LatencyTarget::ExpectedMaxOnHold,
+        ))
+    }
+}
+
+/// The `rep-even` baseline: every repetition of every task receives the same
+/// payment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepetitionEvenAllocation;
+
+impl RepetitionEvenAllocation {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        RepetitionEvenAllocation
+    }
+}
+
+impl TuningStrategy for RepetitionEvenAllocation {
+    fn name(&self) -> &str {
+        "rep_even"
+    }
+
+    fn tune(&self, problem: &HTuningProblem) -> Result<TuningResult> {
+        let task_set = problem.task_set();
+        let budget = problem.budget().as_units();
+        let slots = task_set.total_repetitions() as usize;
+        let spread = spread_evenly(budget, slots)?;
+        let mut allocation = Allocation::with_capacity(task_set.len());
+        let mut cursor = 0usize;
+        for task in task_set.tasks() {
+            let reps = task.repetitions as usize;
+            let payments = spread[cursor..cursor + reps]
+                .iter()
+                .map(|&u| Payment::units(u))
+                .collect();
+            cursor += reps;
+            allocation.push_task(payments);
+        }
+        problem.check_feasible(&allocation)?;
+        Ok(TuningResult::new(
+            self.name(),
+            allocation,
+            None,
+            LatencyTarget::ExpectedMaxOnHold,
+        ))
+    }
+}
+
+/// The heuristic of Figure 5(c): every task group (type × repetitions)
+/// receives the same total payment, spread evenly inside the group.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformPerGroupAllocation;
+
+impl UniformPerGroupAllocation {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        UniformPerGroupAllocation
+    }
+}
+
+impl TuningStrategy for UniformPerGroupAllocation {
+    fn name(&self) -> &str {
+        "uniform_per_group"
+    }
+
+    fn tune(&self, problem: &HTuningProblem) -> Result<TuningResult> {
+        let task_set = problem.task_set();
+        let groups = task_set.group_by_type_and_repetitions();
+        let budget = problem.budget().as_units();
+        let group_totals = spread_evenly(budget, groups.len())?;
+
+        // Payment per repetition for every member of each group.
+        let mut per_task_payment: Vec<Option<Vec<u64>>> = vec![None; task_set.len()];
+        for (group, &total) in groups.iter().zip(&group_totals) {
+            let slots = group.unit_increment_cost() as usize;
+            let total = total.max(slots as u64);
+            let spread = spread_evenly(total, slots)?;
+            let mut cursor = 0usize;
+            for member in &group.members {
+                let task = &task_set.tasks()[member.0 as usize];
+                let reps = task.repetitions as usize;
+                per_task_payment[member.0 as usize] =
+                    Some(spread[cursor..cursor + reps].to_vec());
+                cursor += reps;
+            }
+        }
+        let mut allocation = Allocation::with_capacity(task_set.len());
+        for payments in per_task_payment {
+            let payments = payments
+                .ok_or_else(|| CoreError::invalid_argument("task not covered by any group"))?;
+            allocation.push_task(payments.into_iter().map(Payment::units).collect());
+        }
+        problem.check_feasible(&allocation)?;
+        Ok(TuningResult::new(
+            self.name(),
+            allocation,
+            None,
+            LatencyTarget::ExpectedMaxOnHold,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::Budget;
+    use crate::rate::LinearRate;
+    use std::sync::Arc;
+
+    fn homogeneous_problem(tasks: usize, reps: u32, budget: u64) -> HTuningProblem {
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", 2.0).unwrap();
+        set.add_tasks(ty, reps, tasks).unwrap();
+        HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope()))
+            .unwrap()
+    }
+
+    fn mixed_problem(budget: u64) -> HTuningProblem {
+        let mut set = TaskSet::new();
+        let easy = set.add_type("easy", 3.0).unwrap();
+        let hard = set.add_type("hard", 1.0).unwrap();
+        set.add_tasks(easy, 3, 2).unwrap();
+        set.add_tasks(hard, 5, 2).unwrap();
+        HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope()))
+            .unwrap()
+    }
+
+    #[test]
+    fn biased_allocation_validates_alpha() {
+        assert!(BiasedAllocation::new(0.4).is_err());
+        assert!(BiasedAllocation::new(1.0).is_err());
+        assert!(BiasedAllocation::new(0.6).is_ok());
+        assert!((BiasedAllocation::bias_1().alpha() - 0.67).abs() < 1e-12);
+        assert!((BiasedAllocation::bias_2().alpha() - 0.75).abs() < 1e-12);
+        assert_eq!(BiasedAllocation::bias_1().name(), "bias_1");
+        assert_eq!(BiasedAllocation::bias_2().name(), "bias_2");
+        assert_eq!(BiasedAllocation::new(0.6).unwrap().name(), "bias");
+    }
+
+    #[test]
+    fn biased_allocation_favours_half_the_tasks() {
+        let problem = homogeneous_problem(4, 5, 400);
+        let result = BiasedAllocation::bias_1().tune(&problem).unwrap();
+        let alloc = &result.allocation;
+        problem.check_feasible(alloc).unwrap();
+        // first half favoured (deterministic selection): their totals exceed
+        // the other half's.
+        let favoured: u64 = (0..2).map(|i| alloc.task_total(i).as_units()).sum();
+        let rest: u64 = (2..4).map(|i| alloc.task_total(i).as_units()).sum();
+        assert!(favoured > rest);
+        // roughly alpha of the budget
+        let fraction = favoured as f64 / 400.0;
+        assert!((fraction - 0.67).abs() < 0.05, "fraction {fraction}");
+    }
+
+    #[test]
+    fn biased_allocation_is_feasible_even_for_tight_budgets() {
+        // Minimum budget: everyone must still get one unit per repetition.
+        let problem = homogeneous_problem(4, 5, 21);
+        let result = BiasedAllocation::bias_2().tune(&problem).unwrap();
+        problem.check_feasible(&result.allocation).unwrap();
+        assert!(result.allocation.all_positive());
+    }
+
+    #[test]
+    fn biased_allocation_seeded_selection_is_feasible() {
+        let problem = homogeneous_problem(6, 3, 200);
+        let result = BiasedAllocation::bias_1()
+            .with_seed(3)
+            .tune(&problem)
+            .unwrap();
+        problem.check_feasible(&result.allocation).unwrap();
+    }
+
+    #[test]
+    fn task_even_gives_equal_totals_per_task() {
+        let problem = mixed_problem(120);
+        let result = TaskEvenAllocation::new().tune(&problem).unwrap();
+        let alloc = &result.allocation;
+        problem.check_feasible(alloc).unwrap();
+        let totals: Vec<u64> = (0..4).map(|i| alloc.task_total(i).as_units()).collect();
+        let min = totals.iter().min().unwrap();
+        let max = totals.iter().max().unwrap();
+        assert!(max - min <= 1, "task totals {totals:?} should be equal");
+    }
+
+    #[test]
+    fn rep_even_gives_equal_per_repetition_payment() {
+        let problem = mixed_problem(160);
+        let result = RepetitionEvenAllocation::new().tune(&problem).unwrap();
+        let alloc = &result.allocation;
+        problem.check_feasible(alloc).unwrap();
+        let payments: Vec<u64> = alloc.iter().map(|(_, _, p)| p.as_units()).collect();
+        let min = payments.iter().min().unwrap();
+        let max = payments.iter().max().unwrap();
+        assert!(max - min <= 1, "payments {payments:?} should be equal");
+    }
+
+    #[test]
+    fn task_even_and_rep_even_differ_for_unequal_repetitions() {
+        // With 3-rep and 5-rep tasks, task-even under-pays repetitions of the
+        // 5-rep tasks relative to rep-even (the 60% relationship described in
+        // Section 5.1.1).
+        let problem = mixed_problem(1600);
+        let te = TaskEvenAllocation::new().tune(&problem).unwrap();
+        let re = RepetitionEvenAllocation::new().tune(&problem).unwrap();
+        let te_rep5 = te.allocation.task_payments(2)[0].as_units();
+        let te_rep3 = te.allocation.task_payments(0)[0].as_units();
+        assert!(te_rep5 < te_rep3);
+        let ratio = te_rep5 as f64 / te_rep3 as f64;
+        assert!((ratio - 0.6).abs() < 0.05, "ratio {ratio} should be ~0.6");
+        let re_rep5 = re.allocation.task_payments(2)[0].as_units();
+        let re_rep3 = re.allocation.task_payments(0)[0].as_units();
+        assert!((re_rep5 as i64 - re_rep3 as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn uniform_per_group_gives_each_group_the_same_total() {
+        let problem = mixed_problem(320);
+        let result = UniformPerGroupAllocation::new().tune(&problem).unwrap();
+        let alloc = &result.allocation;
+        problem.check_feasible(alloc).unwrap();
+        let group0_total: u64 = (0..2).map(|i| alloc.task_total(i).as_units()).sum();
+        let group1_total: u64 = (2..4).map(|i| alloc.task_total(i).as_units()).sum();
+        assert!(
+            (group0_total as i64 - group1_total as i64).abs() <= 1,
+            "group totals {group0_total} vs {group1_total}"
+        );
+    }
+
+    #[test]
+    fn baselines_never_exceed_budget() {
+        let budgets = [21u64, 50, 99, 400];
+        for &b in &budgets {
+            let problem = homogeneous_problem(3, 7, b);
+            for strategy in [
+                Box::new(BiasedAllocation::bias_1()) as Box<dyn TuningStrategy>,
+                Box::new(TaskEvenAllocation::new()),
+                Box::new(RepetitionEvenAllocation::new()),
+                Box::new(UniformPerGroupAllocation::new()),
+            ] {
+                let result = strategy.tune(&problem).unwrap();
+                assert!(
+                    result.allocation.total_spent() <= b,
+                    "{} overspent at budget {b}",
+                    strategy.name()
+                );
+                assert!(result.allocation.all_positive());
+            }
+        }
+    }
+}

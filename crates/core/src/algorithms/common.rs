@@ -1,0 +1,227 @@
+//! Shared helpers for the tuning algorithms: even spreading of units over
+//! slots, conversion of per-group payments into full [`Allocation`]s and a
+//! memoizing cache for expected group latencies.
+
+use crate::error::{CoreError, Result};
+use crate::latency::group_phase1_expected;
+use crate::money::{Allocation, Payment};
+use crate::rate::RateModel;
+use crate::task::{TaskGroup, TaskSet};
+
+/// Distributes `total` indivisible units over `slots` slots as evenly as
+/// possible: every slot gets `total / slots`, and the first `total % slots`
+/// slots get one extra unit. Requires `total >= slots` so every slot receives
+/// at least one unit.
+pub fn spread_evenly(total: u64, slots: usize) -> Result<Vec<u64>> {
+    if slots == 0 {
+        return Err(CoreError::invalid_argument(
+            "cannot spread a budget over zero slots".to_owned(),
+        ));
+    }
+    let slots_u = slots as u64;
+    if total < slots_u {
+        return Err(CoreError::InsufficientBudget {
+            provided: total,
+            required: slots_u,
+        });
+    }
+    let base = total / slots_u;
+    let remainder = (total % slots_u) as usize;
+    let mut out = vec![base; slots];
+    for slot in out.iter_mut().take(remainder) {
+        *slot += 1;
+    }
+    Ok(out)
+}
+
+/// Builds a full allocation from a per-group, per-repetition payment: every
+/// repetition of every member task of group `i` receives
+/// `per_repetition[i]` units. Tasks not covered by any group are rejected.
+pub fn allocation_from_group_payments(
+    task_set: &TaskSet,
+    groups: &[TaskGroup],
+    per_repetition: &[u64],
+) -> Result<Allocation> {
+    if groups.len() != per_repetition.len() {
+        return Err(CoreError::invalid_argument(format!(
+            "{} groups but {} payments",
+            groups.len(),
+            per_repetition.len()
+        )));
+    }
+    // Map task id -> payment units per repetition.
+    let mut per_task: Vec<Option<u64>> = vec![None; task_set.len()];
+    for (group, &units) in groups.iter().zip(per_repetition) {
+        if units == 0 {
+            return Err(CoreError::invalid_argument(
+                "per-repetition payment must be at least one unit".to_owned(),
+            ));
+        }
+        for member in &group.members {
+            let idx = member.0 as usize;
+            if idx >= per_task.len() {
+                return Err(CoreError::invalid_argument(format!(
+                    "group references unknown task {member}"
+                )));
+            }
+            per_task[idx] = Some(units);
+        }
+    }
+    let mut allocation = Allocation::with_capacity(task_set.len());
+    for (idx, task) in task_set.tasks().iter().enumerate() {
+        let units = per_task[idx].ok_or_else(|| {
+            CoreError::invalid_argument(format!("task {idx} is not covered by any group"))
+        })?;
+        allocation.push_task(vec![Payment::units(units); task.repetitions as usize]);
+    }
+    Ok(allocation)
+}
+
+/// Memoizing evaluator of expected phase-1 group latencies
+/// `E_i(p) = E[max over n_i of Erlang(k_i, λo(p))]`.
+///
+/// The dynamic programs of Algorithms 2 and 3 evaluate the same
+/// `(group, payment)` pairs many times; each evaluation involves numerical
+/// integration, so memoization matters.
+pub struct GroupLatencyCache<'a, M: RateModel + ?Sized> {
+    rate_model: &'a M,
+    groups: &'a [TaskGroup],
+    /// cache[group][payment] — payment index 0 is unused (payments start at 1).
+    cache: Vec<Vec<Option<f64>>>,
+}
+
+impl<'a, M: RateModel + ?Sized> GroupLatencyCache<'a, M> {
+    /// Creates a cache for the given groups, pre-sizing each group's table to
+    /// `max_payment + 1` entries.
+    pub fn new(rate_model: &'a M, groups: &'a [TaskGroup], max_payment: u64) -> Self {
+        let cache = groups
+            .iter()
+            .map(|_| vec![None; (max_payment + 2) as usize])
+            .collect();
+        GroupLatencyCache {
+            rate_model,
+            groups,
+            cache,
+        }
+    }
+
+    /// Expected phase-1 latency of group `group_index` at per-repetition
+    /// payment `payment` units.
+    pub fn phase1(&mut self, group_index: usize, payment: u64) -> Result<f64> {
+        if group_index >= self.groups.len() {
+            return Err(CoreError::invalid_argument(format!(
+                "group index {group_index} out of range"
+            )));
+        }
+        let table = &mut self.cache[group_index];
+        if (payment as usize) < table.len() {
+            if let Some(value) = table[payment as usize] {
+                return Ok(value);
+            }
+        } else {
+            table.resize(payment as usize + 1, None);
+        }
+        let group = &self.groups[group_index];
+        let rate = self.rate_model.on_hold_rate(payment as f64);
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(CoreError::InvalidRate { payment, rate });
+        }
+        let value = group_phase1_expected(group.size() as u64, group.repetitions, rate)?;
+        self.cache[group_index][payment as usize] = Some(value);
+        Ok(value)
+    }
+
+    /// The groups this cache evaluates.
+    pub fn groups(&self) -> &[TaskGroup] {
+        self.groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::LinearRate;
+    use crate::task::TaskSet;
+
+    fn two_group_set() -> (TaskSet, Vec<TaskGroup>) {
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", 2.0).unwrap();
+        set.add_tasks(ty, 3, 2).unwrap();
+        set.add_tasks(ty, 5, 3).unwrap();
+        let groups = set.group_by_repetitions();
+        (set, groups)
+    }
+
+    #[test]
+    fn spread_evenly_divides_with_remainder() {
+        assert_eq!(spread_evenly(10, 5).unwrap(), vec![2, 2, 2, 2, 2]);
+        assert_eq!(spread_evenly(11, 5).unwrap(), vec![3, 2, 2, 2, 2]);
+        assert_eq!(spread_evenly(14, 5).unwrap(), vec![3, 3, 3, 3, 2]);
+        assert_eq!(spread_evenly(5, 5).unwrap(), vec![1; 5]);
+    }
+
+    #[test]
+    fn spread_evenly_rejects_invalid_input() {
+        assert!(spread_evenly(3, 0).is_err());
+        assert!(matches!(
+            spread_evenly(3, 5).unwrap_err(),
+            CoreError::InsufficientBudget { provided: 3, required: 5 }
+        ));
+    }
+
+    #[test]
+    fn spread_evenly_total_is_preserved() {
+        for total in 7..40u64 {
+            for slots in 1..=7usize {
+                if total >= slots as u64 {
+                    let spread = spread_evenly(total, slots).unwrap();
+                    assert_eq!(spread.iter().sum::<u64>(), total);
+                    let max = spread.iter().max().unwrap();
+                    let min = spread.iter().min().unwrap();
+                    assert!(max - min <= 1, "spread must be balanced");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_from_group_payments_builds_full_allocation() {
+        let (set, groups) = two_group_set();
+        let alloc = allocation_from_group_payments(&set, &groups, &[2, 4]).unwrap();
+        assert_eq!(alloc.task_count(), 5);
+        // 3-repetition group members get 2 units per repetition
+        assert_eq!(alloc.task_total(0), Payment::units(6));
+        assert_eq!(alloc.task_total(1), Payment::units(6));
+        // 5-repetition group members get 4 units per repetition
+        assert_eq!(alloc.task_total(2), Payment::units(20));
+        assert_eq!(alloc.total_spent(), 2 * 6 + 3 * 20);
+    }
+
+    #[test]
+    fn allocation_from_group_payments_validates() {
+        let (set, groups) = two_group_set();
+        assert!(allocation_from_group_payments(&set, &groups, &[2]).is_err());
+        assert!(allocation_from_group_payments(&set, &groups, &[0, 2]).is_err());
+        // groups that do not cover every task are rejected
+        let partial = vec![groups[0].clone()];
+        assert!(allocation_from_group_payments(&set, &partial, &[2]).is_err());
+    }
+
+    #[test]
+    fn group_latency_cache_is_consistent_and_monotone() {
+        let (_, groups) = two_group_set();
+        let model = LinearRate::unit_slope();
+        let mut cache = GroupLatencyCache::new(&model, &groups, 10);
+        let a1 = cache.phase1(0, 2).unwrap();
+        let a2 = cache.phase1(0, 2).unwrap();
+        assert_eq!(a1, a2, "memoized value must be identical");
+        let cheap = cache.phase1(1, 1).unwrap();
+        let rich = cache.phase1(1, 9).unwrap();
+        assert!(rich < cheap, "higher payment must not increase latency");
+        assert!(cache.phase1(5, 1).is_err());
+        assert_eq!(cache.groups().len(), 2);
+        // payments beyond the pre-sized table still work
+        let beyond = cache.phase1(0, 50).unwrap();
+        assert!(beyond > 0.0);
+    }
+}

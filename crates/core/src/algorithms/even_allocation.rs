@@ -1,0 +1,276 @@
+//! Even Allocation (EA) — Algorithm 1, the optimal strategy for Scenario I.
+//!
+//! Theorem 1 of the paper shows that for identical tasks requiring the same
+//! number of repetitions, allocating the budget evenly to every repetition of
+//! every task minimises the expected latency. Algorithm 1 handles the
+//! discrete remainder in two steps:
+//!
+//! 1. `δ = ⌊B / (m·N)⌋` units go to every repetition;
+//! 2. `γ = ⌊(B mod m·N) / N⌋` extra units are given to `γ` repetitions of
+//!    *each* task;
+//! 3. `σ = (B mod m·N) mod N` remaining units are given to one extra
+//!    repetition of `σ` distinct tasks.
+//!
+//! The paper selects the beneficiary repetitions randomly; because every
+//! choice yields the same expected latency (the tasks are exchangeable), this
+//! implementation uses a deterministic selection so results are reproducible,
+//! and exposes [`EvenAllocation::with_seed`] for randomised tie-breaking when
+//! desired.
+
+use crate::algorithms::common::spread_evenly;
+use crate::error::{CoreError, Result};
+use crate::latency::{JobLatencyEstimator, PhaseSelection};
+use crate::money::{Allocation, Payment};
+use crate::problem::{HTuningProblem, LatencyTarget, TuningResult, TuningStrategy};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The Even Allocation strategy (Algorithm 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvenAllocation {
+    /// Optional seed for random selection of the remainder beneficiaries; if
+    /// `None` the selection is deterministic (first repetitions / tasks).
+    seed: Option<u64>,
+    /// Whether to compute the analytic objective estimate for the result
+    /// (costs one numerical integration).
+    estimate_objective: bool,
+}
+
+impl EvenAllocation {
+    /// Deterministic EA with objective estimation enabled.
+    pub fn new() -> Self {
+        EvenAllocation {
+            seed: None,
+            estimate_objective: true,
+        }
+    }
+
+    /// EA with seeded random remainder placement (matches the paper's
+    /// "select randomly" phrasing).
+    pub fn with_seed(seed: u64) -> Self {
+        EvenAllocation {
+            seed: Some(seed),
+            estimate_objective: true,
+        }
+    }
+
+    /// Disables the analytic objective estimate (useful in tight loops such
+    /// as the synthetic sweep where the caller evaluates latencies itself).
+    pub fn without_objective(mut self) -> Self {
+        self.estimate_objective = false;
+        self
+    }
+
+    fn build_allocation(&self, problem: &HTuningProblem) -> Result<Allocation> {
+        let task_set = problem.task_set();
+        let tasks = task_set.tasks();
+        let n = tasks.len() as u64;
+        let m = u64::from(tasks[0].repetitions);
+        // Scenario I requires uniform repetitions; for robustness EA degrades
+        // gracefully to per-repetition even spreading when they differ.
+        if !task_set.is_uniform_repetitions() {
+            let spread = spread_evenly(problem.budget().as_units(), task_set.total_repetitions() as usize)?;
+            let mut allocation = Allocation::with_capacity(tasks.len());
+            let mut cursor = 0usize;
+            for task in tasks {
+                let reps = task.repetitions as usize;
+                let payments = spread[cursor..cursor + reps]
+                    .iter()
+                    .map(|&u| Payment::units(u))
+                    .collect();
+                cursor += reps;
+                allocation.push_task(payments);
+            }
+            return Ok(allocation);
+        }
+
+        let budget = problem.budget().as_units();
+        let slots = m * n;
+        if budget < slots {
+            return Err(CoreError::InsufficientBudget {
+                provided: budget,
+                required: slots,
+            });
+        }
+        let delta = budget / slots;
+        let remainder = budget % slots;
+        let gamma = (remainder / n) as usize;
+        let sigma = (remainder % n) as usize;
+
+        // Selection order of repetitions within a task and of tasks for the
+        // final σ units.
+        let mut rep_order: Vec<usize> = (0..m as usize).collect();
+        let mut task_order: Vec<usize> = (0..n as usize).collect();
+        if let Some(seed) = self.seed {
+            let mut rng = StdRng::seed_from_u64(seed);
+            rep_order.shuffle(&mut rng);
+            task_order.shuffle(&mut rng);
+        }
+
+        let mut allocation = Allocation::with_capacity(tasks.len());
+        for _ in 0..n {
+            allocation.push_task(vec![Payment::units(delta); m as usize]);
+        }
+        // Step 2: γ repetitions of every task get one extra unit.
+        for task_index in 0..n as usize {
+            for &rep_index in rep_order.iter().take(gamma) {
+                allocation.task_payments_mut(task_index)[rep_index] =
+                    allocation.task_payments_mut(task_index)[rep_index].saturating_add(1);
+            }
+        }
+        // Step 3: σ tasks get one extra unit on a repetition that was not
+        // boosted in step 2.
+        if sigma > 0 {
+            let boost_rep = rep_order[gamma.min(m as usize - 1)];
+            for &task_index in task_order.iter().take(sigma) {
+                allocation.task_payments_mut(task_index)[boost_rep] =
+                    allocation.task_payments_mut(task_index)[boost_rep].saturating_add(1);
+            }
+        }
+        Ok(allocation)
+    }
+}
+
+impl TuningStrategy for EvenAllocation {
+    fn name(&self) -> &str {
+        "EA"
+    }
+
+    fn tune(&self, problem: &HTuningProblem) -> Result<TuningResult> {
+        let allocation = self.build_allocation(problem)?;
+        problem.check_feasible(&allocation)?;
+        let objective = if self.estimate_objective {
+            let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
+            Some(estimator.analytic_expected_latency(&allocation, PhaseSelection::OnHoldOnly)?)
+        } else {
+            None
+        };
+        Ok(TuningResult::new(
+            self.name(),
+            allocation,
+            objective,
+            LatencyTarget::ExpectedMaxOnHold,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::Budget;
+    use crate::rate::LinearRate;
+    use crate::task::TaskSet;
+    use std::sync::Arc;
+
+    fn homogeneous_problem(tasks: usize, reps: u32, budget: u64) -> HTuningProblem {
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", 2.0).unwrap();
+        set.add_tasks(ty, reps, tasks).unwrap();
+        HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope())).unwrap()
+    }
+
+    #[test]
+    fn divides_budget_exactly_when_divisible() {
+        let problem = homogeneous_problem(4, 5, 100);
+        let result = EvenAllocation::new().tune(&problem).unwrap();
+        assert_eq!(result.strategy, "EA");
+        assert_eq!(result.allocation.total_spent(), 100);
+        for (_, _, p) in result.allocation.iter() {
+            assert_eq!(p, Payment::units(5));
+        }
+        assert!(result.objective.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn remainder_is_distributed_one_unit_at_a_time() {
+        // 4 tasks × 5 reps = 20 slots; budget 87 -> δ=4, remainder 7,
+        // γ=1 (each task gets one boosted rep), σ=3.
+        let problem = homogeneous_problem(4, 5, 87);
+        let result = EvenAllocation::new().tune(&problem).unwrap();
+        let alloc = &result.allocation;
+        assert_eq!(alloc.total_spent(), 87);
+        assert_eq!(alloc.min_payment().unwrap(), Payment::units(4));
+        assert_eq!(alloc.max_payment().unwrap(), Payment::units(5));
+        // per-task totals differ by at most one unit
+        let totals: Vec<u64> = (0..4).map(|i| alloc.task_total(i).as_units()).collect();
+        let min = totals.iter().min().unwrap();
+        let max = totals.iter().max().unwrap();
+        assert!(max - min <= 1, "per-task totals {totals:?} must be balanced");
+    }
+
+    #[test]
+    fn exactly_minimum_budget_gives_one_unit_everywhere() {
+        let problem = homogeneous_problem(3, 4, 12);
+        let result = EvenAllocation::new().tune(&problem).unwrap();
+        assert_eq!(result.allocation.total_spent(), 12);
+        for (_, _, p) in result.allocation.iter() {
+            assert_eq!(p, Payment::units(1));
+        }
+    }
+
+    #[test]
+    fn seeded_variant_spends_the_same_total() {
+        let problem = homogeneous_problem(5, 3, 53);
+        let deterministic = EvenAllocation::new().tune(&problem).unwrap();
+        let seeded = EvenAllocation::with_seed(42).tune(&problem).unwrap();
+        assert_eq!(
+            deterministic.allocation.total_spent(),
+            seeded.allocation.total_spent()
+        );
+        // Both must be feasible and balanced.
+        problem.check_feasible(&seeded.allocation).unwrap();
+        let diff = seeded.allocation.max_payment().unwrap().as_units()
+            - seeded.allocation.min_payment().unwrap().as_units();
+        assert!(diff <= 1);
+    }
+
+    #[test]
+    fn without_objective_skips_estimation() {
+        let problem = homogeneous_problem(4, 5, 100);
+        let result = EvenAllocation::new()
+            .without_objective()
+            .tune(&problem)
+            .unwrap();
+        assert_eq!(result.objective, None);
+    }
+
+    #[test]
+    fn degrades_gracefully_for_nonuniform_repetitions() {
+        // EA is defined for Scenario I but must not panic elsewhere: it
+        // falls back to per-repetition even spreading.
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", 2.0).unwrap();
+        set.add_tasks(ty, 2, 2).unwrap();
+        set.add_tasks(ty, 4, 1).unwrap();
+        let problem =
+            HTuningProblem::new(set, Budget::units(17), Arc::new(LinearRate::unit_slope()))
+                .unwrap();
+        let result = EvenAllocation::new().tune(&problem).unwrap();
+        assert_eq!(result.allocation.total_spent(), 17);
+        problem.check_feasible(&result.allocation).unwrap();
+    }
+
+    #[test]
+    fn even_allocation_beats_biased_split_in_expectation() {
+        // Direct check of Theorem 1 on a small instance: EA's expected
+        // phase-1 latency is no worse than a manually biased allocation with
+        // the same budget.
+        let problem = homogeneous_problem(2, 1, 6);
+        let ea = EvenAllocation::new().tune(&problem).unwrap();
+        let estimator =
+            JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
+        let biased = Allocation::from_matrix(vec![
+            vec![Payment::units(2)],
+            vec![Payment::units(4)],
+        ]);
+        let ea_latency = ea.objective.unwrap();
+        let biased_latency = estimator
+            .analytic_expected_latency(&biased, PhaseSelection::OnHoldOnly)
+            .unwrap();
+        assert!(
+            ea_latency <= biased_latency + 1e-9,
+            "EA {ea_latency} should not exceed biased {biased_latency}"
+        );
+    }
+}

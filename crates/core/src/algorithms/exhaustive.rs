@@ -1,0 +1,234 @@
+//! Exhaustive search over *per-repetition* budget allocations.
+//!
+//! The theorems of Section 4.2 (Lemmas 1–2, Theorem 1) claim that spreading
+//! the budget evenly over every repetition of every identical task minimises
+//! the expected latency. This module provides a brute-force optimiser over
+//! the full discrete allocation space so the claims can be *checked* rather
+//! than assumed: the test-suite and the ablation bench compare EA / RA
+//! against the exhaustive optimum on small instances.
+//!
+//! The search space is the set of compositions of the budget into one
+//! positive part per repetition slot, which grows combinatorially — callers
+//! must keep `total repetition slots × budget` small (the constructor refuses
+//! plainly unreasonable instances).
+
+use crate::error::{CoreError, Result};
+use crate::latency::{JobLatencyEstimator, PhaseSelection};
+use crate::money::{Allocation, Payment};
+use crate::problem::{HTuningProblem, LatencyTarget, TuningResult, TuningStrategy};
+
+/// Upper bound on `slots × budget` beyond which the exhaustive search refuses
+/// to run (the state space would be astronomically large).
+const MAX_COMPLEXITY: u64 = 20_000;
+
+/// Brute-force optimal allocation by full enumeration of per-repetition
+/// payments, minimising the analytic expected latency of the selected phases.
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveSearch {
+    phases: PhaseSelection,
+}
+
+impl ExhaustiveSearch {
+    /// Exhaustive search over the on-hold-only objective (the Scenario I/II
+    /// latency target).
+    pub fn on_hold_only() -> Self {
+        ExhaustiveSearch {
+            phases: PhaseSelection::OnHoldOnly,
+        }
+    }
+
+    /// Exhaustive search over the both-phases objective.
+    pub fn both_phases() -> Self {
+        ExhaustiveSearch {
+            phases: PhaseSelection::Both,
+        }
+    }
+
+    fn enumerate(
+        &self,
+        problem: &HTuningProblem,
+    ) -> Result<(Allocation, f64)> {
+        let task_set = problem.task_set();
+        let slots = task_set.total_repetitions();
+        let budget = problem.budget().as_units();
+        if slots * budget > MAX_COMPLEXITY {
+            return Err(CoreError::invalid_argument(format!(
+                "exhaustive search refused: {slots} slots × {budget} budget units is too large"
+            )));
+        }
+        let reps = task_set.repetition_counts();
+        let estimator = JobLatencyEstimator::new(task_set, problem.rate_model());
+
+        // Depth-first enumeration over the flat list of repetition slots.
+        let mut current = vec![1u64; slots as usize];
+        let mut best: Option<(Vec<u64>, f64)> = None;
+        let phases = self.phases;
+
+        fn recurse(
+            slot: usize,
+            remaining_extra: u64,
+            current: &mut Vec<u64>,
+            reps: &[u32],
+            estimator: &JobLatencyEstimator<'_, std::sync::Arc<dyn crate::rate::RateModel>>,
+            phases: PhaseSelection,
+            best: &mut Option<(Vec<u64>, f64)>,
+        ) -> Result<()> {
+            if slot == current.len() {
+                let allocation = allocation_from_flat(current, reps);
+                let latency = estimator.analytic_expected_latency(&allocation, phases)?;
+                let better = best.as_ref().map_or(true, |(_, b)| latency < *b);
+                if better {
+                    *best = Some((current.clone(), latency));
+                }
+                return Ok(());
+            }
+            // The last slot absorbs whatever is left so we only enumerate the
+            // split points; intermediate slots take 0..=remaining extra units.
+            if slot + 1 == current.len() {
+                current[slot] = 1 + remaining_extra;
+                recurse(slot + 1, 0, current, reps, estimator, phases, best)?;
+                current[slot] = 1;
+                return Ok(());
+            }
+            for extra in 0..=remaining_extra {
+                current[slot] = 1 + extra;
+                recurse(
+                    slot + 1,
+                    remaining_extra - extra,
+                    current,
+                    reps,
+                    estimator,
+                    phases,
+                    best,
+                )?;
+            }
+            current[slot] = 1;
+            Ok(())
+        }
+
+        let extra = budget - slots;
+        recurse(0, extra, &mut current, &reps, &estimator, phases, &mut best)?;
+        let (flat, latency) = best.expect("at least the all-ones allocation is evaluated");
+        Ok((allocation_from_flat(&flat, &reps), latency))
+    }
+}
+
+/// Reassembles a flat per-slot payment vector into a ragged [`Allocation`].
+fn allocation_from_flat(flat: &[u64], reps: &[u32]) -> Allocation {
+    let mut allocation = Allocation::with_capacity(reps.len());
+    let mut cursor = 0usize;
+    for &r in reps {
+        let slice = &flat[cursor..cursor + r as usize];
+        cursor += r as usize;
+        allocation.push_task(slice.iter().map(|&u| Payment::units(u)).collect());
+    }
+    allocation
+}
+
+impl TuningStrategy for ExhaustiveSearch {
+    fn name(&self) -> &str {
+        "exhaustive"
+    }
+
+    fn tune(&self, problem: &HTuningProblem) -> Result<TuningResult> {
+        let (allocation, latency) = self.enumerate(problem)?;
+        problem.check_feasible(&allocation)?;
+        Ok(TuningResult::new(
+            self.name(),
+            allocation,
+            Some(latency),
+            match self.phases {
+                PhaseSelection::OnHoldOnly => LatencyTarget::ExpectedMaxOnHold,
+                PhaseSelection::Both => LatencyTarget::ExpectedMaxOnHold,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::even_allocation::EvenAllocation;
+    use crate::money::Budget;
+    use crate::rate::LinearRate;
+    use crate::task::TaskSet;
+    use std::sync::Arc;
+
+    fn problem(tasks: usize, reps: u32, budget: u64) -> HTuningProblem {
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", 2.0).unwrap();
+        set.add_tasks(ty, reps, tasks).unwrap();
+        HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::new(1.0, 0.0).unwrap()))
+            .unwrap()
+    }
+
+    #[test]
+    fn refuses_oversized_instances() {
+        let big = problem(10, 5, 5_000);
+        assert!(ExhaustiveSearch::on_hold_only().tune(&big).is_err());
+    }
+
+    #[test]
+    fn lemma_1_two_single_round_tasks_even_split_is_optimal() {
+        // Lemma 1: two identical single-round tasks, budget 6 -> 3/3 is best.
+        let problem = problem(2, 1, 6);
+        let result = ExhaustiveSearch::on_hold_only().tune(&problem).unwrap();
+        let payments: Vec<u64> = result.allocation.iter().map(|(_, _, p)| p.as_units()).collect();
+        assert_eq!(payments, vec![3, 3]);
+    }
+
+    #[test]
+    fn lemma_2_even_split_within_a_task_is_optimal() {
+        // Lemma 2: one task with 3 repetitions, budget 9 -> 3/3/3.
+        let problem = problem(1, 3, 9);
+        let result = ExhaustiveSearch::on_hold_only().tune(&problem).unwrap();
+        let payments: Vec<u64> = result.allocation.iter().map(|(_, _, p)| p.as_units()).collect();
+        assert_eq!(payments, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn theorem_1_even_allocation_matches_exhaustive_optimum() {
+        // Theorem 1: identical tasks with identical repetitions — EA equals
+        // the exhaustive optimum (up to remainder symmetry).
+        for budget in [8u64, 10, 12] {
+            let problem = problem(2, 2, budget);
+            let exhaustive = ExhaustiveSearch::on_hold_only().tune(&problem).unwrap();
+            let ea = EvenAllocation::new().tune(&problem).unwrap();
+            let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
+            let ea_latency = estimator
+                .analytic_expected_latency(&ea.allocation, PhaseSelection::OnHoldOnly)
+                .unwrap();
+            let best_latency = exhaustive.objective.unwrap();
+            assert!(
+                ea_latency <= best_latency * 1.0 + 1e-6,
+                "budget {budget}: EA {ea_latency} vs exhaustive {best_latency}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_phase_variant_runs_and_is_feasible() {
+        let problem = problem(2, 1, 5);
+        let result = ExhaustiveSearch::both_phases().tune(&problem).unwrap();
+        problem.check_feasible(&result.allocation).unwrap();
+        assert_eq!(result.strategy, "exhaustive");
+        assert!(result.objective.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn exhaustive_never_loses_to_any_heuristic() {
+        let problem = problem(2, 2, 10);
+        let exhaustive = ExhaustiveSearch::on_hold_only().tune(&problem).unwrap();
+        let best = exhaustive.objective.unwrap();
+        let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
+        // any hand-built feasible allocation must be no better
+        let hand = Allocation::from_matrix(vec![
+            vec![Payment::units(1), Payment::units(5)],
+            vec![Payment::units(2), Payment::units(2)],
+        ]);
+        let hand_latency = estimator
+            .analytic_expected_latency(&hand, PhaseSelection::OnHoldOnly)
+            .unwrap();
+        assert!(best <= hand_latency + 1e-9);
+    }
+}

@@ -1,0 +1,193 @@
+//! Error types for the `crowdtune-core` crate.
+//!
+//! All fallible public APIs in this crate return [`Result<T>`](Result) with
+//! [`CoreError`] as the error type. The enum is deliberately small and
+//! non-exhaustive so downstream crates can match on the cases they care about
+//! while remaining forward compatible.
+
+use std::fmt;
+
+/// Convenience result alias used throughout `crowdtune-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors produced by the HPU model, the statistics helpers and the tuning
+/// algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The provided budget cannot cover the minimum payment (one unit per
+    /// repetition of every atomic task). Mirrors the "budget is not enough"
+    /// branch of Algorithm 1 (Even Allocation) in the paper.
+    InsufficientBudget {
+        /// Budget that was provided, in payment units.
+        provided: u64,
+        /// Minimum budget required to give every repetition one unit.
+        required: u64,
+    },
+    /// A task set was empty where at least one task is required.
+    EmptyTaskSet,
+    /// A task declared zero repetitions; every atomic task must be executed
+    /// at least once.
+    ZeroRepetitions {
+        /// Identifier of the offending task.
+        task_id: u64,
+    },
+    /// A rate model evaluated to a non-positive or non-finite clock rate,
+    /// which would make the exponential latency model ill-defined.
+    InvalidRate {
+        /// Payment (in units) at which the rate was evaluated.
+        payment: u64,
+        /// The offending rate value.
+        rate: f64,
+    },
+    /// A distribution parameter was invalid (e.g. non-positive rate or zero
+    /// shape for an Erlang variable).
+    InvalidDistribution {
+        /// Human readable description of the violated constraint.
+        reason: String,
+    },
+    /// Numerical integration failed to converge to the requested tolerance.
+    IntegrationDidNotConverge {
+        /// Tolerance that was requested.
+        tolerance: f64,
+        /// Estimate of the achieved error.
+        achieved: f64,
+    },
+    /// Parameter inference was asked to run on an empty or degenerate sample.
+    InsufficientSamples {
+        /// Number of samples provided.
+        provided: usize,
+        /// Minimum number of samples required.
+        required: usize,
+    },
+    /// A linear regression (Linearity Hypothesis fit) was attempted on
+    /// degenerate data, e.g. all price points identical.
+    DegenerateRegression,
+    /// Generic invalid-argument error for conditions not covered above.
+    InvalidArgument {
+        /// Human readable description of what was wrong.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    /// Shorthand constructor for [`CoreError::InvalidArgument`].
+    pub fn invalid_argument(reason: impl Into<String>) -> Self {
+        CoreError::InvalidArgument {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`CoreError::InvalidDistribution`].
+    pub fn invalid_distribution(reason: impl Into<String>) -> Self {
+        CoreError::InvalidDistribution {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InsufficientBudget { provided, required } => write!(
+                f,
+                "budget of {provided} unit(s) is insufficient: at least {required} unit(s) are \
+                 required to pay one unit per repetition"
+            ),
+            CoreError::EmptyTaskSet => write!(f, "the task set is empty"),
+            CoreError::ZeroRepetitions { task_id } => {
+                write!(f, "task {task_id} declares zero repetitions")
+            }
+            CoreError::InvalidRate { payment, rate } => write!(
+                f,
+                "rate model produced an invalid clock rate {rate} at payment {payment}"
+            ),
+            CoreError::InvalidDistribution { reason } => {
+                write!(f, "invalid distribution parameter: {reason}")
+            }
+            CoreError::IntegrationDidNotConverge {
+                tolerance,
+                achieved,
+            } => write!(
+                f,
+                "numerical integration did not converge: requested tolerance {tolerance}, \
+                 achieved {achieved}"
+            ),
+            CoreError::InsufficientSamples { provided, required } => write!(
+                f,
+                "insufficient samples for inference: {provided} provided, {required} required"
+            ),
+            CoreError::DegenerateRegression => write!(
+                f,
+                "linearity fit requires at least two distinct price points"
+            ),
+            CoreError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_insufficient_budget_mentions_both_quantities() {
+        let err = CoreError::InsufficientBudget {
+            provided: 3,
+            required: 10,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('3'));
+        assert!(msg.contains("10"));
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = vec![
+            CoreError::InsufficientBudget {
+                provided: 1,
+                required: 2,
+            },
+            CoreError::EmptyTaskSet,
+            CoreError::ZeroRepetitions { task_id: 7 },
+            CoreError::InvalidRate {
+                payment: 4,
+                rate: -1.0,
+            },
+            CoreError::invalid_distribution("rate must be positive"),
+            CoreError::IntegrationDidNotConverge {
+                tolerance: 1e-9,
+                achieved: 1e-3,
+            },
+            CoreError::InsufficientSamples {
+                provided: 0,
+                required: 1,
+            },
+            CoreError::DegenerateRegression,
+            CoreError::invalid_argument("whatever"),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&CoreError::EmptyTaskSet);
+    }
+
+    #[test]
+    fn constructors_build_expected_variants() {
+        match CoreError::invalid_argument("x") {
+            CoreError::InvalidArgument { reason } => assert_eq!(reason, "x"),
+            other => panic!("unexpected variant {other:?}"),
+        }
+        match CoreError::invalid_distribution("y") {
+            CoreError::InvalidDistribution { reason } => assert_eq!(reason, "y"),
+            other => panic!("unexpected variant {other:?}"),
+        }
+    }
+}

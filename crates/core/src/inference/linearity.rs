@@ -1,0 +1,235 @@
+//! Fitting the Linearity Hypothesis (Hypothesis 1).
+//!
+//! Section 3.3.2: within the narrow price range of micro-tasks, the on-hold
+//! clock rate is well approximated by `λo(c) = k·c + b`. Given observed
+//! `(price, rate)` pairs — typically produced by running the probe of
+//! Section 3.3.1 at several price points, as in Figure 4 — this module fits
+//! `k` and `b` by ordinary least squares and reports the fit quality so the
+//! caller can decide whether the hypothesis holds for the current market.
+
+use crate::error::{CoreError, Result};
+use crate::rate::LinearRate;
+use serde::{Deserialize, Serialize};
+
+/// One probe observation: the price offered and the rate estimated at that
+/// price.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceRatePoint {
+    /// Price in payment units.
+    pub price: f64,
+    /// Estimated on-hold rate at that price.
+    pub rate: f64,
+}
+
+impl PriceRatePoint {
+    /// Convenience constructor.
+    pub fn new(price: f64, rate: f64) -> Self {
+        PriceRatePoint { price, rate }
+    }
+}
+
+/// The result of fitting `λo(c) = k·c + b` by least squares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearityFit {
+    /// Estimated slope `k`.
+    pub k: f64,
+    /// Estimated intercept `b`.
+    pub b: f64,
+    /// Coefficient of determination `R²` of the fit (1 = perfectly linear).
+    pub r_squared: f64,
+    /// Number of observations used.
+    pub observations: usize,
+}
+
+impl LinearityFit {
+    /// Predicted rate at a price.
+    pub fn predict(&self, price: f64) -> f64 {
+        self.k * price + self.b
+    }
+
+    /// Whether the fit supports the Linearity Hypothesis at the given `R²`
+    /// threshold (0.9 is a reasonable default for the paper's setting).
+    pub fn supports_hypothesis(&self, r_squared_threshold: f64) -> bool {
+        self.r_squared >= r_squared_threshold
+    }
+
+    /// Converts the fit into a [`LinearRate`] model usable by the tuning
+    /// algorithms. Fails if the fitted model is non-positive or decreasing on
+    /// the observed range.
+    pub fn to_rate_model(&self) -> Result<LinearRate> {
+        LinearRate::new(self.k.max(0.0), self.b)
+    }
+}
+
+/// Fits the Linearity Hypothesis by ordinary least squares. At least two
+/// observations with distinct prices are required.
+pub fn fit_linearity(points: &[PriceRatePoint]) -> Result<LinearityFit> {
+    if points.len() < 2 {
+        return Err(CoreError::InsufficientSamples {
+            provided: points.len(),
+            required: 2,
+        });
+    }
+    for p in points {
+        if !p.price.is_finite() || !p.rate.is_finite() {
+            return Err(CoreError::invalid_argument(
+                "price/rate observations must be finite".to_owned(),
+            ));
+        }
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.price).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.rate).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for p in points {
+        let dx = p.price - mean_x;
+        let dy = p.rate - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 {
+        return Err(CoreError::DegenerateRegression);
+    }
+    let k = sxy / sxx;
+    let b = mean_y - k * mean_x;
+    // R² = 1 − SS_res / SS_tot; when all rates are identical (syy == 0) the
+    // fit is exact and R² is defined as 1.
+    let r_squared = if syy <= f64::MIN_POSITIVE {
+        1.0
+    } else {
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| {
+                let e = p.rate - (k * p.price + b);
+                e * e
+            })
+            .sum();
+        (1.0 - ss_res / syy).clamp(0.0, 1.0)
+    };
+    Ok(LinearityFit {
+        k,
+        b,
+        r_squared,
+        observations: points.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_data_is_recovered() {
+        // λ = 3p + 2
+        let points: Vec<PriceRatePoint> = (1..=6)
+            .map(|p| PriceRatePoint::new(p as f64, 3.0 * p as f64 + 2.0))
+            .collect();
+        let fit = fit_linearity(&points).unwrap();
+        assert!((fit.k - 3.0).abs() < 1e-10);
+        assert!((fit.b - 2.0).abs() < 1e-10);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(fit.observations, 6);
+        assert!(fit.supports_hypothesis(0.95));
+        assert!((fit.predict(10.0) - 32.0).abs() < 1e-9);
+        let model = fit.to_rate_model().unwrap();
+        assert!((crate::rate::RateModel::on_hold_rate(&model, 4.0) - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_linear_data_still_supports_hypothesis() {
+        // Small deterministic perturbations around λ = 2p + 1.
+        let noise = [0.05, -0.03, 0.04, -0.02, 0.01, -0.05];
+        let points: Vec<PriceRatePoint> = (1..=6)
+            .map(|p| {
+                PriceRatePoint::new(p as f64, 2.0 * p as f64 + 1.0 + noise[(p - 1) as usize])
+            })
+            .collect();
+        let fit = fit_linearity(&points).unwrap();
+        assert!((fit.k - 2.0).abs() < 0.05);
+        assert!((fit.b - 1.0).abs() < 0.15);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn strongly_nonlinear_data_is_flagged() {
+        // λ = p² has a poor linear fit once the range is wide enough.
+        let points: Vec<PriceRatePoint> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+            .iter()
+            .map(|&p| PriceRatePoint::new(p, p * p))
+            .collect();
+        let fit = fit_linearity(&points).unwrap();
+        assert!(fit.r_squared < 0.97);
+        assert!(!fit.supports_hypothesis(0.99));
+    }
+
+    #[test]
+    fn paper_figure_4_rates_are_close_to_linear() {
+        // Figure 4 / Section 5.2.2: rewards $0.05–$0.12 produced estimated
+        // rates 0.0038, 0.0062, 0.0121, 0.0131 s⁻¹, which the paper reads as
+        // supporting the hypothesis.
+        let points = [
+            PriceRatePoint::new(5.0, 0.0038),
+            PriceRatePoint::new(8.0, 0.0062),
+            PriceRatePoint::new(10.0, 0.0121),
+            PriceRatePoint::new(12.0, 0.0131),
+        ];
+        let fit = fit_linearity(&points).unwrap();
+        assert!(fit.k > 0.0, "rate must increase with reward");
+        assert!(fit.r_squared > 0.85, "r² = {}", fit.r_squared);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(fit_linearity(&[]).is_err());
+        assert!(fit_linearity(&[PriceRatePoint::new(1.0, 2.0)]).is_err());
+        // identical prices
+        let same_price = [
+            PriceRatePoint::new(2.0, 1.0),
+            PriceRatePoint::new(2.0, 3.0),
+        ];
+        assert_eq!(
+            fit_linearity(&same_price).unwrap_err(),
+            CoreError::DegenerateRegression
+        );
+        let nan = [
+            PriceRatePoint::new(1.0, f64::NAN),
+            PriceRatePoint::new(2.0, 3.0),
+        ];
+        assert!(fit_linearity(&nan).is_err());
+    }
+
+    #[test]
+    fn constant_rates_yield_zero_slope_and_perfect_fit() {
+        let points = [
+            PriceRatePoint::new(1.0, 4.0),
+            PriceRatePoint::new(2.0, 4.0),
+            PriceRatePoint::new(3.0, 4.0),
+        ];
+        let fit = fit_linearity(&points).unwrap();
+        assert!(fit.k.abs() < 1e-12);
+        assert!((fit.b - 4.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        // A flat market still converts to a valid (constant) rate model.
+        let model = fit.to_rate_model().unwrap();
+        assert!((crate::rate::RateModel::on_hold_rate(&model, 7.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_slope_is_clamped_when_converting_to_model() {
+        let points = [
+            PriceRatePoint::new(1.0, 5.0),
+            PriceRatePoint::new(2.0, 4.0),
+            PriceRatePoint::new(3.0, 3.0),
+        ];
+        let fit = fit_linearity(&points).unwrap();
+        assert!(fit.k < 0.0);
+        // Conversion clamps the slope at zero so the model remains monotone.
+        let model = fit.to_rate_model().unwrap();
+        let r1 = crate::rate::RateModel::on_hold_rate(&model, 1.0);
+        let r2 = crate::rate::RateModel::on_hold_rate(&model, 10.0);
+        assert!(r2 >= r1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Maximum-likelihood estimation of Poisson/exponential clock rates.
+//!
+//! Section 3.3.1 and Appendix A of the paper: a "probe" program publishes
+//! sample tasks and observes either
+//!
+//! * **Fixed period** — after a fixed observation window `T0` the number of
+//!   accepted tasks `N` is recorded, or
+//! * **Random period** — the probe waits until `N` tasks have been accepted
+//!   and records the elapsed time `T0`.
+//!
+//! In both cases the ML estimator of the arrival rate is `λ̂ = N / T0`. For
+//! the random-period design the estimator is biased; the unbiased corrected
+//! estimator is `λ̃ = (N − 1)/N · λ̂ = (N − 1)/T0`.
+
+use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Which probe design produced the observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProbeDesign {
+    /// Observe for a fixed window and count acceptances.
+    FixedPeriod,
+    /// Wait for a fixed number of acceptances and record the elapsed time.
+    RandomPeriod,
+}
+
+/// A rate estimate together with the evidence it was computed from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateEstimate {
+    /// Point estimate of the rate (`λ̂` or `λ̃`).
+    pub rate: f64,
+    /// Number of events observed.
+    pub events: u64,
+    /// Length of the observation period.
+    pub period: f64,
+    /// The probe design used.
+    pub design: ProbeDesign,
+    /// Whether the small-sample bias correction was applied.
+    pub bias_corrected: bool,
+}
+
+impl RateEstimate {
+    /// Approximate standard error of the estimate, `λ̂ / sqrt(N)` (the Fisher
+    /// information of an exponential sample of size `N`).
+    pub fn standard_error(&self) -> f64 {
+        if self.events == 0 {
+            f64::INFINITY
+        } else {
+            self.rate / (self.events as f64).sqrt()
+        }
+    }
+
+    /// A crude `±z·SE` confidence interval, clamped below at zero.
+    pub fn confidence_interval(&self, z: f64) -> (f64, f64) {
+        let half = z * self.standard_error();
+        ((self.rate - half).max(0.0), self.rate + half)
+    }
+}
+
+/// Fixed-period MLE: `λ̂ = N / T0`.
+pub fn estimate_rate_fixed_period(events: u64, period: f64) -> Result<RateEstimate> {
+    validate_period(period)?;
+    Ok(RateEstimate {
+        rate: events as f64 / period,
+        events,
+        period,
+        design: ProbeDesign::FixedPeriod,
+        bias_corrected: false,
+    })
+}
+
+/// Random-period MLE from the raw arrival epochs `0 < t_1 < ... < t_N`:
+/// `λ̂ = N / t_N`.
+pub fn estimate_rate_random_period(arrival_epochs: &[f64]) -> Result<RateEstimate> {
+    let n = arrival_epochs.len();
+    if n == 0 {
+        return Err(CoreError::InsufficientSamples {
+            provided: 0,
+            required: 1,
+        });
+    }
+    validate_epochs(arrival_epochs)?;
+    let period = arrival_epochs[n - 1];
+    Ok(RateEstimate {
+        rate: n as f64 / period,
+        events: n as u64,
+        period,
+        design: ProbeDesign::RandomPeriod,
+        bias_corrected: false,
+    })
+}
+
+/// Bias-corrected random-period estimator `λ̃ = (N − 1) / T0` (Appendix A).
+/// Requires at least two arrivals.
+pub fn estimate_rate_random_period_unbiased(arrival_epochs: &[f64]) -> Result<RateEstimate> {
+    let n = arrival_epochs.len();
+    if n < 2 {
+        return Err(CoreError::InsufficientSamples {
+            provided: n,
+            required: 2,
+        });
+    }
+    validate_epochs(arrival_epochs)?;
+    let period = arrival_epochs[n - 1];
+    Ok(RateEstimate {
+        rate: (n as f64 - 1.0) / period,
+        events: n as u64,
+        period,
+        design: ProbeDesign::RandomPeriod,
+        bias_corrected: true,
+    })
+}
+
+/// MLE of an exponential rate from i.i.d. duration samples (e.g. observed
+/// processing times): `λ̂ = N / Σ d_i`.
+pub fn estimate_rate_from_durations(durations: &[f64]) -> Result<RateEstimate> {
+    if durations.is_empty() {
+        return Err(CoreError::InsufficientSamples {
+            provided: 0,
+            required: 1,
+        });
+    }
+    let mut total = 0.0;
+    for &d in durations {
+        if !d.is_finite() || d < 0.0 {
+            return Err(CoreError::invalid_argument(format!(
+                "durations must be finite and non-negative, got {d}"
+            )));
+        }
+        total += d;
+    }
+    validate_period(total)?;
+    Ok(RateEstimate {
+        rate: durations.len() as f64 / total,
+        events: durations.len() as u64,
+        period: total,
+        design: ProbeDesign::RandomPeriod,
+        bias_corrected: false,
+    })
+}
+
+/// Estimates the processing rate `λp` as `λ − λo` given estimates of the
+/// overall task rate and the on-hold rate, following the decomposition
+/// described at the end of Section 3.3.1. Returns an error when the overall
+/// rate does not exceed the on-hold rate (the decomposition is then
+/// meaningless for exponential phases).
+pub fn processing_rate_from_overall(overall_rate: f64, on_hold_rate: f64) -> Result<f64> {
+    if !overall_rate.is_finite() || !on_hold_rate.is_finite() {
+        return Err(CoreError::invalid_argument(
+            "rates must be finite".to_owned(),
+        ));
+    }
+    let diff = overall_rate - on_hold_rate;
+    if diff <= 0.0 {
+        return Err(CoreError::invalid_argument(format!(
+            "overall rate {overall_rate} must exceed the on-hold rate {on_hold_rate}"
+        )));
+    }
+    Ok(diff)
+}
+
+fn validate_period(period: f64) -> Result<()> {
+    if !period.is_finite() || period <= 0.0 {
+        return Err(CoreError::invalid_argument(format!(
+            "observation period must be positive and finite, got {period}"
+        )));
+    }
+    Ok(())
+}
+
+fn validate_epochs(epochs: &[f64]) -> Result<()> {
+    let mut prev = 0.0;
+    for &t in epochs {
+        if !t.is_finite() || t <= 0.0 {
+            return Err(CoreError::invalid_argument(format!(
+                "arrival epochs must be positive and finite, got {t}"
+            )));
+        }
+        if t < prev {
+            return Err(CoreError::invalid_argument(
+                "arrival epochs must be non-decreasing".to_owned(),
+            ));
+        }
+        prev = t;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::exponential::Exponential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_period_is_count_over_period() {
+        let est = estimate_rate_fixed_period(20, 4.0).unwrap();
+        assert!((est.rate - 5.0).abs() < 1e-12);
+        assert_eq!(est.design, ProbeDesign::FixedPeriod);
+        assert!(!est.bias_corrected);
+        assert!(estimate_rate_fixed_period(20, 0.0).is_err());
+        assert!(estimate_rate_fixed_period(20, f64::NAN).is_err());
+        // zero events is a legal (if uninformative) observation
+        let zero = estimate_rate_fixed_period(0, 10.0).unwrap();
+        assert_eq!(zero.rate, 0.0);
+        assert_eq!(zero.standard_error(), f64::INFINITY);
+    }
+
+    #[test]
+    fn random_period_uses_last_epoch() {
+        let est = estimate_rate_random_period(&[0.5, 1.0, 2.0, 4.0]).unwrap();
+        assert!((est.rate - 1.0).abs() < 1e-12);
+        assert_eq!(est.events, 4);
+        assert!((est.period - 4.0).abs() < 1e-12);
+        assert!(estimate_rate_random_period(&[]).is_err());
+        assert!(estimate_rate_random_period(&[1.0, 0.5]).is_err());
+        assert!(estimate_rate_random_period(&[-1.0]).is_err());
+    }
+
+    #[test]
+    fn unbiased_variant_shrinks_the_estimate() {
+        let epochs = [0.5, 1.0, 2.0, 4.0];
+        let biased = estimate_rate_random_period(&epochs).unwrap();
+        let unbiased = estimate_rate_random_period_unbiased(&epochs).unwrap();
+        assert!(unbiased.rate < biased.rate);
+        assert!((unbiased.rate - 0.75).abs() < 1e-12);
+        assert!(unbiased.bias_corrected);
+        assert!(estimate_rate_random_period_unbiased(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn duration_mle_is_reciprocal_mean() {
+        let est = estimate_rate_from_durations(&[1.0, 3.0, 2.0]).unwrap();
+        assert!((est.rate - 0.5).abs() < 1e-12);
+        assert!(estimate_rate_from_durations(&[]).is_err());
+        assert!(estimate_rate_from_durations(&[1.0, -2.0]).is_err());
+        assert!(estimate_rate_from_durations(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn processing_rate_decomposition() {
+        assert!((processing_rate_from_overall(5.0, 2.0).unwrap() - 3.0).abs() < 1e-12);
+        assert!(processing_rate_from_overall(2.0, 5.0).is_err());
+        assert!(processing_rate_from_overall(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn confidence_interval_brackets_the_estimate() {
+        let est = estimate_rate_fixed_period(100, 10.0).unwrap();
+        let (lo, hi) = est.confidence_interval(1.96);
+        assert!(lo < est.rate && est.rate < hi);
+        assert!(lo >= 0.0);
+        assert!((est.standard_error() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mle_recovers_true_rate_from_simulated_arrivals() {
+        // Simulate Poisson arrivals at rate 0.8 and check the estimators
+        // recover the truth within a few percent.
+        let true_rate = 0.8;
+        let exp = Exponential::new(true_rate).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut epochs = Vec::with_capacity(5_000);
+        let mut now = 0.0;
+        for _ in 0..5_000 {
+            now += exp.sample(&mut rng);
+            epochs.push(now);
+        }
+        let est = estimate_rate_random_period(&epochs).unwrap();
+        assert!(
+            (est.rate - true_rate).abs() / true_rate < 0.05,
+            "estimate {} too far from {true_rate}",
+            est.rate
+        );
+        let fixed = estimate_rate_fixed_period(epochs.len() as u64, *epochs.last().unwrap())
+            .unwrap();
+        assert!((fixed.rate - est.rate).abs() < 1e-12);
+    }
+}

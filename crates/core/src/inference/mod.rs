@@ -1,0 +1,18 @@
+//! Real-time inference of the HPU running parameters (Section 3.3).
+//!
+//! * [`mle`] — maximum-likelihood estimators of the on-hold / processing
+//!   clock rates from fixed-period and random-period probes (Appendix A).
+//! * [`linearity`] — least-squares fit of the Linearity Hypothesis
+//!   `λo(c) = k·c + b` (Hypothesis 1) from `(price, rate)` observations.
+//! * [`probe`] — the probe-campaign data model tying the two together.
+
+pub mod linearity;
+pub mod mle;
+pub mod probe;
+
+pub use linearity::{fit_linearity, LinearityFit, PriceRatePoint};
+pub use mle::{
+    estimate_rate_fixed_period, estimate_rate_from_durations, estimate_rate_random_period,
+    estimate_rate_random_period_unbiased, processing_rate_from_overall, ProbeDesign, RateEstimate,
+};
+pub use probe::{PriceObservation, ProbeCampaign, ProbePlan};

@@ -1,0 +1,221 @@
+//! The probe protocol: data structures describing probe campaigns and the
+//! estimators that turn probe observations into HPU running parameters.
+//!
+//! Section 3.3.1 describes a "probe" program that publishes trivially-fast
+//! tasks at several prices so that their latency is dominated by the on-hold
+//! phase; the acceptance epochs then identify the on-hold rate at each price.
+//! A second probe with real (non-trivial) tasks identifies the overall rate,
+//! and the processing rate is recovered as the difference.
+//!
+//! This module is market-agnostic: it defines the plan and observation types
+//! plus the estimators. Executing a plan against the simulated marketplace
+//! lives in the `crowdtune-market` / `crowdtune-platform` crates.
+
+use crate::error::{CoreError, Result};
+use crate::inference::linearity::{fit_linearity, LinearityFit, PriceRatePoint};
+use crate::inference::mle::{
+    estimate_rate_from_durations, estimate_rate_random_period, RateEstimate,
+};
+use serde::{Deserialize, Serialize};
+
+/// A plan for probing the market: which prices to try and how many sample
+/// tasks to publish at each price.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbePlan {
+    /// Prices (in payment units) to probe.
+    pub prices: Vec<u64>,
+    /// Number of sample tasks to publish at each price.
+    pub tasks_per_price: u32,
+}
+
+impl ProbePlan {
+    /// Creates a plan, requiring at least two distinct prices (needed for the
+    /// linearity fit) and at least one task per price.
+    pub fn new(prices: Vec<u64>, tasks_per_price: u32) -> Result<Self> {
+        if prices.len() < 2 {
+            return Err(CoreError::InsufficientSamples {
+                provided: prices.len(),
+                required: 2,
+            });
+        }
+        if tasks_per_price == 0 {
+            return Err(CoreError::invalid_argument(
+                "at least one task per price is required".to_owned(),
+            ));
+        }
+        let mut sorted = prices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != prices.len() {
+            return Err(CoreError::invalid_argument(
+                "probe prices must be distinct".to_owned(),
+            ));
+        }
+        Ok(ProbePlan {
+            prices,
+            tasks_per_price,
+        })
+    }
+
+    /// Total number of probe tasks the plan will publish.
+    pub fn total_tasks(&self) -> u64 {
+        self.prices.len() as u64 * u64::from(self.tasks_per_price)
+    }
+
+    /// Total budget the plan will spend, in payment units.
+    pub fn total_cost(&self) -> u64 {
+        self.prices
+            .iter()
+            .map(|&p| p * u64::from(self.tasks_per_price))
+            .sum()
+    }
+}
+
+/// Observations collected at a single probe price.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PriceObservation {
+    /// Price in payment units.
+    pub price: u64,
+    /// Acceptance epochs (relative to publication) of the accepted tasks, in
+    /// ascending order.
+    pub acceptance_epochs: Vec<f64>,
+    /// Observed processing durations (acceptance to submission) of completed
+    /// tasks, if the probe tracked them.
+    pub processing_durations: Vec<f64>,
+}
+
+impl PriceObservation {
+    /// Creates an observation record.
+    pub fn new(price: u64, acceptance_epochs: Vec<f64>, processing_durations: Vec<f64>) -> Self {
+        PriceObservation {
+            price,
+            acceptance_epochs,
+            processing_durations,
+        }
+    }
+
+    /// On-hold rate estimate at this price (random-period MLE over the
+    /// acceptance epochs).
+    pub fn on_hold_rate(&self) -> Result<RateEstimate> {
+        estimate_rate_random_period(&self.acceptance_epochs)
+    }
+
+    /// Processing rate estimate at this price (MLE over durations).
+    pub fn processing_rate(&self) -> Result<RateEstimate> {
+        estimate_rate_from_durations(&self.processing_durations)
+    }
+}
+
+/// A full probe campaign result: one observation per probed price.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ProbeCampaign {
+    /// Observations, one per price.
+    pub observations: Vec<PriceObservation>,
+}
+
+impl ProbeCampaign {
+    /// Creates a campaign from per-price observations.
+    pub fn new(observations: Vec<PriceObservation>) -> Self {
+        ProbeCampaign { observations }
+    }
+
+    /// Estimates the on-hold rate at every probed price.
+    pub fn price_rate_points(&self) -> Result<Vec<PriceRatePoint>> {
+        self.observations
+            .iter()
+            .map(|obs| {
+                let estimate = obs.on_hold_rate()?;
+                Ok(PriceRatePoint::new(obs.price as f64, estimate.rate))
+            })
+            .collect()
+    }
+
+    /// Fits the Linearity Hypothesis over the campaign's price/rate points.
+    pub fn fit_linearity(&self) -> Result<LinearityFit> {
+        let points = self.price_rate_points()?;
+        fit_linearity(&points)
+    }
+
+    /// Pooled processing-rate estimate across all prices (the processing
+    /// phase is price-independent, so pooling is legitimate).
+    pub fn pooled_processing_rate(&self) -> Result<RateEstimate> {
+        let durations: Vec<f64> = self
+            .observations
+            .iter()
+            .flat_map(|obs| obs.processing_durations.iter().copied())
+            .collect();
+        estimate_rate_from_durations(&durations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::exponential::Exponential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plan_validation() {
+        assert!(ProbePlan::new(vec![1], 5).is_err());
+        assert!(ProbePlan::new(vec![1, 2], 0).is_err());
+        assert!(ProbePlan::new(vec![1, 2, 2], 3).is_err());
+        let plan = ProbePlan::new(vec![5, 8, 10, 12], 10).unwrap();
+        assert_eq!(plan.total_tasks(), 40);
+        assert_eq!(plan.total_cost(), (5 + 8 + 10 + 12) * 10);
+    }
+
+    #[test]
+    fn observation_estimates_both_rates() {
+        let obs = PriceObservation::new(5, vec![1.0, 2.0, 5.0], vec![0.5, 1.5]);
+        let on_hold = obs.on_hold_rate().unwrap();
+        assert!((on_hold.rate - 3.0 / 5.0).abs() < 1e-12);
+        let processing = obs.processing_rate().unwrap();
+        assert!((processing.rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_observation_errors() {
+        let obs = PriceObservation::new(5, vec![], vec![]);
+        assert!(obs.on_hold_rate().is_err());
+        assert!(obs.processing_rate().is_err());
+    }
+
+    #[test]
+    fn campaign_fits_linearity_from_synthetic_market() {
+        // Simulate a market obeying λo(c) = 0.4c + 0.5 and check that the
+        // probe pipeline recovers a supportive fit.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut observations = Vec::new();
+        for price in [2u64, 4, 6, 8, 10] {
+            let rate = 0.4 * price as f64 + 0.5;
+            let exp = Exponential::new(rate).unwrap();
+            let mut now = 0.0;
+            let mut epochs = Vec::new();
+            for _ in 0..2_000 {
+                now += exp.sample(&mut rng);
+                epochs.push(now);
+            }
+            // processing times at rate 2.0, price-independent
+            let proc = Exponential::new(2.0).unwrap();
+            let durations: Vec<f64> = (0..500).map(|_| proc.sample(&mut rng)).collect();
+            observations.push(PriceObservation::new(price, epochs, durations));
+        }
+        let campaign = ProbeCampaign::new(observations);
+        let points = campaign.price_rate_points().unwrap();
+        assert_eq!(points.len(), 5);
+        let fit = campaign.fit_linearity().unwrap();
+        assert!((fit.k - 0.4).abs() < 0.05, "k = {}", fit.k);
+        assert!((fit.b - 0.5).abs() < 0.3, "b = {}", fit.b);
+        assert!(fit.supports_hypothesis(0.98));
+        let pooled = campaign.pooled_processing_rate().unwrap();
+        assert!((pooled.rate - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn campaign_with_no_observations_errors() {
+        let campaign = ProbeCampaign::default();
+        assert!(campaign.fit_linearity().is_err());
+        assert!(campaign.pooled_processing_rate().is_err());
+    }
+}

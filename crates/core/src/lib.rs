@@ -1,0 +1,75 @@
+//! # crowdtune-core
+//!
+//! A from-scratch Rust implementation of the HPU model and budget-tuning
+//! algorithms of *"Tuning Crowdsourced Human Computation"* (Cao, Liu, Chen,
+//! Jagadish — ICDE 2017).
+//!
+//! The paper treats each crowd worker as an **HPU** (Human Processing Unit)
+//! whose "clock rate" is stochastic and, for the on-hold (acceptance) phase,
+//! controllable through the promised payment. Given a job decomposed into
+//! atomic tasks — each with a repetition requirement and a difficulty class —
+//! and a fixed discrete budget, the **H-Tuning problem** asks for the budget
+//! allocation that minimises the job's expected wall-clock latency.
+//!
+//! ## Crate layout
+//!
+//! | module | content | paper sections |
+//! |---|---|---|
+//! | [`task`] | tasks, types, groups | §3 (definitions) |
+//! | [`money`] | discrete payments, budgets, allocations | §1, §4.1 |
+//! | [`rate`] | price → on-hold clock-rate models (linearity hypothesis and the Figure 2 catalogue) | §3.1.2, §3.3.2 |
+//! | [`stats`] | exponential / Erlang / two-phase distributions, order statistics, quadrature | §3.2, §4.3.1, Appendix |
+//! | [`latency`] | expected group and job latencies, analytic + Monte-Carlo estimators | §3.2.1, §4.3.1 |
+//! | [`problem`] | the H-Tuning problem, latency targets, the `TuningStrategy` trait | §4.1 |
+//! | [`algorithms`] | EA (Alg. 1), RA (Alg. 2), HA (Alg. 3), baselines, DP machinery | §4.2–4.4, §5.1 |
+//! | [`inference`] | probe-based MLE of λo/λp, linearity fit | §3.3, Appendix A |
+//! | [`tuner`] | high-level facade | — |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use crowdtune_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A job: 20 pairwise-vote tasks, 3 answers each, plus 10 harder
+//! // comparison tasks needing 5 answers each.
+//! let mut tasks = TaskSet::new();
+//! let filter = tasks.add_type("yes/no vote", 3.0).unwrap();
+//! let sort = tasks.add_type("sorting vote", 2.0).unwrap();
+//! tasks.add_tasks(filter, 3, 20).unwrap();
+//! tasks.add_tasks(sort, 5, 10).unwrap();
+//!
+//! // Market condition: the on-hold rate grows linearly with the payment.
+//! let market = Arc::new(LinearRate::new(1.0, 1.0).unwrap());
+//!
+//! // Tune a budget of 500 payment units.
+//! let tuner = Tuner::new(market);
+//! let plan = tuner.plan(tasks, Budget::units(500)).unwrap();
+//! println!(
+//!     "strategy {} expects the job to finish in {:.2} time units",
+//!     plan.result.strategy, plan.expected_latency
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod algorithms;
+pub mod error;
+pub mod inference;
+pub mod latency;
+pub mod money;
+pub mod prelude;
+pub mod problem;
+pub mod rate;
+pub mod stats;
+pub mod task;
+pub mod tuner;
+
+pub use error::{CoreError, Result};
+pub use money::{Allocation, Budget, Payment};
+pub use problem::{HTuningProblem, Scenario, TuningResult, TuningStrategy};
+pub use rate::{LinearRate, PaperRateModel, RateModel};
+pub use task::{TaskSet, TaskType};
+pub use tuner::{TunedPlan, Tuner};

@@ -1,0 +1,376 @@
+//! Discrete money: payments, budgets and per-task allocations.
+//!
+//! The paper observes that the promised payment on real platforms has a
+//! minimum granularity ($0.01 on Amazon Mechanical Turk), which turns budget
+//! tuning into a *discrete* optimisation problem. We therefore represent all
+//! monetary quantities as integral numbers of **payment units** — one unit is
+//! the platform's minimum payment increment (one cent by default).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A payment for a single task repetition, expressed in indivisible payment
+/// units (cents on AMT).
+///
+/// Payments are always strictly positive in a valid allocation: a repetition
+/// with no reward would never be accepted.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Payment(pub u64);
+
+impl Payment {
+    /// The smallest legal payment: a single unit.
+    pub const MIN: Payment = Payment(1);
+
+    /// Zero payment. Only meaningful as an accumulator start value.
+    pub const ZERO: Payment = Payment(0);
+
+    /// Creates a payment of `units` units.
+    pub const fn units(units: u64) -> Self {
+        Payment(units)
+    }
+
+    /// Returns the raw number of units.
+    pub const fn as_units(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the payment as a floating point number of units, convenient
+    /// when feeding the value into a [`RateModel`](crate::rate::RateModel).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Converts the payment to dollars, given the value of one unit in
+    /// dollars (e.g. `0.01` for AMT cents).
+    pub fn to_dollars(self, unit_value: f64) -> f64 {
+        self.0 as f64 * unit_value
+    }
+
+    /// Saturating increment by `delta` units.
+    #[must_use]
+    pub fn saturating_add(self, delta: u64) -> Self {
+        Payment(self.0.saturating_add(delta))
+    }
+}
+
+impl fmt::Display for Payment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}u", self.0)
+    }
+}
+
+impl Add for Payment {
+    type Output = Payment;
+    fn add(self, rhs: Payment) -> Payment {
+        Payment(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Payment {
+    fn add_assign(&mut self, rhs: Payment) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Payment {
+    type Output = Payment;
+    fn sub(self, rhs: Payment) -> Payment {
+        Payment(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Payment {
+    fn sub_assign(&mut self, rhs: Payment) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Payment {
+    fn sum<I: Iterator<Item = Payment>>(iter: I) -> Payment {
+        Payment(iter.map(|p| p.0).sum())
+    }
+}
+
+impl From<u64> for Payment {
+    fn from(units: u64) -> Self {
+        Payment(units)
+    }
+}
+
+/// A total budget for a job, expressed in payment units.
+///
+/// The budget is the single knob the requester controls: the H-Tuning problem
+/// (Definition 3 in the paper) asks for the allocation of this budget over the
+/// atomic tasks that minimises the latency target.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Budget(pub u64);
+
+impl Budget {
+    /// Creates a budget of `units` payment units.
+    pub const fn units(units: u64) -> Self {
+        Budget(units)
+    }
+
+    /// Creates a budget from dollars given the unit value in dollars
+    /// (rounding down to whole units).
+    pub fn from_dollars(dollars: f64, unit_value: f64) -> Self {
+        assert!(unit_value > 0.0, "unit value must be positive");
+        Budget((dollars / unit_value).floor().max(0.0) as u64)
+    }
+
+    /// Returns the raw number of units.
+    pub const fn as_units(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the budget as `f64` units.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Whether this budget can cover `required` units.
+    pub fn covers(self, required: u64) -> bool {
+        self.0 >= required
+    }
+
+    /// Remaining budget after spending `spent` units (saturating at zero).
+    #[must_use]
+    pub fn remaining_after(self, spent: u64) -> Budget {
+        Budget(self.0.saturating_sub(spent))
+    }
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B={}u", self.0)
+    }
+}
+
+impl From<u64> for Budget {
+    fn from(units: u64) -> Self {
+        Budget(units)
+    }
+}
+
+/// The budget allocation produced by a tuning strategy.
+///
+/// An allocation assigns a [`Payment`] to **every repetition of every atomic
+/// task** in the task set. Repetitions of the same task may in principle
+/// receive different payments (Algorithm 1 distributes remainder units one by
+/// one), so the representation is a ragged matrix: `per_repetition[i][r]` is
+/// the payment for repetition `r` of task `i` (task order follows the task
+/// set order used to build the allocation).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Allocation {
+    per_repetition: Vec<Vec<Payment>>,
+}
+
+impl Allocation {
+    /// Creates an empty allocation with capacity for `tasks` tasks.
+    pub fn with_capacity(tasks: usize) -> Self {
+        Allocation {
+            per_repetition: Vec::with_capacity(tasks),
+        }
+    }
+
+    /// Creates an allocation directly from a ragged payment matrix.
+    pub fn from_matrix(per_repetition: Vec<Vec<Payment>>) -> Self {
+        Allocation { per_repetition }
+    }
+
+    /// Creates a flat allocation where every repetition of every task
+    /// receives the same payment. `repetitions[i]` is the repetition count of
+    /// task `i`.
+    pub fn uniform(repetitions: &[u32], payment: Payment) -> Self {
+        let per_repetition = repetitions
+            .iter()
+            .map(|&reps| vec![payment; reps as usize])
+            .collect();
+        Allocation { per_repetition }
+    }
+
+    /// Appends the payments for one task.
+    pub fn push_task(&mut self, payments: Vec<Payment>) {
+        self.per_repetition.push(payments);
+    }
+
+    /// Number of tasks covered by this allocation.
+    pub fn task_count(&self) -> usize {
+        self.per_repetition.len()
+    }
+
+    /// Payments for all repetitions of task `task_index`.
+    pub fn task_payments(&self, task_index: usize) -> &[Payment] {
+        &self.per_repetition[task_index]
+    }
+
+    /// Mutable access to the payments of task `task_index`.
+    pub fn task_payments_mut(&mut self, task_index: usize) -> &mut Vec<Payment> {
+        &mut self.per_repetition[task_index]
+    }
+
+    /// Total payment promised to task `task_index` across all repetitions.
+    pub fn task_total(&self, task_index: usize) -> Payment {
+        self.per_repetition[task_index].iter().copied().sum()
+    }
+
+    /// Total number of units spent across the whole allocation.
+    pub fn total_spent(&self) -> u64 {
+        self.per_repetition
+            .iter()
+            .flat_map(|task| task.iter())
+            .map(|p| p.as_units())
+            .sum()
+    }
+
+    /// Whether the allocation stays within `budget`.
+    pub fn within_budget(&self, budget: Budget) -> bool {
+        self.total_spent() <= budget.as_units()
+    }
+
+    /// Whether every repetition receives at least one unit.
+    pub fn all_positive(&self) -> bool {
+        self.per_repetition
+            .iter()
+            .all(|task| task.iter().all(|p| p.as_units() >= 1))
+    }
+
+    /// Iterator over `(task_index, repetition_index, payment)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Payment)> + '_ {
+        self.per_repetition
+            .iter()
+            .enumerate()
+            .flat_map(|(ti, reps)| reps.iter().enumerate().map(move |(ri, &p)| (ti, ri, p)))
+    }
+
+    /// The minimum per-repetition payment across the allocation, or `None`
+    /// if the allocation is empty.
+    pub fn min_payment(&self) -> Option<Payment> {
+        self.per_repetition
+            .iter()
+            .flat_map(|t| t.iter())
+            .copied()
+            .min()
+    }
+
+    /// The maximum per-repetition payment across the allocation, or `None`
+    /// if the allocation is empty.
+    pub fn max_payment(&self) -> Option<Payment> {
+        self.per_repetition
+            .iter()
+            .flat_map(|t| t.iter())
+            .copied()
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payment_arithmetic_behaves_like_units() {
+        let a = Payment::units(3);
+        let b = Payment::units(4);
+        assert_eq!(a + b, Payment::units(7));
+        assert_eq!(b - a, Payment::units(1));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Payment::units(7));
+        c -= a;
+        assert_eq!(c, Payment::units(4));
+        let total: Payment = vec![a, b, c].into_iter().sum();
+        assert_eq!(total, Payment::units(11));
+    }
+
+    #[test]
+    fn payment_conversions() {
+        let p = Payment::units(150);
+        assert_eq!(p.as_units(), 150);
+        assert!((p.as_f64() - 150.0).abs() < f64::EPSILON);
+        assert!((p.to_dollars(0.01) - 1.5).abs() < 1e-12);
+        assert_eq!(Payment::from(5u64), Payment::units(5));
+        assert_eq!(format!("{p}"), "150u");
+    }
+
+    #[test]
+    fn budget_from_dollars_rounds_down() {
+        let b = Budget::from_dollars(6.0, 0.01);
+        assert_eq!(b.as_units(), 600);
+        let b = Budget::from_dollars(0.057, 0.01);
+        assert_eq!(b.as_units(), 5);
+        assert!(b.covers(5));
+        assert!(!b.covers(6));
+        assert_eq!(b.remaining_after(3), Budget::units(2));
+        assert_eq!(b.remaining_after(100), Budget::units(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unit value must be positive")]
+    fn budget_from_dollars_rejects_zero_unit() {
+        let _ = Budget::from_dollars(1.0, 0.0);
+    }
+
+    #[test]
+    fn uniform_allocation_shape_and_totals() {
+        let alloc = Allocation::uniform(&[1, 2, 3], Payment::units(2));
+        assert_eq!(alloc.task_count(), 3);
+        assert_eq!(alloc.task_payments(0), &[Payment::units(2)]);
+        assert_eq!(alloc.task_total(2), Payment::units(6));
+        assert_eq!(alloc.total_spent(), 12);
+        assert!(alloc.within_budget(Budget::units(12)));
+        assert!(!alloc.within_budget(Budget::units(11)));
+        assert!(alloc.all_positive());
+        assert_eq!(alloc.min_payment(), Some(Payment::units(2)));
+        assert_eq!(alloc.max_payment(), Some(Payment::units(2)));
+    }
+
+    #[test]
+    fn allocation_iter_yields_every_repetition() {
+        let alloc = Allocation::from_matrix(vec![
+            vec![Payment::units(1), Payment::units(2)],
+            vec![Payment::units(3)],
+        ]);
+        let triples: Vec<_> = alloc.iter().collect();
+        assert_eq!(
+            triples,
+            vec![
+                (0, 0, Payment::units(1)),
+                (0, 1, Payment::units(2)),
+                (1, 0, Payment::units(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn allocation_detects_zero_payments() {
+        let alloc = Allocation::from_matrix(vec![vec![Payment::units(1), Payment::ZERO]]);
+        assert!(!alloc.all_positive());
+    }
+
+    #[test]
+    fn empty_allocation_edge_cases() {
+        let alloc = Allocation::default();
+        assert_eq!(alloc.task_count(), 0);
+        assert_eq!(alloc.total_spent(), 0);
+        assert!(alloc.all_positive());
+        assert_eq!(alloc.min_payment(), None);
+        assert_eq!(alloc.max_payment(), None);
+    }
+
+    #[test]
+    fn push_task_and_mutation() {
+        let mut alloc = Allocation::with_capacity(2);
+        alloc.push_task(vec![Payment::units(1)]);
+        alloc.push_task(vec![Payment::units(2), Payment::units(2)]);
+        alloc.task_payments_mut(0)[0] = Payment::units(9);
+        assert_eq!(alloc.task_total(0), Payment::units(9));
+        assert_eq!(alloc.total_spent(), 13);
+    }
+}

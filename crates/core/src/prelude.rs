@@ -1,0 +1,34 @@
+//! Convenience re-exports of the types most users need.
+//!
+//! ```
+//! use crowdtune_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let mut tasks = TaskSet::new();
+//! let vote = tasks.add_type("pairwise vote", 2.0).unwrap();
+//! tasks.add_tasks(vote, 5, 10).unwrap();
+//!
+//! let tuner = Tuner::new(Arc::new(LinearRate::unit_slope()));
+//! let plan = tuner.plan(tasks, Budget::units(500)).unwrap();
+//! assert!(plan.expected_latency > 0.0);
+//! ```
+
+pub use crate::algorithms::{
+    optimal_strategy_for, BiasedAllocation, ClosenessNorm, EvenAllocation, HeterogeneousAlgorithm,
+    RepetitionAlgorithm, RepetitionEvenAllocation, TaskEvenAllocation, UniformPerGroupAllocation,
+};
+pub use crate::error::{CoreError, Result};
+pub use crate::inference::{
+    estimate_rate_fixed_period, estimate_rate_random_period, fit_linearity, LinearityFit,
+    PriceObservation, PriceRatePoint, ProbeCampaign, ProbePlan,
+};
+pub use crate::latency::{JobLatencyEstimator, PhaseSelection};
+pub use crate::money::{Allocation, Budget, Payment};
+pub use crate::problem::{
+    HTuningProblem, LatencyTarget, Scenario, TuningResult, TuningStrategy,
+};
+pub use crate::rate::{
+    FnRate, LinearRate, LogRate, PaperRateModel, QuadraticRate, RateModel, TabulatedRate,
+};
+pub use crate::task::{AtomicTask, TaskGroup, TaskId, TaskSet, TaskType, TaskTypeId};
+pub use crate::tuner::{StrategyChoice, TunedPlan, Tuner};

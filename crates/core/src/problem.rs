@@ -1,0 +1,344 @@
+//! The H-Tuning problem definition (Section 4.1 of the paper).
+//!
+//! > **Definition 3 (H-Tuning Problem).** Given a set of atomic tasks
+//! > `T = {t1, ..., tN}`, a discrete budget `B`, find an optimal budget
+//! > allocation strategy so that the Latency Target `L*` is minimised without
+//! > exceeding the budget `B`.
+//!
+//! A [`HTuningProblem`] bundles the task set, the budget and the on-hold rate
+//! model that captures the current market condition. Tuning strategies
+//! (Section 4.2–4.4) implement the [`TuningStrategy`] trait and return a
+//! [`TuningResult`] containing the allocation plus the objective value that
+//! the strategy optimised.
+
+use crate::error::{CoreError, Result};
+use crate::money::{Allocation, Budget};
+use crate::rate::RateModel;
+use crate::task::TaskSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The three practical scenarios studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Scenario I — identical difficulty, identical repetitions.
+    Homogeneous,
+    /// Scenario II — identical difficulty, different repetitions.
+    Repetition,
+    /// Scenario III — different difficulty and different repetitions.
+    Heterogeneous,
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Scenario::Homogeneous => "Scenario I (Homogeneity)",
+            Scenario::Repetition => "Scenario II (Repetition)",
+            Scenario::Heterogeneous => "Scenario III (Heterogeneous)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The stochastic objective a strategy minimises (Definition 2, "Latency
+/// Target"). The concrete instantiation differs per scenario, which the
+/// variants document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LatencyTarget {
+    /// The expected maximum phase-1 latency of all atomic tasks (Scenario I).
+    ExpectedMaxOnHold,
+    /// The sum of the expected phase-1 latencies of the task groups — the
+    /// upper-bound approximation of Section 4.3.1 (Scenario II).
+    GroupSumOnHold,
+    /// The bi-objective Compromise target of Scenario III: minimise the
+    /// first-order distance ("Closeness") between the objective point
+    /// `(O1, O2)` and the Utopia Point.
+    Compromise,
+}
+
+impl fmt::Display for LatencyTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LatencyTarget::ExpectedMaxOnHold => "expected max on-hold latency",
+            LatencyTarget::GroupSumOnHold => "sum of group on-hold latencies",
+            LatencyTarget::Compromise => "closeness to the utopia point",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An instance of the H-Tuning problem.
+#[derive(Clone)]
+pub struct HTuningProblem {
+    task_set: TaskSet,
+    budget: Budget,
+    rate_model: Arc<dyn RateModel>,
+}
+
+impl fmt::Debug for HTuningProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HTuningProblem")
+            .field("tasks", &self.task_set.len())
+            .field("budget", &self.budget)
+            .field("rate_model", &self.rate_model.describe())
+            .finish()
+    }
+}
+
+impl HTuningProblem {
+    /// Creates a problem instance, validating that the task set is non-empty
+    /// and the budget can cover at least one payment unit per repetition.
+    pub fn new(
+        task_set: TaskSet,
+        budget: Budget,
+        rate_model: Arc<dyn RateModel>,
+    ) -> Result<Self> {
+        task_set.validate()?;
+        let required = task_set.total_repetitions();
+        if !budget.covers(required) {
+            return Err(CoreError::InsufficientBudget {
+                provided: budget.as_units(),
+                required,
+            });
+        }
+        Ok(HTuningProblem {
+            task_set,
+            budget,
+            rate_model,
+        })
+    }
+
+    /// The task set being tuned.
+    pub fn task_set(&self) -> &TaskSet {
+        &self.task_set
+    }
+
+    /// The total budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// The on-hold rate model describing the current market condition.
+    pub fn rate_model(&self) -> &Arc<dyn RateModel> {
+        &self.rate_model
+    }
+
+    /// The minimum budget any feasible allocation requires (one unit per
+    /// repetition of every task).
+    pub fn minimum_budget(&self) -> u64 {
+        self.task_set.total_repetitions()
+    }
+
+    /// Budget left after paying the mandatory one unit per repetition — the
+    /// `B'` of Algorithms 2 and 3.
+    pub fn discretionary_budget(&self) -> u64 {
+        self.budget.as_units() - self.minimum_budget()
+    }
+
+    /// Classifies the instance into the paper's scenarios based on the task
+    /// set structure.
+    pub fn scenario(&self) -> Scenario {
+        if !self.task_set.is_homogeneous_type() {
+            Scenario::Heterogeneous
+        } else if self.task_set.is_uniform_repetitions() {
+            Scenario::Homogeneous
+        } else {
+            Scenario::Repetition
+        }
+    }
+
+    /// The latency target the paper associates with this instance's
+    /// scenario.
+    pub fn default_target(&self) -> LatencyTarget {
+        match self.scenario() {
+            Scenario::Homogeneous => LatencyTarget::ExpectedMaxOnHold,
+            Scenario::Repetition => LatencyTarget::GroupSumOnHold,
+            Scenario::Heterogeneous => LatencyTarget::Compromise,
+        }
+    }
+
+    /// Returns an error unless `allocation` is feasible for this problem:
+    /// covers every task, pays at least one unit per repetition and stays
+    /// within budget.
+    pub fn check_feasible(&self, allocation: &Allocation) -> Result<()> {
+        if allocation.task_count() != self.task_set.len() {
+            return Err(CoreError::invalid_argument(format!(
+                "allocation covers {} tasks, expected {}",
+                allocation.task_count(),
+                self.task_set.len()
+            )));
+        }
+        for (index, task) in self.task_set.tasks().iter().enumerate() {
+            let payments = allocation.task_payments(index);
+            if payments.len() != task.repetitions as usize {
+                return Err(CoreError::invalid_argument(format!(
+                    "task {index}: expected {} payments, got {}",
+                    task.repetitions,
+                    payments.len()
+                )));
+            }
+        }
+        if !allocation.all_positive() {
+            return Err(CoreError::invalid_argument(
+                "every repetition must receive at least one payment unit".to_owned(),
+            ));
+        }
+        if !allocation.within_budget(self.budget) {
+            return Err(CoreError::InsufficientBudget {
+                provided: self.budget.as_units(),
+                required: allocation.total_spent(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The output of a tuning strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningResult {
+    /// Name of the strategy that produced the allocation (e.g. `"EA"`).
+    pub strategy: String,
+    /// The budget allocation.
+    pub allocation: Allocation,
+    /// The objective value the strategy optimised, if it computed one.
+    pub objective: Option<f64>,
+    /// The latency target the objective refers to.
+    pub target: LatencyTarget,
+}
+
+impl TuningResult {
+    /// Convenience constructor.
+    pub fn new(
+        strategy: impl Into<String>,
+        allocation: Allocation,
+        objective: Option<f64>,
+        target: LatencyTarget,
+    ) -> Self {
+        TuningResult {
+            strategy: strategy.into(),
+            allocation,
+            objective,
+            target,
+        }
+    }
+}
+
+/// A budget-allocation strategy: the optimal algorithms (EA, RA, HA), the
+/// baselines of Section 5.1, or an exhaustive search.
+pub trait TuningStrategy {
+    /// Short identifier used in experiment output (e.g. `"EA"`, `"bias_1"`).
+    fn name(&self) -> &str;
+
+    /// Computes a feasible allocation for the problem.
+    fn tune(&self, problem: &HTuningProblem) -> Result<TuningResult>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::Payment;
+    use crate::rate::LinearRate;
+
+    fn problem(tasks: &[(u32, f64)], reps: &[u32], budget: u64) -> HTuningProblem {
+        // tasks: (count, processing_rate) per type; reps aligned per type
+        let mut set = TaskSet::new();
+        for (i, &(count, lp)) in tasks.iter().enumerate() {
+            let ty = set.add_type(format!("type{i}"), lp).unwrap();
+            set.add_tasks(ty, reps[i], count as usize).unwrap();
+        }
+        HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope()))
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_budget_and_tasks() {
+        let mut set = TaskSet::new();
+        let ty = set.add_type("t", 1.0).unwrap();
+        set.add_tasks(ty, 3, 4).unwrap();
+        let model: Arc<dyn RateModel> = Arc::new(LinearRate::unit_slope());
+        // 12 repetition slots -> budget 11 is insufficient
+        let err = HTuningProblem::new(set.clone(), Budget::units(11), model.clone()).unwrap_err();
+        assert!(matches!(err, CoreError::InsufficientBudget { required: 12, .. }));
+        assert!(HTuningProblem::new(set, Budget::units(12), model.clone()).is_ok());
+        // empty task set
+        let err = HTuningProblem::new(TaskSet::new(), Budget::units(10), model).unwrap_err();
+        assert_eq!(err, CoreError::EmptyTaskSet);
+    }
+
+    #[test]
+    fn scenario_detection() {
+        let homo = problem(&[(5, 2.0)], &[3], 100);
+        assert_eq!(homo.scenario(), Scenario::Homogeneous);
+        assert_eq!(homo.default_target(), LatencyTarget::ExpectedMaxOnHold);
+
+        let mut set = TaskSet::new();
+        let ty = set.add_type("t", 2.0).unwrap();
+        set.add_tasks(ty, 3, 2).unwrap();
+        set.add_tasks(ty, 5, 2).unwrap();
+        let repe = HTuningProblem::new(
+            set,
+            Budget::units(100),
+            Arc::new(LinearRate::unit_slope()),
+        )
+        .unwrap();
+        assert_eq!(repe.scenario(), Scenario::Repetition);
+        assert_eq!(repe.default_target(), LatencyTarget::GroupSumOnHold);
+
+        let heter = problem(&[(2, 2.0), (2, 3.0)], &[3, 5], 100);
+        assert_eq!(heter.scenario(), Scenario::Heterogeneous);
+        assert_eq!(heter.default_target(), LatencyTarget::Compromise);
+    }
+
+    #[test]
+    fn budget_accessors() {
+        let p = problem(&[(4, 2.0)], &[5], 100);
+        assert_eq!(p.minimum_budget(), 20);
+        assert_eq!(p.discretionary_budget(), 80);
+        assert_eq!(p.budget(), Budget::units(100));
+        assert_eq!(p.task_set().len(), 4);
+        assert!(format!("{p:?}").contains("HTuningProblem"));
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let p = problem(&[(2, 2.0)], &[2], 10);
+        // correct shape, within budget
+        let good = Allocation::uniform(&[2, 2], Payment::units(2));
+        p.check_feasible(&good).unwrap();
+        // over budget
+        let over = Allocation::uniform(&[2, 2], Payment::units(3));
+        assert!(p.check_feasible(&over).is_err());
+        // wrong task count
+        let wrong_tasks = Allocation::uniform(&[2], Payment::units(1));
+        assert!(p.check_feasible(&wrong_tasks).is_err());
+        // wrong repetition count
+        let wrong_reps = Allocation::uniform(&[2, 3], Payment::units(1));
+        assert!(p.check_feasible(&wrong_reps).is_err());
+        // zero payment
+        let zero = Allocation::from_matrix(vec![
+            vec![Payment::units(2), Payment::units(0)],
+            vec![Payment::units(2), Payment::units(2)],
+        ]);
+        assert!(p.check_feasible(&zero).is_err());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert!(Scenario::Homogeneous.to_string().contains("Scenario I"));
+        assert!(Scenario::Repetition.to_string().contains("Scenario II"));
+        assert!(Scenario::Heterogeneous.to_string().contains("Scenario III"));
+        assert!(!LatencyTarget::ExpectedMaxOnHold.to_string().is_empty());
+        assert!(!LatencyTarget::GroupSumOnHold.to_string().is_empty());
+        assert!(!LatencyTarget::Compromise.to_string().is_empty());
+    }
+
+    #[test]
+    fn tuning_result_constructor() {
+        let alloc = Allocation::uniform(&[1], Payment::units(1));
+        let r = TuningResult::new("EA", alloc.clone(), Some(1.5), LatencyTarget::ExpectedMaxOnHold);
+        assert_eq!(r.strategy, "EA");
+        assert_eq!(r.allocation, alloc);
+        assert_eq!(r.objective, Some(1.5));
+    }
+}

@@ -1,0 +1,520 @@
+//! Price-to-rate models for the on-hold phase.
+//!
+//! Section 3.1.2 of the paper derives that a task's acceptance (on-hold)
+//! latency is exponential with joint rate `λc = λ·p(c)` where `λ` is the
+//! worker-arrival rate and `p(c)` the acceptance probability at price `c`.
+//! Section 3.3.2 proposes the **Linearity Hypothesis**: within the small
+//! price range relevant to micro-tasks, `λo(c) = k·c + b`.
+//!
+//! The synthetic experiments of Section 5.1 additionally exercise non-linear
+//! models (`λ = 1 + p²`, `λ = log(1 + p)`) to test robustness, so this module
+//! provides a [`RateModel`] trait with the full catalogue of models used in
+//! Figure 2, plus an empirical table-driven model and a generic closure
+//! adapter.
+
+use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Maps a per-repetition payment (in units) to the on-hold clock rate
+/// `λo(payment)`.
+///
+/// Implementations must return strictly positive, finite, and non-decreasing
+/// rates for payments `>= 1`; [`validate_over`](RateModel::validate_over) can
+/// be used to check those properties over a payment range.
+pub trait RateModel: Send + Sync {
+    /// On-hold clock rate at the given payment, expressed in units.
+    fn on_hold_rate(&self, payment_units: f64) -> f64;
+
+    /// Short human readable description (used in experiment output headers).
+    fn describe(&self) -> String {
+        "rate model".to_owned()
+    }
+
+    /// Checks that the model produces valid (positive, finite) rates for
+    /// every integral payment in `[min_payment, max_payment]` and that the
+    /// rate is non-decreasing over that range.
+    fn validate_over(&self, min_payment: u64, max_payment: u64) -> Result<()> {
+        let mut prev = 0.0_f64;
+        for p in min_payment..=max_payment {
+            let rate = self.on_hold_rate(p as f64);
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(CoreError::InvalidRate { payment: p, rate });
+            }
+            if p > min_payment && rate + 1e-12 < prev {
+                return Err(CoreError::invalid_argument(format!(
+                    "rate model is decreasing between payments {} and {p}",
+                    p - 1
+                )));
+            }
+            prev = rate;
+        }
+        Ok(())
+    }
+}
+
+/// The Linearity Hypothesis model: `λo(c) = k·c + b` (Hypothesis 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearRate {
+    /// Slope `k` — sensitivity of the on-hold rate to price.
+    pub k: f64,
+    /// Intercept `b` — base attractiveness of the task at zero price.
+    pub b: f64,
+}
+
+impl LinearRate {
+    /// Creates a linear rate model. The slope must be non-negative and the
+    /// model must be positive at payment one.
+    pub fn new(k: f64, b: f64) -> Result<Self> {
+        if !k.is_finite() || !b.is_finite() || k < 0.0 {
+            return Err(CoreError::invalid_argument(format!(
+                "linear rate parameters must be finite with k >= 0 (k={k}, b={b})"
+            )));
+        }
+        if k + b <= 0.0 {
+            return Err(CoreError::InvalidRate {
+                payment: 1,
+                rate: k + b,
+            });
+        }
+        Ok(LinearRate { k, b })
+    }
+
+    /// The model `λ = 1 + p` used in panels (a), (g), (m) of Figure 2.
+    pub fn unit_slope() -> Self {
+        LinearRate { k: 1.0, b: 1.0 }
+    }
+
+    /// The model `λ = 10p + 1` (price-sensitive) of panels (b), (h), (n).
+    pub fn steep() -> Self {
+        LinearRate { k: 10.0, b: 1.0 }
+    }
+
+    /// The model `λ = 0.1p + 10` (price-insensitive) of panels (c), (i), (o).
+    pub fn flat() -> Self {
+        LinearRate { k: 0.1, b: 10.0 }
+    }
+
+    /// The model `λ = 3p + 3` of panels (d), (j), (p).
+    pub fn moderate() -> Self {
+        LinearRate { k: 3.0, b: 3.0 }
+    }
+}
+
+impl RateModel for LinearRate {
+    fn on_hold_rate(&self, payment_units: f64) -> f64 {
+        self.k * payment_units + self.b
+    }
+
+    fn describe(&self) -> String {
+        format!("λo(p) = {}·p + {}", self.k, self.b)
+    }
+}
+
+/// Quadratic model `λo(c) = a·c² + b`, used in the robustness panels (e), (k),
+/// (q) of Figure 2 with `a = 1`, `b = 1` (`λ = 1 + p²`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuadraticRate {
+    /// Quadratic coefficient.
+    pub a: f64,
+    /// Constant offset.
+    pub b: f64,
+}
+
+impl QuadraticRate {
+    /// Creates a quadratic model with validation.
+    pub fn new(a: f64, b: f64) -> Result<Self> {
+        if !a.is_finite() || !b.is_finite() || a < 0.0 {
+            return Err(CoreError::invalid_argument(format!(
+                "quadratic rate parameters must be finite with a >= 0 (a={a}, b={b})"
+            )));
+        }
+        if a + b <= 0.0 {
+            return Err(CoreError::InvalidRate {
+                payment: 1,
+                rate: a + b,
+            });
+        }
+        Ok(QuadraticRate { a, b })
+    }
+
+    /// The paper's `λ = 1 + p²` model.
+    pub fn paper() -> Self {
+        QuadraticRate { a: 1.0, b: 1.0 }
+    }
+}
+
+impl RateModel for QuadraticRate {
+    fn on_hold_rate(&self, payment_units: f64) -> f64 {
+        self.a * payment_units * payment_units + self.b
+    }
+
+    fn describe(&self) -> String {
+        format!("λo(p) = {}·p² + {}", self.a, self.b)
+    }
+}
+
+/// Logarithmic model `λo(c) = scale·ln(1 + c)`, the paper's `λ = log(1 + p)`
+/// robustness model of panels (f), (l), (r).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogRate {
+    /// Multiplicative scale in front of the logarithm.
+    pub scale: f64,
+}
+
+impl LogRate {
+    /// Creates a log model with validation.
+    pub fn new(scale: f64) -> Result<Self> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(CoreError::invalid_argument(format!(
+                "log rate scale must be positive and finite, got {scale}"
+            )));
+        }
+        Ok(LogRate { scale })
+    }
+
+    /// The paper's `λ = log(1 + p)` model.
+    pub fn paper() -> Self {
+        LogRate { scale: 1.0 }
+    }
+}
+
+impl RateModel for LogRate {
+    fn on_hold_rate(&self, payment_units: f64) -> f64 {
+        self.scale * (1.0 + payment_units).ln()
+    }
+
+    fn describe(&self) -> String {
+        format!("λo(p) = {}·ln(1 + p)", self.scale)
+    }
+}
+
+/// Table-driven model built from empirical `(payment, rate)` observations,
+/// such as Table 1 of the paper. Rates between observed price points are
+/// linearly interpolated; outside the observed range the nearest segment is
+/// extrapolated (clamped below to stay positive).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TabulatedRate {
+    /// `(payment_units, rate)` pairs sorted by payment.
+    points: Vec<(f64, f64)>,
+}
+
+impl TabulatedRate {
+    /// Builds a tabulated model from observation pairs. At least two points
+    /// with distinct payments are required; rates must be positive.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(CoreError::InsufficientSamples {
+                provided: points.len(),
+                required: 2,
+            });
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("payments must not be NaN"));
+        for w in points.windows(2) {
+            if (w[1].0 - w[0].0).abs() < 1e-12 {
+                return Err(CoreError::DegenerateRegression);
+            }
+        }
+        for &(p, r) in &points {
+            if !p.is_finite() || !r.is_finite() || r <= 0.0 {
+                return Err(CoreError::InvalidRate {
+                    payment: p.max(0.0) as u64,
+                    rate: r,
+                });
+            }
+        }
+        Ok(TabulatedRate { points })
+    }
+
+    /// The observation points backing this model.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+impl RateModel for TabulatedRate {
+    fn on_hold_rate(&self, payment_units: f64) -> f64 {
+        let pts = &self.points;
+        let n = pts.len();
+        // Locate the segment to interpolate on (clamping to the outermost
+        // segments for extrapolation).
+        let (lo, hi) = if payment_units <= pts[0].0 {
+            (pts[0], pts[1])
+        } else if payment_units >= pts[n - 1].0 {
+            (pts[n - 2], pts[n - 1])
+        } else {
+            let idx = pts
+                .windows(2)
+                .position(|w| payment_units >= w[0].0 && payment_units <= w[1].0)
+                .unwrap_or(n - 2);
+            (pts[idx], pts[idx + 1])
+        };
+        let slope = (hi.1 - lo.1) / (hi.0 - lo.0);
+        let value = lo.1 + slope * (payment_units - lo.0);
+        value.max(f64::MIN_POSITIVE)
+    }
+
+    fn describe(&self) -> String {
+        format!("tabulated rate over {} points", self.points.len())
+    }
+}
+
+/// Adapter turning an arbitrary closure into a [`RateModel`]. Useful for
+/// ad-hoc experiments and tests.
+#[derive(Clone)]
+pub struct FnRate {
+    f: Arc<dyn Fn(f64) -> f64 + Send + Sync>,
+    label: String,
+}
+
+impl FnRate {
+    /// Wraps a closure, attaching a descriptive label.
+    pub fn new(label: impl Into<String>, f: impl Fn(f64) -> f64 + Send + Sync + 'static) -> Self {
+        FnRate {
+            f: Arc::new(f),
+            label: label.into(),
+        }
+    }
+}
+
+impl fmt::Debug for FnRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnRate").field("label", &self.label).finish()
+    }
+}
+
+impl RateModel for FnRate {
+    fn on_hold_rate(&self, payment_units: f64) -> f64 {
+        (self.f)(payment_units)
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// The catalogue of rate models exercised in Figure 2 of the paper, in panel
+/// order: four linear and two non-linear models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperRateModel {
+    /// `λ = 1 + p` (panels a, g, m).
+    UnitSlope,
+    /// `λ = 10p + 1` (panels b, h, n).
+    Steep,
+    /// `λ = 0.1p + 10` (panels c, i, o).
+    Flat,
+    /// `λ = 3p + 3` (panels d, j, p).
+    Moderate,
+    /// `λ = 1 + p²` (panels e, k, q).
+    Quadratic,
+    /// `λ = log(1 + p)` (panels f, l, r).
+    Logarithmic,
+}
+
+impl PaperRateModel {
+    /// All six models in panel order.
+    pub const ALL: [PaperRateModel; 6] = [
+        PaperRateModel::UnitSlope,
+        PaperRateModel::Steep,
+        PaperRateModel::Flat,
+        PaperRateModel::Moderate,
+        PaperRateModel::Quadratic,
+        PaperRateModel::Logarithmic,
+    ];
+
+    /// Instantiates the corresponding [`RateModel`].
+    pub fn build(self) -> Box<dyn RateModel> {
+        match self {
+            PaperRateModel::UnitSlope => Box::new(LinearRate::unit_slope()),
+            PaperRateModel::Steep => Box::new(LinearRate::steep()),
+            PaperRateModel::Flat => Box::new(LinearRate::flat()),
+            PaperRateModel::Moderate => Box::new(LinearRate::moderate()),
+            PaperRateModel::Quadratic => Box::new(QuadraticRate::paper()),
+            PaperRateModel::Logarithmic => Box::new(LogRate::paper()),
+        }
+    }
+
+    /// Short label used in figure file names (`"1+p"`, `"10p+1"`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            PaperRateModel::UnitSlope => "1+p",
+            PaperRateModel::Steep => "10p+1",
+            PaperRateModel::Flat => "0.1p+10",
+            PaperRateModel::Moderate => "3p+3",
+            PaperRateModel::Quadratic => "1+p^2",
+            PaperRateModel::Logarithmic => "log(1+p)",
+        }
+    }
+
+    /// Whether this model satisfies the Linearity Hypothesis exactly.
+    pub fn is_linear(self) -> bool {
+        !matches!(
+            self,
+            PaperRateModel::Quadratic | PaperRateModel::Logarithmic
+        )
+    }
+}
+
+impl fmt::Display for PaperRateModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl<M: RateModel + ?Sized> RateModel for &M {
+    fn on_hold_rate(&self, payment_units: f64) -> f64 {
+        (**self).on_hold_rate(payment_units)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+impl<M: RateModel + ?Sized> RateModel for Box<M> {
+    fn on_hold_rate(&self, payment_units: f64) -> f64 {
+        (**self).on_hold_rate(payment_units)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+impl<M: RateModel + ?Sized> RateModel for Arc<M> {
+    fn on_hold_rate(&self, payment_units: f64) -> f64 {
+        (**self).on_hold_rate(payment_units)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_rate_matches_formula() {
+        let m = LinearRate::new(2.0, 3.0).unwrap();
+        assert!((m.on_hold_rate(0.0) - 3.0).abs() < 1e-12);
+        assert!((m.on_hold_rate(5.0) - 13.0).abs() < 1e-12);
+        assert!(m.describe().contains("2"));
+    }
+
+    #[test]
+    fn linear_rate_rejects_bad_parameters() {
+        assert!(LinearRate::new(-1.0, 5.0).is_err());
+        assert!(LinearRate::new(0.0, 0.0).is_err());
+        assert!(LinearRate::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn paper_linear_presets_match_figure_2() {
+        assert!((LinearRate::unit_slope().on_hold_rate(4.0) - 5.0).abs() < 1e-12);
+        assert!((LinearRate::steep().on_hold_rate(4.0) - 41.0).abs() < 1e-12);
+        assert!((LinearRate::flat().on_hold_rate(4.0) - 10.4).abs() < 1e-12);
+        assert!((LinearRate::moderate().on_hold_rate(4.0) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_and_log_match_paper_forms() {
+        let q = QuadraticRate::paper();
+        assert!((q.on_hold_rate(3.0) - 10.0).abs() < 1e-12);
+        let l = LogRate::paper();
+        assert!((l.on_hold_rate(3.0) - 4.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_and_log_validation() {
+        assert!(QuadraticRate::new(-1.0, 1.0).is_err());
+        assert!(QuadraticRate::new(0.0, 0.0).is_err());
+        assert!(LogRate::new(0.0).is_err());
+        assert!(LogRate::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn validate_over_accepts_monotone_positive_models() {
+        LinearRate::unit_slope().validate_over(1, 100).unwrap();
+        QuadraticRate::paper().validate_over(1, 100).unwrap();
+        LogRate::paper().validate_over(1, 100).unwrap();
+    }
+
+    #[test]
+    fn validate_over_rejects_decreasing_model() {
+        let m = FnRate::new("decreasing", |p| 10.0 - p);
+        assert!(m.validate_over(1, 5).is_err());
+    }
+
+    #[test]
+    fn validate_over_rejects_nonpositive_rate() {
+        let m = FnRate::new("goes negative", |p| 2.0 - p);
+        let err = m.validate_over(1, 5).unwrap_err();
+        match err {
+            CoreError::InvalidRate { payment, .. } => assert!(payment >= 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tabulated_rate_interpolates_table_1() {
+        // Table 1 of the paper: sorting vote rates at rewards 1.5, 2, 3.
+        let m = TabulatedRate::new(vec![(2.0, 2.0), (3.0, 3.0), (1.5, 1.5)]).unwrap();
+        assert!((m.on_hold_rate(2.0) - 2.0).abs() < 1e-12);
+        assert!((m.on_hold_rate(2.5) - 2.5).abs() < 1e-12);
+        // extrapolation beyond the table keeps the last slope
+        assert!((m.on_hold_rate(4.0) - 4.0).abs() < 1e-12);
+        assert!((m.on_hold_rate(1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(m.points().len(), 3);
+    }
+
+    #[test]
+    fn tabulated_rate_rejects_degenerate_tables() {
+        assert!(TabulatedRate::new(vec![(1.0, 1.0)]).is_err());
+        assert!(TabulatedRate::new(vec![(1.0, 1.0), (1.0, 2.0)]).is_err());
+        assert!(TabulatedRate::new(vec![(1.0, 0.0), (2.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn tabulated_rate_never_returns_nonpositive() {
+        let m = TabulatedRate::new(vec![(5.0, 1.0), (10.0, 6.0)]).unwrap();
+        // Linear extrapolation to payment 0 would be negative; the model
+        // clamps to a tiny positive value instead.
+        assert!(m.on_hold_rate(0.0) > 0.0);
+    }
+
+    #[test]
+    fn fn_rate_wraps_closures() {
+        let m = FnRate::new("sqrt", |p| p.sqrt() + 1.0);
+        assert!((m.on_hold_rate(4.0) - 3.0).abs() < 1e-12);
+        assert_eq!(m.describe(), "sqrt");
+        assert!(format!("{m:?}").contains("sqrt"));
+    }
+
+    #[test]
+    fn paper_rate_model_catalogue() {
+        assert_eq!(PaperRateModel::ALL.len(), 6);
+        for model in PaperRateModel::ALL {
+            let built = model.build();
+            assert!(built.on_hold_rate(3.0) > 0.0);
+            assert!(!model.label().is_empty());
+            assert_eq!(format!("{model}"), model.label());
+        }
+        assert!(PaperRateModel::UnitSlope.is_linear());
+        assert!(PaperRateModel::Flat.is_linear());
+        assert!(!PaperRateModel::Quadratic.is_linear());
+        assert!(!PaperRateModel::Logarithmic.is_linear());
+    }
+
+    #[test]
+    fn rate_model_blanket_impls() {
+        let linear = LinearRate::unit_slope();
+        let by_ref: &dyn RateModel = &linear;
+        assert!((by_ref.on_hold_rate(1.0) - 2.0).abs() < 1e-12);
+        let boxed: Box<dyn RateModel> = Box::new(linear);
+        assert!((boxed.on_hold_rate(1.0) - 2.0).abs() < 1e-12);
+        let arced: Arc<dyn RateModel> = Arc::new(linear);
+        assert!((arced.on_hold_rate(1.0) - 2.0).abs() < 1e-12);
+        assert!(!RateModel::describe(&boxed).is_empty());
+        assert!(!RateModel::describe(&arced).is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! The Erlang distribution — the latency of a multi-repetition task.
+//!
+//! Lemma 3 of the paper: an atomic task that must be answered `k` times, with
+//! each repetition's latency exponential with rate `λ`, has total latency
+//! distributed as `Erlang(k, λ)` (the sum of `k` i.i.d. exponentials).
+
+use crate::error::{CoreError, Result};
+use crate::stats::exponential::Exponential;
+use crate::stats::numerical::ln_factorial;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An Erlang distribution with integer shape `k >= 1` and rate `λ > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Erlang {
+    shape: u32,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Creates an Erlang distribution.
+    pub fn new(shape: u32, rate: f64) -> Result<Self> {
+        if shape == 0 {
+            return Err(CoreError::invalid_distribution(
+                "Erlang shape must be at least 1".to_owned(),
+            ));
+        }
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(CoreError::invalid_distribution(format!(
+                "Erlang rate must be positive and finite, got {rate}"
+            )));
+        }
+        Ok(Erlang { shape, rate })
+    }
+
+    /// The shape parameter `k` (number of summed exponential phases).
+    pub fn shape(&self) -> u32 {
+        self.shape
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean `k/λ`.
+    pub fn mean(&self) -> f64 {
+        f64::from(self.shape) / self.rate
+    }
+
+    /// Variance `k/λ²`.
+    pub fn variance(&self) -> f64 {
+        f64::from(self.shape) / (self.rate * self.rate)
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Probability density function
+    /// `f(t) = λ^k t^{k-1} e^{-λt} / (k-1)!` for `t >= 0`.
+    ///
+    /// Evaluated in log-space to stay stable for large shapes.
+    pub fn pdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        if t == 0.0 {
+            return if self.shape == 1 { self.rate } else { 0.0 };
+        }
+        let k = f64::from(self.shape);
+        let log_pdf = k * self.rate.ln() + (k - 1.0) * t.ln()
+            - self.rate * t
+            - ln_factorial(u64::from(self.shape) - 1);
+        log_pdf.exp()
+    }
+
+    /// Cumulative distribution function
+    /// `F(t) = 1 - Σ_{i=0}^{k-1} e^{-λt} (λt)^i / i!`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.survival(t)
+    }
+
+    /// Survival function `S(t) = Σ_{i=0}^{k-1} e^{-λt} (λt)^i / i!`.
+    ///
+    /// Terms are accumulated iteratively (`term_{i+1} = term_i · λt/(i+1)`) so
+    /// no factorials are materialised.
+    pub fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 1.0;
+        }
+        let x = self.rate * t;
+        let mut term = (-x).exp();
+        let mut sum = term;
+        for i in 1..self.shape {
+            term *= x / f64::from(i);
+            sum += term;
+        }
+        sum.clamp(0.0, 1.0)
+    }
+
+    /// Draws one sample as a sum of `k` exponential draws.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let exp = Exponential::new(self.rate).expect("rate validated at construction");
+        (0..self.shape).map(|_| exp.sample(rng)).sum()
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The exponential special case `Erlang(1, λ)` as an [`Exponential`].
+    pub fn as_exponential(&self) -> Option<Exponential> {
+        if self.shape == 1 {
+            Exponential::new(self.rate).ok()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Erlang::new(1, 1.0).is_ok());
+        assert!(Erlang::new(0, 1.0).is_err());
+        assert!(Erlang::new(2, 0.0).is_err());
+        assert!(Erlang::new(2, -1.0).is_err());
+        assert!(Erlang::new(2, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let d = Erlang::new(5, 2.0).unwrap();
+        assert_eq!(d.shape(), 5);
+        assert!((d.rate() - 2.0).abs() < 1e-15);
+        assert!((d.mean() - 2.5).abs() < 1e-15);
+        assert!((d.variance() - 1.25).abs() < 1e-15);
+        assert!((d.std_dev() - 1.25_f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shape_one_reduces_to_exponential() {
+        let e = Erlang::new(1, 3.0).unwrap();
+        let x = Exponential::new(3.0).unwrap();
+        for &t in &[0.0, 0.1, 0.5, 1.0, 2.0] {
+            assert!((e.pdf(t) - x.pdf(t)).abs() < 1e-12);
+            assert!((e.cdf(t) - x.cdf(t)).abs() < 1e-12);
+        }
+        assert!(e.as_exponential().is_some());
+        assert!(Erlang::new(2, 3.0).unwrap().as_exponential().is_none());
+    }
+
+    #[test]
+    fn cdf_and_survival_sum_to_one() {
+        let d = Erlang::new(4, 1.7).unwrap();
+        for &t in &[0.0, 0.2, 1.0, 3.0, 10.0] {
+            assert!((d.cdf(t) + d.survival(t) - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.survival(-1.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_limits_correct() {
+        let d = Erlang::new(3, 2.0).unwrap();
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let t = i as f64 * 0.1;
+            let c = d.cdf(t);
+            assert!(c >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        assert!(d.cdf(50.0) > 0.999999);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let d = Erlang::new(3, 1.5).unwrap();
+        // numeric integral of pdf over [0, 4] should equal cdf(4)
+        let steps = 20_000;
+        let h = 4.0 / steps as f64;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let t0 = i as f64 * h;
+            let t1 = t0 + h;
+            acc += 0.5 * (d.pdf(t0) + d.pdf(t1)) * h;
+        }
+        assert!((acc - d.cdf(4.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pdf_edge_cases_at_zero() {
+        assert!((Erlang::new(1, 2.0).unwrap().pdf(0.0) - 2.0).abs() < 1e-12);
+        assert_eq!(Erlang::new(2, 2.0).unwrap().pdf(0.0), 0.0);
+        assert_eq!(Erlang::new(2, 2.0).unwrap().pdf(-0.5), 0.0);
+    }
+
+    #[test]
+    fn pdf_stable_for_large_shape() {
+        let d = Erlang::new(500, 10.0).unwrap();
+        // pdf near the mean should be finite and positive
+        let v = d.pdf(d.mean());
+        assert!(v.is_finite() && v > 0.0);
+        // far tails underflow gracefully to zero
+        assert!(d.pdf(1e6).abs() < 1e-300 || d.pdf(1e6) == 0.0);
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        let d = Erlang::new(4, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean = d.sample_n(&mut rng, n).iter().sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() < 0.02);
+    }
+
+    #[test]
+    fn erlang_is_sum_of_exponentials_lemma_3() {
+        // Empirically check Lemma 3: sum of k exponential latencies has the
+        // Erlang(k, λ) cdf.
+        let k = 3u32;
+        let lambda = 1.2;
+        let exp = Exponential::new(lambda).unwrap();
+        let erl = Erlang::new(k, lambda).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 50_000;
+        let t_check = erl.mean();
+        let mut below = 0usize;
+        for _ in 0..trials {
+            let total: f64 = (0..k).map(|_| exp.sample(&mut rng)).sum();
+            if total <= t_check {
+                below += 1;
+            }
+        }
+        let empirical_cdf = below as f64 / trials as f64;
+        assert!(
+            (empirical_cdf - erl.cdf(t_check)).abs() < 0.01,
+            "empirical {empirical_cdf} vs analytic {}",
+            erl.cdf(t_check)
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! The exponential distribution — the paper's model for both latency phases.
+//!
+//! Section 3.1.1 derives that the acceptance (on-hold) time of a task follows
+//! an exponential distribution when workers arrive as a Poisson process, and
+//! Section 3.2 models the processing phase as exponential as well.
+
+use crate::error::{CoreError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    pub fn new(rate: f64) -> Result<Self> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(CoreError::invalid_distribution(format!(
+                "exponential rate must be positive and finite, got {rate}"
+            )));
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// The variance `1/λ²`.
+    pub fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    /// Probability density function `f(t) = λ e^{-λt}` for `t >= 0`.
+    pub fn pdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * t).exp()
+        }
+    }
+
+    /// Cumulative distribution function `F(t) = 1 - e^{-λt}`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * t).exp()
+        }
+    }
+
+    /// Survival function `S(t) = e^{-λt}`.
+    pub fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            (-self.rate * t).exp()
+        }
+    }
+
+    /// Quantile (inverse CDF). `q` must be in `[0, 1)`.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..1.0).contains(&q) {
+            return Err(CoreError::invalid_argument(format!(
+                "quantile argument must be in [0, 1), got {q}"
+            )));
+        }
+        Ok(-(1.0 - q).ln() / self.rate)
+    }
+
+    /// Draws one sample using inverse-transform sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Avoid ln(0) by sampling from the open interval (0, 1].
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.rate
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Expected value of the maximum of `n` i.i.d. copies: `H_n / λ`.
+    pub fn expected_max(&self, n: u64) -> f64 {
+        super::numerical::harmonic(n) / self.rate
+    }
+
+    /// Expected value of the minimum of `n` i.i.d. copies: `1/(nλ)`.
+    pub fn expected_min(&self, n: u64) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            1.0 / (n as f64 * self.rate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_rate() {
+        assert!(Exponential::new(1.0).is_ok());
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-3.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let d = Exponential::new(4.0).unwrap();
+        assert!((d.rate() - 4.0).abs() < 1e-15);
+        assert!((d.mean() - 0.25).abs() < 1e-15);
+        assert!((d.variance() - 0.0625).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pdf_cdf_survival_consistency() {
+        let d = Exponential::new(2.0).unwrap();
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.survival(-1.0), 1.0);
+        for &t in &[0.0, 0.1, 0.5, 1.0, 3.0] {
+            assert!((d.cdf(t) + d.survival(t) - 1.0).abs() < 1e-12);
+        }
+        // pdf integrates (roughly) to cdf increments
+        let dt = 1e-6;
+        let t = 0.7;
+        let numeric_density = (d.cdf(t + dt) - d.cdf(t)) / dt;
+        assert!((numeric_density - d.pdf(t)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Exponential::new(0.5).unwrap();
+        for &q in &[0.0, 0.1, 0.5, 0.9, 0.999] {
+            let t = d.quantile(q).unwrap();
+            assert!((d.cdf(t) - q).abs() < 1e-10);
+        }
+        assert!(d.quantile(1.0).is_err());
+        assert!(d.quantile(-0.1).is_err());
+    }
+
+    #[test]
+    fn expected_max_and_min_order_statistics() {
+        let d = Exponential::new(2.0).unwrap();
+        assert!((d.expected_max(1) - 0.5).abs() < 1e-12);
+        assert!((d.expected_max(2) - 0.75).abs() < 1e-12);
+        assert!((d.expected_min(2) - 0.25).abs() < 1e-12);
+        assert_eq!(d.expected_min(0), 0.0);
+    }
+
+    #[test]
+    fn sampling_matches_mean_and_nonnegative() {
+        let d = Exponential::new(1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples = d.sample_n(&mut rng, n);
+        assert!(samples.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!(
+            (mean - d.mean()).abs() < 0.01,
+            "sample mean {mean} too far from {}",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn sampling_max_matches_harmonic_prediction() {
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 20_000;
+        let n = 10;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let max = d
+                .sample_n(&mut rng, n)
+                .into_iter()
+                .fold(f64::MIN, f64::max);
+            acc += max;
+        }
+        let empirical = acc / trials as f64;
+        let analytic = d.expected_max(n as u64);
+        assert!(
+            (empirical - analytic).abs() < 0.05,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+}

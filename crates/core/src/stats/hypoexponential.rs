@@ -1,0 +1,250 @@
+//! The two-phase (hypoexponential) overall-latency distribution.
+//!
+//! Section 3.2 of the paper derives the density of the overall latency
+//! `L = Lo + Lp` as the convolution of the two exponential phases:
+//!
+//! ```text
+//! f_L(t) = λo·λp / (λo − λp) · (e^{−λp·t} − e^{−λo·t})        (λo ≠ λp)
+//! ```
+//!
+//! When the two rates coincide the convolution degenerates to an
+//! `Erlang(2, λ)` density; this module handles both branches.
+
+use crate::error::{CoreError, Result};
+use crate::stats::erlang::Erlang;
+use crate::stats::exponential::Exponential;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Relative closeness below which the two rates are treated as equal and the
+/// Erlang branch is used (avoids catastrophic cancellation in the generic
+/// two-rate formula).
+const RATE_EQUALITY_EPS: f64 = 1e-9;
+
+/// Distribution of the sum of two independent exponential phases with rates
+/// `λo` (on-hold) and `λp` (processing).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoPhaseLatency {
+    on_hold_rate: f64,
+    processing_rate: f64,
+}
+
+impl TwoPhaseLatency {
+    /// Creates the two-phase latency distribution.
+    pub fn new(on_hold_rate: f64, processing_rate: f64) -> Result<Self> {
+        for (name, rate) in [("on-hold", on_hold_rate), ("processing", processing_rate)] {
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(CoreError::invalid_distribution(format!(
+                    "{name} rate must be positive and finite, got {rate}"
+                )));
+            }
+        }
+        Ok(TwoPhaseLatency {
+            on_hold_rate,
+            processing_rate,
+        })
+    }
+
+    /// On-hold phase rate `λo`.
+    pub fn on_hold_rate(&self) -> f64 {
+        self.on_hold_rate
+    }
+
+    /// Processing phase rate `λp`.
+    pub fn processing_rate(&self) -> f64 {
+        self.processing_rate
+    }
+
+    /// Whether the two rates are numerically indistinguishable (Erlang
+    /// degenerate branch).
+    fn rates_equal(&self) -> bool {
+        let scale = self.on_hold_rate.abs().max(self.processing_rate.abs());
+        (self.on_hold_rate - self.processing_rate).abs() <= RATE_EQUALITY_EPS * scale
+    }
+
+    /// Mean `1/λo + 1/λp`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.on_hold_rate + 1.0 / self.processing_rate
+    }
+
+    /// Variance `1/λo² + 1/λp²` (phases are independent).
+    pub fn variance(&self) -> f64 {
+        1.0 / (self.on_hold_rate * self.on_hold_rate)
+            + 1.0 / (self.processing_rate * self.processing_rate)
+    }
+
+    /// Probability density of the overall latency (the paper's convolution
+    /// formula, or the Erlang(2, λ) density when the rates coincide).
+    pub fn pdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        if self.rates_equal() {
+            let lambda = 0.5 * (self.on_hold_rate + self.processing_rate);
+            return Erlang::new(2, lambda)
+                .expect("rates validated at construction")
+                .pdf(t);
+        }
+        let (lo, lp) = (self.on_hold_rate, self.processing_rate);
+        lo * lp / (lo - lp) * ((-lp * t).exp() - (-lo * t).exp())
+    }
+
+    /// Cumulative distribution function of the overall latency.
+    ///
+    /// For distinct rates:
+    /// `F(t) = 1 − [λo·e^{−λp t} − λp·e^{−λo t}] / (λo − λp)`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        if self.rates_equal() {
+            let lambda = 0.5 * (self.on_hold_rate + self.processing_rate);
+            return Erlang::new(2, lambda)
+                .expect("rates validated at construction")
+                .cdf(t);
+        }
+        let (lo, lp) = (self.on_hold_rate, self.processing_rate);
+        let value = 1.0 - (lo * (-lp * t).exp() - lp * (-lo * t).exp()) / (lo - lp);
+        value.clamp(0.0, 1.0)
+    }
+
+    /// Survival function `1 − F(t)`.
+    pub fn survival(&self, t: f64) -> f64 {
+        1.0 - self.cdf(t)
+    }
+
+    /// Draws one overall-latency sample as the sum of the two phase samples.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let on_hold = Exponential::new(self.on_hold_rate).expect("validated");
+        let processing = Exponential::new(self.processing_rate).expect("validated");
+        on_hold.sample(rng) + processing.sample(rng)
+    }
+
+    /// Draws `(on_hold, processing)` phase samples separately, which the
+    /// simulator uses to time the two market events.
+    pub fn sample_phases<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, f64) {
+        let on_hold = Exponential::new(self.on_hold_rate).expect("validated");
+        let processing = Exponential::new(self.processing_rate).expect("validated");
+        (on_hold.sample(rng), processing.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_rates() {
+        assert!(TwoPhaseLatency::new(1.0, 2.0).is_ok());
+        assert!(TwoPhaseLatency::new(0.0, 2.0).is_err());
+        assert!(TwoPhaseLatency::new(1.0, -2.0).is_err());
+        assert!(TwoPhaseLatency::new(f64::NAN, 2.0).is_err());
+    }
+
+    #[test]
+    fn mean_and_variance_are_phase_sums() {
+        let d = TwoPhaseLatency::new(2.0, 4.0).unwrap();
+        assert!((d.mean() - 0.75).abs() < 1e-15);
+        assert!((d.variance() - (0.25 + 0.0625)).abs() < 1e-15);
+        assert!((d.on_hold_rate() - 2.0).abs() < 1e-15);
+        assert!((d.processing_rate() - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pdf_matches_paper_convolution_formula() {
+        let (lo, lp) = (3.0, 1.0);
+        let d = TwoPhaseLatency::new(lo, lp).unwrap();
+        for &t in &[0.1, 0.5, 1.0, 2.0] {
+            let manual = lo * lp / (lo - lp) * ((-lp * t).exp() - (-lo * t).exp());
+            assert!((d.pdf(t) - manual).abs() < 1e-12);
+            assert!(d.pdf(t) >= 0.0);
+        }
+        assert_eq!(d.pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn pdf_symmetric_in_rate_order() {
+        // The sum of the two phases does not care which is which.
+        let a = TwoPhaseLatency::new(3.0, 1.0).unwrap();
+        let b = TwoPhaseLatency::new(1.0, 3.0).unwrap();
+        for &t in &[0.1, 0.7, 2.3] {
+            assert!((a.pdf(t) - b.pdf(t)).abs() < 1e-12);
+            assert!((a.cdf(t) - b.cdf(t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn equal_rates_degenerate_to_erlang_2() {
+        let d = TwoPhaseLatency::new(2.0, 2.0).unwrap();
+        let e = Erlang::new(2, 2.0).unwrap();
+        for &t in &[0.0, 0.3, 1.0, 2.0] {
+            assert!((d.pdf(t) - e.pdf(t)).abs() < 1e-9);
+            assert!((d.cdf(t) - e.cdf(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nearly_equal_rates_do_not_blow_up() {
+        let d = TwoPhaseLatency::new(2.0, 2.0 + 1e-12).unwrap();
+        let e = Erlang::new(2, 2.0).unwrap();
+        assert!((d.pdf(1.0) - e.pdf(1.0)).abs() < 1e-6);
+        assert!(d.pdf(1.0).is_finite());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let d = TwoPhaseLatency::new(5.0, 0.5).unwrap();
+        let mut prev = 0.0;
+        for i in 0..500 {
+            let t = i as f64 * 0.05;
+            let c = d.cdf(t);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+        assert!((d.survival(1.0) + d.cdf(1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(d.cdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_matches_numeric_integral_of_pdf() {
+        let d = TwoPhaseLatency::new(1.5, 0.8).unwrap();
+        let t_end = 3.0;
+        let steps = 30_000;
+        let h = t_end / steps as f64;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let a = i as f64 * h;
+            acc += 0.5 * (d.pdf(a) + d.pdf(a + h)) * h;
+        }
+        assert!((acc - d.cdf(t_end)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        let d = TwoPhaseLatency::new(0.01, 0.02).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 50_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() / d.mean() < 0.02);
+    }
+
+    #[test]
+    fn sample_phases_returns_both_components() {
+        let d = TwoPhaseLatency::new(1.0, 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let mut sum_on_hold = 0.0;
+        let mut sum_processing = 0.0;
+        for _ in 0..n {
+            let (o, p) = d.sample_phases(&mut rng);
+            assert!(o >= 0.0 && p >= 0.0);
+            sum_on_hold += o;
+            sum_processing += p;
+        }
+        assert!((sum_on_hold / n as f64 - 1.0).abs() < 0.02);
+        assert!((sum_processing / n as f64 - 0.1).abs() < 0.005);
+    }
+}

@@ -1,0 +1,37 @@
+//! Statistical machinery backing the HPU latency model.
+//!
+//! The paper models both latency phases as exponential, multi-repetition
+//! tasks as Erlang sums (Lemma 3), the overall per-task latency as the
+//! convolution of the two phases, and batch latency as the maximum of the
+//! per-task latencies. Each of those pieces lives in its own sub-module:
+//!
+//! | module | content |
+//! |---|---|
+//! | [`exponential`] | `Exp(λ)` density/CDF/sampling, expected min/max of i.i.d. copies |
+//! | [`erlang`] | `Erlang(k, λ)` density/CDF/sampling |
+//! | [`hypoexponential`] | two-phase (on-hold + processing) overall latency |
+//! | [`order_stats`] | expected maxima: closed forms and numerical integrals |
+//! | [`numerical`] | adaptive quadrature, harmonic numbers, `ln n!` |
+//! | [`summary`] | running mean/variance, percentiles for observed samples |
+
+pub mod erlang;
+pub mod exponential;
+pub mod hypoexponential;
+pub mod numerical;
+pub mod order_stats;
+pub mod poisson;
+pub mod special;
+pub mod summary;
+
+pub use erlang::Erlang;
+pub use exponential::Exponential;
+pub use hypoexponential::TwoPhaseLatency;
+pub use numerical::{harmonic, integrate, integrate_to_infinity, ln_factorial};
+pub use order_stats::{
+    expected_max_erlang, expected_max_exponential, expected_max_heterogeneous_exponential,
+    expected_max_iid_cdf, expected_max_independent_cdfs, expected_max_two_exponentials,
+    expected_max_two_phase, single_round_group_latency,
+};
+pub use poisson::PoissonProcess;
+pub use special::{gamma_cdf, gamma_p, gamma_q, ln_gamma};
+pub use summary::{mean, percentile, RunningStats};

@@ -1,0 +1,378 @@
+//! Order statistics of latency distributions.
+//!
+//! The overall latency of a batch of parallel tasks is the **maximum** of the
+//! individual latencies (Section 3.2.1), so expected maxima drive every
+//! tuning objective in the paper:
+//!
+//! * maximum of `n` i.i.d. exponentials → closed form `H_n / λ`
+//!   (used by single-round groups, Section 4.3.1 "Group of Single Round");
+//! * maximum of `n` i.i.d. Erlang(k, λ) variables → numerical integral
+//!   `E = ∫_0^∞ n·F^{n-1}(t)·f(t)·t dt`, which we evaluate in the equivalent
+//!   and better conditioned survival form `∫_0^∞ (1 − F^n(t)) dt`
+//!   (Section 4.3.1 "Group Multiple Rounds");
+//! * maximum of a small set of *heterogeneous* exponentials → inclusion–
+//!   exclusion closed form (used for the motivating examples of Figure 1).
+
+use crate::error::{CoreError, Result};
+use crate::stats::erlang::Erlang;
+use crate::stats::exponential::Exponential;
+use crate::stats::hypoexponential::TwoPhaseLatency;
+use crate::stats::numerical::{harmonic, integrate_to_infinity, DEFAULT_TOLERANCE};
+
+/// Expected maximum of `n` i.i.d. `Exp(rate)` latencies: `H_n / rate`.
+pub fn expected_max_exponential(n: u64, rate: f64) -> Result<f64> {
+    let dist = Exponential::new(rate)?;
+    Ok(dist.expected_max(n))
+}
+
+/// Expected maximum of `n` i.i.d. `Erlang(shape, rate)` latencies, evaluated
+/// numerically via `∫_0^∞ (1 − F(t)^n) dt`.
+///
+/// For `n = 0` the maximum over an empty set is defined as `0`; for `n = 1`
+/// the Erlang mean `shape / rate` is returned without integration.
+pub fn expected_max_erlang(n: u64, shape: u32, rate: f64) -> Result<f64> {
+    let dist = Erlang::new(shape, rate)?;
+    if n == 0 {
+        return Ok(0.0);
+    }
+    if n == 1 {
+        return Ok(dist.mean());
+    }
+    if shape == 1 {
+        // Fall back to the exact exponential formula.
+        return expected_max_exponential(n, rate);
+    }
+    let nf = n as f64;
+    let scale = dist.mean() + 4.0 * dist.std_dev();
+    integrate_to_infinity(
+        move |t| {
+            let cdf = dist.cdf(t);
+            1.0 - cdf.powf(nf)
+        },
+        scale,
+        DEFAULT_TOLERANCE,
+    )
+}
+
+/// Expected maximum of `n` i.i.d. latencies with an arbitrary CDF, evaluated
+/// numerically via the survival form. `scale` should be of the order of the
+/// distribution's mean-plus-a-few-standard-deviations so the integration
+/// panels are well sized.
+pub fn expected_max_iid_cdf<F>(n: u64, cdf: F, scale: f64) -> Result<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let nf = n as f64;
+    integrate_to_infinity(
+        move |t| {
+            let c = cdf(t).clamp(0.0, 1.0);
+            1.0 - c.powf(nf)
+        },
+        scale,
+        DEFAULT_TOLERANCE,
+    )
+}
+
+/// Expected maximum of independent (not necessarily identically distributed)
+/// latencies described by their CDFs. The overall CDF is the product of the
+/// individual CDFs (Section 3.2.1), so
+/// `E[max] = ∫_0^∞ (1 − Π_i F_i(t)) dt`.
+pub fn expected_max_independent_cdfs<F>(cdfs: &[F], scale: f64) -> Result<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    if cdfs.is_empty() {
+        return Ok(0.0);
+    }
+    integrate_to_infinity(
+        move |t| {
+            let mut product = 1.0;
+            for cdf in cdfs {
+                product *= cdf(t).clamp(0.0, 1.0);
+                if product == 0.0 {
+                    break;
+                }
+            }
+            1.0 - product
+        },
+        scale,
+        DEFAULT_TOLERANCE,
+    )
+}
+
+/// Exact expected maximum of independent exponentials with distinct rates via
+/// inclusion–exclusion:
+/// `E[max] = Σ_S (−1)^{|S|+1} / Σ_{i∈S} λ_i` over non-empty subsets `S`.
+///
+/// This is exponential in the number of rates and therefore restricted to at
+/// most 20 tasks; use [`expected_max_independent_cdfs`] beyond that.
+pub fn expected_max_heterogeneous_exponential(rates: &[f64]) -> Result<f64> {
+    if rates.is_empty() {
+        return Ok(0.0);
+    }
+    if rates.len() > 20 {
+        return Err(CoreError::invalid_argument(format!(
+            "inclusion-exclusion limited to 20 rates, got {}",
+            rates.len()
+        )));
+    }
+    for &r in rates {
+        if !r.is_finite() || r <= 0.0 {
+            return Err(CoreError::invalid_distribution(format!(
+                "all rates must be positive and finite, got {r}"
+            )));
+        }
+    }
+    let n = rates.len();
+    let mut total = 0.0;
+    for subset in 1u32..(1u32 << n) {
+        let mut rate_sum = 0.0;
+        let mut size = 0u32;
+        for (i, &rate) in rates.iter().enumerate() {
+            if subset & (1 << i) != 0 {
+                rate_sum += rate;
+                size += 1;
+            }
+        }
+        let sign = if size % 2 == 1 { 1.0 } else { -1.0 };
+        total += sign / rate_sum;
+    }
+    Ok(total)
+}
+
+/// Expected maximum of two independent exponentials, the closed form used in
+/// Lemma 1's proof: `1/λ1 + 1/λ2 − 1/(λ1 + λ2)`.
+pub fn expected_max_two_exponentials(rate_a: f64, rate_b: f64) -> Result<f64> {
+    expected_max_heterogeneous_exponential(&[rate_a, rate_b])
+}
+
+/// Expected maximum of `n` i.i.d. two-phase latencies (each an on-hold plus a
+/// processing exponential). Used to evaluate Scenario III allocations where
+/// the processing phase can no longer be ignored.
+pub fn expected_max_two_phase(n: u64, on_hold_rate: f64, processing_rate: f64) -> Result<f64> {
+    let dist = TwoPhaseLatency::new(on_hold_rate, processing_rate)?;
+    if n == 0 {
+        return Ok(0.0);
+    }
+    if n == 1 {
+        return Ok(dist.mean());
+    }
+    let scale = dist.mean() + 4.0 * dist.variance().sqrt();
+    expected_max_iid_cdf(n, move |t| dist.cdf(t), scale)
+}
+
+/// Expected completion time of the *whole* single-round group: the paper's
+/// derivation decomposes the maximum of `n` i.i.d. `Exp(λ)` variables into the
+/// telescoping sum `x_1 + x_2 + ... + x_n` with `x_i ~ Exp(λ·(n−i+1))`, giving
+/// `E[L(g)] = Σ_{i=1}^n 1/(λ·i) = H_n/λ`. Exposed separately so tests can
+/// check the two derivations agree.
+pub fn single_round_group_latency(n: u64, rate: f64) -> Result<f64> {
+    if !rate.is_finite() || rate <= 0.0 {
+        return Err(CoreError::invalid_distribution(format!(
+            "rate must be positive and finite, got {rate}"
+        )));
+    }
+    Ok(harmonic(n) / rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exponential_max_matches_harmonic() {
+        let v = expected_max_exponential(3, 2.0).unwrap();
+        assert!((v - (1.0 + 0.5 + 1.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert!(expected_max_exponential(3, 0.0).is_err());
+    }
+
+    #[test]
+    fn single_round_group_latency_agrees_with_expected_max() {
+        for n in [1u64, 2, 5, 50, 500] {
+            let a = single_round_group_latency(n, 1.7).unwrap();
+            let b = expected_max_exponential(n, 1.7).unwrap();
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(single_round_group_latency(3, -1.0).is_err());
+    }
+
+    #[test]
+    fn erlang_max_degenerate_cases() {
+        assert_eq!(expected_max_erlang(0, 3, 1.0).unwrap(), 0.0);
+        let one = expected_max_erlang(1, 3, 1.5).unwrap();
+        assert!((one - 2.0).abs() < 1e-12);
+        // shape 1 falls back to the exponential closed form
+        let exp_max = expected_max_erlang(4, 1, 2.0).unwrap();
+        assert!((exp_max - expected_max_exponential(4, 2.0).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_max_bounded_between_mean_and_sum() {
+        // E[max of n] is at least the single mean and at most n times it.
+        let v = expected_max_erlang(10, 5, 2.0).unwrap();
+        let mean = 2.5;
+        assert!(v > mean);
+        assert!(v < 10.0 * mean);
+    }
+
+    #[test]
+    fn erlang_max_monotone_in_group_size_and_rate() {
+        let small = expected_max_erlang(2, 4, 1.0).unwrap();
+        let large = expected_max_erlang(8, 4, 1.0).unwrap();
+        assert!(large > small);
+        let slow = expected_max_erlang(5, 4, 1.0).unwrap();
+        let fast = expected_max_erlang(5, 4, 2.0).unwrap();
+        assert!((slow / fast - 2.0).abs() < 1e-6, "rate scaling should halve latency");
+    }
+
+    #[test]
+    fn erlang_max_matches_monte_carlo() {
+        let (n, shape, rate) = (6u64, 3u32, 1.5);
+        let analytic = expected_max_erlang(n, shape, rate).unwrap();
+        let dist = Erlang::new(shape, rate).unwrap();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let trials = 40_000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let mut max = f64::MIN;
+            for _ in 0..n {
+                max = max.max(dist.sample(&mut rng));
+            }
+            acc += max;
+        }
+        let empirical = acc / trials as f64;
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.02,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_two_task_closed_form() {
+        let v = expected_max_two_exponentials(2.0, 3.0).unwrap();
+        let expected = 0.5 + 1.0 / 3.0 - 1.0 / 5.0;
+        assert!((v - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_inclusion_exclusion_matches_iid_special_case() {
+        // When all rates are equal the inclusion-exclusion formula must match
+        // the harmonic-number closed form.
+        let rates = vec![1.5; 6];
+        let a = expected_max_heterogeneous_exponential(&rates).unwrap();
+        let b = expected_max_exponential(6, 1.5).unwrap();
+        assert!((a - b).abs() < 1e-10);
+    }
+
+    #[test]
+    fn heterogeneous_matches_numeric_product_cdf() {
+        let rates = [0.5, 1.0, 2.0, 4.0];
+        let exact = expected_max_heterogeneous_exponential(&rates).unwrap();
+        let cdfs: Vec<_> = rates
+            .iter()
+            .map(|&r| move |t: f64| 1.0 - (-r * t).exp())
+            .collect();
+        let numeric = expected_max_independent_cdfs(&cdfs, 4.0).unwrap();
+        assert!((exact - numeric).abs() < 1e-5);
+    }
+
+    #[test]
+    fn heterogeneous_rejects_invalid_input() {
+        assert_eq!(expected_max_heterogeneous_exponential(&[]).unwrap(), 0.0);
+        assert!(expected_max_heterogeneous_exponential(&[1.0, -1.0]).is_err());
+        let too_many = vec![1.0; 21];
+        assert!(expected_max_heterogeneous_exponential(&too_many).is_err());
+    }
+
+    #[test]
+    fn independent_cdfs_empty_is_zero() {
+        let cdfs: Vec<fn(f64) -> f64> = vec![];
+        assert_eq!(expected_max_independent_cdfs(&cdfs, 1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn iid_cdf_zero_and_one_tasks() {
+        let cdf = |t: f64| 1.0 - (-t).exp();
+        assert_eq!(expected_max_iid_cdf(0, cdf, 1.0).unwrap(), 0.0);
+        let one = expected_max_iid_cdf(1, cdf, 1.0).unwrap();
+        assert!((one - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn two_phase_max_reduces_to_mean_for_single_task() {
+        let v = expected_max_two_phase(1, 2.0, 4.0).unwrap();
+        assert!((v - 0.75).abs() < 1e-12);
+        assert_eq!(expected_max_two_phase(0, 2.0, 4.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn two_phase_max_matches_monte_carlo() {
+        let (n, lo, lp) = (4u64, 1.0, 3.0);
+        let analytic = expected_max_two_phase(n, lo, lp).unwrap();
+        let dist = TwoPhaseLatency::new(lo, lp).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let trials = 40_000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let mut max = f64::MIN;
+            for _ in 0..n {
+                max = max.max(dist.sample(&mut rng));
+            }
+            acc += max;
+        }
+        let empirical = acc / trials as f64;
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.02,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn motivating_example_1_latencies() {
+        // Figure 1(a): two pairwise-vote tasks, budget 6. The paper reports
+        // that the load-sensitive split (2, 4) beats the even split (3, 3) in
+        // expected completion of the longest task when task 2 requires two
+        // repetitions. We verify the ordering with the machinery here, using
+        // the Table 1 sorting-vote rates (λ ≈ price).
+        // Case 1: 3 / 3 -> per-repetition payments 3 and 1.5.
+        // Case 2: 2 / 4 -> per-repetition payments 2 and 2.
+        // Task 1 is Exp(λ(p1)); task 2 is Erlang(2, λ(p2 per rep)).
+        let rate = |p: f64| p; // linear, unit slope through origin
+        let case = |p1: f64, p2_per_rep: f64| {
+            let t1 = Exponential::new(rate(p1)).unwrap();
+            let t2 = Erlang::new(2, rate(p2_per_rep)).unwrap();
+            let cdfs: Vec<Box<dyn Fn(f64) -> f64>> = vec![
+                Box::new(move |t| t1.cdf(t)),
+                Box::new(move |t| t2.cdf(t)),
+            ];
+            expected_max_independent_cdfs(&cdfs, 3.0).unwrap()
+        };
+        let even = case(3.0, 1.5);
+        let load_sensitive = case(2.0, 2.0);
+        assert!(
+            load_sensitive < even,
+            "load-sensitive allocation ({load_sensitive}) should beat even ({even})"
+        );
+    }
+
+    #[test]
+    fn random_cdf_scale_robustness() {
+        // The survival integration should be insensitive to the initial
+        // panel scale within a broad range.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let rate = rng.gen_range(0.2..5.0);
+            let shape = rng.gen_range(1..6);
+            let n = rng.gen_range(1..10);
+            let base = expected_max_erlang(n, shape, rate).unwrap();
+            let dist = Erlang::new(shape, rate).unwrap();
+            let wide = expected_max_iid_cdf(n, move |t| dist.cdf(t), 50.0 * dist.mean()).unwrap();
+            assert!((base - wide).abs() / base.max(1e-9) < 1e-4);
+        }
+    }
+}

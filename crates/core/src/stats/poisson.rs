@@ -1,0 +1,184 @@
+//! Poisson-process utilities.
+//!
+//! Section 3.1.1 of the paper derives the exponential acceptance model from a
+//! Poisson worker-arrival process; Section 3.1.2 *thins* that process by the
+//! price-dependent acceptance probability `p(c)`. This module provides the
+//! corresponding primitives — arrival-epoch sampling, the counting
+//! distribution over an interval, and thinning — used by the simulator tests
+//! and the inference examples to cross-check the model assumptions.
+
+use crate::error::{CoreError, Result};
+use crate::stats::exponential::Exponential;
+use crate::stats::numerical::ln_factorial;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous Poisson process with rate `λ` (events per unit time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonProcess {
+    rate: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given arrival rate.
+    pub fn new(rate: f64) -> Result<Self> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(CoreError::invalid_distribution(format!(
+                "Poisson rate must be positive and finite, got {rate}"
+            )));
+        }
+        Ok(PoissonProcess { rate })
+    }
+
+    /// The arrival rate `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Expected number of arrivals in an interval of length `duration`.
+    pub fn expected_count(&self, duration: f64) -> f64 {
+        self.rate * duration.max(0.0)
+    }
+
+    /// Probability of observing exactly `k` arrivals in an interval of
+    /// length `duration`: `e^{-λT} (λT)^k / k!`.
+    pub fn count_pmf(&self, k: u64, duration: f64) -> f64 {
+        if duration <= 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        let mu = self.rate * duration;
+        (-mu + k as f64 * mu.ln() - ln_factorial(k)).exp()
+    }
+
+    /// Probability of observing no arrival within `duration` — the survival
+    /// function of the acceptance time in the paper's derivation.
+    pub fn probability_of_silence(&self, duration: f64) -> f64 {
+        self.count_pmf(0, duration)
+    }
+
+    /// Samples the arrival epochs within `[0, horizon)`.
+    pub fn sample_epochs<R: Rng + ?Sized>(&self, rng: &mut R, horizon: f64) -> Vec<f64> {
+        let gap = Exponential::new(self.rate).expect("rate validated at construction");
+        let mut epochs = Vec::new();
+        let mut now = 0.0;
+        loop {
+            now += gap.sample(rng);
+            if now >= horizon {
+                break;
+            }
+            epochs.push(now);
+        }
+        epochs
+    }
+
+    /// Samples the epochs of the first `count` arrivals.
+    pub fn sample_first_n<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<f64> {
+        let gap = Exponential::new(self.rate).expect("rate validated at construction");
+        let mut epochs = Vec::with_capacity(count);
+        let mut now = 0.0;
+        for _ in 0..count {
+            now += gap.sample(rng);
+            epochs.push(now);
+        }
+        epochs
+    }
+
+    /// Thins the process by an acceptance probability `p ∈ [0, 1]`,
+    /// returning the process of accepted events with rate `λ·p` — the
+    /// construction of the joint acceptance rate `λc = λ·p(c)` in §3.1.2.
+    pub fn thin(&self, acceptance_probability: f64) -> Result<PoissonProcess> {
+        if !(0.0..=1.0).contains(&acceptance_probability) {
+            return Err(CoreError::invalid_argument(format!(
+                "acceptance probability must be in [0, 1], got {acceptance_probability}"
+            )));
+        }
+        PoissonProcess::new(self.rate * acceptance_probability)
+    }
+
+    /// Superposition with another independent Poisson process (rates add).
+    pub fn merge(&self, other: &PoissonProcess) -> PoissonProcess {
+        PoissonProcess {
+            rate: self.rate + other.rate,
+        }
+    }
+
+    /// The distribution of the waiting time until the first arrival.
+    pub fn waiting_time(&self) -> Exponential {
+        Exponential::new(self.rate).expect("rate validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_rate() {
+        assert!(PoissonProcess::new(0.5).is_ok());
+        assert!(PoissonProcess::new(0.0).is_err());
+        assert!(PoissonProcess::new(-1.0).is_err());
+        assert!(PoissonProcess::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn count_pmf_sums_to_one_and_matches_mean() {
+        let process = PoissonProcess::new(2.0).unwrap();
+        let duration = 1.5;
+        let mut total = 0.0;
+        let mut mean = 0.0;
+        for k in 0..100 {
+            let p = process.count_pmf(k, duration);
+            total += p;
+            mean += k as f64 * p;
+        }
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((mean - process.expected_count(duration)).abs() < 1e-6);
+        assert_eq!(process.count_pmf(0, 0.0), 1.0);
+        assert_eq!(process.count_pmf(3, 0.0), 0.0);
+    }
+
+    #[test]
+    fn silence_probability_is_exponential_survival() {
+        let process = PoissonProcess::new(0.7).unwrap();
+        for &t in &[0.1, 1.0, 3.0] {
+            assert!((process.probability_of_silence(t) - (-0.7_f64 * t).exp()).abs() < 1e-12);
+        }
+        assert!((process.waiting_time().rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_epochs_match_expected_count() {
+        let process = PoissonProcess::new(3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let horizon = 500.0;
+        let epochs = process.sample_epochs(&mut rng, horizon);
+        let expected = process.expected_count(horizon);
+        assert!((epochs.len() as f64 - expected).abs() / expected < 0.05);
+        assert!(epochs.windows(2).all(|w| w[0] <= w[1]));
+        assert!(epochs.iter().all(|&t| t < horizon));
+    }
+
+    #[test]
+    fn first_n_epochs_are_increasing_with_correct_mean_gap() {
+        let process = PoissonProcess::new(0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let epochs = process.sample_first_n(&mut rng, 10_000);
+        assert_eq!(epochs.len(), 10_000);
+        assert!(epochs.windows(2).all(|w| w[0] <= w[1]));
+        let mean_gap = epochs.last().unwrap() / 10_000.0;
+        assert!((mean_gap - 4.0).abs() < 0.15, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn thinning_and_merging_adjust_rates() {
+        let process = PoissonProcess::new(4.0).unwrap();
+        let thinned = process.thin(0.25).unwrap();
+        assert!((thinned.rate() - 1.0).abs() < 1e-12);
+        assert!(process.thin(1.5).is_err());
+        assert!(process.thin(0.0).is_err(), "zero acceptance yields an invalid (rate-0) process");
+        let merged = process.merge(&thinned);
+        assert!((merged.rate() - 5.0).abs() < 1e-12);
+    }
+}

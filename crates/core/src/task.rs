@@ -1,0 +1,439 @@
+//! Tasks, task types, task sets and task groups.
+//!
+//! Terminology follows Section 3 of the paper:
+//!
+//! * a **task** is the most decomposed operation a worker may perform (one
+//!   pairwise vote, one yes/no filter decision, ...);
+//! * a **job** is what the requester is responsible for; it is accomplished by
+//!   publishing many tasks in parallel, each possibly *repeated* several times
+//!   for answer reliability;
+//! * tasks of the same *type* share the same cognitive difficulty and hence
+//!   the same processing-phase clock rate `λp`;
+//! * tuning strategies operate on **task groups**: maximal sets of tasks that
+//!   share the repetition count (Scenario II) or both the repetition count and
+//!   the type (Scenario III).
+
+use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a task type (difficulty class).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskTypeId(pub u32);
+
+impl fmt::Display for TaskTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type#{}", self.0)
+    }
+}
+
+/// Identifier of an atomic task.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// A task type: a class of atomic tasks with identical cognitive difficulty.
+///
+/// The processing-phase clock rate `λp` is a property of the type, not of the
+/// payment (Section 3.2 of the paper: "the latency of the Processing phase
+/// depends on the actual cognitive load of a task").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskType {
+    /// Unique identifier of the type.
+    pub id: TaskTypeId,
+    /// Human readable name, e.g. `"sorting vote"` or `"yes/no vote"`.
+    pub name: String,
+    /// Processing-phase clock rate `λp` (inverse expected processing time).
+    pub processing_rate: f64,
+}
+
+impl TaskType {
+    /// Creates a new task type. The processing rate must be strictly
+    /// positive and finite.
+    pub fn new(id: TaskTypeId, name: impl Into<String>, processing_rate: f64) -> Result<Self> {
+        if !processing_rate.is_finite() || processing_rate <= 0.0 {
+            return Err(CoreError::invalid_distribution(format!(
+                "processing rate must be positive and finite, got {processing_rate}"
+            )));
+        }
+        Ok(TaskType {
+            id,
+            name: name.into(),
+            processing_rate,
+        })
+    }
+
+    /// Expected processing time `1/λp` for one repetition of this type.
+    pub fn expected_processing_time(&self) -> f64 {
+        1.0 / self.processing_rate
+    }
+}
+
+/// An atomic task together with its required number of answer repetitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AtomicTask {
+    /// Unique identifier of the task.
+    pub id: TaskId,
+    /// The difficulty class of the task.
+    pub task_type: TaskTypeId,
+    /// How many independent answers (repetitions) the requester needs.
+    pub repetitions: u32,
+}
+
+impl AtomicTask {
+    /// Creates an atomic task. Repetitions must be at least one.
+    pub fn new(id: TaskId, task_type: TaskTypeId, repetitions: u32) -> Result<Self> {
+        if repetitions == 0 {
+            return Err(CoreError::ZeroRepetitions { task_id: id.0 });
+        }
+        Ok(AtomicTask {
+            id,
+            task_type,
+            repetitions,
+        })
+    }
+}
+
+/// A set of atomic tasks forming one job, together with the catalogue of task
+/// types they reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TaskSet {
+    types: Vec<TaskType>,
+    tasks: Vec<AtomicTask>,
+}
+
+impl TaskSet {
+    /// Creates an empty task set.
+    pub fn new() -> Self {
+        TaskSet::default()
+    }
+
+    /// Builds a task set from parts, validating that every task references a
+    /// registered type.
+    pub fn from_parts(types: Vec<TaskType>, tasks: Vec<AtomicTask>) -> Result<Self> {
+        let mut set = TaskSet { types, tasks: vec![] };
+        let staged = std::mem::take(&mut set.tasks);
+        debug_assert!(staged.is_empty());
+        let pending = tasks_into(set, tasks)?;
+        Ok(pending)
+    }
+
+    /// Registers a task type and returns its id.
+    pub fn add_type(&mut self, name: impl Into<String>, processing_rate: f64) -> Result<TaskTypeId> {
+        let id = TaskTypeId(self.types.len() as u32);
+        self.types.push(TaskType::new(id, name, processing_rate)?);
+        Ok(id)
+    }
+
+    /// Adds an atomic task of the given type with `repetitions` required
+    /// answers, returning its id.
+    pub fn add_task(&mut self, task_type: TaskTypeId, repetitions: u32) -> Result<TaskId> {
+        if self.type_by_id(task_type).is_none() {
+            return Err(CoreError::invalid_argument(format!(
+                "unknown task type {task_type}"
+            )));
+        }
+        let id = TaskId(self.tasks.len() as u64);
+        self.tasks.push(AtomicTask::new(id, task_type, repetitions)?);
+        Ok(id)
+    }
+
+    /// Adds `count` identical tasks and returns their ids.
+    pub fn add_tasks(
+        &mut self,
+        task_type: TaskTypeId,
+        repetitions: u32,
+        count: usize,
+    ) -> Result<Vec<TaskId>> {
+        let mut ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            ids.push(self.add_task(task_type, repetitions)?);
+        }
+        Ok(ids)
+    }
+
+    /// All registered task types.
+    pub fn types(&self) -> &[TaskType] {
+        &self.types
+    }
+
+    /// All atomic tasks in insertion order.
+    pub fn tasks(&self) -> &[AtomicTask] {
+        &self.tasks
+    }
+
+    /// Number of atomic tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the set contains no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Looks up a type by id.
+    pub fn type_by_id(&self, id: TaskTypeId) -> Option<&TaskType> {
+        self.types.get(id.0 as usize).filter(|t| t.id == id)
+    }
+
+    /// Looks up a task by id.
+    pub fn task_by_id(&self, id: TaskId) -> Option<&AtomicTask> {
+        self.tasks.get(id.0 as usize).filter(|t| t.id == id)
+    }
+
+    /// Repetition counts of all tasks, in task order. Convenient for building
+    /// [`Allocation`](crate::money::Allocation)s.
+    pub fn repetition_counts(&self) -> Vec<u32> {
+        self.tasks.iter().map(|t| t.repetitions).collect()
+    }
+
+    /// Total number of repetition slots over all tasks; this is the minimum
+    /// budget (in units) any valid allocation requires.
+    pub fn total_repetitions(&self) -> u64 {
+        self.tasks.iter().map(|t| u64::from(t.repetitions)).sum()
+    }
+
+    /// Whether all tasks share a single type.
+    pub fn is_homogeneous_type(&self) -> bool {
+        self.tasks
+            .windows(2)
+            .all(|w| w[0].task_type == w[1].task_type)
+    }
+
+    /// Whether all tasks require the same number of repetitions.
+    pub fn is_uniform_repetitions(&self) -> bool {
+        self.tasks
+            .windows(2)
+            .all(|w| w[0].repetitions == w[1].repetitions)
+    }
+
+    /// Groups tasks by repetition count only (the grouping used by
+    /// Scenario II / Algorithm 2). Groups are returned sorted by repetition
+    /// count.
+    pub fn group_by_repetitions(&self) -> Vec<TaskGroup> {
+        let mut map: BTreeMap<u32, Vec<TaskId>> = BTreeMap::new();
+        for t in &self.tasks {
+            map.entry(t.repetitions).or_default().push(t.id);
+        }
+        map.into_iter()
+            .enumerate()
+            .map(|(idx, (reps, members))| TaskGroup {
+                index: idx,
+                task_type: self.tasks[members[0].0 as usize].task_type,
+                repetitions: reps,
+                members,
+            })
+            .collect()
+    }
+
+    /// Groups tasks by `(type, repetitions)` (the grouping used by
+    /// Scenario III / Algorithm 3). Groups are sorted by type then repetition
+    /// count.
+    pub fn group_by_type_and_repetitions(&self) -> Vec<TaskGroup> {
+        let mut map: BTreeMap<(TaskTypeId, u32), Vec<TaskId>> = BTreeMap::new();
+        for t in &self.tasks {
+            map.entry((t.task_type, t.repetitions)).or_default().push(t.id);
+        }
+        map.into_iter()
+            .enumerate()
+            .map(|(idx, ((ty, reps), members))| TaskGroup {
+                index: idx,
+                task_type: ty,
+                repetitions: reps,
+                members,
+            })
+            .collect()
+    }
+
+    /// Validates the set for use in a tuning problem: at least one task and
+    /// every task with at least one repetition (enforced at construction).
+    pub fn validate(&self) -> Result<()> {
+        if self.tasks.is_empty() {
+            return Err(CoreError::EmptyTaskSet);
+        }
+        Ok(())
+    }
+}
+
+fn tasks_into(mut set: TaskSet, tasks: Vec<AtomicTask>) -> Result<TaskSet> {
+    for t in &tasks {
+        if set.type_by_id(t.task_type).is_none() {
+            return Err(CoreError::invalid_argument(format!(
+                "task {} references unknown type {}",
+                t.id, t.task_type
+            )));
+        }
+        if t.repetitions == 0 {
+            return Err(CoreError::ZeroRepetitions { task_id: t.id.0 });
+        }
+    }
+    set.tasks = tasks;
+    Ok(set)
+}
+
+/// A maximal group of tasks sharing repetition count (and, for Scenario III,
+/// type). Tuning algorithms RA and HA allocate payments at group granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskGroup {
+    /// Dense index of the group within the grouping that produced it.
+    pub index: usize,
+    /// The (representative) type of the group's members.
+    pub task_type: TaskTypeId,
+    /// Repetition count shared by all members.
+    pub repetitions: u32,
+    /// Ids of the member tasks.
+    pub members: Vec<TaskId>,
+}
+
+impl TaskGroup {
+    /// Number of member tasks (`n` in the paper's group latency formulas).
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of repetition slots in this group: `n * k`. Raising the
+    /// per-repetition payment of the whole group by one unit costs this many
+    /// budget units (the `u_i` of Algorithms 2 and 3).
+    pub fn unit_increment_cost(&self) -> u64 {
+        self.members.len() as u64 * u64::from(self.repetitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> TaskSet {
+        let mut set = TaskSet::new();
+        let sort = set.add_type("sorting vote", 2.0).unwrap();
+        let filter = set.add_type("yes/no vote", 3.0).unwrap();
+        set.add_tasks(sort, 3, 2).unwrap();
+        set.add_tasks(filter, 5, 3).unwrap();
+        set
+    }
+
+    #[test]
+    fn task_type_validation() {
+        assert!(TaskType::new(TaskTypeId(0), "ok", 1.0).is_ok());
+        assert!(TaskType::new(TaskTypeId(0), "bad", 0.0).is_err());
+        assert!(TaskType::new(TaskTypeId(0), "bad", -1.0).is_err());
+        assert!(TaskType::new(TaskTypeId(0), "bad", f64::NAN).is_err());
+        assert!(TaskType::new(TaskTypeId(0), "bad", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn expected_processing_time_is_reciprocal_rate() {
+        let t = TaskType::new(TaskTypeId(0), "t", 4.0).unwrap();
+        assert!((t.expected_processing_time() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_task_rejects_zero_repetitions() {
+        let err = AtomicTask::new(TaskId(9), TaskTypeId(0), 0).unwrap_err();
+        assert_eq!(err, CoreError::ZeroRepetitions { task_id: 9 });
+    }
+
+    #[test]
+    fn add_task_rejects_unknown_type() {
+        let mut set = TaskSet::new();
+        assert!(set.add_task(TaskTypeId(3), 1).is_err());
+    }
+
+    #[test]
+    fn task_set_basic_accessors() {
+        let set = sample_set();
+        assert_eq!(set.len(), 5);
+        assert!(!set.is_empty());
+        assert_eq!(set.types().len(), 2);
+        assert_eq!(set.repetition_counts(), vec![3, 3, 5, 5, 5]);
+        assert_eq!(set.total_repetitions(), 3 * 2 + 5 * 3);
+        assert!(!set.is_homogeneous_type());
+        assert!(!set.is_uniform_repetitions());
+        assert!(set.validate().is_ok());
+        assert!(set.task_by_id(TaskId(4)).is_some());
+        assert!(set.task_by_id(TaskId(99)).is_none());
+        assert!(set.type_by_id(TaskTypeId(1)).is_some());
+        assert!(set.type_by_id(TaskTypeId(9)).is_none());
+    }
+
+    #[test]
+    fn empty_set_fails_validation() {
+        let set = TaskSet::new();
+        assert_eq!(set.validate().unwrap_err(), CoreError::EmptyTaskSet);
+    }
+
+    #[test]
+    fn grouping_by_repetitions_merges_across_types() {
+        let mut set = TaskSet::new();
+        let a = set.add_type("a", 1.0).unwrap();
+        let b = set.add_type("b", 2.0).unwrap();
+        set.add_task(a, 3).unwrap();
+        set.add_task(b, 3).unwrap();
+        set.add_task(b, 5).unwrap();
+        let groups = set.group_by_repetitions();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].repetitions, 3);
+        assert_eq!(groups[0].size(), 2);
+        assert_eq!(groups[1].repetitions, 5);
+        assert_eq!(groups[1].size(), 1);
+        assert_eq!(groups[0].unit_increment_cost(), 6);
+        assert_eq!(groups[1].unit_increment_cost(), 5);
+    }
+
+    #[test]
+    fn grouping_by_type_and_repetitions_keeps_types_separate() {
+        let set = sample_set();
+        let groups = set.group_by_type_and_repetitions();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].task_type, TaskTypeId(0));
+        assert_eq!(groups[0].repetitions, 3);
+        assert_eq!(groups[0].size(), 2);
+        assert_eq!(groups[1].task_type, TaskTypeId(1));
+        assert_eq!(groups[1].repetitions, 5);
+        assert_eq!(groups[1].size(), 3);
+        // group indices are dense
+        assert_eq!(groups[0].index, 0);
+        assert_eq!(groups[1].index, 1);
+    }
+
+    #[test]
+    fn homogeneous_detection() {
+        let mut set = TaskSet::new();
+        let a = set.add_type("a", 1.0).unwrap();
+        set.add_tasks(a, 5, 10).unwrap();
+        assert!(set.is_homogeneous_type());
+        assert!(set.is_uniform_repetitions());
+    }
+
+    #[test]
+    fn from_parts_validates_references() {
+        let ty = TaskType::new(TaskTypeId(0), "a", 1.0).unwrap();
+        let ok_task = AtomicTask::new(TaskId(0), TaskTypeId(0), 1).unwrap();
+        let set = TaskSet::from_parts(vec![ty.clone()], vec![ok_task]).unwrap();
+        assert_eq!(set.len(), 1);
+
+        let bad_task = AtomicTask {
+            id: TaskId(0),
+            task_type: TaskTypeId(7),
+            repetitions: 1,
+        };
+        assert!(TaskSet::from_parts(vec![ty], vec![bad_task]).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", TaskTypeId(2)), "type#2");
+        assert_eq!(format!("{}", TaskId(11)), "task#11");
+    }
+}

@@ -1,0 +1,191 @@
+//! High-level facade: build a task set, hand it to a [`Tuner`], get back an
+//! allocation and a latency estimate.
+//!
+//! The lower-level pieces ([`HTuningProblem`], the individual strategies, the
+//! estimators) remain available for fine-grained control; the `Tuner` wires
+//! them together for the common path used by the examples and by downstream
+//! crates (`crowdtune-crowd-db` plans queries and tunes them through this
+//! type).
+
+use crate::algorithms::{
+    optimal_strategy_for, EvenAllocation, HeterogeneousAlgorithm, RepetitionAlgorithm,
+};
+use crate::error::Result;
+use crate::latency::{JobLatencyEstimator, PhaseSelection};
+use crate::money::Budget;
+use crate::problem::{HTuningProblem, TuningResult, TuningStrategy};
+use crate::rate::RateModel;
+use crate::task::TaskSet;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which strategy the tuner should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum StrategyChoice {
+    /// Pick EA / RA / HA automatically based on the task-set structure
+    /// (the paper's scenario classification).
+    #[default]
+    Auto,
+    /// Force the Even Allocation of Scenario I.
+    EvenAllocation,
+    /// Force the Repetition Algorithm of Scenario II.
+    RepetitionAlgorithm,
+    /// Force the Heterogeneous Algorithm of Scenario III.
+    HeterogeneousAlgorithm,
+}
+
+/// A tuned plan: the allocation plus the estimated expected latency of the
+/// job under that allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TunedPlan {
+    /// The tuning result (strategy, allocation, objective value).
+    pub result: TuningResult,
+    /// Analytic estimate of the expected overall latency (both phases).
+    pub expected_latency: f64,
+    /// Analytic estimate of the expected on-hold-only latency.
+    pub expected_on_hold_latency: f64,
+}
+
+/// High-level budget tuner.
+#[derive(Clone)]
+pub struct Tuner {
+    rate_model: Arc<dyn RateModel>,
+    strategy: StrategyChoice,
+}
+
+impl Tuner {
+    /// Creates a tuner for the given market (on-hold rate model), with
+    /// automatic strategy selection.
+    pub fn new(rate_model: Arc<dyn RateModel>) -> Self {
+        Tuner {
+            rate_model,
+            strategy: StrategyChoice::Auto,
+        }
+    }
+
+    /// Overrides the strategy choice.
+    pub fn with_strategy(mut self, strategy: StrategyChoice) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The configured strategy choice.
+    pub fn strategy(&self) -> StrategyChoice {
+        self.strategy
+    }
+
+    /// The market rate model.
+    pub fn rate_model(&self) -> &Arc<dyn RateModel> {
+        &self.rate_model
+    }
+
+    /// Builds the [`HTuningProblem`] for a task set and budget.
+    pub fn problem(&self, task_set: TaskSet, budget: Budget) -> Result<HTuningProblem> {
+        HTuningProblem::new(task_set, budget, self.rate_model.clone())
+    }
+
+    /// Tunes the budget for the task set and returns the raw result.
+    pub fn tune(&self, task_set: TaskSet, budget: Budget) -> Result<TuningResult> {
+        let problem = self.problem(task_set, budget)?;
+        self.tune_problem(&problem)
+    }
+
+    /// Tunes a pre-built problem.
+    pub fn tune_problem(&self, problem: &HTuningProblem) -> Result<TuningResult> {
+        let strategy: Box<dyn TuningStrategy> = match self.strategy {
+            StrategyChoice::Auto => optimal_strategy_for(problem),
+            StrategyChoice::EvenAllocation => Box::new(EvenAllocation::new()),
+            StrategyChoice::RepetitionAlgorithm => Box::new(RepetitionAlgorithm::new()),
+            StrategyChoice::HeterogeneousAlgorithm => Box::new(HeterogeneousAlgorithm::new()),
+        };
+        strategy.tune(problem)
+    }
+
+    /// Tunes the budget and attaches analytic latency estimates for the
+    /// resulting allocation.
+    pub fn plan(&self, task_set: TaskSet, budget: Budget) -> Result<TunedPlan> {
+        let problem = self.problem(task_set, budget)?;
+        let result = self.tune_problem(&problem)?;
+        let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
+        let expected_latency =
+            estimator.analytic_expected_latency(&result.allocation, PhaseSelection::Both)?;
+        let expected_on_hold_latency =
+            estimator.analytic_expected_latency(&result.allocation, PhaseSelection::OnHoldOnly)?;
+        Ok(TunedPlan {
+            result,
+            expected_latency,
+            expected_on_hold_latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::LinearRate;
+
+    fn homogeneous_set() -> TaskSet {
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", 2.0).unwrap();
+        set.add_tasks(ty, 5, 10).unwrap();
+        set
+    }
+
+    fn heterogeneous_set() -> TaskSet {
+        let mut set = TaskSet::new();
+        let easy = set.add_type("easy", 3.0).unwrap();
+        let hard = set.add_type("hard", 1.0).unwrap();
+        set.add_tasks(easy, 3, 4).unwrap();
+        set.add_tasks(hard, 5, 4).unwrap();
+        set
+    }
+
+    #[test]
+    fn auto_strategy_selects_per_scenario() {
+        let tuner = Tuner::new(Arc::new(LinearRate::unit_slope()));
+        assert_eq!(tuner.strategy(), StrategyChoice::Auto);
+        let result = tuner.tune(homogeneous_set(), Budget::units(200)).unwrap();
+        assert_eq!(result.strategy, "EA");
+        let result = tuner.tune(heterogeneous_set(), Budget::units(200)).unwrap();
+        assert_eq!(result.strategy, "HA");
+    }
+
+    #[test]
+    fn forced_strategy_is_respected() {
+        let tuner = Tuner::new(Arc::new(LinearRate::unit_slope()))
+            .with_strategy(StrategyChoice::RepetitionAlgorithm);
+        let result = tuner.tune(heterogeneous_set(), Budget::units(200)).unwrap();
+        assert_eq!(result.strategy, "RA");
+        let tuner = tuner.with_strategy(StrategyChoice::EvenAllocation);
+        let result = tuner.tune(homogeneous_set(), Budget::units(200)).unwrap();
+        assert_eq!(result.strategy, "EA");
+        let tuner = tuner.with_strategy(StrategyChoice::HeterogeneousAlgorithm);
+        let result = tuner.tune(homogeneous_set(), Budget::units(200)).unwrap();
+        assert_eq!(result.strategy, "HA");
+    }
+
+    #[test]
+    fn plan_reports_consistent_latency_estimates() {
+        let tuner = Tuner::new(Arc::new(LinearRate::moderate()));
+        let plan = tuner.plan(heterogeneous_set(), Budget::units(300)).unwrap();
+        assert!(plan.expected_latency > plan.expected_on_hold_latency);
+        assert!(plan.expected_on_hold_latency > 0.0);
+        assert!(plan.result.allocation.total_spent() <= 300);
+    }
+
+    #[test]
+    fn plan_latency_improves_with_budget() {
+        let tuner = Tuner::new(Arc::new(LinearRate::unit_slope()));
+        let small = tuner.plan(homogeneous_set(), Budget::units(60)).unwrap();
+        let large = tuner.plan(homogeneous_set(), Budget::units(600)).unwrap();
+        assert!(large.expected_latency < small.expected_latency);
+    }
+
+    #[test]
+    fn insufficient_budget_is_rejected() {
+        let tuner = Tuner::new(Arc::new(LinearRate::unit_slope()));
+        // 10 tasks × 5 reps = 50 slots; 49 units is not enough.
+        assert!(tuner.tune(homogeneous_set(), Budget::units(49)).is_err());
+        assert!(tuner.rate_model().on_hold_rate(1.0) > 0.0);
+    }
+}

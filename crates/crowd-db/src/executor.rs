@@ -1,0 +1,365 @@
+//! The crowd query executor: plan → tune → publish → collect → aggregate.
+//!
+//! This is where the paper's contribution plugs into the database: the
+//! operator's [`VotePlan`] becomes an H-Tuning [`TaskSet`], the budget is
+//! allocated with the scenario-appropriate algorithm, the plan is published
+//! on the simulated marketplace to measure wall-clock latency, and the
+//! crowd oracle supplies the votes the operator finally aggregates.
+
+use crate::item::{ItemId, ItemSet};
+use crate::operators::{
+    CrowdFilter, CrowdMax, CrowdSort, VoteDifficulty, VoteKind, VotePlan, VoteTallies,
+};
+use crate::oracle::{CrowdOracle, OracleConfig};
+use crowdtune_core::error::{CoreError, Result};
+use crowdtune_core::latency::PhaseSelection;
+use crowdtune_core::latency::JobLatencyEstimator;
+use crowdtune_core::money::Budget;
+use crowdtune_core::rate::RateModel;
+use crowdtune_core::tuner::{StrategyChoice, Tuner};
+use crowdtune_market::{MarketConfig, MarketSimulator};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// Processing-rate difficulty of the two vote kinds.
+    pub difficulty: VoteDifficulty,
+    /// Market simulation configuration.
+    pub market: MarketConfig,
+    /// Crowd answer-quality configuration.
+    pub oracle: OracleConfig,
+    /// Which tuning strategy to use (Auto picks EA / RA / HA per scenario).
+    pub strategy: StrategyChoice,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            difficulty: VoteDifficulty::default(),
+            market: MarketConfig::default(),
+            oracle: OracleConfig::default(),
+            strategy: StrategyChoice::Auto,
+        }
+    }
+}
+
+/// Statistics of one published-and-collected plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ExecutionStats {
+    /// Payment units actually allocated (≤ the budget).
+    pub spent_units: u64,
+    /// Analytic expected overall latency of the allocation.
+    pub expected_latency: f64,
+    /// Simulated wall-clock latency of the run.
+    pub simulated_latency: f64,
+}
+
+/// The outcome of a crowd query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome<T> {
+    /// The relational result (ranking, keep-set or max item).
+    pub result: T,
+    /// Name of the tuning strategy that allocated the budget.
+    pub strategy: String,
+    /// Aggregate statistics over all published batches of the query.
+    pub stats: ExecutionStats,
+}
+
+/// Executes crowd-powered operators against the simulated marketplace.
+#[derive(Clone)]
+pub struct CrowdExecutor {
+    rate_model: Arc<dyn RateModel>,
+    config: ExecutorConfig,
+}
+
+impl CrowdExecutor {
+    /// Creates an executor for the given market condition.
+    pub fn new(rate_model: Arc<dyn RateModel>, config: ExecutorConfig) -> Self {
+        CrowdExecutor { rate_model, config }
+    }
+
+    /// The executor configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// Publishes one plan with the given budget: tunes the allocation, runs
+    /// the market simulation and collects the crowd's votes.
+    pub fn execute_plan(
+        &self,
+        plan: &VotePlan,
+        items: &ItemSet,
+        budget: Budget,
+        oracle: &mut CrowdOracle,
+    ) -> Result<(VoteTallies, ExecutionStats, String)> {
+        let planned = plan.to_task_set(self.config.difficulty)?;
+        let tuner = Tuner::new(self.rate_model.clone()).with_strategy(self.config.strategy);
+        let problem = tuner.problem(planned.task_set.clone(), budget)?;
+        let tuning = tuner.tune_problem(&problem)?;
+
+        let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
+        let expected_latency =
+            estimator.analytic_expected_latency(&tuning.allocation, PhaseSelection::Both)?;
+
+        let simulator = MarketSimulator::new(self.config.market);
+        let report = simulator.run(problem.task_set(), &tuning.allocation, &self.rate_model)?;
+
+        // Collect the crowd's answers for every planned task.
+        let mut yes_votes = Vec::with_capacity(plan.tasks.len());
+        for task in &plan.tasks {
+            let votes = match task.kind {
+                VoteKind::Comparison { a, b } => {
+                    let item_a = items
+                        .get(a)
+                        .ok_or_else(|| CoreError::invalid_argument(format!("unknown item {a}")))?;
+                    let item_b = items
+                        .get(b)
+                        .ok_or_else(|| CoreError::invalid_argument(format!("unknown item {b}")))?;
+                    oracle.compare_votes(item_a, item_b, task.repetitions)
+                }
+                VoteKind::Filter { item, threshold } => {
+                    let item = items
+                        .get(item)
+                        .ok_or_else(|| CoreError::invalid_argument(format!("unknown item {item}")))?;
+                    oracle.filter_votes(item, threshold, task.repetitions)
+                }
+            };
+            yes_votes.push(votes);
+        }
+
+        let stats = ExecutionStats {
+            spent_units: tuning.allocation.total_spent(),
+            expected_latency,
+            simulated_latency: report.job_latency(),
+        };
+        Ok((VoteTallies { yes_votes }, stats, tuning.strategy))
+    }
+
+    /// Runs a crowd sort with the given budget.
+    pub fn run_sort(
+        &self,
+        items: &ItemSet,
+        sort: CrowdSort,
+        budget: Budget,
+    ) -> Result<QueryOutcome<Vec<ItemId>>> {
+        let plan = sort.plan(items)?;
+        let mut oracle = CrowdOracle::new(self.config.oracle);
+        let (tallies, stats, strategy) = self.execute_plan(&plan, items, budget, &mut oracle)?;
+        let ranking = sort.aggregate(&plan, &tallies, items)?;
+        Ok(QueryOutcome {
+            result: ranking,
+            strategy,
+            stats,
+        })
+    }
+
+    /// Runs a crowd filter with the given budget.
+    pub fn run_filter(
+        &self,
+        items: &ItemSet,
+        filter: CrowdFilter,
+        budget: Budget,
+    ) -> Result<QueryOutcome<Vec<ItemId>>> {
+        let plan = filter.plan(items)?;
+        let mut oracle = CrowdOracle::new(self.config.oracle);
+        let (tallies, stats, strategy) = self.execute_plan(&plan, items, budget, &mut oracle)?;
+        let kept = filter.aggregate(&plan, &tallies)?;
+        Ok(QueryOutcome {
+            result: kept,
+            strategy,
+            stats,
+        })
+    }
+
+    /// Runs a crowd max tournament, splitting the budget over the knockout
+    /// rounds proportionally to the number of matches in each round. Rounds
+    /// run sequentially, so their latencies add up.
+    pub fn run_max(
+        &self,
+        items: &ItemSet,
+        max: CrowdMax,
+        budget: Budget,
+    ) -> Result<QueryOutcome<ItemId>> {
+        if items.is_empty() {
+            return Err(CoreError::EmptyTaskSet);
+        }
+        let total_matches = CrowdMax::total_matches(items.len()) as u64;
+        if total_matches == 0 {
+            // A single item is trivially the max; nothing is published.
+            return Ok(QueryOutcome {
+                result: items.ids()[0],
+                strategy: "none".to_owned(),
+                stats: ExecutionStats::default(),
+            });
+        }
+        let budget_units = budget.as_units();
+        let min_required = total_matches * u64::from(max.repetitions);
+        if budget_units < min_required {
+            return Err(CoreError::InsufficientBudget {
+                provided: budget_units,
+                required: min_required,
+            });
+        }
+
+        let mut oracle = CrowdOracle::new(self.config.oracle);
+        let mut survivors = items.ids();
+        let mut spent = 0u64;
+        let mut expected_latency = 0.0;
+        let mut simulated_latency = 0.0;
+        let mut strategy = String::from("EA");
+        let mut remaining_budget = budget_units;
+        let mut remaining_matches = total_matches;
+
+        while survivors.len() > 1 {
+            let (plan, bye) = max.plan_round(&survivors)?;
+            let matches = plan.len() as u64;
+            // Proportional share of what is left, but never below the
+            // feasibility floor of one unit per repetition.
+            let share = (remaining_budget * matches / remaining_matches.max(1))
+                .max(matches * u64::from(max.repetitions));
+            let (tallies, stats, used_strategy) =
+                self.execute_plan(&plan, items, Budget::units(share), &mut oracle)?;
+            survivors = max.round_winners(&plan, &tallies, bye)?;
+            spent += stats.spent_units;
+            expected_latency += stats.expected_latency;
+            simulated_latency += stats.simulated_latency;
+            strategy = used_strategy;
+            remaining_budget = remaining_budget.saturating_sub(stats.spent_units);
+            remaining_matches = remaining_matches.saturating_sub(matches);
+        }
+
+        Ok(QueryOutcome {
+            result: survivors[0],
+            strategy,
+            stats: ExecutionStats {
+                spent_units: spent,
+                expected_latency,
+                simulated_latency,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_core::rate::LinearRate;
+
+    fn executor(seed: u64) -> CrowdExecutor {
+        let config = ExecutorConfig {
+            oracle: OracleConfig {
+                reliability: 2.5,
+                seed,
+            },
+            market: MarketConfig::independent(seed),
+            ..ExecutorConfig::default()
+        };
+        CrowdExecutor::new(Arc::new(LinearRate::unit_slope()), config)
+    }
+
+    fn items() -> ItemSet {
+        ItemSet::from_scores(vec![("a", 1.0), ("b", 8.0), ("c", 4.0), ("d", 6.0)])
+    }
+
+    #[test]
+    fn sort_query_end_to_end() {
+        let executor = executor(3);
+        let outcome = executor
+            .run_sort(&items(), CrowdSort::new(5).unwrap(), Budget::units(200))
+            .unwrap();
+        assert_eq!(outcome.result.len(), 4);
+        assert!(outcome.stats.spent_units <= 200);
+        assert!(outcome.stats.simulated_latency > 0.0);
+        assert!(outcome.stats.expected_latency > 0.0);
+        // All comparison tasks share a type and repetition count, so the
+        // tuner classifies this as Scenario I.
+        assert_eq!(outcome.strategy, "EA");
+        let agreement =
+            CrowdSort::ranking_agreement(&outcome.result, &items().ground_truth_ranking());
+        assert!(agreement >= 0.8, "agreement {agreement}");
+    }
+
+    #[test]
+    fn filter_query_end_to_end() {
+        let executor = executor(5);
+        let outcome = executor
+            .run_filter(&items(), CrowdFilter::new(5.0, 5).unwrap(), Budget::units(120))
+            .unwrap();
+        let truth = items().ground_truth_filter(5.0);
+        let (precision, recall) = CrowdFilter::precision_recall(&outcome.result, &truth);
+        assert!(precision >= 0.5 && recall >= 0.5);
+        assert!(outcome.stats.spent_units <= 120);
+    }
+
+    #[test]
+    fn max_query_runs_all_rounds_and_respects_budget() {
+        let executor = executor(9);
+        let set = ItemSet::from_scores((0..8).map(|i| (format!("i{i}"), i as f64 * 2.0)));
+        let outcome = executor
+            .run_max(&set, CrowdMax::new(3).unwrap(), Budget::units(300))
+            .unwrap();
+        assert_eq!(Some(outcome.result), set.ground_truth_max());
+        assert!(outcome.stats.spent_units <= 300);
+        // Sequential rounds accumulate latency: at least two rounds' worth.
+        assert!(outcome.stats.simulated_latency > 0.0);
+    }
+
+    #[test]
+    fn max_with_single_item_is_trivial() {
+        let executor = executor(1);
+        let set = ItemSet::from_scores(vec![("only", 1.0)]);
+        let outcome = executor
+            .run_max(&set, CrowdMax::new(3).unwrap(), Budget::units(10))
+            .unwrap();
+        assert_eq!(outcome.result, ItemId(0));
+        assert_eq!(outcome.stats.spent_units, 0);
+    }
+
+    #[test]
+    fn insufficient_budget_is_rejected() {
+        let executor = executor(1);
+        // sort of 4 items: 6 pairs × 5 reps = 30 units minimum
+        assert!(executor
+            .run_sort(&items(), CrowdSort::new(5).unwrap(), Budget::units(29))
+            .is_err());
+        // max of 4 items: 3 matches × 3 reps = 9 units minimum
+        assert!(executor
+            .run_max(&items(), CrowdMax::new(3).unwrap(), Budget::units(8))
+            .is_err());
+        assert!(executor
+            .run_max(&ItemSet::new(), CrowdMax::new(3).unwrap(), Budget::units(8))
+            .is_err());
+    }
+
+    #[test]
+    fn executor_is_deterministic_per_seed() {
+        let a = executor(7)
+            .run_sort(&items(), CrowdSort::new(3).unwrap(), Budget::units(100))
+            .unwrap();
+        let b = executor(7)
+            .run_sort(&items(), CrowdSort::new(3).unwrap(), Budget::units(100))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_query_uses_heterogeneous_strategy() {
+        // Combining comparison and filter votes in one plan produces a
+        // Scenario III instance and the tuner should pick HA.
+        let executor = executor(13);
+        let set = items();
+        let sort_plan = CrowdSort::new(2).unwrap().plan(&set).unwrap();
+        let filter_plan = CrowdFilter::new(5.0, 4).unwrap().plan(&set).unwrap();
+        let mut combined = sort_plan;
+        combined.tasks.extend(filter_plan.tasks);
+        let mut oracle = CrowdOracle::new(OracleConfig::default());
+        let (tallies, stats, strategy) = executor
+            .execute_plan(&combined, &set, Budget::units(200), &mut oracle)
+            .unwrap();
+        assert_eq!(tallies.yes_votes.len(), combined.tasks.len());
+        assert!(stats.spent_units <= 200);
+        assert_eq!(strategy, "HA");
+    }
+}

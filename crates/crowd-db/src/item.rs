@@ -1,0 +1,163 @@
+//! Data items processed by the crowd-powered operators.
+//!
+//! Crowd-powered databases (CrowdDB, Qurk, Deco — the systems the paper's
+//! motivation builds on) store ordinary tuples whose *subjective* attributes
+//! (visual appeal, relevance, dot count, ...) are only accessible by asking
+//! humans. We model such an attribute as a latent score: the crowd oracle
+//! sees it through noise, the operators never read it directly, and tests use
+//! it as ground truth.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an item within an [`ItemSet`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ItemId(pub u32);
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item#{}", self.0)
+    }
+}
+
+/// A data item with a human-readable label and a latent score on the
+/// subjective attribute the crowd is asked about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Item {
+    /// Identifier within the set.
+    pub id: ItemId,
+    /// Display label (what a worker would be shown).
+    pub label: String,
+    /// Latent ground-truth score. Operators never read this; the crowd
+    /// oracle observes it through noise.
+    pub latent_score: f64,
+}
+
+/// An ordered collection of items forming an operator's input relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ItemSet {
+    items: Vec<Item>,
+}
+
+impl ItemSet {
+    /// Creates an empty item set.
+    pub fn new() -> Self {
+        ItemSet::default()
+    }
+
+    /// Adds an item and returns its id.
+    pub fn add(&mut self, label: impl Into<String>, latent_score: f64) -> ItemId {
+        let id = ItemId(self.items.len() as u32);
+        self.items.push(Item {
+            id,
+            label: label.into(),
+            latent_score,
+        });
+        id
+    }
+
+    /// Builds a set from `(label, score)` pairs.
+    pub fn from_scores<L: Into<String>>(pairs: impl IntoIterator<Item = (L, f64)>) -> Self {
+        let mut set = ItemSet::new();
+        for (label, score) in pairs {
+            set.add(label, score);
+        }
+        set
+    }
+
+    /// All items in insertion order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Looks up an item by id.
+    pub fn get(&self, id: ItemId) -> Option<&Item> {
+        self.items.get(id.0 as usize).filter(|i| i.id == id)
+    }
+
+    /// The ids of all items, in insertion order.
+    pub fn ids(&self) -> Vec<ItemId> {
+        self.items.iter().map(|i| i.id).collect()
+    }
+
+    /// Ground-truth descending ranking by latent score (ties keep insertion
+    /// order). Used by tests and accuracy reports, never by the operators.
+    pub fn ground_truth_ranking(&self) -> Vec<ItemId> {
+        let mut ids = self.ids();
+        ids.sort_by(|a, b| {
+            let sa = self.items[a.0 as usize].latent_score;
+            let sb = self.items[b.0 as usize].latent_score;
+            sb.partial_cmp(&sa).expect("scores must not be NaN")
+        });
+        ids
+    }
+
+    /// Ground-truth id of the maximum-score item, or `None` if empty.
+    pub fn ground_truth_max(&self) -> Option<ItemId> {
+        self.ground_truth_ranking().first().copied()
+    }
+
+    /// Ground-truth filter outcome: ids of items whose score reaches the
+    /// threshold.
+    pub fn ground_truth_filter(&self, threshold: f64) -> Vec<ItemId> {
+        self.items
+            .iter()
+            .filter(|i| i.latent_score >= threshold)
+            .map(|i| i.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ItemSet {
+        ItemSet::from_scores(vec![("a", 3.0), ("b", 9.0), ("c", 1.0), ("d", 6.0)])
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let set = sample();
+        assert_eq!(set.len(), 4);
+        assert!(!set.is_empty());
+        assert_eq!(set.get(ItemId(1)).unwrap().label, "b");
+        assert!(set.get(ItemId(9)).is_none());
+        assert_eq!(set.ids(), vec![ItemId(0), ItemId(1), ItemId(2), ItemId(3)]);
+        assert_eq!(format!("{}", ItemId(2)), "item#2");
+        assert!(ItemSet::new().is_empty());
+    }
+
+    #[test]
+    fn ground_truth_ranking_is_descending_by_score() {
+        let set = sample();
+        assert_eq!(
+            set.ground_truth_ranking(),
+            vec![ItemId(1), ItemId(3), ItemId(0), ItemId(2)]
+        );
+        assert_eq!(set.ground_truth_max(), Some(ItemId(1)));
+        assert_eq!(ItemSet::new().ground_truth_max(), None);
+    }
+
+    #[test]
+    fn ground_truth_filter_uses_threshold_inclusively() {
+        let set = sample();
+        assert_eq!(
+            set.ground_truth_filter(3.0),
+            vec![ItemId(0), ItemId(1), ItemId(3)]
+        );
+        assert_eq!(set.ground_truth_filter(100.0), Vec::<ItemId>::new());
+    }
+}

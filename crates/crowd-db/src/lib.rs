@@ -1,0 +1,49 @@
+//! # crowdtune-crowd-db
+//!
+//! A crowd-powered database substrate for the reproduction of *"Tuning
+//! Crowdsourced Human Computation"* (ICDE 2017). The paper's motivating
+//! examples are queries of crowd-powered databases — sorting and filtering
+//! decomposed into atomic pairwise / yes-no voting tasks, each repeated for
+//! reliability — whose end-to-end latency the H-Tuning algorithms minimise.
+//! This crate provides those operators and the executor that wires them to
+//! the tuner (`crowdtune-core`) and the marketplace simulator
+//! (`crowdtune-market`):
+//!
+//! * [`item`] — data items with latent subjective attributes;
+//! * [`oracle`] — the noisy crowd vote generator;
+//! * [`operators`] — sort (pairwise comparisons), filter (yes/no screening)
+//!   and max (knockout tournament), each with a planner and an aggregator;
+//! * [`executor`] — plan → tune budget → simulate market → collect votes →
+//!   aggregate.
+//!
+//! ```
+//! use crowdtune_crowd_db::executor::{CrowdExecutor, ExecutorConfig};
+//! use crowdtune_crowd_db::item::ItemSet;
+//! use crowdtune_crowd_db::operators::CrowdSort;
+//! use crowdtune_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let items = ItemSet::from_scores(vec![("cat", 3.0), ("dog", 7.0), ("fox", 5.0)]);
+//! let executor = CrowdExecutor::new(
+//!     Arc::new(LinearRate::unit_slope()),
+//!     ExecutorConfig::default(),
+//! );
+//! let outcome = executor
+//!     .run_sort(&items, CrowdSort::new(3).unwrap(), Budget::units(60))
+//!     .unwrap();
+//! assert_eq!(outcome.result.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod executor;
+pub mod item;
+pub mod operators;
+pub mod oracle;
+
+pub use executor::{CrowdExecutor, ExecutionStats, ExecutorConfig, QueryOutcome};
+pub use item::{Item, ItemId, ItemSet};
+pub use operators::{CrowdFilter, CrowdMax, CrowdSort, VoteDifficulty, VoteKind, VotePlan};
+pub use oracle::{CrowdOracle, OracleConfig};

@@ -1,0 +1,179 @@
+//! Crowd-powered filtering (CrowdScreen-style screening).
+//!
+//! One yes/no voting task per item, repeated `repetitions` times; an item is
+//! kept when the majority of its votes say it meets the predicate threshold.
+
+use crate::item::{ItemId, ItemSet};
+use crate::operators::{VoteKind, VotePlan, VoteTallies, VotingTask};
+use crowdtune_core::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The crowd filter operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrowdFilter {
+    /// Predicate threshold on the latent attribute.
+    pub threshold: f64,
+    /// Number of answer repetitions per item.
+    pub repetitions: u32,
+}
+
+impl CrowdFilter {
+    /// Creates a filter operator.
+    pub fn new(threshold: f64, repetitions: u32) -> Result<Self> {
+        if repetitions == 0 {
+            return Err(CoreError::invalid_argument(
+                "at least one repetition per item is required".to_owned(),
+            ));
+        }
+        if !threshold.is_finite() {
+            return Err(CoreError::invalid_argument(
+                "the filter threshold must be finite".to_owned(),
+            ));
+        }
+        Ok(CrowdFilter {
+            threshold,
+            repetitions,
+        })
+    }
+
+    /// Plans one filter task per item.
+    pub fn plan(&self, items: &ItemSet) -> Result<VotePlan> {
+        if items.is_empty() {
+            return Err(CoreError::EmptyTaskSet);
+        }
+        Ok(VotePlan {
+            tasks: items
+                .ids()
+                .into_iter()
+                .map(|item| VotingTask {
+                    kind: VoteKind::Filter {
+                        item,
+                        threshold: self.threshold,
+                    },
+                    repetitions: self.repetitions,
+                })
+                .collect(),
+        })
+    }
+
+    /// Aggregates votes into the set of kept item ids (majority keep).
+    pub fn aggregate(&self, plan: &VotePlan, tallies: &VoteTallies) -> Result<Vec<ItemId>> {
+        if tallies.yes_votes.len() != plan.tasks.len() {
+            return Err(CoreError::invalid_argument(format!(
+                "expected {} tallies, got {}",
+                plan.tasks.len(),
+                tallies.yes_votes.len()
+            )));
+        }
+        let mut kept = Vec::new();
+        for (index, task) in plan.tasks.iter().enumerate() {
+            let VoteKind::Filter { item, .. } = task.kind else {
+                return Err(CoreError::invalid_argument(
+                    "filter plans contain only filter tasks".to_owned(),
+                ));
+            };
+            if tallies.majority(index, task.repetitions) {
+                kept.push(item);
+            }
+        }
+        Ok(kept)
+    }
+
+    /// Precision/recall of a produced keep-set against the ground truth.
+    pub fn precision_recall(kept: &[ItemId], ground_truth: &[ItemId]) -> (f64, f64) {
+        if kept.is_empty() {
+            return (1.0, if ground_truth.is_empty() { 1.0 } else { 0.0 });
+        }
+        let truth: std::collections::BTreeSet<ItemId> = ground_truth.iter().copied().collect();
+        let true_positives = kept.iter().filter(|id| truth.contains(id)).count() as f64;
+        let precision = true_positives / kept.len() as f64;
+        let recall = if truth.is_empty() {
+            1.0
+        } else {
+            true_positives / truth.len() as f64
+        };
+        (precision, recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{CrowdOracle, OracleConfig};
+
+    fn items() -> ItemSet {
+        ItemSet::from_scores(vec![("a", 1.0), ("b", 7.0), ("c", 3.0), ("d", 9.0), ("e", 5.0)])
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(CrowdFilter::new(5.0, 0).is_err());
+        assert!(CrowdFilter::new(f64::NAN, 3).is_err());
+        assert!(CrowdFilter::new(5.0, 3).is_ok());
+    }
+
+    #[test]
+    fn plan_has_one_task_per_item() {
+        let filter = CrowdFilter::new(4.0, 3).unwrap();
+        let plan = filter.plan(&items()).unwrap();
+        assert_eq!(plan.len(), 5);
+        assert!(plan.tasks.iter().all(|t| t.repetitions == 3));
+        assert!(filter.plan(&ItemSet::new()).is_err());
+    }
+
+    #[test]
+    fn aggregate_majority_keep() {
+        let filter = CrowdFilter::new(4.0, 3).unwrap();
+        let set = items();
+        let plan = filter.plan(&set).unwrap();
+        // votes: a=0/3, b=3/3, c=1/3, d=2/3, e=2/3
+        let tallies = VoteTallies {
+            yes_votes: vec![0, 3, 1, 2, 2],
+        };
+        let kept = filter.aggregate(&plan, &tallies).unwrap();
+        assert_eq!(kept, vec![ItemId(1), ItemId(3), ItemId(4)]);
+        // wrong tally shape
+        let bad = VoteTallies { yes_votes: vec![1] };
+        assert!(filter.aggregate(&plan, &bad).is_err());
+    }
+
+    #[test]
+    fn reliable_crowd_reaches_high_precision_and_recall() {
+        let set = items();
+        let filter = CrowdFilter::new(4.0, 7).unwrap();
+        let plan = filter.plan(&set).unwrap();
+        let mut oracle = CrowdOracle::new(OracleConfig {
+            reliability: 2.5,
+            seed: 13,
+        });
+        let yes_votes = plan
+            .tasks
+            .iter()
+            .map(|t| {
+                let VoteKind::Filter { item, threshold } = t.kind else { unreachable!() };
+                oracle.filter_votes(set.get(item).unwrap(), threshold, t.repetitions)
+            })
+            .collect();
+        let kept = filter
+            .aggregate(&plan, &VoteTallies { yes_votes })
+            .unwrap();
+        let truth = set.ground_truth_filter(4.0);
+        let (precision, recall) = CrowdFilter::precision_recall(&kept, &truth);
+        assert!(precision >= 0.66, "precision {precision}");
+        assert!(recall >= 0.66, "recall {recall}");
+    }
+
+    #[test]
+    fn precision_recall_edge_cases() {
+        let truth = vec![ItemId(0), ItemId(1)];
+        assert_eq!(CrowdFilter::precision_recall(&[], &truth), (1.0, 0.0));
+        assert_eq!(CrowdFilter::precision_recall(&[], &[]), (1.0, 1.0));
+        let kept = vec![ItemId(0), ItemId(2)];
+        let (p, r) = CrowdFilter::precision_recall(&kept, &truth);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+        let (p, r) = CrowdFilter::precision_recall(&kept, &[]);
+        assert!((p - 0.0).abs() < 1e-12);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+}

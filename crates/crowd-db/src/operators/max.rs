@@ -1,0 +1,251 @@
+//! Crowd-powered max discovery via a knockout tournament.
+//!
+//! Following the "dynamic max discovery" line of work the paper cites, the
+//! operator pairs up the surviving items each round, asks the crowd to vote
+//! on every pair `repetitions` times, advances the majority winners (plus a
+//! bye when the count is odd) and repeats until one item remains. Each round
+//! is an independent batch of parallel comparison tasks, so each round can be
+//! budget-tuned with the paper's algorithms before being published.
+
+use crate::item::{ItemId, ItemSet};
+use crate::operators::{VoteKind, VotePlan, VoteTallies, VotingTask};
+use crowdtune_core::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The crowd max operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrowdMax {
+    /// Number of answer repetitions per pairwise match.
+    pub repetitions: u32,
+}
+
+impl CrowdMax {
+    /// Creates a max operator.
+    pub fn new(repetitions: u32) -> Result<Self> {
+        if repetitions == 0 {
+            return Err(CoreError::invalid_argument(
+                "at least one repetition per match is required".to_owned(),
+            ));
+        }
+        Ok(CrowdMax { repetitions })
+    }
+
+    /// Plans one knockout round over the surviving candidates: consecutive
+    /// candidates are paired; an odd trailing candidate gets a bye. Returns
+    /// the plan plus the id that received the bye (if any).
+    pub fn plan_round(&self, survivors: &[ItemId]) -> Result<(VotePlan, Option<ItemId>)> {
+        if survivors.is_empty() {
+            return Err(CoreError::EmptyTaskSet);
+        }
+        if survivors.len() == 1 {
+            return Ok((VotePlan::default(), Some(survivors[0])));
+        }
+        let mut tasks = Vec::with_capacity(survivors.len() / 2);
+        for pair in survivors.chunks(2) {
+            if pair.len() == 2 {
+                tasks.push(VotingTask {
+                    kind: VoteKind::Comparison {
+                        a: pair[0],
+                        b: pair[1],
+                    },
+                    repetitions: self.repetitions,
+                });
+            }
+        }
+        let bye = if survivors.len() % 2 == 1 {
+            Some(*survivors.last().expect("non-empty"))
+        } else {
+            None
+        };
+        Ok((VotePlan { tasks }, bye))
+    }
+
+    /// Determines the winners of a planned round from the collected votes.
+    pub fn round_winners(
+        &self,
+        plan: &VotePlan,
+        tallies: &VoteTallies,
+        bye: Option<ItemId>,
+    ) -> Result<Vec<ItemId>> {
+        if tallies.yes_votes.len() != plan.tasks.len() {
+            return Err(CoreError::invalid_argument(format!(
+                "expected {} tallies, got {}",
+                plan.tasks.len(),
+                tallies.yes_votes.len()
+            )));
+        }
+        let mut winners = Vec::with_capacity(plan.tasks.len() + 1);
+        for (index, task) in plan.tasks.iter().enumerate() {
+            let VoteKind::Comparison { a, b } = task.kind else {
+                return Err(CoreError::invalid_argument(
+                    "max plans contain only comparison tasks".to_owned(),
+                ));
+            };
+            winners.push(if tallies.majority(index, task.repetitions) {
+                a
+            } else {
+                b
+            });
+        }
+        if let Some(bye) = bye {
+            winners.push(bye);
+        }
+        Ok(winners)
+    }
+
+    /// Number of knockout rounds required for `n` items.
+    pub fn rounds_required(n: usize) -> u32 {
+        if n <= 1 {
+            0
+        } else {
+            (n as f64).log2().ceil() as u32
+        }
+    }
+
+    /// Total number of pairwise matches a full tournament over `n` items
+    /// plays (always `n − 1`).
+    pub fn total_matches(n: usize) -> usize {
+        n.saturating_sub(1)
+    }
+
+    /// Runs the whole tournament against a vote source closure (used by the
+    /// executor, which routes each round through the tuner and the market;
+    /// and by tests, which answer directly from an oracle). The closure
+    /// receives the round's plan and must return its tallies.
+    pub fn run_tournament<F>(&self, items: &ItemSet, mut vote_source: F) -> Result<ItemId>
+    where
+        F: FnMut(&VotePlan) -> Result<VoteTallies>,
+    {
+        if items.is_empty() {
+            return Err(CoreError::EmptyTaskSet);
+        }
+        let mut survivors = items.ids();
+        while survivors.len() > 1 {
+            let (plan, bye) = self.plan_round(&survivors)?;
+            let tallies = vote_source(&plan)?;
+            survivors = self.round_winners(&plan, &tallies, bye)?;
+        }
+        Ok(survivors[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{CrowdOracle, OracleConfig};
+
+    fn items(n: usize) -> ItemSet {
+        ItemSet::from_scores((0..n).map(|i| (format!("item{i}"), i as f64)))
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(CrowdMax::new(0).is_err());
+        assert!(CrowdMax::new(3).is_ok());
+    }
+
+    #[test]
+    fn plan_round_pairs_and_byes() {
+        let max = CrowdMax::new(1).unwrap();
+        let set = items(5);
+        let (plan, bye) = max.plan_round(&set.ids()).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(bye, Some(ItemId(4)));
+        let (plan, bye) = max.plan_round(&set.ids()[..4]).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(bye, None);
+        let (plan, bye) = max.plan_round(&[ItemId(3)]).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(bye, Some(ItemId(3)));
+        assert!(max.plan_round(&[]).is_err());
+    }
+
+    #[test]
+    fn round_winners_respect_majorities_and_byes() {
+        let max = CrowdMax::new(3).unwrap();
+        let set = items(5);
+        let (plan, bye) = max.plan_round(&set.ids()).unwrap();
+        // first pair: a wins (2/3); second pair: b wins (1/3)
+        let tallies = VoteTallies {
+            yes_votes: vec![2, 1],
+        };
+        let winners = max.round_winners(&plan, &tallies, bye).unwrap();
+        assert_eq!(winners, vec![ItemId(0), ItemId(3), ItemId(4)]);
+        assert!(max
+            .round_winners(&plan, &VoteTallies { yes_votes: vec![1] }, bye)
+            .is_err());
+    }
+
+    #[test]
+    fn rounds_and_match_counts() {
+        assert_eq!(CrowdMax::rounds_required(1), 0);
+        assert_eq!(CrowdMax::rounds_required(2), 1);
+        assert_eq!(CrowdMax::rounds_required(5), 3);
+        assert_eq!(CrowdMax::rounds_required(8), 3);
+        assert_eq!(CrowdMax::total_matches(8), 7);
+        assert_eq!(CrowdMax::total_matches(0), 0);
+    }
+
+    #[test]
+    fn perfect_votes_find_the_true_max() {
+        let set = items(9);
+        let max = CrowdMax::new(1).unwrap();
+        let winner = max
+            .run_tournament(&set, |plan| {
+                let yes_votes = plan
+                    .tasks
+                    .iter()
+                    .map(|t| {
+                        let VoteKind::Comparison { a, b } = t.kind else { unreachable!() };
+                        u32::from(
+                            set.get(a).unwrap().latent_score >= set.get(b).unwrap().latent_score,
+                        )
+                    })
+                    .collect();
+                Ok(VoteTallies { yes_votes })
+            })
+            .unwrap();
+        assert_eq!(Some(winner), set.ground_truth_max());
+    }
+
+    #[test]
+    fn reliable_crowd_usually_finds_the_max() {
+        let set = ItemSet::from_scores(vec![
+            ("weak", 1.0),
+            ("mid", 3.0),
+            ("strong", 9.0),
+            ("other", 2.0),
+        ]);
+        let max = CrowdMax::new(5).unwrap();
+        let mut oracle = CrowdOracle::new(OracleConfig {
+            reliability: 2.0,
+            seed: 21,
+        });
+        let winner = max
+            .run_tournament(&set, |plan| {
+                let yes_votes = plan
+                    .tasks
+                    .iter()
+                    .map(|t| {
+                        let VoteKind::Comparison { a, b } = t.kind else { unreachable!() };
+                        oracle.compare_votes(
+                            set.get(a).unwrap(),
+                            set.get(b).unwrap(),
+                            t.repetitions,
+                        )
+                    })
+                    .collect();
+                Ok(VoteTallies { yes_votes })
+            })
+            .unwrap();
+        assert_eq!(Some(winner), set.ground_truth_max());
+    }
+
+    #[test]
+    fn tournament_on_empty_set_is_rejected() {
+        let max = CrowdMax::new(1).unwrap();
+        assert!(max
+            .run_tournament(&ItemSet::new(), |_| Ok(VoteTallies::default()))
+            .is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Crowd-powered query operators.
+//!
+//! The paper's motivating examples come from crowd-powered databases whose
+//! query planners decompose declarative queries into **atomic voting tasks**
+//! (pairwise comparisons for sorting and max, yes/no votes for filtering),
+//! each repeated several times for reliability. The operators here produce
+//! exactly such decompositions ([`VotePlan`]s), which the executor then tunes
+//! (budget allocation), runs on the simulated market (latency) and answers
+//! through the crowd oracle (votes), before the operator aggregates the votes
+//! back into a relational result.
+
+pub mod filter;
+pub mod max;
+pub mod sort;
+
+pub use filter::CrowdFilter;
+pub use max::CrowdMax;
+pub use sort::CrowdSort;
+
+use crate::item::ItemId;
+use crowdtune_core::error::{CoreError, Result};
+use crowdtune_core::task::{TaskSet, TaskTypeId};
+use serde::{Deserialize, Serialize};
+
+/// The two kinds of atomic human votes the operators issue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VoteKind {
+    /// "Does item `a` rank above item `b`?" — used by sort and max.
+    Comparison {
+        /// First item of the pair.
+        a: ItemId,
+        /// Second item of the pair.
+        b: ItemId,
+    },
+    /// "Does this item meet the threshold?" — used by filter.
+    Filter {
+        /// The item being screened.
+        item: ItemId,
+        /// The predicate threshold on the latent attribute.
+        threshold: f64,
+    },
+}
+
+/// One atomic voting task with its repetition requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VotingTask {
+    /// What the workers are asked.
+    pub kind: VoteKind,
+    /// How many independent answers the planner wants.
+    pub repetitions: u32,
+}
+
+/// A set of voting tasks produced by an operator's planner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct VotePlan {
+    /// The atomic tasks, in planner order.
+    pub tasks: Vec<VotingTask>,
+}
+
+/// Processing rates (difficulty) of the two vote kinds, used when converting
+/// a plan into a [`TaskSet`]. Comparison votes are harder than filter votes
+/// (Table 1 of the paper), so their processing rate is lower by default.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoteDifficulty {
+    /// Processing clock rate of a pairwise comparison vote.
+    pub comparison_rate: f64,
+    /// Processing clock rate of a yes/no filter vote.
+    pub filter_rate: f64,
+}
+
+impl Default for VoteDifficulty {
+    fn default() -> Self {
+        // Mirrors Table 1's ordering: yes/no votes are processed faster than
+        // sorting votes.
+        VoteDifficulty {
+            comparison_rate: 2.0,
+            filter_rate: 3.0,
+        }
+    }
+}
+
+/// The outcome of converting a plan into a tunable task set: the task set
+/// plus the type ids assigned to each vote kind (needed to interpret results).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedTaskSet {
+    /// The task set handed to the tuner and the market simulator. Task `i`
+    /// corresponds to `plan.tasks[i]`.
+    pub task_set: TaskSet,
+    /// Type id used for comparison votes (if any were planned).
+    pub comparison_type: Option<TaskTypeId>,
+    /// Type id used for filter votes (if any were planned).
+    pub filter_type: Option<TaskTypeId>,
+}
+
+impl VotePlan {
+    /// Number of atomic tasks in the plan.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total number of repetition slots (the minimum budget in units).
+    pub fn total_repetitions(&self) -> u64 {
+        self.tasks.iter().map(|t| u64::from(t.repetitions)).sum()
+    }
+
+    /// Converts the plan into a [`TaskSet`] whose task order matches the plan
+    /// order, assigning each vote kind its own task type.
+    pub fn to_task_set(&self, difficulty: VoteDifficulty) -> Result<PlannedTaskSet> {
+        if self.tasks.is_empty() {
+            return Err(CoreError::EmptyTaskSet);
+        }
+        let mut task_set = TaskSet::new();
+        let needs_comparison = self
+            .tasks
+            .iter()
+            .any(|t| matches!(t.kind, VoteKind::Comparison { .. }));
+        let needs_filter = self
+            .tasks
+            .iter()
+            .any(|t| matches!(t.kind, VoteKind::Filter { .. }));
+        let comparison_type = if needs_comparison {
+            Some(task_set.add_type("sorting vote", difficulty.comparison_rate)?)
+        } else {
+            None
+        };
+        let filter_type = if needs_filter {
+            Some(task_set.add_type("yes/no vote", difficulty.filter_rate)?)
+        } else {
+            None
+        };
+        for task in &self.tasks {
+            let ty = match task.kind {
+                VoteKind::Comparison { .. } => {
+                    comparison_type.expect("comparison type registered above")
+                }
+                VoteKind::Filter { .. } => filter_type.expect("filter type registered above"),
+            };
+            task_set.add_task(ty, task.repetitions)?;
+        }
+        Ok(PlannedTaskSet {
+            task_set,
+            comparison_type,
+            filter_type,
+        })
+    }
+}
+
+/// Vote tallies collected for a plan: `yes_votes[i]` is the number of
+/// positive answers among the `plan.tasks[i].repetitions` collected votes
+/// (for comparisons, "positive" means `a` ranks above `b`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct VoteTallies {
+    /// Positive votes per planned task.
+    pub yes_votes: Vec<u32>,
+}
+
+impl VoteTallies {
+    /// Whether task `i`'s majority is positive (ties count as positive).
+    pub fn majority(&self, index: usize, repetitions: u32) -> bool {
+        2 * self.yes_votes[index] >= repetitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_plan() -> VotePlan {
+        VotePlan {
+            tasks: vec![
+                VotingTask {
+                    kind: VoteKind::Comparison {
+                        a: ItemId(0),
+                        b: ItemId(1),
+                    },
+                    repetitions: 3,
+                },
+                VotingTask {
+                    kind: VoteKind::Filter {
+                        item: ItemId(2),
+                        threshold: 5.0,
+                    },
+                    repetitions: 5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn plan_accessors() {
+        let plan = small_plan();
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.total_repetitions(), 8);
+        assert!(VotePlan::default().is_empty());
+    }
+
+    #[test]
+    fn to_task_set_assigns_types_per_vote_kind() {
+        let plan = small_plan();
+        let planned = plan.to_task_set(VoteDifficulty::default()).unwrap();
+        assert_eq!(planned.task_set.len(), 2);
+        assert!(planned.comparison_type.is_some());
+        assert!(planned.filter_type.is_some());
+        let tasks = planned.task_set.tasks();
+        assert_eq!(tasks[0].repetitions, 3);
+        assert_eq!(tasks[1].repetitions, 5);
+        assert_ne!(tasks[0].task_type, tasks[1].task_type);
+        // Comparison votes are the slower (harder) type.
+        let comparison = planned
+            .task_set
+            .type_by_id(planned.comparison_type.unwrap())
+            .unwrap();
+        let filter = planned
+            .task_set
+            .type_by_id(planned.filter_type.unwrap())
+            .unwrap();
+        assert!(comparison.processing_rate < filter.processing_rate);
+    }
+
+    #[test]
+    fn to_task_set_with_single_kind_registers_one_type() {
+        let plan = VotePlan {
+            tasks: vec![VotingTask {
+                kind: VoteKind::Comparison {
+                    a: ItemId(0),
+                    b: ItemId(1),
+                },
+                repetitions: 2,
+            }],
+        };
+        let planned = plan.to_task_set(VoteDifficulty::default()).unwrap();
+        assert!(planned.comparison_type.is_some());
+        assert!(planned.filter_type.is_none());
+        assert_eq!(planned.task_set.types().len(), 1);
+    }
+
+    #[test]
+    fn empty_plan_is_rejected() {
+        assert!(VotePlan::default()
+            .to_task_set(VoteDifficulty::default())
+            .is_err());
+    }
+
+    #[test]
+    fn tallies_majority() {
+        let tallies = VoteTallies {
+            yes_votes: vec![2, 1, 3],
+        };
+        assert!(tallies.majority(0, 3));
+        assert!(!tallies.majority(1, 3));
+        assert!(tallies.majority(2, 5));
+        // exact tie counts as positive
+        let tie = VoteTallies { yes_votes: vec![2] };
+        assert!(tie.majority(0, 4));
+    }
+}

@@ -1,0 +1,209 @@
+//! Crowd-powered sorting via pairwise comparison votes.
+//!
+//! The planner issues one comparison task per item pair (the "compare all
+//! pairs" strategy of human-powered sorts, which the "next votes" planner of
+//! the max/sort literature refines); each pair is asked `repetitions` times.
+//! Aggregation ranks items by their Copeland score — the number of pairwise
+//! majorities an item wins — which is robust to occasional vote errors.
+
+use crate::item::{ItemId, ItemSet};
+use crate::operators::{VoteKind, VotePlan, VoteTallies, VotingTask};
+use crowdtune_core::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The crowd sort operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrowdSort {
+    /// Number of answer repetitions per comparison.
+    pub repetitions: u32,
+}
+
+impl CrowdSort {
+    /// Creates a sort operator asking each pair `repetitions` times.
+    pub fn new(repetitions: u32) -> Result<Self> {
+        if repetitions == 0 {
+            return Err(CoreError::invalid_argument(
+                "at least one repetition per comparison is required".to_owned(),
+            ));
+        }
+        Ok(CrowdSort { repetitions })
+    }
+
+    /// Plans the comparison tasks for the item set (all unordered pairs, in
+    /// lexicographic order).
+    pub fn plan(&self, items: &ItemSet) -> Result<VotePlan> {
+        if items.len() < 2 {
+            return Err(CoreError::invalid_argument(
+                "sorting requires at least two items".to_owned(),
+            ));
+        }
+        let ids = items.ids();
+        let mut tasks = Vec::with_capacity(ids.len() * (ids.len() - 1) / 2);
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                tasks.push(VotingTask {
+                    kind: VoteKind::Comparison {
+                        a: ids[i],
+                        b: ids[j],
+                    },
+                    repetitions: self.repetitions,
+                });
+            }
+        }
+        Ok(VotePlan { tasks })
+    }
+
+    /// Aggregates the collected votes into a descending ranking (best item
+    /// first) using Copeland scores; ties break towards the lower item id for
+    /// determinism.
+    pub fn aggregate(&self, plan: &VotePlan, tallies: &VoteTallies, items: &ItemSet) -> Result<Vec<ItemId>> {
+        if tallies.yes_votes.len() != plan.tasks.len() {
+            return Err(CoreError::invalid_argument(format!(
+                "expected {} tallies, got {}",
+                plan.tasks.len(),
+                tallies.yes_votes.len()
+            )));
+        }
+        let mut wins = vec![0u32; items.len()];
+        for (index, task) in plan.tasks.iter().enumerate() {
+            let VoteKind::Comparison { a, b } = task.kind else {
+                return Err(CoreError::invalid_argument(
+                    "sort plans contain only comparison tasks".to_owned(),
+                ));
+            };
+            if tallies.majority(index, task.repetitions) {
+                wins[a.0 as usize] += 1;
+            } else {
+                wins[b.0 as usize] += 1;
+            }
+        }
+        let mut ranking = items.ids();
+        ranking.sort_by(|x, y| {
+            wins[y.0 as usize]
+                .cmp(&wins[x.0 as usize])
+                .then_with(|| x.0.cmp(&y.0))
+        });
+        Ok(ranking)
+    }
+
+    /// Kendall-tau-style agreement between a produced ranking and the ground
+    /// truth: the fraction of item pairs ordered identically (1.0 = perfect).
+    pub fn ranking_agreement(ranking: &[ItemId], ground_truth: &[ItemId]) -> f64 {
+        if ranking.len() < 2 || ranking.len() != ground_truth.len() {
+            return if ranking == ground_truth { 1.0 } else { 0.0 };
+        }
+        let position = |ids: &[ItemId], id: ItemId| ids.iter().position(|&x| x == id);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..ranking.len() {
+            for j in (i + 1)..ranking.len() {
+                let a = ranking[i];
+                let b = ranking[j];
+                let (Some(ga), Some(gb)) = (position(ground_truth, a), position(ground_truth, b))
+                else {
+                    return 0.0;
+                };
+                total += 1;
+                if ga < gb {
+                    agree += 1;
+                }
+            }
+        }
+        agree as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{CrowdOracle, OracleConfig};
+
+    fn items() -> ItemSet {
+        ItemSet::from_scores(vec![("a", 1.0), ("b", 4.0), ("c", 2.0), ("d", 8.0)])
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(CrowdSort::new(0).is_err());
+        assert!(CrowdSort::new(3).is_ok());
+    }
+
+    #[test]
+    fn plan_covers_all_pairs() {
+        let sort = CrowdSort::new(2).unwrap();
+        let plan = sort.plan(&items()).unwrap();
+        assert_eq!(plan.len(), 6); // C(4, 2)
+        assert!(plan.tasks.iter().all(|t| t.repetitions == 2));
+        // planning needs at least two items
+        let single = ItemSet::from_scores(vec![("x", 1.0)]);
+        assert!(sort.plan(&single).is_err());
+    }
+
+    #[test]
+    fn aggregate_with_perfect_votes_recovers_ground_truth() {
+        let set = items();
+        let sort = CrowdSort::new(1).unwrap();
+        let plan = sort.plan(&set).unwrap();
+        // Perfect tallies: vote "a above b" exactly when the latent score
+        // says so.
+        let yes_votes = plan
+            .tasks
+            .iter()
+            .map(|t| {
+                let VoteKind::Comparison { a, b } = t.kind else { unreachable!() };
+                u32::from(set.get(a).unwrap().latent_score >= set.get(b).unwrap().latent_score)
+            })
+            .collect();
+        let tallies = VoteTallies { yes_votes };
+        let ranking = sort.aggregate(&plan, &tallies, &set).unwrap();
+        assert_eq!(ranking, set.ground_truth_ranking());
+        assert!((CrowdSort::ranking_agreement(&ranking, &set.ground_truth_ranking()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_validates_tally_shape() {
+        let set = items();
+        let sort = CrowdSort::new(1).unwrap();
+        let plan = sort.plan(&set).unwrap();
+        let tallies = VoteTallies { yes_votes: vec![1] };
+        assert!(sort.aggregate(&plan, &tallies, &set).is_err());
+    }
+
+    #[test]
+    fn reliable_crowd_sorts_well_with_repetition() {
+        let set = items();
+        let sort = CrowdSort::new(5).unwrap();
+        let plan = sort.plan(&set).unwrap();
+        let mut oracle = CrowdOracle::new(OracleConfig {
+            reliability: 2.0,
+            seed: 3,
+        });
+        let yes_votes = plan
+            .tasks
+            .iter()
+            .map(|t| {
+                let VoteKind::Comparison { a, b } = t.kind else { unreachable!() };
+                oracle.compare_votes(set.get(a).unwrap(), set.get(b).unwrap(), t.repetitions)
+            })
+            .collect();
+        let tallies = VoteTallies { yes_votes };
+        let ranking = sort.aggregate(&plan, &tallies, &set).unwrap();
+        let agreement = CrowdSort::ranking_agreement(&ranking, &set.ground_truth_ranking());
+        assert!(agreement >= 0.8, "agreement {agreement}");
+    }
+
+    #[test]
+    fn ranking_agreement_edge_cases() {
+        let a = vec![ItemId(0), ItemId(1)];
+        let b = vec![ItemId(1), ItemId(0)];
+        assert!((CrowdSort::ranking_agreement(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((CrowdSort::ranking_agreement(&a, &b) - 0.0).abs() < 1e-12);
+        // mismatched lengths
+        assert_eq!(CrowdSort::ranking_agreement(&a, &a[..1]), 0.0);
+        // unknown item
+        let c = vec![ItemId(7), ItemId(1)];
+        assert_eq!(CrowdSort::ranking_agreement(&c, &a), 0.0);
+        // single-element rankings agree trivially
+        assert_eq!(CrowdSort::ranking_agreement(&a[..1], &a[..1]), 1.0);
+    }
+}

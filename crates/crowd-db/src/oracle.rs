@@ -1,0 +1,206 @@
+//! The crowd oracle: generates worker votes for atomic voting tasks.
+//!
+//! The HPU abstraction notes that human answers are error-prone. We model a
+//! vote's correctness with a logistic (Bradley–Terry-like) noise model: the
+//! probability of a correct pairwise comparison grows with the latent score
+//! gap between the two items, and the probability of a correct filter vote
+//! grows with the distance from the threshold. A `reliability` parameter
+//! scales both, so tests can dial the crowd from near-random to near-perfect.
+
+use crate::item::{Item, ItemSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the crowd's answer quality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Scale of the logistic noise model; larger values mean more reliable
+    /// answers for the same score gap.
+    pub reliability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            reliability: 2.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A stateful vote generator.
+#[derive(Debug)]
+pub struct CrowdOracle {
+    config: OracleConfig,
+    rng: StdRng,
+}
+
+impl CrowdOracle {
+    /// Creates an oracle.
+    pub fn new(config: OracleConfig) -> Self {
+        CrowdOracle {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// Probability that a single comparison vote correctly identifies the
+    /// higher-scoring of two items: `σ(reliability · |gap|)`.
+    pub fn comparison_accuracy(&self, a: &Item, b: &Item) -> f64 {
+        let gap = (a.latent_score - b.latent_score).abs();
+        logistic(self.config.reliability * gap)
+    }
+
+    /// One pairwise comparison vote: returns `true` if the worker says `a`
+    /// ranks above `b`.
+    pub fn compare_vote(&mut self, a: &Item, b: &Item) -> bool {
+        let truth = a.latent_score >= b.latent_score;
+        let correct = self.rng.gen::<f64>() < self.comparison_accuracy(a, b);
+        if correct {
+            truth
+        } else {
+            !truth
+        }
+    }
+
+    /// One filter vote: returns `true` if the worker says the item's score
+    /// reaches the threshold.
+    pub fn filter_vote(&mut self, item: &Item, threshold: f64) -> bool {
+        let truth = item.latent_score >= threshold;
+        let gap = (item.latent_score - threshold).abs();
+        let accuracy = logistic(self.config.reliability * gap);
+        let correct = self.rng.gen::<f64>() < accuracy;
+        if correct {
+            truth
+        } else {
+            !truth
+        }
+    }
+
+    /// `repetitions` independent comparison votes; returns the number of
+    /// votes for `a` ranking above `b`.
+    pub fn compare_votes(&mut self, a: &Item, b: &Item, repetitions: u32) -> u32 {
+        (0..repetitions)
+            .filter(|_| self.compare_vote(a, b))
+            .count() as u32
+    }
+
+    /// `repetitions` independent filter votes; returns the number of "keep"
+    /// votes.
+    pub fn filter_votes(&mut self, item: &Item, threshold: f64, repetitions: u32) -> u32 {
+        (0..repetitions)
+            .filter(|_| self.filter_vote(item, threshold))
+            .count() as u32
+    }
+
+    /// Convenience accessor used by the executor to fetch items by id.
+    pub fn item<'a>(&self, items: &'a ItemSet, id: crate::item::ItemId) -> Option<&'a Item> {
+        items.get(id)
+    }
+}
+
+fn logistic(x: f64) -> f64 {
+    // Accuracy of a binary vote is at least 1/2 (a worker guessing randomly)
+    // and approaches 1 as the evidence grows.
+    0.5 + 0.5 * (1.0 - (-x).exp()) / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items() -> ItemSet {
+        ItemSet::from_scores(vec![("low", 1.0), ("high", 5.0), ("mid", 3.0)])
+    }
+
+    #[test]
+    fn accuracy_grows_with_score_gap() {
+        let set = items();
+        let oracle = CrowdOracle::new(OracleConfig::default());
+        let low = set.get(crate::item::ItemId(0)).unwrap();
+        let high = set.get(crate::item::ItemId(1)).unwrap();
+        let mid = set.get(crate::item::ItemId(2)).unwrap();
+        let easy = oracle.comparison_accuracy(low, high);
+        let harder = oracle.comparison_accuracy(mid, high);
+        assert!(easy > harder);
+        assert!(easy <= 1.0 && harder >= 0.5);
+        // identical items are a coin flip
+        assert!((oracle.comparison_accuracy(low, low) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_votes_favour_the_truth() {
+        let set = items();
+        let mut oracle = CrowdOracle::new(OracleConfig {
+            reliability: 2.0,
+            seed: 7,
+        });
+        let low = set.get(crate::item::ItemId(0)).unwrap();
+        let high = set.get(crate::item::ItemId(1)).unwrap();
+        let votes_for_high = oracle.compare_votes(high, low, 1_000);
+        assert!(
+            votes_for_high > 900,
+            "high should usually beat low, got {votes_for_high}/1000"
+        );
+        let votes_for_low = oracle.compare_votes(low, high, 1_000);
+        assert!(votes_for_low < 100);
+    }
+
+    #[test]
+    fn filter_votes_track_threshold_distance() {
+        let set = items();
+        let mut oracle = CrowdOracle::new(OracleConfig {
+            reliability: 3.0,
+            seed: 3,
+        });
+        let low = set.get(crate::item::ItemId(0)).unwrap();
+        let high = set.get(crate::item::ItemId(1)).unwrap();
+        let keep_high = oracle.filter_votes(high, 2.0, 500);
+        let keep_low = oracle.filter_votes(low, 2.0, 500);
+        assert!(keep_high > 450);
+        assert!(keep_low < 100);
+    }
+
+    #[test]
+    fn unreliable_crowd_approaches_coin_flips() {
+        let set = items();
+        let mut oracle = CrowdOracle::new(OracleConfig {
+            reliability: 0.0,
+            seed: 11,
+        });
+        let low = set.get(crate::item::ItemId(0)).unwrap();
+        let high = set.get(crate::item::ItemId(1)).unwrap();
+        let votes = oracle.compare_votes(high, low, 2_000);
+        let fraction = f64::from(votes) / 2_000.0;
+        assert!((fraction - 0.5).abs() < 0.05, "fraction {fraction}");
+    }
+
+    #[test]
+    fn oracle_is_deterministic_per_seed() {
+        let set = items();
+        let low = set.get(crate::item::ItemId(0)).unwrap();
+        let high = set.get(crate::item::ItemId(1)).unwrap();
+        let run = |seed| {
+            let mut oracle = CrowdOracle::new(OracleConfig {
+                reliability: 1.0,
+                seed,
+            });
+            oracle.compare_votes(high, low, 100)
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn item_accessor_delegates_to_set() {
+        let set = items();
+        let oracle = CrowdOracle::new(OracleConfig::default());
+        assert_eq!(
+            oracle.item(&set, crate::item::ItemId(2)).unwrap().label,
+            "mid"
+        );
+        assert!(oracle.item(&set, crate::item::ItemId(9)).is_none());
+    }
+}

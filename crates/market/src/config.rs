@@ -1,0 +1,212 @@
+//! Simulation configuration: market mode, worker-choice model and run limits.
+//!
+//! Two simulation modes are provided:
+//!
+//! * [`MarketMode::IndependentRates`] — each posted repetition is accepted
+//!   after an `Exp(λo(payment))` delay, exactly the abstraction the paper's
+//!   analysis uses (Section 3.1.2 collapses worker arrivals and task
+//!   preference into a single joint rate `λ·p(c)`). This mode is the fastest
+//!   and is what the synthetic experiments of Figure 2 use.
+//! * [`MarketMode::WorkerPool`] — an explicit Poisson stream of workers who
+//!   inspect the currently posted repetitions and choose according to a
+//!   utility-based [`ChoiceModel`]. This mode reproduces the *mechanism* that
+//!   justifies the exponential model and is used for the AMT-replay
+//!   experiments (Figures 3–5), where the joint acceptance rate emerges from
+//!   worker behaviour rather than being specified directly.
+
+use serde::{Deserialize, Serialize};
+
+/// How an arriving worker decides which posted repetition (if any) to take.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChoiceModel {
+    /// The worker always takes the highest-paying posted repetition.
+    /// The joint acceptance rate is then simply the worker arrival rate for
+    /// the best-paying task.
+    BestPaying,
+    /// The worker considers the highest-paying posted repetition and accepts
+    /// it with probability `min(1, price · scale)`; otherwise she leaves.
+    /// With arrival rate `Λ` this reproduces the paper's joint rate
+    /// `λo(c) = Λ · p(c)` with `p(c) = min(1, c·scale)`.
+    PriceProbability {
+        /// Probability of acceptance per payment unit.
+        scale: f64,
+    },
+    /// The worker has a private reservation wage drawn from an exponential
+    /// distribution with the given mean; she takes the best-paying posted
+    /// repetition whose payment meets or exceeds her wage, if any.
+    ReservationWage {
+        /// Mean reservation wage in payment units.
+        mean_wage: f64,
+    },
+}
+
+impl Default for ChoiceModel {
+    fn default() -> Self {
+        ChoiceModel::PriceProbability { scale: 0.05 }
+    }
+}
+
+/// Configuration of the explicit worker-pool mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerPoolConfig {
+    /// Poisson arrival rate of workers (workers per second).
+    pub arrival_rate: f64,
+    /// How arriving workers choose tasks.
+    pub choice: ChoiceModel,
+}
+
+impl Default for WorkerPoolConfig {
+    fn default() -> Self {
+        WorkerPoolConfig {
+            arrival_rate: 0.05,
+            choice: ChoiceModel::default(),
+        }
+    }
+}
+
+/// Which acceptance mechanism the simulator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MarketMode {
+    /// Sample each repetition's on-hold delay directly from
+    /// `Exp(λo(payment))` using the problem's rate model.
+    IndependentRates,
+    /// Simulate an explicit Poisson worker stream with a choice model.
+    WorkerPool(WorkerPoolConfig),
+}
+
+impl Default for MarketMode {
+    fn default() -> Self {
+        MarketMode::IndependentRates
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarketConfig {
+    /// Acceptance mechanism.
+    pub mode: MarketMode,
+    /// RNG seed; every run with the same seed, inputs and configuration is
+    /// bit-for-bit reproducible.
+    pub seed: u64,
+    /// Whether to simulate the processing phase (phase 2). Disabling it
+    /// reproduces the phase-1-only objectives of Scenarios I and II.
+    pub include_processing: bool,
+    /// Whether repetitions of one task run sequentially (the paper's model:
+    /// answers are "submitted one after another"). When `false`, all
+    /// repetitions of every task are posted at time zero in parallel.
+    pub sequential_repetitions: bool,
+    /// Hard cap on processed events, guarding against configurations where
+    /// tasks can never be accepted (e.g. a worker pool whose choice model
+    /// rejects every price).
+    pub max_events: u64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            mode: MarketMode::IndependentRates,
+            seed: 42,
+            include_processing: true,
+            sequential_repetitions: true,
+            max_events: 10_000_000,
+        }
+    }
+}
+
+impl MarketConfig {
+    /// Independent-rates configuration with the given seed.
+    pub fn independent(seed: u64) -> Self {
+        MarketConfig {
+            seed,
+            ..MarketConfig::default()
+        }
+    }
+
+    /// Worker-pool configuration with the given seed and pool parameters.
+    pub fn worker_pool(seed: u64, pool: WorkerPoolConfig) -> Self {
+        MarketConfig {
+            mode: MarketMode::WorkerPool(pool),
+            seed,
+            ..MarketConfig::default()
+        }
+    }
+
+    /// Returns a copy with the processing phase disabled.
+    #[must_use]
+    pub fn without_processing(mut self) -> Self {
+        self.include_processing = false;
+        self
+    }
+
+    /// Returns a copy with parallel (non-sequential) repetitions.
+    #[must_use]
+    pub fn with_parallel_repetitions(mut self) -> Self {
+        self.sequential_repetitions = false;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let config = MarketConfig::default();
+        assert_eq!(config.mode, MarketMode::IndependentRates);
+        assert!(config.include_processing);
+        assert!(config.sequential_repetitions);
+        assert!(config.max_events > 1_000);
+        assert_eq!(
+            ChoiceModel::default(),
+            ChoiceModel::PriceProbability { scale: 0.05 }
+        );
+        let pool = WorkerPoolConfig::default();
+        assert!(pool.arrival_rate > 0.0);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let config = MarketConfig::independent(7)
+            .without_processing()
+            .with_parallel_repetitions()
+            .with_seed(9);
+        assert_eq!(config.seed, 9);
+        assert!(!config.include_processing);
+        assert!(!config.sequential_repetitions);
+
+        let pool = WorkerPoolConfig {
+            arrival_rate: 0.2,
+            choice: ChoiceModel::BestPaying,
+        };
+        let config = MarketConfig::worker_pool(3, pool);
+        match config.mode {
+            MarketMode::WorkerPool(p) => {
+                assert!((p.arrival_rate - 0.2).abs() < 1e-12);
+                assert_eq!(p.choice, ChoiceModel::BestPaying);
+            }
+            other => panic!("unexpected mode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let config = MarketConfig::worker_pool(
+            11,
+            WorkerPoolConfig {
+                arrival_rate: 0.4,
+                choice: ChoiceModel::ReservationWage { mean_wage: 5.0 },
+            },
+        );
+        let json = serde_json::to_string(&config).unwrap();
+        let back: MarketConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+    }
+}

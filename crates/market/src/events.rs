@@ -1,0 +1,198 @@
+//! The discrete-event queue driving the marketplace simulation.
+//!
+//! Events are processed in time order; ties are broken by insertion order so
+//! runs are fully deterministic for a given seed.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifies one repetition of one task within a simulated job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RepetitionId {
+    /// Index of the task in the task set (task order).
+    pub task: usize,
+    /// Zero-based repetition index within the task.
+    pub repetition: u32,
+}
+
+impl RepetitionId {
+    /// Creates a repetition id.
+    pub fn new(task: usize, repetition: u32) -> Self {
+        RepetitionId { task, repetition }
+    }
+}
+
+/// Identifier of a simulated worker (worker-pool mode only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub u64);
+
+/// The kinds of events the simulator processes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A task repetition is published to the market and starts its on-hold
+    /// phase.
+    Publish(RepetitionId),
+    /// A worker arrives at the marketplace (worker-pool mode).
+    WorkerArrival,
+    /// A posted repetition is accepted; in independent-rates mode this is
+    /// scheduled directly from the exponential acceptance delay.
+    Accept {
+        /// The repetition being accepted.
+        repetition: RepetitionId,
+        /// The accepting worker, if the simulation tracks individual workers.
+        worker: Option<WorkerId>,
+    },
+    /// The answer for a repetition is submitted back to the requester.
+    Submit {
+        /// The repetition being completed.
+        repetition: RepetitionId,
+        /// The worker who completed it, if tracked.
+        worker: Option<WorkerId>,
+    },
+}
+
+/// An event bound to a point on the simulation clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ScheduledEvent {
+    time: SimTime,
+    sequence: u64,
+    event: Event,
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // breaking ties by insertion sequence for determinism.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_sequence: u64,
+    scheduled: u64,
+    processed: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.scheduled += 1;
+        self.heap.push(ScheduledEvent {
+            time,
+            sequence,
+            event,
+        });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| {
+            self.processed += 1;
+            (s.time, s.event)
+        })
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events scheduled so far (used as a runaway guard).
+    pub fn scheduled_count(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total number of events processed so far.
+    pub fn processed_count(&self) -> u64 {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(3.0), Event::WorkerArrival);
+        q.schedule(SimTime::new(1.0), Event::Publish(RepetitionId::new(0, 0)));
+        q.schedule(SimTime::new(2.0), Event::Publish(RepetitionId::new(1, 0)));
+        assert_eq!(q.len(), 3);
+        let (t1, e1) = q.pop().unwrap();
+        assert_eq!(t1, SimTime::new(1.0));
+        assert_eq!(e1, Event::Publish(RepetitionId::new(0, 0)));
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, SimTime::new(2.0));
+        let (t3, e3) = q.pop().unwrap();
+        assert_eq!(t3, SimTime::new(3.0));
+        assert_eq!(e3, Event::WorkerArrival);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_count(), 3);
+        assert_eq!(q.processed_count(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_preserve_insertion_order() {
+        let mut q = EventQueue::new();
+        for task in 0..5 {
+            q.schedule(SimTime::new(1.0), Event::Publish(RepetitionId::new(task, 0)));
+        }
+        for task in 0..5 {
+            let (_, e) = q.pop().unwrap();
+            assert_eq!(e, Event::Publish(RepetitionId::new(task, 0)));
+        }
+    }
+
+    #[test]
+    fn repetition_id_ordering() {
+        let a = RepetitionId::new(0, 1);
+        let b = RepetitionId::new(1, 0);
+        assert!(a < b);
+        assert_eq!(RepetitionId::new(2, 3), RepetitionId::new(2, 3));
+    }
+
+    #[test]
+    fn queue_counts_survive_interleaved_use() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(1.0), Event::WorkerArrival);
+        let _ = q.pop();
+        q.schedule(SimTime::new(2.0), Event::WorkerArrival);
+        q.schedule(SimTime::new(0.5), Event::WorkerArrival);
+        // Later-scheduled but earlier-timed event pops first.
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::new(0.5));
+        assert_eq!(q.scheduled_count(), 3);
+        assert_eq!(q.processed_count(), 2);
+        assert_eq!(q.len(), 1);
+    }
+}

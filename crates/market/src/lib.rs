@@ -1,0 +1,54 @@
+//! # crowdtune-market
+//!
+//! A discrete-event simulator of a crowdsourcing marketplace, the substrate
+//! that stands in for the live Amazon Mechanical Turk workforce used in the
+//! evaluation of *"Tuning Crowdsourced Human Computation"* (ICDE 2017).
+//!
+//! The paper models the market as follows (Section 3): workers arrive as a
+//! Poisson process; an arriving worker accepts a posted task with a
+//! price-dependent probability, so the acceptance (on-hold) time of a task is
+//! exponential with joint rate `λo(c)`; the subsequent processing time is
+//! exponential with a rate `λp` determined by the task's difficulty and
+//! independent of the payment. This crate simulates that mechanism at two
+//! levels of fidelity:
+//!
+//! * **independent-rates mode** samples each repetition's on-hold delay
+//!   directly from `Exp(λo(payment))` — the exact abstraction the tuning
+//!   analysis assumes;
+//! * **worker-pool mode** simulates the explicit Poisson worker stream with a
+//!   configurable choice model, letting the exponential acceptance behaviour
+//!   *emerge* — this is the mode used to replay the paper's AMT experiments
+//!   (Figures 3–5).
+//!
+//! ```
+//! use crowdtune_core::prelude::*;
+//! use crowdtune_market::{MarketConfig, MarketSimulator};
+//!
+//! let mut tasks = TaskSet::new();
+//! let vote = tasks.add_type("pairwise vote", 2.0).unwrap();
+//! tasks.add_tasks(vote, 3, 5).unwrap();
+//! let allocation = Allocation::uniform(&tasks.repetition_counts(), Payment::units(2));
+//!
+//! let simulator = MarketSimulator::new(MarketConfig::independent(42));
+//! let report = simulator
+//!     .run(&tasks, &allocation, &LinearRate::unit_slope())
+//!     .unwrap();
+//! assert!(report.is_complete(&tasks.repetition_counts()));
+//! println!("job finished after {:.2} simulated seconds", report.job_latency());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod events;
+pub mod metrics;
+pub mod simulator;
+pub mod time;
+
+pub use config::{ChoiceModel, MarketConfig, MarketMode, WorkerPoolConfig};
+pub use events::{Event, EventQueue, RepetitionId, WorkerId};
+pub use metrics::{RepetitionRecord, SimulationReport};
+pub use simulator::MarketSimulator;
+pub use time::SimTime;

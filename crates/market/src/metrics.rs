@@ -1,0 +1,230 @@
+//! Simulation outputs: per-repetition timing records and job-level reports.
+//!
+//! Every repetition passes through the two phases defined in Section 3.2 of
+//! the paper: it is **published**, later **accepted** by a worker (on-hold
+//! phase), and finally **submitted** (processing phase). The report records
+//! the three timestamps for every repetition, from which all figures of the
+//! evaluation (arrival traces, per-phase latencies, job latency) are derived.
+
+use crate::events::{RepetitionId, WorkerId};
+use crate::time::SimTime;
+use crowdtune_core::stats::RunningStats;
+use serde::{Deserialize, Serialize};
+
+/// The full timing record of one task repetition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepetitionRecord {
+    /// Which repetition this record describes.
+    pub id: RepetitionId,
+    /// Payment promised for this repetition, in units.
+    pub payment: u64,
+    /// When the repetition was published.
+    pub published: SimTime,
+    /// When a worker accepted it.
+    pub accepted: SimTime,
+    /// When the answer was submitted.
+    pub submitted: SimTime,
+    /// The worker who completed it, when the simulation tracks workers.
+    pub worker: Option<WorkerId>,
+}
+
+impl RepetitionRecord {
+    /// On-hold latency (publish → accept).
+    pub fn on_hold_latency(&self) -> f64 {
+        self.accepted.since(self.published)
+    }
+
+    /// Processing latency (accept → submit).
+    pub fn processing_latency(&self) -> f64 {
+        self.submitted.since(self.accepted)
+    }
+
+    /// Overall latency (publish → submit).
+    pub fn overall_latency(&self) -> f64 {
+        self.submitted.since(self.published)
+    }
+}
+
+/// The outcome of simulating one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimulationReport {
+    /// Timing records for every repetition, in completion order.
+    pub records: Vec<RepetitionRecord>,
+    /// Number of tasks in the simulated job.
+    pub task_count: usize,
+    /// Total payment promised across all repetitions.
+    pub total_payment: u64,
+    /// Number of events the simulator processed.
+    pub events_processed: u64,
+}
+
+impl SimulationReport {
+    /// Completion time of a task: the submission time of its last repetition
+    /// (tasks start at time zero, so this equals the task latency). Returns
+    /// `None` if the task has no recorded repetitions.
+    pub fn task_completion(&self, task: usize) -> Option<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.id.task == task)
+            .map(|r| r.submitted.as_secs())
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+
+    /// The job latency: the latest submission over all tasks (the maximum of
+    /// the per-task latencies, Section 3.2.1).
+    pub fn job_latency(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.submitted.as_secs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The job latency counting only the on-hold phases: the latest
+    /// acceptance over all repetitions. Used for the phase-1-only scenarios.
+    pub fn job_on_hold_latency(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.accepted.as_secs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-repetition on-hold latencies.
+    pub fn on_hold_latencies(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.on_hold_latency()).collect()
+    }
+
+    /// Per-repetition processing latencies.
+    pub fn processing_latencies(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.processing_latency())
+            .collect()
+    }
+
+    /// Acceptance epochs sorted ascending — the "worker arrival moments"
+    /// trace of Figure 3.
+    pub fn acceptance_epochs(&self) -> Vec<f64> {
+        let mut epochs: Vec<f64> = self.records.iter().map(|r| r.accepted.as_secs()).collect();
+        epochs.sort_by(|a, b| a.partial_cmp(b).expect("times are never NaN"));
+        epochs
+    }
+
+    /// Summary statistics of the on-hold latencies.
+    pub fn on_hold_stats(&self) -> RunningStats {
+        let mut stats = RunningStats::new();
+        stats.extend(self.records.iter().map(|r| r.on_hold_latency()));
+        stats
+    }
+
+    /// Summary statistics of the processing latencies.
+    pub fn processing_stats(&self) -> RunningStats {
+        let mut stats = RunningStats::new();
+        stats.extend(self.records.iter().map(|r| r.processing_latency()));
+        stats
+    }
+
+    /// Records belonging to one task, sorted by repetition index.
+    pub fn task_records(&self, task: usize) -> Vec<&RepetitionRecord> {
+        let mut records: Vec<&RepetitionRecord> =
+            self.records.iter().filter(|r| r.id.task == task).collect();
+        records.sort_by_key(|r| r.id.repetition);
+        records
+    }
+
+    /// Whether every repetition of every task completed.
+    pub fn is_complete(&self, expected_repetitions: &[u32]) -> bool {
+        if self.task_count != expected_repetitions.len() {
+            return false;
+        }
+        expected_repetitions.iter().enumerate().all(|(task, &reps)| {
+            self.records.iter().filter(|r| r.id.task == task).count() == reps as usize
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(task: usize, rep: u32, publish: f64, accept: f64, submit: f64) -> RepetitionRecord {
+        RepetitionRecord {
+            id: RepetitionId::new(task, rep),
+            payment: 2,
+            published: SimTime::new(publish),
+            accepted: SimTime::new(accept),
+            submitted: SimTime::new(submit),
+            worker: None,
+        }
+    }
+
+    fn sample_report() -> SimulationReport {
+        SimulationReport {
+            records: vec![
+                record(0, 0, 0.0, 1.0, 2.0),
+                record(0, 1, 2.0, 3.5, 4.0),
+                record(1, 0, 0.0, 0.5, 3.0),
+            ],
+            task_count: 2,
+            total_payment: 6,
+            events_processed: 9,
+        }
+    }
+
+    #[test]
+    fn per_record_latencies() {
+        let r = record(0, 0, 1.0, 2.5, 4.0);
+        assert!((r.on_hold_latency() - 1.5).abs() < 1e-12);
+        assert!((r.processing_latency() - 1.5).abs() < 1e-12);
+        assert!((r.overall_latency() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn job_and_task_level_latencies() {
+        let report = sample_report();
+        assert!((report.task_completion(0).unwrap() - 4.0).abs() < 1e-12);
+        assert!((report.task_completion(1).unwrap() - 3.0).abs() < 1e-12);
+        assert_eq!(report.task_completion(7), None);
+        assert!((report.job_latency() - 4.0).abs() < 1e-12);
+        assert!((report.job_on_hold_latency() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_vectors_and_stats() {
+        let report = sample_report();
+        assert_eq!(report.on_hold_latencies(), vec![1.0, 1.5, 0.5]);
+        assert_eq!(report.processing_latencies(), vec![1.0, 0.5, 2.5]);
+        assert_eq!(report.acceptance_epochs(), vec![0.5, 1.0, 3.5]);
+        let stats = report.on_hold_stats();
+        assert_eq!(stats.count(), 3);
+        assert!((stats.mean().unwrap() - 1.0).abs() < 1e-12);
+        assert!(report.processing_stats().mean().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn task_records_are_sorted_by_repetition() {
+        let mut report = sample_report();
+        report.records.swap(0, 1);
+        let records = report.task_records(0);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id.repetition, 0);
+        assert_eq!(records[1].id.repetition, 1);
+        assert!(report.task_records(5).is_empty());
+    }
+
+    #[test]
+    fn completeness_check() {
+        let report = sample_report();
+        assert!(report.is_complete(&[2, 1]));
+        assert!(!report.is_complete(&[2, 2]));
+        assert!(!report.is_complete(&[2]));
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let report = SimulationReport::default();
+        assert_eq!(report.job_latency(), 0.0);
+        assert_eq!(report.job_on_hold_latency(), 0.0);
+        assert!(report.acceptance_epochs().is_empty());
+        assert!(report.on_hold_stats().is_empty());
+    }
+}

@@ -1,0 +1,617 @@
+//! The discrete-event marketplace simulator.
+//!
+//! Given a [`TaskSet`], an [`Allocation`] and an on-hold [`RateModel`], the
+//! simulator plays out the life of every task repetition — publish, accept,
+//! submit — on a continuous clock and returns a [`SimulationReport`] with the
+//! full timing trace. Two acceptance mechanisms are supported (see
+//! [`MarketMode`]): sampling the paper's exponential on-hold model directly,
+//! or simulating an explicit Poisson stream of workers with a choice model.
+
+use crate::config::{ChoiceModel, MarketConfig, MarketMode, WorkerPoolConfig};
+use crate::events::{Event, EventQueue, RepetitionId, WorkerId};
+use crate::metrics::{RepetitionRecord, SimulationReport};
+use crate::time::SimTime;
+use crowdtune_core::error::{CoreError, Result};
+use crowdtune_core::money::Allocation;
+use crowdtune_core::rate::RateModel;
+use crowdtune_core::stats::Exponential;
+use crowdtune_core::task::TaskSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// The marketplace simulator. Cheap to clone; all run state is local to
+/// [`MarketSimulator::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MarketSimulator {
+    config: MarketConfig,
+}
+
+impl MarketSimulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: MarketConfig) -> Self {
+        MarketSimulator { config }
+    }
+
+    /// The configuration the simulator runs with.
+    pub fn config(&self) -> &MarketConfig {
+        &self.config
+    }
+
+    /// Simulates one job and returns its timing report.
+    pub fn run<M: RateModel + ?Sized>(
+        &self,
+        task_set: &TaskSet,
+        allocation: &Allocation,
+        rate_model: &M,
+    ) -> Result<SimulationReport> {
+        task_set.validate()?;
+        if allocation.task_count() != task_set.len() {
+            return Err(CoreError::invalid_argument(format!(
+                "allocation covers {} tasks but the task set has {}",
+                allocation.task_count(),
+                task_set.len()
+            )));
+        }
+        for (index, task) in task_set.tasks().iter().enumerate() {
+            if allocation.task_payments(index).len() != task.repetitions as usize {
+                return Err(CoreError::invalid_argument(format!(
+                    "task {index}: allocation provides {} payments for {} repetitions",
+                    allocation.task_payments(index).len(),
+                    task.repetitions
+                )));
+            }
+        }
+
+        let mut run = SimulationRun::new(self.config, task_set, allocation, rate_model)?;
+        run.execute()
+    }
+
+    /// Runs `trials` independent simulations (seeds `seed`, `seed + 1`, ...)
+    /// and returns all reports.
+    pub fn run_many<M: RateModel + ?Sized>(
+        &self,
+        task_set: &TaskSet,
+        allocation: &Allocation,
+        rate_model: &M,
+        trials: usize,
+    ) -> Result<Vec<SimulationReport>> {
+        (0..trials)
+            .map(|trial| {
+                let config = self.config.with_seed(self.config.seed.wrapping_add(trial as u64));
+                MarketSimulator::new(config).run(task_set, allocation, rate_model)
+            })
+            .collect()
+    }
+
+    /// Mean simulated job latency (both phases) over `trials` runs.
+    pub fn mean_job_latency<M: RateModel + ?Sized>(
+        &self,
+        task_set: &TaskSet,
+        allocation: &Allocation,
+        rate_model: &M,
+        trials: usize,
+    ) -> Result<f64> {
+        if trials == 0 {
+            return Err(CoreError::invalid_argument(
+                "at least one trial is required".to_owned(),
+            ));
+        }
+        let reports = self.run_many(task_set, allocation, rate_model, trials)?;
+        Ok(reports.iter().map(|r| r.job_latency()).sum::<f64>() / trials as f64)
+    }
+
+    /// Mean simulated on-hold-only job latency over `trials` runs.
+    pub fn mean_on_hold_latency<M: RateModel + ?Sized>(
+        &self,
+        task_set: &TaskSet,
+        allocation: &Allocation,
+        rate_model: &M,
+        trials: usize,
+    ) -> Result<f64> {
+        if trials == 0 {
+            return Err(CoreError::invalid_argument(
+                "at least one trial is required".to_owned(),
+            ));
+        }
+        let reports = self.run_many(task_set, allocation, rate_model, trials)?;
+        Ok(reports.iter().map(|r| r.job_on_hold_latency()).sum::<f64>() / trials as f64)
+    }
+}
+
+/// Mutable state of a single simulation run.
+struct SimulationRun<'a, M: RateModel + ?Sized> {
+    config: MarketConfig,
+    task_set: &'a TaskSet,
+    allocation: &'a Allocation,
+    rate_model: &'a M,
+    rng: StdRng,
+    queue: EventQueue,
+    /// Posted but not yet accepted repetitions (worker-pool mode).
+    posted: BTreeMap<RepetitionId, u64>,
+    publish_times: BTreeMap<RepetitionId, SimTime>,
+    accept_times: BTreeMap<RepetitionId, SimTime>,
+    records: Vec<RepetitionRecord>,
+    remaining: usize,
+    next_worker: u64,
+}
+
+impl<'a, M: RateModel + ?Sized> SimulationRun<'a, M> {
+    fn new(
+        config: MarketConfig,
+        task_set: &'a TaskSet,
+        allocation: &'a Allocation,
+        rate_model: &'a M,
+    ) -> Result<Self> {
+        Ok(SimulationRun {
+            config,
+            task_set,
+            allocation,
+            rate_model,
+            rng: StdRng::seed_from_u64(config.seed),
+            queue: EventQueue::new(),
+            posted: BTreeMap::new(),
+            publish_times: BTreeMap::new(),
+            accept_times: BTreeMap::new(),
+            records: Vec::with_capacity(task_set.total_repetitions() as usize),
+            remaining: task_set.total_repetitions() as usize,
+            next_worker: 0,
+        })
+    }
+
+    fn payment_of(&self, rep: RepetitionId) -> u64 {
+        self.allocation.task_payments(rep.task)[rep.repetition as usize].as_units()
+    }
+
+    fn on_hold_rate_for(&self, rep: RepetitionId) -> Result<f64> {
+        let payment = self.payment_of(rep);
+        let rate = self.rate_model.on_hold_rate(payment as f64);
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(CoreError::InvalidRate { payment, rate });
+        }
+        Ok(rate)
+    }
+
+    fn processing_rate_for(&self, rep: RepetitionId) -> Result<f64> {
+        let task = &self.task_set.tasks()[rep.task];
+        let ty = self
+            .task_set
+            .type_by_id(task.task_type)
+            .ok_or_else(|| CoreError::invalid_argument("task references unknown type"))?;
+        Ok(ty.processing_rate)
+    }
+
+    fn sample_exponential(&mut self, rate: f64) -> Result<f64> {
+        Ok(Exponential::new(rate)?.sample(&mut self.rng))
+    }
+
+    fn execute(&mut self) -> Result<SimulationReport> {
+        // Publish the initial wave of repetitions.
+        for (task_index, task) in self.task_set.tasks().iter().enumerate() {
+            let reps_to_publish = if self.config.sequential_repetitions {
+                1
+            } else {
+                task.repetitions
+            };
+            for rep in 0..reps_to_publish {
+                self.queue.schedule(
+                    SimTime::ZERO,
+                    Event::Publish(RepetitionId::new(task_index, rep)),
+                );
+            }
+        }
+        // Worker-pool mode: start the Poisson arrival stream.
+        if let MarketMode::WorkerPool(pool) = self.config.mode {
+            let first = self.sample_exponential(pool.arrival_rate)?;
+            self.queue
+                .schedule(SimTime::ZERO.after(first), Event::WorkerArrival);
+        }
+
+        while self.remaining > 0 {
+            if self.queue.processed_count() > self.config.max_events {
+                return Err(CoreError::invalid_argument(format!(
+                    "simulation exceeded the event budget of {} events; the market \
+                     configuration likely prevents tasks from ever being accepted",
+                    self.config.max_events
+                )));
+            }
+            let (now, event) = self.queue.pop().ok_or_else(|| {
+                CoreError::invalid_argument(
+                    "event queue drained before every repetition completed".to_owned(),
+                )
+            })?;
+            match event {
+                Event::Publish(rep) => self.handle_publish(now, rep)?,
+                Event::WorkerArrival => self.handle_worker_arrival(now)?,
+                Event::Accept { repetition, worker } => {
+                    self.handle_accept(now, repetition, worker)?
+                }
+                Event::Submit { repetition, worker } => {
+                    self.handle_submit(now, repetition, worker)?
+                }
+            }
+        }
+
+        Ok(SimulationReport {
+            records: std::mem::take(&mut self.records),
+            task_count: self.task_set.len(),
+            total_payment: self.allocation.total_spent(),
+            events_processed: self.queue.processed_count(),
+        })
+    }
+
+    fn handle_publish(&mut self, now: SimTime, rep: RepetitionId) -> Result<()> {
+        self.publish_times.insert(rep, now);
+        match self.config.mode {
+            MarketMode::IndependentRates => {
+                let rate = self.on_hold_rate_for(rep)?;
+                let delay = self.sample_exponential(rate)?;
+                self.queue.schedule(
+                    now.after(delay),
+                    Event::Accept {
+                        repetition: rep,
+                        worker: None,
+                    },
+                );
+            }
+            MarketMode::WorkerPool(_) => {
+                self.posted.insert(rep, self.payment_of(rep));
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_worker_arrival(&mut self, now: SimTime) -> Result<()> {
+        let MarketMode::WorkerPool(pool) = self.config.mode else {
+            return Ok(());
+        };
+        // Schedule the next arrival first so the Poisson stream never stops
+        // while work remains.
+        let gap = self.sample_exponential(pool.arrival_rate)?;
+        self.queue.schedule(now.after(gap), Event::WorkerArrival);
+
+        if let Some(rep) = self.choose_repetition(&pool)? {
+            self.posted.remove(&rep);
+            let worker = WorkerId(self.next_worker);
+            self.next_worker += 1;
+            self.queue.schedule(
+                now,
+                Event::Accept {
+                    repetition: rep,
+                    worker: Some(worker),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Applies the worker's choice model to the currently posted repetitions.
+    fn choose_repetition(&mut self, pool: &WorkerPoolConfig) -> Result<Option<RepetitionId>> {
+        if self.posted.is_empty() {
+            return Ok(None);
+        }
+        // Best-paying posted repetition, ties broken by id for determinism.
+        let (&best_rep, &best_payment) = self
+            .posted
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .expect("posted is non-empty");
+        let accept = match pool.choice {
+            ChoiceModel::BestPaying => true,
+            ChoiceModel::PriceProbability { scale } => {
+                let probability = (best_payment as f64 * scale).clamp(0.0, 1.0);
+                self.rng.gen::<f64>() < probability
+            }
+            ChoiceModel::ReservationWage { mean_wage } => {
+                if !(mean_wage.is_finite() && mean_wage > 0.0) {
+                    return Err(CoreError::invalid_argument(format!(
+                        "mean reservation wage must be positive, got {mean_wage}"
+                    )));
+                }
+                let wage = Exponential::new(1.0 / mean_wage)?.sample(&mut self.rng);
+                best_payment as f64 >= wage
+            }
+        };
+        Ok(accept.then_some(best_rep))
+    }
+
+    fn handle_accept(
+        &mut self,
+        now: SimTime,
+        rep: RepetitionId,
+        worker: Option<WorkerId>,
+    ) -> Result<()> {
+        self.accept_times.insert(rep, now);
+        let delay = if self.config.include_processing {
+            let rate = self.processing_rate_for(rep)?;
+            self.sample_exponential(rate)?
+        } else {
+            0.0
+        };
+        self.queue.schedule(
+            now.after(delay),
+            Event::Submit {
+                repetition: rep,
+                worker,
+            },
+        );
+        Ok(())
+    }
+
+    fn handle_submit(
+        &mut self,
+        now: SimTime,
+        rep: RepetitionId,
+        worker: Option<WorkerId>,
+    ) -> Result<()> {
+        let published = *self
+            .publish_times
+            .get(&rep)
+            .ok_or_else(|| CoreError::invalid_argument("submit for unpublished repetition"))?;
+        let accepted = *self
+            .accept_times
+            .get(&rep)
+            .ok_or_else(|| CoreError::invalid_argument("submit for unaccepted repetition"))?;
+        self.records.push(RepetitionRecord {
+            id: rep,
+            payment: self.payment_of(rep),
+            published,
+            accepted,
+            submitted: now,
+            worker,
+        });
+        self.remaining -= 1;
+
+        // Sequential repetitions: the next answer round starts once this one
+        // is returned.
+        if self.config.sequential_repetitions {
+            let task = &self.task_set.tasks()[rep.task];
+            let next = rep.repetition + 1;
+            if next < task.repetitions {
+                self.queue
+                    .schedule(now, Event::Publish(RepetitionId::new(rep.task, next)));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_core::money::Payment;
+    use crowdtune_core::rate::LinearRate;
+
+    fn simple_set(tasks: usize, reps: u32, lp: f64) -> TaskSet {
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", lp).unwrap();
+        set.add_tasks(ty, reps, tasks).unwrap();
+        set
+    }
+
+    #[test]
+    fn rejects_mismatched_allocation() {
+        let set = simple_set(2, 2, 1.0);
+        let sim = MarketSimulator::new(MarketConfig::independent(1));
+        let bad = Allocation::uniform(&[2], Payment::units(1));
+        assert!(sim.run(&set, &bad, &LinearRate::unit_slope()).is_err());
+        let bad_reps = Allocation::uniform(&[2, 3], Payment::units(1));
+        assert!(sim.run(&set, &bad_reps, &LinearRate::unit_slope()).is_err());
+        assert!(sim
+            .mean_job_latency(&set, &bad, &LinearRate::unit_slope(), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn independent_mode_completes_every_repetition() {
+        let set = simple_set(4, 3, 2.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(2));
+        let sim = MarketSimulator::new(MarketConfig::independent(7));
+        let report = sim.run(&set, &alloc, &LinearRate::unit_slope()).unwrap();
+        assert!(report.is_complete(&set.repetition_counts()));
+        assert_eq!(report.records.len(), 12);
+        assert_eq!(report.total_payment, 24);
+        assert!(report.job_latency() > 0.0);
+        // Every record respects publish <= accept <= submit.
+        for r in &report.records {
+            assert!(r.on_hold_latency() >= 0.0);
+            assert!(r.processing_latency() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let set = simple_set(3, 2, 1.5);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(3));
+        let model = LinearRate::unit_slope();
+        let a = MarketSimulator::new(MarketConfig::independent(5))
+            .run(&set, &alloc, &model)
+            .unwrap();
+        let b = MarketSimulator::new(MarketConfig::independent(5))
+            .run(&set, &alloc, &model)
+            .unwrap();
+        assert_eq!(a, b);
+        let c = MarketSimulator::new(MarketConfig::independent(6))
+            .run(&set, &alloc, &model)
+            .unwrap();
+        assert_ne!(a.job_latency(), c.job_latency());
+    }
+
+    #[test]
+    fn sequential_repetitions_do_not_overlap() {
+        let set = simple_set(1, 4, 2.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(2));
+        let sim = MarketSimulator::new(MarketConfig::independent(11));
+        let report = sim.run(&set, &alloc, &LinearRate::unit_slope()).unwrap();
+        let records = report.task_records(0);
+        assert_eq!(records.len(), 4);
+        for pair in records.windows(2) {
+            // the next repetition is published exactly when the previous one
+            // is submitted
+            assert!(pair[1].published >= pair[0].submitted);
+        }
+    }
+
+    #[test]
+    fn parallel_repetitions_all_publish_at_time_zero() {
+        let set = simple_set(2, 3, 2.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(2));
+        let sim = MarketSimulator::new(
+            MarketConfig::independent(3).with_parallel_repetitions(),
+        );
+        let report = sim.run(&set, &alloc, &LinearRate::unit_slope()).unwrap();
+        assert!(report
+            .records
+            .iter()
+            .all(|r| r.published == SimTime::ZERO));
+    }
+
+    #[test]
+    fn disabling_processing_gives_zero_phase2() {
+        let set = simple_set(2, 2, 0.5);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(2));
+        let sim = MarketSimulator::new(MarketConfig::independent(9).without_processing());
+        let report = sim.run(&set, &alloc, &LinearRate::unit_slope()).unwrap();
+        assert!(report
+            .processing_latencies()
+            .iter()
+            .all(|&d| d.abs() < 1e-12));
+    }
+
+    #[test]
+    fn empirical_mean_matches_analytic_for_single_task() {
+        // One task, one repetition: E[L] = 1/λo + 1/λp.
+        let set = simple_set(1, 1, 2.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(4));
+        let model = LinearRate::new(1.0, 0.0).unwrap(); // λo = payment = 4
+        let sim = MarketSimulator::new(MarketConfig::independent(123));
+        let mean = sim.mean_job_latency(&set, &alloc, &model, 20_000).unwrap();
+        let expected = 0.25 + 0.5;
+        assert!(
+            (mean - expected).abs() / expected < 0.03,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn on_hold_only_mean_matches_harmonic_formula() {
+        // n parallel single-rep tasks: E[max on-hold] = H_n / λo.
+        let set = simple_set(5, 1, 10.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(3));
+        let model = LinearRate::new(1.0, 0.0).unwrap(); // λo = 3
+        let sim = MarketSimulator::new(MarketConfig::independent(55).without_processing());
+        let mean = sim
+            .mean_on_hold_latency(&set, &alloc, &model, 20_000)
+            .unwrap();
+        let expected = crowdtune_core::stats::harmonic(5) / 3.0;
+        assert!(
+            (mean - expected).abs() / expected < 0.03,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn worker_pool_mode_completes_and_tracks_workers() {
+        let set = simple_set(3, 2, 1.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(10));
+        let pool = WorkerPoolConfig {
+            arrival_rate: 2.0,
+            choice: ChoiceModel::BestPaying,
+        };
+        let sim = MarketSimulator::new(MarketConfig::worker_pool(17, pool));
+        let report = sim.run(&set, &alloc, &LinearRate::unit_slope()).unwrap();
+        assert!(report.is_complete(&set.repetition_counts()));
+        assert!(report.records.iter().all(|r| r.worker.is_some()));
+    }
+
+    #[test]
+    fn worker_pool_effective_rate_tracks_acceptance_probability() {
+        // With arrival rate Λ and acceptance probability p, the acceptance
+        // epochs of a single posted task follow Exp(Λ·p): the mean on-hold
+        // latency of a 1-task job should be ≈ 1/(Λ·p).
+        let set = simple_set(1, 1, 100.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(5));
+        let pool = WorkerPoolConfig {
+            arrival_rate: 1.0,
+            choice: ChoiceModel::PriceProbability { scale: 0.1 }, // p = 0.5
+        };
+        let sim = MarketSimulator::new(MarketConfig::worker_pool(31, pool).without_processing());
+        let reports = sim
+            .run_many(&set, &alloc, &LinearRate::unit_slope(), 5_000)
+            .unwrap();
+        let mean: f64 = reports
+            .iter()
+            .map(|r| r.records[0].on_hold_latency())
+            .sum::<f64>()
+            / reports.len() as f64;
+        let expected = 1.0 / (1.0 * 0.5);
+        assert!(
+            (mean - expected).abs() / expected < 0.06,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn higher_payment_attracts_workers_first_in_pool_mode() {
+        // Two single-rep tasks with very different payments: the richer task
+        // should be accepted earlier on average.
+        let set = simple_set(2, 1, 10.0);
+        let alloc = Allocation::from_matrix(vec![
+            vec![Payment::units(1)],
+            vec![Payment::units(20)],
+        ]);
+        let pool = WorkerPoolConfig {
+            arrival_rate: 1.0,
+            choice: ChoiceModel::ReservationWage { mean_wage: 5.0 },
+        };
+        let sim = MarketSimulator::new(MarketConfig::worker_pool(71, pool).without_processing());
+        let reports = sim
+            .run_many(&set, &alloc, &LinearRate::unit_slope(), 2_000)
+            .unwrap();
+        let mut mean_poor = 0.0;
+        let mut mean_rich = 0.0;
+        for report in &reports {
+            for r in &report.records {
+                if r.id.task == 0 {
+                    mean_poor += r.on_hold_latency();
+                } else {
+                    mean_rich += r.on_hold_latency();
+                }
+            }
+        }
+        assert!(
+            mean_rich < mean_poor,
+            "rich task should be picked up faster ({mean_rich} vs {mean_poor})"
+        );
+    }
+
+    #[test]
+    fn event_budget_guard_detects_stuck_markets() {
+        let set = simple_set(1, 1, 1.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(1));
+        // Acceptance probability 0: no worker ever takes the task.
+        let pool = WorkerPoolConfig {
+            arrival_rate: 10.0,
+            choice: ChoiceModel::PriceProbability { scale: 0.0 },
+        };
+        let mut config = MarketConfig::worker_pool(1, pool);
+        config.max_events = 1_000;
+        let sim = MarketSimulator::new(config);
+        let err = sim
+            .run(&set, &alloc, &LinearRate::unit_slope())
+            .unwrap_err();
+        assert!(err.to_string().contains("event budget"));
+    }
+
+    #[test]
+    fn invalid_reservation_wage_is_rejected() {
+        let set = simple_set(1, 1, 1.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(1));
+        let pool = WorkerPoolConfig {
+            arrival_rate: 1.0,
+            choice: ChoiceModel::ReservationWage { mean_wage: 0.0 },
+        };
+        let sim = MarketSimulator::new(MarketConfig::worker_pool(1, pool));
+        assert!(sim.run(&set, &alloc, &LinearRate::unit_slope()).is_err());
+    }
+}

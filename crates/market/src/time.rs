@@ -1,0 +1,131 @@
+//! Simulation time.
+//!
+//! The simulator uses a continuous clock measured in seconds (an `f64`
+//! wrapped in [`SimTime`]); event ordering requires a total order, so the
+//! wrapper rejects NaN at construction and implements `Ord`.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the simulation clock, in seconds since the simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The simulation origin.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point. Panics on NaN (a NaN clock would corrupt the
+    /// event queue ordering) — negative values are allowed so durations can
+    /// be represented as differences.
+    pub fn new(seconds: f64) -> Self {
+        assert!(!seconds.is_nan(), "simulation time must not be NaN");
+        SimTime(seconds)
+    }
+
+    /// Seconds since the simulation start.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Duration from `earlier` to `self`, in seconds.
+    pub fn since(self, earlier: SimTime) -> f64 {
+        self.0 - earlier.0
+    }
+
+    /// This time advanced by `seconds`.
+    #[must_use]
+    pub fn after(self, seconds: f64) -> SimTime {
+        SimTime::new(self.0 + seconds)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // NaN is rejected at construction, so total_cmp and partial_cmp agree.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        self.after(rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = self.after(rhs);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.since(rhs)
+    }
+}
+
+impl From<f64> for SimTime {
+    fn from(seconds: f64) -> Self {
+        SimTime::new(seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::new(2.5);
+        assert!((t.as_secs() - 2.5).abs() < 1e-12);
+        assert_eq!(SimTime::ZERO.as_secs(), 0.0);
+        assert_eq!(SimTime::from(1.0), SimTime::new(1.0));
+        assert_eq!(format!("{t}"), "t=2.500s");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_is_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut times = vec![SimTime::new(3.0), SimTime::new(1.0), SimTime::new(2.0)];
+        times.sort();
+        assert_eq!(times, vec![SimTime::new(1.0), SimTime::new(2.0), SimTime::new(3.0)]);
+        assert!(SimTime::new(1.0) < SimTime::new(1.5));
+        assert!(SimTime::new(-1.0) < SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(10.0);
+        assert_eq!(t.after(5.0), SimTime::new(15.0));
+        assert_eq!(t + 2.0, SimTime::new(12.0));
+        let mut m = t;
+        m += 1.5;
+        assert_eq!(m, SimTime::new(11.5));
+        assert!((SimTime::new(7.0) - SimTime::new(3.0) - 4.0).abs() < 1e-12);
+        assert!((SimTime::new(7.0).since(SimTime::new(10.0)) + 3.0).abs() < 1e-12);
+    }
+}

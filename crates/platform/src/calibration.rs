@@ -1,0 +1,186 @@
+//! Market calibration reproducing the parameters the paper measured on
+//! Amazon Mechanical Turk (Section 5.2.2).
+//!
+//! The paper probed image-filter tasks at rewards $0.05–$0.12 and estimated
+//! on-hold rates of 0.0038, 0.0062, 0.0121 and 0.0131 s⁻¹, reading them as
+//! support for the Linearity Hypothesis. It also varied the difficulty (the
+//! number of internal binary votes per HIT, 4–8) and observed that harder
+//! tasks are taken up more slowly (Figure 5a) and processed more slowly
+//! (Figure 5b). This module packages those observations into a calibration
+//! object the campaign runner and the figure binaries use, so that the
+//! simulated replay of the AMT experiments has the same *shape* as the
+//! paper's measurements.
+
+use crowdtune_core::error::Result;
+use crowdtune_core::inference::{fit_linearity, LinearityFit, PriceRatePoint};
+use crowdtune_core::rate::FnRate;
+use serde::{Deserialize, Serialize};
+
+/// Calibrated AMT-like market parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AmtCalibration {
+    /// `(reward_cents, on_hold_rate)` observations for the reference
+    /// difficulty (4 internal votes).
+    pub reward_rate_points: Vec<(f64, f64)>,
+    /// Multiplicative slow-down of the on-hold rate per extra internal vote
+    /// beyond the reference difficulty (Figure 5a: harder tasks attract
+    /// workers more slowly).
+    pub uptake_slowdown_per_vote: f64,
+    /// Base processing time in seconds for the reference difficulty
+    /// (Figure 5b: roughly tens of seconds).
+    pub base_processing_secs: f64,
+    /// Additional processing seconds per internal vote beyond the reference.
+    pub processing_secs_per_vote: f64,
+    /// Reference difficulty (number of internal votes) the reward/rate table
+    /// was measured at.
+    pub reference_votes: u32,
+}
+
+impl AmtCalibration {
+    /// The calibration extracted from the paper's Section 5.2.2 numbers.
+    pub fn paper() -> Self {
+        AmtCalibration {
+            reward_rate_points: vec![
+                (5.0, 0.0038),
+                (8.0, 0.0062),
+                (10.0, 0.0121),
+                (12.0, 0.0131),
+            ],
+            uptake_slowdown_per_vote: 0.12,
+            base_processing_secs: 60.0,
+            processing_secs_per_vote: 25.0,
+            reference_votes: 4,
+        }
+    }
+
+    /// Least-squares fit of the reward → on-hold-rate relationship (the
+    /// Linearity Hypothesis applied to the calibrated points).
+    pub fn linearity_fit(&self) -> Result<LinearityFit> {
+        let points: Vec<PriceRatePoint> = self
+            .reward_rate_points
+            .iter()
+            .map(|&(price, rate)| PriceRatePoint::new(price, rate))
+            .collect();
+        fit_linearity(&points)
+    }
+
+    /// On-hold clock rate for a HIT paying `reward_cents` with `votes`
+    /// internal binary votes. The reward dependence follows the fitted linear
+    /// model; the difficulty dependence divides the rate by
+    /// `1 + slowdown · (votes − reference)` (clamped so easier-than-reference
+    /// tasks never get an unboundedly large boost).
+    pub fn on_hold_rate(&self, reward_cents: f64, votes: u32) -> Result<f64> {
+        let fit = self.linearity_fit()?;
+        // The fitted line has a negative intercept, so at very small rewards
+        // it would predict a non-positive rate. Rather than clamping to a
+        // constant floor (which would create a flat region the tuning DP
+        // cannot climb out of), fall back to a gently increasing floor so the
+        // rate stays strictly monotone in the reward.
+        let floor = 0.1 * fit.k.max(1e-6) * reward_cents + 1e-6;
+        let base = fit.predict(reward_cents).max(floor);
+        let delta = f64::from(votes) - f64::from(self.reference_votes);
+        let slowdown = (1.0 + self.uptake_slowdown_per_vote * delta).max(0.25);
+        Ok(base / slowdown)
+    }
+
+    /// Mean processing time (seconds) for a HIT with `votes` internal votes.
+    pub fn mean_processing_secs(&self, votes: u32) -> f64 {
+        let delta = (f64::from(votes) - f64::from(self.reference_votes)).max(0.0);
+        self.base_processing_secs + self.processing_secs_per_vote * delta
+    }
+
+    /// Processing clock rate `λp` for a HIT with `votes` internal votes.
+    pub fn processing_rate(&self, votes: u32) -> f64 {
+        1.0 / self.mean_processing_secs(votes)
+    }
+
+    /// Builds a [`RateModel`] (payment in cents → on-hold rate) for a fixed
+    /// difficulty, suitable for handing to the tuning algorithms and the
+    /// market simulator.
+    pub fn rate_model_for_votes(&self, votes: u32) -> Result<FnRate> {
+        let fit = self.linearity_fit()?;
+        let delta = f64::from(votes) - f64::from(self.reference_votes);
+        let slowdown = (1.0 + self.uptake_slowdown_per_vote * delta).max(0.25);
+        let label = format!("AMT calibration ({votes} votes)");
+        Ok(FnRate::new(label, move |cents| {
+            let floor = 0.1 * fit.k.max(1e-6) * cents + 1e-6;
+            fit.predict(cents).max(floor) / slowdown
+        }))
+    }
+}
+
+impl Default for AmtCalibration {
+    fn default() -> Self {
+        AmtCalibration::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_core::rate::RateModel;
+
+    #[test]
+    fn paper_calibration_supports_linearity() {
+        let cal = AmtCalibration::paper();
+        let fit = cal.linearity_fit().unwrap();
+        assert!(fit.k > 0.0);
+        assert!(fit.r_squared > 0.85);
+    }
+
+    #[test]
+    fn on_hold_rate_increases_with_reward() {
+        let cal = AmtCalibration::paper();
+        let low = cal.on_hold_rate(5.0, 4).unwrap();
+        let high = cal.on_hold_rate(12.0, 4).unwrap();
+        assert!(high > low);
+        // The fitted rates should be in the ballpark of the measured ones.
+        assert!((low - 0.0038).abs() < 0.003, "low rate {low}");
+        assert!((high - 0.0131).abs() < 0.004, "high rate {high}");
+    }
+
+    #[test]
+    fn on_hold_rate_decreases_with_difficulty() {
+        let cal = AmtCalibration::paper();
+        let easy = cal.on_hold_rate(8.0, 4).unwrap();
+        let hard = cal.on_hold_rate(8.0, 8).unwrap();
+        assert!(hard < easy, "harder tasks must be taken up more slowly");
+    }
+
+    #[test]
+    fn processing_time_grows_with_difficulty() {
+        let cal = AmtCalibration::paper();
+        assert!(cal.mean_processing_secs(8) > cal.mean_processing_secs(4));
+        assert!(cal.processing_rate(8) < cal.processing_rate(4));
+        // easier-than-reference difficulties do not go below the base time
+        assert!((cal.mean_processing_secs(2) - cal.base_processing_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_model_matches_direct_evaluation() {
+        let cal = AmtCalibration::paper();
+        let model = cal.rate_model_for_votes(6).unwrap();
+        for cents in [5.0_f64, 8.0, 10.0, 12.0] {
+            let direct = cal.on_hold_rate(cents, 6).unwrap();
+            let via_model = model.on_hold_rate(cents);
+            assert!((direct - via_model).abs() < 1e-12);
+        }
+        assert!(model.describe().contains("6 votes"));
+    }
+
+    #[test]
+    fn rate_model_stays_positive_even_at_tiny_rewards() {
+        let cal = AmtCalibration::paper();
+        let model = cal.rate_model_for_votes(4).unwrap();
+        assert!(model.on_hold_rate(0.0) > 0.0);
+        assert!(model.on_hold_rate(1.0) > 0.0);
+    }
+
+    #[test]
+    fn calibration_serde_round_trip() {
+        let cal = AmtCalibration::paper();
+        let json = serde_json::to_string(&cal).unwrap();
+        let back: AmtCalibration = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cal);
+    }
+}

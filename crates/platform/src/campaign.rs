@@ -1,0 +1,497 @@
+//! Campaign execution: publishing a batch of HITs on the simulated market
+//! and collecting assignments with answers, timings and accuracy.
+//!
+//! This is the substrate that replays the paper's Mechanical Turk experiments
+//! (Section 5.2) without access to the live platform: HITs are grouped by
+//! difficulty (number of internal votes), each group is run through the
+//! `crowdtune-market` discrete-event simulator with an on-hold rate model
+//! calibrated to the paper's measurements, and every completed repetition is
+//! materialised as an [`Assignment`] whose answer comes from a sampled worker
+//! profile answering the actual dot-counting task.
+
+use crate::calibration::AmtCalibration;
+use crate::dotimage::DotImageGenerator;
+use crate::hit::{Assignment, AssignmentId, AssignmentStatus, Hit, HitId};
+use crate::workers::{vote_accuracy, WorkerPopulation};
+use crowdtune_core::error::{CoreError, Result};
+use crowdtune_core::money::{Allocation, Payment};
+use crowdtune_core::task::TaskSet;
+use crowdtune_market::{MarketConfig, MarketSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A homogeneous slice of a campaign: `count` HITs of the same difficulty,
+/// reward and repetition requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignTaskSpec {
+    /// How many HITs of this kind to publish.
+    pub count: usize,
+    /// Difficulty: number of internal binary votes per HIT.
+    pub votes: u32,
+    /// Dot-count threshold of the filter.
+    pub threshold: usize,
+    /// Reward per assignment, in cents.
+    pub reward_cents: u64,
+    /// Number of assignments (answer repetitions) requested per HIT.
+    pub repetitions: u32,
+}
+
+/// A full campaign: a list of homogeneous slices published simultaneously.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// The slices making up the campaign.
+    pub specs: Vec<CampaignTaskSpec>,
+    /// Seed controlling HIT generation, worker sampling and market timing.
+    pub seed: u64,
+}
+
+impl Campaign {
+    /// Creates a campaign from slices.
+    pub fn new(specs: Vec<CampaignTaskSpec>, seed: u64) -> Self {
+        Campaign { specs, seed }
+    }
+
+    /// Total number of HITs across all slices.
+    pub fn hit_count(&self) -> usize {
+        self.specs.iter().map(|s| s.count).sum()
+    }
+
+    /// Total reward promised if every assignment is approved, in cents.
+    pub fn max_cost_cents(&self) -> u64 {
+        self.specs
+            .iter()
+            .map(|s| s.count as u64 * s.reward_cents * u64::from(s.repetitions))
+            .sum()
+    }
+}
+
+/// The result of running a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CampaignOutcome {
+    /// The HITs that were published (in id order).
+    pub hits: Vec<Hit>,
+    /// Every completed assignment.
+    pub assignments: Vec<Assignment>,
+    /// Wall-clock latency of the whole campaign (last submission), seconds.
+    pub job_latency_secs: f64,
+    /// Total reward promised across all assignments, cents.
+    pub total_reward_cents: u64,
+}
+
+impl CampaignOutcome {
+    /// Assignments belonging to one HIT, in submission order.
+    pub fn assignments_for(&self, hit: HitId) -> Vec<&Assignment> {
+        let mut assignments: Vec<&Assignment> = self
+            .assignments
+            .iter()
+            .filter(|a| a.hit_id == hit)
+            .collect();
+        assignments.sort_by(|a, b| a.submitted_at_secs.total_cmp(&b.submitted_at_secs));
+        assignments
+    }
+
+    /// Completion time of a HIT: the submission time of its last assignment.
+    pub fn hit_completion_secs(&self, hit: HitId) -> Option<f64> {
+        self.assignments
+            .iter()
+            .filter(|a| a.hit_id == hit)
+            .map(|a| a.submitted_at_secs)
+            .fold(None, |acc, t| Some(acc.map_or(t, |m: f64| m.max(t))))
+    }
+
+    /// All phase-1 (on-hold) latencies.
+    pub fn phase1_latencies(&self) -> Vec<f64> {
+        self.assignments.iter().map(|a| a.on_hold_secs).collect()
+    }
+
+    /// All phase-2 (processing) latencies.
+    pub fn phase2_latencies(&self) -> Vec<f64> {
+        self.assignments.iter().map(|a| a.processing_secs).collect()
+    }
+
+    /// Acceptance epochs (absolute, seconds) sorted ascending — the worker
+    /// arrival trace of Figure 3.
+    pub fn acceptance_epochs(&self) -> Vec<f64> {
+        let mut epochs: Vec<f64> = self
+            .assignments
+            .iter()
+            .map(|a| a.submitted_at_secs - a.processing_secs)
+            .collect();
+        epochs.sort_by(f64::total_cmp);
+        epochs
+    }
+
+    /// Mean per-assignment accuracy, or `None` if there are no assignments.
+    pub fn mean_accuracy(&self) -> Option<f64> {
+        if self.assignments.is_empty() {
+            None
+        } else {
+            Some(
+                self.assignments.iter().map(|a| a.accuracy).sum::<f64>()
+                    / self.assignments.len() as f64,
+            )
+        }
+    }
+}
+
+/// Executes campaigns against the simulated market.
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    calibration: AmtCalibration,
+    population: WorkerPopulation,
+    market_config: MarketConfig,
+}
+
+impl CampaignRunner {
+    /// Creates a runner with the paper calibration, the default worker
+    /// population and an independent-rates market seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        CampaignRunner {
+            calibration: AmtCalibration::paper(),
+            population: WorkerPopulation::default_population(seed),
+            market_config: MarketConfig::independent(seed),
+        }
+    }
+
+    /// Overrides the market calibration.
+    pub fn with_calibration(mut self, calibration: AmtCalibration) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Overrides the worker population.
+    pub fn with_population(mut self, population: WorkerPopulation) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Overrides the market configuration.
+    pub fn with_market_config(mut self, config: MarketConfig) -> Self {
+        self.market_config = config;
+        self
+    }
+
+    /// The calibration in use.
+    pub fn calibration(&self) -> &AmtCalibration {
+        &self.calibration
+    }
+
+    /// Builds the HIT objects for a campaign (deterministic per seed).
+    pub fn materialise_hits(&self, campaign: &Campaign) -> Vec<Hit> {
+        let mut generator = DotImageGenerator::new(campaign.seed);
+        let mut hits = Vec::with_capacity(campaign.hit_count());
+        for spec in &campaign.specs {
+            for _ in 0..spec.count {
+                let hit_spec = generator.filter_hit(spec.votes, spec.threshold);
+                hits.push(Hit {
+                    id: HitId(hits.len() as u64),
+                    spec: hit_spec,
+                    reward_cents: spec.reward_cents,
+                    assignments_requested: spec.repetitions,
+                });
+            }
+        }
+        hits
+    }
+
+    /// Runs a campaign end to end.
+    pub fn run(&self, campaign: &Campaign) -> Result<CampaignOutcome> {
+        if campaign.specs.is_empty() || campaign.hit_count() == 0 {
+            return Err(CoreError::EmptyTaskSet);
+        }
+        let hits = self.materialise_hits(campaign);
+        let (assignments, job_latency) = self.execute_hits(&hits, campaign.seed)?;
+        let total_reward_cents = assignments
+            .iter()
+            .map(|a| {
+                hits[a.hit_id.0 as usize].reward_cents
+            })
+            .sum();
+        Ok(CampaignOutcome {
+            hits,
+            assignments,
+            job_latency_secs: job_latency,
+            total_reward_cents,
+        })
+    }
+
+    /// Publishes a pre-built list of HITs and returns the generated
+    /// assignments plus the campaign latency. Exposed so the sandbox API can
+    /// reuse the execution path.
+    pub fn execute_hits(&self, hits: &[Hit], seed: u64) -> Result<(Vec<Assignment>, f64)> {
+        if hits.is_empty() {
+            return Err(CoreError::EmptyTaskSet);
+        }
+        // Group HITs by difficulty so each group can use its own calibrated
+        // on-hold rate model and processing rate. Groups are independent and
+        // all start at time zero, so their traces can simply be merged.
+        let mut by_votes: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (index, hit) in hits.iter().enumerate() {
+            by_votes.entry(hit.votes()).or_default().push(index);
+        }
+
+        let mut answer_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut assignments: Vec<Assignment> = Vec::new();
+        let mut job_latency = 0.0_f64;
+
+        for (group_index, (votes, hit_indices)) in by_votes.iter().enumerate() {
+            let processing_rate = self.calibration.processing_rate(*votes);
+            let rate_model = self.calibration.rate_model_for_votes(*votes)?;
+
+            let mut task_set = TaskSet::new();
+            let ty = task_set.add_type(format!("filter-{votes}-votes"), processing_rate)?;
+            let mut allocation = Allocation::with_capacity(hit_indices.len());
+            for &hit_index in hit_indices {
+                let hit = &hits[hit_index];
+                task_set.add_task(ty, hit.assignments_requested)?;
+                allocation.push_task(vec![
+                    Payment::units(hit.reward_cents);
+                    hit.assignments_requested as usize
+                ]);
+            }
+
+            let config = self
+                .market_config
+                .with_seed(self.market_config.seed ^ (group_index as u64 + 1).wrapping_mul(0xa5a5));
+            let simulator = MarketSimulator::new(config);
+            let report = simulator.run(&task_set, &allocation, &rate_model)?;
+            job_latency = job_latency.max(report.job_latency());
+
+            for record in &report.records {
+                let hit = &hits[hit_indices[record.id.task]];
+                let worker = self.population.sample(&mut answer_rng);
+                let votes_cast = worker.answer_filter_hit(&hit.spec, &mut answer_rng);
+                let accuracy = vote_accuracy(&hit.spec, &votes_cast);
+                assignments.push(Assignment {
+                    id: AssignmentId(assignments.len() as u64),
+                    hit_id: hit.id,
+                    worker_id: worker.id,
+                    on_hold_secs: record.on_hold_latency(),
+                    processing_secs: record.processing_latency(),
+                    submitted_at_secs: record.submitted.as_secs(),
+                    votes: votes_cast,
+                    accuracy,
+                    status: AssignmentStatus::Submitted,
+                });
+            }
+        }
+        // Reassign assignment ids in submission order so downstream review
+        // order is deterministic and chronological.
+        assignments.sort_by(|a, b| a.submitted_at_secs.total_cmp(&b.submitted_at_secs));
+        for (index, assignment) in assignments.iter_mut().enumerate() {
+            assignment.id = AssignmentId(index as u64);
+        }
+        Ok((assignments, job_latency))
+    }
+
+    /// Tracks a single-slice campaign over a range of rewards, returning for
+    /// each reward the mean phase-1 latency — the reward-vs-latency sweep of
+    /// Figure 4.
+    pub fn reward_sweep(
+        &self,
+        rewards_cents: &[u64],
+        votes: u32,
+        threshold: usize,
+        repetitions: u32,
+        hits_per_reward: usize,
+        seed: u64,
+    ) -> Result<Vec<(u64, CampaignOutcome)>> {
+        rewards_cents
+            .iter()
+            .enumerate()
+            .map(|(index, &reward)| {
+                let campaign = Campaign::new(
+                    vec![CampaignTaskSpec {
+                        count: hits_per_reward,
+                        votes,
+                        threshold,
+                        reward_cents: reward,
+                        repetitions,
+                    }],
+                    seed.wrapping_add(index as u64 * 7919),
+                );
+                Ok((reward, self.run(&campaign)?))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_core::inference::estimate_rate_random_period;
+
+    fn small_campaign(seed: u64) -> Campaign {
+        Campaign::new(
+            vec![
+                CampaignTaskSpec {
+                    count: 3,
+                    votes: 4,
+                    threshold: 10,
+                    reward_cents: 5,
+                    repetitions: 2,
+                },
+                CampaignTaskSpec {
+                    count: 2,
+                    votes: 8,
+                    threshold: 10,
+                    reward_cents: 8,
+                    repetitions: 3,
+                },
+            ],
+            seed,
+        )
+    }
+
+    #[test]
+    fn campaign_shape_helpers() {
+        let campaign = small_campaign(1);
+        assert_eq!(campaign.hit_count(), 5);
+        assert_eq!(campaign.max_cost_cents(), 3 * 5 * 2 + 2 * 8 * 3);
+    }
+
+    #[test]
+    fn empty_campaign_is_rejected() {
+        let runner = CampaignRunner::new(1);
+        assert!(runner.run(&Campaign::new(vec![], 1)).is_err());
+        assert!(runner.execute_hits(&[], 1).is_err());
+    }
+
+    #[test]
+    fn run_produces_all_assignments_with_valid_fields() {
+        let runner = CampaignRunner::new(7);
+        let outcome = runner.run(&small_campaign(7)).unwrap();
+        assert_eq!(outcome.hits.len(), 5);
+        // 3 hits × 2 reps + 2 hits × 3 reps = 12 assignments
+        assert_eq!(outcome.assignments.len(), 12);
+        assert!(outcome.job_latency_secs > 0.0);
+        assert_eq!(outcome.total_reward_cents, 3 * 5 * 2 + 2 * 8 * 3);
+        for a in &outcome.assignments {
+            assert!(a.on_hold_secs >= 0.0);
+            assert!(a.processing_secs >= 0.0);
+            assert!((0.0..=1.0).contains(&a.accuracy));
+            assert_eq!(a.status, AssignmentStatus::Submitted);
+            let hit = &outcome.hits[a.hit_id.0 as usize];
+            assert_eq!(a.votes.len(), hit.votes() as usize);
+        }
+        // assignment ids are chronological
+        for pair in outcome.assignments.windows(2) {
+            assert!(pair[0].submitted_at_secs <= pair[1].submitted_at_secs);
+            assert!(pair[0].id < pair[1].id);
+        }
+        assert!(outcome.mean_accuracy().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn outcome_per_hit_queries() {
+        let runner = CampaignRunner::new(11);
+        let outcome = runner.run(&small_campaign(11)).unwrap();
+        let first = HitId(0);
+        let per_hit = outcome.assignments_for(first);
+        assert_eq!(per_hit.len(), 2);
+        let completion = outcome.hit_completion_secs(first).unwrap();
+        assert!(completion >= per_hit[0].submitted_at_secs);
+        assert_eq!(outcome.hit_completion_secs(HitId(99)), None);
+        assert_eq!(outcome.phase1_latencies().len(), 12);
+        assert_eq!(outcome.phase2_latencies().len(), 12);
+        let epochs = outcome.acceptance_epochs();
+        assert_eq!(epochs.len(), 12);
+        assert!(epochs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = CampaignRunner::new(3).run(&small_campaign(3)).unwrap();
+        let b = CampaignRunner::new(3).run(&small_campaign(3)).unwrap();
+        assert_eq!(a, b);
+        let c = CampaignRunner::new(4).run(&small_campaign(4)).unwrap();
+        assert_ne!(a.job_latency_secs, c.job_latency_secs);
+    }
+
+    #[test]
+    fn higher_rewards_reduce_on_hold_latency_in_expectation() {
+        // Figure 4's qualitative shape: increasing the reward shortens the
+        // on-hold phase.
+        let runner = CampaignRunner::new(5);
+        let sweep = runner
+            .reward_sweep(&[5, 12], 4, 10, 4, 30, 123)
+            .unwrap();
+        let mean = |outcome: &CampaignOutcome| {
+            let v = outcome.phase1_latencies();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let cheap = mean(&sweep[0].1);
+        let rich = mean(&sweep[1].1);
+        assert!(
+            rich < cheap,
+            "mean on-hold at 12c ({rich}) should beat 5c ({cheap})"
+        );
+    }
+
+    #[test]
+    fn harder_hits_take_longer_to_process() {
+        // Figure 5(b): more internal votes → longer processing phase.
+        let runner = CampaignRunner::new(9);
+        let easy = runner
+            .run(&Campaign::new(
+                vec![CampaignTaskSpec {
+                    count: 40,
+                    votes: 4,
+                    threshold: 10,
+                    reward_cents: 8,
+                    repetitions: 2,
+                }],
+                100,
+            ))
+            .unwrap();
+        let hard = runner
+            .run(&Campaign::new(
+                vec![CampaignTaskSpec {
+                    count: 40,
+                    votes: 8,
+                    threshold: 10,
+                    reward_cents: 8,
+                    repetitions: 2,
+                }],
+                101,
+            ))
+            .unwrap();
+        let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(hard.phase2_latencies()) > mean(easy.phase2_latencies()));
+    }
+
+    #[test]
+    fn acceptance_epochs_look_poissonian() {
+        // Figure 3: arrival epochs grow roughly linearly with the arrival
+        // order; equivalently, the MLE of the rate from the epochs should be
+        // close to the calibrated rate for the configuration.
+        let runner = CampaignRunner::new(21);
+        let campaign = Campaign::new(
+            vec![CampaignTaskSpec {
+                count: 1,
+                votes: 4,
+                threshold: 10,
+                reward_cents: 5,
+                repetitions: 60,
+            }],
+            55,
+        );
+        // With sequential repetitions and the processing phase suppressed,
+        // successive acceptance epochs form a renewal process with Exp(λo)
+        // gaps — i.e. the Poisson arrival trace the paper plots.
+        let runner = runner.with_market_config(MarketConfig::independent(55).without_processing());
+        let outcome = runner.run(&campaign).unwrap();
+        let epochs = outcome.acceptance_epochs();
+        let estimate = estimate_rate_random_period(&epochs).unwrap();
+        let expected = runner.calibration().on_hold_rate(5.0, 4).unwrap();
+        // 60 samples: allow a generous band, we only need the right order of
+        // magnitude and shape.
+        assert!(
+            estimate.rate > expected * 0.5 && estimate.rate < expected * 2.0,
+            "estimated {} vs calibrated {expected}",
+            estimate.rate
+        );
+    }
+}

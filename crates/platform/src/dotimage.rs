@@ -1,0 +1,218 @@
+//! The paper's image-filtering micro-task, reproduced synthetically.
+//!
+//! Section 5.2.1: workers are first shown a reference image with a known
+//! number of dots, then a set of images whose dot counts they must estimate;
+//! they filter out the images with fewer dots than a given threshold. Each
+//! image contributes one internal binary vote, so the number of images per
+//! HIT controls the task difficulty.
+//!
+//! We do not need pixel data — what matters for the experiments is the ground
+//! truth (dot count per image), the threshold, and the number of votes — but
+//! the generator still places dots at explicit coordinates so examples can
+//! render or export the stimuli if desired.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A synthetic dot image: a canvas with dots at known positions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DotImage {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Dot centre coordinates.
+    pub dots: Vec<(f32, f32)>,
+}
+
+impl DotImage {
+    /// The ground-truth dot count.
+    pub fn count(&self) -> usize {
+        self.dots.len()
+    }
+
+    /// Whether this image passes the filter (has at least `threshold` dots).
+    pub fn passes(&self, threshold: usize) -> bool {
+        self.count() >= threshold
+    }
+}
+
+/// One image-filtering HIT: a reference count, a set of candidate images and
+/// the filtering threshold. The number of candidate images is the number of
+/// internal binary votes and therefore the difficulty knob of Figure 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterHitSpec {
+    /// The reference image shown with its exact count.
+    pub reference: DotImage,
+    /// Candidate images the worker must filter.
+    pub candidates: Vec<DotImage>,
+    /// Keep images with at least this many dots.
+    pub threshold: usize,
+}
+
+impl FilterHitSpec {
+    /// Number of internal binary votes (one per candidate image).
+    pub fn votes(&self) -> u32 {
+        self.candidates.len() as u32
+    }
+
+    /// Ground-truth answer vector: `true` for images that pass the filter.
+    pub fn ground_truth(&self) -> Vec<bool> {
+        self.candidates
+            .iter()
+            .map(|img| img.passes(self.threshold))
+            .collect()
+    }
+}
+
+/// Deterministic generator of dot images and filter HITs.
+#[derive(Debug)]
+pub struct DotImageGenerator {
+    rng: StdRng,
+    width: u32,
+    height: u32,
+}
+
+impl DotImageGenerator {
+    /// Creates a generator with the given seed and a 400×300 canvas.
+    pub fn new(seed: u64) -> Self {
+        DotImageGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            width: 400,
+            height: 300,
+        }
+    }
+
+    /// Generates one image with exactly `count` dots at random positions.
+    pub fn image_with_count(&mut self, count: usize) -> DotImage {
+        let dots = (0..count)
+            .map(|_| {
+                (
+                    self.rng.gen_range(0.0..self.width as f32),
+                    self.rng.gen_range(0.0..self.height as f32),
+                )
+            })
+            .collect();
+        DotImage {
+            width: self.width,
+            height: self.height,
+            dots,
+        }
+    }
+
+    /// Generates one image with a dot count drawn uniformly from
+    /// `min_count..=max_count`.
+    pub fn image(&mut self, min_count: usize, max_count: usize) -> DotImage {
+        assert!(min_count <= max_count, "min_count must not exceed max_count");
+        let count = self.rng.gen_range(min_count..=max_count);
+        self.image_with_count(count)
+    }
+
+    /// Generates a filter HIT with the given number of candidate images
+    /// (internal votes). Dot counts straddle the threshold so both vote
+    /// outcomes occur.
+    pub fn filter_hit(&mut self, votes: u32, threshold: usize) -> FilterHitSpec {
+        let reference = self.image_with_count(threshold);
+        let candidates = (0..votes)
+            .map(|_| {
+                let low = threshold.saturating_sub(threshold / 2).max(1);
+                let high = threshold + threshold / 2 + 1;
+                self.image(low, high)
+            })
+            .collect();
+        FilterHitSpec {
+            reference,
+            candidates,
+            threshold,
+        }
+    }
+
+    /// Generates `count` filter HITs with identical difficulty.
+    pub fn filter_hits(&mut self, count: usize, votes: u32, threshold: usize) -> Vec<FilterHitSpec> {
+        (0..count).map(|_| self.filter_hit(votes, threshold)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_count_and_filtering() {
+        let mut generator = DotImageGenerator::new(1);
+        let img = generator.image_with_count(12);
+        assert_eq!(img.count(), 12);
+        assert!(img.passes(12));
+        assert!(img.passes(5));
+        assert!(!img.passes(13));
+        // dots stay on the canvas
+        assert!(img
+            .dots
+            .iter()
+            .all(|&(x, y)| x >= 0.0 && x < 400.0 && y >= 0.0 && y < 300.0));
+    }
+
+    #[test]
+    fn image_with_random_count_respects_bounds() {
+        let mut generator = DotImageGenerator::new(2);
+        for _ in 0..50 {
+            let img = generator.image(3, 9);
+            assert!((3..=9).contains(&img.count()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_count must not exceed")]
+    fn invalid_count_range_panics() {
+        let mut generator = DotImageGenerator::new(3);
+        let _ = generator.image(9, 3);
+    }
+
+    #[test]
+    fn filter_hit_structure() {
+        let mut generator = DotImageGenerator::new(4);
+        let hit = generator.filter_hit(6, 10);
+        assert_eq!(hit.votes(), 6);
+        assert_eq!(hit.reference.count(), 10);
+        assert_eq!(hit.ground_truth().len(), 6);
+        assert_eq!(hit.threshold, 10);
+    }
+
+    #[test]
+    fn filter_hits_batch_has_requested_shape() {
+        let mut generator = DotImageGenerator::new(5);
+        let hits = generator.filter_hits(8, 4, 12);
+        assert_eq!(hits.len(), 8);
+        assert!(hits.iter().all(|h| h.votes() == 4));
+    }
+
+    #[test]
+    fn ground_truth_contains_both_outcomes_over_many_hits() {
+        // The generator straddles the threshold, so across a batch we should
+        // see both pass and fail votes.
+        let mut generator = DotImageGenerator::new(6);
+        let hits = generator.filter_hits(30, 6, 10);
+        let mut any_pass = false;
+        let mut any_fail = false;
+        for hit in &hits {
+            for vote in hit.ground_truth() {
+                if vote {
+                    any_pass = true;
+                } else {
+                    any_fail = true;
+                }
+            }
+        }
+        assert!(any_pass && any_fail);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = DotImageGenerator::new(9).filter_hit(5, 8);
+        let b = DotImageGenerator::new(9).filter_hit(5, 8);
+        assert_eq!(a, b);
+        let c = DotImageGenerator::new(10).filter_hit(5, 8);
+        assert_ne!(a, c);
+    }
+}

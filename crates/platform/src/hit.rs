@@ -1,0 +1,224 @@
+//! HIT (Human Intelligence Task) lifecycle types and the requester account.
+//!
+//! These mirror the objects a requester manipulates through the Mechanical
+//! Turk API: a **HIT** groups a task specification with a promised reward and
+//! a number of requested assignments (the repetitions of the paper's model);
+//! an **assignment** records one worker's accepted-and-submitted answer; the
+//! **requester account** tracks the balance out of which approved assignments
+//! are paid.
+
+use crate::dotimage::FilterHitSpec;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a HIT within a sandbox.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct HitId(pub u64);
+
+/// Identifier of an assignment within a sandbox.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AssignmentId(pub u64);
+
+/// Review status of an assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssignmentStatus {
+    /// Submitted by the worker, awaiting review.
+    Submitted,
+    /// Approved — the worker is paid the HIT reward.
+    Approved,
+    /// Rejected — no payment is made.
+    Rejected,
+}
+
+/// A published HIT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hit {
+    /// Identifier assigned at creation.
+    pub id: HitId,
+    /// The image-filtering task the workers perform.
+    pub spec: FilterHitSpec,
+    /// Reward per assignment, in cents.
+    pub reward_cents: u64,
+    /// How many independent assignments (answer repetitions) are requested.
+    pub assignments_requested: u32,
+}
+
+impl Hit {
+    /// Maximum the HIT can cost the requester (all assignments approved).
+    pub fn max_cost_cents(&self) -> u64 {
+        self.reward_cents * u64::from(self.assignments_requested)
+    }
+
+    /// Difficulty of the HIT, measured in internal binary votes.
+    pub fn votes(&self) -> u32 {
+        self.spec.votes()
+    }
+}
+
+/// One worker's completed answer for a HIT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Identifier assigned when the answer is recorded.
+    pub id: AssignmentId,
+    /// The HIT the assignment belongs to.
+    pub hit_id: HitId,
+    /// Identifier of the simulated worker who produced the answer.
+    pub worker_id: u64,
+    /// Seconds from HIT publication to acceptance (phase-1 latency).
+    pub on_hold_secs: f64,
+    /// Seconds from acceptance to submission (phase-2 latency).
+    pub processing_secs: f64,
+    /// Absolute submission time within the simulated campaign.
+    pub submitted_at_secs: f64,
+    /// The worker's per-image votes (`true` = keep).
+    pub votes: Vec<bool>,
+    /// Fraction of votes that match the ground truth.
+    pub accuracy: f64,
+    /// Review status.
+    pub status: AssignmentStatus,
+}
+
+impl Assignment {
+    /// Overall latency of the assignment (both phases).
+    pub fn overall_secs(&self) -> f64 {
+        self.on_hold_secs + self.processing_secs
+    }
+
+    /// Whether every vote matches the ground truth.
+    pub fn is_perfect(&self) -> bool {
+        (self.accuracy - 1.0).abs() < 1e-12
+    }
+}
+
+/// The requester's pre-paid balance, from which approved assignments are
+/// paid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RequesterAccount {
+    /// Remaining balance in cents.
+    pub balance_cents: u64,
+    /// Total amount paid out so far, in cents.
+    pub paid_cents: u64,
+    /// Amount currently reserved for published-but-unreviewed assignments.
+    pub reserved_cents: u64,
+}
+
+impl RequesterAccount {
+    /// Creates an account with an initial balance.
+    pub fn with_balance(balance_cents: u64) -> Self {
+        RequesterAccount {
+            balance_cents,
+            paid_cents: 0,
+            reserved_cents: 0,
+        }
+    }
+
+    /// Whether `amount` cents can still be reserved.
+    pub fn can_reserve(&self, amount: u64) -> bool {
+        self.balance_cents >= self.reserved_cents + amount
+    }
+
+    /// Reserves `amount` cents for future payments. Returns `false` (and
+    /// changes nothing) if the balance cannot cover it.
+    pub fn reserve(&mut self, amount: u64) -> bool {
+        if self.can_reserve(amount) {
+            self.reserved_cents += amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pays out `amount` cents from the reserved pool (approving an
+    /// assignment). Returns `false` if the reservation does not cover it.
+    pub fn pay(&mut self, amount: u64) -> bool {
+        if self.reserved_cents >= amount && self.balance_cents >= amount {
+            self.reserved_cents -= amount;
+            self.balance_cents -= amount;
+            self.paid_cents += amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases `amount` cents of reservation without paying (rejecting an
+    /// assignment or expiring a HIT).
+    pub fn release(&mut self, amount: u64) {
+        self.reserved_cents = self.reserved_cents.saturating_sub(amount);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dotimage::DotImageGenerator;
+
+    fn hit(reward: u64, assignments: u32, votes: u32) -> Hit {
+        let mut generator = DotImageGenerator::new(1);
+        Hit {
+            id: HitId(0),
+            spec: generator.filter_hit(votes, 10),
+            reward_cents: reward,
+            assignments_requested: assignments,
+        }
+    }
+
+    #[test]
+    fn hit_cost_and_difficulty() {
+        let h = hit(8, 10, 6);
+        assert_eq!(h.max_cost_cents(), 80);
+        assert_eq!(h.votes(), 6);
+    }
+
+    #[test]
+    fn assignment_latency_and_perfection() {
+        let a = Assignment {
+            id: AssignmentId(1),
+            hit_id: HitId(0),
+            worker_id: 3,
+            on_hold_secs: 120.0,
+            processing_secs: 60.0,
+            submitted_at_secs: 180.0,
+            votes: vec![true, false],
+            accuracy: 1.0,
+            status: AssignmentStatus::Submitted,
+        };
+        assert!((a.overall_secs() - 180.0).abs() < 1e-12);
+        assert!(a.is_perfect());
+        let b = Assignment { accuracy: 0.5, ..a };
+        assert!(!b.is_perfect());
+    }
+
+    #[test]
+    fn account_reserve_pay_release_cycle() {
+        let mut account = RequesterAccount::with_balance(100);
+        assert!(account.can_reserve(60));
+        assert!(account.reserve(60));
+        assert!(!account.reserve(50), "only 40 cents remain unreserved");
+        assert!(account.reserve(40));
+
+        assert!(account.pay(30));
+        assert_eq!(account.balance_cents, 70);
+        assert_eq!(account.paid_cents, 30);
+        assert_eq!(account.reserved_cents, 70);
+
+        account.release(20);
+        assert_eq!(account.reserved_cents, 50);
+        assert!(account.pay(50));
+        assert_eq!(account.balance_cents, 20);
+        assert!(!account.pay(10), "nothing reserved any more");
+    }
+
+    #[test]
+    fn account_never_pays_more_than_reserved() {
+        let mut account = RequesterAccount::with_balance(10);
+        assert!(account.reserve(10));
+        assert!(!account.pay(11));
+        assert_eq!(account.balance_cents, 10);
+        account.release(100);
+        assert_eq!(account.reserved_cents, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # crowdtune-platform
+//!
+//! An Amazon-Mechanical-Turk-like platform substrate for the reproduction of
+//! *"Tuning Crowdsourced Human Computation"* (ICDE 2017). The paper's
+//! real-platform evaluation (Section 5.2) publishes dot-counting image-filter
+//! HITs on AMT; without access to the live workforce, this crate recreates
+//! every layer of that experiment in simulation:
+//!
+//! * [`dotimage`] — the synthetic dot-counting image-filter task, with ground
+//!   truth and a difficulty knob (the number of internal binary votes);
+//! * [`workers`] — a worker population whose answer quality emerges from a
+//!   noisy counting model;
+//! * [`calibration`] — market parameters fitted to the paper's own AMT
+//!   measurements (reward → uptake rate, difficulty → processing time);
+//! * [`hit`] / [`sandbox`] — the HIT/assignment lifecycle and a requester API
+//!   (create HITs, execute, review, pay) backed by the `crowdtune-market`
+//!   discrete-event simulator;
+//! * [`campaign`] — batch campaign execution and reward sweeps used by the
+//!   Figure 3–5 reproduction binaries.
+//!
+//! ```
+//! use crowdtune_platform::campaign::{Campaign, CampaignRunner, CampaignTaskSpec};
+//!
+//! let campaign = Campaign::new(
+//!     vec![CampaignTaskSpec {
+//!         count: 5,
+//!         votes: 4,
+//!         threshold: 10,
+//!         reward_cents: 5,
+//!         repetitions: 3,
+//!     }],
+//!     42,
+//! );
+//! let outcome = CampaignRunner::new(42).run(&campaign).unwrap();
+//! assert_eq!(outcome.assignments.len(), 15);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod calibration;
+pub mod campaign;
+pub mod dotimage;
+pub mod hit;
+pub mod sandbox;
+pub mod workers;
+
+pub use calibration::AmtCalibration;
+pub use campaign::{Campaign, CampaignOutcome, CampaignRunner, CampaignTaskSpec};
+pub use dotimage::{DotImage, DotImageGenerator, FilterHitSpec};
+pub use hit::{Assignment, AssignmentId, AssignmentStatus, Hit, HitId, RequesterAccount};
+pub use sandbox::{MturkSandbox, ReviewPolicy};
+pub use workers::{majority_vote, vote_accuracy, WorkerPopulation, WorkerProfile};

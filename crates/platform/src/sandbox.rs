@@ -1,0 +1,321 @@
+//! An AMT-like requester API over the simulated market.
+//!
+//! [`MturkSandbox`] exposes the handful of operations a requester performs
+//! against the real platform — fund the account, create HITs, run the
+//! campaign, list assignments, approve or reject them — while everything
+//! behind the API is the deterministic simulation provided by
+//! [`CampaignRunner`]. Examples and benches interact with the sandbox the
+//! same way a production integration would interact with Mechanical Turk.
+
+use crate::campaign::CampaignRunner;
+use crate::dotimage::FilterHitSpec;
+use crate::hit::{Assignment, AssignmentId, AssignmentStatus, Hit, HitId, RequesterAccount};
+use crowdtune_core::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Review policy applied by [`MturkSandbox::auto_review`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReviewPolicy {
+    /// Approve every submitted assignment.
+    ApproveAll,
+    /// Approve assignments whose accuracy meets the threshold; reject the
+    /// rest (the paper pays workers "when the provided answers are correct").
+    AccuracyAtLeast(f64),
+}
+
+/// A simulated Mechanical Turk requester sandbox.
+#[derive(Debug, Clone)]
+pub struct MturkSandbox {
+    runner: CampaignRunner,
+    seed: u64,
+    account: RequesterAccount,
+    hits: Vec<Hit>,
+    assignments: Vec<Assignment>,
+    executed: bool,
+}
+
+impl MturkSandbox {
+    /// Creates a sandbox with an initial account balance (cents) and a seed
+    /// controlling all randomness.
+    pub fn new(initial_balance_cents: u64, seed: u64) -> Self {
+        MturkSandbox {
+            runner: CampaignRunner::new(seed),
+            seed,
+            account: RequesterAccount::with_balance(initial_balance_cents),
+            hits: Vec::new(),
+            assignments: Vec::new(),
+            executed: false,
+        }
+    }
+
+    /// Replaces the campaign runner (custom calibration, population or
+    /// market configuration).
+    pub fn with_runner(mut self, runner: CampaignRunner) -> Self {
+        self.runner = runner;
+        self
+    }
+
+    /// The requester account.
+    pub fn account(&self) -> &RequesterAccount {
+        &self.account
+    }
+
+    /// Creates a HIT, reserving its maximum cost against the balance.
+    pub fn create_hit(
+        &mut self,
+        spec: FilterHitSpec,
+        reward_cents: u64,
+        assignments: u32,
+    ) -> Result<HitId> {
+        if self.executed {
+            return Err(CoreError::invalid_argument(
+                "the sandbox campaign has already been executed".to_owned(),
+            ));
+        }
+        if reward_cents == 0 || assignments == 0 {
+            return Err(CoreError::invalid_argument(
+                "reward and assignment count must be positive".to_owned(),
+            ));
+        }
+        let cost = reward_cents * u64::from(assignments);
+        if !self.account.reserve(cost) {
+            return Err(CoreError::InsufficientBudget {
+                provided: self.account.balance_cents - self.account.reserved_cents + cost,
+                required: cost,
+            });
+        }
+        let id = HitId(self.hits.len() as u64);
+        self.hits.push(Hit {
+            id,
+            spec,
+            reward_cents,
+            assignments_requested: assignments,
+        });
+        Ok(id)
+    }
+
+    /// All created HITs.
+    pub fn hits(&self) -> &[Hit] {
+        &self.hits
+    }
+
+    /// Runs the campaign: publishes every created HIT on the simulated
+    /// market and collects assignments. Returns the campaign wall-clock
+    /// latency in seconds. Can only be called once.
+    pub fn execute(&mut self) -> Result<f64> {
+        if self.executed {
+            return Err(CoreError::invalid_argument(
+                "the sandbox campaign has already been executed".to_owned(),
+            ));
+        }
+        if self.hits.is_empty() {
+            return Err(CoreError::EmptyTaskSet);
+        }
+        let (assignments, latency) = self.runner.execute_hits(&self.hits, self.seed)?;
+        self.assignments = assignments;
+        self.executed = true;
+        Ok(latency)
+    }
+
+    /// Whether the campaign has been executed.
+    pub fn is_executed(&self) -> bool {
+        self.executed
+    }
+
+    /// All assignments of a HIT (empty before execution).
+    pub fn list_assignments(&self, hit: HitId) -> Vec<&Assignment> {
+        self.assignments
+            .iter()
+            .filter(|a| a.hit_id == hit)
+            .collect()
+    }
+
+    /// All assignments across all HITs.
+    pub fn all_assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Approves an assignment, paying its HIT reward out of the reservation.
+    pub fn approve_assignment(&mut self, id: AssignmentId) -> Result<()> {
+        let (reward, assignment) = self.assignment_mut(id)?;
+        if assignment.status != AssignmentStatus::Submitted {
+            return Err(CoreError::invalid_argument(format!(
+                "assignment {} has already been reviewed",
+                id.0
+            )));
+        }
+        if !self.account.pay(reward) {
+            return Err(CoreError::invalid_argument(
+                "account cannot cover the approved reward".to_owned(),
+            ));
+        }
+        // Re-borrow mutably after the account operation.
+        let (_, assignment) = self.assignment_mut(id)?;
+        assignment.status = AssignmentStatus::Approved;
+        Ok(())
+    }
+
+    /// Rejects an assignment, releasing its reserved reward.
+    pub fn reject_assignment(&mut self, id: AssignmentId) -> Result<()> {
+        let (reward, assignment) = self.assignment_mut(id)?;
+        if assignment.status != AssignmentStatus::Submitted {
+            return Err(CoreError::invalid_argument(format!(
+                "assignment {} has already been reviewed",
+                id.0
+            )));
+        }
+        assignment.status = AssignmentStatus::Rejected;
+        self.account.release(reward);
+        Ok(())
+    }
+
+    /// Reviews every submitted assignment according to the policy. Returns
+    /// `(approved, rejected)` counts.
+    pub fn auto_review(&mut self, policy: ReviewPolicy) -> Result<(usize, usize)> {
+        let ids: Vec<(AssignmentId, f64)> = self
+            .assignments
+            .iter()
+            .filter(|a| a.status == AssignmentStatus::Submitted)
+            .map(|a| (a.id, a.accuracy))
+            .collect();
+        let mut approved = 0;
+        let mut rejected = 0;
+        for (id, accuracy) in ids {
+            let approve = match policy {
+                ReviewPolicy::ApproveAll => true,
+                ReviewPolicy::AccuracyAtLeast(threshold) => accuracy >= threshold,
+            };
+            if approve {
+                self.approve_assignment(id)?;
+                approved += 1;
+            } else {
+                self.reject_assignment(id)?;
+                rejected += 1;
+            }
+        }
+        Ok((approved, rejected))
+    }
+
+    fn assignment_mut(&mut self, id: AssignmentId) -> Result<(u64, &mut Assignment)> {
+        let hit_reward: Vec<u64> = self.hits.iter().map(|h| h.reward_cents).collect();
+        let assignment = self
+            .assignments
+            .iter_mut()
+            .find(|a| a.id == id)
+            .ok_or_else(|| CoreError::invalid_argument(format!("unknown assignment {}", id.0)))?;
+        let reward = hit_reward
+            .get(assignment.hit_id.0 as usize)
+            .copied()
+            .ok_or_else(|| CoreError::invalid_argument("assignment references unknown HIT"))?;
+        Ok((reward, assignment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dotimage::DotImageGenerator;
+
+    fn sandbox_with_hits(balance: u64, hits: usize) -> MturkSandbox {
+        let mut sandbox = MturkSandbox::new(balance, 42);
+        let mut generator = DotImageGenerator::new(7);
+        for _ in 0..hits {
+            let spec = generator.filter_hit(4, 10);
+            sandbox.create_hit(spec, 5, 3).unwrap();
+        }
+        sandbox
+    }
+
+    #[test]
+    fn create_hit_reserves_funds() {
+        let mut sandbox = MturkSandbox::new(40, 1);
+        let mut generator = DotImageGenerator::new(1);
+        let spec = generator.filter_hit(4, 10);
+        sandbox.create_hit(spec.clone(), 5, 4).unwrap(); // reserves 20
+        assert_eq!(sandbox.account().reserved_cents, 20);
+        sandbox.create_hit(spec.clone(), 5, 4).unwrap(); // reserves 40 total
+        // A third HIT cannot be funded.
+        assert!(sandbox.create_hit(spec.clone(), 5, 4).is_err());
+        assert_eq!(sandbox.hits().len(), 2);
+        // Invalid parameters are rejected.
+        assert!(sandbox.create_hit(spec.clone(), 0, 4).is_err());
+        assert!(sandbox.create_hit(spec, 5, 0).is_err());
+    }
+
+    #[test]
+    fn execute_produces_assignments_once() {
+        let mut sandbox = sandbox_with_hits(1_000, 4);
+        assert!(!sandbox.is_executed());
+        let latency = sandbox.execute().unwrap();
+        assert!(latency > 0.0);
+        assert!(sandbox.is_executed());
+        assert_eq!(sandbox.all_assignments().len(), 12);
+        assert_eq!(sandbox.list_assignments(HitId(0)).len(), 3);
+        assert!(sandbox.list_assignments(HitId(99)).is_empty());
+        // Cannot execute twice or add HITs afterwards.
+        assert!(sandbox.execute().is_err());
+        let mut generator = DotImageGenerator::new(2);
+        assert!(sandbox.create_hit(generator.filter_hit(4, 10), 5, 1).is_err());
+    }
+
+    #[test]
+    fn execute_requires_hits() {
+        let mut sandbox = MturkSandbox::new(100, 1);
+        assert!(sandbox.execute().is_err());
+    }
+
+    #[test]
+    fn approval_pays_and_rejection_releases() {
+        let mut sandbox = sandbox_with_hits(1_000, 2);
+        sandbox.execute().unwrap();
+        let first = sandbox.all_assignments()[0].id;
+        let second = sandbox.all_assignments()[1].id;
+        let balance_before = sandbox.account().balance_cents;
+
+        sandbox.approve_assignment(first).unwrap();
+        assert_eq!(sandbox.account().balance_cents, balance_before - 5);
+        assert_eq!(sandbox.account().paid_cents, 5);
+        // double review is rejected
+        assert!(sandbox.approve_assignment(first).is_err());
+
+        let reserved_before = sandbox.account().reserved_cents;
+        sandbox.reject_assignment(second).unwrap();
+        assert_eq!(sandbox.account().reserved_cents, reserved_before - 5);
+        assert!(sandbox.reject_assignment(second).is_err());
+        // unknown assignment
+        assert!(sandbox.approve_assignment(AssignmentId(999)).is_err());
+    }
+
+    #[test]
+    fn auto_review_policies() {
+        let mut sandbox = sandbox_with_hits(10_000, 5);
+        sandbox.execute().unwrap();
+        let total = sandbox.all_assignments().len();
+        let (approved, rejected) = sandbox
+            .auto_review(ReviewPolicy::AccuracyAtLeast(1.0))
+            .unwrap();
+        assert_eq!(approved + rejected, total);
+        // Everything is reviewed now; a second pass does nothing.
+        let (a2, r2) = sandbox.auto_review(ReviewPolicy::ApproveAll).unwrap();
+        assert_eq!(a2 + r2, 0);
+        assert_eq!(
+            sandbox.account().paid_cents,
+            approved as u64 * 5,
+            "each approved assignment pays its 5-cent reward"
+        );
+    }
+
+    #[test]
+    fn approve_all_policy_pays_everyone() {
+        let mut sandbox = sandbox_with_hits(10_000, 3);
+        sandbox.execute().unwrap();
+        let total = sandbox.all_assignments().len();
+        let (approved, rejected) = sandbox.auto_review(ReviewPolicy::ApproveAll).unwrap();
+        assert_eq!(approved, total);
+        assert_eq!(rejected, 0);
+        assert!(sandbox
+            .all_assignments()
+            .iter()
+            .all(|a| a.status == AssignmentStatus::Approved));
+    }
+}

@@ -1,0 +1,271 @@
+//! Simulated worker population and answer-quality model.
+//!
+//! The HPU abstraction notes that results are error-prone: a worker's answer
+//! is correct only with some probability. For the dot-counting filter task we
+//! model this mechanistically — each worker estimates an image's dot count
+//! with multiplicative noise, then votes against the threshold — so accuracy
+//! emerges from the task difficulty (how close counts are to the threshold)
+//! and the worker's skill, as in the real experiment where "workers receive
+//! their rewards when the provided answers are correct".
+
+use crate::dotimage::FilterHitSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A simulated worker's behavioural profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    /// Stable identifier within the population.
+    pub id: u64,
+    /// Relative standard deviation of the worker's count estimate (0.1 means
+    /// the estimate is within ±10% of the truth about two thirds of the
+    /// time).
+    pub counting_noise: f64,
+    /// Multiplier on processing speed: values below 1.0 mean faster than the
+    /// population average, above 1.0 slower.
+    pub speed_factor: f64,
+}
+
+impl WorkerProfile {
+    /// Estimates the dot count of an image with this worker's noise, using
+    /// the supplied RNG.
+    pub fn estimate_count(&self, true_count: usize, rng: &mut StdRng) -> f64 {
+        let truth = true_count as f64;
+        // Sum of 12 uniforms minus 6 approximates a standard normal without
+        // needing a dedicated distribution dependency.
+        let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+        (truth * (1.0 + self.counting_noise * z)).max(0.0)
+    }
+
+    /// Produces this worker's votes for a filter HIT: one boolean per
+    /// candidate image (`true` = keep).
+    pub fn answer_filter_hit(&self, spec: &FilterHitSpec, rng: &mut StdRng) -> Vec<bool> {
+        spec.candidates
+            .iter()
+            .map(|img| self.estimate_count(img.count(), rng) >= spec.threshold as f64)
+            .collect()
+    }
+}
+
+/// A finite population of worker profiles from which the platform samples the
+/// worker for each assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerPopulation {
+    profiles: Vec<WorkerProfile>,
+}
+
+impl WorkerPopulation {
+    /// Generates a population of `size` workers whose counting noise is
+    /// spread uniformly over `[min_noise, max_noise]` and whose speed factor
+    /// is spread over `[0.7, 1.3]`.
+    pub fn generate(size: usize, min_noise: f64, max_noise: f64, seed: u64) -> Self {
+        assert!(size > 0, "population must not be empty");
+        assert!(
+            (0.0..=1.0).contains(&min_noise) && min_noise <= max_noise,
+            "noise range must satisfy 0 <= min <= max <= 1"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profiles = (0..size as u64)
+            .map(|id| WorkerProfile {
+                id,
+                counting_noise: rng.gen_range(min_noise..=max_noise),
+                speed_factor: rng.gen_range(0.7..=1.3),
+            })
+            .collect();
+        WorkerPopulation { profiles }
+    }
+
+    /// The paper-like default: 200 workers with 5–25% counting noise.
+    pub fn default_population(seed: u64) -> Self {
+        WorkerPopulation::generate(200, 0.05, 0.25, seed)
+    }
+
+    /// Number of workers in the population.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the population is empty (never true for generated ones).
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// All profiles.
+    pub fn profiles(&self) -> &[WorkerProfile] {
+        &self.profiles
+    }
+
+    /// Samples one worker uniformly at random.
+    pub fn sample(&self, rng: &mut StdRng) -> WorkerProfile {
+        self.profiles[rng.gen_range(0..self.profiles.len())]
+    }
+}
+
+/// Fraction of a worker's votes that match the ground truth of the HIT.
+pub fn vote_accuracy(spec: &FilterHitSpec, votes: &[bool]) -> f64 {
+    let truth = spec.ground_truth();
+    if truth.is_empty() || truth.len() != votes.len() {
+        return 0.0;
+    }
+    let correct = truth.iter().zip(votes).filter(|(t, v)| t == v).count();
+    correct as f64 / truth.len() as f64
+}
+
+/// Aggregates several workers' vote vectors by per-image majority (ties
+/// resolve to `true`, i.e. keep the image).
+pub fn majority_vote(all_votes: &[Vec<bool>]) -> Vec<bool> {
+    if all_votes.is_empty() {
+        return Vec::new();
+    }
+    let len = all_votes[0].len();
+    (0..len)
+        .map(|i| {
+            let keep = all_votes
+                .iter()
+                .filter(|votes| votes.get(i).copied().unwrap_or(false))
+                .count();
+            2 * keep >= all_votes.len()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dotimage::DotImageGenerator;
+
+    #[test]
+    fn noiseless_worker_is_always_correct() {
+        let worker = WorkerProfile {
+            id: 0,
+            counting_noise: 0.0,
+            speed_factor: 1.0,
+        };
+        let mut generator = DotImageGenerator::new(1);
+        let spec = generator.filter_hit(8, 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let votes = worker.answer_filter_hit(&spec, &mut rng);
+        assert_eq!(votes, spec.ground_truth());
+        assert!((vote_accuracy(&spec, &votes) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisier_workers_are_less_accurate() {
+        let mut generator = DotImageGenerator::new(3);
+        let specs = generator.filter_hits(40, 6, 10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let accurate = WorkerProfile {
+            id: 0,
+            counting_noise: 0.02,
+            speed_factor: 1.0,
+        };
+        let sloppy = WorkerProfile {
+            id: 1,
+            counting_noise: 0.6,
+            speed_factor: 1.0,
+        };
+        let mut acc_a = 0.0;
+        let mut acc_s = 0.0;
+        for spec in &specs {
+            acc_a += vote_accuracy(spec, &accurate.answer_filter_hit(spec, &mut rng));
+            acc_s += vote_accuracy(spec, &sloppy.answer_filter_hit(spec, &mut rng));
+        }
+        assert!(
+            acc_a > acc_s,
+            "low-noise worker should be more accurate ({acc_a} vs {acc_s})"
+        );
+    }
+
+    #[test]
+    fn estimate_is_nonnegative_and_unbiased_on_average() {
+        let worker = WorkerProfile {
+            id: 0,
+            counting_noise: 0.2,
+            speed_factor: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let truth = 50usize;
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| worker.estimate_count(truth, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - truth as f64).abs() / (truth as f64) < 0.02);
+        assert!(worker.estimate_count(0, &mut rng) >= 0.0);
+    }
+
+    #[test]
+    fn population_generation_and_sampling() {
+        let population = WorkerPopulation::generate(50, 0.1, 0.3, 7);
+        assert_eq!(population.len(), 50);
+        assert!(!population.is_empty());
+        assert!(population
+            .profiles()
+            .iter()
+            .all(|p| (0.1..=0.3).contains(&p.counting_noise)));
+        assert!(population
+            .profiles()
+            .iter()
+            .all(|p| (0.7..=1.3).contains(&p.speed_factor)));
+        let mut rng = StdRng::seed_from_u64(1);
+        let sampled = population.sample(&mut rng);
+        assert!(population.profiles().contains(&sampled));
+        let default = WorkerPopulation::default_population(3);
+        assert_eq!(default.len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must not be empty")]
+    fn empty_population_is_rejected() {
+        let _ = WorkerPopulation::generate(0, 0.1, 0.2, 1);
+    }
+
+    #[test]
+    fn majority_vote_aggregation() {
+        let votes = vec![
+            vec![true, false, true],
+            vec![true, true, false],
+            vec![false, true, true],
+        ];
+        assert_eq!(majority_vote(&votes), vec![true, true, true]);
+        let votes = vec![vec![false, false], vec![false, true]];
+        // tie on the second image resolves to keep
+        assert_eq!(majority_vote(&votes), vec![false, true]);
+        assert!(majority_vote(&[]).is_empty());
+    }
+
+    #[test]
+    fn accuracy_handles_mismatched_lengths() {
+        let mut generator = DotImageGenerator::new(11);
+        let spec = generator.filter_hit(4, 10);
+        assert_eq!(vote_accuracy(&spec, &[true]), 0.0);
+    }
+
+    #[test]
+    fn repetition_majority_improves_accuracy_for_noisy_workers() {
+        // The reason the paper's jobs repeat tasks: aggregating several noisy
+        // answers beats a single answer.
+        let mut generator = DotImageGenerator::new(13);
+        let specs = generator.filter_hits(30, 6, 10);
+        let worker = WorkerProfile {
+            id: 0,
+            counting_noise: 0.35,
+            speed_factor: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut single = 0.0;
+        let mut aggregated = 0.0;
+        for spec in &specs {
+            let answers: Vec<Vec<bool>> = (0..5)
+                .map(|_| worker.answer_filter_hit(spec, &mut rng))
+                .collect();
+            single += vote_accuracy(spec, &answers[0]);
+            aggregated += vote_accuracy(spec, &majority_vote(&answers));
+        }
+        assert!(
+            aggregated >= single,
+            "majority of 5 answers ({aggregated}) should not be worse than one ({single})"
+        );
+    }
+}

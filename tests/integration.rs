@@ -1,0 +1,208 @@
+//! Cross-crate integration tests: the tuner (`crowdtune-core`), the
+//! marketplace simulator (`crowdtune-market`), the AMT-like platform
+//! (`crowdtune-platform`) and the crowd-powered operators
+//! (`crowdtune-crowd-db`) working together, exactly as the examples and the
+//! figure binaries use them.
+
+use crowdtune_bench::{run_panel, SyntheticConfig, SyntheticScenario};
+use crowdtune_core::prelude::*;
+use crowdtune_crowd_db::executor::{CrowdExecutor, ExecutorConfig};
+use crowdtune_crowd_db::item::ItemSet;
+use crowdtune_crowd_db::operators::{CrowdFilter, CrowdMax, CrowdSort};
+use crowdtune_crowd_db::oracle::OracleConfig;
+use crowdtune_market::{MarketConfig, MarketSimulator};
+use crowdtune_platform::campaign::{Campaign, CampaignRunner, CampaignTaskSpec};
+use crowdtune_platform::sandbox::{MturkSandbox, ReviewPolicy};
+use crowdtune_platform::{AmtCalibration, DotImageGenerator};
+use std::sync::Arc;
+
+/// Tuned allocations should beat the baselines not only in the analytic
+/// objective but also under full market simulation — the end-to-end claim of
+/// Figure 2.
+#[test]
+fn tuned_allocation_beats_baselines_under_simulation() {
+    let mut tasks = TaskSet::new();
+    let ty = tasks.add_type("vote", 2.0).unwrap();
+    tasks.add_tasks(ty, 3, 10).unwrap();
+    tasks.add_tasks(ty, 5, 10).unwrap();
+    let market: Arc<dyn RateModel> = Arc::new(LinearRate::unit_slope());
+    let problem = HTuningProblem::new(tasks, Budget::units(400), market.clone()).unwrap();
+
+    let optimal = RepetitionAlgorithm::new().tune(&problem).unwrap();
+    let task_even = TaskEvenAllocation::new().tune(&problem).unwrap();
+
+    let simulator = MarketSimulator::new(MarketConfig::independent(5));
+    let trials = 400;
+    let opt_latency = simulator
+        .mean_job_latency(problem.task_set(), &optimal.allocation, &market, trials)
+        .unwrap();
+    let te_latency = simulator
+        .mean_job_latency(problem.task_set(), &task_even.allocation, &market, trials)
+        .unwrap();
+    assert!(
+        opt_latency <= te_latency * 1.05,
+        "RA ({opt_latency:.3}) should not lose to task-even ({te_latency:.3}) by more than noise"
+    );
+}
+
+/// The analytic estimator and the discrete-event simulator must agree on the
+/// expected job latency for the same allocation.
+#[test]
+fn analytic_estimator_agrees_with_simulator() {
+    let mut tasks = TaskSet::new();
+    let easy = tasks.add_type("easy", 3.0).unwrap();
+    let hard = tasks.add_type("hard", 1.5).unwrap();
+    tasks.add_tasks(easy, 2, 6).unwrap();
+    tasks.add_tasks(hard, 4, 4).unwrap();
+    let market: Arc<dyn RateModel> = Arc::new(LinearRate::moderate());
+    let allocation = Allocation::uniform(&tasks.repetition_counts(), Payment::units(3));
+
+    let estimator = JobLatencyEstimator::new(&tasks, &market);
+    let analytic = estimator
+        .analytic_expected_latency(&allocation, PhaseSelection::Both)
+        .unwrap();
+    let simulator = MarketSimulator::new(MarketConfig::independent(11));
+    let simulated = simulator
+        .mean_job_latency(&tasks, &allocation, &market, 4_000)
+        .unwrap();
+    assert!(
+        (analytic - simulated).abs() / simulated < 0.06,
+        "analytic {analytic:.3} vs simulated {simulated:.3}"
+    );
+}
+
+/// A probe campaign run on the simulated market recovers the market's true
+/// linearity parameters well enough to support the hypothesis test.
+#[test]
+fn probe_recovers_market_parameters_end_to_end() {
+    let true_market = LinearRate::new(0.5, 1.0).unwrap();
+    let mut observations = Vec::new();
+    for (index, price) in [2u64, 5, 9, 14].iter().enumerate() {
+        let mut probe = TaskSet::new();
+        let ty = probe.add_type("probe", 1000.0).unwrap();
+        probe.add_task(ty, 60).unwrap();
+        let allocation = Allocation::uniform(&probe.repetition_counts(), Payment::units(*price));
+        let simulator = MarketSimulator::new(
+            MarketConfig::independent(300 + index as u64).without_processing(),
+        );
+        let report = simulator.run(&probe, &allocation, &true_market).unwrap();
+        observations.push(PriceObservation::new(
+            *price,
+            report.acceptance_epochs(),
+            vec![],
+        ));
+    }
+    let campaign = ProbeCampaign::new(observations);
+    let fit = campaign.fit_linearity().unwrap();
+    assert!(fit.supports_hypothesis(0.9), "R² = {}", fit.r_squared);
+    assert!((fit.k - 0.5).abs() < 0.2, "slope {}", fit.k);
+}
+
+/// The full crowd-DB pipeline answers all three operator types correctly with
+/// a reliable crowd and stays within budget.
+#[test]
+fn crowd_db_operators_end_to_end() {
+    let items = ItemSet::from_scores(vec![
+        ("a", 2.0),
+        ("b", 9.0),
+        ("c", 5.0),
+        ("d", 7.0),
+        ("e", 1.0),
+        ("f", 4.0),
+    ]);
+    let config = ExecutorConfig {
+        oracle: OracleConfig {
+            reliability: 3.0,
+            seed: 2,
+        },
+        market: MarketConfig::independent(2),
+        ..ExecutorConfig::default()
+    };
+    let executor = CrowdExecutor::new(Arc::new(LinearRate::unit_slope()), config);
+
+    let sort = executor
+        .run_sort(&items, CrowdSort::new(5).unwrap(), Budget::units(500))
+        .unwrap();
+    let agreement = CrowdSort::ranking_agreement(&sort.result, &items.ground_truth_ranking());
+    assert!(agreement >= 0.85, "sort agreement {agreement}");
+    assert!(sort.stats.spent_units <= 500);
+
+    let filter = executor
+        .run_filter(&items, CrowdFilter::new(4.5, 5).unwrap(), Budget::units(200))
+        .unwrap();
+    let truth = items.ground_truth_filter(4.5);
+    let (precision, recall) = CrowdFilter::precision_recall(&filter.result, &truth);
+    assert!(precision >= 0.6 && recall >= 0.6, "p={precision} r={recall}");
+
+    let max = executor
+        .run_max(&items, CrowdMax::new(5).unwrap(), Budget::units(300))
+        .unwrap();
+    assert_eq!(Some(max.result), items.ground_truth_max());
+}
+
+/// The AMT-like sandbox behaves like a budget-conserving platform: reserved
+/// funds never go negative and the paid total matches the approved
+/// assignments.
+#[test]
+fn sandbox_accounting_is_consistent() {
+    let mut sandbox = MturkSandbox::new(5_000, 9);
+    let mut generator = DotImageGenerator::new(9);
+    for _ in 0..5 {
+        let spec = generator.filter_hit(4, 10);
+        sandbox.create_hit(spec, 6, 4).unwrap();
+    }
+    sandbox.execute().unwrap();
+    let total = sandbox.all_assignments().len();
+    assert_eq!(total, 20);
+    let (approved, rejected) = sandbox
+        .auto_review(ReviewPolicy::AccuracyAtLeast(0.75))
+        .unwrap();
+    assert_eq!(approved + rejected, total);
+    assert_eq!(sandbox.account().paid_cents, approved as u64 * 6);
+    assert!(sandbox.account().balance_cents <= 5_000);
+}
+
+/// The calibrated campaign runner reproduces the qualitative shapes of
+/// Figures 4 and 5: more money → faster uptake, more difficulty → slower
+/// processing.
+#[test]
+fn calibrated_campaigns_have_paper_shapes() {
+    let calibration = AmtCalibration::paper();
+    assert!(calibration.on_hold_rate(12.0, 4).unwrap() > calibration.on_hold_rate(5.0, 4).unwrap());
+    assert!(calibration.mean_processing_secs(8) > calibration.mean_processing_secs(4));
+
+    let runner = CampaignRunner::new(33);
+    let outcome = runner
+        .run(&Campaign::new(
+            vec![CampaignTaskSpec {
+                count: 10,
+                votes: 6,
+                threshold: 10,
+                reward_cents: 8,
+                repetitions: 3,
+            }],
+            33,
+        ))
+        .unwrap();
+    assert_eq!(outcome.assignments.len(), 30);
+    assert!(outcome.mean_accuracy().unwrap() > 0.5);
+    assert!(outcome.job_latency_secs > 0.0);
+}
+
+/// A reduced Figure 2 panel run through the bench harness keeps the paper's
+/// headline result: the optimal strategy dominates the baselines.
+#[test]
+fn figure2_panel_smoke_test() {
+    let config = SyntheticConfig {
+        tasks: 16,
+        budgets: vec![160, 320, 640],
+    };
+    for scenario in SyntheticScenario::ALL {
+        let panel = run_panel(scenario, PaperRateModel::Moderate, &config).unwrap();
+        assert!(
+            panel.optimal_dominates(0.02),
+            "{scenario:?}: {:?}",
+            panel.rows
+        );
+    }
+}
