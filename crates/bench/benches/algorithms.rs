@@ -14,7 +14,12 @@ fn homogeneous_problem(tasks: usize, budget: u64) -> HTuningProblem {
     let mut set = TaskSet::new();
     let ty = set.add_type("vote", 2.0).unwrap();
     set.add_tasks(ty, 5, tasks).unwrap();
-    HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope())).unwrap()
+    HTuningProblem::new(
+        set,
+        Budget::units(budget),
+        Arc::new(LinearRate::unit_slope()),
+    )
+    .unwrap()
 }
 
 fn repetition_problem(tasks: usize, budget: u64) -> HTuningProblem {
@@ -22,7 +27,12 @@ fn repetition_problem(tasks: usize, budget: u64) -> HTuningProblem {
     let ty = set.add_type("vote", 2.0).unwrap();
     set.add_tasks(ty, 3, tasks / 2).unwrap();
     set.add_tasks(ty, 5, tasks - tasks / 2).unwrap();
-    HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope())).unwrap()
+    HTuningProblem::new(
+        set,
+        Budget::units(budget),
+        Arc::new(LinearRate::unit_slope()),
+    )
+    .unwrap()
 }
 
 fn heterogeneous_problem(tasks: usize, budget: u64) -> HTuningProblem {
@@ -31,7 +41,12 @@ fn heterogeneous_problem(tasks: usize, budget: u64) -> HTuningProblem {
     let hard = set.add_type("hard", 3.0).unwrap();
     set.add_tasks(easy, 3, tasks / 2).unwrap();
     set.add_tasks(hard, 5, tasks - tasks / 2).unwrap();
-    HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope())).unwrap()
+    HTuningProblem::new(
+        set,
+        Budget::units(budget),
+        Arc::new(LinearRate::unit_slope()),
+    )
+    .unwrap()
 }
 
 fn bench_even_allocation(c: &mut Criterion) {
@@ -52,10 +67,14 @@ fn bench_repetition_algorithm(c: &mut Criterion) {
     group.sample_size(10);
     for &budget in &[1000u64, 2000, 4000] {
         let problem = repetition_problem(100, budget);
-        group.bench_with_input(BenchmarkId::new("budget", budget), &problem, |b, problem| {
-            let strategy = RepetitionAlgorithm::new();
-            b.iter(|| strategy.tune(problem).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("budget", budget),
+            &problem,
+            |b, problem| {
+                let strategy = RepetitionAlgorithm::new();
+                b.iter(|| strategy.tune(problem).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -65,10 +84,70 @@ fn bench_heterogeneous_algorithm(c: &mut Criterion) {
     group.sample_size(10);
     for &budget in &[1000u64, 2000] {
         let problem = heterogeneous_problem(100, budget);
-        group.bench_with_input(BenchmarkId::new("budget", budget), &problem, |b, problem| {
-            let strategy = HeterogeneousAlgorithm::new();
-            b.iter(|| strategy.tune(problem).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("budget", budget),
+            &problem,
+            |b, problem| {
+                let strategy = HeterogeneousAlgorithm::new();
+                b.iter(|| strategy.tune(problem).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The hot path the `parallel` feature targets: many heterogeneous groups
+/// with high repetition counts, where the numerical integrations behind the
+/// expected-latency tables dominate the solve. Compare
+/// `cargo bench -p crowdtune-bench --bench algorithms -- parallel_hot_path`
+/// against the same command with `--features parallel` to see the speedup
+/// from fanning the integrations over all cores. On a single-core machine
+/// the parallel build intentionally degrades to the lazy path (the fan-out
+/// would be pure overhead), so both variants report the same numbers there —
+/// the printed core count says which regime you measured.
+fn bench_parallel_hot_path(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "parallel_hot_path: feature {} on {cores} core(s)",
+        if cfg!(feature = "parallel") {
+            "ON"
+        } else {
+            "OFF"
+        }
+    );
+    let mut group = c.benchmark_group(if cfg!(feature = "parallel") {
+        "parallel_hot_path/threads"
+    } else {
+        "parallel_hot_path/serial"
+    });
+    group.sample_size(10);
+    for &budget in &[4_000u64, 8_000] {
+        // 20 heterogeneous groups: 10 types × 2 high-repetition classes, so
+        // each table entry is an expensive expected-max-Erlang quadrature.
+        let mut set = TaskSet::new();
+        for t in 0..10 {
+            let ty = set
+                .add_type(format!("type{t}"), 0.5 + t as f64 * 0.25)
+                .unwrap();
+            set.add_tasks(ty, 8, 10).unwrap();
+            set.add_tasks(ty, 12, 10).unwrap();
+        }
+        let problem = HTuningProblem::new(
+            set,
+            Budget::units(budget),
+            Arc::new(LinearRate::unit_slope()),
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("budget", budget),
+            &problem,
+            |b, problem| {
+                let strategy = HeterogeneousAlgorithm::new();
+                b.iter(|| strategy.tune(problem).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -77,6 +156,7 @@ criterion_group!(
     benches,
     bench_even_allocation,
     bench_repetition_algorithm,
-    bench_heterogeneous_algorithm
+    bench_heterogeneous_algorithm,
+    bench_parallel_hot_path
 );
 criterion_main!(benches);

@@ -28,9 +28,13 @@ fn bench_nonlinear_panel(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_panel_nonlinear");
     group.sample_size(10);
     for model in [PaperRateModel::Quadratic, PaperRateModel::Logarithmic] {
-        group.bench_with_input(BenchmarkId::new("model", model.label()), &model, |b, &model| {
-            b.iter(|| run_panel(SyntheticScenario::Repetition, model, &config).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("model", model.label()),
+            &model,
+            |b, &model| {
+                b.iter(|| run_panel(SyntheticScenario::Repetition, model, &config).unwrap());
+            },
+        );
     }
     group.finish();
 }

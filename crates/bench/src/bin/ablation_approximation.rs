@@ -25,7 +25,8 @@ fn repetition_set(tasks: usize) -> TaskSet {
     let mut set = TaskSet::new();
     let ty = set.add_type("vote", 2.0).expect("valid type");
     set.add_tasks(ty, 3, tasks / 2).expect("valid tasks");
-    set.add_tasks(ty, 5, tasks - tasks / 2).expect("valid tasks");
+    set.add_tasks(ty, 5, tasks - tasks / 2)
+        .expect("valid tasks");
     set
 }
 
@@ -34,7 +35,8 @@ fn heterogeneous_set(tasks: usize) -> TaskSet {
     let easy = set.add_type("easy", 2.0).expect("valid type");
     let hard = set.add_type("hard", 3.0).expect("valid type");
     set.add_tasks(easy, 3, tasks / 2).expect("valid tasks");
-    set.add_tasks(hard, 5, tasks - tasks / 2).expect("valid tasks");
+    set.add_tasks(hard, 5, tasks - tasks / 2)
+        .expect("valid tasks");
     set
 }
 
@@ -90,7 +92,11 @@ fn main() {
         let dp_objective = dp.objective.expect("RA reports its objective");
         dp_table.push_numeric_row(
             budget.to_string(),
-            &[dp_objective, brute.objective, dp_objective - brute.objective],
+            &[
+                dp_objective,
+                brute.objective,
+                dp_objective - brute.objective,
+            ],
             4,
         );
     }

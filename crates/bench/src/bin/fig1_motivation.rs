@@ -6,6 +6,7 @@
 //! Example 1(a): tasks T = {{o1,o2}×1, {o3,o4}×2}, budget $6.
 //!   * case 1 (even): $3 to each task → per-repetition rates λ=3 and λ=1.5;
 //!   * case 2 (load-sensitive): $2 / $4 → rates λ=2 and λ=2.
+//!
 //! Example 1(b): one sorting vote and one yes/no vote, budget $6, with the
 //! processing rates of Table 1 folded in.
 

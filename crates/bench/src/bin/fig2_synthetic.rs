@@ -33,7 +33,12 @@ fn main() {
             panel.model.label()
         );
         let header: Vec<&str> = std::iter::once("budget")
-            .chain(panel.rows[0].latencies.iter().map(|(label, _)| label.as_str()))
+            .chain(
+                panel.rows[0]
+                    .latencies
+                    .iter()
+                    .map(|(label, _)| label.as_str()),
+            )
             .collect();
         let mut table = Table::new(title, &header);
         for row in &panel.rows {

@@ -34,8 +34,16 @@ fn main() {
     assignments.sort_by(|a, b| a.submitted_at_secs.total_cmp(&b.submitted_at_secs));
 
     let mut table = Table::new(
-        format!("Figure 3 — worker arrival moments (reward ${:.2}, first {arrivals} arrivals)", reward_cents as f64 / 100.0),
-        &["order", "phase1 epoch (min)", "phase2 (min)", "overall (min)"],
+        format!(
+            "Figure 3 — worker arrival moments (reward ${:.2}, first {arrivals} arrivals)",
+            reward_cents as f64 / 100.0
+        ),
+        &[
+            "order",
+            "phase1 epoch (min)",
+            "phase2 (min)",
+            "overall (min)",
+        ],
     );
     let mut phase1_cumulative = 0.0;
     let mut epochs = Vec::with_capacity(assignments.len());

@@ -13,15 +13,20 @@ fn main() {
     let rewards_cents = [5u64, 8, 10, 12];
     let repetitions = 10u32;
     let hits_per_reward = 10usize;
-    let runner =
-        CampaignRunner::new(11).with_market_config(MarketConfig::independent(11).without_processing());
+    let runner = CampaignRunner::new(11)
+        .with_market_config(MarketConfig::independent(11).without_processing());
     let sweep = runner
         .reward_sweep(&rewards_cents, 4, 10, repetitions, hits_per_reward, 4242)
         .expect("reward sweep runs");
 
     let mut table = Table::new(
         "Figure 4 — reward vs on-hold latency (10 repetitions per task)",
-        &["reward ($)", "mean on-hold (min)", "p90 on-hold (min)", "inferred λ (1/s)"],
+        &[
+            "reward ($)",
+            "mean on-hold (min)",
+            "p90 on-hold (min)",
+            "inferred λ (1/s)",
+        ],
     );
     let mut points = Vec::with_capacity(sweep.len());
     for (reward, outcome) in &sweep {

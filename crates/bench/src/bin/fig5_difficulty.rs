@@ -29,8 +29,8 @@ fn main() {
     for (index, &reward) in rewards_cents.iter().enumerate() {
         for (jndex, &votes) in votes_levels.iter().enumerate() {
             let seed = 1000 + (index * 10 + jndex) as u64;
-            let runner = CampaignRunner::new(seed)
-                .with_market_config(MarketConfig::independent(seed));
+            let runner =
+                CampaignRunner::new(seed).with_market_config(MarketConfig::independent(seed));
             let campaign = Campaign::new(
                 vec![CampaignTaskSpec {
                     count: hits,

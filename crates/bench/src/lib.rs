@@ -11,15 +11,18 @@
 //! |---|---|
 //! | [`synthetic`] | Figure 2 workload builders, strategy line-ups and the 18-panel sweep |
 //! | [`output`] | aligned text tables and CSV emission used by every binary |
+//! | [`retune_demo`] | the shared drifting-market scenario for the online re-tuning example and bench |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
 pub mod output;
+pub mod retune_demo;
 pub mod synthetic;
 
 pub use output::Table;
+pub use retune_demo::{compare_tune_once_vs_retuned, DriftComparison, DriftScenario};
 pub use synthetic::{
     run_figure2, run_panel, PanelResult, PanelRow, SyntheticConfig, SyntheticScenario,
 };

@@ -81,17 +81,26 @@ impl SyntheticScenario {
     pub fn strategies(self) -> Vec<(String, Box<dyn TuningStrategy>)> {
         match self {
             SyntheticScenario::Homogeneous => vec![
-                ("opt".to_owned(), Box::new(EvenAllocation::new().without_objective()) as Box<dyn TuningStrategy>),
+                (
+                    "opt".to_owned(),
+                    Box::new(EvenAllocation::new().without_objective()) as Box<dyn TuningStrategy>,
+                ),
                 ("bias_1".to_owned(), Box::new(BiasedAllocation::bias_1())),
                 ("bias_2".to_owned(), Box::new(BiasedAllocation::bias_2())),
             ],
             SyntheticScenario::Repetition => vec![
-                ("opt".to_owned(), Box::new(RepetitionAlgorithm::new()) as Box<dyn TuningStrategy>),
+                (
+                    "opt".to_owned(),
+                    Box::new(RepetitionAlgorithm::new()) as Box<dyn TuningStrategy>,
+                ),
                 ("te".to_owned(), Box::new(TaskEvenAllocation::new())),
                 ("re".to_owned(), Box::new(RepetitionEvenAllocation::new())),
             ],
             SyntheticScenario::Heterogeneous => vec![
-                ("opt".to_owned(), Box::new(HeterogeneousAlgorithm::new()) as Box<dyn TuningStrategy>),
+                (
+                    "opt".to_owned(),
+                    Box::new(HeterogeneousAlgorithm::new()) as Box<dyn TuningStrategy>,
+                ),
                 ("te".to_owned(), Box::new(TaskEvenAllocation::new())),
                 ("re".to_owned(), Box::new(RepetitionEvenAllocation::new())),
             ],
@@ -174,7 +183,8 @@ pub fn run_panel(
     let strategies = scenario.strategies();
     let mut rows = Vec::with_capacity(config.budgets.len());
     for &budget in &config.budgets {
-        let problem = HTuningProblem::new(task_set.clone(), Budget::units(budget), rate_model.clone())?;
+        let problem =
+            HTuningProblem::new(task_set.clone(), Budget::units(budget), rate_model.clone())?;
         let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
         let mut latencies = Vec::with_capacity(strategies.len());
         for (label, strategy) in &strategies {
@@ -202,16 +212,15 @@ pub fn run_figure2(config: &SyntheticConfig) -> Result<Vec<PanelResult>> {
     let mut results: Vec<Option<Result<PanelResult>>> = Vec::new();
     results.resize_with(combos.len(), || None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(combos.len());
         for &(scenario, model) in &combos {
-            handles.push(scope.spawn(move |_| run_panel(scenario, model, config)));
+            handles.push(scope.spawn(move || run_panel(scenario, model, config)));
         }
         for (slot, handle) in results.iter_mut().zip(handles) {
             *slot = Some(handle.join().expect("panel thread panicked"));
         }
-    })
-    .expect("panel scope panicked");
+    });
 
     results
         .into_iter()
@@ -236,7 +245,9 @@ mod tests {
         assert!(repe.is_homogeneous_type());
         assert_eq!(repe.group_by_repetitions().len(), 2);
 
-        let heter = SyntheticScenario::Heterogeneous.build_task_set(100).unwrap();
+        let heter = SyntheticScenario::Heterogeneous
+            .build_task_set(100)
+            .unwrap();
         assert!(!heter.is_homogeneous_type());
         assert_eq!(heter.group_by_type_and_repetitions().len(), 2);
         assert_eq!(SyntheticScenario::Homogeneous.label(), "homo");
@@ -277,7 +288,10 @@ mod tests {
             &config,
         )
         .unwrap();
-        assert!(panel.rows.iter().all(|r| r.latencies.iter().all(|(_, l)| l.is_finite() && *l > 0.0)));
+        assert!(panel
+            .rows
+            .iter()
+            .all(|r| r.latencies.iter().all(|(_, l)| l.is_finite() && *l > 0.0)));
     }
 
     #[test]

@@ -274,8 +274,7 @@ impl TuningStrategy for UniformPerGroupAllocation {
             for member in &group.members {
                 let task = &task_set.tasks()[member.0 as usize];
                 let reps = task.repetitions as usize;
-                per_task_payment[member.0 as usize] =
-                    Some(spread[cursor..cursor + reps].to_vec());
+                per_task_payment[member.0 as usize] = Some(spread[cursor..cursor + reps].to_vec());
                 cursor += reps;
             }
         }
@@ -306,8 +305,12 @@ mod tests {
         let mut set = TaskSet::new();
         let ty = set.add_type("vote", 2.0).unwrap();
         set.add_tasks(ty, reps, tasks).unwrap();
-        HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope()))
-            .unwrap()
+        HTuningProblem::new(
+            set,
+            Budget::units(budget),
+            Arc::new(LinearRate::unit_slope()),
+        )
+        .unwrap()
     }
 
     fn mixed_problem(budget: u64) -> HTuningProblem {
@@ -316,8 +319,12 @@ mod tests {
         let hard = set.add_type("hard", 1.0).unwrap();
         set.add_tasks(easy, 3, 2).unwrap();
         set.add_tasks(hard, 5, 2).unwrap();
-        HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope()))
-            .unwrap()
+        HTuningProblem::new(
+            set,
+            Budget::units(budget),
+            Arc::new(LinearRate::unit_slope()),
+        )
+        .unwrap()
     }
 
     #[test]

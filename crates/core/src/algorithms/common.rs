@@ -135,6 +135,91 @@ impl<'a, M: RateModel + ?Sized> GroupLatencyCache<'a, M> {
     pub fn groups(&self) -> &[TaskGroup] {
         self.groups
     }
+
+    /// Bulk-fills the memo tables for every `(group, payment)` pair the
+    /// marginal DP over `unit_costs` and `extra_budget` can reach, fanning
+    /// the numerical integrations out over all available cores with scoped
+    /// threads. The DP itself then runs against warm tables and does no
+    /// integration on its critical path.
+    ///
+    /// Only available with the `parallel` feature; without it the cache fills
+    /// lazily (and only for the pairs the DP actually visits).
+    #[cfg(feature = "parallel")]
+    pub fn precompute(&mut self, unit_costs: &[u64], extra_budget: u64) -> Result<()> {
+        // Fanning out only pays when there are cores to fan out to: on a
+        // single core the lazy path is strictly better (it integrates only
+        // the pairs the DP actually visits), so bow out early.
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if threads <= 1 {
+            return Ok(());
+        }
+        // Payments are capped at the same bound `new` pre-sizes for, so the
+        // table never balloons; anything beyond falls back to the lazy path.
+        const MAX_PRECOMPUTE_PAYMENT: u64 = 4096;
+        let mut jobs: Vec<(usize, u64)> = Vec::new();
+        for (index, &unit_cost) in unit_costs.iter().enumerate().take(self.groups.len()) {
+            if unit_cost == 0 {
+                return Err(CoreError::invalid_argument(
+                    "group unit-increment costs must be positive".to_owned(),
+                ));
+            }
+            let max_payment = (1 + extra_budget / unit_cost).min(MAX_PRECOMPUTE_PAYMENT);
+            let table = &mut self.cache[index];
+            if (table.len() as u64) < max_payment + 1 {
+                table.resize(max_payment as usize + 1, None);
+            }
+            for payment in 1..=max_payment {
+                if table[payment as usize].is_none() {
+                    jobs.push((index, payment));
+                }
+            }
+        }
+        if jobs.is_empty() {
+            return Ok(());
+        }
+
+        let threads = threads.min(jobs.len());
+        let chunk_size = jobs.len().div_ceil(threads);
+        let rate_model = self.rate_model;
+        let groups = self.groups;
+
+        let computed: Result<Vec<Vec<(usize, u64, f64)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || -> Result<Vec<(usize, u64, f64)>> {
+                        chunk
+                            .iter()
+                            .map(|&(index, payment)| {
+                                let rate = rate_model.on_hold_rate(payment as f64);
+                                if !rate.is_finite() || rate <= 0.0 {
+                                    return Err(CoreError::InvalidRate { payment, rate });
+                                }
+                                let group = &groups[index];
+                                let value = group_phase1_expected(
+                                    group.size() as u64,
+                                    group.repetitions,
+                                    rate,
+                                )?;
+                                Ok((index, payment, value))
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("latency precompute thread panicked"))
+                .collect()
+        });
+
+        for (index, payment, value) in computed?.into_iter().flatten() {
+            self.cache[index][payment as usize] = Some(value);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +250,10 @@ mod tests {
         assert!(spread_evenly(3, 0).is_err());
         assert!(matches!(
             spread_evenly(3, 5).unwrap_err(),
-            CoreError::InsufficientBudget { provided: 3, required: 5 }
+            CoreError::InsufficientBudget {
+                provided: 3,
+                required: 5
+            }
         ));
     }
 
@@ -205,6 +293,30 @@ mod tests {
         // groups that do not cover every task are rejected
         let partial = vec![groups[0].clone()];
         assert!(allocation_from_group_payments(&set, &partial, &[2]).is_err());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_precompute_matches_lazy_evaluation() {
+        let (_, groups) = two_group_set();
+        let model = LinearRate::moderate();
+        let unit_costs: Vec<u64> = groups.iter().map(|g| g.unit_increment_cost()).collect();
+        let extra_budget = 200u64;
+
+        let mut warm = GroupLatencyCache::new(&model, &groups, 16);
+        warm.precompute(&unit_costs, extra_budget).unwrap();
+        let mut lazy = GroupLatencyCache::new(&model, &groups, 16);
+
+        for (index, &unit_cost) in unit_costs.iter().enumerate() {
+            for payment in 1..=(1 + extra_budget / unit_cost) {
+                let expected = lazy.phase1(index, payment).unwrap();
+                let cached = warm.phase1(index, payment).unwrap();
+                assert!(
+                    cached.to_bits() == expected.to_bits(),
+                    "group {index} payment {payment}: {cached} != {expected}"
+                );
+            }
+        }
     }
 
     #[test]

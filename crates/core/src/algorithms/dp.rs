@@ -37,60 +37,121 @@ pub struct DpOutcome {
 pub fn marginal_budget_dp<F>(
     unit_costs: &[u64],
     extra_budget: u64,
-    mut objective: F,
+    objective: F,
 ) -> Result<DpOutcome>
 where
     F: FnMut(&[u64]) -> Result<f64>,
 {
-    if unit_costs.is_empty() {
-        return Err(CoreError::EmptyTaskSet);
-    }
-    if unit_costs.iter().any(|&u| u == 0) {
-        return Err(CoreError::invalid_argument(
-            "group unit-increment costs must be positive".to_owned(),
-        ));
-    }
-    let n = unit_costs.len();
-    let base = vec![1u64; n];
-    let base_objective = objective(&base)?;
+    let table = DpTable::build(unit_costs, extra_budget, objective)?;
+    table.outcome_at(extra_budget)
+}
 
-    // states[x] = best (payments, objective, extra_spent) using at most x
-    // extra budget units.
-    let mut states: Vec<(Vec<u64>, f64, u64)> = Vec::with_capacity(extra_budget as usize + 1);
-    states.push((base, base_objective, 0));
+/// The full state table of the budget-indexed marginal DP.
+///
+/// The recursion of Algorithms 2 and 3 is a prefix computation: the best plan
+/// for every budget level `x ≤ B'` is produced on the way to `B'`. Keeping
+/// the whole table around therefore gives two cheap operations that the
+/// online re-tuner exploits:
+///
+/// * [`DpTable::outcome_at`] answers *any smaller* discretionary budget in
+///   `O(1)` — re-tuning a job whose remaining budget shrank (but whose group
+///   structure and rate estimates are unchanged) costs nothing;
+/// * [`DpTable::extend_to`] warm-starts from the last computed level instead
+///   of restarting at zero when the budget *grew* (e.g. a topped-up job).
+#[derive(Debug, Clone)]
+pub struct DpTable {
+    unit_costs: Vec<u64>,
+    /// states[x] = best (payments, objective, extra_spent) using at most x
+    /// extra budget units.
+    states: Vec<(Vec<u64>, f64, u64)>,
+}
 
-    for x in 1..=extra_budget {
-        // Candidate 1: do not spend the x-th unit (carry the previous state).
-        let mut best = states[(x - 1) as usize].clone();
-        // Candidate 2..n+1: give one more unit-increment to group i, built on
-        // the best state with x − u_i extra budget.
-        for (i, &u) in unit_costs.iter().enumerate() {
-            if u <= x {
-                let prev = &states[(x - u) as usize];
-                let mut candidate = prev.0.clone();
-                candidate[i] += 1;
-                let value = objective(&candidate)?;
-                let spent = prev.2 + u;
-                // Strict improvements always win; on plateaus (the objective
-                // is unchanged by the increment, e.g. a rate model that is
-                // flat at low payments) prefer the plan that spends more, so
-                // the DP can walk through the flat region instead of
-                // stalling at the base allocation.
-                let epsilon = 1e-12 * value.abs().max(1.0);
-                if value < best.1 - epsilon || (value <= best.1 + epsilon && spent > best.2) {
-                    best = (candidate, value, spent);
+impl DpTable {
+    /// Builds the table up to `extra_budget`.
+    pub fn build<F>(unit_costs: &[u64], extra_budget: u64, mut objective: F) -> Result<Self>
+    where
+        F: FnMut(&[u64]) -> Result<f64>,
+    {
+        if unit_costs.is_empty() {
+            return Err(CoreError::EmptyTaskSet);
+        }
+        if unit_costs.contains(&0) {
+            return Err(CoreError::invalid_argument(
+                "group unit-increment costs must be positive".to_owned(),
+            ));
+        }
+        let base = vec![1u64; unit_costs.len()];
+        let base_objective = objective(&base)?;
+        let mut table = DpTable {
+            unit_costs: unit_costs.to_vec(),
+            states: Vec::with_capacity(extra_budget as usize + 1),
+        };
+        table.states.push((base, base_objective, 0));
+        table.extend_to(extra_budget, objective)?;
+        Ok(table)
+    }
+
+    /// Extends the table to cover budgets up to `extra_budget`, reusing every
+    /// already-computed level (the warm-start path). A no-op when the table
+    /// already covers the requested budget.
+    pub fn extend_to<F>(&mut self, extra_budget: u64, mut objective: F) -> Result<()>
+    where
+        F: FnMut(&[u64]) -> Result<f64>,
+    {
+        let start = self.states.len() as u64;
+        for x in start..=extra_budget {
+            // Candidate 1: do not spend the x-th unit (carry the previous
+            // state).
+            let mut best = self.states[(x - 1) as usize].clone();
+            // Candidate 2..n+1: give one more unit-increment to group i,
+            // built on the best state with x − u_i extra budget.
+            for (i, &u) in self.unit_costs.iter().enumerate() {
+                if u <= x {
+                    let prev = &self.states[(x - u) as usize];
+                    let mut candidate = prev.0.clone();
+                    candidate[i] += 1;
+                    let value = objective(&candidate)?;
+                    let spent = prev.2 + u;
+                    // Strict improvements always win; on plateaus (the
+                    // objective is unchanged by the increment, e.g. a rate
+                    // model that is flat at low payments) prefer the plan
+                    // that spends more, so the DP can walk through the flat
+                    // region instead of stalling at the base allocation.
+                    let epsilon = 1e-12 * value.abs().max(1.0);
+                    if value < best.1 - epsilon || (value <= best.1 + epsilon && spent > best.2) {
+                        best = (candidate, value, spent);
+                    }
                 }
             }
+            self.states.push(best);
         }
-        states.push(best);
+        Ok(())
     }
 
-    let (payments, objective, extra_spent) = states.pop().expect("at least the base state exists");
-    Ok(DpOutcome {
-        payments,
-        objective,
-        extra_spent,
-    })
+    /// The largest discretionary budget the table covers.
+    pub fn max_budget(&self) -> u64 {
+        self.states.len() as u64 - 1
+    }
+
+    /// The group unit-increment costs the table was built for.
+    pub fn unit_costs(&self) -> &[u64] {
+        &self.unit_costs
+    }
+
+    /// Reads the best plan for any budget level the table covers.
+    pub fn outcome_at(&self, extra_budget: u64) -> Result<DpOutcome> {
+        let state = self.states.get(extra_budget as usize).ok_or_else(|| {
+            CoreError::invalid_argument(format!(
+                "DP table covers budgets up to {}, requested {extra_budget}",
+                self.max_budget()
+            ))
+        })?;
+        Ok(DpOutcome {
+            payments: state.0.clone(),
+            objective: state.1,
+            extra_spent: state.2,
+        })
+    }
 }
 
 /// Exhaustively enumerates every per-group payment vector affordable within
@@ -231,7 +292,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         for budget in 0..20u64 {
             let out = marginal_budget_dp(&[2, 3], budget, harmonic_objective(&[4.0, 9.0])).unwrap();
-            assert!(out.objective <= prev + 1e-12, "objective must not increase with budget");
+            assert!(
+                out.objective <= prev + 1e-12,
+                "objective must not increase with budget"
+            );
             prev = out.objective;
         }
     }
@@ -256,13 +320,43 @@ mod tests {
         // With unit costs [2, 2] and 4 extra units the affordable payment
         // vectors are (1,1),(2,1),(1,2),(3,1),(2,2),(1,3) — the objective
         // below is minimised uniquely at (2,2).
-        let objective = |p: &[u64]| {
-            Ok(((p[0] as f64) - 2.0).powi(2) + ((p[1] as f64) - 2.0).powi(2))
-        };
+        let objective =
+            |p: &[u64]| Ok(((p[0] as f64) - 2.0).powi(2) + ((p[1] as f64) - 2.0).powi(2));
         let out = exhaustive_group_search(&[2, 2], 4, objective).unwrap();
         assert_eq!(out.payments, vec![2, 2]);
         assert_eq!(out.extra_spent, 4);
         assert!(out.objective.abs() < 1e-12);
+    }
+
+    #[test]
+    fn dp_table_prefix_reads_match_fresh_solves() {
+        let table = DpTable::build(&[2, 3], 20, harmonic_objective(&[4.0, 9.0])).unwrap();
+        assert_eq!(table.max_budget(), 20);
+        assert_eq!(table.unit_costs(), &[2, 3]);
+        for budget in 0..=20u64 {
+            let fresh =
+                marginal_budget_dp(&[2, 3], budget, harmonic_objective(&[4.0, 9.0])).unwrap();
+            let cached = table.outcome_at(budget).unwrap();
+            assert_eq!(cached, fresh, "budget {budget}");
+        }
+        assert!(table.outcome_at(21).is_err());
+    }
+
+    #[test]
+    fn dp_table_warm_start_extension_matches_cold_build() {
+        let mut warm = DpTable::build(&[1, 2], 5, harmonic_objective(&[1.0, 5.0])).unwrap();
+        warm.extend_to(15, harmonic_objective(&[1.0, 5.0])).unwrap();
+        let cold = DpTable::build(&[1, 2], 15, harmonic_objective(&[1.0, 5.0])).unwrap();
+        for budget in 0..=15u64 {
+            assert_eq!(
+                warm.outcome_at(budget).unwrap(),
+                cold.outcome_at(budget).unwrap(),
+                "budget {budget}"
+            );
+        }
+        // Extending backwards is a no-op.
+        warm.extend_to(3, harmonic_objective(&[1.0, 5.0])).unwrap();
+        assert_eq!(warm.max_budget(), 15);
     }
 
     #[test]

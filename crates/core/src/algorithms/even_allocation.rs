@@ -70,7 +70,10 @@ impl EvenAllocation {
         // Scenario I requires uniform repetitions; for robustness EA degrades
         // gracefully to per-repetition even spreading when they differ.
         if !task_set.is_uniform_repetitions() {
-            let spread = spread_evenly(problem.budget().as_units(), task_set.total_repetitions() as usize)?;
+            let spread = spread_evenly(
+                problem.budget().as_units(),
+                task_set.total_repetitions() as usize,
+            )?;
             let mut allocation = Allocation::with_capacity(tasks.len());
             let mut cursor = 0usize;
             for task in tasks {
@@ -167,7 +170,12 @@ mod tests {
         let mut set = TaskSet::new();
         let ty = set.add_type("vote", 2.0).unwrap();
         set.add_tasks(ty, reps, tasks).unwrap();
-        HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope())).unwrap()
+        HTuningProblem::new(
+            set,
+            Budget::units(budget),
+            Arc::new(LinearRate::unit_slope()),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -196,7 +204,10 @@ mod tests {
         let totals: Vec<u64> = (0..4).map(|i| alloc.task_total(i).as_units()).collect();
         let min = totals.iter().min().unwrap();
         let max = totals.iter().max().unwrap();
-        assert!(max - min <= 1, "per-task totals {totals:?} must be balanced");
+        assert!(
+            max - min <= 1,
+            "per-task totals {totals:?} must be balanced"
+        );
     }
 
     #[test]
@@ -258,12 +269,9 @@ mod tests {
         // the same budget.
         let problem = homogeneous_problem(2, 1, 6);
         let ea = EvenAllocation::new().tune(&problem).unwrap();
-        let estimator =
-            JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
-        let biased = Allocation::from_matrix(vec![
-            vec![Payment::units(2)],
-            vec![Payment::units(4)],
-        ]);
+        let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
+        let biased =
+            Allocation::from_matrix(vec![vec![Payment::units(2)], vec![Payment::units(4)]]);
         let ea_latency = ea.objective.unwrap();
         let biased_latency = estimator
             .analytic_expected_latency(&biased, PhaseSelection::OnHoldOnly)

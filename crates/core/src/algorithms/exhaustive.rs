@@ -44,10 +44,7 @@ impl ExhaustiveSearch {
         }
     }
 
-    fn enumerate(
-        &self,
-        problem: &HTuningProblem,
-    ) -> Result<(Allocation, f64)> {
+    fn enumerate(&self, problem: &HTuningProblem) -> Result<(Allocation, f64)> {
         let task_set = problem.task_set();
         let slots = task_set.total_repetitions();
         let budget = problem.budget().as_units();
@@ -76,7 +73,7 @@ impl ExhaustiveSearch {
             if slot == current.len() {
                 let allocation = allocation_from_flat(current, reps);
                 let latency = estimator.analytic_expected_latency(&allocation, phases)?;
-                let better = best.as_ref().map_or(true, |(_, b)| latency < *b);
+                let better = best.as_ref().is_none_or(|(_, b)| latency < *b);
                 if better {
                     *best = Some((current.clone(), latency));
                 }
@@ -158,8 +155,12 @@ mod tests {
         let mut set = TaskSet::new();
         let ty = set.add_type("vote", 2.0).unwrap();
         set.add_tasks(ty, reps, tasks).unwrap();
-        HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::new(1.0, 0.0).unwrap()))
-            .unwrap()
+        HTuningProblem::new(
+            set,
+            Budget::units(budget),
+            Arc::new(LinearRate::new(1.0, 0.0).unwrap()),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -173,7 +174,11 @@ mod tests {
         // Lemma 1: two identical single-round tasks, budget 6 -> 3/3 is best.
         let problem = problem(2, 1, 6);
         let result = ExhaustiveSearch::on_hold_only().tune(&problem).unwrap();
-        let payments: Vec<u64> = result.allocation.iter().map(|(_, _, p)| p.as_units()).collect();
+        let payments: Vec<u64> = result
+            .allocation
+            .iter()
+            .map(|(_, _, p)| p.as_units())
+            .collect();
         assert_eq!(payments, vec![3, 3]);
     }
 
@@ -182,7 +187,11 @@ mod tests {
         // Lemma 2: one task with 3 repetitions, budget 9 -> 3/3/3.
         let problem = problem(1, 3, 9);
         let result = ExhaustiveSearch::on_hold_only().tune(&problem).unwrap();
-        let payments: Vec<u64> = result.allocation.iter().map(|(_, _, p)| p.as_units()).collect();
+        let payments: Vec<u64> = result
+            .allocation
+            .iter()
+            .map(|(_, _, p)| p.as_units())
+            .collect();
         assert_eq!(payments, vec![3, 3, 3]);
     }
 

@@ -115,6 +115,8 @@ impl HeterogeneousAlgorithm {
         let rate_model = problem.rate_model().clone();
         let max_payment_hint = 1 + extra_budget / unit_costs.iter().min().copied().unwrap_or(1);
         let mut cache = GroupLatencyCache::new(&rate_model, &groups, max_payment_hint.min(4096));
+        #[cfg(feature = "parallel")]
+        cache.precompute(&unit_costs, extra_budget)?;
 
         // Objective O1: sum of expected phase-1 group latencies.
         let o1 = |cache: &mut GroupLatencyCache<'_, _>, payments: &[u64]| -> Result<f64> {
@@ -188,8 +190,8 @@ impl TuningStrategy for HeterogeneousAlgorithm {
 mod tests {
     use super::*;
     use crate::latency::{JobLatencyEstimator, PhaseSelection};
-    use crate::money::{Budget, Payment};
     use crate::money::Allocation;
+    use crate::money::{Budget, Payment};
     use crate::rate::LinearRate;
     use crate::task::TaskSet;
     use std::sync::Arc;
@@ -202,8 +204,12 @@ mod tests {
         let hard = set.add_type("sorting vote", 1.0).unwrap();
         set.add_tasks(easy, 3, 3).unwrap();
         set.add_tasks(hard, 5, 3).unwrap();
-        HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope()))
-            .unwrap()
+        HTuningProblem::new(
+            set,
+            Budget::units(budget),
+            Arc::new(LinearRate::unit_slope()),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -234,8 +240,8 @@ mod tests {
         assert!(report.o1 + 1e-9 >= report.o1_star);
         assert!(report.o2 + 1e-9 >= report.o2_star);
         // Closeness equals the norm distance between OP and UP.
-        let recomputed = ClosenessNorm::L1
-            .distance((report.o1, report.o2), (report.o1_star, report.o2_star));
+        let recomputed =
+            ClosenessNorm::L1.distance((report.o1, report.o2), (report.o1_star, report.o2_star));
         assert!((recomputed - report.closeness).abs() < 1e-9);
         assert_eq!(report.group_payments.len(), 2);
         assert!(report.group_payments.iter().all(|&p| p >= 1));
@@ -317,12 +323,9 @@ mod tests {
         let mut set = TaskSet::new();
         let ty = set.add_type("vote", 2.0).unwrap();
         set.add_tasks(ty, 2, 4).unwrap();
-        let problem = HTuningProblem::new(
-            set,
-            Budget::units(40),
-            Arc::new(LinearRate::unit_slope()),
-        )
-        .unwrap();
+        let problem =
+            HTuningProblem::new(set, Budget::units(40), Arc::new(LinearRate::unit_slope()))
+                .unwrap();
         let (result, report) = HeterogeneousAlgorithm::new()
             .tune_detailed(&problem)
             .unwrap();

@@ -27,7 +27,7 @@ pub use baselines::{
     BiasedAllocation, RepetitionEvenAllocation, TaskEvenAllocation, UniformPerGroupAllocation,
 };
 pub use common::{allocation_from_group_payments, spread_evenly, GroupLatencyCache};
-pub use dp::{exhaustive_group_search, marginal_budget_dp, DpOutcome};
+pub use dp::{exhaustive_group_search, marginal_budget_dp, DpOutcome, DpTable};
 pub use even_allocation::EvenAllocation;
 pub use exhaustive::ExhaustiveSearch;
 pub use heterogeneous::{ClosenessNorm, CompromiseReport, HeterogeneousAlgorithm};

@@ -41,6 +41,8 @@ impl TuningStrategy for RepetitionAlgorithm {
         let rate_model = problem.rate_model().clone();
         let max_payment_hint = 1 + extra_budget / unit_costs.iter().min().copied().unwrap_or(1);
         let mut cache = GroupLatencyCache::new(&rate_model, &groups, max_payment_hint.min(4096));
+        #[cfg(feature = "parallel")]
+        cache.precompute(&unit_costs, extra_budget)?;
 
         let outcome = marginal_budget_dp(&unit_costs, extra_budget, |payments| {
             let mut sum = 0.0;
@@ -78,8 +80,12 @@ mod tests {
         let ty = set.add_type("vote", 2.0).unwrap();
         set.add_tasks(ty, 3, 4).unwrap();
         set.add_tasks(ty, 5, 4).unwrap();
-        HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope()))
-            .unwrap()
+        HTuningProblem::new(
+            set,
+            Budget::units(budget),
+            Arc::new(LinearRate::unit_slope()),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -144,18 +150,15 @@ mod tests {
             let unit_costs: Vec<u64> = groups.iter().map(|g| g.unit_increment_cost()).collect();
             let rate_model = problem.rate_model().clone();
             let mut cache = GroupLatencyCache::new(&rate_model, &groups, 64);
-            let brute = exhaustive_group_search(
-                &unit_costs,
-                problem.discretionary_budget(),
-                |payments| {
+            let brute =
+                exhaustive_group_search(&unit_costs, problem.discretionary_budget(), |payments| {
                     let mut sum = 0.0;
                     for (i, &p) in payments.iter().enumerate() {
                         sum += cache.phase1(i, p)?;
                     }
                     Ok(sum)
-                },
-            )
-            .unwrap();
+                })
+                .unwrap();
             let dp_objective = result.objective.unwrap();
             assert!(
                 (dp_objective - brute.objective).abs() < 1e-9,
@@ -236,12 +239,9 @@ mod tests {
         let mut set = TaskSet::new();
         let ty = set.add_type("vote", 2.0).unwrap();
         set.add_tasks(ty, 4, 3).unwrap();
-        let problem = HTuningProblem::new(
-            set,
-            Budget::units(60),
-            Arc::new(LinearRate::unit_slope()),
-        )
-        .unwrap();
+        let problem =
+            HTuningProblem::new(set, Budget::units(60), Arc::new(LinearRate::unit_slope()))
+                .unwrap();
         let result = RepetitionAlgorithm::new().tune(&problem).unwrap();
         let payments: Vec<u64> = result
             .allocation
@@ -259,8 +259,7 @@ mod tests {
         set.add_tasks(ty, 3, 2).unwrap();
         set.add_tasks(ty, 5, 2).unwrap();
         let quad = crate::rate::QuadraticRate::paper();
-        let problem =
-            HTuningProblem::new(set.clone(), Budget::units(120), Arc::new(quad)).unwrap();
+        let problem = HTuningProblem::new(set.clone(), Budget::units(120), Arc::new(quad)).unwrap();
         let result = RepetitionAlgorithm::new().tune(&problem).unwrap();
         problem.check_feasible(&result.allocation).unwrap();
 

@@ -143,9 +143,7 @@ mod tests {
         // Small deterministic perturbations around λ = 2p + 1.
         let noise = [0.05, -0.03, 0.04, -0.02, 0.01, -0.05];
         let points: Vec<PriceRatePoint> = (1..=6)
-            .map(|p| {
-                PriceRatePoint::new(p as f64, 2.0 * p as f64 + 1.0 + noise[(p - 1) as usize])
-            })
+            .map(|p| PriceRatePoint::new(p as f64, 2.0 * p as f64 + 1.0 + noise[(p - 1) as usize]))
             .collect();
         let fit = fit_linearity(&points).unwrap();
         assert!((fit.k - 2.0).abs() < 0.05);
@@ -186,10 +184,7 @@ mod tests {
         assert!(fit_linearity(&[]).is_err());
         assert!(fit_linearity(&[PriceRatePoint::new(1.0, 2.0)]).is_err());
         // identical prices
-        let same_price = [
-            PriceRatePoint::new(2.0, 1.0),
-            PriceRatePoint::new(2.0, 3.0),
-        ];
+        let same_price = [PriceRatePoint::new(2.0, 1.0), PriceRatePoint::new(2.0, 3.0)];
         assert_eq!(
             fit_linearity(&same_price).unwrap_err(),
             CoreError::DegenerateRegression

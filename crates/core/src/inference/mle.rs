@@ -273,8 +273,8 @@ mod tests {
             "estimate {} too far from {true_rate}",
             est.rate
         );
-        let fixed = estimate_rate_fixed_period(epochs.len() as u64, *epochs.last().unwrap())
-            .unwrap();
+        let fixed =
+            estimate_rate_fixed_period(epochs.len() as u64, *epochs.last().unwrap()).unwrap();
         assert!((fixed.rate - est.rate).abs() < 1e-12);
     }
 }

@@ -72,8 +72,10 @@ pub fn group_total_expected(
     on_hold_rate: f64,
     processing_rate: f64,
 ) -> Result<f64> {
-    Ok(group_phase1_expected(group_size, repetitions, on_hold_rate)?
-        + group_phase2_expected(repetitions, processing_rate)?)
+    Ok(
+        group_phase1_expected(group_size, repetitions, on_hold_rate)?
+            + group_phase2_expected(repetitions, processing_rate)?,
+    )
 }
 
 /// Expected phase-1 latency of a [`TaskGroup`] under a rate model and a

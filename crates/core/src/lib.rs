@@ -69,7 +69,7 @@ pub mod tuner;
 
 pub use error::{CoreError, Result};
 pub use money::{Allocation, Budget, Payment};
-pub use problem::{HTuningProblem, Scenario, TuningResult, TuningStrategy};
+pub use problem::{HTuningProblem, RemainingProblem, Scenario, TuningResult, TuningStrategy};
 pub use rate::{LinearRate, PaperRateModel, RateModel};
 pub use task::{TaskSet, TaskType};
 pub use tuner::{TunedPlan, Tuner};

@@ -24,9 +24,7 @@ pub use crate::inference::{
 };
 pub use crate::latency::{JobLatencyEstimator, PhaseSelection};
 pub use crate::money::{Allocation, Budget, Payment};
-pub use crate::problem::{
-    HTuningProblem, LatencyTarget, Scenario, TuningResult, TuningStrategy,
-};
+pub use crate::problem::{HTuningProblem, LatencyTarget, Scenario, TuningResult, TuningStrategy};
 pub use crate::rate::{
     FnRate, LinearRate, LogRate, PaperRateModel, QuadraticRate, RateModel, TabulatedRate,
 };

@@ -89,11 +89,7 @@ impl fmt::Debug for HTuningProblem {
 impl HTuningProblem {
     /// Creates a problem instance, validating that the task set is non-empty
     /// and the budget can cover at least one payment unit per repetition.
-    pub fn new(
-        task_set: TaskSet,
-        budget: Budget,
-        rate_model: Arc<dyn RateModel>,
-    ) -> Result<Self> {
+    pub fn new(task_set: TaskSet, budget: Budget, rate_model: Arc<dyn RateModel>) -> Result<Self> {
         task_set.validate()?;
         let required = task_set.total_repetitions();
         if !budget.covers(required) {
@@ -158,6 +154,83 @@ impl HTuningProblem {
         }
     }
 
+    /// Returns a copy of the problem under a different market condition
+    /// (on-hold rate model). Used by the online re-tuner when probe
+    /// re-estimation detects drift.
+    pub fn with_rate_model(&self, rate_model: Arc<dyn RateModel>) -> Self {
+        HTuningProblem {
+            task_set: self.task_set.clone(),
+            budget: self.budget,
+            rate_model,
+        }
+    }
+
+    /// Builds the *remaining* tuning problem after part of the job has
+    /// completed: the sub-problem over the repetitions still outstanding and
+    /// the budget still unspent — the input to mid-flight re-tuning.
+    ///
+    /// * `completed[i]` — number of repetitions of task `i` already finished
+    ///   (and paid for);
+    /// * `spent_units` — budget units already committed to those completed
+    ///   repetitions.
+    ///
+    /// Tasks whose repetitions are all complete drop out of the remaining
+    /// set; the returned [`RemainingProblem::task_indices`] maps each
+    /// remaining task back to its index in the original task set. Returns
+    /// `Ok(None)` when every repetition is complete. Errors if the progress
+    /// report is inconsistent with the problem, or if the unspent budget can
+    /// no longer cover one unit per outstanding repetition.
+    pub fn remaining_after(
+        &self,
+        completed: &[u32],
+        spent_units: u64,
+    ) -> Result<Option<RemainingProblem>> {
+        if completed.len() != self.task_set.len() {
+            return Err(CoreError::invalid_argument(format!(
+                "progress covers {} tasks, expected {}",
+                completed.len(),
+                self.task_set.len()
+            )));
+        }
+        if spent_units > self.budget.as_units() {
+            return Err(CoreError::invalid_argument(format!(
+                "spent {spent_units} units exceeds the budget of {}",
+                self.budget.as_units()
+            )));
+        }
+
+        let mut remaining_set = TaskSet::new();
+        for ty in self.task_set.types() {
+            remaining_set.add_type(ty.name.clone(), ty.processing_rate)?;
+        }
+        let mut task_indices = Vec::new();
+        for (index, task) in self.task_set.tasks().iter().enumerate() {
+            let done = completed[index];
+            if done > task.repetitions {
+                return Err(CoreError::invalid_argument(format!(
+                    "task {index}: {done} repetitions reported complete, only {} required",
+                    task.repetitions
+                )));
+            }
+            let left = task.repetitions - done;
+            if left > 0 {
+                remaining_set.add_task(task.task_type, left)?;
+                task_indices.push(index);
+            }
+        }
+        if remaining_set.is_empty() {
+            return Ok(None);
+        }
+
+        let remaining_budget = Budget::units(self.budget.as_units() - spent_units);
+        let problem =
+            HTuningProblem::new(remaining_set, remaining_budget, self.rate_model.clone())?;
+        Ok(Some(RemainingProblem {
+            problem,
+            task_indices,
+        }))
+    }
+
     /// Returns an error unless `allocation` is feasible for this problem:
     /// covers every task, pays at least one unit per repetition and stays
     /// within budget.
@@ -192,6 +265,18 @@ impl HTuningProblem {
         }
         Ok(())
     }
+}
+
+/// The sub-problem left over after part of a job has completed, produced by
+/// [`HTuningProblem::remaining_after`].
+#[derive(Debug, Clone)]
+pub struct RemainingProblem {
+    /// The tuning problem over the outstanding repetitions and the unspent
+    /// budget.
+    pub problem: HTuningProblem,
+    /// For each task of the remaining problem (in order), the index of the
+    /// corresponding task in the original task set.
+    pub task_indices: Vec<usize>,
 }
 
 /// The output of a tuning strategy.
@@ -247,8 +332,12 @@ mod tests {
             let ty = set.add_type(format!("type{i}"), lp).unwrap();
             set.add_tasks(ty, reps[i], count as usize).unwrap();
         }
-        HTuningProblem::new(set, Budget::units(budget), Arc::new(LinearRate::unit_slope()))
-            .unwrap()
+        HTuningProblem::new(
+            set,
+            Budget::units(budget),
+            Arc::new(LinearRate::unit_slope()),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -259,7 +348,10 @@ mod tests {
         let model: Arc<dyn RateModel> = Arc::new(LinearRate::unit_slope());
         // 12 repetition slots -> budget 11 is insufficient
         let err = HTuningProblem::new(set.clone(), Budget::units(11), model.clone()).unwrap_err();
-        assert!(matches!(err, CoreError::InsufficientBudget { required: 12, .. }));
+        assert!(matches!(
+            err,
+            CoreError::InsufficientBudget { required: 12, .. }
+        ));
         assert!(HTuningProblem::new(set, Budget::units(12), model.clone()).is_ok());
         // empty task set
         let err = HTuningProblem::new(TaskSet::new(), Budget::units(10), model).unwrap_err();
@@ -276,12 +368,8 @@ mod tests {
         let ty = set.add_type("t", 2.0).unwrap();
         set.add_tasks(ty, 3, 2).unwrap();
         set.add_tasks(ty, 5, 2).unwrap();
-        let repe = HTuningProblem::new(
-            set,
-            Budget::units(100),
-            Arc::new(LinearRate::unit_slope()),
-        )
-        .unwrap();
+        let repe = HTuningProblem::new(set, Budget::units(100), Arc::new(LinearRate::unit_slope()))
+            .unwrap();
         assert_eq!(repe.scenario(), Scenario::Repetition);
         assert_eq!(repe.default_target(), LatencyTarget::GroupSumOnHold);
 
@@ -334,9 +422,64 @@ mod tests {
     }
 
     #[test]
+    fn remaining_after_reduces_tasks_and_budget() {
+        // 3 tasks of 4 reps each, budget 60.
+        let p = problem(&[(3, 2.0)], &[4], 60);
+        // Task 0 fully done, task 1 half done, task 2 untouched; 10 units
+        // spent so far.
+        let remaining = p.remaining_after(&[4, 2, 0], 10).unwrap().unwrap();
+        assert_eq!(remaining.task_indices, vec![1, 2]);
+        assert_eq!(remaining.problem.task_set().len(), 2);
+        assert_eq!(remaining.problem.task_set().repetition_counts(), vec![2, 4]);
+        assert_eq!(remaining.problem.budget(), Budget::units(50));
+        // Types carry over.
+        assert_eq!(remaining.problem.task_set().types().len(), 1);
+        assert!((remaining.problem.task_set().types()[0].processing_rate - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remaining_after_complete_job_is_none() {
+        let p = problem(&[(2, 1.0)], &[2], 20);
+        assert!(p.remaining_after(&[2, 2], 20).unwrap().is_none());
+    }
+
+    #[test]
+    fn remaining_after_validates_progress() {
+        let p = problem(&[(2, 1.0)], &[3], 30);
+        // Wrong task count.
+        assert!(p.remaining_after(&[1], 5).is_err());
+        // More completions than repetitions.
+        assert!(p.remaining_after(&[4, 0], 5).is_err());
+        // Overspent.
+        assert!(p.remaining_after(&[1, 1], 31).is_err());
+        // Budget left cannot cover the outstanding repetitions.
+        assert!(matches!(
+            p.remaining_after(&[1, 0], 27),
+            Err(CoreError::InsufficientBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn with_rate_model_swaps_market_only() {
+        let p = problem(&[(2, 2.0)], &[2], 30);
+        let swapped = p.with_rate_model(Arc::new(LinearRate::steep()));
+        assert_eq!(swapped.budget(), p.budget());
+        assert_eq!(swapped.task_set(), p.task_set());
+        assert_ne!(
+            swapped.rate_model().on_hold_rate(5.0),
+            p.rate_model().on_hold_rate(5.0)
+        );
+    }
+
+    #[test]
     fn tuning_result_constructor() {
         let alloc = Allocation::uniform(&[1], Payment::units(1));
-        let r = TuningResult::new("EA", alloc.clone(), Some(1.5), LatencyTarget::ExpectedMaxOnHold);
+        let r = TuningResult::new(
+            "EA",
+            alloc.clone(),
+            Some(1.5),
+            LatencyTarget::ExpectedMaxOnHold,
+        );
         assert_eq!(r.strategy, "EA");
         assert_eq!(r.allocation, alloc);
         assert_eq!(r.objective, Some(1.5));

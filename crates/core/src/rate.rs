@@ -280,7 +280,9 @@ impl FnRate {
 
 impl fmt::Debug for FnRate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FnRate").field("label", &self.label).finish()
+        f.debug_struct("FnRate")
+            .field("label", &self.label)
+            .finish()
     }
 }
 

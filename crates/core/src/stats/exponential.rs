@@ -186,10 +186,7 @@ mod tests {
         let n = 10;
         let mut acc = 0.0;
         for _ in 0..trials {
-            let max = d
-                .sample_n(&mut rng, n)
-                .into_iter()
-                .fold(f64::MIN, f64::max);
+            let max = d.sample_n(&mut rng, n).into_iter().fold(f64::MIN, f64::max);
             acc += max;
         }
         let empirical = acc / trials as f64;

@@ -227,7 +227,10 @@ mod tests {
         assert!(large > small);
         let slow = expected_max_erlang(5, 4, 1.0).unwrap();
         let fast = expected_max_erlang(5, 4, 2.0).unwrap();
-        assert!((slow / fast - 2.0).abs() < 1e-6, "rate scaling should halve latency");
+        assert!(
+            (slow / fast - 2.0).abs() < 1e-6,
+            "rate scaling should halve latency"
+        );
     }
 
     #[test]
@@ -346,10 +349,8 @@ mod tests {
         let case = |p1: f64, p2_per_rep: f64| {
             let t1 = Exponential::new(rate(p1)).unwrap();
             let t2 = Erlang::new(2, rate(p2_per_rep)).unwrap();
-            let cdfs: Vec<Box<dyn Fn(f64) -> f64>> = vec![
-                Box::new(move |t| t1.cdf(t)),
-                Box::new(move |t| t2.cdf(t)),
-            ];
+            let cdfs: Vec<Box<dyn Fn(f64) -> f64>> =
+                vec![Box::new(move |t| t1.cdf(t)), Box::new(move |t| t2.cdf(t))];
             expected_max_independent_cdfs(&cdfs, 3.0).unwrap()
         };
         let even = case(3.0, 1.5);

@@ -177,7 +177,10 @@ mod tests {
         let thinned = process.thin(0.25).unwrap();
         assert!((thinned.rate() - 1.0).abs() < 1e-12);
         assert!(process.thin(1.5).is_err());
-        assert!(process.thin(0.0).is_err(), "zero acceptance yields an invalid (rate-0) process");
+        assert!(
+            process.thin(0.0).is_err(),
+            "zero acceptance yields an invalid (rate-0) process"
+        );
         let merged = process.merge(&thinned);
         assert!((merged.rate() - 5.0).abs() < 1e-12);
     }

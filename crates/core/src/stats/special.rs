@@ -15,14 +15,14 @@ use crate::error::{CoreError, Result};
 pub fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients for g = 7.
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -46,7 +46,7 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// CDF `Pr[X ≤ t]`. Uses the series expansion for `x < a + 1` and the
 /// continued fraction for the complement otherwise (Numerical-Recipes style).
 pub fn gamma_p(a: f64, x: f64) -> Result<f64> {
-    if !(a.is_finite() && a > 0.0) || !x.is_finite() || x < 0.0 {
+    if !(a.is_finite() && a > 0.0 && x.is_finite() && x >= 0.0) {
         return Err(CoreError::invalid_argument(format!(
             "gamma_p requires a > 0 and x >= 0 (a={a}, x={x})"
         )));
@@ -121,7 +121,7 @@ fn gamma_q_continued_fraction(a: f64, x: f64) -> Result<f64> {
 
 /// CDF of a Gamma distribution with the given shape and rate at point `t`.
 pub fn gamma_cdf(shape: f64, rate: f64, t: f64) -> Result<f64> {
-    if !(shape.is_finite() && shape > 0.0) || !(rate.is_finite() && rate > 0.0) {
+    if !(shape.is_finite() && shape > 0.0 && rate.is_finite() && rate > 0.0) {
         return Err(CoreError::invalid_distribution(format!(
             "gamma_cdf requires positive shape and rate (shape={shape}, rate={rate})"
         )));

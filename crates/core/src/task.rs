@@ -121,7 +121,10 @@ impl TaskSet {
     /// Builds a task set from parts, validating that every task references a
     /// registered type.
     pub fn from_parts(types: Vec<TaskType>, tasks: Vec<AtomicTask>) -> Result<Self> {
-        let mut set = TaskSet { types, tasks: vec![] };
+        let mut set = TaskSet {
+            types,
+            tasks: vec![],
+        };
         let staged = std::mem::take(&mut set.tasks);
         debug_assert!(staged.is_empty());
         let pending = tasks_into(set, tasks)?;
@@ -129,7 +132,11 @@ impl TaskSet {
     }
 
     /// Registers a task type and returns its id.
-    pub fn add_type(&mut self, name: impl Into<String>, processing_rate: f64) -> Result<TaskTypeId> {
+    pub fn add_type(
+        &mut self,
+        name: impl Into<String>,
+        processing_rate: f64,
+    ) -> Result<TaskTypeId> {
         let id = TaskTypeId(self.types.len() as u32);
         self.types.push(TaskType::new(id, name, processing_rate)?);
         Ok(id)
@@ -144,7 +151,8 @@ impl TaskSet {
             )));
         }
         let id = TaskId(self.tasks.len() as u64);
-        self.tasks.push(AtomicTask::new(id, task_type, repetitions)?);
+        self.tasks
+            .push(AtomicTask::new(id, task_type, repetitions)?);
         Ok(id)
     }
 
@@ -243,7 +251,9 @@ impl TaskSet {
     pub fn group_by_type_and_repetitions(&self) -> Vec<TaskGroup> {
         let mut map: BTreeMap<(TaskTypeId, u32), Vec<TaskId>> = BTreeMap::new();
         for t in &self.tasks {
-            map.entry((t.task_type, t.repetitions)).or_default().push(t.id);
+            map.entry((t.task_type, t.repetitions))
+                .or_default()
+                .push(t.id);
         }
         map.into_iter()
             .enumerate()

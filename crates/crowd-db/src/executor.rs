@@ -12,8 +12,8 @@ use crate::operators::{
 };
 use crate::oracle::{CrowdOracle, OracleConfig};
 use crowdtune_core::error::{CoreError, Result};
-use crowdtune_core::latency::PhaseSelection;
 use crowdtune_core::latency::JobLatencyEstimator;
+use crowdtune_core::latency::PhaseSelection;
 use crowdtune_core::money::Budget;
 use crowdtune_core::rate::RateModel;
 use crowdtune_core::tuner::{StrategyChoice, Tuner};
@@ -120,9 +120,9 @@ impl CrowdExecutor {
                     oracle.compare_votes(item_a, item_b, task.repetitions)
                 }
                 VoteKind::Filter { item, threshold } => {
-                    let item = items
-                        .get(item)
-                        .ok_or_else(|| CoreError::invalid_argument(format!("unknown item {item}")))?;
+                    let item = items.get(item).ok_or_else(|| {
+                        CoreError::invalid_argument(format!("unknown item {item}"))
+                    })?;
                     oracle.filter_votes(item, threshold, task.repetitions)
                 }
             };
@@ -285,7 +285,11 @@ mod tests {
     fn filter_query_end_to_end() {
         let executor = executor(5);
         let outcome = executor
-            .run_filter(&items(), CrowdFilter::new(5.0, 5).unwrap(), Budget::units(120))
+            .run_filter(
+                &items(),
+                CrowdFilter::new(5.0, 5).unwrap(),
+                Budget::units(120),
+            )
             .unwrap();
         let truth = items().ground_truth_filter(5.0);
         let (precision, recall) = CrowdFilter::precision_recall(&outcome.result, &truth);

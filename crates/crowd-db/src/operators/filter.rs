@@ -102,7 +102,13 @@ mod tests {
     use crate::oracle::{CrowdOracle, OracleConfig};
 
     fn items() -> ItemSet {
-        ItemSet::from_scores(vec![("a", 1.0), ("b", 7.0), ("c", 3.0), ("d", 9.0), ("e", 5.0)])
+        ItemSet::from_scores(vec![
+            ("a", 1.0),
+            ("b", 7.0),
+            ("c", 3.0),
+            ("d", 9.0),
+            ("e", 5.0),
+        ])
     }
 
     #[test]
@@ -150,13 +156,13 @@ mod tests {
             .tasks
             .iter()
             .map(|t| {
-                let VoteKind::Filter { item, threshold } = t.kind else { unreachable!() };
+                let VoteKind::Filter { item, threshold } = t.kind else {
+                    unreachable!()
+                };
                 oracle.filter_votes(set.get(item).unwrap(), threshold, t.repetitions)
             })
             .collect();
-        let kept = filter
-            .aggregate(&plan, &VoteTallies { yes_votes })
-            .unwrap();
+        let kept = filter.aggregate(&plan, &VoteTallies { yes_votes }).unwrap();
         let truth = set.ground_truth_filter(4.0);
         let (precision, recall) = CrowdFilter::precision_recall(&kept, &truth);
         assert!(precision >= 0.66, "precision {precision}");

@@ -196,7 +196,9 @@ mod tests {
                     .tasks
                     .iter()
                     .map(|t| {
-                        let VoteKind::Comparison { a, b } = t.kind else { unreachable!() };
+                        let VoteKind::Comparison { a, b } = t.kind else {
+                            unreachable!()
+                        };
                         u32::from(
                             set.get(a).unwrap().latent_score >= set.get(b).unwrap().latent_score,
                         )
@@ -227,7 +229,9 @@ mod tests {
                     .tasks
                     .iter()
                     .map(|t| {
-                        let VoteKind::Comparison { a, b } = t.kind else { unreachable!() };
+                        let VoteKind::Comparison { a, b } = t.kind else {
+                            unreachable!()
+                        };
                         oracle.compare_votes(
                             set.get(a).unwrap(),
                             set.get(b).unwrap(),

@@ -56,7 +56,12 @@ impl CrowdSort {
     /// Aggregates the collected votes into a descending ranking (best item
     /// first) using Copeland scores; ties break towards the lower item id for
     /// determinism.
-    pub fn aggregate(&self, plan: &VotePlan, tallies: &VoteTallies, items: &ItemSet) -> Result<Vec<ItemId>> {
+    pub fn aggregate(
+        &self,
+        plan: &VotePlan,
+        tallies: &VoteTallies,
+        items: &ItemSet,
+    ) -> Result<Vec<ItemId>> {
         if tallies.yes_votes.len() != plan.tasks.len() {
             return Err(CoreError::invalid_argument(format!(
                 "expected {} tallies, got {}",
@@ -150,14 +155,19 @@ mod tests {
             .tasks
             .iter()
             .map(|t| {
-                let VoteKind::Comparison { a, b } = t.kind else { unreachable!() };
+                let VoteKind::Comparison { a, b } = t.kind else {
+                    unreachable!()
+                };
                 u32::from(set.get(a).unwrap().latent_score >= set.get(b).unwrap().latent_score)
             })
             .collect();
         let tallies = VoteTallies { yes_votes };
         let ranking = sort.aggregate(&plan, &tallies, &set).unwrap();
         assert_eq!(ranking, set.ground_truth_ranking());
-        assert!((CrowdSort::ranking_agreement(&ranking, &set.ground_truth_ranking()) - 1.0).abs() < 1e-12);
+        assert!(
+            (CrowdSort::ranking_agreement(&ranking, &set.ground_truth_ranking()) - 1.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -182,7 +192,9 @@ mod tests {
             .tasks
             .iter()
             .map(|t| {
-                let VoteKind::Comparison { a, b } = t.kind else { unreachable!() };
+                let VoteKind::Comparison { a, b } = t.kind else {
+                    unreachable!()
+                };
                 oracle.compare_votes(set.get(a).unwrap(), set.get(b).unwrap(), t.repetitions)
             })
             .collect();

@@ -83,9 +83,7 @@ impl CrowdOracle {
     /// `repetitions` independent comparison votes; returns the number of
     /// votes for `a` ranking above `b`.
     pub fn compare_votes(&mut self, a: &Item, b: &Item, repetitions: u32) -> u32 {
-        (0..repetitions)
-            .filter(|_| self.compare_vote(a, b))
-            .count() as u32
+        (0..repetitions).filter(|_| self.compare_vote(a, b)).count() as u32
     }
 
     /// `repetitions` independent filter votes; returns the number of "keep"

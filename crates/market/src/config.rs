@@ -65,19 +65,14 @@ impl Default for WorkerPoolConfig {
 }
 
 /// Which acceptance mechanism the simulator runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum MarketMode {
     /// Sample each repetition's on-hold delay directly from
     /// `Exp(λo(payment))` using the problem's rate model.
+    #[default]
     IndependentRates,
     /// Simulate an explicit Poisson worker stream with a choice model.
     WorkerPool(WorkerPoolConfig),
-}
-
-impl Default for MarketMode {
-    fn default() -> Self {
-        MarketMode::IndependentRates
-    }
 }
 
 /// Full simulator configuration.

@@ -1,0 +1,191 @@
+//! Observation and control hooks for the simulator: time-varying market
+//! rates, event subscription, and mid-flight re-allocation.
+//!
+//! The offline tuning analysis assumes the on-hold rate curve `λo(c)` is
+//! fixed, but the paper itself notes (§3.3) that the curve is *estimated from
+//! probes* and drifts with market conditions. This module provides the two
+//! extension points an online re-tuner needs:
+//!
+//! * [`MarketRate`] — a time-varying generalisation of
+//!   [`RateModel`](crowdtune_core::rate::RateModel): the rate the *simulated
+//!   market* actually follows, which may differ from (and drift away from)
+//!   the requester's belief. [`PiecewiseRate`] models regime switches.
+//! * [`MarketController`] — a subscriber invoked after every processed
+//!   event with a [`MarketView`] of the job's progress. It can simply watch
+//!   (metrics, logging, rate re-estimation) or return
+//!   [`ControlAction::Reallocate`] to change the payments of repetitions that
+//!   have not been published yet — the mechanism behind mid-flight
+//!   re-tuning. Payments of already-published repetitions are committed and
+//!   never change retroactively.
+
+use crate::events::Event;
+use crate::time::SimTime;
+use crowdtune_core::money::Allocation;
+use crowdtune_core::rate::RateModel;
+use std::sync::Arc;
+
+/// A possibly time-varying on-hold rate curve: the ground truth the simulated
+/// market follows.
+///
+/// Every ordinary [`RateModel`] is a [`MarketRate`] that ignores time, so
+/// existing call sites keep passing plain rate models.
+pub trait MarketRate {
+    /// The on-hold clock rate for a repetition *published* at `time` with the
+    /// given payment.
+    fn rate_at(&self, payment_units: f64, time: SimTime) -> f64;
+}
+
+impl<M: RateModel + ?Sized> MarketRate for M {
+    fn rate_at(&self, payment_units: f64, _time: SimTime) -> f64 {
+        self.on_hold_rate(payment_units)
+    }
+}
+
+/// A market whose rate curve switches between regimes at fixed times: the
+/// curve in force at publish time governs a repetition's acceptance delay.
+#[derive(Clone)]
+pub struct PiecewiseRate {
+    /// `(start_time, model)` segments; the model of the last segment whose
+    /// start time is ≤ the query time applies.
+    segments: Vec<(f64, Arc<dyn RateModel>)>,
+}
+
+impl PiecewiseRate {
+    /// A market that follows `initial` from time zero.
+    pub fn new(initial: Arc<dyn RateModel>) -> Self {
+        PiecewiseRate {
+            segments: vec![(0.0, initial)],
+        }
+    }
+
+    /// Adds a regime switch: from `at` onward the market follows `model`.
+    /// Switch times must be non-decreasing across calls.
+    pub fn switch_at(mut self, at: f64, model: Arc<dyn RateModel>) -> Self {
+        assert!(
+            self.segments.last().map(|(t, _)| *t <= at).unwrap_or(true),
+            "switch times must be non-decreasing"
+        );
+        self.segments.push((at, model));
+        self
+    }
+
+    /// The model in force at `time`.
+    pub fn model_at(&self, time: SimTime) -> &Arc<dyn RateModel> {
+        let t = time.as_secs();
+        let mut current = &self.segments[0].1;
+        for (start, model) in &self.segments {
+            if *start <= t {
+                current = model;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+}
+
+impl std::fmt::Debug for PiecewiseRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PiecewiseRate")
+            .field("segments", &self.segments.len())
+            .finish()
+    }
+}
+
+impl MarketRate for PiecewiseRate {
+    fn rate_at(&self, payment_units: f64, time: SimTime) -> f64 {
+        self.model_at(time).on_hold_rate(payment_units)
+    }
+}
+
+/// Read-only snapshot of a running job, passed to the controller with every
+/// event.
+#[derive(Debug)]
+pub struct MarketView<'a> {
+    /// Completed (submitted) repetitions per task, in task order.
+    pub completed: &'a [u32],
+    /// Published repetitions per task, in task order. Published payments are
+    /// committed and cannot be changed by re-allocation.
+    pub published: &'a [u32],
+    /// Budget units committed to published repetitions so far.
+    pub committed_units: u64,
+    /// The allocation currently in force for unpublished repetitions.
+    pub allocation: &'a Allocation,
+}
+
+/// What the controller wants the simulator to do after an event.
+#[derive(Debug, Clone)]
+pub enum ControlAction {
+    /// Keep running with the current allocation.
+    Continue,
+    /// Replace the allocation. Must have the same shape as the task set;
+    /// payments of already-published repetitions are ignored (they are
+    /// committed), so only unpublished repetitions are affected.
+    Reallocate(Allocation),
+}
+
+/// Subscriber to simulation events, with the option to re-allocate unspent
+/// budget mid-flight.
+pub trait MarketController {
+    /// Called after the simulator processes each event.
+    fn on_event(&mut self, time: SimTime, event: &Event, view: &MarketView<'_>) -> ControlAction;
+}
+
+/// A controller that only watches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopController;
+
+impl MarketController for NoopController {
+    fn on_event(
+        &mut self,
+        _time: SimTime,
+        _event: &Event,
+        _view: &MarketView<'_>,
+    ) -> ControlAction {
+        ControlAction::Continue
+    }
+}
+
+/// Adapter: any closure over `(time, event, view)` is a watching controller.
+impl<F> MarketController for F
+where
+    F: FnMut(SimTime, &Event, &MarketView<'_>),
+{
+    fn on_event(&mut self, time: SimTime, event: &Event, view: &MarketView<'_>) -> ControlAction {
+        self(time, event, view);
+        ControlAction::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_core::rate::LinearRate;
+
+    #[test]
+    fn piecewise_rate_switches_regimes() {
+        let market = PiecewiseRate::new(Arc::new(LinearRate::new(1.0, 0.0).unwrap()))
+            .switch_at(10.0, Arc::new(LinearRate::new(0.5, 0.0).unwrap()));
+        assert_eq!(market.rate_at(4.0, SimTime::new(0.0)), 4.0);
+        assert_eq!(market.rate_at(4.0, SimTime::new(9.9)), 4.0);
+        assert_eq!(market.rate_at(4.0, SimTime::new(10.0)), 2.0);
+        assert_eq!(market.rate_at(4.0, SimTime::new(100.0)), 2.0);
+    }
+
+    #[test]
+    fn plain_rate_models_are_time_invariant_market_rates() {
+        let model = LinearRate::unit_slope();
+        assert_eq!(
+            model.rate_at(3.0, SimTime::new(0.0)),
+            model.rate_at(3.0, SimTime::new(1e6))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn switch_times_must_be_ordered() {
+        let _ = PiecewiseRate::new(Arc::new(LinearRate::unit_slope()))
+            .switch_at(10.0, Arc::new(LinearRate::flat()))
+            .switch_at(5.0, Arc::new(LinearRate::steep()));
+    }
+}

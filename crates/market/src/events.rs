@@ -165,7 +165,10 @@ mod tests {
     fn simultaneous_events_preserve_insertion_order() {
         let mut q = EventQueue::new();
         for task in 0..5 {
-            q.schedule(SimTime::new(1.0), Event::Publish(RepetitionId::new(task, 0)));
+            q.schedule(
+                SimTime::new(1.0),
+                Event::Publish(RepetitionId::new(task, 0)),
+            );
         }
         for task in 0..5 {
             let (_, e) = q.pop().unwrap();

@@ -42,12 +42,14 @@
 #![deny(unsafe_code)]
 
 pub mod config;
+pub mod control;
 pub mod events;
 pub mod metrics;
 pub mod simulator;
 pub mod time;
 
 pub use config::{ChoiceModel, MarketConfig, MarketMode, WorkerPoolConfig};
+pub use control::{ControlAction, MarketController, MarketRate, MarketView, PiecewiseRate};
 pub use events::{Event, EventQueue, RepetitionId, WorkerId};
 pub use metrics::{RepetitionRecord, SimulationReport};
 pub use simulator::MarketSimulator;

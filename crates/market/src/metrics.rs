@@ -136,9 +136,12 @@ impl SimulationReport {
         if self.task_count != expected_repetitions.len() {
             return false;
         }
-        expected_repetitions.iter().enumerate().all(|(task, &reps)| {
-            self.records.iter().filter(|r| r.id.task == task).count() == reps as usize
-        })
+        expected_repetitions
+            .iter()
+            .enumerate()
+            .all(|(task, &reps)| {
+                self.records.iter().filter(|r| r.id.task == task).count() == reps as usize
+            })
     }
 }
 

@@ -8,6 +8,7 @@
 //! or simulating an explicit Poisson stream of workers with a choice model.
 
 use crate::config::{ChoiceModel, MarketConfig, MarketMode, WorkerPoolConfig};
+use crate::control::{ControlAction, MarketController, MarketRate, MarketView, NoopController};
 use crate::events::{Event, EventQueue, RepetitionId, WorkerId};
 use crate::metrics::{RepetitionRecord, SimulationReport};
 use crate::time::SimTime;
@@ -45,26 +46,26 @@ impl MarketSimulator {
         allocation: &Allocation,
         rate_model: &M,
     ) -> Result<SimulationReport> {
-        task_set.validate()?;
-        if allocation.task_count() != task_set.len() {
-            return Err(CoreError::invalid_argument(format!(
-                "allocation covers {} tasks but the task set has {}",
-                allocation.task_count(),
-                task_set.len()
-            )));
-        }
-        for (index, task) in task_set.tasks().iter().enumerate() {
-            if allocation.task_payments(index).len() != task.repetitions as usize {
-                return Err(CoreError::invalid_argument(format!(
-                    "task {index}: allocation provides {} payments for {} repetitions",
-                    allocation.task_payments(index).len(),
-                    task.repetitions
-                )));
-            }
-        }
+        self.run_controlled(task_set, allocation, rate_model, &mut NoopController)
+    }
 
-        let mut run = SimulationRun::new(self.config, task_set, allocation, rate_model)?;
-        run.execute()
+    /// Simulates one job under a possibly time-varying market rate, invoking
+    /// `controller` after every processed event. The controller observes the
+    /// job's progress (see [`MarketView`]) and may re-allocate the payments
+    /// of repetitions that have not been published yet — the hook the online
+    /// re-tuner plugs into. Payments are committed at publish time, so
+    /// re-allocation never rewrites history.
+    pub fn run_controlled<M: MarketRate + ?Sized, C: MarketController + ?Sized>(
+        &self,
+        task_set: &TaskSet,
+        allocation: &Allocation,
+        market_rate: &M,
+        controller: &mut C,
+    ) -> Result<SimulationReport> {
+        task_set.validate()?;
+        check_allocation_shape(task_set, allocation)?;
+        let mut run = SimulationRun::new(self.config, task_set, allocation, market_rate)?;
+        run.execute(controller)
     }
 
     /// Runs `trials` independent simulations (seeds `seed`, `seed + 1`, ...)
@@ -78,7 +79,9 @@ impl MarketSimulator {
     ) -> Result<Vec<SimulationReport>> {
         (0..trials)
             .map(|trial| {
-                let config = self.config.with_seed(self.config.seed.wrapping_add(trial as u64));
+                let config = self
+                    .config
+                    .with_seed(self.config.seed.wrapping_add(trial as u64));
                 MarketSimulator::new(config).run(task_set, allocation, rate_model)
             })
             .collect()
@@ -119,16 +122,45 @@ impl MarketSimulator {
     }
 }
 
+/// Checks that `allocation` covers every repetition of `task_set`.
+fn check_allocation_shape(task_set: &TaskSet, allocation: &Allocation) -> Result<()> {
+    if allocation.task_count() != task_set.len() {
+        return Err(CoreError::invalid_argument(format!(
+            "allocation covers {} tasks but the task set has {}",
+            allocation.task_count(),
+            task_set.len()
+        )));
+    }
+    for (index, task) in task_set.tasks().iter().enumerate() {
+        if allocation.task_payments(index).len() != task.repetitions as usize {
+            return Err(CoreError::invalid_argument(format!(
+                "task {index}: allocation provides {} payments for {} repetitions",
+                allocation.task_payments(index).len(),
+                task.repetitions
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Mutable state of a single simulation run.
-struct SimulationRun<'a, M: RateModel + ?Sized> {
+struct SimulationRun<'a, M: MarketRate + ?Sized> {
     config: MarketConfig,
     task_set: &'a TaskSet,
-    allocation: &'a Allocation,
-    rate_model: &'a M,
+    /// The allocation currently in force for unpublished repetitions; owned
+    /// so a controller can replace it mid-flight.
+    allocation: Allocation,
+    market_rate: &'a M,
     rng: StdRng,
     queue: EventQueue,
     /// Posted but not yet accepted repetitions (worker-pool mode).
     posted: BTreeMap<RepetitionId, u64>,
+    /// Payment of every published repetition, snapshotted at publish time so
+    /// later re-allocations cannot rewrite committed payments.
+    committed: BTreeMap<RepetitionId, u64>,
+    committed_units: u64,
+    published: Vec<u32>,
+    completed: Vec<u32>,
     publish_times: BTreeMap<RepetitionId, SimTime>,
     accept_times: BTreeMap<RepetitionId, SimTime>,
     records: Vec<RepetitionRecord>,
@@ -136,21 +168,25 @@ struct SimulationRun<'a, M: RateModel + ?Sized> {
     next_worker: u64,
 }
 
-impl<'a, M: RateModel + ?Sized> SimulationRun<'a, M> {
+impl<'a, M: MarketRate + ?Sized> SimulationRun<'a, M> {
     fn new(
         config: MarketConfig,
         task_set: &'a TaskSet,
-        allocation: &'a Allocation,
-        rate_model: &'a M,
+        allocation: &Allocation,
+        market_rate: &'a M,
     ) -> Result<Self> {
         Ok(SimulationRun {
             config,
             task_set,
-            allocation,
-            rate_model,
+            allocation: allocation.clone(),
+            market_rate,
             rng: StdRng::seed_from_u64(config.seed),
             queue: EventQueue::new(),
             posted: BTreeMap::new(),
+            committed: BTreeMap::new(),
+            committed_units: 0,
+            published: vec![0; task_set.len()],
+            completed: vec![0; task_set.len()],
             publish_times: BTreeMap::new(),
             accept_times: BTreeMap::new(),
             records: Vec::with_capacity(task_set.total_repetitions() as usize),
@@ -159,13 +195,18 @@ impl<'a, M: RateModel + ?Sized> SimulationRun<'a, M> {
         })
     }
 
+    /// Payment of a repetition: the committed (publish-time) payment when the
+    /// repetition is already published, the current allocation otherwise.
     fn payment_of(&self, rep: RepetitionId) -> u64 {
+        if let Some(&units) = self.committed.get(&rep) {
+            return units;
+        }
         self.allocation.task_payments(rep.task)[rep.repetition as usize].as_units()
     }
 
-    fn on_hold_rate_for(&self, rep: RepetitionId) -> Result<f64> {
+    fn on_hold_rate_for(&self, rep: RepetitionId, now: SimTime) -> Result<f64> {
         let payment = self.payment_of(rep);
-        let rate = self.rate_model.on_hold_rate(payment as f64);
+        let rate = self.market_rate.rate_at(payment as f64, now);
         if !rate.is_finite() || rate <= 0.0 {
             return Err(CoreError::InvalidRate { payment, rate });
         }
@@ -185,7 +226,10 @@ impl<'a, M: RateModel + ?Sized> SimulationRun<'a, M> {
         Ok(Exponential::new(rate)?.sample(&mut self.rng))
     }
 
-    fn execute(&mut self) -> Result<SimulationReport> {
+    fn execute<C: MarketController + ?Sized>(
+        &mut self,
+        controller: &mut C,
+    ) -> Result<SimulationReport> {
         // Publish the initial wave of repetitions.
         for (task_index, task) in self.task_set.tasks().iter().enumerate() {
             let reps_to_publish = if self.config.sequential_repetitions {
@@ -230,21 +274,45 @@ impl<'a, M: RateModel + ?Sized> SimulationRun<'a, M> {
                     self.handle_submit(now, repetition, worker)?
                 }
             }
+            let view = MarketView {
+                completed: &self.completed,
+                published: &self.published,
+                committed_units: self.committed_units,
+                allocation: &self.allocation,
+            };
+            match controller.on_event(now, &event, &view) {
+                ControlAction::Continue => {}
+                ControlAction::Reallocate(next) => {
+                    check_allocation_shape(self.task_set, &next)?;
+                    if !next.all_positive() {
+                        return Err(CoreError::invalid_argument(
+                            "re-allocation must pay every repetition at least one unit".to_owned(),
+                        ));
+                    }
+                    self.allocation = next;
+                }
+            }
         }
 
+        // Every repetition is committed by completion time, so the committed
+        // total is what the job actually paid.
         Ok(SimulationReport {
             records: std::mem::take(&mut self.records),
             task_count: self.task_set.len(),
-            total_payment: self.allocation.total_spent(),
+            total_payment: self.committed_units,
             events_processed: self.queue.processed_count(),
         })
     }
 
     fn handle_publish(&mut self, now: SimTime, rep: RepetitionId) -> Result<()> {
         self.publish_times.insert(rep, now);
+        let payment = self.payment_of(rep);
+        self.committed.insert(rep, payment);
+        self.committed_units += payment;
+        self.published[rep.task] += 1;
         match self.config.mode {
             MarketMode::IndependentRates => {
-                let rate = self.on_hold_rate_for(rep)?;
+                let rate = self.on_hold_rate_for(rep, now)?;
                 let delay = self.sample_exponential(rate)?;
                 self.queue.schedule(
                     now.after(delay),
@@ -361,6 +429,7 @@ impl<'a, M: RateModel + ?Sized> SimulationRun<'a, M> {
             worker,
         });
         self.remaining -= 1;
+        self.completed[rep.task] += 1;
 
         // Sequential repetitions: the next answer round starts once this one
         // is returned.
@@ -456,14 +525,9 @@ mod tests {
     fn parallel_repetitions_all_publish_at_time_zero() {
         let set = simple_set(2, 3, 2.0);
         let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(2));
-        let sim = MarketSimulator::new(
-            MarketConfig::independent(3).with_parallel_repetitions(),
-        );
+        let sim = MarketSimulator::new(MarketConfig::independent(3).with_parallel_repetitions());
         let report = sim.run(&set, &alloc, &LinearRate::unit_slope()).unwrap();
-        assert!(report
-            .records
-            .iter()
-            .all(|r| r.published == SimTime::ZERO));
+        assert!(report.records.iter().all(|r| r.published == SimTime::ZERO));
     }
 
     #[test]
@@ -556,10 +620,8 @@ mod tests {
         // Two single-rep tasks with very different payments: the richer task
         // should be accepted earlier on average.
         let set = simple_set(2, 1, 10.0);
-        let alloc = Allocation::from_matrix(vec![
-            vec![Payment::units(1)],
-            vec![Payment::units(20)],
-        ]);
+        let alloc =
+            Allocation::from_matrix(vec![vec![Payment::units(1)], vec![Payment::units(20)]]);
         let pool = WorkerPoolConfig {
             arrival_rate: 1.0,
             choice: ChoiceModel::ReservationWage { mean_wage: 5.0 },
@@ -601,6 +663,144 @@ mod tests {
             .run(&set, &alloc, &LinearRate::unit_slope())
             .unwrap_err();
         assert!(err.to_string().contains("event budget"));
+    }
+
+    #[test]
+    fn controller_observes_every_event() {
+        let set = simple_set(3, 2, 1.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(2));
+        let sim = MarketSimulator::new(MarketConfig::independent(13));
+        let mut seen = 0u64;
+        let mut submits = 0u32;
+        let report = sim
+            .run_controlled(
+                &set,
+                &alloc,
+                &LinearRate::unit_slope(),
+                &mut |_t: SimTime, event: &Event, view: &MarketView<'_>| {
+                    seen += 1;
+                    if matches!(event, Event::Submit { .. }) {
+                        submits += 1;
+                        assert_eq!(view.completed.iter().sum::<u32>(), submits);
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(seen, report.events_processed);
+        assert_eq!(submits, 6);
+    }
+
+    #[test]
+    fn reallocation_affects_only_unpublished_repetitions() {
+        // Sequential mode: one task, 4 repetitions published one after
+        // another. After the first submit the controller bumps every payment
+        // to 9 units; the already-committed first repetition must keep its
+        // original payment.
+        let set = simple_set(1, 4, 2.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(2));
+        let sim = MarketSimulator::new(MarketConfig::independent(21));
+        struct Bump {
+            done: bool,
+        }
+        impl MarketController for Bump {
+            fn on_event(
+                &mut self,
+                _time: SimTime,
+                event: &Event,
+                view: &MarketView<'_>,
+            ) -> ControlAction {
+                if !self.done && matches!(event, Event::Submit { .. }) {
+                    self.done = true;
+                    assert_eq!(view.published, &[1]);
+                    assert_eq!(view.committed_units, 2);
+                    let next = Allocation::uniform(&[4], Payment::units(9));
+                    return ControlAction::Reallocate(next);
+                }
+                ControlAction::Continue
+            }
+        }
+        let report = sim
+            .run_controlled(
+                &set,
+                &alloc,
+                &LinearRate::unit_slope(),
+                &mut Bump { done: false },
+            )
+            .unwrap();
+        let records = report.task_records(0);
+        assert_eq!(records[0].payment, 2, "committed payment must not change");
+        for record in &records[1..] {
+            assert_eq!(record.payment, 9, "later publishes use the new allocation");
+        }
+        assert_eq!(report.total_payment, 2 + 3 * 9);
+    }
+
+    #[test]
+    fn invalid_reallocation_is_rejected() {
+        let set = simple_set(2, 2, 1.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(2));
+        let sim = MarketSimulator::new(MarketConfig::independent(3));
+        let mut first = true;
+        struct BadShape<'a>(&'a mut bool);
+        impl MarketController for BadShape<'_> {
+            fn on_event(
+                &mut self,
+                _time: SimTime,
+                _event: &Event,
+                _view: &MarketView<'_>,
+            ) -> ControlAction {
+                if *self.0 {
+                    *self.0 = false;
+                    return ControlAction::Reallocate(Allocation::uniform(&[2], Payment::units(1)));
+                }
+                ControlAction::Continue
+            }
+        }
+        assert!(sim
+            .run_controlled(
+                &set,
+                &alloc,
+                &LinearRate::unit_slope(),
+                &mut BadShape(&mut first)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn drifting_market_slows_repetitions_published_after_the_switch() {
+        use crate::control::PiecewiseRate;
+        use std::sync::Arc;
+
+        // Sequential repetitions of a single task; the market collapses from
+        // λo = payment to λo = payment/20 at t = 0 (effectively: all but the
+        // cheap pre-switch publishes land in the slow regime). Compare mean
+        // on-hold latency of the first repetition (published at t = 0, fast
+        // regime boundary) against later ones.
+        let set = simple_set(1, 2, 50.0);
+        let alloc = Allocation::uniform(&set.repetition_counts(), Payment::units(4));
+        let fast = Arc::new(LinearRate::new(1.0, 0.0).unwrap());
+        let slow = Arc::new(LinearRate::new(0.05, 0.0).unwrap());
+        let mut first_total = 0.0;
+        let mut second_total = 0.0;
+        let trials = 2_000;
+        for seed in 0..trials {
+            let market = PiecewiseRate::new(fast.clone()).switch_at(1e-9, slow.clone());
+            let sim = MarketSimulator::new(MarketConfig::independent(seed).without_processing());
+            let report = sim
+                .run_controlled(&set, &alloc, &market, &mut NoopController)
+                .unwrap();
+            let records = report.task_records(0);
+            first_total += records[0].on_hold_latency();
+            second_total += records[1].on_hold_latency();
+        }
+        let first_mean = first_total / trials as f64;
+        let second_mean = second_total / trials as f64;
+        // First publish at exactly t = 0 uses the fast regime (1/4 mean);
+        // the second publishes strictly later in the slow regime (5.0 mean).
+        assert!(
+            second_mean > first_mean * 5.0,
+            "drift must slow the later repetition: {first_mean} vs {second_mean}"
+        );
     }
 
     #[test]

@@ -112,7 +112,10 @@ mod tests {
     fn ordering_is_total() {
         let mut times = vec![SimTime::new(3.0), SimTime::new(1.0), SimTime::new(2.0)];
         times.sort();
-        assert_eq!(times, vec![SimTime::new(1.0), SimTime::new(2.0), SimTime::new(3.0)]);
+        assert_eq!(
+            times,
+            vec![SimTime::new(1.0), SimTime::new(2.0), SimTime::new(3.0)]
+        );
         assert!(SimTime::new(1.0) < SimTime::new(1.5));
         assert!(SimTime::new(-1.0) < SimTime::ZERO);
     }

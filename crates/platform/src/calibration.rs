@@ -40,12 +40,7 @@ impl AmtCalibration {
     /// The calibration extracted from the paper's Section 5.2.2 numbers.
     pub fn paper() -> Self {
         AmtCalibration {
-            reward_rate_points: vec![
-                (5.0, 0.0038),
-                (8.0, 0.0062),
-                (10.0, 0.0121),
-                (12.0, 0.0131),
-            ],
+            reward_rate_points: vec![(5.0, 0.0038), (8.0, 0.0062), (10.0, 0.0121), (12.0, 0.0131)],
             uptake_slowdown_per_vote: 0.12,
             base_processing_secs: 60.0,
             processing_secs_per_vote: 25.0,

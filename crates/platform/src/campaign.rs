@@ -205,9 +205,7 @@ impl CampaignRunner {
         let (assignments, job_latency) = self.execute_hits(&hits, campaign.seed)?;
         let total_reward_cents = assignments
             .iter()
-            .map(|a| {
-                hits[a.hit_id.0 as usize].reward_cents
-            })
+            .map(|a| hits[a.hit_id.0 as usize].reward_cents)
             .sum();
         Ok(CampaignOutcome {
             hits,
@@ -415,9 +413,7 @@ mod tests {
         // Figure 4's qualitative shape: increasing the reward shortens the
         // on-hold phase.
         let runner = CampaignRunner::new(5);
-        let sweep = runner
-            .reward_sweep(&[5, 12], 4, 10, 4, 30, 123)
-            .unwrap();
+        let sweep = runner.reward_sweep(&[5, 12], 4, 10, 4, 30, 123).unwrap();
         let mean = |outcome: &CampaignOutcome| {
             let v = outcome.phase1_latencies();
             v.iter().sum::<f64>() / v.len() as f64

@@ -104,7 +104,10 @@ impl DotImageGenerator {
     /// Generates one image with a dot count drawn uniformly from
     /// `min_count..=max_count`.
     pub fn image(&mut self, min_count: usize, max_count: usize) -> DotImage {
-        assert!(min_count <= max_count, "min_count must not exceed max_count");
+        assert!(
+            min_count <= max_count,
+            "min_count must not exceed max_count"
+        );
         let count = self.rng.gen_range(min_count..=max_count);
         self.image_with_count(count)
     }
@@ -129,8 +132,15 @@ impl DotImageGenerator {
     }
 
     /// Generates `count` filter HITs with identical difficulty.
-    pub fn filter_hits(&mut self, count: usize, votes: u32, threshold: usize) -> Vec<FilterHitSpec> {
-        (0..count).map(|_| self.filter_hit(votes, threshold)).collect()
+    pub fn filter_hits(
+        &mut self,
+        count: usize,
+        votes: u32,
+        threshold: usize,
+    ) -> Vec<FilterHitSpec> {
+        (0..count)
+            .map(|_| self.filter_hit(votes, threshold))
+            .collect()
     }
 }
 
@@ -150,7 +160,7 @@ mod tests {
         assert!(img
             .dots
             .iter()
-            .all(|&(x, y)| x >= 0.0 && x < 400.0 && y >= 0.0 && y < 300.0));
+            .all(|&(x, y)| (0.0..400.0).contains(&x) && (0.0..300.0).contains(&y)));
     }
 
     #[test]

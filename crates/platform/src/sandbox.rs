@@ -234,7 +234,7 @@ mod tests {
         sandbox.create_hit(spec.clone(), 5, 4).unwrap(); // reserves 20
         assert_eq!(sandbox.account().reserved_cents, 20);
         sandbox.create_hit(spec.clone(), 5, 4).unwrap(); // reserves 40 total
-        // A third HIT cannot be funded.
+                                                         // A third HIT cannot be funded.
         assert!(sandbox.create_hit(spec.clone(), 5, 4).is_err());
         assert_eq!(sandbox.hits().len(), 2);
         // Invalid parameters are rejected.
@@ -255,7 +255,9 @@ mod tests {
         // Cannot execute twice or add HITs afterwards.
         assert!(sandbox.execute().is_err());
         let mut generator = DotImageGenerator::new(2);
-        assert!(sandbox.create_hit(generator.filter_hit(4, 10), 5, 1).is_err());
+        assert!(sandbox
+            .create_hit(generator.filter_hit(4, 10), 5, 1)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Canonical fingerprints of tuning problems, the plan-cache key.
+//!
+//! Two submissions hit the same cache entry exactly when a cached plan is
+//! valid for both, i.e. when they agree on everything the tuning algorithms
+//! look at:
+//!
+//! * the **task-set shape**: the per-task sequence of
+//!   `(canonical type index, processing rate, repetitions)` triples. Type
+//!   *names* are cosmetic and deliberately excluded ("yes/no vote" and
+//!   "ja/nein vote" jobs with the same difficulty profile share plans), but
+//!   the type *partition* is not: it decides the paper scenario (RA groups
+//!   by repetitions, HA by type-and-repetitions), so two jobs that differ
+//!   only in how tasks are split across equal-rate types must not collide.
+//!   Types are relabelled by first occurrence in task order, so registration
+//!   order of unused types cannot perturb the key;
+//! * the **budget** in units;
+//! * the **rate model**, identified by its label and its response curve
+//!   sampled bit-exactly over every payment the DP is likely to explore
+//!   (densely up to 64 units, then geometrically up to the budget). Two
+//!   *different* models that agree on that entire grid can still collide —
+//!   the cache accepts that negligible risk in exchange for O(1) lookups;
+//! * the **strategy choice**, since a forced strategy changes the plan.
+
+use crowdtune_core::problem::HTuningProblem;
+use crowdtune_core::rate::RateModel;
+use crowdtune_core::tuner::StrategyChoice;
+use std::collections::BTreeMap;
+
+/// 64-bit FNV-1a — tiny, deterministic and stable across runs/platforms,
+/// which `DefaultHasher` does not guarantee.
+#[derive(Debug, Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+}
+
+/// Dense low end of the rate-model probe grid: micro-task payments are small
+/// integers, so every payment up to this bound is sampled individually.
+const DENSE_PROBE_LIMIT: u64 = 64;
+
+/// Canonical fingerprint of a tuning problem (plus strategy choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanFingerprint(pub u64);
+
+impl PlanFingerprint {
+    /// Fingerprints a problem/strategy pair.
+    pub fn of(problem: &HTuningProblem, strategy: StrategyChoice) -> Self {
+        let mut hash = Fnv1a::new();
+        // Task-set shape: per-task (canonical type, processing rate,
+        // repetitions), in order. The canonical type index is the type's
+        // first-occurrence rank among the tasks, which captures the type
+        // partition (it decides RA-vs-HA grouping) while staying independent
+        // of type names and of registered-but-unused types.
+        let task_set = problem.task_set();
+        hash.write_u64(task_set.len() as u64);
+        let mut canonical_types: BTreeMap<u32, u64> = BTreeMap::new();
+        for task in task_set.tasks() {
+            let next_rank = canonical_types.len() as u64;
+            let rank = *canonical_types.entry(task.task_type.0).or_insert(next_rank);
+            let rate = task_set
+                .type_by_id(task.task_type)
+                .map(|ty| ty.processing_rate)
+                .unwrap_or(f64::NAN);
+            hash.write_u64(rank);
+            hash.write_f64(rate);
+            hash.write_u64(u64::from(task.repetitions));
+        }
+        // Budget.
+        hash.write_u64(problem.budget().as_units());
+        // Market belief: label + response curve, sampled at every payment up
+        // to DENSE_PROBE_LIMIT and geometrically beyond, up to the largest
+        // payment any repetition could possibly receive (the whole budget).
+        let model = problem.rate_model();
+        hash.write_bytes(model.describe().as_bytes());
+        let budget_units = problem.budget().as_units();
+        for payment in 1..=DENSE_PROBE_LIMIT.min(budget_units) {
+            hash.write_f64(model.on_hold_rate(payment as f64));
+        }
+        let mut payment = DENSE_PROBE_LIMIT * 2;
+        while payment <= budget_units {
+            hash.write_f64(model.on_hold_rate(payment as f64));
+            payment *= 2;
+        }
+        // Strategy choice.
+        hash.write_u64(strategy_tag(strategy));
+        PlanFingerprint(hash.0)
+    }
+}
+
+fn strategy_tag(strategy: StrategyChoice) -> u64 {
+    match strategy {
+        StrategyChoice::Auto => 0,
+        StrategyChoice::EvenAllocation => 1,
+        StrategyChoice::RepetitionAlgorithm => 2,
+        StrategyChoice::HeterogeneousAlgorithm => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_core::money::Budget;
+    use crowdtune_core::rate::LinearRate;
+    use crowdtune_core::task::TaskSet;
+    use std::sync::Arc;
+
+    fn problem(name: &str, budget: u64, slope: f64) -> HTuningProblem {
+        let mut set = TaskSet::new();
+        let ty = set.add_type(name, 2.0).unwrap();
+        set.add_tasks(ty, 3, 4).unwrap();
+        HTuningProblem::new(
+            set,
+            Budget::units(budget),
+            Arc::new(LinearRate::new(slope, 1.0).unwrap()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_problems_share_fingerprints() {
+        let a = PlanFingerprint::of(&problem("vote", 100, 1.0), StrategyChoice::Auto);
+        let b = PlanFingerprint::of(&problem("vote", 100, 1.0), StrategyChoice::Auto);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn type_names_are_cosmetic() {
+        let a = PlanFingerprint::of(&problem("yes/no vote", 100, 1.0), StrategyChoice::Auto);
+        let b = PlanFingerprint::of(&problem("ja/nein vote", 100, 1.0), StrategyChoice::Auto);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_rate_and_strategy_discriminate() {
+        let base = PlanFingerprint::of(&problem("v", 100, 1.0), StrategyChoice::Auto);
+        assert_ne!(
+            base,
+            PlanFingerprint::of(&problem("v", 101, 1.0), StrategyChoice::Auto)
+        );
+        assert_ne!(
+            base,
+            PlanFingerprint::of(&problem("v", 100, 2.0), StrategyChoice::Auto)
+        );
+        assert_ne!(
+            base,
+            PlanFingerprint::of(&problem("v", 100, 1.0), StrategyChoice::EvenAllocation)
+        );
+    }
+
+    /// Regression test: a single-type job with repetitions {3,5} is Scenario
+    /// II (solved by RA) while a two-type job with the *same* processing
+    /// rates and repetitions is Scenario III (solved by HA) — they produce
+    /// different plans and must not share a cache entry.
+    #[test]
+    fn type_partition_discriminates_even_at_equal_rates() {
+        let mut one_type = TaskSet::new();
+        let ty = one_type.add_type("vote", 2.0).unwrap();
+        one_type.add_tasks(ty, 3, 2).unwrap();
+        one_type.add_tasks(ty, 5, 2).unwrap();
+
+        let mut two_types = TaskSet::new();
+        let a = two_types.add_type("vote a", 2.0).unwrap();
+        let b = two_types.add_type("vote b", 2.0).unwrap();
+        two_types.add_tasks(a, 3, 2).unwrap();
+        two_types.add_tasks(b, 5, 2).unwrap();
+
+        let model = Arc::new(LinearRate::new(1.0, 1.0).unwrap());
+        let p1 = HTuningProblem::new(one_type, Budget::units(60), model.clone()).unwrap();
+        let p2 = HTuningProblem::new(two_types, Budget::units(60), model).unwrap();
+        assert_eq!(p1.scenario(), crowdtune_core::problem::Scenario::Repetition);
+        assert_eq!(
+            p2.scenario(),
+            crowdtune_core::problem::Scenario::Heterogeneous
+        );
+        assert_ne!(
+            PlanFingerprint::of(&p1, StrategyChoice::Auto),
+            PlanFingerprint::of(&p2, StrategyChoice::Auto)
+        );
+    }
+
+    /// Unused registered types must not perturb the key.
+    #[test]
+    fn unused_types_are_ignored() {
+        let mut plain = TaskSet::new();
+        let ty = plain.add_type("vote", 2.0).unwrap();
+        plain.add_tasks(ty, 3, 4).unwrap();
+
+        let mut with_unused = TaskSet::new();
+        let _ghost = with_unused.add_type("never used", 9.0).unwrap();
+        let ty = with_unused.add_type("vote", 2.0).unwrap();
+        with_unused.add_tasks(ty, 3, 4).unwrap();
+
+        let model = Arc::new(LinearRate::new(1.0, 1.0).unwrap());
+        let p1 = HTuningProblem::new(plain, Budget::units(100), model.clone()).unwrap();
+        let p2 = HTuningProblem::new(with_unused, Budget::units(100), model).unwrap();
+        assert_eq!(
+            PlanFingerprint::of(&p1, StrategyChoice::Auto),
+            PlanFingerprint::of(&p2, StrategyChoice::Auto)
+        );
+    }
+
+    #[test]
+    fn dense_grid_separates_models_differing_off_the_old_sparse_grid() {
+        // Two tabulated beliefs agreeing at 1,2,3,5,8,... but differing at
+        // payment 4 — indistinguishable to a sparse Fibonacci grid.
+        let points_a: Vec<(f64, f64)> = vec![(1.0, 1.0), (4.0, 4.0), (8.0, 8.0)];
+        let points_b: Vec<(f64, f64)> = vec![(1.0, 1.0), (4.0, 5.0), (8.0, 8.0)];
+        let make = |pts: Vec<(f64, f64)>| {
+            let mut set = TaskSet::new();
+            let ty = set.add_type("vote", 2.0).unwrap();
+            set.add_tasks(ty, 3, 4).unwrap();
+            HTuningProblem::new(
+                set,
+                Budget::units(100),
+                Arc::new(crowdtune_core::rate::TabulatedRate::new(pts).unwrap()),
+            )
+            .unwrap()
+        };
+        assert_ne!(
+            PlanFingerprint::of(&make(points_a), StrategyChoice::Auto),
+            PlanFingerprint::of(&make(points_b), StrategyChoice::Auto)
+        );
+    }
+
+    #[test]
+    fn task_shape_discriminates() {
+        let mut set = TaskSet::new();
+        let ty = set.add_type("v", 2.0).unwrap();
+        set.add_tasks(ty, 4, 3).unwrap(); // 3 tasks × 4 reps vs 4 tasks × 3 reps
+        let other = HTuningProblem::new(
+            set,
+            Budget::units(100),
+            Arc::new(LinearRate::new(1.0, 1.0).unwrap()),
+        )
+        .unwrap();
+        assert_ne!(
+            PlanFingerprint::of(&problem("v", 100, 1.0), StrategyChoice::Auto),
+            PlanFingerprint::of(&other, StrategyChoice::Auto)
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # crowdtune-serve
+//!
+//! A multi-tenant tuning **service** over the offline H-Tuning machinery of
+//! `crowdtune-core`: the piece that turns the paper's one-shot pipeline into
+//! something that can serve heavy tuning traffic and react to market drift.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  tenants ──submit──▶ JobQueue ──round-robin──▶ tuner worker pool
+//!                        │  (admission control)        │
+//!                        ▼                             ▼
+//!                   back-pressure              PlanCache (sharded LRU,
+//!                                              keyed by PlanFingerprint)
+//!                                                      │
+//!                             cache hit ◀──────────────┘
+//!
+//!  running job ──events──▶ Retuner ──(drift?)──▶ remaining_after + re-solve
+//!                                                      │
+//!                             ControlAction::Reallocate┘  (unpublished
+//!                                                          repetitions only)
+//! ```
+//!
+//! * [`queue::JobQueue`] — one FIFO lane per tenant, served round-robin, with
+//!   depth-based admission control (global + per-tenant bounds).
+//! * [`service::TuningService`] — a pool of worker threads draining the
+//!   queue; each job is fingerprinted ([`fingerprint::PlanFingerprint`]) and
+//!   answered from the sharded LRU [`cache::PlanCache`] when an equivalent
+//!   job was already solved — repeated workloads skip the `O(n·B')` DP
+//!   entirely and cache hits are bit-identical to the cold solve.
+//! * [`retuner::Retuner`] — subscribes to a running job's market events,
+//!   re-estimates the on-hold rate curve from observed acceptance delays
+//!   (`core::inference`), and on confirmed drift re-solves the H-Tuning
+//!   problem for the remaining repetitions and budget
+//!   ([`HTuningProblem::remaining_after`](crowdtune_core::problem::HTuningProblem::remaining_after)),
+//!   re-pricing only repetitions that are not yet published.
+//!
+//! The service is synchronous-threaded by design: the solver is CPU-bound,
+//! so a thread-per-worker pool with a blocking queue is the honest shape; an
+//! async transport front-end can wrap [`service::TuningService::submit`]
+//! without touching this crate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod fingerprint;
+pub mod queue;
+pub mod retuner;
+pub mod service;
+
+pub use cache::{CacheStats, PlanCache};
+pub use fingerprint::PlanFingerprint;
+pub use queue::{AdmissionError, AdmissionPolicy, JobQueue};
+pub use retuner::{RetunePolicy, RetuneStats, Retuner};
+pub use service::{
+    JobHandle, JobRequest, MetricsSnapshot, ServeError, ServedPlan, ServiceConfig, TuningService,
+};

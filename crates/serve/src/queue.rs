@@ -1,0 +1,255 @@
+//! The multi-tenant job queue: admission control and round-robin fairness.
+//!
+//! Heavy tuning traffic from many requesters must not let one chatty tenant
+//! starve everyone else. The queue therefore keeps one FIFO lane per tenant
+//! and serves lanes round-robin: a tenant with 10 000 queued jobs and a
+//! tenant with 1 get alternating service, so per-tenant queueing delay is
+//! bounded by the number of *active tenants*, not by total backlog.
+//!
+//! Admission control is depth-based back-pressure: a global bound and a
+//! per-tenant bound, both checked at submit time. Rejected jobs return
+//! [`AdmissionError`] immediately — shedding load at the door is cheaper
+//! than timing out deep in the queue.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The whole service is at capacity.
+    QueueFull {
+        /// The configured global depth bound.
+        limit: usize,
+    },
+    /// This tenant has too many jobs in flight.
+    TenantOverLimit {
+        /// The configured per-tenant depth bound.
+        limit: usize,
+    },
+    /// The queue was shut down.
+    Closed,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { limit } => {
+                write!(f, "service queue is full ({limit} jobs pending)")
+            }
+            AdmissionError::TenantOverLimit { limit } => {
+                write!(f, "tenant exceeded its pending-job limit of {limit}")
+            }
+            AdmissionError::Closed => f.write_str("service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Queue depth limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Maximum jobs pending across all tenants.
+    pub max_pending: usize,
+    /// Maximum jobs pending for any single tenant.
+    pub max_pending_per_tenant: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_pending: 4096,
+            max_pending_per_tenant: 256,
+        }
+    }
+}
+
+struct Lanes<T> {
+    /// Per-tenant FIFO lanes.
+    lanes: HashMap<String, VecDeque<T>>,
+    /// Round-robin ring of tenants with at least one pending job.
+    ring: VecDeque<String>,
+    pending: usize,
+    closed: bool,
+}
+
+/// A blocking MPMC queue with per-tenant round-robin fairness.
+pub struct JobQueue<T> {
+    inner: Mutex<Lanes<T>>,
+    ready: Condvar,
+    policy: AdmissionPolicy,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates an empty queue with the given admission policy.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        JobQueue {
+            inner: Mutex::new(Lanes {
+                lanes: HashMap::new(),
+                ring: VecDeque::new(),
+                pending: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            policy,
+        }
+    }
+
+    /// Enqueues a job for `tenant`, applying admission control.
+    pub fn submit(&self, tenant: &str, job: T) -> Result<(), AdmissionError> {
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        if inner.closed {
+            return Err(AdmissionError::Closed);
+        }
+        if inner.pending >= self.policy.max_pending {
+            return Err(AdmissionError::QueueFull {
+                limit: self.policy.max_pending,
+            });
+        }
+        let lane = inner.lanes.entry(tenant.to_owned()).or_default();
+        if lane.len() >= self.policy.max_pending_per_tenant {
+            return Err(AdmissionError::TenantOverLimit {
+                limit: self.policy.max_pending_per_tenant,
+            });
+        }
+        lane.push_back(job);
+        if lane.len() == 1 {
+            inner.ring.push_back(tenant.to_owned());
+        }
+        inner.pending += 1;
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Takes the next job in round-robin tenant order, blocking while the
+    /// queue is empty. Returns `None` once the queue is closed *and*
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        loop {
+            if let Some(tenant) = inner.ring.pop_front() {
+                let lane = inner
+                    .lanes
+                    .get_mut(&tenant)
+                    .expect("ring references live lanes");
+                let job = lane.pop_front().expect("ring lanes are non-empty");
+                if lane.is_empty() {
+                    inner.lanes.remove(&tenant);
+                } else {
+                    inner.ring.push_back(tenant);
+                }
+                inner.pending -= 1;
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("job queue poisoned");
+        }
+    }
+
+    /// Jobs currently pending.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().expect("job queue poisoned").pending
+    }
+
+    /// Closes the queue: further submissions fail, workers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("job queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn queue(max_pending: usize, per_tenant: usize) -> JobQueue<u32> {
+        JobQueue::new(AdmissionPolicy {
+            max_pending,
+            max_pending_per_tenant: per_tenant,
+        })
+    }
+
+    #[test]
+    fn fifo_within_a_tenant() {
+        let q = queue(16, 16);
+        q.submit("a", 1).unwrap();
+        q.submit("a", 2).unwrap();
+        q.submit("a", 3).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn round_robin_across_tenants() {
+        let q = queue(16, 16);
+        // Tenant "hog" floods first; "mouse" arrives later with one job.
+        q.submit("hog", 10).unwrap();
+        q.submit("hog", 11).unwrap();
+        q.submit("hog", 12).unwrap();
+        q.submit("mouse", 99).unwrap();
+        assert_eq!(q.pop(), Some(10));
+        // Fairness: the mouse is served before the hog's backlog drains.
+        assert_eq!(q.pop(), Some(99));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), Some(12));
+    }
+
+    #[test]
+    fn admission_limits_apply() {
+        let q = queue(3, 2);
+        q.submit("a", 1).unwrap();
+        q.submit("a", 2).unwrap();
+        assert_eq!(
+            q.submit("a", 3),
+            Err(AdmissionError::TenantOverLimit { limit: 2 })
+        );
+        q.submit("b", 4).unwrap();
+        assert_eq!(
+            q.submit("c", 5),
+            Err(AdmissionError::QueueFull { limit: 3 })
+        );
+        assert_eq!(q.pending(), 3);
+    }
+
+    #[test]
+    fn close_rejects_submissions_and_drains() {
+        let q = queue(8, 8);
+        q.submit("a", 1).unwrap();
+        q.close();
+        assert_eq!(q.submit("a", 2), Err(AdmissionError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_submit() {
+        let q = Arc::new(queue(8, 8));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.submit("a", 7).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(queue(8, 8));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,469 @@
+//! Online mid-flight re-tuning.
+//!
+//! The paper's pipeline tunes once, posts the job and waits — but the rate
+//! parameters it tunes against are probe estimates (§3.3) that drift with
+//! market conditions. The [`Retuner`] closes the loop: it subscribes to the
+//! market's event stream (as a
+//! [`MarketController`](crowdtune_market::control::MarketController)),
+//! re-estimates the on-hold rate curve from the *observed* acceptance delays
+//! of the job's own repetitions, and when the observations have drifted away
+//! from the current belief it re-solves the H-Tuning problem for the
+//! **remaining** repetitions and **remaining** budget
+//! (via [`HTuningProblem::remaining_after`]) and re-allocates the unspent
+//! budget. Payments already committed to published repetitions are never
+//! touched.
+//!
+//! Re-tuning matters most in the sequential-repetition regime (the paper's
+//! default), where later repetitions publish after earlier ones return and
+//! can therefore still be re-priced.
+
+use crowdtune_core::inference::{fit_linearity, PriceRatePoint};
+use crowdtune_core::problem::HTuningProblem;
+use crowdtune_core::rate::{FnRate, RateModel};
+use crowdtune_core::tuner::{StrategyChoice, Tuner};
+use crowdtune_market::control::{ControlAction, MarketController, MarketView};
+use crowdtune_market::events::{Event, RepetitionId};
+use crowdtune_market::time::SimTime;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// When and how aggressively to re-tune.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetunePolicy {
+    /// Re-evaluate the market after this many completed repetitions.
+    pub every_completions: u32,
+    /// Minimum acceptance observations before any estimate is trusted.
+    pub min_observations: usize,
+    /// Declare drift when the observed rates deviate from the belief by more
+    /// than this relative amount (observation-weighted). Re-tuning below the
+    /// threshold is suppressed, which makes no-drift re-tuning a no-op.
+    pub drift_threshold: f64,
+}
+
+impl Default for RetunePolicy {
+    fn default() -> Self {
+        RetunePolicy {
+            every_completions: 5,
+            min_observations: 8,
+            drift_threshold: 0.25,
+        }
+    }
+}
+
+/// Counters describing what the re-tuner did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetuneStats {
+    /// Times the drift check ran.
+    pub evaluations: u32,
+    /// Times drift was detected and the remaining job re-tuned.
+    pub retunes: u32,
+    /// Times a detected drift could not be acted on (e.g. remaining budget
+    /// infeasible) and the current plan was kept.
+    pub skipped: u32,
+}
+
+/// An online re-tuner for one job; plug into
+/// [`MarketSimulator::run_controlled`](crowdtune_market::simulator::MarketSimulator::run_controlled).
+pub struct Retuner {
+    problem: HTuningProblem,
+    strategy: StrategyChoice,
+    policy: RetunePolicy,
+    /// Current market belief; starts at the problem's rate model and is
+    /// replaced whenever drift is confirmed.
+    belief: Arc<dyn RateModel>,
+    /// Publish time and committed payment of every published repetition.
+    published: BTreeMap<RepetitionId, (SimTime, u64)>,
+    /// Published-but-not-yet-accepted repetitions and the start of their
+    /// current exposure window. Their waiting-so-far counts as censored
+    /// exposure; ignoring it would condition on early acceptance and bias
+    /// the rate estimates upward (only the quick acceptances are seen).
+    pending: BTreeMap<RepetitionId, (SimTime, u64)>,
+    /// Completed on-hold durations, grouped by payment.
+    observations: BTreeMap<u64, Vec<f64>>,
+    completions_since_check: u32,
+    stats: RetuneStats,
+}
+
+impl Retuner {
+    /// Creates a re-tuner for a job tuned as `problem` (the *original* full
+    /// problem, whose rate model is the initial market belief).
+    pub fn new(problem: HTuningProblem, strategy: StrategyChoice, policy: RetunePolicy) -> Self {
+        let belief = problem.rate_model().clone();
+        Retuner {
+            problem,
+            strategy,
+            policy,
+            belief,
+            published: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            observations: BTreeMap::new(),
+            completions_since_check: 0,
+            stats: RetuneStats::default(),
+        }
+    }
+
+    /// What the re-tuner has done so far.
+    pub fn stats(&self) -> RetuneStats {
+        self.stats
+    }
+
+    /// The current market belief.
+    pub fn belief(&self) -> &Arc<dyn RateModel> {
+        &self.belief
+    }
+
+    /// How many standard errors away from the estimate the belief must lie
+    /// before a price point counts as drifted. Guards against re-tuning on
+    /// MLE sampling noise, which oscillates the plan and *hurts* latency.
+    const SIGNIFICANCE_Z: f64 = 3.0;
+
+    /// Observed `(price, rate, weight)` triples for every price with enough
+    /// data to estimate: the censored exponential MLE
+    /// `λ̂ = events / (Σ completed durations + Σ pending exposure)`, which is
+    /// unbiased under right-censoring where the naive completed-only
+    /// estimator is badly optimistic early in a window.
+    fn observed_rates(&self, now: SimTime) -> Vec<(f64, f64, f64)> {
+        let mut exposure_by_price: BTreeMap<u64, f64> = BTreeMap::new();
+        for &(since, payment) in self.pending.values() {
+            *exposure_by_price.entry(payment).or_default() += now.since(since);
+        }
+        self.observations
+            .iter()
+            .filter(|(_, durations)| durations.len() >= 2)
+            .filter_map(|(&payment, durations)| {
+                let events = durations.len() as f64;
+                let exposure: f64 = durations.iter().sum::<f64>()
+                    + exposure_by_price.get(&payment).copied().unwrap_or(0.0);
+                if exposure > 0.0 {
+                    Some((payment as f64, events / exposure, events))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Observation-weighted relative deviation of the observed rates from
+    /// the current belief, counting only price points where the deviation is
+    /// statistically significant (the belief lies outside `λ̂ ± z·SE`).
+    fn drift_against_belief(&self, observed: &[(f64, f64, f64)]) -> f64 {
+        let mut weighted = 0.0;
+        let mut weight_total = 0.0;
+        for &(price, rate, weight) in observed {
+            let believed = self.belief.on_hold_rate(price);
+            if !(believed > 0.0 && believed.is_finite()) {
+                continue;
+            }
+            weight_total += weight;
+            let standard_error = rate / weight.sqrt();
+            if (rate - believed).abs() > Self::SIGNIFICANCE_Z * standard_error {
+                weighted += weight * ((rate - believed).abs() / believed);
+            }
+        }
+        if weight_total == 0.0 {
+            0.0
+        } else {
+            weighted / weight_total
+        }
+    }
+
+    /// Builds the re-estimated rate model from the observations: a least
+    /// squares Linearity-Hypothesis fit when two or more price points are
+    /// available, otherwise the belief curve rescaled to match the single
+    /// observed price.
+    fn reestimate(&self, observed: &[(f64, f64, f64)]) -> Option<Arc<dyn RateModel>> {
+        if observed.len() >= 2 {
+            let points: Vec<PriceRatePoint> = observed
+                .iter()
+                .map(|&(price, rate, _)| PriceRatePoint::new(price, rate))
+                .collect();
+            if let Ok(fit) = fit_linearity(&points) {
+                if let Ok(model) = fit.to_rate_model() {
+                    return Some(Arc::new(model));
+                }
+            }
+        }
+        // Single price point (or degenerate fit): scale the belief curve.
+        let &(price, rate, _) = observed.first()?;
+        let believed = self.belief.on_hold_rate(price);
+        if !(believed.is_finite() && believed > 0.0 && rate.is_finite() && rate > 0.0) {
+            return None;
+        }
+        let ratio = rate / believed;
+        let base = self.belief.clone();
+        Some(Arc::new(FnRate::new(
+            format!("rescaled belief ×{ratio:.3}"),
+            move |c| base.on_hold_rate(c) * ratio,
+        )))
+    }
+
+    /// Runs the drift check; returns a re-allocation when drift was detected
+    /// and the remaining job could be re-tuned.
+    fn evaluate(&mut self, now: SimTime, view: &MarketView<'_>) -> ControlAction {
+        self.stats.evaluations += 1;
+        let total_observations: usize = self.observations.values().map(Vec::len).sum();
+        if total_observations < self.policy.min_observations {
+            return ControlAction::Continue;
+        }
+        let observed = self.observed_rates(now);
+        if observed.is_empty() {
+            return ControlAction::Continue;
+        }
+        if self.drift_against_belief(&observed) <= self.policy.drift_threshold {
+            // No meaningful drift: re-tuning now would re-derive the same
+            // plan, so keep it (the no-drift no-op guarantee).
+            return ControlAction::Continue;
+        }
+        let Some(new_belief) = self.reestimate(&observed) else {
+            return ControlAction::Continue;
+        };
+
+        // Re-solve the remaining problem: unpublished repetitions only,
+        // unspent budget only, under the re-estimated market.
+        let shifted = self.problem.with_rate_model(new_belief.clone());
+        let remaining = match shifted.remaining_after(view.published, view.committed_units) {
+            Ok(Some(remaining)) => remaining,
+            Ok(None) => return ControlAction::Continue,
+            Err(_) => {
+                // Typically: the unspent budget can no longer cover the
+                // outstanding repetitions at one unit each. Keep the plan.
+                self.stats.skipped += 1;
+                return ControlAction::Continue;
+            }
+        };
+        let tuner = Tuner::new(new_belief.clone()).with_strategy(self.strategy);
+        let result = match tuner.tune_problem(&remaining.problem) {
+            Ok(result) => result,
+            Err(_) => {
+                self.stats.skipped += 1;
+                return ControlAction::Continue;
+            }
+        };
+
+        // Graft the re-tuned payments onto the unpublished repetition slots.
+        let mut next = view.allocation.clone();
+        for (reduced_index, &original_index) in remaining.task_indices.iter().enumerate() {
+            let new_payments = result.allocation.task_payments(reduced_index);
+            let already_published = view.published[original_index] as usize;
+            let payments = next.task_payments_mut(original_index);
+            for (slot, &payment) in payments
+                .iter_mut()
+                .skip(already_published)
+                .zip(new_payments)
+            {
+                *slot = payment;
+            }
+        }
+
+        self.belief = new_belief;
+        self.stats.retunes += 1;
+        // The samples that proved the drift were drawn while the old belief
+        // (and old prices) were in force; keeping them would keep re-judging
+        // the new belief on stale evidence. Start a fresh window: drop the
+        // completed observations and restart the pending exposure clocks
+        // (valid for exponential waiting times, which are memoryless).
+        self.observations.clear();
+        for (since, _) in self.pending.values_mut() {
+            *since = now;
+        }
+        ControlAction::Reallocate(next)
+    }
+}
+
+impl MarketController for Retuner {
+    fn on_event(&mut self, time: SimTime, event: &Event, view: &MarketView<'_>) -> ControlAction {
+        match *event {
+            Event::Publish(rep) => {
+                let payment =
+                    view.allocation.task_payments(rep.task)[rep.repetition as usize].as_units();
+                self.published.insert(rep, (time, payment));
+                self.pending.insert(rep, (time, payment));
+                ControlAction::Continue
+            }
+            Event::Accept { repetition, .. } => {
+                if let Some((since, payment)) = self.pending.remove(&repetition) {
+                    self.observations
+                        .entry(payment)
+                        .or_default()
+                        .push(time.since(since));
+                }
+                ControlAction::Continue
+            }
+            Event::Submit { .. } => {
+                self.completions_since_check += 1;
+                if self.completions_since_check >= self.policy.every_completions {
+                    self.completions_since_check = 0;
+                    self.evaluate(time, view)
+                } else {
+                    ControlAction::Continue
+                }
+            }
+            Event::WorkerArrival => ControlAction::Continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_core::money::{Allocation, Budget, Payment};
+    use crowdtune_core::rate::LinearRate;
+    use crowdtune_core::task::TaskSet;
+
+    fn problem(tasks: usize, reps: u32, budget: u64) -> HTuningProblem {
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", 2.0).unwrap();
+        set.add_tasks(ty, reps, tasks).unwrap();
+        HTuningProblem::new(
+            set,
+            Budget::units(budget),
+            Arc::new(LinearRate::new(1.0, 0.0).unwrap()),
+        )
+        .unwrap()
+    }
+
+    /// Feeds the retuner a synthetic event stream whose acceptance delays are
+    /// *exactly* the belief's expectation (durations `1/λ(p)` make the MLE
+    /// reproduce `λ(p)` bit-exactly), then triggers an evaluation.
+    #[test]
+    fn no_drift_evaluation_is_a_noop() {
+        let problem = problem(4, 2, 40);
+        let mut retuner = Retuner::new(
+            problem.clone(),
+            StrategyChoice::Auto,
+            RetunePolicy {
+                every_completions: 1,
+                min_observations: 4,
+                drift_threshold: 0.05,
+            },
+        );
+        let allocation = Allocation::uniform(&[2, 2, 2, 2], Payment::units(4));
+        let mut completed = vec![0u32; 4];
+        let mut published = vec![0u32; 4];
+        let mut committed = 0u64;
+        let rate = 4.0; // belief: λ = payment = 4
+        let mut now = 0.0;
+        for task in 0..4usize {
+            let rep = RepetitionId::new(task, 0);
+            published[task] = 1;
+            committed += 4;
+            let view_alloc = allocation.clone();
+            // Publish.
+            let view = MarketView {
+                completed: &completed,
+                published: &published,
+                committed_units: committed,
+                allocation: &view_alloc,
+            };
+            let action = retuner.on_event(SimTime::new(now), &Event::Publish(rep), &view);
+            assert!(matches!(action, ControlAction::Continue));
+            // Accept exactly 1/λ later.
+            now += 1.0 / rate;
+            let action = retuner.on_event(
+                SimTime::new(now),
+                &Event::Accept {
+                    repetition: rep,
+                    worker: None,
+                },
+                &view,
+            );
+            assert!(matches!(action, ControlAction::Continue));
+            // Submit.
+            completed[task] = 1;
+            let view = MarketView {
+                completed: &completed,
+                published: &published,
+                committed_units: committed,
+                allocation: &view_alloc,
+            };
+            let action = retuner.on_event(
+                SimTime::new(now),
+                &Event::Submit {
+                    repetition: rep,
+                    worker: None,
+                },
+                &view,
+            );
+            assert!(
+                matches!(action, ControlAction::Continue),
+                "no-drift re-tuning must keep the allocation"
+            );
+        }
+        assert_eq!(retuner.stats().retunes, 0);
+        assert!(retuner.stats().evaluations >= 1);
+    }
+
+    /// A collapsed market (observed delays 20× the belief) must trigger a
+    /// re-tune that re-prices only unpublished repetitions.
+    #[test]
+    fn drift_triggers_retune_of_unpublished_slots_only() {
+        let problem = problem(2, 3, 120);
+        let mut retuner = Retuner::new(
+            problem,
+            StrategyChoice::Auto,
+            RetunePolicy {
+                every_completions: 1,
+                min_observations: 2,
+                drift_threshold: 0.25,
+            },
+        );
+        let allocation = Allocation::uniform(&[3, 3], Payment::units(4));
+        // Both tasks' first repetitions published at t=0 and accepted 20×
+        // slower than believed (λ̂ = payment/20 instead of payment).
+        let published = vec![1u32, 1];
+        let completed_mid = vec![0u32, 0];
+        let committed = 8u64;
+        let mut view = MarketView {
+            completed: &completed_mid,
+            published: &published,
+            committed_units: committed,
+            allocation: &allocation,
+        };
+        for task in 0..2usize {
+            let rep = RepetitionId::new(task, 0);
+            retuner.on_event(SimTime::new(0.0), &Event::Publish(rep), &view);
+        }
+        let slow_delay = 20.0 / 4.0; // 1 / (payment/20)
+        for task in 0..2usize {
+            let rep = RepetitionId::new(task, 0);
+            retuner.on_event(
+                SimTime::new(slow_delay),
+                &Event::Accept {
+                    repetition: rep,
+                    worker: None,
+                },
+                &view,
+            );
+        }
+        let completed = vec![1u32, 0];
+        view.completed = &completed;
+        let action = retuner.on_event(
+            SimTime::new(slow_delay),
+            &Event::Submit {
+                repetition: RepetitionId::new(0, 0),
+                worker: None,
+            },
+            &view,
+        );
+        let ControlAction::Reallocate(next) = action else {
+            panic!("a 20× rate collapse must trigger re-tuning");
+        };
+        assert_eq!(retuner.stats().retunes, 1);
+        // Published first repetitions keep their payment.
+        assert_eq!(next.task_payments(0)[0], Payment::units(4));
+        assert_eq!(next.task_payments(1)[0], Payment::units(4));
+        // The re-tuned tail stays within the unspent budget.
+        let tail: u64 = (0..2)
+            .flat_map(|task| next.task_payments(task)[1..].iter())
+            .map(|p| p.as_units())
+            .sum();
+        assert!(tail <= 120 - committed);
+        assert!(next.all_positive());
+        // The belief was replaced.
+        let new_rate = retuner.belief().on_hold_rate(4.0);
+        assert!(
+            (new_rate - 0.2).abs() < 0.05,
+            "belief should track the observed collapse, got λ(4) = {new_rate}"
+        );
+    }
+}

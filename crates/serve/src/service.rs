@@ -1,0 +1,432 @@
+//! The tuning service: a pool of tuner workers draining the multi-tenant
+//! [`JobQueue`], with the sharded [`PlanCache`] in front of the solver.
+//!
+//! Submissions return a [`JobHandle`] immediately; the plan is delivered
+//! through it when a worker finishes (or straight from the cache). The
+//! service is deliberately transport-agnostic — an HTTP/gRPC front-end is a
+//! thin layer over [`TuningService::submit`] (see ROADMAP).
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::fingerprint::PlanFingerprint;
+use crate::queue::{AdmissionError, AdmissionPolicy, JobQueue};
+use crowdtune_core::error::CoreError;
+use crowdtune_core::money::Budget;
+use crowdtune_core::problem::HTuningProblem;
+use crowdtune_core::rate::RateModel;
+use crowdtune_core::task::TaskSet;
+use crowdtune_core::tuner::{StrategyChoice, TunedPlan, Tuner};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// One tuning job as submitted by a tenant.
+#[derive(Clone)]
+pub struct JobRequest {
+    /// Tenant identifier; fairness and per-tenant admission are keyed on it.
+    pub tenant: String,
+    /// The job's atomic tasks.
+    pub task_set: TaskSet,
+    /// Total budget.
+    pub budget: Budget,
+    /// The tenant's current market belief.
+    pub rate_model: Arc<dyn RateModel>,
+    /// Strategy override; `Auto` picks EA/RA/HA per scenario.
+    pub strategy: StrategyChoice,
+}
+
+impl fmt::Debug for JobRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobRequest")
+            .field("tenant", &self.tenant)
+            .field("tasks", &self.task_set.len())
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+/// A completed tuning job.
+#[derive(Debug, Clone)]
+pub struct ServedPlan {
+    /// Service-assigned job id.
+    pub job_id: u64,
+    /// The tuned plan. Cache hits share the same `Arc` as the original cold
+    /// solve, so repeated submissions observe bit-identical plans.
+    pub plan: Arc<TunedPlan>,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+}
+
+/// Errors a submission can surface.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Refused at the door by admission control.
+    Admission(AdmissionError),
+    /// The solver rejected the problem (e.g. insufficient budget).
+    Tuning(CoreError),
+    /// The worker processing the job disappeared (service shut down).
+    WorkerGone,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Admission(e) => write!(f, "admission: {e}"),
+            ServeError::Tuning(e) => write!(f, "tuning: {e}"),
+            ServeError::WorkerGone => f.write_str("service shut down before the job completed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<AdmissionError> for ServeError {
+    fn from(e: AdmissionError) -> Self {
+        ServeError::Admission(e)
+    }
+}
+
+/// Handle to a submitted job; resolves to the plan.
+#[derive(Debug)]
+pub struct JobHandle {
+    /// Service-assigned job id.
+    pub job_id: u64,
+    receiver: mpsc::Receiver<Result<ServedPlan, ServeError>>,
+}
+
+impl JobHandle {
+    /// Blocks until the job completes.
+    pub fn wait(self) -> Result<ServedPlan, ServeError> {
+        self.receiver.recv().unwrap_or(Err(ServeError::WorkerGone))
+    }
+}
+
+/// Sizing of the service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of tuner worker threads.
+    pub workers: usize,
+    /// Queue depth limits.
+    pub admission: AdmissionPolicy,
+    /// Number of plan-cache shards.
+    pub cache_shards: usize,
+    /// Plans retained per shard.
+    pub cache_capacity_per_shard: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            admission: AdmissionPolicy::default(),
+            cache_shards: 8,
+            cache_capacity_per_shard: 512,
+        }
+    }
+}
+
+/// Service-level counters (monotone).
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    solve_errors: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`ServiceMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs refused by admission control.
+    pub rejected: u64,
+    /// Jobs answered (from cache or solver).
+    pub completed: u64,
+    /// Jobs whose solve failed.
+    pub solve_errors: u64,
+}
+
+struct QueuedJob {
+    id: u64,
+    request: JobRequest,
+    respond: mpsc::Sender<Result<ServedPlan, ServeError>>,
+}
+
+/// The multi-tenant tuning service.
+pub struct TuningService {
+    queue: Arc<JobQueue<QueuedJob>>,
+    cache: Arc<PlanCache>,
+    metrics: Arc<ServiceMetrics>,
+    workers: Vec<JoinHandle<()>>,
+    next_job_id: AtomicU64,
+}
+
+impl TuningService {
+    /// Starts the worker pool.
+    pub fn start(config: ServiceConfig) -> Self {
+        let queue = Arc::new(JobQueue::new(config.admission));
+        let cache = Arc::new(PlanCache::new(
+            config.cache_shards,
+            config.cache_capacity_per_shard,
+        ));
+        let metrics = Arc::new(ServiceMetrics::default());
+        let workers = (0..config.workers.max(1))
+            .map(|index| {
+                let queue = queue.clone();
+                let cache = cache.clone();
+                let metrics = metrics.clone();
+                std::thread::Builder::new()
+                    .name(format!("tuner-worker-{index}"))
+                    .spawn(move || worker_loop(&queue, &cache, &metrics))
+                    .expect("spawn tuner worker")
+            })
+            .collect();
+        TuningService {
+            queue,
+            cache,
+            metrics,
+            workers,
+            next_job_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Submits a job; returns immediately with a handle (or an admission
+    /// error under back-pressure).
+    pub fn submit(&self, request: JobRequest) -> Result<JobHandle, ServeError> {
+        let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let (sender, receiver) = mpsc::channel();
+        let tenant = request.tenant.clone();
+        let job = QueuedJob {
+            id,
+            request,
+            respond: sender,
+        };
+        match self.queue.submit(&tenant, job) {
+            Ok(()) => {
+                self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle {
+                    job_id: id,
+                    receiver,
+                })
+            }
+            Err(e) => {
+                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Convenience: submit and wait.
+    pub fn tune(&self, request: JobRequest) -> Result<ServedPlan, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.metrics.submitted.load(Ordering::Relaxed),
+            rejected: self.metrics.rejected.load(Ordering::Relaxed),
+            completed: self.metrics.completed.load(Ordering::Relaxed),
+            solve_errors: self.metrics.solve_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.pending()
+    }
+
+    /// Drains the queue and stops the workers.
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for TuningService {
+    fn drop(&mut self) {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &JobQueue<QueuedJob>, cache: &PlanCache, metrics: &ServiceMetrics) {
+    while let Some(job) = queue.pop() {
+        let QueuedJob {
+            id,
+            request,
+            respond,
+        } = job;
+        let outcome = serve_one(cache, &request);
+        match &outcome {
+            Ok(_) => metrics.completed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => metrics.solve_errors.fetch_add(1, Ordering::Relaxed),
+        };
+        // The submitter may have dropped the handle; that is not an error.
+        let _ = respond.send(outcome.map(|(plan, cache_hit)| ServedPlan {
+            job_id: id,
+            plan,
+            cache_hit,
+        }));
+    }
+}
+
+fn serve_one(
+    cache: &PlanCache,
+    request: &JobRequest,
+) -> Result<(Arc<TunedPlan>, bool), ServeError> {
+    let problem = HTuningProblem::new(
+        request.task_set.clone(),
+        request.budget,
+        request.rate_model.clone(),
+    )
+    .map_err(ServeError::Tuning)?;
+    let fingerprint = PlanFingerprint::of(&problem, request.strategy);
+    if let Some(plan) = cache.get(fingerprint) {
+        return Ok((plan, true));
+    }
+    let tuner = Tuner::new(request.rate_model.clone()).with_strategy(request.strategy);
+    let plan = tuner
+        .plan(request.task_set.clone(), request.budget)
+        .map_err(ServeError::Tuning)?;
+    let plan = cache.insert(fingerprint, Arc::new(plan));
+    Ok((plan, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_core::rate::LinearRate;
+
+    fn request(tenant: &str, tasks: usize, budget: u64) -> JobRequest {
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", 2.0).unwrap();
+        set.add_tasks(ty, 3, tasks).unwrap();
+        JobRequest {
+            tenant: tenant.to_owned(),
+            task_set: set,
+            budget: Budget::units(budget),
+            rate_model: Arc::new(LinearRate::unit_slope()),
+            strategy: StrategyChoice::Auto,
+        }
+    }
+
+    #[test]
+    fn serves_jobs_and_caches_repeats() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let first = service.tune(request("acme", 5, 60)).unwrap();
+        assert!(!first.cache_hit);
+        let second = service.tune(request("acme", 5, 60)).unwrap();
+        assert!(second.cache_hit, "identical job must hit the plan cache");
+        assert!(
+            Arc::ptr_eq(&first.plan, &second.plan),
+            "cache hit returns the very same plan object"
+        );
+        // A different tenant with the same workload also hits.
+        let third = service.tune(request("globex", 5, 60)).unwrap();
+        assert!(third.cache_hit);
+
+        let stats = service.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        let metrics = service.metrics();
+        assert_eq!(metrics.submitted, 3);
+        assert_eq!(metrics.completed, 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn solver_errors_are_reported_not_fatal() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        // 5 tasks × 3 reps = 15 slots; budget 10 is insufficient.
+        let err = service.tune(request("acme", 5, 10)).unwrap_err();
+        assert!(matches!(err, ServeError::Tuning(_)), "{err}");
+        // The worker survives and keeps serving.
+        assert!(service.tune(request("acme", 5, 60)).is_ok());
+        assert_eq!(service.metrics().solve_errors, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn admission_rejection_is_immediate() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            admission: AdmissionPolicy {
+                max_pending: 1,
+                max_pending_per_tenant: 1,
+            },
+            ..ServiceConfig::default()
+        });
+        // Flood faster than one worker can drain; eventually a submission
+        // must bounce. (With a single worker and depth 1 the third rapid
+        // submission is practically guaranteed to find the queue full.)
+        let mut handles = Vec::new();
+        let mut rejected = false;
+        for _ in 0..64 {
+            match service.submit(request("acme", 40, 400)) {
+                Ok(h) => handles.push(h),
+                Err(ServeError::Admission(_)) => {
+                    rejected = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(rejected, "back-pressure must reject under flood");
+        for h in handles {
+            let _ = h.wait();
+        }
+        assert!(service.metrics().rejected >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_tenants_all_get_served() {
+        let service = Arc::new(TuningService::start(ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        }));
+        let mut joins = Vec::new();
+        for tenant in 0..8 {
+            let service = service.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut hits = 0;
+                for round in 0..10 {
+                    let served = service
+                        .tune(request(&format!("tenant-{tenant}"), 4 + round % 3, 80))
+                        .unwrap();
+                    if served.cache_hit {
+                        hits += 1;
+                    }
+                }
+                hits
+            }));
+        }
+        let total_hits: u32 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        // 8 tenants × 10 jobs over 3 distinct workloads: nearly everything
+        // after the first three solves is a hit.
+        assert!(
+            total_hits >= 70,
+            "expected heavy cache reuse, got {total_hits}"
+        );
+        assert_eq!(service.metrics().completed, 80);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests of the serving layer over randomly generated workloads
+//! (seeded, so every failure reproduces):
+//!
+//! * a plan-cache hit returns a plan **bit-identical** to the cold solve;
+//! * re-tuning against observations consistent with the current belief (no
+//!   drift) never changes the allocation.
+
+use crowdtune_core::money::{Allocation, Budget, Payment};
+use crowdtune_core::problem::HTuningProblem;
+use crowdtune_core::rate::LinearRate;
+use crowdtune_core::task::TaskSet;
+use crowdtune_core::tuner::StrategyChoice;
+use crowdtune_market::control::{ControlAction, MarketController, MarketView};
+use crowdtune_market::events::{Event, RepetitionId};
+use crowdtune_market::time::SimTime;
+use crowdtune_serve::{JobRequest, RetunePolicy, Retuner, ServiceConfig, TuningService};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const CASES: u64 = 32;
+
+fn arbitrary_request(rng: &mut StdRng, tenant: &str) -> JobRequest {
+    let groups = rng.gen_range(1usize..4);
+    let mut set = TaskSet::new();
+    for g in 0..groups {
+        let rate = rng.gen_range(0.5f64..4.0);
+        let ty = set.add_type(format!("type{g}"), rate).unwrap();
+        let reps = rng.gen_range(1u32..5);
+        let count = rng.gen_range(1usize..5);
+        set.add_tasks(ty, reps, count).unwrap();
+    }
+    let slots = set.total_repetitions();
+    let budget = slots + rng.gen_range(0u64..30) * slots / 2;
+    let slope = rng.gen_range(0.2f64..3.0);
+    let intercept = rng.gen_range(0.0f64..2.0);
+    JobRequest {
+        tenant: tenant.to_owned(),
+        task_set: set,
+        budget: Budget::units(budget),
+        rate_model: Arc::new(LinearRate::new(slope, intercept).unwrap()),
+        strategy: StrategyChoice::Auto,
+    }
+}
+
+/// Cache hits are bit-identical to the cold solve: same allocation (integer
+/// payments), and bit-equal floating-point objective and latency estimates.
+#[test]
+fn cache_hits_are_bit_identical_to_cold_solves() {
+    let service = TuningService::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let request = arbitrary_request(&mut rng, "prop");
+        let cold = service.tune(request.clone()).unwrap();
+        assert!(!cold.cache_hit, "seed {seed}: first solve must be cold");
+        let warm = service.tune(request).unwrap();
+        assert!(warm.cache_hit, "seed {seed}: repeat must hit the cache");
+
+        assert_eq!(
+            cold.plan.result.allocation, warm.plan.result.allocation,
+            "seed {seed}"
+        );
+        assert_eq!(cold.plan.result.strategy, warm.plan.result.strategy);
+        let bits = |x: f64| x.to_bits();
+        assert_eq!(
+            cold.plan.result.objective.map(bits),
+            warm.plan.result.objective.map(bits),
+            "seed {seed}"
+        );
+        assert_eq!(
+            bits(cold.plan.expected_latency),
+            bits(warm.plan.expected_latency),
+            "seed {seed}"
+        );
+        assert_eq!(
+            bits(cold.plan.expected_on_hold_latency),
+            bits(warm.plan.expected_on_hold_latency),
+            "seed {seed}"
+        );
+    }
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits, CASES);
+    assert_eq!(stats.misses, CASES);
+    service.shutdown();
+}
+
+/// Drives a retuner through a synthetic event stream whose acceptance delays
+/// match the belief exactly (duration `1/λ(p)` makes the exponential MLE
+/// reproduce `λ(p)`), asserting every control action is `Continue`.
+#[test]
+fn retuning_without_drift_never_changes_the_allocation() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let tasks = rng.gen_range(2usize..6);
+        let reps = rng.gen_range(2u32..4);
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", rng.gen_range(1.0f64..3.0)).unwrap();
+        set.add_tasks(ty, reps, tasks).unwrap();
+        let slots = set.total_repetitions();
+        let budget = slots * rng.gen_range(2u64..8);
+        let slope = rng.gen_range(0.5f64..2.0);
+        let model = Arc::new(LinearRate::new(slope, 0.0).unwrap());
+        let problem =
+            HTuningProblem::new(set.clone(), Budget::units(budget), model.clone()).unwrap();
+
+        let mut retuner = Retuner::new(
+            problem,
+            StrategyChoice::Auto,
+            RetunePolicy {
+                every_completions: 1,
+                min_observations: 1,
+                drift_threshold: 0.05,
+            },
+        );
+
+        let payment = rng.gen_range(1u64..6);
+        let allocation = Allocation::uniform(&set.repetition_counts(), Payment::units(payment));
+        let mut completed = vec![0u32; tasks];
+        let mut published = vec![0u32; tasks];
+        let mut committed = 0u64;
+        let mut now = 0.0f64;
+        // Sequential walk: publish, accept (exactly on-expectation), submit.
+        for task in 0..tasks {
+            for rep in 0..reps {
+                let id = RepetitionId::new(task, rep);
+                published[task] += 1;
+                committed += payment;
+                let view = MarketView {
+                    completed: &completed,
+                    published: &published,
+                    committed_units: committed,
+                    allocation: &allocation,
+                };
+                assert!(matches!(
+                    retuner.on_event(SimTime::new(now), &Event::Publish(id), &view),
+                    ControlAction::Continue
+                ));
+                now += 1.0 / (slope * payment as f64);
+                assert!(matches!(
+                    retuner.on_event(
+                        SimTime::new(now),
+                        &Event::Accept {
+                            repetition: id,
+                            worker: None
+                        },
+                        &view,
+                    ),
+                    ControlAction::Continue
+                ));
+                completed[task] += 1;
+                let view = MarketView {
+                    completed: &completed,
+                    published: &published,
+                    committed_units: committed,
+                    allocation: &allocation,
+                };
+                let action = retuner.on_event(
+                    SimTime::new(now),
+                    &Event::Submit {
+                        repetition: id,
+                        worker: None,
+                    },
+                    &view,
+                );
+                assert!(
+                    matches!(action, ControlAction::Continue),
+                    "seed {seed}: no-drift re-tuning must be a no-op"
+                );
+            }
+        }
+        assert_eq!(retuner.stats().retunes, 0, "seed {seed}");
+        assert!(retuner.stats().evaluations > 0, "seed {seed}");
+    }
+}

@@ -1,0 +1,538 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in. No `syn`/`quote`: the item definition is parsed
+//! directly from the raw token stream (attributes skipped, visibility
+//! skipped, generics captured, fields and variants enumerated) and the impl
+//! is emitted as source text and re-parsed.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! * structs with named fields, tuple structs (newtype or wider), unit
+//!   structs;
+//! * enums with unit variants, tuple variants and struct variants;
+//! * generic type parameters (each receives a `Serialize`/`Deserialize`
+//!   bound on the emitted impl).
+//!
+//! `#[serde(...)]` field attributes are not supported and are ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the item's body looks like.
+enum Body {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with the given arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// `<...>` contents for the impl header, bounds included, or empty.
+    impl_generics: String,
+    /// `<...>` contents for the type position (names only), or empty.
+    type_args: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input, "Serialize");
+    emit_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input, "Deserialize");
+    emit_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream, trait_name: &str) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => panic!("derive({trait_name}): expected struct or enum, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({trait_name}): expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    let (impl_generics, type_args) = parse_generics(&tokens, &mut i, trait_name);
+
+    // Skip a possible `where` clause: scan forward to the body. Parenthesised
+    // or braced groups inside where clauses are not supported (none in this
+    // workspace).
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if kind == "struct" {
+                    break Body::Struct(parse_named_fields(&inner));
+                }
+                break Body::Enum(parse_variants(&inner));
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                break Body::Tuple(count_tuple_fields(&inner));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Body::Unit,
+            Some(_) => i += 1,
+            None => panic!("derive({trait_name}): item `{name}` has no body"),
+        }
+    };
+
+    Item {
+        name,
+        impl_generics,
+        type_args,
+        body,
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1; // '#'
+        if let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+            if p.as_char() == '!' {
+                *i += 1;
+            }
+        }
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            other => panic!("malformed attribute: {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) / pub(super) / pub(in ...)
+                }
+            }
+        }
+    }
+}
+
+/// Parses `<...>` after the item name. Returns `(impl_generics, type_args)` —
+/// both without the surrounding angle brackets, empty when non-generic.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize, trait_name: &str) -> (String, String) {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return (String::new(), String::new()),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut raw: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                raw.push(tokens[*i].clone());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth > 0 {
+                    raw.push(tokens[*i].clone());
+                }
+            }
+            Some(t) => raw.push(t.clone()),
+            None => panic!("derive({trait_name}): unterminated generics"),
+        }
+        *i += 1;
+    }
+
+    let bound = format!("::serde::{trait_name}");
+    let mut impl_parts: Vec<String> = Vec::new();
+    let mut arg_parts: Vec<String> = Vec::new();
+    for segment in split_top_level_commas(&raw) {
+        if segment.is_empty() {
+            continue;
+        }
+        let rendered = render_tokens(&segment);
+        match &segment[0] {
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Lifetime parameter: keep as-is.
+                let lt = format!("'{}", segment.get(1).map(token_text).unwrap_or_default());
+                impl_parts.push(rendered);
+                arg_parts.push(lt);
+            }
+            TokenTree::Ident(id) if id.to_string() == "const" => {
+                let name = segment.get(1).map(token_text).unwrap_or_default();
+                impl_parts.push(strip_default(&rendered));
+                arg_parts.push(name);
+            }
+            TokenTree::Ident(id) => {
+                // Type parameter, possibly with bounds and/or a default.
+                let name = id.to_string();
+                let without_default = strip_default(&rendered);
+                if without_default.contains(':') {
+                    impl_parts.push(format!("{without_default} + {bound}"));
+                } else {
+                    impl_parts.push(format!("{name}: {bound}"));
+                }
+                arg_parts.push(name);
+            }
+            other => panic!("derive({trait_name}): unsupported generic parameter {other:?}"),
+        }
+    }
+    (impl_parts.join(", "), arg_parts.join(", "))
+}
+
+/// Drops a trailing ` = default` from a generic-parameter segment.
+fn strip_default(segment: &str) -> String {
+    match segment.find('=') {
+        Some(pos) => segment[..pos].trim_end().to_owned(),
+        None => segment.to_owned(),
+    }
+}
+
+fn token_text(token: &TokenTree) -> String {
+    token.to_string()
+}
+
+fn render_tokens(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Splits a token list at commas that sit outside `<...>` nesting (groups are
+/// atomic tokens, so only angle brackets need tracking).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle = 0usize;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(token.clone());
+    }
+    if parts.last().map(Vec::is_empty).unwrap_or(false) {
+        parts.pop();
+    }
+    parts
+}
+
+/// Extracts field names from the tokens inside a named-field brace group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(tokens)
+        .into_iter()
+        .filter_map(|segment| {
+            let mut i = 0;
+            skip_attributes(&segment, &mut i);
+            skip_visibility(&segment, &mut i);
+            match segment.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    split_top_level_commas(tokens)
+        .into_iter()
+        .filter(|segment| !segment.is_empty())
+        .count()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    split_top_level_commas(tokens)
+        .into_iter()
+        .filter_map(|segment| {
+            let mut i = 0;
+            skip_attributes(&segment, &mut i);
+            let name = match segment.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            i += 1;
+            let shape = match segment.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantShape::Tuple(count_tuple_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantShape::Struct(parse_named_fields(&inner))
+                }
+                // Unit variant, possibly with an explicit discriminant.
+                _ => VariantShape::Unit,
+            };
+            Some(Variant { name, shape })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    let generics = if item.impl_generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.impl_generics)
+    };
+    let ty = if item.type_args.is_empty() {
+        item.name.clone()
+    } else {
+        format!("{}<{}>", item.name, item.type_args)
+    };
+    format!("impl{generics} ::serde::{trait_name} for {ty}")
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let header = impl_header(item, "Serialize");
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", pairs.join(", "))
+        }
+        Body::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_owned(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::serialize_value(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_owned(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant_arm(&item.name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!("{header} {{ fn serialize_value(&self) -> ::serde::Value {{ {body} }} }}")
+}
+
+fn serialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => format!(
+            "{enum_name}::{v} => \
+             ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+        ),
+        VariantShape::Tuple(1) => format!(
+            "{enum_name}::{v}(f0) => ::serde::Value::Obj(vec![(\
+             ::std::string::String::from(\"{v}\"), \
+             ::serde::Serialize::serialize_value(f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{v}({}) => ::serde::Value::Obj(vec![(\
+                 ::std::string::String::from(\"{v}\"), \
+                 ::serde::Value::Arr(vec![{}]))]),",
+                binders.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {} }} => ::serde::Value::Obj(vec![(\
+                 ::std::string::String::from(\"{v}\"), \
+                 ::serde::Value::Obj(vec![{}]))]),",
+                fields.join(", "),
+                pairs.join(", ")
+            )
+        }
+    }
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let header = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::deserialize_value(value.field(\"{f}\")?)?")
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Body::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(value)?))")
+        }
+        Body::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Deserialize::deserialize_value(&items[{idx}])?"))
+                .collect();
+            format!(
+                "match value {{ \
+                   ::serde::Value::Arr(items) if items.len() == {n} => \
+                     Ok({name}({inits})), \
+                   other => Err(::serde::DeError::new(format!(\
+                     \"expected array of {n}, found {{}}\", other.kind()))), \
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Body::Unit => format!(
+            "match value {{ \
+               ::serde::Value::Null => Ok({name}), \
+               other => Err(::serde::DeError::new(format!(\
+                 \"expected null, found {{}}\", other.kind()))), \
+             }}"
+        ),
+        Body::Enum(variants) => emit_enum_deserialize(name, variants),
+    };
+    format!(
+        "{header} {{ fn deserialize_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
+
+fn emit_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let arm = match &v.shape {
+                VariantShape::Unit => return None,
+                VariantShape::Tuple(1) => format!(
+                    "\"{0}\" => Ok({name}::{0}(\
+                     ::serde::Deserialize::deserialize_value(inner)?)),",
+                    v.name
+                ),
+                VariantShape::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|idx| {
+                            format!("::serde::Deserialize::deserialize_value(&items[{idx}])?")
+                        })
+                        .collect();
+                    format!(
+                        "\"{0}\" => match inner {{ \
+                           ::serde::Value::Arr(items) if items.len() == {n} => \
+                             Ok({name}::{0}({inits})), \
+                           other => Err(::serde::DeError::new(format!(\
+                             \"variant {0}: expected array of {n}, found {{}}\", \
+                             other.kind()))), \
+                         }},",
+                        v.name,
+                        inits = inits.join(", ")
+                    )
+                }
+                VariantShape::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::deserialize_value(\
+                                 inner.field(\"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{0}\" => Ok({name}::{0} {{ {1} }}),",
+                        v.name,
+                        inits.join(", ")
+                    )
+                }
+            };
+            Some(arm)
+        })
+        .collect();
+
+    format!(
+        "match value {{ \
+           ::serde::Value::Str(s) => match s.as_str() {{ \
+             {unit_arms} \
+             other => Err(::serde::DeError::new(format!(\
+               \"unknown {name} variant `{{other}}`\"))), \
+           }}, \
+           ::serde::Value::Obj(pairs) if pairs.len() == 1 => {{ \
+             let (tag, inner) = &pairs[0]; \
+             match tag.as_str() {{ \
+               {data_arms} \
+               other => Err(::serde::DeError::new(format!(\
+                 \"unknown {name} variant `{{other}}`\"))), \
+             }} \
+           }} \
+           other => Err(::serde::DeError::new(format!(\
+             \"expected {name} variant, found {{}}\", other.kind()))), \
+         }}",
+        unit_arms = unit_arms.join(" "),
+        data_arms = data_arms.join(" ")
+    )
+}

@@ -52,7 +52,10 @@ fn main() {
     );
 
     // Per-difficulty latency summary.
-    for (label, hits) in [("easy (4 votes)", &easy_hits), ("hard (8 votes)", &hard_hits)] {
+    for (label, hits) in [
+        ("easy (4 votes)", &easy_hits),
+        ("hard (8 votes)", &hard_hits),
+    ] {
         let mut on_hold = 0.0;
         let mut processing = 0.0;
         let mut count = 0usize;

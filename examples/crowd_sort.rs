@@ -46,17 +46,26 @@ fn main() {
         .expect("the budget covers the plan");
 
     println!("strategy           : {}", outcome.strategy);
-    println!("budget spent       : {} / {} units", outcome.stats.spent_units, budget.as_units());
-    println!("expected latency   : {:.2} time units", outcome.stats.expected_latency);
-    println!("simulated latency  : {:.2} time units", outcome.stats.simulated_latency);
+    println!(
+        "budget spent       : {} / {} units",
+        outcome.stats.spent_units,
+        budget.as_units()
+    );
+    println!(
+        "expected latency   : {:.2} time units",
+        outcome.stats.expected_latency
+    );
+    println!(
+        "simulated latency  : {:.2} time units",
+        outcome.stats.simulated_latency
+    );
     println!("\ncrowd ranking (best first):");
     for (position, id) in outcome.result.iter().enumerate() {
         let item = items.get(*id).expect("known item");
         println!("  {:>2}. {}", position + 1, item.label);
     }
 
-    let agreement =
-        CrowdSort::ranking_agreement(&outcome.result, &items.ground_truth_ranking());
+    let agreement = CrowdSort::ranking_agreement(&outcome.result, &items.ground_truth_ranking());
     println!(
         "\nagreement with the latent ground truth: {:.0}% of item pairs ordered correctly",
         agreement * 100.0

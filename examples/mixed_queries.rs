@@ -33,10 +33,16 @@ fn main() {
         ("HA (optimal)", Box::new(HeterogeneousAlgorithm::new())),
         ("task-even", Box::new(TaskEvenAllocation::new())),
         ("rep-even", Box::new(RepetitionEvenAllocation::new())),
-        ("per-group uniform", Box::new(UniformPerGroupAllocation::new())),
+        (
+            "per-group uniform",
+            Box::new(UniformPerGroupAllocation::new()),
+        ),
     ];
 
-    println!("\n{:<18} {:>10} {:>14} {:>16}", "strategy", "spent", "E[latency]", "simulated (mean)");
+    println!(
+        "\n{:<18} {:>10} {:>14} {:>16}",
+        "strategy", "spent", "E[latency]", "simulated (mean)"
+    );
     for (label, strategy) in strategies {
         let result = strategy.tune(&problem).expect("strategy runs");
         let expected = estimator

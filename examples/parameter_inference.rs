@@ -56,7 +56,10 @@ fn main() {
     // 2. Infer the per-price rates and fit the Linearity Hypothesis.
     let campaign = ProbeCampaign::new(observations);
     for point in campaign.price_rate_points().expect("rates estimated") {
-        println!("  price {:>4.0} units → λ̂o = {:.3}", point.price, point.rate);
+        println!(
+            "  price {:>4.0} units → λ̂o = {:.3}",
+            point.price, point.rate
+        );
     }
     let fit = campaign.fit_linearity().expect("fit runs");
     println!(
@@ -64,7 +67,11 @@ fn main() {
         fit.k,
         fit.b,
         fit.r_squared,
-        if fit.supports_hypothesis(0.9) { "supported" } else { "rejected" }
+        if fit.supports_hypothesis(0.9) {
+            "supported"
+        } else {
+            "rejected"
+        }
     );
 
     // 3. Tune a real job with the fitted model and compare the prediction

@@ -32,14 +32,23 @@ fn main() {
         .expect("the budget covers one unit per repetition");
 
     println!("strategy          : {}", plan.result.strategy);
-    println!("budget spent      : {} / 600 units", plan.result.allocation.total_spent());
+    println!(
+        "budget spent      : {} / 600 units",
+        plan.result.allocation.total_spent()
+    );
     println!(
         "per-repetition pay: {} .. {} units",
         plan.result.allocation.min_payment().unwrap().as_units(),
         plan.result.allocation.max_payment().unwrap().as_units()
     );
-    println!("expected latency  : {:.3} time units (both phases)", plan.expected_latency);
-    println!("on-hold only      : {:.3} time units", plan.expected_on_hold_latency);
+    println!(
+        "expected latency  : {:.3} time units (both phases)",
+        plan.expected_latency
+    );
+    println!(
+        "on-hold only      : {:.3} time units",
+        plan.expected_on_hold_latency
+    );
 
     // 4. Compare against a deliberately biased allocation to see the value of
     //    tuning (Theorem 1 says even allocation is optimal here).

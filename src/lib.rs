@@ -1,0 +1,10 @@
+//! Umbrella crate for the crowdtune workspace: re-exports the five library
+//! crates under one roof so examples and integration tests can depend on a
+//! single package. See the workspace `README.md` for the architecture.
+
+pub use crowdtune_bench as bench;
+pub use crowdtune_core as core;
+pub use crowdtune_crowd_db as crowd_db;
+pub use crowdtune_market as market;
+pub use crowdtune_platform as platform;
+pub use crowdtune_serve as serve;

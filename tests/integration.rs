@@ -128,11 +128,18 @@ fn crowd_db_operators_end_to_end() {
     assert!(sort.stats.spent_units <= 500);
 
     let filter = executor
-        .run_filter(&items, CrowdFilter::new(4.5, 5).unwrap(), Budget::units(200))
+        .run_filter(
+            &items,
+            CrowdFilter::new(4.5, 5).unwrap(),
+            Budget::units(200),
+        )
         .unwrap();
     let truth = items.ground_truth_filter(4.5);
     let (precision, recall) = CrowdFilter::precision_recall(&filter.result, &truth);
-    assert!(precision >= 0.6 && recall >= 0.6, "p={precision} r={recall}");
+    assert!(
+        precision >= 0.6 && recall >= 0.6,
+        "p={precision} r={recall}"
+    );
 
     let max = executor
         .run_max(&items, CrowdMax::new(5).unwrap(), Budget::units(300))

@@ -1,7 +1,12 @@
-//! Property-based tests (proptest) over the core invariants of the tuning
-//! machinery: feasibility of every strategy on randomly generated problems,
-//! monotonicity of the optimal objective in the budget, conservation of spread
-//! budgets, and consistency of the statistical primitives.
+//! Property-based tests over the core invariants of the tuning machinery:
+//! feasibility of every strategy on randomly generated problems, monotonicity
+//! of the optimal objective in the budget, conservation of spread budgets,
+//! and consistency of the statistical primitives.
+//!
+//! The offline build has no `proptest`, so the properties run over seeded
+//! random cases drawn from the workspace's deterministic RNG: every failure
+//! reproduces exactly, and each property checks the same invariant the
+//! original proptest version expressed.
 
 use crowdtune_core::algorithms::{
     spread_evenly, EvenAllocation, HeterogeneousAlgorithm, RepetitionAlgorithm,
@@ -11,46 +16,45 @@ use crowdtune_core::latency::{JobLatencyEstimator, PhaseSelection};
 use crowdtune_core::money::Budget;
 use crowdtune_core::prelude::*;
 use crowdtune_core::stats::{expected_max_erlang, harmonic, Erlang, Exponential};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-/// Strategy generating a random heterogeneous task set together with a
-/// feasible budget.
-fn arbitrary_problem() -> impl Strategy<Value = (TaskSet, u64)> {
-    (
-        1usize..6,          // tasks per group
-        1usize..6,          // tasks in the second group
-        1u32..5,            // repetitions group 1
-        1u32..5,            // repetitions group 2
-        1u32..40,           // extra budget per repetition slot
-        0.5f64..5.0,        // processing rate 1
-        0.5f64..5.0,        // processing rate 2
-    )
-        .prop_map(|(n1, n2, r1, r2, extra, lp1, lp2)| {
-            let mut set = TaskSet::new();
-            let t1 = set.add_type("t1", lp1).unwrap();
-            let t2 = set.add_type("t2", lp2).unwrap();
-            set.add_tasks(t1, r1, n1).unwrap();
-            set.add_tasks(t2, r2, n2).unwrap();
-            let slots = set.total_repetitions();
-            let budget = slots + u64::from(extra) * slots / 2;
-            (set, budget)
-        })
+const CASES: u64 = 48;
+
+/// Generates a random heterogeneous task set together with a feasible budget.
+fn arbitrary_problem(rng: &mut StdRng) -> (TaskSet, u64) {
+    let n1 = rng.gen_range(1usize..6);
+    let n2 = rng.gen_range(1usize..6);
+    let r1 = rng.gen_range(1u32..5);
+    let r2 = rng.gen_range(1u32..5);
+    let extra = rng.gen_range(1u32..40);
+    let lp1 = rng.gen_range(0.5f64..5.0);
+    let lp2 = rng.gen_range(0.5f64..5.0);
+
+    let mut set = TaskSet::new();
+    let t1 = set.add_type("t1", lp1).unwrap();
+    let t2 = set.add_type("t2", lp2).unwrap();
+    set.add_tasks(t1, r1, n1).unwrap();
+    set.add_tasks(t2, r2, n2).unwrap();
+    let slots = set.total_repetitions();
+    let budget = slots + u64::from(extra) * slots / 2;
+    (set, budget)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every strategy produces a feasible allocation on every generated
-    /// problem: covers all tasks, pays ≥1 unit per repetition, stays within
-    /// budget.
-    #[test]
-    fn all_strategies_produce_feasible_allocations((set, budget) in arbitrary_problem()) {
+/// Every strategy produces a feasible allocation on every generated problem:
+/// covers all tasks, pays ≥1 unit per repetition, stays within budget.
+#[test]
+fn all_strategies_produce_feasible_allocations() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (set, budget) = arbitrary_problem(&mut rng);
         let problem = HTuningProblem::new(
             set,
             Budget::units(budget),
             Arc::new(LinearRate::unit_slope()),
-        ).unwrap();
+        )
+        .unwrap();
         let strategies: Vec<Box<dyn TuningStrategy>> = vec![
             Box::new(EvenAllocation::new().without_objective()),
             Box::new(RepetitionAlgorithm::new()),
@@ -60,14 +64,20 @@ proptest! {
         ];
         for strategy in strategies {
             let result = strategy.tune(&problem).unwrap();
-            problem.check_feasible(&result.allocation).unwrap();
+            problem
+                .check_feasible(&result.allocation)
+                .unwrap_or_else(|e| panic!("seed {seed}, strategy {}: {e}", result.strategy));
         }
     }
+}
 
-    /// The optimal strategy's analytic expected latency never increases when
-    /// the budget grows (on the same task set).
-    #[test]
-    fn optimal_latency_is_monotone_in_budget((set, budget) in arbitrary_problem()) {
+/// The optimal strategy's analytic expected latency never increases when the
+/// budget grows (on the same task set).
+#[test]
+fn optimal_latency_is_monotone_in_budget() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1_000 + seed);
+        let (set, budget) = arbitrary_problem(&mut rng);
         let model: Arc<dyn RateModel> = Arc::new(LinearRate::moderate());
         let small = HTuningProblem::new(set.clone(), Budget::units(budget), model.clone()).unwrap();
         let large = HTuningProblem::new(set, Budget::units(budget * 2), model).unwrap();
@@ -81,65 +91,104 @@ proptest! {
         };
         let small_latency = estimate(&small);
         let large_latency = estimate(&large);
-        prop_assert!(large_latency <= small_latency * 1.001 + 1e-9,
-            "doubling the budget must not slow the job: {small_latency} -> {large_latency}");
+        assert!(
+            large_latency <= small_latency * 1.001 + 1e-9,
+            "seed {seed}: doubling the budget must not slow the job: \
+             {small_latency} -> {large_latency}"
+        );
     }
+}
 
-    /// `spread_evenly` conserves the total and keeps slots within one unit of
-    /// each other.
-    #[test]
-    fn spread_evenly_conserves_budget(total in 1u64..10_000, slots in 1usize..200) {
-        prop_assume!(total >= slots as u64);
+/// `spread_evenly` conserves the total and keeps slots within one unit of
+/// each other.
+#[test]
+fn spread_evenly_conserves_budget() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2_000 + seed);
+        let total = rng.gen_range(1u64..10_000);
+        let slots = rng.gen_range(1usize..200);
+        if total < slots as u64 {
+            continue;
+        }
         let spread = spread_evenly(total, slots).unwrap();
-        prop_assert_eq!(spread.iter().sum::<u64>(), total);
+        assert_eq!(spread.iter().sum::<u64>(), total, "seed {seed}");
         let min = spread.iter().min().unwrap();
         let max = spread.iter().max().unwrap();
-        prop_assert!(max - min <= 1);
-        prop_assert!(*min >= 1);
+        assert!(max - min <= 1, "seed {seed}");
+        assert!(*min >= 1, "seed {seed}");
     }
+}
 
-    /// Exponential order statistics: the expected maximum of n i.i.d.
-    /// exponentials equals `H_n / λ` and grows with n.
-    #[test]
-    fn exponential_expected_max_matches_harmonic(n in 1u64..200, rate in 0.1f64..20.0) {
+/// Exponential order statistics: the expected maximum of n i.i.d.
+/// exponentials equals `H_n / λ` and grows with n.
+#[test]
+fn exponential_expected_max_matches_harmonic() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3_000 + seed);
+        let n = rng.gen_range(1u64..200);
+        let rate = rng.gen_range(0.1f64..20.0);
         let dist = Exponential::new(rate).unwrap();
         let expected = dist.expected_max(n);
-        prop_assert!((expected - harmonic(n) / rate).abs() < 1e-9);
-        prop_assert!(dist.expected_max(n + 1) >= expected);
+        assert!(
+            (expected - harmonic(n) / rate).abs() < 1e-9,
+            "seed {seed}: n={n} rate={rate}"
+        );
+        assert!(dist.expected_max(n + 1) >= expected, "seed {seed}");
     }
+}
 
-    /// Erlang CDF and survival always sum to one and the CDF is monotone.
-    #[test]
-    fn erlang_cdf_properties(shape in 1u32..30, rate in 0.1f64..10.0, t in 0.0f64..50.0) {
+/// Erlang CDF and survival always sum to one and the CDF is monotone.
+#[test]
+fn erlang_cdf_properties() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4_000 + seed);
+        let shape = rng.gen_range(1u32..30);
+        let rate = rng.gen_range(0.1f64..10.0);
+        let t = rng.gen_range(0.0f64..50.0);
         let dist = Erlang::new(shape, rate).unwrap();
         let cdf = dist.cdf(t);
-        prop_assert!((0.0..=1.0).contains(&cdf));
-        prop_assert!((cdf + dist.survival(t) - 1.0).abs() < 1e-9);
-        prop_assert!(dist.cdf(t + 0.5) + 1e-12 >= cdf);
+        assert!((0.0..=1.0).contains(&cdf), "seed {seed}");
+        assert!(
+            (cdf + dist.survival(t) - 1.0).abs() < 1e-9,
+            "seed {seed}: shape={shape} rate={rate} t={t}"
+        );
+        assert!(dist.cdf(t + 0.5) + 1e-12 >= cdf, "seed {seed}");
     }
+}
 
-    /// The numerically integrated expected maximum of Erlang latencies is
-    /// bounded between one task's mean and the group-size multiple of it, and
-    /// is monotone in the group size.
-    #[test]
-    fn erlang_group_max_bounds(n in 1u64..12, shape in 1u32..6, rate in 0.2f64..5.0) {
+/// The numerically integrated expected maximum of Erlang latencies is bounded
+/// between one task's mean and the group-size multiple of it, and is monotone
+/// in the group size.
+#[test]
+fn erlang_group_max_bounds() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5_000 + seed);
+        let n = rng.gen_range(1u64..12);
+        let shape = rng.gen_range(1u32..6);
+        let rate = rng.gen_range(0.2f64..5.0);
         let mean = f64::from(shape) / rate;
         let value = expected_max_erlang(n, shape, rate).unwrap();
-        prop_assert!(value + 1e-9 >= mean);
-        prop_assert!(value <= mean * n as f64 + 1e-9);
+        assert!(value + 1e-9 >= mean, "seed {seed}");
+        assert!(value <= mean * n as f64 + 1e-9, "seed {seed}");
         let larger = expected_max_erlang(n + 1, shape, rate).unwrap();
-        prop_assert!(larger + 1e-9 >= value);
+        assert!(larger + 1e-9 >= value, "seed {seed}");
     }
+}
 
-    /// Payments arithmetic: an even allocation built from any repetition
-    /// profile spends exactly what it reports and never less than one unit
-    /// per repetition.
-    #[test]
-    fn uniform_allocation_accounting(reps in proptest::collection::vec(1u32..6, 1..20), pay in 1u64..50) {
+/// Payments arithmetic: an even allocation built from any repetition profile
+/// spends exactly what it reports and never less than one unit per
+/// repetition.
+#[test]
+fn uniform_allocation_accounting() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(6_000 + seed);
+        let task_count = rng.gen_range(1usize..20);
+        let reps: Vec<u32> = (0..task_count).map(|_| rng.gen_range(1u32..6)).collect();
+        let pay = rng.gen_range(1u64..50);
         let allocation = Allocation::uniform(&reps, Payment::units(pay));
         let slots: u64 = reps.iter().map(|&r| u64::from(r)).sum();
-        prop_assert_eq!(allocation.total_spent(), slots * pay);
-        prop_assert!(allocation.all_positive());
-        prop_assert_eq!(allocation.task_count(), reps.len());
+        assert_eq!(allocation.total_spent(), slots * pay, "seed {seed}");
+        assert!(allocation.all_positive(), "seed {seed}");
+        assert_eq!(allocation.task_count(), reps.len(), "seed {seed}");
     }
 }
