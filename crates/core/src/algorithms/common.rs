@@ -8,6 +8,14 @@ use crate::money::{Allocation, Payment};
 use crate::rate::RateModel;
 use crate::task::{TaskGroup, TaskSet};
 
+/// Cap on the per-repetition payments the latency tables are pre-sized (and,
+/// under the `parallel` feature, pre-computed) for. Payments beyond the cap
+/// still work — the cache falls back to lazy evaluation — the cap only bounds
+/// up-front memory and precompute fan-out. Shared by RA, HA and
+/// [`GroupLatencyCache::precompute`] so the sizing hint and the parallel fill
+/// can never drift apart.
+pub const MAX_TABLE_PAYMENT: u64 = 4096;
+
 /// Distributes `total` indivisible units over `slots` slots as evenly as
 /// possible: every slot gets `total / slots`, and the first `total % slots`
 /// slots get one extra unit. Requires `total >= slots` so every slot receives
@@ -155,9 +163,9 @@ impl<'a, M: RateModel + ?Sized> GroupLatencyCache<'a, M> {
         if threads <= 1 {
             return Ok(());
         }
-        // Payments are capped at the same bound `new` pre-sizes for, so the
-        // table never balloons; anything beyond falls back to the lazy path.
-        const MAX_PRECOMPUTE_PAYMENT: u64 = 4096;
+        // Payments are capped at the same bound the callers pre-size for, so
+        // the table never balloons; anything beyond falls back to the lazy
+        // path.
         let mut jobs: Vec<(usize, u64)> = Vec::new();
         for (index, &unit_cost) in unit_costs.iter().enumerate().take(self.groups.len()) {
             if unit_cost == 0 {
@@ -165,7 +173,7 @@ impl<'a, M: RateModel + ?Sized> GroupLatencyCache<'a, M> {
                     "group unit-increment costs must be positive".to_owned(),
                 ));
             }
-            let max_payment = (1 + extra_budget / unit_cost).min(MAX_PRECOMPUTE_PAYMENT);
+            let max_payment = (1 + extra_budget / unit_cost).min(MAX_TABLE_PAYMENT);
             let table = &mut self.cache[index];
             if (table.len() as u64) < max_payment + 1 {
                 table.resize(max_payment as usize + 1, None);

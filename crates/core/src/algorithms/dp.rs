@@ -6,9 +6,28 @@
 //! walk the remaining budget `B'` one unit at a time; at budget level `x`
 //! either keep the best plan for `x − 1` or take the best plan for `x − u_i`
 //! and raise group `i`'s per-repetition payment by one unit (which costs
-//! `u_i = n_i · k_i` budget units). The objective differs — the sum of group
-//! latencies for RA, the "Closeness" to the utopia point for HA — so the
-//! recursion is factored out here and parameterised by an objective closure.
+//! `u_i = n_i · k_i` budget units).
+//!
+//! The objective differs per scenario, and so does the cost of evaluating a
+//! candidate:
+//!
+//! * **separable objectives** — RA's sum of expected group latencies and
+//!   HA's `O1` decompose as `Σ_i f_i(p_i)`, so raising group `i`'s payment by
+//!   one unit changes exactly one term. [`marginal_budget_dp_separable`]
+//!   exploits this: the per-group marginal values `f_i(p)` are tabulated as
+//!   the scan reaches them (only payments best plans actually attain, each
+//!   evaluated at most once per scan) and every one of the `O(n·B')` DP
+//!   candidates is then scored in amortised **O(1)** —
+//!   `value(x−u_i) − f_i(p_i) + f_i(p_i+1)` — instead of re-evaluating the
+//!   full `O(n)` objective;
+//! * **non-separable objectives** — HA's Closeness couples the groups through
+//!   the utopia-point distance, so [`marginal_budget_dp`] keeps the generic
+//!   closure-based path (`O(n)` per candidate).
+//!
+//! Either way the table stores one *decision* per budget level (carry the
+//! previous level, or increment one group) rather than a full payment vector,
+//! so memory is `O(B')` instead of `O(n·B')`; payment vectors are
+//! reconstructed on demand by walking the decision chain.
 
 use crate::error::{CoreError, Result};
 
@@ -25,7 +44,8 @@ pub struct DpOutcome {
     pub extra_spent: u64,
 }
 
-/// Runs the budget-indexed marginal DP.
+/// Runs the budget-indexed marginal DP with a generic (possibly
+/// non-separable) objective.
 ///
 /// * `unit_costs[i]` — cost in budget units of raising group `i`'s
 ///   per-repetition payment by one unit (`u_i = n_i · k_i`);
@@ -33,7 +53,8 @@ pub struct DpOutcome {
 ///   repetition of every group;
 /// * `objective` — evaluates a candidate per-group payment vector; the DP
 ///   minimises this value. The closure may memoize internally; it is called
-///   `O(n · B')` times.
+///   `O(n · B')` times. For objectives of the form `Σ_i f_i(p_i)` use
+///   [`marginal_budget_dp_separable`], which is `O(1)` per candidate.
 pub fn marginal_budget_dp<F>(
     unit_costs: &[u64],
     extra_budget: u64,
@@ -46,6 +67,47 @@ where
     table.outcome_at(extra_budget)
 }
 
+/// Runs the budget-indexed marginal DP for a **separable** objective
+/// `Σ_i term(i, p_i)`.
+///
+/// `term(i, p)` is the contribution of group `i` at per-repetition payment
+/// `p` (e.g. the expected phase-1 latency `E_i(p)` for RA). Marginal values
+/// are tabulated lazily — only payments the scan actually reaches, each
+/// evaluated at most once — and every DP candidate is scored in amortised
+/// `O(1)` from the cached values. Plans are identical to
+/// [`marginal_budget_dp`] run on the equivalent summing closure (the
+/// property tests pin this bit-for-bit).
+pub fn marginal_budget_dp_separable<F>(
+    unit_costs: &[u64],
+    extra_budget: u64,
+    term: F,
+) -> Result<DpOutcome>
+where
+    F: FnMut(usize, u64) -> Result<f64>,
+{
+    let table = DpTable::build_separable(unit_costs, extra_budget, term)?;
+    table.outcome_at(extra_budget)
+}
+
+/// Decision marker: the level was formed by carrying the previous level
+/// unchanged (any other value is the index of the incremented group).
+const CARRY: u32 = u32::MAX;
+
+/// Per-level DP state: how the level's best plan was formed, its objective
+/// value and its actual spend. One of these per budget level is all the
+/// table keeps — payment vectors are reconstructed by walking the decision
+/// chain.
+#[derive(Debug, Clone, Copy)]
+struct Level {
+    /// [`CARRY`] (the level copies its predecessor) or the index of the
+    /// group incremented on top of level `x − u_i`. Unused for level 0.
+    decision: u32,
+    /// Objective value of the best state at this level.
+    objective: f64,
+    /// Extra budget actually consumed by the best state at this level.
+    spent: u64,
+}
+
 /// The full state table of the budget-indexed marginal DP.
 ///
 /// The recursion of Algorithms 2 and 3 is a prefix computation: the best plan
@@ -53,24 +115,68 @@ where
 /// the whole table around therefore gives two cheap operations that the
 /// online re-tuner exploits:
 ///
-/// * [`DpTable::outcome_at`] answers *any smaller* discretionary budget in
-///   `O(1)` — re-tuning a job whose remaining budget shrank (but whose group
-///   structure and rate estimates are unchanged) costs nothing;
+/// * [`DpTable::outcome_at`] answers *any smaller* discretionary budget —
+///   re-tuning a job whose remaining budget shrank (but whose group
+///   structure and rate estimates are unchanged) costs a single `O(x)`
+///   decision-chain walk, no objective evaluations;
 /// * [`DpTable::extend_to`] warm-starts from the last computed level instead
 ///   of restarting at zero when the budget *grew* (e.g. a topped-up job).
+///
+/// Internally the table stores one decision, objective value and spent
+/// counter per level (`O(B')` memory) plus a flat ring buffer of full payment
+/// vectors covering the last `max(u_i)` levels — exactly the levels the next
+/// DP step can reference — so no `O(n·B')` payment matrix is ever
+/// materialised and the scan's inner loop performs no allocation. The ring
+/// is sized to a power of two so locating a level's payments is a mask and a
+/// multiply, not a division.
 #[derive(Debug, Clone)]
 pub struct DpTable {
     unit_costs: Vec<u64>,
-    /// states[x] = best (payments, objective, extra_spent) using at most x
-    /// extra budget units.
-    states: Vec<(Vec<u64>, f64, u64)>,
+    /// One [`Level`] per covered budget level `0..=B'`.
+    levels: Vec<Level>,
+    /// Ring buffer of the payment vectors of the most recent levels: level
+    /// `x` occupies `n` entries starting at `(x & (ring_rows - 1)) * n`.
+    /// Holds at least `min(max(u_i), B') + 1` rows — every level the next DP
+    /// step can reference plus the one being written.
+    ring: Vec<u64>,
+    /// Number of rows in `ring`; always a power of two.
+    ring_rows: usize,
 }
 
 impl DpTable {
-    /// Builds the table up to `extra_budget`.
+    /// Builds the table up to `extra_budget` with a generic objective
+    /// closure. See [`marginal_budget_dp`].
     pub fn build<F>(unit_costs: &[u64], extra_budget: u64, mut objective: F) -> Result<Self>
     where
         F: FnMut(&[u64]) -> Result<f64>,
+    {
+        let mut table = Self::with_base(unit_costs, |base| objective(base))?;
+        table.extend_to(extra_budget, objective)?;
+        Ok(table)
+    }
+
+    /// Builds the table up to `extra_budget` for a separable objective
+    /// `Σ_i term(i, p_i)`. See [`marginal_budget_dp_separable`].
+    pub fn build_separable<F>(unit_costs: &[u64], extra_budget: u64, mut term: F) -> Result<Self>
+    where
+        F: FnMut(usize, u64) -> Result<f64>,
+    {
+        let mut table = Self::with_base(unit_costs, |base| {
+            let mut sum = 0.0;
+            for (i, &p) in base.iter().enumerate() {
+                sum += term(i, p)?;
+            }
+            Ok(sum)
+        })?;
+        table.extend_to_separable(extra_budget, term)?;
+        Ok(table)
+    }
+
+    /// Validates the inputs and creates the level-0 state (one unit per
+    /// repetition of every group).
+    fn with_base<F>(unit_costs: &[u64], base_objective: F) -> Result<Self>
+    where
+        F: FnOnce(&[u64]) -> Result<f64>,
     {
         if unit_costs.is_empty() {
             return Err(CoreError::EmptyTaskSet);
@@ -81,56 +187,316 @@ impl DpTable {
             ));
         }
         let base = vec![1u64; unit_costs.len()];
-        let base_objective = objective(&base)?;
-        let mut table = DpTable {
+        let value = base_objective(&base)?;
+        Ok(DpTable {
             unit_costs: unit_costs.to_vec(),
-            states: Vec::with_capacity(extra_budget as usize + 1),
-        };
-        table.states.push((base, base_objective, 0));
-        table.extend_to(extra_budget, objective)?;
-        Ok(table)
+            levels: vec![Level {
+                decision: CARRY,
+                objective: value,
+                spent: 0,
+            }],
+            ring: base, // level 0 in a single-row ring
+            ring_rows: 1,
+        })
     }
 
-    /// Extends the table to cover budgets up to `extra_budget`, reusing every
-    /// already-computed level (the warm-start path). A no-op when the table
-    /// already covers the requested budget.
+    /// Number of trailing levels whose payment vectors the next DP step can
+    /// reference: offsets `1..=max(u_i)` behind the level being computed.
+    fn window(&self) -> u64 {
+        self.unit_costs
+            .iter()
+            .max()
+            .copied()
+            .expect("unit costs are non-empty")
+    }
+
+    /// Grows the ring buffer (power-of-two rows) so it can serve a scan up
+    /// to `target_budget`, re-materialising the payments of the still-live
+    /// levels from the decision chain. A no-op when the ring is already
+    /// large enough — in particular on every warm-start extension after a
+    /// full-size build.
+    fn ensure_ring(&mut self, target_budget: u64) {
+        let rows_needed = (self.window().min(target_budget) + 1).next_power_of_two() as usize;
+        if self.ring_rows >= rows_needed {
+            return;
+        }
+        let n = self.unit_costs.len();
+        let mut ring = vec![0u64; rows_needed * n];
+        let top = self.max_budget();
+        let low = top.saturating_sub(self.window());
+        for level in low..=top {
+            let row = (level as usize & (rows_needed - 1)) * n;
+            self.reconstruct_payments(level, &mut ring[row..row + n]);
+        }
+        self.ring = ring;
+        self.ring_rows = rows_needed;
+    }
+
+    /// Fills `out` with the payment vector of `level` by walking the
+    /// decision chain back to level 0. `O(level)` time, no objective
+    /// evaluations.
+    fn reconstruct_payments(&self, level: u64, out: &mut [u64]) {
+        out.fill(1);
+        let mut cur = level;
+        while cur > 0 {
+            match self.levels[cur as usize].decision {
+                CARRY => cur -= 1,
+                group => {
+                    out[group as usize] += 1;
+                    cur -= self.unit_costs[group as usize];
+                }
+            }
+        }
+    }
+
+    /// Extends the table to cover budgets up to `extra_budget` with the
+    /// generic closure path, reusing every already-computed level (the
+    /// warm-start path). A no-op when the table already covers the requested
+    /// budget.
+    ///
+    /// # Contract
+    ///
+    /// `objective` **must** compute the same function of the payment vector
+    /// as the one the table was built with (and as every previous
+    /// `extend_to` call): warm-started levels are *not* re-evaluated, so a
+    /// different objective would silently mix values of two different
+    /// functions and corrupt every level from the extension point on. Debug
+    /// builds re-evaluate the base state and panic when the value does not
+    /// match the one recorded at build time.
     pub fn extend_to<F>(&mut self, extra_budget: u64, mut objective: F) -> Result<()>
     where
         F: FnMut(&[u64]) -> Result<f64>,
     {
-        let start = self.states.len() as u64;
+        #[cfg(debug_assertions)]
+        {
+            let base = vec![1u64; self.unit_costs.len()];
+            let value = objective(&base)?;
+            assert!(
+                value.to_bits() == self.levels[0].objective.to_bits(),
+                "DpTable::extend_to called with a different objective than at build time: \
+                 base state evaluates to {value}, table recorded {}",
+                self.levels[0].objective
+            );
+        }
+        let start = self.levels.len() as u64;
+        if start > extra_budget {
+            return Ok(());
+        }
+        self.ensure_ring(extra_budget);
+        self.levels
+            .reserve(extra_budget as usize + 1 - self.levels.len());
+        let mut scratch = vec![0u64; self.unit_costs.len()];
+        let n = self.unit_costs.len();
+        let mask = self.ring_rows - 1;
         for x in start..=extra_budget {
             // Candidate 1: do not spend the x-th unit (carry the previous
             // state).
-            let mut best = self.states[(x - 1) as usize].clone();
+            let carry = self.levels[(x - 1) as usize];
+            let mut best_value = carry.objective;
+            let mut best_spent = carry.spent;
+            let mut best_decision = CARRY;
             // Candidate 2..n+1: give one more unit-increment to group i,
             // built on the best state with x − u_i extra budget.
             for (i, &u) in self.unit_costs.iter().enumerate() {
                 if u <= x {
-                    let prev = &self.states[(x - u) as usize];
-                    let mut candidate = prev.0.clone();
-                    candidate[i] += 1;
-                    let value = objective(&candidate)?;
-                    let spent = prev.2 + u;
-                    // Strict improvements always win; on plateaus (the
-                    // objective is unchanged by the increment, e.g. a rate
-                    // model that is flat at low payments) prefer the plan
-                    // that spends more, so the DP can walk through the flat
-                    // region instead of stalling at the base allocation.
-                    let epsilon = 1e-12 * value.abs().max(1.0);
-                    if value < best.1 - epsilon || (value <= best.1 + epsilon && spent > best.2) {
-                        best = (candidate, value, spent);
+                    let prev = (x - u) as usize;
+                    let row = (prev & mask) * n;
+                    scratch.copy_from_slice(&self.ring[row..row + n]);
+                    scratch[i] += 1;
+                    let value = objective(&scratch)?;
+                    let spent = self.levels[prev].spent + u;
+                    if wins(value, spent, best_value, best_spent) {
+                        best_value = value;
+                        best_spent = spent;
+                        best_decision = i as u32;
                     }
                 }
             }
-            self.states.push(best);
+            self.push_level(x, best_decision, best_value, best_spent);
         }
         Ok(())
     }
 
+    /// Extends the table to cover budgets up to `extra_budget` for a
+    /// separable objective `Σ_i term(i, p_i)`, evaluating each candidate in
+    /// amortised `O(1)` from lazily tabulated per-group marginal values.
+    ///
+    /// # Contract
+    ///
+    /// Same as [`DpTable::extend_to`]: `term` must compute the same function
+    /// as the objective the table was built with. Debug builds re-evaluate
+    /// the base state and panic on a mismatch. Mixing `extend_to` and
+    /// `extend_to_separable` on one table is fine as long as the closure sums
+    /// exactly the same terms.
+    pub fn extend_to_separable<F>(&mut self, extra_budget: u64, mut term: F) -> Result<()>
+    where
+        F: FnMut(usize, u64) -> Result<f64>,
+    {
+        #[cfg(debug_assertions)]
+        {
+            let mut value = 0.0;
+            for i in 0..self.unit_costs.len() {
+                value += term(i, 1)?;
+            }
+            assert!(
+                value.to_bits() == self.levels[0].objective.to_bits(),
+                "DpTable::extend_to_separable called with a different objective than at build \
+                 time: base state evaluates to {value}, table recorded {}",
+                self.levels[0].objective
+            );
+        }
+        let start = self.levels.len() as u64;
+        if start > extra_budget {
+            return Ok(());
+        }
+        self.ensure_ring(extra_budget);
+        self.levels
+            .reserve(extra_budget as usize + 1 - self.levels.len());
+        // Marginal tables `terms[i][p] = f_i(p)`, grown lazily and
+        // contiguously as the scan reaches new payments. Only payments that
+        // best plans actually reach (plus the one-unit increments the scan
+        // probes) are ever evaluated — the same working set the closure
+        // path's memoizing objectives see, not the `1 + B'/u_i` worst case
+        // of a group absorbing the whole budget alone.
+        let n = self.unit_costs.len();
+        let mask = self.ring_rows - 1;
+        // `max_p[i]` — the largest payment group i attains in any level the
+        // scan can still reference; each table upholds the invariant "filled
+        // through max_p[i] + 1" (the one-unit increment the next candidate
+        // probes), so the hot loop below reads the tables immutably with no
+        // fill checks. Seeded from the live window so warm-start extensions
+        // read valid values for payments inherited from earlier calls (a
+        // non-memoizing `term` closure pays that seed again per call;
+        // memoize upstream if evaluation is expensive — RA's
+        // `GroupLatencyCache` does).
+        let mut terms: Vec<Vec<f64>> = vec![vec![f64::NAN]; n]; // index 0 unused
+        let mut max_p = vec![1u64; n];
+        {
+            let low = (start - 1).saturating_sub(self.window());
+            for level in low..start {
+                let row = (level as usize & mask) * n;
+                for (max, &p) in max_p.iter_mut().zip(&self.ring[row..row + n]) {
+                    *max = (*max).max(p);
+                }
+            }
+            for (i, (table, &max)) in terms.iter_mut().zip(&max_p).enumerate() {
+                // Groups the budget can never increment only ever contribute
+                // their current term to the fresh per-level sums — skip the
+                // speculative `max + 1` entry for those.
+                let fill_to = if self.unit_costs[i] <= extra_budget {
+                    max + 1
+                } else {
+                    max
+                };
+                for p in 1..=fill_to {
+                    table.push(term(i, p)?);
+                }
+            }
+        }
+        // Split borrows so the hot loop reads unit costs / levels and
+        // writes the ring without re-borrowing `self` per access.
+        let DpTable {
+            unit_costs,
+            levels,
+            ring,
+            ..
+        } = self;
+        for x in start..=extra_budget {
+            let xi = x as usize;
+            let carry = levels[xi - 1];
+            let mut best_value = carry.objective;
+            let mut best_spent = carry.spent;
+            let mut best_decision = CARRY;
+            for (i, (&u, table)) in unit_costs.iter().zip(&terms).enumerate() {
+                if u <= x {
+                    let prev = (x - u) as usize;
+                    // Raising group i's payment by one unit changes exactly
+                    // one term of the sum: O(1) per candidate (fills happen
+                    // below, only when a group's maximum payment grows).
+                    let prev_state = levels[prev];
+                    let p = ring[(prev & mask) * n + i] as usize;
+                    let value = prev_state.objective - table[p] + table[p + 1];
+                    let candidate_spent = prev_state.spent + u;
+                    if wins(value, candidate_spent, best_value, best_spent) {
+                        best_value = value;
+                        best_spent = candidate_spent;
+                        best_decision = i as u32;
+                    }
+                }
+            }
+            // Write the winner's payment vector into its ring row, then
+            // re-anchor the stored value with a fresh left-to-right sum over
+            // those payments. This keeps every stored level bit-equal to
+            // what the closure path computes (same values, same summation
+            // order) and stops incremental rounding error from accumulating
+            // across levels — the O(n) cost is per *level*, not per
+            // candidate, and touches only the cached table.
+            let parent = if best_decision == CARRY {
+                xi - 1
+            } else {
+                xi - unit_costs[best_decision as usize] as usize
+            };
+            let src = (parent & mask) * n;
+            let dst = (xi & mask) * n;
+            ring.copy_within(src..src + n, dst);
+            if best_decision != CARRY {
+                let i = best_decision as usize;
+                ring[dst + i] += 1;
+                // Maintain the fill invariant: when the incremented group
+                // attains a new maximum payment, tabulate the next marginal
+                // value so future candidates can read it without checks.
+                // Amortised O(1): this fires at most once per distinct
+                // (group, payment) pair a best plan reaches.
+                let p_new = ring[dst + i];
+                if p_new > max_p[i] {
+                    max_p[i] = p_new;
+                    let table = &mut terms[i];
+                    while (table.len() as u64) <= p_new + 1 {
+                        let payment = table.len() as u64;
+                        table.push(term(i, payment)?);
+                    }
+                }
+            }
+            let mut fresh = 0.0;
+            for (table, &p) in terms.iter().zip(&ring[dst..dst + n]) {
+                fresh += table[p as usize];
+            }
+            levels.push(Level {
+                decision: best_decision,
+                objective: fresh,
+                spent: best_spent,
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends level `x` with its winning decision, building the level's
+    /// payment vector in its ring row from the parent's.
+    fn push_level(&mut self, x: u64, decision: u32, value: f64, spent: u64) {
+        let n = self.unit_costs.len();
+        let mask = self.ring_rows - 1;
+        let xi = x as usize;
+        let parent = if decision == CARRY {
+            xi - 1
+        } else {
+            xi - self.unit_costs[decision as usize] as usize
+        };
+        let src = (parent & mask) * n;
+        let dst = (xi & mask) * n;
+        self.ring.copy_within(src..src + n, dst);
+        if decision != CARRY {
+            self.ring[dst + decision as usize] += 1;
+        }
+        self.levels.push(Level {
+            decision,
+            objective: value,
+            spent,
+        });
+    }
+
     /// The largest discretionary budget the table covers.
     pub fn max_budget(&self) -> u64 {
-        self.states.len() as u64 - 1
+        self.levels.len() as u64 - 1
     }
 
     /// The group unit-increment costs the table was built for.
@@ -138,20 +504,35 @@ impl DpTable {
         &self.unit_costs
     }
 
-    /// Reads the best plan for any budget level the table covers.
+    /// Reads the best plan for any budget level the table covers. Costs one
+    /// `O(extra_budget)` walk of the decision chain (no objective
+    /// evaluations) to reconstruct the payment vector.
     pub fn outcome_at(&self, extra_budget: u64) -> Result<DpOutcome> {
-        let state = self.states.get(extra_budget as usize).ok_or_else(|| {
+        let state = self.levels.get(extra_budget as usize).ok_or_else(|| {
             CoreError::invalid_argument(format!(
                 "DP table covers budgets up to {}, requested {extra_budget}",
                 self.max_budget()
             ))
         })?;
+        let mut payments = vec![1u64; self.unit_costs.len()];
+        self.reconstruct_payments(extra_budget, &mut payments);
         Ok(DpOutcome {
-            payments: state.0.clone(),
-            objective: state.1,
-            extra_spent: state.2,
+            payments,
+            objective: state.objective,
+            extra_spent: state.spent,
         })
     }
+}
+
+/// The DP's candidate comparison: strict improvements always win; on
+/// plateaus (the objective is unchanged by the increment, e.g. a rate model
+/// that is flat at low payments) prefer the plan that spends more, so the DP
+/// can walk through the flat region instead of stalling at the base
+/// allocation.
+#[inline]
+fn wins(value: f64, spent: u64, best_value: f64, best_spent: u64) -> bool {
+    let epsilon = 1e-12 * value.abs().max(1.0);
+    value < best_value - epsilon || (value <= best_value + epsilon && spent > best_spent)
 }
 
 /// Exhaustively enumerates every per-group payment vector affordable within
@@ -243,10 +624,18 @@ mod tests {
         }
     }
 
+    /// The same objective expressed as per-group terms for the separable
+    /// path.
+    fn harmonic_term(coeffs: &'static [f64]) -> impl FnMut(usize, u64) -> Result<f64> {
+        move |group: usize, payment: u64| Ok(coeffs[group] / payment as f64)
+    }
+
     #[test]
     fn dp_rejects_bad_input() {
         assert!(marginal_budget_dp(&[], 10, |_| Ok(0.0)).is_err());
         assert!(marginal_budget_dp(&[0, 1], 10, |_| Ok(0.0)).is_err());
+        assert!(marginal_budget_dp_separable(&[], 10, |_, _| Ok(0.0)).is_err());
+        assert!(marginal_budget_dp_separable(&[0, 1], 10, |_, _| Ok(0.0)).is_err());
         assert!(exhaustive_group_search(&[], 10, |_| Ok(0.0)).is_err());
     }
 
@@ -284,6 +673,31 @@ mod tests {
                 dp.objective,
                 brute.objective
             );
+        }
+    }
+
+    #[test]
+    fn separable_dp_matches_closure_dp_bit_for_bit() {
+        let cases: Vec<(&[u64], u64, &'static [f64])> = vec![
+            (&[1, 1], 6, &[1.0, 1.0]),
+            (&[2, 3], 12, &[4.0, 9.0]),
+            (&[3, 5], 20, &[2.0, 7.0]),
+            (&[1, 2, 3], 30, &[1.0, 5.0, 2.0]),
+            (&[7, 2, 5, 3], 60, &[3.0, 0.5, 8.0, 2.5]),
+        ];
+        for (costs, budget, coeffs) in cases {
+            let closure = marginal_budget_dp(costs, budget, harmonic_objective(coeffs)).unwrap();
+            let separable =
+                marginal_budget_dp_separable(costs, budget, harmonic_term(coeffs)).unwrap();
+            assert_eq!(closure.payments, separable.payments, "costs {costs:?}");
+            assert_eq!(
+                closure.objective.to_bits(),
+                separable.objective.to_bits(),
+                "costs {costs:?}: {} vs {}",
+                closure.objective,
+                separable.objective
+            );
+            assert_eq!(closure.extra_spent, separable.extra_spent);
         }
     }
 
@@ -360,6 +774,67 @@ mod tests {
     }
 
     #[test]
+    fn separable_warm_start_extension_matches_cold_build() {
+        let mut warm =
+            DpTable::build_separable(&[2, 3, 4], 7, harmonic_term(&[1.0, 5.0, 2.0])).unwrap();
+        warm.extend_to_separable(40, harmonic_term(&[1.0, 5.0, 2.0]))
+            .unwrap();
+        let cold =
+            DpTable::build_separable(&[2, 3, 4], 40, harmonic_term(&[1.0, 5.0, 2.0])).unwrap();
+        for budget in 0..=40u64 {
+            let w = warm.outcome_at(budget).unwrap();
+            let c = cold.outcome_at(budget).unwrap();
+            assert_eq!(w.payments, c.payments, "budget {budget}");
+            assert_eq!(w.objective.to_bits(), c.objective.to_bits());
+            assert_eq!(w.extra_spent, c.extra_spent);
+        }
+        // Extending backwards is a no-op.
+        warm.extend_to_separable(3, harmonic_term(&[1.0, 5.0, 2.0]))
+            .unwrap();
+        assert_eq!(warm.max_budget(), 40);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "different objective")]
+    fn extend_to_rejects_a_different_objective_in_debug_builds() {
+        let mut table = DpTable::build(&[1, 2], 5, harmonic_objective(&[1.0, 5.0])).unwrap();
+        // A different objective silently corrupts warm-started levels, so
+        // debug builds re-evaluate the base state and panic on mismatch.
+        table
+            .extend_to(10, harmonic_objective(&[2.0, 5.0]))
+            .unwrap();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "different objective")]
+    fn extend_to_separable_rejects_a_different_objective_in_debug_builds() {
+        let mut table = DpTable::build_separable(&[1, 2], 5, harmonic_term(&[1.0, 5.0])).unwrap();
+        table
+            .extend_to_separable(10, harmonic_term(&[1.0, 4.0]))
+            .unwrap();
+    }
+
+    #[test]
+    fn mixed_closure_and_separable_extension_agree() {
+        // The contract allows mixing the two extension paths as long as they
+        // compute the same objective.
+        let mut mixed = DpTable::build_separable(&[1, 2], 5, harmonic_term(&[1.0, 5.0])).unwrap();
+        mixed
+            .extend_to(15, harmonic_objective(&[1.0, 5.0]))
+            .unwrap();
+        let cold = DpTable::build(&[1, 2], 15, harmonic_objective(&[1.0, 5.0])).unwrap();
+        for budget in 0..=15u64 {
+            assert_eq!(
+                mixed.outcome_at(budget).unwrap(),
+                cold.outcome_at(budget).unwrap(),
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
     fn dp_propagates_objective_errors() {
         let result = marginal_budget_dp(&[1], 2, |p| {
             if p[0] > 1 {
@@ -369,5 +844,24 @@ mod tests {
             }
         });
         assert!(result.is_err());
+        let result = marginal_budget_dp_separable(&[1], 2, |_, p| {
+            if p > 1 {
+                Err(CoreError::invalid_argument("boom".to_owned()))
+            } else {
+                Ok(1.0)
+            }
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn plateau_objectives_still_walk_the_flat_region() {
+        // A completely flat objective: every increment is a plateau, so the
+        // tie-break must keep spending rather than stall at the base plan.
+        let closure = marginal_budget_dp(&[2, 3], 13, |_| Ok(1.0)).unwrap();
+        let separable = marginal_budget_dp_separable(&[2, 3], 13, |_, _| Ok(0.5)).unwrap();
+        assert_eq!(closure.payments, separable.payments);
+        assert_eq!(closure.extra_spent, separable.extra_spent);
+        assert!(closure.extra_spent >= 12, "flat plateau must be walked");
     }
 }

@@ -16,6 +16,13 @@
 //! implementation uses a deterministic selection so results are reproducible,
 //! and exposes [`EvenAllocation::with_seed`] for randomised tie-breaking when
 //! desired.
+//!
+//! EA is the one optimal strategy that needs no dynamic program — Theorem 1
+//! gives the optimum in closed form, so tuning is O(N). Its latency target
+//! (an expected *maximum* over tasks) is also not separable across groups
+//! (see [`LatencyTarget::is_separable`]); the separable fast path of
+//! [`marginal_budget_dp_separable`](crate::algorithms::dp::marginal_budget_dp_separable)
+//! belongs to RA's and HA's sum-shaped objectives.
 
 use crate::algorithms::common::spread_evenly;
 use crate::error::{CoreError, Result};

@@ -16,8 +16,10 @@
 //! budget, then minimises the **Closeness** `CL = ‖OP − UP‖` (first-order
 //! distance) with the same budget-indexed marginal DP.
 
-use crate::algorithms::common::{allocation_from_group_payments, GroupLatencyCache};
-use crate::algorithms::dp::marginal_budget_dp;
+use crate::algorithms::common::{
+    allocation_from_group_payments, GroupLatencyCache, MAX_TABLE_PAYMENT,
+};
+use crate::algorithms::dp::{marginal_budget_dp, marginal_budget_dp_separable};
 use crate::error::{CoreError, Result};
 use crate::latency::group_phase2_expected;
 use crate::problem::{HTuningProblem, LatencyTarget, TuningResult, TuningStrategy};
@@ -114,7 +116,11 @@ impl HeterogeneousAlgorithm {
 
         let rate_model = problem.rate_model().clone();
         let max_payment_hint = 1 + extra_budget / unit_costs.iter().min().copied().unwrap_or(1);
-        let mut cache = GroupLatencyCache::new(&rate_model, &groups, max_payment_hint.min(4096));
+        let mut cache = GroupLatencyCache::new(
+            &rate_model,
+            &groups,
+            max_payment_hint.min(MAX_TABLE_PAYMENT),
+        );
         #[cfg(feature = "parallel")]
         cache.precompute(&unit_costs, extra_budget)?;
 
@@ -135,9 +141,12 @@ impl HeterogeneousAlgorithm {
             Ok(max)
         };
 
-        // Utopia point: each objective optimised independently.
-        let o1_star = marginal_budget_dp(&unit_costs, extra_budget, |payments| {
-            o1(&mut cache, payments)
+        // Utopia point: each objective optimised independently. O1 is
+        // separable across groups, so its optimum uses the incremental O(1)
+        // candidate evaluation; O2 (a max over groups) and the Closeness
+        // below couple the groups and stay on the closure path.
+        let o1_star = marginal_budget_dp_separable(&unit_costs, extra_budget, |group, payment| {
+            cache.phase1(group, payment)
         })?
         .objective;
         let o2_star = marginal_budget_dp(&unit_costs, extra_budget, |payments| {

@@ -26,8 +26,12 @@ pub mod repetition;
 pub use baselines::{
     BiasedAllocation, RepetitionEvenAllocation, TaskEvenAllocation, UniformPerGroupAllocation,
 };
-pub use common::{allocation_from_group_payments, spread_evenly, GroupLatencyCache};
-pub use dp::{exhaustive_group_search, marginal_budget_dp, DpOutcome, DpTable};
+pub use common::{
+    allocation_from_group_payments, spread_evenly, GroupLatencyCache, MAX_TABLE_PAYMENT,
+};
+pub use dp::{
+    exhaustive_group_search, marginal_budget_dp, marginal_budget_dp_separable, DpOutcome, DpTable,
+};
 pub use even_allocation::EvenAllocation;
 pub use exhaustive::ExhaustiveSearch;
 pub use heterogeneous::{ClosenessNorm, CompromiseReport, HeterogeneousAlgorithm};

@@ -7,11 +7,16 @@
 //! minimises the **sum of the expected phase-1 latencies of the groups**,
 //! which upper-bounds (and tracks) the true expected maximum. The resulting
 //! discrete optimisation is solved with the budget-indexed marginal dynamic
-//! program of Algorithm 2, here factored into
-//! [`marginal_budget_dp`](crate::algorithms::dp::marginal_budget_dp).
+//! program of Algorithm 2. The objective is separable across groups
+//! (`Σ_i E_i(p_i)`), so RA uses the incremental
+//! [`marginal_budget_dp_separable`](crate::algorithms::dp::marginal_budget_dp_separable)
+//! path: every DP candidate is scored in O(1) from cached per-group marginal
+//! latencies instead of re-evaluating the full sum.
 
-use crate::algorithms::common::{allocation_from_group_payments, GroupLatencyCache};
-use crate::algorithms::dp::marginal_budget_dp;
+use crate::algorithms::common::{
+    allocation_from_group_payments, GroupLatencyCache, MAX_TABLE_PAYMENT,
+};
+use crate::algorithms::dp::marginal_budget_dp_separable;
 use crate::error::Result;
 use crate::problem::{HTuningProblem, LatencyTarget, TuningResult, TuningStrategy};
 
@@ -40,16 +45,17 @@ impl TuningStrategy for RepetitionAlgorithm {
         // Memoized expected phase-1 group latencies E_i(p).
         let rate_model = problem.rate_model().clone();
         let max_payment_hint = 1 + extra_budget / unit_costs.iter().min().copied().unwrap_or(1);
-        let mut cache = GroupLatencyCache::new(&rate_model, &groups, max_payment_hint.min(4096));
+        let mut cache = GroupLatencyCache::new(
+            &rate_model,
+            &groups,
+            max_payment_hint.min(MAX_TABLE_PAYMENT),
+        );
         #[cfg(feature = "parallel")]
         cache.precompute(&unit_costs, extra_budget)?;
 
-        let outcome = marginal_budget_dp(&unit_costs, extra_budget, |payments| {
-            let mut sum = 0.0;
-            for (i, &p) in payments.iter().enumerate() {
-                sum += cache.phase1(i, p)?;
-            }
-            Ok(sum)
+        debug_assert!(LatencyTarget::GroupSumOnHold.is_separable());
+        let outcome = marginal_budget_dp_separable(&unit_costs, extra_budget, |group, payment| {
+            cache.phase1(group, payment)
         })?;
 
         let allocation = allocation_from_group_payments(task_set, &groups, &outcome.payments)?;

@@ -57,6 +57,27 @@ pub enum LatencyTarget {
     Compromise,
 }
 
+impl LatencyTarget {
+    /// Whether the target decomposes as a sum of independent per-group terms
+    /// `Σ_i f_i(p_i)`. Separable targets qualify for the incremental DP
+    /// candidate evaluation
+    /// ([`marginal_budget_dp_separable`](crate::algorithms::marginal_budget_dp_separable)):
+    /// raising one group's payment changes exactly one term, so each of the
+    /// `O(n·B')` candidates is scored in O(1). Non-separable targets (an
+    /// expected *max*, or the utopia-point distance) couple the groups and
+    /// take the O(n)-per-candidate closure path.
+    pub fn is_separable(self) -> bool {
+        match self {
+            // A sum over groups: the DP objective of RA (and of HA's O1).
+            LatencyTarget::GroupSumOnHold => true,
+            // An expected maximum over tasks (EA solves this in closed form
+            // without the DP) and a distance in (O1, O2) space — both couple
+            // the groups.
+            LatencyTarget::ExpectedMaxOnHold | LatencyTarget::Compromise => false,
+        }
+    }
+}
+
 impl fmt::Display for LatencyTarget {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
@@ -409,6 +430,13 @@ mod tests {
             vec![Payment::units(2), Payment::units(2)],
         ]);
         assert!(p.check_feasible(&zero).is_err());
+    }
+
+    #[test]
+    fn separability_follows_the_target_structure() {
+        assert!(LatencyTarget::GroupSumOnHold.is_separable());
+        assert!(!LatencyTarget::ExpectedMaxOnHold.is_separable());
+        assert!(!LatencyTarget::Compromise.is_separable());
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Property tests of the budget-indexed marginal DP over randomly generated
+//! problems (seeded, so every failure reproduces):
+//!
+//! * the incremental separable path ([`marginal_budget_dp_separable`])
+//!   returns **bit-identical** `DpOutcome`s to the generic closure path run
+//!   on the equivalent summing objective — same payments, bit-equal
+//!   objective, same spend — at every budget level and across warm-start
+//!   extensions;
+//! * the same holds with the real expected-group-latency terms RA optimises
+//!   (numerical integrations behind a memo cache), not just synthetic
+//!   functions.
+
+use crowdtune_core::algorithms::{
+    marginal_budget_dp, marginal_budget_dp_separable, DpOutcome, DpTable, GroupLatencyCache,
+};
+use crowdtune_core::money::Budget;
+use crowdtune_core::problem::HTuningProblem;
+use crowdtune_core::rate::LinearRate;
+use crowdtune_core::task::TaskSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const CASES: u64 = 48;
+
+fn assert_bit_identical(closure: &DpOutcome, separable: &DpOutcome, context: &str) {
+    assert_eq!(closure.payments, separable.payments, "{context}: payments");
+    assert_eq!(
+        closure.objective.to_bits(),
+        separable.objective.to_bits(),
+        "{context}: objective {} vs {}",
+        closure.objective,
+        separable.objective
+    );
+    assert_eq!(
+        closure.extra_spent, separable.extra_spent,
+        "{context}: extra_spent"
+    );
+}
+
+/// A random but deterministic per-group term. Mixes convex decreasing curves
+/// with occasional flat (plateau) and non-monotone shapes so the DP's
+/// tie-breaking and non-greedy paths are both exercised.
+fn synthetic_term(
+    coeffs: &[(f64, f64, u8)],
+) -> impl FnMut(usize, u64) -> crowdtune_core::error::Result<f64> + '_ {
+    move |group: usize, payment: u64| {
+        let (c, d, shape) = coeffs[group];
+        let p = payment as f64;
+        Ok(match shape {
+            0 => c / (p + d),                            // convex decreasing (latency-like)
+            1 => c,                                      // flat: every increment is a plateau
+            _ => c / (p + d) + (p * d).sin() * 0.01 * c, // mildly non-monotone
+        })
+    }
+}
+
+#[test]
+fn separable_dp_is_bit_identical_to_closure_dp_on_random_problems() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let groups = rng.gen_range(1usize..6);
+        let unit_costs: Vec<u64> = (0..groups).map(|_| rng.gen_range(1u64..9)).collect();
+        let extra_budget = rng.gen_range(0u64..120);
+        let coeffs: Vec<(f64, f64, u8)> = (0..groups)
+            .map(|_| {
+                (
+                    rng.gen_range(0.1f64..10.0),
+                    rng.gen_range(0.0f64..4.0),
+                    rng.gen_range(0u32..4) as u8,
+                )
+            })
+            .collect();
+
+        let mut term = synthetic_term(&coeffs);
+        let closure_table = DpTable::build(&unit_costs, extra_budget, |payments| {
+            let mut sum = 0.0;
+            for (i, &p) in payments.iter().enumerate() {
+                sum += synthetic_term(&coeffs)(i, p)?;
+            }
+            Ok(sum)
+        })
+        .unwrap();
+        let separable_table =
+            DpTable::build_separable(&unit_costs, extra_budget, &mut term).unwrap();
+
+        // Every prefix level must agree, not just the final budget.
+        for level in 0..=extra_budget {
+            assert_bit_identical(
+                &closure_table.outcome_at(level).unwrap(),
+                &separable_table.outcome_at(level).unwrap(),
+                &format!("seed {seed} level {level}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn separable_dp_warm_start_extensions_stay_bit_identical() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let groups = rng.gen_range(1usize..5);
+        let unit_costs: Vec<u64> = (0..groups).map(|_| rng.gen_range(1u64..7)).collect();
+        let first_budget = rng.gen_range(0u64..50);
+        let second_budget = first_budget + rng.gen_range(1u64..60);
+        let coeffs: Vec<(f64, f64, u8)> = (0..groups)
+            .map(|_| {
+                (
+                    rng.gen_range(0.1f64..10.0),
+                    rng.gen_range(0.0f64..4.0),
+                    rng.gen_range(0u32..4) as u8,
+                )
+            })
+            .collect();
+
+        // Warm-started tables on both paths...
+        let mut closure_warm = DpTable::build(&unit_costs, first_budget, |payments| {
+            let mut sum = 0.0;
+            for (i, &p) in payments.iter().enumerate() {
+                sum += synthetic_term(&coeffs)(i, p)?;
+            }
+            Ok(sum)
+        })
+        .unwrap();
+        closure_warm
+            .extend_to(second_budget, |payments| {
+                let mut sum = 0.0;
+                for (i, &p) in payments.iter().enumerate() {
+                    sum += synthetic_term(&coeffs)(i, p)?;
+                }
+                Ok(sum)
+            })
+            .unwrap();
+        let mut separable_warm =
+            DpTable::build_separable(&unit_costs, first_budget, synthetic_term(&coeffs)).unwrap();
+        separable_warm
+            .extend_to_separable(second_budget, synthetic_term(&coeffs))
+            .unwrap();
+
+        // ...must agree with a cold separable build at every level.
+        let cold =
+            DpTable::build_separable(&unit_costs, second_budget, synthetic_term(&coeffs)).unwrap();
+        for level in 0..=second_budget {
+            let context = format!("seed {seed} level {level}");
+            assert_bit_identical(
+                &closure_warm.outcome_at(level).unwrap(),
+                &separable_warm.outcome_at(level).unwrap(),
+                &context,
+            );
+            assert_bit_identical(
+                &cold.outcome_at(level).unwrap(),
+                &separable_warm.outcome_at(level).unwrap(),
+                &context,
+            );
+        }
+    }
+}
+
+/// The same bit-identity with RA's real objective: expected phase-1 group
+/// latencies behind the memoizing cache, over random Scenario-II task sets.
+#[test]
+fn separable_dp_matches_closure_dp_on_real_latency_objectives() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let group_count = rng.gen_range(1usize..4);
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", rng.gen_range(0.5f64..4.0)).unwrap();
+        let mut reps = 0u32;
+        for _ in 0..group_count {
+            reps += rng.gen_range(1u32..4);
+            set.add_tasks(ty, reps, rng.gen_range(1usize..5)).unwrap();
+        }
+        let slots = set.total_repetitions();
+        let budget = slots + rng.gen_range(0u64..20) * slots / 3;
+        let slope = rng.gen_range(0.2f64..3.0);
+        let intercept = rng.gen_range(0.0f64..2.0);
+        let model = LinearRate::new(slope, intercept).unwrap();
+        let problem = HTuningProblem::new(set, Budget::units(budget), Arc::new(model)).unwrap();
+
+        let groups = problem.task_set().group_by_repetitions();
+        let unit_costs: Vec<u64> = groups.iter().map(|g| g.unit_increment_cost()).collect();
+        let extra_budget = problem.discretionary_budget();
+
+        let mut closure_cache = GroupLatencyCache::new(&model, &groups, 64);
+        let closure = marginal_budget_dp(&unit_costs, extra_budget, |payments| {
+            let mut sum = 0.0;
+            for (i, &p) in payments.iter().enumerate() {
+                sum += closure_cache.phase1(i, p)?;
+            }
+            Ok(sum)
+        })
+        .unwrap();
+
+        let mut separable_cache = GroupLatencyCache::new(&model, &groups, 64);
+        let separable =
+            marginal_budget_dp_separable(&unit_costs, extra_budget, |group, payment| {
+                separable_cache.phase1(group, payment)
+            })
+            .unwrap();
+
+        assert_bit_identical(&closure, &separable, &format!("seed {seed}"));
+    }
+}

@@ -16,7 +16,8 @@
 //! * the **budget** in units;
 //! * the **rate model**, identified by its label and its response curve
 //!   sampled bit-exactly over every payment the DP is likely to explore
-//!   (densely up to 64 units, then geometrically up to the budget). Two
+//!   (densely up to 64 units, geometrically from 65 onwards, and always at
+//!   the exact budget). Two
 //!   *different* models that agree on that entire grid can still collide —
 //!   the cache accepts that negligible risk in exchange for O(1) lookups;
 //! * the **strategy choice**, since a forced strategy changes the plan.
@@ -97,10 +98,20 @@ impl PlanFingerprint {
         for payment in 1..=DENSE_PROBE_LIMIT.min(budget_units) {
             hash.write_f64(model.on_hold_rate(payment as f64));
         }
-        let mut payment = DENSE_PROBE_LIMIT * 2;
+        // The geometric walk starts right after the dense range: starting at
+        // `2 * DENSE_PROBE_LIMIT` would leave payments 65..=127 — which the
+        // DP does explore at mid-size budgets — entirely unsampled, so two
+        // models differing only there would collide.
+        let mut payment = DENSE_PROBE_LIMIT + 1;
         while payment <= budget_units {
             hash.write_f64(model.on_hold_rate(payment as f64));
             payment *= 2;
+        }
+        // Always pin the curve at the exact budget (the largest payment any
+        // repetition could receive); below the dense limit it is already
+        // sampled.
+        if budget_units > DENSE_PROBE_LIMIT {
+            hash.write_f64(model.on_hold_rate(budget_units as f64));
         }
         // Strategy choice.
         hash.write_u64(strategy_tag(strategy));
@@ -240,6 +251,65 @@ mod tests {
         assert_ne!(
             PlanFingerprint::of(&make(points_a), StrategyChoice::Auto),
             PlanFingerprint::of(&make(points_b), StrategyChoice::Auto)
+        );
+    }
+
+    /// Regression test for the probe-grid gap: the geometric walk used to
+    /// start at `2 * DENSE_PROBE_LIMIT = 128`, so payments 65..=127 — which
+    /// the DP does explore at mid-size budgets — were never hashed and two
+    /// models differing only there collided.
+    #[test]
+    fn models_differing_between_dense_limit_and_first_geometric_probe_do_not_collide() {
+        // Both models are exactly the identity curve on [1, 64] (and have
+        // the same point count, so `describe()` agrees); they differ only on
+        // (64, 128). With budget 120 the old grid sampled 1..=64 and then
+        // nothing (the walk started at 128 > 120).
+        let straight: Vec<(f64, f64)> =
+            vec![(1.0, 1.0), (64.0, 64.0), (96.0, 96.0), (128.0, 128.0)];
+        let bent: Vec<(f64, f64)> = vec![(1.0, 1.0), (64.0, 64.0), (96.0, 100.0), (128.0, 128.0)];
+        let make = |pts: Vec<(f64, f64)>| {
+            let mut set = TaskSet::new();
+            let ty = set.add_type("vote", 2.0).unwrap();
+            set.add_tasks(ty, 3, 4).unwrap();
+            HTuningProblem::new(
+                set,
+                Budget::units(120),
+                Arc::new(crowdtune_core::rate::TabulatedRate::new(pts).unwrap()),
+            )
+            .unwrap()
+        };
+        assert_ne!(
+            PlanFingerprint::of(&make(straight), StrategyChoice::Auto),
+            PlanFingerprint::of(&make(bent), StrategyChoice::Auto)
+        );
+    }
+
+    /// The curve is always pinned at the exact budget, so two models that
+    /// agree on the whole probe grid but disagree at the largest payment a
+    /// repetition could receive do not collide.
+    #[test]
+    fn curve_is_sampled_at_the_exact_budget() {
+        // Identical on [1, 130] (covering dense probes and the geometric
+        // probes 65 and 130) and at 260; they differ only around payment 200
+        // — exactly the budget.
+        let straight: Vec<(f64, f64)> =
+            vec![(1.0, 1.0), (130.0, 130.0), (200.0, 200.0), (260.0, 260.0)];
+        let bent: Vec<(f64, f64)> =
+            vec![(1.0, 1.0), (130.0, 130.0), (200.0, 210.0), (260.0, 260.0)];
+        let make = |pts: Vec<(f64, f64)>| {
+            let mut set = TaskSet::new();
+            let ty = set.add_type("vote", 2.0).unwrap();
+            set.add_tasks(ty, 3, 4).unwrap();
+            HTuningProblem::new(
+                set,
+                Budget::units(200),
+                Arc::new(crowdtune_core::rate::TabulatedRate::new(pts).unwrap()),
+            )
+            .unwrap()
+        };
+        assert_ne!(
+            PlanFingerprint::of(&make(straight), StrategyChoice::Auto),
+            PlanFingerprint::of(&make(bent), StrategyChoice::Auto)
         );
     }
 

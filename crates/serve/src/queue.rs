@@ -108,12 +108,17 @@ impl<T> JobQueue<T> {
                 limit: self.policy.max_pending,
             });
         }
-        let lane = inner.lanes.entry(tenant.to_owned()).or_default();
-        if lane.len() >= self.policy.max_pending_per_tenant {
+        // Check the per-tenant bound *before* creating the lane: rejected
+        // submissions must not leave an empty lane behind, or first-time
+        // rejects (any tenant when the per-tenant limit is 0) would grow the
+        // map by one entry per attacker-controlled tenant string.
+        let depth = inner.lanes.get(tenant).map_or(0, VecDeque::len);
+        if depth >= self.policy.max_pending_per_tenant {
             return Err(AdmissionError::TenantOverLimit {
                 limit: self.policy.max_pending_per_tenant,
             });
         }
+        let lane = inner.lanes.entry(tenant.to_owned()).or_default();
         lane.push_back(job);
         if lane.len() == 1 {
             inner.ring.push_back(tenant.to_owned());
@@ -154,6 +159,13 @@ impl<T> JobQueue<T> {
     /// Jobs currently pending.
     pub fn pending(&self) -> usize {
         self.inner.lock().expect("job queue poisoned").pending
+    }
+
+    /// Tenants that currently have at least one pending job (the queue keeps
+    /// no state for idle tenants, so this is also the size of the lane map —
+    /// a useful capacity metric).
+    pub fn active_tenants(&self) -> usize {
+        self.inner.lock().expect("job queue poisoned").lanes.len()
     }
 
     /// Closes the queue: further submissions fail, workers drain what is
@@ -217,6 +229,35 @@ mod tests {
             Err(AdmissionError::QueueFull { limit: 3 })
         );
         assert_eq!(q.pending(), 3);
+    }
+
+    /// Regression test: a rejected submission must not leave an empty lane
+    /// behind. With `max_pending_per_tenant == 0` every first-time submit is
+    /// refused, and before the fix each refusal leaked a lane keyed by the
+    /// (attacker-controlled) tenant string.
+    #[test]
+    fn rejected_submissions_do_not_leak_tenant_lanes() {
+        let q = queue(16, 0);
+        for i in 0..100u32 {
+            assert_eq!(
+                q.submit(&format!("tenant-{i}"), i),
+                Err(AdmissionError::TenantOverLimit { limit: 0 })
+            );
+        }
+        assert_eq!(q.active_tenants(), 0, "rejects must not create lanes");
+        assert_eq!(q.pending(), 0);
+
+        // A tenant rejected at a non-zero cap keeps exactly its existing
+        // lane, and lanes are still reclaimed once drained.
+        let q = queue(16, 1);
+        q.submit("a", 1).unwrap();
+        assert_eq!(
+            q.submit("a", 2),
+            Err(AdmissionError::TenantOverLimit { limit: 1 })
+        );
+        assert_eq!(q.active_tenants(), 1);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.active_tenants(), 0, "drained lanes are removed");
     }
 
     #[test]
