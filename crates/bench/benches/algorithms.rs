@@ -13,7 +13,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowdtune_core::algorithms::{
     marginal_budget_dp, marginal_budget_dp_separable, EvenAllocation, GroupLatencyCache,
-    HeterogeneousAlgorithm, RepetitionAlgorithm, MAX_TABLE_PAYMENT,
+    HeterogeneousAlgorithm, RepetitionAlgorithm,
 };
 use crowdtune_core::error::Result as CoreResult;
 use crowdtune_core::money::Budget;
@@ -161,7 +161,7 @@ where
 /// RA's group-sum objective (`Σ_i E_i(p_i)`) over the warm latency cache —
 /// the closure-path form of what `dp_scan` measures.
 fn group_sum<M: RateModel + ?Sized>(
-    cache: &mut GroupLatencyCache<'_, M>,
+    cache: &GroupLatencyCache<'_, M>,
     payments: &[u64],
 ) -> CoreResult<f64> {
     let mut sum = 0.0;
@@ -207,7 +207,7 @@ fn bench_dp_scan(_c: &mut Criterion) {
 
         // Warm every (group, payment) pair the scan can reach, so the bench
         // measures the DP itself rather than the integrations.
-        let mut cache = GroupLatencyCache::new(&rate_model, &groups, MAX_TABLE_PAYMENT);
+        let cache = GroupLatencyCache::new(&rate_model, &groups);
         for (i, &u) in unit_costs.iter().enumerate() {
             for payment in 1..=(1 + extra_budget / u) {
                 cache.phase1(i, payment).unwrap();
@@ -217,7 +217,7 @@ fn bench_dp_scan(_c: &mut Criterion) {
         // Sanity first: the two current paths agree bit-for-bit on the plan
         // (also serves as a warm-up for the timed runs below).
         let closure_outcome =
-            marginal_budget_dp(&unit_costs, extra_budget, |p| group_sum(&mut cache, p)).unwrap();
+            marginal_budget_dp(&unit_costs, extra_budget, |p| group_sum(&cache, p)).unwrap();
         let separable_outcome =
             marginal_budget_dp_separable(&unit_costs, extra_budget, |group, payment| {
                 cache.phase1(group, payment)
@@ -231,13 +231,12 @@ fn bench_dp_scan(_c: &mut Criterion) {
 
         let reference_ns = median_ns(samples, || {
             let objective =
-                reference_dp_pr1(&unit_costs, extra_budget, |p| group_sum(&mut cache, p)).unwrap();
+                reference_dp_pr1(&unit_costs, extra_budget, |p| group_sum(&cache, p)).unwrap();
             black_box(objective);
         });
         let closure_ns = median_ns(samples, || {
             let outcome =
-                marginal_budget_dp(&unit_costs, extra_budget, |p| group_sum(&mut cache, p))
-                    .unwrap();
+                marginal_budget_dp(&unit_costs, extra_budget, |p| group_sum(&cache, p)).unwrap();
             black_box(outcome);
         });
         let separable_ns = median_ns(samples, || {

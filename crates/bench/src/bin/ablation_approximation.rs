@@ -80,7 +80,7 @@ fn main() {
         let groups = problem.task_set().group_by_repetitions();
         let unit_costs: Vec<u64> = groups.iter().map(|g| g.unit_increment_cost()).collect();
         let rate_model = problem.rate_model().clone();
-        let mut cache = GroupLatencyCache::new(&rate_model, &groups, 64);
+        let cache = GroupLatencyCache::new(&rate_model, &groups);
         let brute = exhaustive_group_search(&unit_costs, problem.discretionary_budget(), |p| {
             let mut sum = 0.0;
             for (i, &payment) in p.iter().enumerate() {

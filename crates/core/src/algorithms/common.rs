@@ -1,12 +1,18 @@
 //! Shared helpers for the tuning algorithms: even spreading of units over
 //! slots, conversion of per-group payments into full [`Allocation`]s and a
-//! memoizing cache for expected group latencies.
+//! memoizing cache for expected group latencies whose tables are interned
+//! **process-wide** — concurrent tuner workers and distinct jobs over the
+//! same rate curve and group shape fill each `(group, payment)` entry at
+//! most once ([`LatencyTableStore`]).
 
 use crate::error::{CoreError, Result};
 use crate::latency::group_phase1_expected;
 use crate::money::{Allocation, Payment};
 use crate::rate::RateModel;
 use crate::task::{TaskGroup, TaskSet};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Cap on the per-repetition payments the latency tables are pre-sized (and,
 /// under the `parallel` feature, pre-computed) for. Payments beyond the cap
@@ -85,57 +91,192 @@ pub fn allocation_from_group_payments(
     Ok(allocation)
 }
 
+/// Bound on the number of interned latency tables the process keeps alive at
+/// once (≈32 KiB each). When the store is full, tables no longer referenced
+/// by any live cache are dropped first; if every table is in use, new keys
+/// are served un-interned (still correct, just not shared).
+const MAX_INTERNED_TABLES: usize = 1024;
+
+/// One shared marginal latency table: `E_i(p)` for payments
+/// `0..=MAX_TABLE_PAYMENT` of one `(rate curve, group shape)` pair.
+///
+/// Entries are lock-free `AtomicU64`s holding the `f64` bit pattern; the
+/// all-zero pattern (+0.0, impossible for a strictly positive expected
+/// latency) marks "not yet computed". Fills are idempotent: the value is a
+/// deterministic function of the key, so concurrent writers racing on the
+/// same entry store identical bits and readers can never observe a torn or
+/// divergent value.
+#[derive(Debug)]
+pub struct SharedLatencyTable {
+    values: Box<[AtomicU64]>,
+}
+
+impl SharedLatencyTable {
+    fn new() -> Self {
+        SharedLatencyTable {
+            values: (0..=MAX_TABLE_PAYMENT).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The memoized value at `payment`, if already computed.
+    fn get(&self, payment: u64) -> Option<f64> {
+        let bits = self.values[payment as usize].load(Ordering::Relaxed);
+        (bits != 0).then(|| f64::from_bits(bits))
+    }
+
+    fn store(&self, payment: u64, value: f64) {
+        self.values[payment as usize].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Number of entries already filled (used by tests and diagnostics).
+    pub fn filled(&self) -> usize {
+        self.values
+            .iter()
+            .filter(|v| v.load(Ordering::Relaxed) != 0)
+            .count()
+    }
+}
+
+/// Identity of a shared latency table: the rate curve (via
+/// [`RateModel::curve_fingerprint`]) and the group shape. Two jobs with equal
+/// keys compute bit-identical tables, so sharing is exact, not approximate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TableKey {
+    curve: u64,
+    group_size: u64,
+    repetitions: u32,
+}
+
+/// Process-wide interner of [`SharedLatencyTable`]s.
+///
+/// The expected-latency integrations behind `E_i(p)` dominate cold solves;
+/// they depend only on `(rate curve, group size, repetitions, payment)` — not
+/// on the job, tenant or budget — so distinct jobs over the same curves used
+/// to redo identical quadratures. The store hands every
+/// [`GroupLatencyCache`] an `Arc` to the one table for its key, letting the
+/// whole fleet fill each entry at most once.
+#[derive(Debug, Default)]
+pub struct LatencyTableStore {
+    tables: Mutex<HashMap<TableKey, Arc<SharedLatencyTable>>>,
+}
+
+impl LatencyTableStore {
+    /// The process-wide store.
+    pub fn global() -> &'static LatencyTableStore {
+        static STORE: OnceLock<LatencyTableStore> = OnceLock::new();
+        STORE.get_or_init(LatencyTableStore::default)
+    }
+
+    /// Number of tables currently interned.
+    pub fn len(&self) -> usize {
+        self.tables.lock().expect("latency store poisoned").len()
+    }
+
+    /// Whether the store holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the shared table for `key`, creating it on first use. At
+    /// capacity, unreferenced tables are evicted first; if every table is
+    /// still in use the returned table is fresh and un-interned (correct,
+    /// merely unshared).
+    fn intern(&self, key: TableKey) -> Arc<SharedLatencyTable> {
+        let mut tables = self.tables.lock().expect("latency store poisoned");
+        if let Some(table) = tables.get(&key) {
+            return table.clone();
+        }
+        if tables.len() >= MAX_INTERNED_TABLES {
+            tables.retain(|_, table| Arc::strong_count(table) > 1);
+        }
+        let table = Arc::new(SharedLatencyTable::new());
+        if tables.len() < MAX_INTERNED_TABLES {
+            tables.insert(key, table.clone());
+        }
+        table
+    }
+}
+
 /// Memoizing evaluator of expected phase-1 group latencies
 /// `E_i(p) = E[max over n_i of Erlang(k_i, λo(p))]`.
 ///
 /// The dynamic programs of Algorithms 2 and 3 evaluate the same
 /// `(group, payment)` pairs many times; each evaluation involves numerical
-/// integration, so memoization matters.
+/// integration, so memoization matters. The memo tables for payments up to
+/// [`MAX_TABLE_PAYMENT`] live in the process-wide [`LatencyTableStore`], so
+/// the integrations are also shared *across* jobs and worker threads;
+/// payments beyond the cap fall back to a private lazy map. All methods take
+/// `&self` — the cache is `Sync` and can back concurrent DP scans directly.
 pub struct GroupLatencyCache<'a, M: RateModel + ?Sized> {
     rate_model: &'a M,
     groups: &'a [TaskGroup],
-    /// cache[group][payment] — payment index 0 is unused (payments start at 1).
-    cache: Vec<Vec<Option<f64>>>,
+    /// Interned shared table per group (payments `0..=MAX_TABLE_PAYMENT`).
+    tables: Vec<Arc<SharedLatencyTable>>,
+    /// Private lazy spill for payments above the cap, one map per group.
+    overflow: Vec<Mutex<HashMap<u64, f64>>>,
 }
 
 impl<'a, M: RateModel + ?Sized> GroupLatencyCache<'a, M> {
-    /// Creates a cache for the given groups, pre-sizing each group's table to
-    /// `max_payment + 1` entries.
-    pub fn new(rate_model: &'a M, groups: &'a [TaskGroup], max_payment: u64) -> Self {
-        let cache = groups
+    /// Creates a cache for the given groups, attaching each group to the
+    /// process-wide shared table for `(rate curve, group shape)`.
+    pub fn new(rate_model: &'a M, groups: &'a [TaskGroup]) -> Self {
+        let curve = rate_model.curve_fingerprint();
+        let store = LatencyTableStore::global();
+        let tables = groups
             .iter()
-            .map(|_| vec![None; (max_payment + 2) as usize])
+            .map(|group| {
+                store.intern(TableKey {
+                    curve,
+                    group_size: group.size() as u64,
+                    repetitions: group.repetitions,
+                })
+            })
             .collect();
+        let overflow = groups.iter().map(|_| Mutex::new(HashMap::new())).collect();
         GroupLatencyCache {
             rate_model,
             groups,
-            cache,
+            tables,
+            overflow,
         }
+    }
+
+    /// The integration behind one table entry.
+    fn compute(&self, group_index: usize, payment: u64) -> Result<f64> {
+        let rate = self.rate_model.on_hold_rate(payment as f64);
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(CoreError::InvalidRate { payment, rate });
+        }
+        let group = &self.groups[group_index];
+        group_phase1_expected(group.size() as u64, group.repetitions, rate)
     }
 
     /// Expected phase-1 latency of group `group_index` at per-repetition
     /// payment `payment` units.
-    pub fn phase1(&mut self, group_index: usize, payment: u64) -> Result<f64> {
+    pub fn phase1(&self, group_index: usize, payment: u64) -> Result<f64> {
         if group_index >= self.groups.len() {
             return Err(CoreError::invalid_argument(format!(
                 "group index {group_index} out of range"
             )));
         }
-        let table = &mut self.cache[group_index];
-        if (payment as usize) < table.len() {
-            if let Some(value) = table[payment as usize] {
+        if payment <= MAX_TABLE_PAYMENT {
+            let table = &self.tables[group_index];
+            if let Some(value) = table.get(payment) {
                 return Ok(value);
             }
-        } else {
-            table.resize(payment as usize + 1, None);
+            let value = self.compute(group_index, payment)?;
+            table.store(payment, value);
+            return Ok(value);
         }
-        let group = &self.groups[group_index];
-        let rate = self.rate_model.on_hold_rate(payment as f64);
-        if !rate.is_finite() || rate <= 0.0 {
-            return Err(CoreError::InvalidRate { payment, rate });
+        // Above the cap: private lazy spill, never interned.
+        let mut spill = self.overflow[group_index]
+            .lock()
+            .expect("latency overflow map poisoned");
+        if let Some(&value) = spill.get(&payment) {
+            return Ok(value);
         }
-        let value = group_phase1_expected(group.size() as u64, group.repetitions, rate)?;
-        self.cache[group_index][payment as usize] = Some(value);
+        let value = self.compute(group_index, payment)?;
+        spill.insert(payment, value);
         Ok(value)
     }
 
@@ -148,12 +289,13 @@ impl<'a, M: RateModel + ?Sized> GroupLatencyCache<'a, M> {
     /// marginal DP over `unit_costs` and `extra_budget` can reach, fanning
     /// the numerical integrations out over all available cores with scoped
     /// threads. The DP itself then runs against warm tables and does no
-    /// integration on its critical path.
+    /// integration on its critical path. Entries another job already filled
+    /// through the shared store are skipped.
     ///
     /// Only available with the `parallel` feature; without it the cache fills
     /// lazily (and only for the pairs the DP actually visits).
     #[cfg(feature = "parallel")]
-    pub fn precompute(&mut self, unit_costs: &[u64], extra_budget: u64) -> Result<()> {
+    pub fn precompute(&self, unit_costs: &[u64], extra_budget: u64) -> Result<()> {
         // Fanning out only pays when there are cores to fan out to: on a
         // single core the lazy path is strictly better (it integrates only
         // the pairs the DP actually visits), so bow out early.
@@ -163,9 +305,8 @@ impl<'a, M: RateModel + ?Sized> GroupLatencyCache<'a, M> {
         if threads <= 1 {
             return Ok(());
         }
-        // Payments are capped at the same bound the callers pre-size for, so
-        // the table never balloons; anything beyond falls back to the lazy
-        // path.
+        // Payments are capped at the shared-table bound; anything beyond
+        // falls back to the lazy path.
         let mut jobs: Vec<(usize, u64)> = Vec::new();
         for (index, &unit_cost) in unit_costs.iter().enumerate().take(self.groups.len()) {
             if unit_cost == 0 {
@@ -174,12 +315,9 @@ impl<'a, M: RateModel + ?Sized> GroupLatencyCache<'a, M> {
                 ));
             }
             let max_payment = (1 + extra_budget / unit_cost).min(MAX_TABLE_PAYMENT);
-            let table = &mut self.cache[index];
-            if (table.len() as u64) < max_payment + 1 {
-                table.resize(max_payment as usize + 1, None);
-            }
+            let table = &self.tables[index];
             for payment in 1..=max_payment {
-                if table[payment as usize].is_none() {
+                if table.get(payment).is_none() {
                     jobs.push((index, payment));
                 }
             }
@@ -190,43 +328,24 @@ impl<'a, M: RateModel + ?Sized> GroupLatencyCache<'a, M> {
 
         let threads = threads.min(jobs.len());
         let chunk_size = jobs.len().div_ceil(threads);
-        let rate_model = self.rate_model;
-        let groups = self.groups;
 
-        let computed: Result<Vec<Vec<(usize, u64, f64)>>> = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .chunks(chunk_size)
                 .map(|chunk| {
-                    scope.spawn(move || -> Result<Vec<(usize, u64, f64)>> {
-                        chunk
-                            .iter()
-                            .map(|&(index, payment)| {
-                                let rate = rate_model.on_hold_rate(payment as f64);
-                                if !rate.is_finite() || rate <= 0.0 {
-                                    return Err(CoreError::InvalidRate { payment, rate });
-                                }
-                                let group = &groups[index];
-                                let value = group_phase1_expected(
-                                    group.size() as u64,
-                                    group.repetitions,
-                                    rate,
-                                )?;
-                                Ok((index, payment, value))
-                            })
-                            .collect()
+                    scope.spawn(move || -> Result<()> {
+                        for &(index, payment) in chunk {
+                            let value = self.compute(index, payment)?;
+                            self.tables[index].store(payment, value);
+                        }
+                        Ok(())
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("latency precompute thread panicked"))
-                .collect()
-        });
-
-        for (index, payment, value) in computed?.into_iter().flatten() {
-            self.cache[index][payment as usize] = Some(value);
-        }
-        Ok(())
+                .try_for_each(|h| h.join().expect("latency precompute thread panicked"))
+        })
     }
 }
 
@@ -307,17 +426,25 @@ mod tests {
     #[test]
     fn parallel_precompute_matches_lazy_evaluation() {
         let (_, groups) = two_group_set();
-        let model = LinearRate::moderate();
+        // A model no other test shares, so the interned tables start cold and
+        // the precompute does real work.
+        let model = LinearRate::new(3.0, 2.71).unwrap();
         let unit_costs: Vec<u64> = groups.iter().map(|g| g.unit_increment_cost()).collect();
         let extra_budget = 200u64;
 
-        let mut warm = GroupLatencyCache::new(&model, &groups, 16);
+        let warm = GroupLatencyCache::new(&model, &groups);
         warm.precompute(&unit_costs, extra_budget).unwrap();
-        let mut lazy = GroupLatencyCache::new(&model, &groups, 16);
-
+        // The lazy comparison must not read the tables `warm` just filled:
+        // compute the ground truth directly from the integration primitive.
         for (index, &unit_cost) in unit_costs.iter().enumerate() {
             for payment in 1..=(1 + extra_budget / unit_cost) {
-                let expected = lazy.phase1(index, payment).unwrap();
+                let group = &groups[index];
+                let expected = crate::latency::group_phase1_expected(
+                    group.size() as u64,
+                    group.repetitions,
+                    model.on_hold_rate(payment as f64),
+                )
+                .unwrap();
                 let cached = warm.phase1(index, payment).unwrap();
                 assert!(
                     cached.to_bits() == expected.to_bits(),
@@ -331,7 +458,7 @@ mod tests {
     fn group_latency_cache_is_consistent_and_monotone() {
         let (_, groups) = two_group_set();
         let model = LinearRate::unit_slope();
-        let mut cache = GroupLatencyCache::new(&model, &groups, 10);
+        let cache = GroupLatencyCache::new(&model, &groups);
         let a1 = cache.phase1(0, 2).unwrap();
         let a2 = cache.phase1(0, 2).unwrap();
         assert_eq!(a1, a2, "memoized value must be identical");
@@ -340,8 +467,67 @@ mod tests {
         assert!(rich < cheap, "higher payment must not increase latency");
         assert!(cache.phase1(5, 1).is_err());
         assert_eq!(cache.groups().len(), 2);
-        // payments beyond the pre-sized table still work
-        let beyond = cache.phase1(0, 50).unwrap();
+        // payments beyond the shared-table cap hit the lazy spill
+        let beyond = cache.phase1(0, MAX_TABLE_PAYMENT + 50).unwrap();
         assert!(beyond > 0.0);
+    }
+
+    /// Two caches over the same curve and group shapes share one interned
+    /// table: what the first computed, the second reads back bit-identically
+    /// (and the underlying table object is literally the same allocation).
+    #[test]
+    fn interned_tables_are_shared_across_cache_instances() {
+        let (_, groups) = two_group_set();
+        // Distinct parameters so this test owns its interned tables.
+        let model_a = LinearRate::new(1.25, 0.5).unwrap();
+        let model_b = LinearRate::new(1.25, 0.5).unwrap();
+
+        let first = GroupLatencyCache::new(&model_a, &groups);
+        let mut expected = Vec::new();
+        for payment in 1..=12u64 {
+            expected.push(first.phase1(0, payment).unwrap());
+        }
+        let filled_before = first.tables[0].filled();
+        assert!(filled_before >= 12);
+
+        let second = GroupLatencyCache::new(&model_b, &groups);
+        assert!(
+            Arc::ptr_eq(&first.tables[0], &second.tables[0]),
+            "equal curve + shape must intern to the same table"
+        );
+        for (i, payment) in (1..=12u64).enumerate() {
+            let value = second.phase1(0, payment).unwrap();
+            assert_eq!(value.to_bits(), expected[i].to_bits());
+        }
+        // Reading through the second cache computed nothing new.
+        assert_eq!(second.tables[0].filled(), filled_before);
+
+        // A different curve must not share tables.
+        let other_model = LinearRate::new(1.25, 0.75).unwrap();
+        let third = GroupLatencyCache::new(&other_model, &groups);
+        assert!(!Arc::ptr_eq(&first.tables[0], &third.tables[0]));
+    }
+
+    /// Groups with identical shapes intern to the same table even within one
+    /// cache; different shapes never do.
+    #[test]
+    fn table_identity_follows_group_shape() {
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", 2.0).unwrap();
+        set.add_tasks(ty, 3, 2).unwrap();
+        set.add_tasks(ty, 5, 3).unwrap();
+        let groups = set.group_by_repetitions();
+        let mut twin_set = TaskSet::new();
+        let ty = twin_set.add_type("other name", 1.0).unwrap();
+        twin_set.add_tasks(ty, 3, 2).unwrap();
+        let twin_groups = twin_set.group_by_repetitions();
+
+        let model = LinearRate::new(0.9, 1.1).unwrap();
+        let cache = GroupLatencyCache::new(&model, &groups);
+        let twin = GroupLatencyCache::new(&model, &twin_groups);
+        // Same (curve, size=2, reps=3) key → same table; the 5-rep group
+        // keys differently.
+        assert!(Arc::ptr_eq(&cache.tables[0], &twin.tables[0]));
+        assert!(!Arc::ptr_eq(&cache.tables[1], &twin.tables[0]));
     }
 }

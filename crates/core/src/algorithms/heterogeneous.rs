@@ -16,9 +16,7 @@
 //! budget, then minimises the **Closeness** `CL = ‖OP − UP‖` (first-order
 //! distance) with the same budget-indexed marginal DP.
 
-use crate::algorithms::common::{
-    allocation_from_group_payments, GroupLatencyCache, MAX_TABLE_PAYMENT,
-};
+use crate::algorithms::common::{allocation_from_group_payments, GroupLatencyCache};
 use crate::algorithms::dp::{marginal_budget_dp, marginal_budget_dp_separable};
 use crate::error::{CoreError, Result};
 use crate::latency::group_phase2_expected;
@@ -115,17 +113,14 @@ impl HeterogeneousAlgorithm {
         let phase2 = Self::phase2_constants(problem, &groups)?;
 
         let rate_model = problem.rate_model().clone();
-        let max_payment_hint = 1 + extra_budget / unit_costs.iter().min().copied().unwrap_or(1);
-        let mut cache = GroupLatencyCache::new(
-            &rate_model,
-            &groups,
-            max_payment_hint.min(MAX_TABLE_PAYMENT),
-        );
+        let cache = GroupLatencyCache::new(&rate_model, &groups);
         #[cfg(feature = "parallel")]
         cache.precompute(&unit_costs, extra_budget)?;
 
-        // Objective O1: sum of expected phase-1 group latencies.
-        let o1 = |cache: &mut GroupLatencyCache<'_, _>, payments: &[u64]| -> Result<f64> {
+        // Objective O1: sum of expected phase-1 group latencies. The cache
+        // memoizes behind `&self`, so these closures are `Fn + Sync` and the
+        // closure-path DP may fan each level's candidate scan over threads.
+        let o1 = |payments: &[u64]| -> Result<f64> {
             let mut sum = 0.0;
             for (i, &p) in payments.iter().enumerate() {
                 sum += cache.phase1(i, p)?;
@@ -133,7 +128,7 @@ impl HeterogeneousAlgorithm {
             Ok(sum)
         };
         // Objective O2: the largest expected phase-1 + phase-2 group latency.
-        let o2 = |cache: &mut GroupLatencyCache<'_, _>, payments: &[u64]| -> Result<f64> {
+        let o2 = |payments: &[u64]| -> Result<f64> {
             let mut max = f64::MIN;
             for (i, &p) in payments.iter().enumerate() {
                 max = max.max(cache.phase1(i, p)? + phase2[i]);
@@ -149,21 +144,20 @@ impl HeterogeneousAlgorithm {
             cache.phase1(group, payment)
         })?
         .objective;
-        let o2_star = marginal_budget_dp(&unit_costs, extra_budget, |payments| {
-            o2(&mut cache, payments)
-        })?
-        .objective;
+        let o2_star = marginal_budget_dp(&unit_costs, extra_budget, o2)?.objective;
 
-        // Compromise: minimise the Closeness to (O1*, O2*).
+        // Compromise: minimise the Closeness to (O1*, O2*). The utopia point
+        // depends on the budget, so — unlike RA's budget-agnostic table —
+        // this DP cannot be reused across budgets.
         let norm = self.norm;
         let outcome = marginal_budget_dp(&unit_costs, extra_budget, |payments| {
-            let value1 = o1(&mut cache, payments)?;
-            let value2 = o2(&mut cache, payments)?;
+            let value1 = o1(payments)?;
+            let value2 = o2(payments)?;
             Ok(norm.distance((value1, value2), (o1_star, o2_star)))
         })?;
 
-        let o1_final = o1(&mut cache, &outcome.payments)?;
-        let o2_final = o2(&mut cache, &outcome.payments)?;
+        let o1_final = o1(&outcome.payments)?;
+        let o2_final = o2(&outcome.payments)?;
         let report = CompromiseReport {
             o1_star,
             o2_star,

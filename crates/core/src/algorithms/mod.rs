@@ -27,8 +27,11 @@ pub use baselines::{
     BiasedAllocation, RepetitionEvenAllocation, TaskEvenAllocation, UniformPerGroupAllocation,
 };
 pub use common::{
-    allocation_from_group_payments, spread_evenly, GroupLatencyCache, MAX_TABLE_PAYMENT,
+    allocation_from_group_payments, spread_evenly, GroupLatencyCache, LatencyTableStore,
+    SharedLatencyTable, MAX_TABLE_PAYMENT,
 };
+#[cfg(feature = "parallel")]
+pub use dp::PARALLEL_SCAN_MIN_CANDIDATES;
 pub use dp::{
     exhaustive_group_search, marginal_budget_dp, marginal_budget_dp_separable, DpOutcome, DpTable,
 };

@@ -13,59 +13,121 @@
 //! path: every DP candidate is scored in O(1) from cached per-group marginal
 //! latencies instead of re-evaluating the full sum.
 
-use crate::algorithms::common::{
-    allocation_from_group_payments, GroupLatencyCache, MAX_TABLE_PAYMENT,
-};
-use crate::algorithms::dp::marginal_budget_dp_separable;
-use crate::error::Result;
+use crate::algorithms::common::{allocation_from_group_payments, GroupLatencyCache};
+use crate::algorithms::dp::DpTable;
+use crate::error::{CoreError, Result};
 use crate::problem::{HTuningProblem, LatencyTarget, TuningResult, TuningStrategy};
+use crate::task::TaskGroup;
 
 /// The Repetition Algorithm (Algorithm 2).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RepetitionAlgorithm;
+
+/// The strategy name RA stamps on its results.
+const NAME: &str = "RA";
+
+/// RA's repetition groups and their unit-increment costs for a problem.
+fn groups_and_costs(problem: &HTuningProblem) -> (Vec<TaskGroup>, Vec<u64>) {
+    let groups = problem.task_set().group_by_repetitions();
+    let unit_costs = groups.iter().map(|g| g.unit_increment_cost()).collect();
+    (groups, unit_costs)
+}
+
+/// Rejects a [`DpTable`] that was not built for this problem's group
+/// structure (the cross-job reuse entry points take tables from callers).
+fn check_table_shape(table: &DpTable, unit_costs: &[u64]) -> Result<()> {
+    if table.unit_costs() != unit_costs {
+        return Err(CoreError::invalid_argument(format!(
+            "DP table was built for unit costs {:?}, problem requires {unit_costs:?}",
+            table.unit_costs()
+        )));
+    }
+    Ok(())
+}
 
 impl RepetitionAlgorithm {
     /// Creates the strategy.
     pub fn new() -> Self {
         RepetitionAlgorithm
     }
-}
 
-impl TuningStrategy for RepetitionAlgorithm {
-    fn name(&self) -> &str {
-        "RA"
-    }
-
-    fn tune(&self, problem: &HTuningProblem) -> Result<TuningResult> {
-        let task_set = problem.task_set();
-        let groups = task_set.group_by_repetitions();
-        let unit_costs: Vec<u64> = groups.iter().map(|g| g.unit_increment_cost()).collect();
+    /// Solves the problem and returns the full budget-indexed [`DpTable`]
+    /// alongside the result.
+    ///
+    /// The table is the unit of **cross-job reuse**: its objective does not
+    /// depend on the budget, so any job over the same task shape and rate
+    /// curve is answered by [`RepetitionAlgorithm::result_from_table`] (for
+    /// budgets the table covers) or grown in place by
+    /// [`RepetitionAlgorithm::extend_table`] (for larger budgets) — both
+    /// bit-identical to a cold solve at that budget, because every table
+    /// level is computed once, from deterministic per-group latency terms,
+    /// regardless of how far the table eventually extends.
+    pub fn tune_with_table(&self, problem: &HTuningProblem) -> Result<(TuningResult, DpTable)> {
+        let (groups, unit_costs) = groups_and_costs(problem);
         let extra_budget = problem.discretionary_budget();
 
-        // Memoized expected phase-1 group latencies E_i(p).
+        // Memoized expected phase-1 group latencies E_i(p), backed by the
+        // process-wide interned store.
         let rate_model = problem.rate_model().clone();
-        let max_payment_hint = 1 + extra_budget / unit_costs.iter().min().copied().unwrap_or(1);
-        let mut cache = GroupLatencyCache::new(
-            &rate_model,
-            &groups,
-            max_payment_hint.min(MAX_TABLE_PAYMENT),
-        );
+        let cache = GroupLatencyCache::new(&rate_model, &groups);
         #[cfg(feature = "parallel")]
         cache.precompute(&unit_costs, extra_budget)?;
 
         debug_assert!(LatencyTarget::GroupSumOnHold.is_separable());
-        let outcome = marginal_budget_dp_separable(&unit_costs, extra_budget, |group, payment| {
+        let table = DpTable::build_separable(&unit_costs, extra_budget, |group, payment| {
             cache.phase1(group, payment)
         })?;
+        let result = Self::result_from_table(problem, &table)?;
+        Ok((result, table))
+    }
 
-        let allocation = allocation_from_group_payments(task_set, &groups, &outcome.payments)?;
+    /// Reads the RA plan for `problem` out of a previously built table: one
+    /// `O(B')` decision-chain walk, no objective evaluations. The table must
+    /// cover the problem's discretionary budget
+    /// ([`RepetitionAlgorithm::extend_table`] grows it first otherwise) and
+    /// must have been built over the same objective — same task shape and
+    /// same rate curve — as the problem.
+    pub fn result_from_table(problem: &HTuningProblem, table: &DpTable) -> Result<TuningResult> {
+        let (groups, unit_costs) = groups_and_costs(problem);
+        check_table_shape(table, &unit_costs)?;
+        let outcome = table.outcome_at(problem.discretionary_budget())?;
+        let allocation =
+            allocation_from_group_payments(problem.task_set(), &groups, &outcome.payments)?;
         problem.check_feasible(&allocation)?;
         Ok(TuningResult::new(
-            self.name(),
+            NAME,
             allocation,
             Some(outcome.objective),
             LatencyTarget::GroupSumOnHold,
         ))
+    }
+
+    /// Warm-starts `table` up to `problem`'s discretionary budget (a no-op
+    /// when already covered). The caller guarantees the problem computes the
+    /// same objective the table was built with (same task shape, same rate
+    /// curve) — see the contract on [`DpTable::extend_to_separable`].
+    pub fn extend_table(problem: &HTuningProblem, table: &mut DpTable) -> Result<()> {
+        let (groups, unit_costs) = groups_and_costs(problem);
+        check_table_shape(table, &unit_costs)?;
+        let extra_budget = problem.discretionary_budget();
+        if extra_budget <= table.max_budget() {
+            return Ok(());
+        }
+        let rate_model = problem.rate_model().clone();
+        let cache = GroupLatencyCache::new(&rate_model, &groups);
+        #[cfg(feature = "parallel")]
+        cache.precompute(&unit_costs, extra_budget)?;
+        table.extend_to_separable(extra_budget, |group, payment| cache.phase1(group, payment))
+    }
+}
+
+impl TuningStrategy for RepetitionAlgorithm {
+    fn name(&self) -> &str {
+        NAME
+    }
+
+    fn tune(&self, problem: &HTuningProblem) -> Result<TuningResult> {
+        Ok(self.tune_with_table(problem)?.0)
     }
 }
 
@@ -155,7 +217,7 @@ mod tests {
             let groups = problem.task_set().group_by_repetitions();
             let unit_costs: Vec<u64> = groups.iter().map(|g| g.unit_increment_cost()).collect();
             let rate_model = problem.rate_model().clone();
-            let mut cache = GroupLatencyCache::new(&rate_model, &groups, 64);
+            let cache = GroupLatencyCache::new(&rate_model, &groups);
             let brute =
                 exhaustive_group_search(&unit_costs, problem.discretionary_budget(), |payments| {
                     let mut sum = 0.0;
@@ -256,6 +318,58 @@ mod tests {
             .collect();
         assert!(payments.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(payments[0], 5); // 60 units / 12 repetition slots
+    }
+
+    /// The cross-job reuse surface: a table built once answers smaller
+    /// budgets by prefix reads and larger budgets after an in-place
+    /// extension, bit-identical to cold solves at those budgets.
+    #[test]
+    fn table_reuse_is_bit_identical_to_cold_solves_across_budgets() {
+        let build_problem = repetition_problem(160);
+        let (result, mut table) = RepetitionAlgorithm::new()
+            .tune_with_table(&build_problem)
+            .unwrap();
+        let direct = RepetitionAlgorithm::new().tune(&build_problem).unwrap();
+        assert_eq!(result.allocation, direct.allocation);
+        assert_eq!(
+            result.objective.unwrap().to_bits(),
+            direct.objective.unwrap().to_bits()
+        );
+
+        for budget in [100u64, 120, 160, 200, 320] {
+            let problem = repetition_problem(budget);
+            RepetitionAlgorithm::extend_table(&problem, &mut table).unwrap();
+            let reused = RepetitionAlgorithm::result_from_table(&problem, &table).unwrap();
+            let cold = RepetitionAlgorithm::new().tune(&problem).unwrap();
+            assert_eq!(reused.allocation, cold.allocation, "budget {budget}");
+            assert_eq!(
+                reused.objective.unwrap().to_bits(),
+                cold.objective.unwrap().to_bits(),
+                "budget {budget}"
+            );
+            assert_eq!(reused.strategy, "RA");
+        }
+    }
+
+    /// Tables from a different group structure are rejected instead of
+    /// silently producing plans for the wrong problem.
+    #[test]
+    fn table_reuse_rejects_mismatched_group_structure() {
+        let (_, table) = RepetitionAlgorithm::new()
+            .tune_with_table(&repetition_problem(100))
+            .unwrap();
+        // Same total slots, different repetition partition → different unit
+        // costs.
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", 2.0).unwrap();
+        set.add_tasks(ty, 2, 4).unwrap();
+        set.add_tasks(ty, 6, 4).unwrap();
+        let other =
+            HTuningProblem::new(set, Budget::units(100), Arc::new(LinearRate::unit_slope()))
+                .unwrap();
+        assert!(RepetitionAlgorithm::result_from_table(&other, &table).is_err());
+        let mut table = table;
+        assert!(RepetitionAlgorithm::extend_table(&other, &mut table).is_err());
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! A stable, platform-independent content hasher.
+//!
+//! The reuse layers key shared state by *content* — rate curves
+//! ([`RateModel::curve_fingerprint`](crate::rate::RateModel::curve_fingerprint)),
+//! canonical problem shapes (the serving layer's plan and family
+//! fingerprints) — so the hash must be deterministic across runs, platforms
+//! and processes, which `std::collections::hash_map::DefaultHasher` does not
+//! guarantee. One shared implementation keeps every fingerprint in the
+//! workspace on the same primitive.
+
+/// 64-bit FNV-1a.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` bit-exactly (via its IEEE-754 bit pattern).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_fnv1a_vectors() {
+        // Standard FNV-1a test vectors.
+        let digest = |bytes: &[u8]| {
+            let mut h = Fnv1a::new();
+            h.write_bytes(bytes);
+            h.finish()
+        };
+        assert_eq!(digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn numeric_writes_are_byte_exact() {
+        let mut by_value = Fnv1a::new();
+        by_value.write_u64(0x0102_0304_0506_0708);
+        let mut by_bytes = Fnv1a::new();
+        by_bytes.write_bytes(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(by_value.finish(), by_bytes.finish());
+
+        let mut float = Fnv1a::new();
+        float.write_f64(1.5);
+        let mut bits = Fnv1a::new();
+        bits.write_u64(1.5f64.to_bits());
+        assert_eq!(float.finish(), bits.finish());
+        assert_eq!(Fnv1a::default().finish(), Fnv1a::new().finish());
+    }
+}

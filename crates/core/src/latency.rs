@@ -19,11 +19,12 @@ use crate::rate::RateModel;
 use crate::stats::exponential::Exponential;
 use crate::stats::numerical::integrate_to_infinity;
 use crate::stats::order_stats::expected_max_erlang;
-use crate::stats::special::gamma_cdf;
+use crate::stats::special::GammaDist;
 use crate::task::{TaskGroup, TaskSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Which latency phases an estimate should include.
 ///
@@ -206,7 +207,16 @@ impl<'a, M: RateModel + ?Sized> JobLatencyEstimator<'a, M> {
         phases: PhaseSelection,
     ) -> Result<f64> {
         let moments = self.task_moments(allocation)?;
-        let mut shapes_rates = Vec::with_capacity(moments.len());
+        // Collapse identical task profiles before integrating: the optimal
+        // allocations pay every member of a group the same per-repetition
+        // amount, so a job with hundreds of tasks typically has only a
+        // handful of distinct `(shape, rate)` pairs. Each quadrature point
+        // then costs one frozen-Gamma CDF per *distinct profile* (raised to
+        // the multiplicity) instead of one incomplete-gamma evaluation per
+        // task — the integrand this saves on used to dominate the whole
+        // serve path.
+        let mut profiles: Vec<(GammaDist, i32)> = Vec::with_capacity(moments.len().min(16));
+        let mut profile_index: HashMap<(u64, u64), usize> = HashMap::new();
         let mut scale = 0.0_f64;
         for m in &moments {
             let mean = m.mean(phases);
@@ -218,15 +228,23 @@ impl<'a, M: RateModel + ?Sized> JobLatencyEstimator<'a, M> {
             }
             let shape = mean * mean / var;
             let rate = mean / var;
-            shapes_rates.push((shape, rate));
+            match profile_index.entry((shape.to_bits(), rate.to_bits())) {
+                std::collections::hash_map::Entry::Occupied(entry) => {
+                    profiles[*entry.get()].1 += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    entry.insert(profiles.len());
+                    profiles.push((GammaDist::new(shape, rate)?, 1));
+                }
+            }
             scale = scale.max(mean + 4.0 * var.sqrt());
         }
         integrate_to_infinity(
             move |t| {
                 let mut product = 1.0;
-                for &(shape, rate) in &shapes_rates {
-                    let c = gamma_cdf(shape, rate, t).unwrap_or(0.0);
-                    product *= c;
+                for &(dist, count) in &profiles {
+                    let c = dist.cdf(t).unwrap_or(0.0);
+                    product *= if count == 1 { c } else { c.powi(count) };
                     if product == 0.0 {
                         break;
                     }

@@ -57,6 +57,7 @@
 
 pub mod algorithms;
 pub mod error;
+pub mod hash;
 pub mod inference;
 pub mod latency;
 pub mod money;

@@ -17,6 +17,8 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
+use crate::hash::Fnv1a;
+
 /// Maps a per-repetition payment (in units) to the on-hold clock rate
 /// `λo(payment)`.
 ///
@@ -30,6 +32,29 @@ pub trait RateModel: Send + Sync {
     /// Short human readable description (used in experiment output headers).
     fn describe(&self) -> String {
         "rate model".to_owned()
+    }
+
+    /// Stable 64-bit fingerprint of the response curve, the key under which
+    /// latency tables derived from this curve may be shared across jobs (see
+    /// [`LatencyTableStore`](crate::algorithms::common::LatencyTableStore))
+    /// and plan families grouped in the serving layer.
+    ///
+    /// **Contract**: two models may return the same fingerprint only if they
+    /// agree (bit-exactly) on `on_hold_rate(p)` for every integer payment
+    /// `p` in `[1, MAX_TABLE_PAYMENT]` — exactly the grid the shared latency
+    /// tables cover, so equal fingerprints imply bit-identical table fills.
+    /// The default implementation samples that entire grid plus the
+    /// [`describe`](RateModel::describe) label; parametric models override it
+    /// with a hash of their parameters (same guarantee, no sampling loop).
+    /// As with every content hash, distinct curves collide with probability
+    /// ~2⁻⁶⁴; the callers accept that risk in exchange for O(1) reuse.
+    fn curve_fingerprint(&self) -> u64 {
+        let mut hash = Fnv1a::new();
+        hash.write_bytes(self.describe().as_bytes());
+        for payment in 1..=crate::algorithms::common::MAX_TABLE_PAYMENT {
+            hash.write_f64(self.on_hold_rate(payment as f64));
+        }
+        hash.finish()
     }
 
     /// Checks that the model produces valid (positive, finite) rates for
@@ -110,6 +135,17 @@ impl RateModel for LinearRate {
     fn describe(&self) -> String {
         format!("λo(p) = {}·p + {}", self.k, self.b)
     }
+
+    fn curve_fingerprint(&self) -> u64 {
+        // Parametric fast path: the curve is fully determined by (k, b), so
+        // hashing them (plus a type tag) upholds the trait contract without
+        // sampling the grid.
+        let mut hash = Fnv1a::new();
+        hash.write_bytes(b"LinearRate");
+        hash.write_f64(self.k);
+        hash.write_f64(self.b);
+        hash.finish()
+    }
 }
 
 /// Quadratic model `λo(c) = a·c² + b`, used in the robustness panels (e), (k),
@@ -153,6 +189,14 @@ impl RateModel for QuadraticRate {
     fn describe(&self) -> String {
         format!("λo(p) = {}·p² + {}", self.a, self.b)
     }
+
+    fn curve_fingerprint(&self) -> u64 {
+        let mut hash = Fnv1a::new();
+        hash.write_bytes(b"QuadraticRate");
+        hash.write_f64(self.a);
+        hash.write_f64(self.b);
+        hash.finish()
+    }
 }
 
 /// Logarithmic model `λo(c) = scale·ln(1 + c)`, the paper's `λ = log(1 + p)`
@@ -187,6 +231,13 @@ impl RateModel for LogRate {
 
     fn describe(&self) -> String {
         format!("λo(p) = {}·ln(1 + p)", self.scale)
+    }
+
+    fn curve_fingerprint(&self) -> u64 {
+        let mut hash = Fnv1a::new();
+        hash.write_bytes(b"LogRate");
+        hash.write_f64(self.scale);
+        hash.finish()
     }
 }
 
@@ -257,6 +308,18 @@ impl RateModel for TabulatedRate {
 
     fn describe(&self) -> String {
         format!("tabulated rate over {} points", self.points.len())
+    }
+
+    fn curve_fingerprint(&self) -> u64 {
+        // The interpolated curve is fully determined by the (sorted) point
+        // table.
+        let mut hash = Fnv1a::new();
+        hash.write_bytes(b"TabulatedRate");
+        for &(p, r) in &self.points {
+            hash.write_f64(p);
+            hash.write_f64(r);
+        }
+        hash.finish()
     }
 }
 
@@ -371,6 +434,11 @@ impl<M: RateModel + ?Sized> RateModel for &M {
     fn describe(&self) -> String {
         (**self).describe()
     }
+    fn curve_fingerprint(&self) -> u64 {
+        // Forward instead of re-deriving: a parametric override on the inner
+        // model must produce the same key through every smart pointer.
+        (**self).curve_fingerprint()
+    }
 }
 
 impl<M: RateModel + ?Sized> RateModel for Box<M> {
@@ -380,6 +448,9 @@ impl<M: RateModel + ?Sized> RateModel for Box<M> {
     fn describe(&self) -> String {
         (**self).describe()
     }
+    fn curve_fingerprint(&self) -> u64 {
+        (**self).curve_fingerprint()
+    }
 }
 
 impl<M: RateModel + ?Sized> RateModel for Arc<M> {
@@ -388,6 +459,9 @@ impl<M: RateModel + ?Sized> RateModel for Arc<M> {
     }
     fn describe(&self) -> String {
         (**self).describe()
+    }
+    fn curve_fingerprint(&self) -> u64 {
+        (**self).curve_fingerprint()
     }
 }
 
@@ -505,6 +579,49 @@ mod tests {
         assert!(PaperRateModel::Flat.is_linear());
         assert!(!PaperRateModel::Quadratic.is_linear());
         assert!(!PaperRateModel::Logarithmic.is_linear());
+    }
+
+    #[test]
+    fn curve_fingerprints_identify_curves_not_instances() {
+        // Equal parameters → equal fingerprint, distinct parameters differ.
+        assert_eq!(
+            LinearRate::unit_slope().curve_fingerprint(),
+            LinearRate::new(1.0, 1.0).unwrap().curve_fingerprint()
+        );
+        assert_ne!(
+            LinearRate::unit_slope().curve_fingerprint(),
+            LinearRate::steep().curve_fingerprint()
+        );
+        // Type tags keep same-parameter models of different shapes apart.
+        assert_ne!(
+            QuadraticRate::paper().curve_fingerprint(),
+            LinearRate::unit_slope().curve_fingerprint()
+        );
+        // Smart pointers forward to the inner override.
+        let arced: Arc<dyn RateModel> = Arc::new(LinearRate::unit_slope());
+        assert_eq!(
+            arced.curve_fingerprint(),
+            LinearRate::unit_slope().curve_fingerprint()
+        );
+        let boxed: Box<dyn RateModel> = Box::new(LogRate::paper());
+        assert_eq!(
+            boxed.curve_fingerprint(),
+            LogRate::paper().curve_fingerprint()
+        );
+        // The default sampling path separates different closures even when
+        // their labels collide.
+        let a = FnRate::new("f", |p| p + 1.0);
+        let b = FnRate::new("f", |p| p + 2.0);
+        assert_ne!(a.curve_fingerprint(), b.curve_fingerprint());
+        // Tabulated models hash their point tables.
+        assert_ne!(
+            TabulatedRate::new(vec![(1.0, 1.0), (4.0, 4.0)])
+                .unwrap()
+                .curve_fingerprint(),
+            TabulatedRate::new(vec![(1.0, 1.0), (4.0, 5.0)])
+                .unwrap()
+                .curve_fingerprint()
+        );
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub use order_stats::{
     expected_max_two_phase, single_round_group_latency,
 };
 pub use poisson::PoissonProcess;
-pub use special::{gamma_cdf, gamma_p, gamma_q, ln_gamma};
+pub use special::{gamma_cdf, gamma_p, gamma_q, ln_gamma, GammaDist};
 pub use summary::{mean, percentile, RunningStats};

@@ -46,6 +46,26 @@ pub struct TunedPlan {
     pub expected_on_hold_latency: f64,
 }
 
+impl TunedPlan {
+    /// Attaches the analytic latency estimates to an already-computed tuning
+    /// result. This is the estimate half of [`Tuner::plan`], split out so
+    /// serving layers that obtain a [`TuningResult`] without a full solve
+    /// (e.g. a plan-family table read) produce plans bit-identical to the
+    /// cold path.
+    pub fn from_result(problem: &HTuningProblem, result: TuningResult) -> Result<TunedPlan> {
+        let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
+        let expected_latency =
+            estimator.analytic_expected_latency(&result.allocation, PhaseSelection::Both)?;
+        let expected_on_hold_latency =
+            estimator.analytic_expected_latency(&result.allocation, PhaseSelection::OnHoldOnly)?;
+        Ok(TunedPlan {
+            result,
+            expected_latency,
+            expected_on_hold_latency,
+        })
+    }
+}
+
 /// High-level budget tuner.
 #[derive(Clone)]
 pub struct Tuner {
@@ -106,16 +126,7 @@ impl Tuner {
     pub fn plan(&self, task_set: TaskSet, budget: Budget) -> Result<TunedPlan> {
         let problem = self.problem(task_set, budget)?;
         let result = self.tune_problem(&problem)?;
-        let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
-        let expected_latency =
-            estimator.analytic_expected_latency(&result.allocation, PhaseSelection::Both)?;
-        let expected_on_hold_latency =
-            estimator.analytic_expected_latency(&result.allocation, PhaseSelection::OnHoldOnly)?;
-        Ok(TunedPlan {
-            result,
-            expected_latency,
-            expected_on_hold_latency,
-        })
+        TunedPlan::from_result(&problem, result)
     }
 }
 

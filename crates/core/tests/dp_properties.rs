@@ -12,10 +12,12 @@
 
 use crowdtune_core::algorithms::{
     marginal_budget_dp, marginal_budget_dp_separable, DpOutcome, DpTable, GroupLatencyCache,
+    MAX_TABLE_PAYMENT,
 };
+use crowdtune_core::latency::group_phase1_expected;
 use crowdtune_core::money::Budget;
 use crowdtune_core::problem::HTuningProblem;
-use crowdtune_core::rate::LinearRate;
+use crowdtune_core::rate::{LinearRate, RateModel};
 use crowdtune_core::task::TaskSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -181,7 +183,7 @@ fn separable_dp_matches_closure_dp_on_real_latency_objectives() {
         let unit_costs: Vec<u64> = groups.iter().map(|g| g.unit_increment_cost()).collect();
         let extra_budget = problem.discretionary_budget();
 
-        let mut closure_cache = GroupLatencyCache::new(&model, &groups, 64);
+        let closure_cache = GroupLatencyCache::new(&model, &groups);
         let closure = marginal_budget_dp(&unit_costs, extra_budget, |payments| {
             let mut sum = 0.0;
             for (i, &p) in payments.iter().enumerate() {
@@ -191,7 +193,7 @@ fn separable_dp_matches_closure_dp_on_real_latency_objectives() {
         })
         .unwrap();
 
-        let mut separable_cache = GroupLatencyCache::new(&model, &groups, 64);
+        let separable_cache = GroupLatencyCache::new(&model, &groups);
         let separable =
             marginal_budget_dp_separable(&unit_costs, extra_budget, |group, payment| {
                 separable_cache.phase1(group, payment)
@@ -199,5 +201,106 @@ fn separable_dp_matches_closure_dp_on_real_latency_objectives() {
             .unwrap();
 
         assert_bit_identical(&closure, &separable, &format!("seed {seed}"));
+    }
+}
+
+/// The process-wide interned latency tables are **bit-equal** to hermetic
+/// per-job evaluation — for every cache instance over the same curve, and
+/// including payments above the shared-table cap (the private lazy spill).
+#[test]
+fn interned_latency_tables_match_hermetic_fills() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", rng.gen_range(0.5f64..4.0)).unwrap();
+        let mut reps = 0u32;
+        for _ in 0..rng.gen_range(1usize..4) {
+            reps += rng.gen_range(1u32..4);
+            set.add_tasks(ty, reps, rng.gen_range(1usize..4)).unwrap();
+        }
+        let groups = set.group_by_repetitions();
+        let model =
+            LinearRate::new(rng.gen_range(0.2f64..3.0), rng.gen_range(0.1f64..2.0)).unwrap();
+
+        // Two independent caches over the same curve: the second reads what
+        // the first computed through the shared store.
+        let first = GroupLatencyCache::new(&model, &groups);
+        let second = GroupLatencyCache::new(&model, &groups);
+        for (g, group) in groups.iter().enumerate() {
+            for payment in [
+                1u64,
+                2,
+                7,
+                63,
+                MAX_TABLE_PAYMENT,
+                MAX_TABLE_PAYMENT + 1,
+                MAX_TABLE_PAYMENT + 911,
+            ] {
+                let hermetic = group_phase1_expected(
+                    group.size() as u64,
+                    group.repetitions,
+                    model.on_hold_rate(payment as f64),
+                )
+                .unwrap();
+                let via_first = first.phase1(g, payment).unwrap();
+                let via_second = second.phase1(g, payment).unwrap();
+                let context = format!("seed {seed} group {g} payment {payment}");
+                assert_eq!(via_first.to_bits(), hermetic.to_bits(), "{context}");
+                assert_eq!(via_second.to_bits(), hermetic.to_bits(), "{context}");
+            }
+        }
+    }
+}
+
+/// Concurrent workers racing to fill the same interned table all observe the
+/// hermetic value, bit-exactly — fills are idempotent because the value is a
+/// deterministic function of the key.
+#[test]
+fn concurrent_interned_fills_are_bit_stable() {
+    let mut set = TaskSet::new();
+    let ty = set.add_type("vote", 1.7).unwrap();
+    set.add_tasks(ty, 3, 4).unwrap();
+    set.add_tasks(ty, 5, 4).unwrap();
+    let groups = set.group_by_repetitions();
+    // A slope no other test uses, so every thread starts from a cold table.
+    let model = LinearRate::new(1.618, 0.577).unwrap();
+
+    let observed: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let groups = &groups;
+                let model = &model;
+                scope.spawn(move || {
+                    let cache = GroupLatencyCache::new(model, groups);
+                    let mut bits = Vec::new();
+                    for g in 0..groups.len() {
+                        for payment in 1..=40u64 {
+                            bits.push(cache.phase1(g, payment).unwrap().to_bits());
+                        }
+                    }
+                    bits
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut index = 0usize;
+    for (g, group) in groups.iter().enumerate() {
+        for payment in 1..=40u64 {
+            let hermetic = group_phase1_expected(
+                group.size() as u64,
+                group.repetitions,
+                model.on_hold_rate(payment as f64),
+            )
+            .unwrap()
+            .to_bits();
+            for (worker, bits) in observed.iter().enumerate() {
+                assert_eq!(
+                    bits[index], hermetic,
+                    "worker {worker} group {g} payment {payment}"
+                );
+            }
+            index += 1;
+        }
     }
 }

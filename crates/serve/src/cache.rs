@@ -7,7 +7,9 @@
 //! [`PlanFingerprint`](crate::fingerprint::PlanFingerprint) to the
 //! `Arc<TunedPlan>` produced by the first solve; a hit returns the *same*
 //! plan object, so cached responses are bit-identical to the cold solve by
-//! construction.
+//! construction. Jobs that repeat the workload but not the budget miss here
+//! and are picked up by the cross-budget
+//! [`PlanFamilies`](crate::family::PlanFamilies) layer behind it.
 //!
 //! Sharding: entries are distributed over `2^k` independently locked shards
 //! by the low bits of the fingerprint, so concurrent tuner workers rarely

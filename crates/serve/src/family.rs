@@ -1,0 +1,302 @@
+//! Plan families: cross-budget solve reuse for RA-resolved jobs.
+//!
+//! The budget-indexed marginal DP (Algorithms 2/3) is monotone in budget: a
+//! [`DpTable`] built for discretionary budget `B'` answers every smaller
+//! budget with an O(1) prefix read plus an `O(b)` decision-chain walk, and
+//! grows to a larger budget in `O(ΔB')` via its warm-start extension. The
+//! exact-match [`PlanCache`](crate::cache::PlanCache) cannot exploit this —
+//! its key includes the budget — so two tenants submitting the same workload
+//! at budgets 3000 and 5000 used to pay two full cold solves.
+//!
+//! A **family** is the set of jobs whose [`FamilyFingerprint`] agree: same
+//! task shape, same rate curve, same resolved algorithm — everything but the
+//! budget. [`PlanFamilies`] maps each family to one concurrently shared
+//! `DpTable`; a job whose family is resident is answered by
+//! `outcome_at(b)` (budget at or below the table's coverage) or by
+//! extending the table in place under the per-family lock (budget above it).
+//! Served plans are **bit-identical to cold solves by construction**: every
+//! table level is computed exactly once, from deterministic per-group
+//! latency terms, regardless of the order budgets arrive in — the serve
+//! property tests pin this across random problems, budget ladders and
+//! concurrent extension order.
+//!
+//! ## Scope: why only RA
+//!
+//! Cross-budget reuse requires the DP objective itself to be
+//! budget-independent. RA's group-sum objective (and a forced RA on any
+//! shape) qualifies. EA (Scenario I) is a closed form with no DP to reuse,
+//! and HA's Closeness objective couples to the budget through the utopia
+//! point `(O1*, O2*)`, so its final DP genuinely differs per budget — HA
+//! jobs still benefit across budgets through the process-wide interned
+//! latency tables in `crowdtune-core`, which this layer composes with.
+//!
+//! ## Consistency under fingerprint collisions
+//!
+//! Mirroring the exact-match cache, a family is served with the rate model
+//! of the job that *created* it: equal fingerprints imply curves that agree
+//! bit-exactly on the payment grid the tables cover, and in the (≈2⁻⁶⁴)
+//! event of a true collision the incumbent wins, exactly like a colliding
+//! `PlanFingerprint`. A collision that changes the *group structure* is
+//! detected (`DpTable::unit_costs` mismatch) and the job falls back to a
+//! cold solve without touching the family.
+//!
+//! Resident families are capped per shard; past the cap, new families are
+//! served by plain cold solves without seeding. A reuse-aware eviction
+//! policy (and a persistence hook so restarts keep warm families) is
+//! tracked in the ROADMAP.
+
+use crate::fingerprint::FamilyFingerprint;
+use crowdtune_core::algorithms::{DpTable, RepetitionAlgorithm};
+use crowdtune_core::error::Result;
+use crowdtune_core::problem::{HTuningProblem, TuningStrategy};
+use crowdtune_core::rate::RateModel;
+use crowdtune_core::tuner::TunedPlan;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters exposed by the family store. Monotone; read with
+/// [`PlanFamilies::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FamilyStats {
+    /// Families currently resident.
+    pub families: u64,
+    /// Jobs answered from a resident family table.
+    pub hits: u64,
+    /// Of those hits, how many had to grow the table first (budget above the
+    /// resident coverage); the rest were pure prefix reads.
+    pub extensions: u64,
+    /// Cold solves that seeded a new family.
+    pub builds: u64,
+}
+
+/// How a family answered a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyServe {
+    /// The family was resident; the job was answered from its table.
+    Hit,
+    /// First job of its family: a cold solve that seeded the table.
+    Seeded,
+}
+
+/// One family's shared solver state, guarded by the entry mutex.
+struct FamilyState {
+    /// The market belief the family's table was built against (the creating
+    /// job's); every answer is canonicalised to it.
+    rate_model: Arc<dyn RateModel>,
+    /// The budget-indexed DP table, grown monotonically as larger budgets
+    /// arrive.
+    table: DpTable,
+}
+
+/// `None` until the first solve for the family completes; a failed build
+/// leaves it `None` so the next job retries.
+struct FamilyEntry {
+    state: Mutex<Option<FamilyState>>,
+}
+
+/// Cap on resident families per shard. Family keys are tenant-influenced
+/// (task shapes, rate curves), so an unbounded map would let one tenant grow
+/// service memory without limit; past the cap, new families are served by
+/// plain cold solves without seeding. A *reuse-aware eviction* policy (LRU
+/// or keep-most-extended) is the ROADMAP follow-up — this bound only makes
+/// the store safe to ship.
+const MAX_FAMILIES_PER_SHARD: usize = 128;
+
+/// Sharded map from [`FamilyFingerprint`] to the family's shared
+/// [`DpTable`]. Cheap to share: wrap in an `Arc`.
+pub struct PlanFamilies {
+    shards: Vec<Mutex<HashMap<u64, Arc<FamilyEntry>>>>,
+    hits: AtomicU64,
+    extensions: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl PlanFamilies {
+    /// Creates a family store with `shards` independently locked shards
+    /// (rounded up to a power of two), each holding at most
+    /// [`MAX_FAMILIES_PER_SHARD`] families.
+    pub fn new(shards: usize) -> Self {
+        let shard_count = shards.max(1).next_power_of_two();
+        PlanFamilies {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            extensions: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// Gets or creates the entry for a family; `None` when the shard is at
+    /// capacity and the family is not resident (the caller then solves cold
+    /// without seeding). Only the map access holds the shard lock; solving
+    /// happens under the entry's own mutex so distinct families never
+    /// serialise on each other.
+    fn entry(&self, key: FamilyFingerprint) -> Option<Arc<FamilyEntry>> {
+        let index = (key.0 as usize) & (self.shards.len() - 1);
+        let mut shard = self.shards[index].lock().expect("family shard poisoned");
+        if let Some(entry) = shard.get(&key.0) {
+            return Some(entry.clone());
+        }
+        if shard.len() >= MAX_FAMILIES_PER_SHARD {
+            return None;
+        }
+        let entry = Arc::new(FamilyEntry {
+            state: Mutex::new(None),
+        });
+        shard.insert(key.0, entry.clone());
+        Some(entry)
+    }
+
+    /// Answers an RA-resolved job from its family: a prefix read or in-place
+    /// extension when the family is resident, a table-seeding cold solve
+    /// otherwise. The caller is responsible for only routing jobs that
+    /// resolve to the Repetition Algorithm here.
+    pub fn serve(
+        &self,
+        key: FamilyFingerprint,
+        problem: &HTuningProblem,
+    ) -> Result<(TunedPlan, FamilyServe)> {
+        let Some(entry) = self.entry(key) else {
+            // Store at capacity: serve cold, seed nothing.
+            let result = RepetitionAlgorithm::new().tune(problem)?;
+            let plan = TunedPlan::from_result(problem, result)?;
+            return Ok((plan, FamilyServe::Seeded));
+        };
+        // The entry lock covers only the table work (read/extension/seed);
+        // attaching the latency estimates — the dominant serve cost — runs
+        // after it drops, so same-family jobs serialise on the DP alone.
+        let mut slot = entry.state.lock().expect("family entry poisoned");
+        let (problem, result, how) = match slot.as_mut() {
+            Some(state) => {
+                // A 64-bit key collision across *group structures* is
+                // detectable: bail to a cold solve of the job as submitted,
+                // leaving the incumbent family untouched.
+                let same_shape = {
+                    let groups = problem.task_set().group_by_repetitions();
+                    groups.len() == state.table.unit_costs().len()
+                        && groups.iter().map(|g| g.unit_increment_cost()).eq(state
+                            .table
+                            .unit_costs()
+                            .iter()
+                            .copied())
+                };
+                if !same_shape {
+                    drop(slot);
+                    let result = RepetitionAlgorithm::new().tune(problem)?;
+                    let plan = TunedPlan::from_result(problem, result)?;
+                    return Ok((plan, FamilyServe::Seeded));
+                }
+                // Canonicalise to the family's belief (see module docs).
+                let problem = problem.with_rate_model(state.rate_model.clone());
+                if problem.discretionary_budget() > state.table.max_budget() {
+                    RepetitionAlgorithm::extend_table(&problem, &mut state.table)?;
+                    self.extensions.fetch_add(1, Ordering::Relaxed);
+                }
+                let result = RepetitionAlgorithm::result_from_table(&problem, &state.table)?;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                (problem, result, FamilyServe::Hit)
+            }
+            None => {
+                let (result, table) = RepetitionAlgorithm::new().tune_with_table(problem)?;
+                *slot = Some(FamilyState {
+                    rate_model: problem.rate_model().clone(),
+                    table,
+                });
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                (problem.clone(), result, FamilyServe::Seeded)
+            }
+        };
+        drop(slot);
+        let plan = TunedPlan::from_result(&problem, result)?;
+        Ok((plan, how))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FamilyStats {
+        let families = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("family shard poisoned").len() as u64)
+            .sum();
+        FamilyStats {
+            families,
+            hits: self.hits.load(Ordering::Relaxed),
+            extensions: self.extensions.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_core::money::Budget;
+    use crowdtune_core::rate::LinearRate;
+    use crowdtune_core::task::TaskSet;
+    use crowdtune_core::tuner::{StrategyChoice, Tuner};
+
+    fn ra_problem(budget: u64, slope: f64) -> HTuningProblem {
+        let mut set = TaskSet::new();
+        let ty = set.add_type("vote", 2.0).unwrap();
+        set.add_tasks(ty, 3, 4).unwrap();
+        set.add_tasks(ty, 5, 4).unwrap();
+        HTuningProblem::new(
+            set,
+            Budget::units(budget),
+            Arc::new(LinearRate::new(slope, 1.0).unwrap()),
+        )
+        .unwrap()
+    }
+
+    fn key(problem: &HTuningProblem) -> FamilyFingerprint {
+        FamilyFingerprint::of(problem, StrategyChoice::RepetitionAlgorithm)
+    }
+
+    #[test]
+    fn first_job_seeds_then_budget_ladder_hits() {
+        let families = PlanFamilies::new(4);
+        let seed_problem = ra_problem(120, 1.0);
+        let (_, how) = families.serve(key(&seed_problem), &seed_problem).unwrap();
+        assert_eq!(how, FamilyServe::Seeded);
+
+        // Lower budgets are prefix reads, higher budgets extend in place;
+        // every answer matches a cold solve bit-for-bit.
+        for budget in [60u64, 80, 120, 200, 400] {
+            let problem = ra_problem(budget, 1.0);
+            let (plan, how) = families.serve(key(&problem), &problem).unwrap();
+            assert_eq!(how, FamilyServe::Hit, "budget {budget}");
+            let cold = Tuner::new(problem.rate_model().clone())
+                .with_strategy(StrategyChoice::RepetitionAlgorithm)
+                .plan(problem.task_set().clone(), problem.budget())
+                .unwrap();
+            assert_eq!(plan.result.allocation, cold.result.allocation);
+            assert_eq!(
+                plan.result.objective.unwrap().to_bits(),
+                cold.result.objective.unwrap().to_bits()
+            );
+            assert_eq!(
+                plan.expected_latency.to_bits(),
+                cold.expected_latency.to_bits()
+            );
+        }
+        let stats = families.stats();
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.extensions, 2, "budgets 200 and 400 grow the table");
+        assert_eq!(stats.families, 1);
+    }
+
+    #[test]
+    fn distinct_curves_get_distinct_families() {
+        let families = PlanFamilies::new(4);
+        let a = ra_problem(100, 1.0);
+        let b = ra_problem(100, 2.0);
+        assert_ne!(key(&a), key(&b));
+        families.serve(key(&a), &a).unwrap();
+        let (_, how) = families.serve(key(&b), &b).unwrap();
+        assert_eq!(how, FamilyServe::Seeded);
+        assert_eq!(families.stats().families, 2);
+    }
+}

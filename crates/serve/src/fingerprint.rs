@@ -1,4 +1,6 @@
-//! Canonical fingerprints of tuning problems, the plan-cache key.
+//! Canonical fingerprints of tuning problems: [`PlanFingerprint`], the
+//! exact-match plan-cache key, and [`FamilyFingerprint`], the same key with
+//! the budget factored out — the unit of cross-budget solve reuse.
 //!
 //! Two submissions hit the same cache entry exactly when a cached plan is
 //! valid for both, i.e. when they agree on everything the tuning algorithms
@@ -22,39 +24,11 @@
 //!   the cache accepts that negligible risk in exchange for O(1) lookups;
 //! * the **strategy choice**, since a forced strategy changes the plan.
 
+use crowdtune_core::hash::Fnv1a;
 use crowdtune_core::problem::HTuningProblem;
 use crowdtune_core::rate::RateModel;
 use crowdtune_core::tuner::StrategyChoice;
 use std::collections::BTreeMap;
-
-/// 64-bit FNV-1a — tiny, deterministic and stable across runs/platforms,
-/// which `DefaultHasher` does not guarantee.
-#[derive(Debug, Clone, Copy)]
-struct Fnv1a(u64);
-
-impl Fnv1a {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    fn new() -> Self {
-        Fnv1a(Self::OFFSET)
-    }
-
-    fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.write_bytes(&v.to_le_bytes());
-    }
-
-    fn write_f64(&mut self, v: f64) {
-        self.write_u64(v.to_bits());
-    }
-}
 
 /// Dense low end of the rate-model probe grid: micro-task payments are small
 /// integers, so every payment up to this bound is sampled individually.
@@ -64,29 +38,33 @@ const DENSE_PROBE_LIMIT: u64 = 64;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PlanFingerprint(pub u64);
 
+/// Hashes the task-set shape: per-task (canonical type, processing rate,
+/// repetitions), in order. The canonical type index is the type's
+/// first-occurrence rank among the tasks, which captures the type partition
+/// (it decides RA-vs-HA grouping) while staying independent of type names
+/// and of registered-but-unused types. Shared by the exact and family keys
+/// so the two can never disagree on what "the same workload" means.
+fn hash_task_shape(hash: &mut Fnv1a, task_set: &crowdtune_core::task::TaskSet) {
+    hash.write_u64(task_set.len() as u64);
+    let mut canonical_types: BTreeMap<u32, u64> = BTreeMap::new();
+    for task in task_set.tasks() {
+        let next_rank = canonical_types.len() as u64;
+        let rank = *canonical_types.entry(task.task_type.0).or_insert(next_rank);
+        let rate = task_set
+            .type_by_id(task.task_type)
+            .map(|ty| ty.processing_rate)
+            .unwrap_or(f64::NAN);
+        hash.write_u64(rank);
+        hash.write_f64(rate);
+        hash.write_u64(u64::from(task.repetitions));
+    }
+}
+
 impl PlanFingerprint {
     /// Fingerprints a problem/strategy pair.
     pub fn of(problem: &HTuningProblem, strategy: StrategyChoice) -> Self {
         let mut hash = Fnv1a::new();
-        // Task-set shape: per-task (canonical type, processing rate,
-        // repetitions), in order. The canonical type index is the type's
-        // first-occurrence rank among the tasks, which captures the type
-        // partition (it decides RA-vs-HA grouping) while staying independent
-        // of type names and of registered-but-unused types.
-        let task_set = problem.task_set();
-        hash.write_u64(task_set.len() as u64);
-        let mut canonical_types: BTreeMap<u32, u64> = BTreeMap::new();
-        for task in task_set.tasks() {
-            let next_rank = canonical_types.len() as u64;
-            let rank = *canonical_types.entry(task.task_type.0).or_insert(next_rank);
-            let rate = task_set
-                .type_by_id(task.task_type)
-                .map(|ty| ty.processing_rate)
-                .unwrap_or(f64::NAN);
-            hash.write_u64(rank);
-            hash.write_f64(rate);
-            hash.write_u64(u64::from(task.repetitions));
-        }
+        hash_task_shape(&mut hash, problem.task_set());
         // Budget.
         hash.write_u64(problem.budget().as_units());
         // Market belief: label + response curve, sampled at every payment up
@@ -115,7 +93,38 @@ impl PlanFingerprint {
         }
         // Strategy choice.
         hash.write_u64(strategy_tag(strategy));
-        PlanFingerprint(hash.0)
+        PlanFingerprint(hash.finish())
+    }
+}
+
+/// Budget-agnostic fingerprint of a tuning problem: the [`PlanFingerprint`]
+/// with the budget component factored out. Jobs sharing a family differ only
+/// in budget, which is exactly the dimension the budget-indexed marginal DP
+/// is monotone in — one family table answers every budget.
+///
+/// The rate curve is identified by
+/// [`RateModel::curve_fingerprint`], which pins the curve bit-exactly on the
+/// integer payment grid the shared latency tables cover (up to
+/// `MAX_TABLE_PAYMENT`). Payments beyond that grid can only be reached by
+/// budgets far above the paper's workloads; two distinct models agreeing on
+/// the whole grid would collide there, the same negligible accepted risk as
+/// the exact-match key's sampled curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FamilyFingerprint(pub u64);
+
+impl FamilyFingerprint {
+    /// Fingerprints everything but the budget: task shape, rate curve and
+    /// the strategy the job resolves to. Callers normalise `strategy` before
+    /// keying (e.g. `Auto` on a Scenario-II problem and a forced RA resolve
+    /// to the same algorithm and may share a family).
+    pub fn of(problem: &HTuningProblem, strategy: StrategyChoice) -> Self {
+        let mut hash = Fnv1a::new();
+        hash_task_shape(&mut hash, problem.task_set());
+        let model = problem.rate_model();
+        hash.write_bytes(model.describe().as_bytes());
+        hash.write_u64(model.curve_fingerprint());
+        hash.write_u64(strategy_tag(strategy));
+        FamilyFingerprint(hash.finish())
     }
 }
 
@@ -311,6 +320,36 @@ mod tests {
             PlanFingerprint::of(&make(straight), StrategyChoice::Auto),
             PlanFingerprint::of(&make(bent), StrategyChoice::Auto)
         );
+    }
+
+    /// The family key is the exact key with the budget factored out: budgets
+    /// collapse into one family while everything else still discriminates.
+    #[test]
+    fn family_fingerprint_factors_out_only_the_budget() {
+        let ra = StrategyChoice::RepetitionAlgorithm;
+        let base = FamilyFingerprint::of(&problem("v", 100, 1.0), ra);
+        assert_eq!(base, FamilyFingerprint::of(&problem("v", 5000, 1.0), ra));
+        assert_ne!(
+            PlanFingerprint::of(&problem("v", 100, 1.0), ra),
+            PlanFingerprint::of(&problem("v", 5000, 1.0), ra),
+            "exact keys must still split by budget"
+        );
+        // Rate curve, strategy and task shape still discriminate.
+        assert_ne!(base, FamilyFingerprint::of(&problem("v", 100, 2.0), ra));
+        assert_ne!(
+            base,
+            FamilyFingerprint::of(&problem("v", 100, 1.0), StrategyChoice::Auto)
+        );
+        let mut set = TaskSet::new();
+        let ty = set.add_type("v", 2.0).unwrap();
+        set.add_tasks(ty, 4, 3).unwrap();
+        let other = HTuningProblem::new(
+            set,
+            Budget::units(100),
+            Arc::new(LinearRate::new(1.0, 1.0).unwrap()),
+        )
+        .unwrap();
+        assert_ne!(base, FamilyFingerprint::of(&other, ra));
     }
 
     #[test]

@@ -12,8 +12,17 @@
 //!                        ▼                             ▼
 //!                   back-pressure              PlanCache (sharded LRU,
 //!                                              keyed by PlanFingerprint)
-//!                                                      │
-//!                             cache hit ◀──────────────┘
+//!                                                      │ miss
+//!                             cache hit ◀──────────────┤
+//!                                                      ▼
+//!                                              PlanFamilies (budget-agnostic
+//!                                              FamilyFingerprint → shared
+//!                                              DpTable; prefix read or
+//!                                              in-place extension)
+//!                                                      │ miss → cold solve
+//!                                                      ▼  (seeds family)
+//!                                              interned latency tables
+//!                                              (crowdtune-core, process-wide)
 //!
 //!  running job ──events──▶ Retuner ──(drift?)──▶ remaining_after + re-solve
 //!                                                      │
@@ -28,6 +37,12 @@
 //!   answered from the sharded LRU [`cache::PlanCache`] when an equivalent
 //!   job was already solved — repeated workloads skip the `O(n·B')` DP
 //!   entirely and cache hits are bit-identical to the cold solve.
+//! * [`family::PlanFamilies`] — cross-**budget** reuse: jobs that resolve to
+//!   the Repetition Algorithm and differ only in budget share one
+//!   budget-indexed DP table per family
+//!   ([`fingerprint::FamilyFingerprint`]), answered by a prefix read (budget
+//!   covered) or an in-place warm-start extension (budget above coverage),
+//!   bit-identical to cold solves by construction.
 //! * [`retuner::Retuner`] — subscribes to a running job's market events,
 //!   re-estimates the on-hold rate curve from observed acceptance delays
 //!   (`core::inference`), and on confirmed drift re-solves the H-Tuning
@@ -45,15 +60,18 @@
 #![deny(unsafe_code)]
 
 pub mod cache;
+pub mod family;
 pub mod fingerprint;
 pub mod queue;
 pub mod retuner;
 pub mod service;
 
 pub use cache::{CacheStats, PlanCache};
-pub use fingerprint::PlanFingerprint;
+pub use family::{FamilyServe, FamilyStats, PlanFamilies};
+pub use fingerprint::{FamilyFingerprint, PlanFingerprint};
 pub use queue::{AdmissionError, AdmissionPolicy, JobQueue};
 pub use retuner::{RetunePolicy, RetuneStats, Retuner};
 pub use service::{
-    JobHandle, JobRequest, MetricsSnapshot, ServeError, ServedPlan, ServiceConfig, TuningService,
+    JobHandle, JobRequest, MetricsSnapshot, PlanSource, ServeError, ServedPlan, ServiceConfig,
+    TuningService,
 };

@@ -1,5 +1,7 @@
 //! The tuning service: a pool of tuner workers draining the multi-tenant
-//! [`JobQueue`], with the sharded [`PlanCache`] in front of the solver.
+//! [`JobQueue`], with two reuse layers in front of the solver — the
+//! exact-match sharded [`PlanCache`] and the cross-budget
+//! [`PlanFamilies`](crate::family::PlanFamilies) store.
 //!
 //! Submissions return a [`JobHandle`] immediately; the plan is delivered
 //! through it when a worker finishes (or straight from the cache). The
@@ -7,11 +9,12 @@
 //! thin layer over [`TuningService::submit`] (see ROADMAP).
 
 use crate::cache::{CacheStats, PlanCache};
-use crate::fingerprint::PlanFingerprint;
+use crate::family::{FamilyServe, FamilyStats, PlanFamilies};
+use crate::fingerprint::{FamilyFingerprint, PlanFingerprint};
 use crate::queue::{AdmissionError, AdmissionPolicy, JobQueue};
 use crowdtune_core::error::CoreError;
 use crowdtune_core::money::Budget;
-use crowdtune_core::problem::HTuningProblem;
+use crowdtune_core::problem::{HTuningProblem, Scenario};
 use crowdtune_core::rate::RateModel;
 use crowdtune_core::task::TaskSet;
 use crowdtune_core::tuner::{StrategyChoice, TunedPlan, Tuner};
@@ -45,16 +48,38 @@ impl fmt::Debug for JobRequest {
     }
 }
 
+/// Which reuse layer (if any) answered a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanSource {
+    /// Exact-match hit in the [`PlanCache`]: same workload, same budget.
+    CacheHit,
+    /// Answered from a resident plan family: same workload, different
+    /// budget — a prefix read or in-place extension of the family's shared
+    /// DP table.
+    FamilyHit,
+    /// A full cold solve (which seeds the family for eligible jobs).
+    ColdSolve,
+}
+
 /// A completed tuning job.
 #[derive(Debug, Clone)]
 pub struct ServedPlan {
     /// Service-assigned job id.
     pub job_id: u64,
     /// The tuned plan. Cache hits share the same `Arc` as the original cold
-    /// solve, so repeated submissions observe bit-identical plans.
+    /// solve, and family hits are bit-identical to a cold solve at the job's
+    /// budget by construction.
     pub plan: Arc<TunedPlan>,
-    /// Whether the plan came from the cache.
-    pub cache_hit: bool,
+    /// Which reuse layer answered the job.
+    pub source: PlanSource,
+}
+
+impl ServedPlan {
+    /// Whether the plan was reused (exact-match or family) rather than
+    /// solved cold.
+    pub fn reused(&self) -> bool {
+        self.source != PlanSource::ColdSolve
+    }
 }
 
 /// Errors a submission can surface.
@@ -112,6 +137,9 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Plans retained per shard.
     pub cache_capacity_per_shard: usize,
+    /// Number of plan-family shards (families are never evicted; see
+    /// ROADMAP for the eviction-policy open item).
+    pub family_shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -123,6 +151,7 @@ impl Default for ServiceConfig {
             admission: AdmissionPolicy::default(),
             cache_shards: 8,
             cache_capacity_per_shard: 512,
+            family_shards: 8,
         }
     }
 }
@@ -132,7 +161,9 @@ impl Default for ServiceConfig {
 pub struct ServiceMetrics {
     submitted: AtomicU64,
     rejected: AtomicU64,
-    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    family_hits: AtomicU64,
+    cold_solves: AtomicU64,
     solve_errors: AtomicU64,
 }
 
@@ -143,10 +174,22 @@ pub struct MetricsSnapshot {
     pub submitted: u64,
     /// Jobs refused by admission control.
     pub rejected: u64,
-    /// Jobs answered (from cache or solver).
-    pub completed: u64,
+    /// Jobs answered by an exact-match plan-cache hit.
+    pub cache_hits: u64,
+    /// Jobs answered from a resident plan family (cross-budget reuse).
+    pub family_hits: u64,
+    /// Jobs answered by a full cold solve.
+    pub cold_solves: u64,
     /// Jobs whose solve failed.
     pub solve_errors: u64,
+}
+
+impl MetricsSnapshot {
+    /// Jobs answered, however they were served:
+    /// `cache_hits + family_hits + cold_solves`.
+    pub fn completed(&self) -> u64 {
+        self.cache_hits + self.family_hits + self.cold_solves
+    }
 }
 
 struct QueuedJob {
@@ -159,6 +202,7 @@ struct QueuedJob {
 pub struct TuningService {
     queue: Arc<JobQueue<QueuedJob>>,
     cache: Arc<PlanCache>,
+    families: Arc<PlanFamilies>,
     metrics: Arc<ServiceMetrics>,
     workers: Vec<JoinHandle<()>>,
     next_job_id: AtomicU64,
@@ -172,21 +216,24 @@ impl TuningService {
             config.cache_shards,
             config.cache_capacity_per_shard,
         ));
+        let families = Arc::new(PlanFamilies::new(config.family_shards));
         let metrics = Arc::new(ServiceMetrics::default());
         let workers = (0..config.workers.max(1))
             .map(|index| {
                 let queue = queue.clone();
                 let cache = cache.clone();
+                let families = families.clone();
                 let metrics = metrics.clone();
                 std::thread::Builder::new()
                     .name(format!("tuner-worker-{index}"))
-                    .spawn(move || worker_loop(&queue, &cache, &metrics))
+                    .spawn(move || worker_loop(&queue, &cache, &families, &metrics))
                     .expect("spawn tuner worker")
             })
             .collect();
         TuningService {
             queue,
             cache,
+            families,
             metrics,
             workers,
             next_job_id: AtomicU64::new(0),
@@ -229,12 +276,19 @@ impl TuningService {
         self.cache.stats()
     }
 
+    /// Plan-family counters.
+    pub fn family_stats(&self) -> FamilyStats {
+        self.families.stats()
+    }
+
     /// Service counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             submitted: self.metrics.submitted.load(Ordering::Relaxed),
             rejected: self.metrics.rejected.load(Ordering::Relaxed),
-            completed: self.metrics.completed.load(Ordering::Relaxed),
+            cache_hits: self.metrics.cache_hits.load(Ordering::Relaxed),
+            family_hits: self.metrics.family_hits.load(Ordering::Relaxed),
+            cold_solves: self.metrics.cold_solves.load(Ordering::Relaxed),
             solve_errors: self.metrics.solve_errors.load(Ordering::Relaxed),
         }
     }
@@ -262,31 +316,50 @@ impl Drop for TuningService {
     }
 }
 
-fn worker_loop(queue: &JobQueue<QueuedJob>, cache: &PlanCache, metrics: &ServiceMetrics) {
+fn worker_loop(
+    queue: &JobQueue<QueuedJob>,
+    cache: &PlanCache,
+    families: &PlanFamilies,
+    metrics: &ServiceMetrics,
+) {
     while let Some(job) = queue.pop() {
         let QueuedJob {
             id,
             request,
             respond,
         } = job;
-        let outcome = serve_one(cache, &request);
+        let outcome = serve_one(cache, families, &request);
         match &outcome {
-            Ok(_) => metrics.completed.fetch_add(1, Ordering::Relaxed),
+            Ok((_, PlanSource::CacheHit)) => metrics.cache_hits.fetch_add(1, Ordering::Relaxed),
+            Ok((_, PlanSource::FamilyHit)) => metrics.family_hits.fetch_add(1, Ordering::Relaxed),
+            Ok((_, PlanSource::ColdSolve)) => metrics.cold_solves.fetch_add(1, Ordering::Relaxed),
             Err(_) => metrics.solve_errors.fetch_add(1, Ordering::Relaxed),
         };
         // The submitter may have dropped the handle; that is not an error.
-        let _ = respond.send(outcome.map(|(plan, cache_hit)| ServedPlan {
+        let _ = respond.send(outcome.map(|(plan, source)| ServedPlan {
             job_id: id,
             plan,
-            cache_hit,
+            source,
         }));
+    }
+}
+
+/// Whether the job resolves to the Repetition Algorithm, the one strategy
+/// whose DP is budget-agnostic and therefore family-reusable (see the
+/// `family` module docs for why EA and HA are excluded).
+fn resolves_to_ra(problem: &HTuningProblem, strategy: StrategyChoice) -> bool {
+    match strategy {
+        StrategyChoice::RepetitionAlgorithm => true,
+        StrategyChoice::Auto => problem.scenario() == Scenario::Repetition,
+        StrategyChoice::EvenAllocation | StrategyChoice::HeterogeneousAlgorithm => false,
     }
 }
 
 fn serve_one(
     cache: &PlanCache,
+    families: &PlanFamilies,
     request: &JobRequest,
-) -> Result<(Arc<TunedPlan>, bool), ServeError> {
+) -> Result<(Arc<TunedPlan>, PlanSource), ServeError> {
     let problem = HTuningProblem::new(
         request.task_set.clone(),
         request.budget,
@@ -295,14 +368,30 @@ fn serve_one(
     .map_err(ServeError::Tuning)?;
     let fingerprint = PlanFingerprint::of(&problem, request.strategy);
     if let Some(plan) = cache.get(fingerprint) {
-        return Ok((plan, true));
+        return Ok((plan, PlanSource::CacheHit));
+    }
+    // RA-resolved jobs route through the family layer: a resident family
+    // answers any budget from its shared table; a miss seeds the family with
+    // this job's cold solve. Either way the plan lands in the exact-match
+    // cache, so the PR 1 fast path above is unchanged.
+    if resolves_to_ra(&problem, request.strategy) {
+        let family = FamilyFingerprint::of(&problem, StrategyChoice::RepetitionAlgorithm);
+        let (plan, how) = families
+            .serve(family, &problem)
+            .map_err(ServeError::Tuning)?;
+        let plan = cache.insert(fingerprint, Arc::new(plan));
+        let source = match how {
+            FamilyServe::Hit => PlanSource::FamilyHit,
+            FamilyServe::Seeded => PlanSource::ColdSolve,
+        };
+        return Ok((plan, source));
     }
     let tuner = Tuner::new(request.rate_model.clone()).with_strategy(request.strategy);
     let plan = tuner
         .plan(request.task_set.clone(), request.budget)
         .map_err(ServeError::Tuning)?;
     let plan = cache.insert(fingerprint, Arc::new(plan));
-    Ok((plan, false))
+    Ok((plan, PlanSource::ColdSolve))
 }
 
 #[cfg(test)]
@@ -330,23 +419,116 @@ mod tests {
             ..ServiceConfig::default()
         });
         let first = service.tune(request("acme", 5, 60)).unwrap();
-        assert!(!first.cache_hit);
+        assert_eq!(first.source, PlanSource::ColdSolve);
+        assert!(!first.reused());
         let second = service.tune(request("acme", 5, 60)).unwrap();
-        assert!(second.cache_hit, "identical job must hit the plan cache");
+        assert_eq!(
+            second.source,
+            PlanSource::CacheHit,
+            "identical job must hit the plan cache"
+        );
         assert!(
             Arc::ptr_eq(&first.plan, &second.plan),
             "cache hit returns the very same plan object"
         );
         // A different tenant with the same workload also hits.
         let third = service.tune(request("globex", 5, 60)).unwrap();
-        assert!(third.cache_hit);
+        assert_eq!(third.source, PlanSource::CacheHit);
+        assert!(third.reused());
 
         let stats = service.cache_stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 1);
         let metrics = service.metrics();
         assert_eq!(metrics.submitted, 3);
-        assert_eq!(metrics.completed, 3);
+        assert_eq!(metrics.completed(), 3);
+        service.shutdown();
+    }
+
+    /// The reuse layers are separately observable: an RA workload served at
+    /// three budgets splits into one cold solve, one family hit (new budget,
+    /// resident family) and one exact cache hit (repeated budget) — and
+    /// `completed()` is exactly their sum.
+    #[test]
+    fn metrics_split_cold_family_and_cache_answers() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        // Scenario II shape (two repetition classes) so Auto resolves to RA.
+        let ra_request = |budget: u64| {
+            let mut set = TaskSet::new();
+            let ty = set.add_type("vote", 2.0).unwrap();
+            set.add_tasks(ty, 3, 4).unwrap();
+            set.add_tasks(ty, 5, 4).unwrap();
+            JobRequest {
+                tenant: "acme".to_owned(),
+                task_set: set,
+                budget: Budget::units(budget),
+                rate_model: Arc::new(LinearRate::new(0.75, 1.0).unwrap()),
+                strategy: StrategyChoice::Auto,
+            }
+        };
+        let cold = service.tune(ra_request(120)).unwrap();
+        assert_eq!(cold.source, PlanSource::ColdSolve);
+        let family = service.tune(ra_request(90)).unwrap();
+        assert_eq!(family.source, PlanSource::FamilyHit);
+        let extended = service.tune(ra_request(240)).unwrap();
+        assert_eq!(extended.source, PlanSource::FamilyHit);
+        let repeat = service.tune(ra_request(120)).unwrap();
+        assert_eq!(repeat.source, PlanSource::CacheHit);
+
+        let metrics = service.metrics();
+        assert_eq!(metrics.cold_solves, 1);
+        assert_eq!(metrics.family_hits, 2);
+        assert_eq!(metrics.cache_hits, 1);
+        assert_eq!(metrics.solve_errors, 0);
+        assert_eq!(metrics.completed(), 4);
+
+        let families = service.family_stats();
+        assert_eq!(families.families, 1);
+        assert_eq!(families.builds, 1);
+        assert_eq!(families.hits, 2);
+        assert_eq!(families.extensions, 1, "only budget 240 grows the table");
+        service.shutdown();
+    }
+
+    /// Family answers must be bit-identical to cold solves of the same
+    /// problem, and repeats of a family-served budget must hit the exact
+    /// cache (the family layer feeds the PR 1 fast path, not replaces it).
+    #[test]
+    fn family_hits_match_cold_solves_and_feed_the_exact_cache() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let ra_request = |budget: u64| {
+            let mut set = TaskSet::new();
+            let ty = set.add_type("vote", 2.0).unwrap();
+            set.add_tasks(ty, 2, 3).unwrap();
+            set.add_tasks(ty, 4, 3).unwrap();
+            JobRequest {
+                tenant: "acme".to_owned(),
+                task_set: set,
+                budget: Budget::units(budget),
+                rate_model: Arc::new(LinearRate::new(1.5, 0.5).unwrap()),
+                strategy: StrategyChoice::Auto,
+            }
+        };
+        service.tune(ra_request(100)).unwrap();
+        let served = service.tune(ra_request(64)).unwrap();
+        assert_eq!(served.source, PlanSource::FamilyHit);
+        let reference = Tuner::new(Arc::new(LinearRate::new(1.5, 0.5).unwrap()))
+            .plan(ra_request(64).task_set, Budget::units(64))
+            .unwrap();
+        assert_eq!(served.plan.result.allocation, reference.result.allocation);
+        assert_eq!(
+            served.plan.expected_latency.to_bits(),
+            reference.expected_latency.to_bits()
+        );
+        let repeat = service.tune(ra_request(64)).unwrap();
+        assert_eq!(repeat.source, PlanSource::CacheHit);
+        assert!(Arc::ptr_eq(&served.plan, &repeat.plan));
         service.shutdown();
     }
 
@@ -413,7 +595,7 @@ mod tests {
                     let served = service
                         .tune(request(&format!("tenant-{tenant}"), 4 + round % 3, 80))
                         .unwrap();
-                    if served.cache_hit {
+                    if served.source == PlanSource::CacheHit {
                         hits += 1;
                     }
                 }
@@ -427,6 +609,6 @@ mod tests {
             total_hits >= 70,
             "expected heavy cache reuse, got {total_hits}"
         );
-        assert_eq!(service.metrics().completed, 80);
+        assert_eq!(service.metrics().completed(), 80);
     }
 }

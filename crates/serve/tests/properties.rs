@@ -2,6 +2,9 @@
 //! (seeded, so every failure reproduces):
 //!
 //! * a plan-cache hit returns a plan **bit-identical** to the cold solve;
+//! * a plan served from a **family** (same workload, different budget) is
+//!   bit-identical to a cold solve at that budget — across random problems,
+//!   budget ladders in any order, and concurrent extension order;
 //! * re-tuning against observations consistent with the current belief (no
 //!   drift) never changes the allocation.
 
@@ -9,11 +12,13 @@ use crowdtune_core::money::{Allocation, Budget, Payment};
 use crowdtune_core::problem::HTuningProblem;
 use crowdtune_core::rate::LinearRate;
 use crowdtune_core::task::TaskSet;
-use crowdtune_core::tuner::StrategyChoice;
+use crowdtune_core::tuner::{StrategyChoice, TunedPlan, Tuner};
 use crowdtune_market::control::{ControlAction, MarketController, MarketView};
 use crowdtune_market::events::{Event, RepetitionId};
 use crowdtune_market::time::SimTime;
-use crowdtune_serve::{JobRequest, RetunePolicy, Retuner, ServiceConfig, TuningService};
+use crowdtune_serve::{
+    JobRequest, PlanSource, RetunePolicy, Retuner, ServiceConfig, TuningService,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -55,9 +60,17 @@ fn cache_hits_are_bit_identical_to_cold_solves() {
         let mut rng = StdRng::seed_from_u64(seed);
         let request = arbitrary_request(&mut rng, "prop");
         let cold = service.tune(request.clone()).unwrap();
-        assert!(!cold.cache_hit, "seed {seed}: first solve must be cold");
+        assert_eq!(
+            cold.source,
+            PlanSource::ColdSolve,
+            "seed {seed}: first solve must be cold"
+        );
         let warm = service.tune(request).unwrap();
-        assert!(warm.cache_hit, "seed {seed}: repeat must hit the cache");
+        assert_eq!(
+            warm.source,
+            PlanSource::CacheHit,
+            "seed {seed}: repeat must hit the cache"
+        );
 
         assert_eq!(
             cold.plan.result.allocation, warm.plan.result.allocation,
@@ -85,6 +98,164 @@ fn cache_hits_are_bit_identical_to_cold_solves() {
     assert_eq!(stats.hits, CASES);
     assert_eq!(stats.misses, CASES);
     service.shutdown();
+}
+
+/// A random Scenario-II (RA-resolved) workload: one type, at least two
+/// distinct repetition classes.
+fn arbitrary_ra_workload(rng: &mut StdRng) -> (TaskSet, Arc<LinearRate>) {
+    let mut set = TaskSet::new();
+    let ty = set.add_type("vote", rng.gen_range(0.5f64..4.0)).unwrap();
+    let classes = rng.gen_range(2usize..5);
+    let mut reps = 0u32;
+    for _ in 0..classes {
+        reps += rng.gen_range(1u32..4);
+        set.add_tasks(ty, reps, rng.gen_range(1usize..5)).unwrap();
+    }
+    let model =
+        Arc::new(LinearRate::new(rng.gen_range(0.2f64..3.0), rng.gen_range(0.05f64..2.0)).unwrap());
+    (set, model)
+}
+
+/// The independent reference: a fresh tuner solving the problem outright.
+fn cold_reference(set: &TaskSet, model: &Arc<LinearRate>, budget: u64) -> TunedPlan {
+    Tuner::new(model.clone())
+        .plan(set.clone(), Budget::units(budget))
+        .unwrap()
+}
+
+fn assert_plans_bit_identical(served: &TunedPlan, cold: &TunedPlan, context: &str) {
+    assert_eq!(
+        served.result.allocation, cold.result.allocation,
+        "{context}"
+    );
+    assert_eq!(served.result.strategy, cold.result.strategy, "{context}");
+    let bits = |x: f64| x.to_bits();
+    assert_eq!(
+        served.result.objective.map(bits),
+        cold.result.objective.map(bits),
+        "{context}"
+    );
+    assert_eq!(
+        bits(served.expected_latency),
+        bits(cold.expected_latency),
+        "{context}"
+    );
+    assert_eq!(
+        bits(served.expected_on_hold_latency),
+        bits(cold.expected_on_hold_latency),
+        "{context}"
+    );
+}
+
+/// Family-served plans are bit-identical to cold solves across random
+/// problems and shuffled budget ladders: whatever order the budgets arrive
+/// in (prefix reads and in-place extensions interleaved), every answer
+/// matches a from-scratch solve at that budget.
+#[test]
+fn family_served_budget_ladders_are_bit_identical_to_cold_solves() {
+    let service = TuningService::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let (set, model) = arbitrary_ra_workload(&mut rng);
+        let slots = set.total_repetitions();
+        // A ladder of strictly distinct budgets, then shuffled so prefix
+        // reads and extensions interleave.
+        let mut ladder: Vec<u64> = Vec::new();
+        let mut budget = slots + rng.gen_range(0u64..slots);
+        for _ in 0..rng.gen_range(3usize..7) {
+            ladder.push(budget);
+            budget += (rng.gen_range(1u64..8) * slots.max(2) / 2).max(1);
+        }
+        for _ in 0..ladder.len() {
+            let i = rng.gen_range(0usize..ladder.len());
+            let j = rng.gen_range(0usize..ladder.len());
+            ladder.swap(i, j);
+        }
+        for (step, &budget) in ladder.iter().enumerate() {
+            let served = service
+                .tune(JobRequest {
+                    tenant: format!("tenant-{step}"),
+                    task_set: set.clone(),
+                    budget: Budget::units(budget),
+                    rate_model: model.clone(),
+                    strategy: StrategyChoice::Auto,
+                })
+                .unwrap();
+            if step == 0 {
+                assert_eq!(served.source, PlanSource::ColdSolve, "seed {seed}");
+            } else {
+                assert_eq!(
+                    served.source,
+                    PlanSource::FamilyHit,
+                    "seed {seed} step {step}: same workload at a new budget \
+                     must be family-served"
+                );
+            }
+            let cold = cold_reference(&set, &model, budget);
+            assert_plans_bit_identical(
+                &served.plan,
+                &cold,
+                &format!("seed {seed} budget {budget}"),
+            );
+        }
+    }
+    let stats = service.family_stats();
+    assert_eq!(stats.builds, CASES, "one family per seed");
+    service.shutdown();
+}
+
+/// Concurrent tenants hammering one family with different budgets: the
+/// extension order is whatever the thread scheduler produces, yet every
+/// served plan still matches the cold solve bit-for-bit.
+#[test]
+fn concurrent_family_extensions_are_bit_identical_to_cold_solves() {
+    for seed in 0..8u64 {
+        let service = Arc::new(TuningService::start(ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        }));
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        let (set, model) = arbitrary_ra_workload(&mut rng);
+        let slots = set.total_repetitions();
+        let budgets: Vec<u64> = (0..8u64).map(|i| slots + i * slots + (i % 3)).collect();
+
+        let served: Vec<TunedPlan> = std::thread::scope(|scope| {
+            let handles: Vec<_> = budgets
+                .iter()
+                .map(|&budget| {
+                    let service = service.clone();
+                    let set = set.clone();
+                    let model = model.clone();
+                    scope.spawn(move || {
+                        let served = service
+                            .tune(JobRequest {
+                                tenant: format!("tenant-{budget}"),
+                                task_set: set,
+                                budget: Budget::units(budget),
+                                rate_model: model,
+                                strategy: StrategyChoice::Auto,
+                            })
+                            .unwrap();
+                        (*served.plan).clone()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (plan, &budget) in served.iter().zip(&budgets) {
+            let cold = cold_reference(&set, &model, budget);
+            assert_plans_bit_identical(plan, &cold, &format!("seed {seed} budget {budget}"));
+        }
+        let metrics = service.metrics();
+        assert_eq!(
+            metrics.completed(),
+            budgets.len() as u64,
+            "seed {seed}: every job answered"
+        );
+    }
 }
 
 /// Drives a retuner through a synthetic event stream whose acceptance delays

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""DP-scan bench regression guard.
+
+Compares a freshly measured BENCH_dp.json (quick mode, emitted by the CI
+bench-smoke step) against the committed baseline and fails on a >25%
+regression.
+
+Raw nanoseconds are not comparable across runner generations, so the guard
+compares the *speedup of the separable path over the in-run reference DP*
+(`speedup_vs_reference`): both sides of that ratio are measured in the same
+process on the same machine, which normalises CPU speed away. A real
+slowdown of the separable scan (the hot path this repo keeps optimising)
+shows up as a drop in that ratio.
+
+Tolerance: the fresh ratio may be at most 25% below the baseline ratio
+(`fresh >= baseline / 1.25`) per budget present in both files. Quick mode
+uses few samples, so small wobbles are expected; 25% is far outside the
+observed noise (<10%) while still catching an accidental O(n)-per-candidate
+regression (which costs 2x+).
+
+Usage: check_dp_regression.py <baseline.json> <fresh.json>
+"""
+
+import json
+import sys
+
+TOLERANCE = 1.25
+
+
+def load(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    return {row["budget"]: row for row in data["results"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <baseline.json> <fresh.json>")
+    baseline = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        sys.exit("no common budgets between baseline and fresh results")
+
+    failures = []
+    for budget in shared:
+        base_ratio = baseline[budget]["speedup_vs_reference"]
+        fresh_ratio = fresh[budget]["speedup_vs_reference"]
+        floor = base_ratio / TOLERANCE
+        verdict = "ok" if fresh_ratio >= floor else "REGRESSION"
+        print(
+            f"budget {budget}: baseline separable-vs-reference {base_ratio:.2f}x, "
+            f"fresh {fresh_ratio:.2f}x (floor {floor:.2f}x) -> {verdict}"
+        )
+        if fresh_ratio < floor:
+            failures.append(budget)
+
+    if failures:
+        sys.exit(
+            f"separable DP scan regressed beyond {TOLERANCE:.2f}x tolerance "
+            f"at budgets {failures}"
+        )
+    print(f"dp_scan regression guard passed for budgets {shared}")
+
+
+if __name__ == "__main__":
+    main()
