@@ -18,8 +18,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// under the `parallel` feature, pre-computed) for. Payments beyond the cap
 /// still work — the cache falls back to lazy evaluation — the cap only bounds
 /// up-front memory and precompute fan-out. Shared by RA, HA and
-/// [`GroupLatencyCache::precompute`] so the sizing hint and the parallel fill
-/// can never drift apart.
+/// `GroupLatencyCache::precompute` (a `parallel`-feature item) so the sizing
+/// hint and the parallel fill can never drift apart.
 pub const MAX_TABLE_PAYMENT: u64 = 4096;
 
 /// Distributes `total` indivisible units over `slots` slots as evenly as
@@ -147,6 +147,23 @@ struct TableKey {
     repetitions: u32,
 }
 
+/// An interned table plus the generation stamp of its most recent lookup.
+#[derive(Debug)]
+struct InternedTable {
+    table: Arc<SharedLatencyTable>,
+    /// Value of the store's generation counter at the last `intern` of this
+    /// key — the recency signal the eviction policy ages entries by.
+    last_used: u64,
+}
+
+/// The interner's lock-guarded state: the table map plus a monotone
+/// generation counter bumped on every lookup.
+#[derive(Debug, Default)]
+struct StoreInner {
+    tables: HashMap<TableKey, InternedTable>,
+    generation: u64,
+}
+
 /// Process-wide interner of [`SharedLatencyTable`]s.
 ///
 /// The expected-latency integrations behind `E_i(p)` dominate cold solves;
@@ -155,9 +172,17 @@ struct TableKey {
 /// to redo identical quadratures. The store hands every
 /// [`GroupLatencyCache`] an `Arc` to the one table for its key, letting the
 /// whole fleet fill each entry at most once.
+///
+/// Eviction at capacity is generation-stamped: every `intern` refreshes the
+/// entry's stamp, and when room is needed the *stalest* currently
+/// unreferenced table goes first. (A plain "drop everything unreferenced"
+/// sweep would evict the hottest tables in the fleet — caches are transient
+/// per solve, so between solves even a table hit thousands of times per
+/// second holds no outside reference.) If every table is referenced, the new
+/// key is served un-interned: correct, merely unshared.
 #[derive(Debug, Default)]
 pub struct LatencyTableStore {
-    tables: Mutex<HashMap<TableKey, Arc<SharedLatencyTable>>>,
+    inner: Mutex<StoreInner>,
 }
 
 impl LatencyTableStore {
@@ -169,7 +194,11 @@ impl LatencyTableStore {
 
     /// Number of tables currently interned.
     pub fn len(&self) -> usize {
-        self.tables.lock().expect("latency store poisoned").len()
+        self.inner
+            .lock()
+            .expect("latency store poisoned")
+            .tables
+            .len()
     }
 
     /// Whether the store holds no tables.
@@ -177,21 +206,48 @@ impl LatencyTableStore {
         self.len() == 0
     }
 
-    /// Returns the shared table for `key`, creating it on first use. At
-    /// capacity, unreferenced tables are evicted first; if every table is
-    /// still in use the returned table is fresh and un-interned (correct,
-    /// merely unshared).
+    /// Returns the shared table for `key`, creating it on first use. See the
+    /// type docs for the eviction policy.
     fn intern(&self, key: TableKey) -> Arc<SharedLatencyTable> {
-        let mut tables = self.tables.lock().expect("latency store poisoned");
-        if let Some(table) = tables.get(&key) {
-            return table.clone();
+        self.intern_with_cap(key, MAX_INTERNED_TABLES)
+    }
+
+    /// [`LatencyTableStore::intern`] with an explicit capacity, so tests can
+    /// exercise the eviction policy on a small private store.
+    fn intern_with_cap(&self, key: TableKey, cap: usize) -> Arc<SharedLatencyTable> {
+        let mut inner = self.inner.lock().expect("latency store poisoned");
+        inner.generation += 1;
+        let generation = inner.generation;
+        if let Some(entry) = inner.tables.get_mut(&key) {
+            entry.last_used = generation;
+            return entry.table.clone();
         }
-        if tables.len() >= MAX_INTERNED_TABLES {
-            tables.retain(|_, table| Arc::strong_count(table) > 1);
+        while inner.tables.len() >= cap {
+            // Oldest-stamp-first among unreferenced entries: hot tables that
+            // merely happen to be unreferenced right now carry fresh stamps
+            // and survive ahead of stale ones.
+            let victim = inner
+                .tables
+                .iter()
+                .filter(|(_, entry)| Arc::strong_count(&entry.table) == 1)
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| *key);
+            match victim {
+                Some(stalest) => {
+                    inner.tables.remove(&stalest);
+                }
+                None => break, // everything is in use; serve un-interned
+            }
         }
         let table = Arc::new(SharedLatencyTable::new());
-        if tables.len() < MAX_INTERNED_TABLES {
-            tables.insert(key, table.clone());
+        if inner.tables.len() < cap {
+            inner.tables.insert(
+                key,
+                InternedTable {
+                    table: table.clone(),
+                    last_used: generation,
+                },
+            );
         }
         table
     }
@@ -506,6 +562,54 @@ mod tests {
         let other_model = LinearRate::new(1.25, 0.75).unwrap();
         let third = GroupLatencyCache::new(&other_model, &groups);
         assert!(!Arc::ptr_eq(&first.tables[0], &third.tables[0]));
+    }
+
+    /// Regression test for the aging-free eviction: the store used to drop
+    /// *every* unreferenced table when full, so a table hit on every solve
+    /// (but unreferenced between solves, as tables always are) was evicted
+    /// ahead of ones untouched for ages. With generation stamps the stalest
+    /// unreferenced entry goes first and recently-used tables survive.
+    #[test]
+    fn eviction_ages_out_stale_tables_before_hot_ones() {
+        let store = LatencyTableStore::default();
+        let key = |i: u64| TableKey {
+            curve: i,
+            group_size: 2,
+            repetitions: 3,
+        };
+        let cap = 4;
+        let weaks: Vec<_> = (0..4u64)
+            .map(|i| Arc::downgrade(&store.intern_with_cap(key(i), cap)))
+            .collect();
+        // All four tables are now unreferenced (the caches dropped their
+        // arcs); key 0 is the oldest, keys 1..3 progressively fresher.
+        assert_eq!(store.len(), 4);
+        // Touch key 0: it is now the most recently used despite being the
+        // first interned.
+        drop(store.intern_with_cap(key(0), cap));
+        // A fifth key must displace key 1 (stalest stamp), not key 0.
+        drop(store.intern_with_cap(key(4), cap));
+        assert_eq!(store.len(), 4);
+        assert!(
+            weaks[0].upgrade().is_some(),
+            "recently touched table must survive eviction"
+        );
+        assert!(
+            weaks[1].upgrade().is_none(),
+            "the stalest unreferenced table must be the victim"
+        );
+        assert!(weaks[2].upgrade().is_some());
+        assert!(weaks[3].upgrade().is_some());
+        // Referenced tables are never victims: with every entry held, a new
+        // key is served un-interned.
+        let held: Vec<_> = (0..4u64)
+            .map(|i| store.intern_with_cap(key(10 + i), cap))
+            .collect();
+        assert_eq!(store.len(), 4, "held tables evicted the unreferenced ones");
+        let overflow = store.intern_with_cap(key(99), cap);
+        assert_eq!(store.len(), 4, "no room: overflow key stays un-interned");
+        assert!(overflow.filled() == 0);
+        drop(held);
     }
 
     /// Groups with identical shapes intern to the same table even within one

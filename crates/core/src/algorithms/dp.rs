@@ -30,10 +30,11 @@
 //! reconstructed on demand by walking the decision chain.
 
 use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
 
 /// Result of the marginal DP: the per-group per-repetition payments (in
 /// units, each at least 1) and the value of the objective at that plan.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DpOutcome {
     /// Per-group per-repetition payments.
     pub payments: Vec<u64>,
@@ -58,7 +59,7 @@ pub struct DpOutcome {
 ///   [`marginal_budget_dp_separable`], which is `O(1)` per candidate.
 ///
 /// With the `parallel` feature, levels whose candidate fan-out is at least
-/// [`PARALLEL_SCAN_MIN_CANDIDATES`] evaluate their candidates on all
+/// `PARALLEL_SCAN_MIN_CANDIDATES` evaluate their candidates on all
 /// available cores (scoped threads, chunked by group); on a single core, or
 /// below the threshold, the scan stays sequential. Either way the reduction
 /// over candidates runs in group order, so plans are bit-identical to the
@@ -284,7 +285,7 @@ impl DpTable {
     /// With the `parallel` feature, candidate evaluations fan out over a
     /// pool of worker threads spawned **once per extension** (fed per level
     /// over channels — no per-level thread spawns) when the group count
-    /// reaches [`PARALLEL_SCAN_MIN_CANDIDATES`] and more than one core is
+    /// reaches `PARALLEL_SCAN_MIN_CANDIDATES` and more than one core is
     /// available; the winning candidate is still selected by a sequential
     /// in-group-order reduction, so the chosen plans are bit-identical to
     /// the sequential scan.
@@ -661,6 +662,99 @@ impl DpTable {
         });
     }
 
+    /// Serializes the table into its compact durable image: the unit costs
+    /// plus one `(decision, objective bits, spent)` record per level. The
+    /// payment ring is deliberately excluded — it is a cache of the decision
+    /// chain and [`DpTable::from_snapshot`] rebuilds it.
+    pub fn snapshot(&self) -> DpTableSnapshot {
+        DpTableSnapshot {
+            unit_costs: self.unit_costs.clone(),
+            levels: self
+                .levels
+                .iter()
+                .map(|level| (level.decision, level.objective.to_bits(), level.spent))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a table from its durable image, re-validating every level:
+    /// unit costs must be positive, decisions must reference affordable
+    /// groups, the spent chain must be internally consistent and objectives
+    /// must be finite. A snapshot that fails any check is rejected whole —
+    /// a corrupt record degrades to a cold solve, never to a wrong plan.
+    ///
+    /// Round trip is exact: `DpTable::from_snapshot(&table.snapshot())`
+    /// answers every [`DpTable::outcome_at`] query bit-identically to the
+    /// original table, and warm-start extensions behave as if the table had
+    /// never left memory.
+    pub fn from_snapshot(snapshot: &DpTableSnapshot) -> Result<Self> {
+        let n = snapshot.unit_costs.len();
+        if n == 0 {
+            return Err(CoreError::EmptyTaskSet);
+        }
+        if snapshot.unit_costs.contains(&0) {
+            return Err(CoreError::invalid_argument(
+                "snapshot unit costs must be positive".to_owned(),
+            ));
+        }
+        if snapshot.levels.is_empty() {
+            return Err(CoreError::invalid_argument(
+                "snapshot holds no DP levels".to_owned(),
+            ));
+        }
+        let mut levels = Vec::with_capacity(snapshot.levels.len());
+        for (x, &(decision, objective_bits, spent)) in snapshot.levels.iter().enumerate() {
+            let objective = f64::from_bits(objective_bits);
+            if !objective.is_finite() {
+                return Err(CoreError::invalid_argument(format!(
+                    "snapshot level {x} has a non-finite objective"
+                )));
+            }
+            let expected_spent = if x == 0 {
+                if decision != CARRY {
+                    return Err(CoreError::invalid_argument(
+                        "snapshot level 0 must be the base state".to_owned(),
+                    ));
+                }
+                0
+            } else if decision == CARRY {
+                snapshot.levels[x - 1].2
+            } else {
+                let group = decision as usize;
+                if group >= n {
+                    return Err(CoreError::invalid_argument(format!(
+                        "snapshot level {x} increments unknown group {group}"
+                    )));
+                }
+                let u = snapshot.unit_costs[group];
+                if u > x as u64 {
+                    return Err(CoreError::invalid_argument(format!(
+                        "snapshot level {x} increments group {group} costing {u} units"
+                    )));
+                }
+                snapshot.levels[x - u as usize].2 + u
+            };
+            if spent != expected_spent {
+                return Err(CoreError::invalid_argument(format!(
+                    "snapshot level {x} records spend {spent}, chain implies {expected_spent}"
+                )));
+            }
+            levels.push(Level {
+                decision,
+                objective,
+                spent,
+            });
+        }
+        let mut table = DpTable {
+            unit_costs: snapshot.unit_costs.clone(),
+            levels,
+            ring: vec![1; n], // level-0 base payments in a single-row ring
+            ring_rows: 1,
+        };
+        table.ensure_ring(table.max_budget());
+        Ok(table)
+    }
+
     /// The largest discretionary budget the table covers.
     pub fn max_budget(&self) -> u64 {
         self.levels.len() as u64 - 1
@@ -688,6 +782,38 @@ impl DpTable {
             objective: state.objective,
             extra_spent: state.spent,
         })
+    }
+}
+
+/// The compact durable image of a [`DpTable`] — what the serving layer's
+/// write-behind store persists per plan family (ROADMAP "Persistence hook
+/// for family tables").
+///
+/// A level is `(decision, objective bits, spent)`: the objective is stored
+/// as its IEEE-754 bit pattern so the load path can assert **bit** equality
+/// with freshly computed values (shortest-round-trip decimal would also be
+/// exact for finite values, but bits make the contract unmissable). The
+/// payment ring is not stored; [`DpTable::from_snapshot`] re-derives it from
+/// the decision chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DpTableSnapshot {
+    /// The group unit-increment costs the table was built for.
+    pub unit_costs: Vec<u64>,
+    /// Per budget level `0..=B'`: `(decision, objective bits, spent)`.
+    pub levels: Vec<(u32, u64, u64)>,
+}
+
+impl DpTableSnapshot {
+    /// The largest discretionary budget the snapshot covers.
+    pub fn max_budget(&self) -> u64 {
+        self.levels.len().saturating_sub(1) as u64
+    }
+
+    /// The base-state (level 0) objective bits, compared against a fresh
+    /// evaluation on load — the persisted form of the debug base-state check
+    /// of [`DpTable::extend_to`].
+    pub fn base_objective_bits(&self) -> Option<u64> {
+        self.levels.first().map(|&(_, bits, _)| bits)
     }
 }
 
@@ -1103,6 +1229,82 @@ mod tests {
         let mut table = DpTable::with_base(&unit_costs, failing).unwrap();
         table.ensure_ring(40);
         assert!(table.extend_levels_parallel(1, 40, 3, &failing).is_err());
+    }
+
+    /// The persistence surface: a snapshot round trip reproduces every
+    /// outcome bit-for-bit, including after a warm-start extension of the
+    /// rebuilt table.
+    #[test]
+    fn snapshot_round_trip_is_bit_exact_and_extendable() {
+        let costs: &[u64] = &[2, 3, 5];
+        let objective = harmonic_objective(&[4.0, 9.0, 1.5]);
+        let table = DpTable::build(costs, 25, &objective).unwrap();
+        let snapshot = table.snapshot();
+        assert_eq!(snapshot.max_budget(), 25);
+        assert_eq!(
+            snapshot.base_objective_bits().unwrap(),
+            table.outcome_at(0).unwrap().objective.to_bits()
+        );
+        // Serde round trip through the JSON shim preserves the image.
+        let text = serde_json::to_string(&snapshot).unwrap();
+        let parsed: DpTableSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, snapshot);
+
+        let mut restored = DpTable::from_snapshot(&parsed).unwrap();
+        for budget in 0..=25u64 {
+            let a = table.outcome_at(budget).unwrap();
+            let b = restored.outcome_at(budget).unwrap();
+            assert_eq!(a.payments, b.payments, "budget {budget}");
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+            assert_eq!(a.extra_spent, b.extra_spent);
+        }
+        // A restored table extends exactly like one that never left memory.
+        restored.extend_to(60, &objective).unwrap();
+        let cold = DpTable::build(costs, 60, &objective).unwrap();
+        for budget in 0..=60u64 {
+            assert_eq!(
+                restored.outcome_at(budget).unwrap(),
+                cold.outcome_at(budget).unwrap(),
+                "budget {budget}"
+            );
+        }
+    }
+
+    /// Corrupt snapshots are rejected whole instead of rebuilding a table
+    /// that would serve wrong plans.
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let table = DpTable::build(&[2, 3], 12, harmonic_objective(&[4.0, 9.0])).unwrap();
+        let good = table.snapshot();
+        assert!(DpTable::from_snapshot(&good).is_ok());
+
+        let mut no_costs = good.clone();
+        no_costs.unit_costs.clear();
+        assert!(DpTable::from_snapshot(&no_costs).is_err());
+
+        let mut zero_cost = good.clone();
+        zero_cost.unit_costs[0] = 0;
+        assert!(DpTable::from_snapshot(&zero_cost).is_err());
+
+        let mut no_levels = good.clone();
+        no_levels.levels.clear();
+        assert!(DpTable::from_snapshot(&no_levels).is_err());
+
+        let mut bad_decision = good.clone();
+        bad_decision.levels[5].0 = 7; // only groups 0 and 1 exist
+        assert!(DpTable::from_snapshot(&bad_decision).is_err());
+
+        let mut unaffordable = good.clone();
+        unaffordable.levels[1].0 = 1; // group 1 costs 3 units at level 1
+        assert!(DpTable::from_snapshot(&unaffordable).is_err());
+
+        let mut broken_chain = good.clone();
+        broken_chain.levels[6].2 = broken_chain.levels[6].2.wrapping_add(1);
+        assert!(DpTable::from_snapshot(&broken_chain).is_err());
+
+        let mut non_finite = good.clone();
+        non_finite.levels[3].1 = f64::NAN.to_bits();
+        assert!(DpTable::from_snapshot(&non_finite).is_err());
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! | [`RepetitionEvenAllocation`] | `rep-even` (`re`) baseline | II, III |
 //! | [`UniformPerGroupAllocation`] | Figure 5(c) heuristic | III |
 //!
-//! All strategies implement [`TuningStrategy`](crate::problem::TuningStrategy)
-//! and can therefore be swapped freely in the experiment harness.
+//! All strategies implement [`TuningStrategy`] and can therefore be swapped
+//! freely in the experiment harness.
 
 pub mod baselines;
 pub mod common;
@@ -34,6 +34,7 @@ pub use common::{
 pub use dp::PARALLEL_SCAN_MIN_CANDIDATES;
 pub use dp::{
     exhaustive_group_search, marginal_budget_dp, marginal_budget_dp_separable, DpOutcome, DpTable,
+    DpTableSnapshot,
 };
 pub use even_allocation::EvenAllocation;
 pub use exhaustive::ExhaustiveSearch;

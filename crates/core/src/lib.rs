@@ -71,6 +71,6 @@ pub mod tuner;
 pub use error::{CoreError, Result};
 pub use money::{Allocation, Budget, Payment};
 pub use problem::{HTuningProblem, RemainingProblem, Scenario, TuningResult, TuningStrategy};
-pub use rate::{LinearRate, PaperRateModel, RateModel};
+pub use rate::{LinearRate, PaperRateModel, RateModel, RateSpec};
 pub use task::{TaskSet, TaskType};
 pub use tuner::{TunedPlan, Tuner};

@@ -29,6 +29,20 @@ pub trait RateModel: Send + Sync {
     /// On-hold clock rate at the given payment, expressed in units.
     fn on_hold_rate(&self, payment_units: f64) -> f64;
 
+    /// A serializable description of this model, if it has one.
+    ///
+    /// Trait objects cannot be serialized directly, so durable stores persist
+    /// a model through this hook and rebuild it with [`RateSpec::build`].
+    /// Implementations must uphold **exact round-tripping**: the rebuilt
+    /// model evaluates `on_hold_rate` bit-identically to the original (and
+    /// therefore shares its [`curve_fingerprint`](RateModel::curve_fingerprint)).
+    /// The default returns `None` — models without a spec (e.g. ad-hoc
+    /// closures) are simply not persisted, which degrades to a cold solve
+    /// after a restart, never to a wrong plan.
+    fn to_spec(&self) -> Option<RateSpec> {
+        None
+    }
+
     /// Short human readable description (used in experiment output headers).
     fn describe(&self) -> String {
         "rate model".to_owned()
@@ -76,6 +90,39 @@ pub trait RateModel: Send + Sync {
             prev = rate;
         }
         Ok(())
+    }
+}
+
+/// The serializable catalogue of persistable rate models — the durable-store
+/// image of a [`RateModel`] trait object (see [`RateModel::to_spec`]).
+///
+/// Every variant wraps the concrete model verbatim, so a spec that
+/// round-trips through `serde_json` rebuilds a model with bit-identical
+/// parameters: same response curve, same
+/// [`curve_fingerprint`](RateModel::curve_fingerprint), same plans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateSpec {
+    /// A [`LinearRate`].
+    Linear(LinearRate),
+    /// A [`QuadraticRate`].
+    Quadratic(QuadraticRate),
+    /// A [`LogRate`].
+    Log(LogRate),
+    /// A [`TabulatedRate`].
+    Tabulated(TabulatedRate),
+}
+
+impl RateSpec {
+    /// Rebuilds the described model, re-running the constructor validation
+    /// (corrupt or hand-edited specs with invalid parameters are rejected
+    /// instead of producing a model that panics mid-solve).
+    pub fn build(&self) -> Result<Arc<dyn RateModel>> {
+        Ok(match self {
+            RateSpec::Linear(m) => Arc::new(LinearRate::new(m.k, m.b)?),
+            RateSpec::Quadratic(m) => Arc::new(QuadraticRate::new(m.a, m.b)?),
+            RateSpec::Log(m) => Arc::new(LogRate::new(m.scale)?),
+            RateSpec::Tabulated(m) => Arc::new(TabulatedRate::new(m.points.clone())?),
+        })
     }
 }
 
@@ -146,6 +193,10 @@ impl RateModel for LinearRate {
         hash.write_f64(self.b);
         hash.finish()
     }
+
+    fn to_spec(&self) -> Option<RateSpec> {
+        Some(RateSpec::Linear(*self))
+    }
 }
 
 /// Quadratic model `λo(c) = a·c² + b`, used in the robustness panels (e), (k),
@@ -197,6 +248,10 @@ impl RateModel for QuadraticRate {
         hash.write_f64(self.b);
         hash.finish()
     }
+
+    fn to_spec(&self) -> Option<RateSpec> {
+        Some(RateSpec::Quadratic(*self))
+    }
 }
 
 /// Logarithmic model `λo(c) = scale·ln(1 + c)`, the paper's `λ = log(1 + p)`
@@ -238,6 +293,10 @@ impl RateModel for LogRate {
         hash.write_bytes(b"LogRate");
         hash.write_f64(self.scale);
         hash.finish()
+    }
+
+    fn to_spec(&self) -> Option<RateSpec> {
+        Some(RateSpec::Log(*self))
     }
 }
 
@@ -320,6 +379,10 @@ impl RateModel for TabulatedRate {
             hash.write_f64(r);
         }
         hash.finish()
+    }
+
+    fn to_spec(&self) -> Option<RateSpec> {
+        Some(RateSpec::Tabulated(self.clone()))
     }
 }
 
@@ -439,6 +502,9 @@ impl<M: RateModel + ?Sized> RateModel for &M {
         // model must produce the same key through every smart pointer.
         (**self).curve_fingerprint()
     }
+    fn to_spec(&self) -> Option<RateSpec> {
+        (**self).to_spec()
+    }
 }
 
 impl<M: RateModel + ?Sized> RateModel for Box<M> {
@@ -451,6 +517,9 @@ impl<M: RateModel + ?Sized> RateModel for Box<M> {
     fn curve_fingerprint(&self) -> u64 {
         (**self).curve_fingerprint()
     }
+    fn to_spec(&self) -> Option<RateSpec> {
+        (**self).to_spec()
+    }
 }
 
 impl<M: RateModel + ?Sized> RateModel for Arc<M> {
@@ -462,6 +531,9 @@ impl<M: RateModel + ?Sized> RateModel for Arc<M> {
     }
     fn curve_fingerprint(&self) -> u64 {
         (**self).curve_fingerprint()
+    }
+    fn to_spec(&self) -> Option<RateSpec> {
+        (**self).to_spec()
     }
 }
 
@@ -622,6 +694,40 @@ mod tests {
                 .unwrap()
                 .curve_fingerprint()
         );
+    }
+
+    /// `to_spec` → serde → `build` is an exact round trip: the rebuilt model
+    /// evaluates bit-identically and keeps its curve fingerprint, so durable
+    /// state keyed by the curve stays valid across restarts.
+    #[test]
+    fn rate_specs_round_trip_bit_exactly() {
+        let models: Vec<Arc<dyn RateModel>> = vec![
+            Arc::new(LinearRate::new(1.25, 0.375).unwrap()),
+            Arc::new(QuadraticRate::new(0.5, 1.5).unwrap()),
+            Arc::new(LogRate::new(2.25).unwrap()),
+            Arc::new(TabulatedRate::new(vec![(1.0, 1.1), (4.0, 4.3), (9.0, 8.7)]).unwrap()),
+        ];
+        for model in models {
+            let spec = model.to_spec().expect("parametric models have specs");
+            let text = serde_json::to_string(&spec).unwrap();
+            let back: RateSpec = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, spec);
+            let rebuilt = back.build().unwrap();
+            assert_eq!(rebuilt.curve_fingerprint(), model.curve_fingerprint());
+            for payment in [1u64, 2, 7, 64, 1000] {
+                assert_eq!(
+                    rebuilt.on_hold_rate(payment as f64).to_bits(),
+                    model.on_hold_rate(payment as f64).to_bits(),
+                    "payment {payment}"
+                );
+            }
+        }
+        // Ad-hoc closures have no spec and are simply not persisted.
+        assert!(FnRate::new("adhoc", |p| p + 1.0).to_spec().is_none());
+        // Invalid parameters in a (corrupt) spec are rejected at build time.
+        assert!(RateSpec::Linear(LinearRate { k: -1.0, b: 0.0 })
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The crowd query executor: plan → tune → publish → collect → aggregate.
 //!
 //! This is where the paper's contribution plugs into the database: the
-//! operator's [`VotePlan`] becomes an H-Tuning [`TaskSet`], the budget is
+//! operator's [`VotePlan`] becomes an H-Tuning
+//! [`TaskSet`](crowdtune_core::task::TaskSet), the budget is
 //! allocated with the scenario-appropriate algorithm, the plan is published
 //! on the simulated marketplace to measure wall-clock latency, and the
 //! crowd oracle supplies the votes the operator finally aggregates.

@@ -7,7 +7,7 @@
 //! extension points an online re-tuner needs:
 //!
 //! * [`MarketRate`] — a time-varying generalisation of
-//!   [`RateModel`](crowdtune_core::rate::RateModel): the rate the *simulated
+//!   [`RateModel`]: the rate the *simulated
 //!   market* actually follows, which may differ from (and drift away from)
 //!   the requester's belief. [`PiecewiseRate`] models regime switches.
 //! * [`MarketController`] — a subscriber invoked after every processed

@@ -89,7 +89,8 @@ impl AmtCalibration {
         1.0 / self.mean_processing_secs(votes)
     }
 
-    /// Builds a [`RateModel`] (payment in cents → on-hold rate) for a fixed
+    /// Builds a [`RateModel`](crowdtune_core::rate::RateModel) (payment in
+    /// cents → on-hold rate) for a fixed
     /// difficulty, suitable for handing to the tuning algorithms and the
     /// market simulator.
     pub fn rate_model_for_votes(&self, votes: u32) -> Result<FnRate> {

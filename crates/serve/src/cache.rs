@@ -4,7 +4,7 @@
 //! votes, sort votes, standard repetition profiles) arrive from many tenants
 //! with identical budgets and market beliefs — so repeated solves of the
 //! `O(n·B')` dynamic program are pure waste. The cache maps a
-//! [`PlanFingerprint`](crate::fingerprint::PlanFingerprint) to the
+//! [`PlanFingerprint`] to the
 //! `Arc<TunedPlan>` produced by the first solve; a hit returns the *same*
 //! plan object, so cached responses are bit-identical to the cold solve by
 //! construction. Jobs that repeat the workload but not the budget miss here
@@ -140,6 +140,28 @@ impl PlanCache {
         }
         shard.entries.insert(key.0, (plan.clone(), tick));
         plan
+    }
+
+    /// Visits every resident entry (shard by shard, cloning the `Arc`s out
+    /// before invoking the callback so no shard lock is held while it runs).
+    /// This is the cache's flush hook: the durable service dumps the whole
+    /// working set through it on planned shutdowns, catching up any plan
+    /// whose write-behind record was dropped under backpressure. Recency is
+    /// not perturbed.
+    pub fn for_each_entry(&self, mut visit: impl FnMut(PlanFingerprint, &Arc<TunedPlan>)) {
+        for shard in &self.shards {
+            let entries: Vec<(u64, Arc<TunedPlan>)> = {
+                let shard = shard.lock().expect("cache shard poisoned");
+                shard
+                    .entries
+                    .iter()
+                    .map(|(&key, (plan, _))| (key, plan.clone()))
+                    .collect()
+            };
+            for (key, plan) in entries {
+                visit(PlanFingerprint(key), &plan);
+            }
+        }
     }
 
     /// Current counters.

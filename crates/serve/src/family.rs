@@ -40,12 +40,31 @@
 //! detected (`DpTable::unit_costs` mismatch) and the job falls back to a
 //! cold solve without touching the family.
 //!
-//! Resident families are capped per shard; past the cap, new families are
-//! served by plain cold solves without seeding. A reuse-aware eviction
-//! policy (and a persistence hook so restarts keep warm families) is
-//! tracked in the ROADMAP.
+//! ## Eviction and durability
+//!
+//! Resident families are capped per shard with **LRU eviction**: every serve
+//! refreshes the family's recency stamp and a new family past the cap
+//! displaces the least recently used one, so service memory stays bounded
+//! while hot families stay resident. With persistence enabled
+//! ([`PlanFamilies::durable`]), every seed and extension snapshots the
+//! family — `(fingerprint, rate spec, group shapes, DP levels)` — into the
+//! write-behind [`PlanStore`] *and* into an in-memory archive of compact
+//! records, so an evicted (or restart-lost) family is **rehydrated** from
+//! its snapshot on the next miss instead of paying a cold solve:
+//! [`DpTable::from_snapshot`] rebuilds the exact table and every answer
+//! stays bit-identical. Without persistence, eviction simply drops the
+//! family and the next job re-seeds it (the pre-durability behavior).
+//!
+//! LRU trades the old policy's churn-immunity for bounded *and recoverable*
+//! memory: a tenant streaming distinct rate curves can still displace other
+//! tenants' resident families (capacity stays bounded — the only thing at
+//! stake is re-seed/rehydrate work, never correctness), where the previous
+//! refuse-to-seed policy instead starved *new* families forever once a
+//! shard filled. Tenant-aware eviction (per-tenant shares, or protecting
+//! most-extended tables) is the tracked ROADMAP follow-up.
 
 use crate::fingerprint::FamilyFingerprint;
+use crate::store::{FamilyRecord, LoadedFamily, PlanStore};
 use crowdtune_core::algorithms::{DpTable, RepetitionAlgorithm};
 use crowdtune_core::error::Result;
 use crowdtune_core::problem::{HTuningProblem, TuningStrategy};
@@ -68,12 +87,18 @@ pub struct FamilyStats {
     pub extensions: u64,
     /// Cold solves that seeded a new family.
     pub builds: u64,
+    /// Families displaced by the per-shard LRU bound.
+    pub evictions: u64,
+    /// Families rehydrated from a persisted snapshot (after eviction or a
+    /// restart) instead of re-seeding cold.
+    pub reloads: u64,
 }
 
 /// How a family answered a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FamilyServe {
-    /// The family was resident; the job was answered from its table.
+    /// The family was resident (or rehydrated from its snapshot); the job
+    /// was answered from its table.
     Hit,
     /// First job of its family: a cold solve that seeded the table.
     Seeded,
@@ -97,77 +122,282 @@ struct FamilyEntry {
 
 /// Cap on resident families per shard. Family keys are tenant-influenced
 /// (task shapes, rate curves), so an unbounded map would let one tenant grow
-/// service memory without limit; past the cap, new families are served by
-/// plain cold solves without seeding. A *reuse-aware eviction* policy (LRU
-/// or keep-most-extended) is the ROADMAP follow-up — this bound only makes
-/// the store safe to ship.
+/// service memory without limit; past the cap the least recently used family
+/// is evicted (and, when persistence is enabled, remains rehydratable from
+/// its compact snapshot).
 const MAX_FAMILIES_PER_SHARD: usize = 128;
+
+/// Cap on archived family snapshots (compact records, no payment ring).
+/// Past the cap the stalest snapshot is dropped — it remains on disk, but
+/// only a restart would see it again; log compaction is the ROADMAP
+/// follow-up.
+const MAX_ARCHIVED_FAMILIES: usize = 4096;
+
+/// An archived family snapshot: the compact durable record plus the rebuilt
+/// rate model, ready for rehydration. The record is `Arc`ed so rehydration
+/// can take a handle out of the archive lock in O(1) and rebuild the table
+/// with no lock held.
+struct ArchivedFamily {
+    record: Arc<FamilyRecord>,
+    rate_model: Arc<dyn RateModel>,
+    /// Generation stamp for oldest-first archive eviction; refreshed on
+    /// snapshot *and* on rehydration, so a hot repeatedly-reloaded family
+    /// ages like a hot repeatedly-extended one.
+    stamp: u64,
+}
+
+/// The durability side of the family layer: the write-behind store sink and
+/// the in-memory archive of compact snapshots.
+struct FamilyPersistence {
+    store: Arc<PlanStore>,
+    archive: Mutex<HashMap<u64, ArchivedFamily>>,
+    stamp: AtomicU64,
+}
+
+impl FamilyPersistence {
+    /// Records a snapshot in the archive (recency-stamped, bounded) and
+    /// queues it onto the write-behind store. Runs outside the per-family
+    /// entry lock, so two racing extensions may arrive out of order — the
+    /// archive keeps whichever snapshot covers the larger budget (the
+    /// store's load path independently picks max coverage per fingerprint,
+    /// so disk-side ordering never mattered).
+    fn snapshot(&self, record: FamilyRecord, rate_model: Arc<dyn RateModel>, blocking: bool) {
+        // Serialize onto the write-behind queue before taking the archive
+        // lock — JSON encoding is the expensive part and must sit under no
+        // lock at all. A stale-coverage write is harmless: the load path
+        // picks max coverage per fingerprint. The flush path blocks on a
+        // full queue (it must not shed working-set records); the serve path
+        // never does.
+        if blocking {
+            self.store.record_family_blocking(&record);
+        } else {
+            self.store.record_family(&record);
+        }
+        let stamp = self.stamp.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut archive = self.archive.lock().expect("family archive poisoned");
+        if let Some(existing) = archive.get_mut(&record.fingerprint) {
+            existing.stamp = stamp;
+            if existing.record.table.max_budget() >= record.table.max_budget() {
+                // A larger snapshot already landed: keep it.
+                return;
+            }
+        } else if archive.len() >= MAX_ARCHIVED_FAMILIES {
+            if let Some(&stalest) = archive
+                .iter()
+                .min_by_key(|(_, entry)| entry.stamp)
+                .map(|(key, _)| key)
+            {
+                archive.remove(&stalest);
+            }
+        }
+        archive.insert(
+            record.fingerprint,
+            ArchivedFamily {
+                record: Arc::new(record),
+                rate_model,
+                stamp,
+            },
+        );
+    }
+
+    /// Rebuilds a family's live state from its archived snapshot, if one
+    /// exists and still rebuilds cleanly. The O(B') table reconstruction
+    /// runs with **no lock held** — only an O(1) handle clone (plus the
+    /// recency-stamp refresh) happens under the archive mutex, so
+    /// concurrent rehydrations of distinct families never serialise.
+    fn rehydrate(&self, key: u64) -> Option<FamilyState> {
+        let (record, rate_model) = {
+            let mut archive = self.archive.lock().expect("family archive poisoned");
+            let entry = archive.get_mut(&key)?;
+            entry.stamp = self.stamp.fetch_add(1, Ordering::Relaxed) + 1;
+            (entry.record.clone(), entry.rate_model.clone())
+        };
+        let table = DpTable::from_snapshot(&record.table).ok()?;
+        Some(FamilyState { rate_model, table })
+    }
+}
+
+/// One shard of the resident-family map: entries plus their LRU recency
+/// stamps, under a monotone tick.
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<u64, (Arc<FamilyEntry>, u64)>,
+    tick: u64,
+}
 
 /// Sharded map from [`FamilyFingerprint`] to the family's shared
 /// [`DpTable`]. Cheap to share: wrap in an `Arc`.
 pub struct PlanFamilies {
-    shards: Vec<Mutex<HashMap<u64, Arc<FamilyEntry>>>>,
+    shards: Vec<Mutex<Shard>>,
+    persistence: Option<FamilyPersistence>,
     hits: AtomicU64,
     extensions: AtomicU64,
     builds: AtomicU64,
+    evictions: AtomicU64,
+    reloads: AtomicU64,
 }
 
 impl PlanFamilies {
     /// Creates a family store with `shards` independently locked shards
     /// (rounded up to a power of two), each holding at most
-    /// [`MAX_FAMILIES_PER_SHARD`] families.
+    /// `MAX_FAMILIES_PER_SHARD` (128) families under LRU eviction. No
+    /// persistence: evicted families re-seed cold.
     pub fn new(shards: usize) -> Self {
+        Self::build(shards, None)
+    }
+
+    /// Creates a family store whose seeds and extensions are snapshotted
+    /// into `store` (write-behind) and into the rehydration archive, with
+    /// `preloaded` records (validated by the store's load path) seeding the
+    /// archive so restart-lost families answer without cold solves.
+    pub fn durable(shards: usize, store: Arc<PlanStore>, preloaded: Vec<LoadedFamily>) -> Self {
+        let persistence = FamilyPersistence {
+            store,
+            archive: Mutex::new(HashMap::new()),
+            stamp: AtomicU64::new(0),
+        };
+        {
+            let mut archive = persistence.archive.lock().expect("family archive poisoned");
+            for (stamp, loaded) in preloaded.into_iter().enumerate() {
+                archive.insert(
+                    loaded.record.fingerprint,
+                    ArchivedFamily {
+                        rate_model: loaded.rate_model,
+                        record: Arc::new(loaded.record),
+                        stamp: stamp as u64,
+                    },
+                );
+            }
+            persistence
+                .stamp
+                .store(archive.len() as u64, Ordering::Relaxed);
+        }
+        Self::build(shards, Some(persistence))
+    }
+
+    fn build(shards: usize, persistence: Option<FamilyPersistence>) -> Self {
         let shard_count = shards.max(1).next_power_of_two();
         PlanFamilies {
             shards: (0..shard_count)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(Shard::default()))
                 .collect(),
+            persistence,
             hits: AtomicU64::new(0),
             extensions: AtomicU64::new(0),
             builds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
         }
     }
 
-    /// Gets or creates the entry for a family; `None` when the shard is at
-    /// capacity and the family is not resident (the caller then solves cold
-    /// without seeding). Only the map access holds the shard lock; solving
+    /// Number of families currently rehydratable from the archive (0 without
+    /// persistence).
+    pub fn archived(&self) -> usize {
+        self.persistence
+            .as_ref()
+            .map(|p| p.archive.lock().expect("family archive poisoned").len())
+            .unwrap_or(0)
+    }
+
+    /// Gets or creates the entry for a family, refreshing its LRU stamp. At
+    /// capacity the least recently used entry of the shard is evicted to
+    /// make room (a worker mid-serve on the victim keeps its `Arc` and
+    /// finishes normally; the family is simply no longer resident
+    /// afterwards). Only the map access holds the shard lock; solving
     /// happens under the entry's own mutex so distinct families never
     /// serialise on each other.
-    fn entry(&self, key: FamilyFingerprint) -> Option<Arc<FamilyEntry>> {
+    fn entry(&self, key: FamilyFingerprint) -> Arc<FamilyEntry> {
         let index = (key.0 as usize) & (self.shards.len() - 1);
         let mut shard = self.shards[index].lock().expect("family shard poisoned");
-        if let Some(entry) = shard.get(&key.0) {
-            return Some(entry.clone());
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some((entry, last_used)) = shard.entries.get_mut(&key.0) {
+            *last_used = tick;
+            return entry.clone();
         }
-        if shard.len() >= MAX_FAMILIES_PER_SHARD {
-            return None;
+        if shard.entries.len() >= MAX_FAMILIES_PER_SHARD {
+            if let Some(&lru) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(key, _)| key)
+            {
+                shard.entries.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
         let entry = Arc::new(FamilyEntry {
             state: Mutex::new(None),
         });
-        shard.insert(key.0, entry.clone());
-        Some(entry)
+        shard.entries.insert(key.0, (entry.clone(), tick));
+        entry
+    }
+
+    /// Captures a family's current state as a persistable snapshot (`None`
+    /// without persistence, or when the rate model has no serializable
+    /// spec). Called under the entry lock — it only clones the compact
+    /// table image; the expensive part (JSON encoding, archive/store
+    /// hand-off) happens in [`PlanFamilies::commit_snapshot`] *after* the
+    /// lock drops, so same-family jobs never queue behind serialization.
+    fn capture_snapshot(
+        &self,
+        key: FamilyFingerprint,
+        state: &FamilyState,
+        problem: &HTuningProblem,
+    ) -> Option<(FamilyRecord, Arc<dyn RateModel>)> {
+        self.persistence.as_ref()?;
+        let rate = state.rate_model.to_spec()?;
+        let groups = problem
+            .task_set()
+            .group_by_repetitions()
+            .iter()
+            .map(|group| (group.size() as u64, group.repetitions))
+            .collect();
+        Some((
+            FamilyRecord {
+                fingerprint: key.0,
+                rate,
+                groups,
+                table: state.table.snapshot(),
+            },
+            state.rate_model.clone(),
+        ))
+    }
+
+    /// Second half of [`PlanFamilies::capture_snapshot`]: runs outside the
+    /// entry lock.
+    fn commit_snapshot(&self, captured: Option<(FamilyRecord, Arc<dyn RateModel>)>) {
+        if let (Some(persistence), Some((record, rate_model))) = (&self.persistence, captured) {
+            persistence.snapshot(record, rate_model, false);
+        }
     }
 
     /// Answers an RA-resolved job from its family: a prefix read or in-place
-    /// extension when the family is resident, a table-seeding cold solve
-    /// otherwise. The caller is responsible for only routing jobs that
-    /// resolve to the Repetition Algorithm here.
+    /// extension when the family is resident (or rehydratable from a
+    /// persisted snapshot), a table-seeding cold solve otherwise. The caller
+    /// is responsible for only routing jobs that resolve to the Repetition
+    /// Algorithm here.
     pub fn serve(
         &self,
         key: FamilyFingerprint,
         problem: &HTuningProblem,
     ) -> Result<(TunedPlan, FamilyServe)> {
-        let Some(entry) = self.entry(key) else {
-            // Store at capacity: serve cold, seed nothing.
-            let result = RepetitionAlgorithm::new().tune(problem)?;
-            let plan = TunedPlan::from_result(problem, result)?;
-            return Ok((plan, FamilyServe::Seeded));
-        };
+        let entry = self.entry(key);
         // The entry lock covers only the table work (read/extension/seed);
         // attaching the latency estimates — the dominant serve cost — runs
         // after it drops, so same-family jobs serialise on the DP alone.
         let mut slot = entry.state.lock().expect("family entry poisoned");
+        if slot.is_none() {
+            // Not resident: a persisted snapshot (evicted earlier, or loaded
+            // at recovery) rebuilds the exact table instead of re-seeding.
+            if let Some(persistence) = &self.persistence {
+                if let Some(state) = persistence.rehydrate(key.0) {
+                    *slot = Some(state);
+                    self.reloads.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let mut captured = None;
         let (problem, result, how) = match slot.as_mut() {
             Some(state) => {
                 // A 64-bit key collision across *group structures* is
@@ -193,6 +423,7 @@ impl PlanFamilies {
                 if problem.discretionary_budget() > state.table.max_budget() {
                     RepetitionAlgorithm::extend_table(&problem, &mut state.table)?;
                     self.extensions.fetch_add(1, Ordering::Relaxed);
+                    captured = self.capture_snapshot(key, state, &problem);
                 }
                 let result = RepetitionAlgorithm::result_from_table(&problem, &state.table)?;
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -200,17 +431,74 @@ impl PlanFamilies {
             }
             None => {
                 let (result, table) = RepetitionAlgorithm::new().tune_with_table(problem)?;
-                *slot = Some(FamilyState {
+                let state = FamilyState {
                     rate_model: problem.rate_model().clone(),
                     table,
-                });
+                };
+                captured = self.capture_snapshot(key, &state, problem);
+                *slot = Some(state);
                 self.builds.fetch_add(1, Ordering::Relaxed);
                 (problem.clone(), result, FamilyServe::Seeded)
             }
         };
         drop(slot);
+        self.commit_snapshot(captured);
         let plan = TunedPlan::from_result(&problem, result)?;
         Ok((plan, how))
+    }
+
+    /// Snapshots every resident family into the store (catch-up for records
+    /// the bounded write-behind queue may have dropped under load). Called
+    /// by planned shutdowns; a no-op without persistence.
+    pub fn flush_resident(&self) {
+        if self.persistence.is_none() {
+            return;
+        }
+        for shard in &self.shards {
+            let entries: Vec<(u64, Arc<FamilyEntry>)> = {
+                let shard = shard.lock().expect("family shard poisoned");
+                shard
+                    .entries
+                    .iter()
+                    .map(|(&key, (entry, _))| (key, entry.clone()))
+                    .collect()
+            };
+            for (key, entry) in entries {
+                let slot = entry.state.lock().expect("family entry poisoned");
+                if let Some(state) = slot.as_ref() {
+                    self.persist_raw(key, state);
+                }
+            }
+        }
+    }
+
+    /// [`PlanFamilies::persist`] without a problem at hand: derives the
+    /// group shapes from the table's unit costs and the archived record
+    /// (used by the flush path, where no job is being served).
+    fn persist_raw(&self, key: u64, state: &FamilyState) {
+        let Some(persistence) = &self.persistence else {
+            return;
+        };
+        let Some(rate) = state.rate_model.to_spec() else {
+            return;
+        };
+        // Group shapes are not recoverable from unit costs alone
+        // (`u = n · k` has many factorisations); reuse the shapes from the
+        // archived snapshot of the same family, which every persisted family
+        // has (persist runs on seed and on every extension).
+        let archive = persistence.archive.lock().expect("family archive poisoned");
+        let Some(archived) = archive.get(&key) else {
+            return;
+        };
+        let groups = archived.record.groups.clone();
+        drop(archive);
+        let record = FamilyRecord {
+            fingerprint: key,
+            rate,
+            groups,
+            table: state.table.snapshot(),
+        };
+        persistence.snapshot(record, state.rate_model.clone(), true);
     }
 
     /// Current counters.
@@ -218,13 +506,15 @@ impl PlanFamilies {
         let families = self
             .shards
             .iter()
-            .map(|s| s.lock().expect("family shard poisoned").len() as u64)
+            .map(|s| s.lock().expect("family shard poisoned").entries.len() as u64)
             .sum();
         FamilyStats {
             families,
             hits: self.hits.load(Ordering::Relaxed),
             extensions: self.extensions.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
         }
     }
 }
@@ -286,6 +576,8 @@ mod tests {
         assert_eq!(stats.hits, 5);
         assert_eq!(stats.extensions, 2, "budgets 200 and 400 grow the table");
         assert_eq!(stats.families, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.reloads, 0);
     }
 
     #[test]
@@ -298,5 +590,41 @@ mod tests {
         let (_, how) = families.serve(key(&b), &b).unwrap();
         assert_eq!(how, FamilyServe::Seeded);
         assert_eq!(families.stats().families, 2);
+    }
+
+    /// LRU eviction at the per-shard cap: a stream of one-shot families
+    /// displaces the stalest resident, while a family touched throughout
+    /// stays resident. One shard makes the arithmetic deterministic.
+    #[test]
+    fn lru_evicts_the_stalest_family_at_the_cap() {
+        let families = PlanFamilies::new(1);
+        // Seed the hot family and the cap-1 fillers.
+        let hot = ra_problem(80, 1.0);
+        families.serve(key(&hot), &hot).unwrap();
+        for i in 0..(MAX_FAMILIES_PER_SHARD - 1) as u64 {
+            let p = ra_problem(80, 2.0 + i as f64);
+            families.serve(key(&p), &p).unwrap();
+        }
+        assert_eq!(
+            families.stats().families,
+            MAX_FAMILIES_PER_SHARD as u64,
+            "at capacity"
+        );
+        assert_eq!(families.stats().evictions, 0);
+        // Touch the hot family so it is no longer the LRU.
+        let (_, how) = families.serve(key(&hot), &hot).unwrap();
+        assert_eq!(how, FamilyServe::Hit);
+        // A new family displaces the stalest filler, not the hot one.
+        let newcomer = ra_problem(80, 1000.0);
+        let (_, how) = families.serve(key(&newcomer), &newcomer).unwrap();
+        assert_eq!(how, FamilyServe::Seeded);
+        let stats = families.stats();
+        assert_eq!(stats.families, MAX_FAMILIES_PER_SHARD as u64);
+        assert_eq!(stats.evictions, 1);
+        // The hot family is still resident: serving it again is a hit, not a
+        // re-seed.
+        let (_, how) = families.serve(key(&hot), &hot).unwrap();
+        assert_eq!(how, FamilyServe::Hit);
+        assert_eq!(families.stats().builds, MAX_FAMILIES_PER_SHARD as u64 + 1);
     }
 }

@@ -43,6 +43,12 @@
 //!   ([`fingerprint::FamilyFingerprint`]), answered by a prefix read (budget
 //!   covered) or an in-place warm-start extension (budget above coverage),
 //!   bit-identical to cold solves by construction.
+//! * [`store::PlanStore`] — **write-behind durability**: plans, family DP
+//!   tables and a crash-recovery job journal persisted as checksummed
+//!   append-only streams by a background writer (bounded queue, drop-oldest
+//!   backpressure). [`service::TuningService::recover`] warm-starts a new
+//!   process from the store — previously served plans come back bit-identical
+//!   without a single cold solve, corrupt state degrades to cold solves.
 //! * [`retuner::Retuner`] — subscribes to a running job's market events,
 //!   re-estimates the on-hold rate curve from observed acceptance delays
 //!   (`core::inference`), and on confirmed drift re-solves the H-Tuning
@@ -65,6 +71,7 @@ pub mod fingerprint;
 pub mod queue;
 pub mod retuner;
 pub mod service;
+pub mod store;
 
 pub use cache::{CacheStats, PlanCache};
 pub use family::{FamilyServe, FamilyStats, PlanFamilies};
@@ -72,6 +79,10 @@ pub use fingerprint::{FamilyFingerprint, PlanFingerprint};
 pub use queue::{AdmissionError, AdmissionPolicy, JobQueue};
 pub use retuner::{RetunePolicy, RetuneStats, Retuner};
 pub use service::{
-    JobHandle, JobRequest, MetricsSnapshot, PlanSource, ServeError, ServedPlan, ServiceConfig,
-    TuningService,
+    JobHandle, JobRequest, MetricsSnapshot, PlanSource, RecoveryStats, ServeError, ServedPlan,
+    ServiceConfig, TuningService,
+};
+pub use store::{
+    FamilyRecord, JournalRecord, LoadReport, PlanRecord, PlanStore, StoreError, StoreSnapshot,
+    StoreStats,
 };

@@ -4,7 +4,7 @@
 //! parameters it tunes against are probe estimates (§3.3) that drift with
 //! market conditions. The [`Retuner`] closes the loop: it subscribes to the
 //! market's event stream (as a
-//! [`MarketController`](crowdtune_market::control::MarketController)),
+//! [`MarketController`]),
 //! re-estimates the on-hold rate curve from the *observed* acceptance delays
 //! of the job's own repetitions, and when the observations have drifted away
 //! from the current belief it re-solves the H-Tuning problem for the

@@ -1,7 +1,7 @@
 //! The tuning service: a pool of tuner workers draining the multi-tenant
 //! [`JobQueue`], with two reuse layers in front of the solver — the
 //! exact-match sharded [`PlanCache`] and the cross-budget
-//! [`PlanFamilies`](crate::family::PlanFamilies) store.
+//! [`PlanFamilies`] store.
 //!
 //! Submissions return a [`JobHandle`] immediately; the plan is delivered
 //! through it when a worker finishes (or straight from the cache). The
@@ -12,6 +12,7 @@ use crate::cache::{CacheStats, PlanCache};
 use crate::family::{FamilyServe, FamilyStats, PlanFamilies};
 use crate::fingerprint::{FamilyFingerprint, PlanFingerprint};
 use crate::queue::{AdmissionError, AdmissionPolicy, JobQueue};
+use crate::store::{JournalRecord, PlanStore, StoreError, StoreSnapshot, StoreStats};
 use crowdtune_core::error::CoreError;
 use crowdtune_core::money::Budget;
 use crowdtune_core::problem::{HTuningProblem, Scenario};
@@ -19,6 +20,7 @@ use crowdtune_core::rate::RateModel;
 use crowdtune_core::task::TaskSet;
 use crowdtune_core::tuner::{StrategyChoice, TunedPlan, Tuner};
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -91,6 +93,10 @@ pub enum ServeError {
     Tuning(CoreError),
     /// The worker processing the job disappeared (service shut down).
     WorkerGone,
+    /// The durable store could not be opened (I/O failure). Runtime write
+    /// failures never surface here — they only degrade durability (see
+    /// [`StoreStats::write_errors`]).
+    Store(StoreError),
 }
 
 impl fmt::Display for ServeError {
@@ -99,6 +105,7 @@ impl fmt::Display for ServeError {
             ServeError::Admission(e) => write!(f, "admission: {e}"),
             ServeError::Tuning(e) => write!(f, "tuning: {e}"),
             ServeError::WorkerGone => f.write_str("service shut down before the job completed"),
+            ServeError::Store(e) => write!(f, "store: {e}"),
         }
     }
 }
@@ -108,6 +115,12 @@ impl std::error::Error for ServeError {}
 impl From<AdmissionError> for ServeError {
     fn from(e: AdmissionError) -> Self {
         ServeError::Admission(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
     }
 }
 
@@ -137,8 +150,9 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Plans retained per shard.
     pub cache_capacity_per_shard: usize,
-    /// Number of plan-family shards (families are never evicted; see
-    /// ROADMAP for the eviction-policy open item).
+    /// Number of plan-family shards (each LRU-bounded; with a durable store
+    /// attached, evicted families remain rehydratable from their persisted
+    /// snapshots).
     pub family_shards: usize,
 }
 
@@ -195,7 +209,33 @@ impl MetricsSnapshot {
 struct QueuedJob {
     id: u64,
     request: JobRequest,
+    /// Whether a `Submitted` journal record exists for this job (fresh
+    /// journaled submits and recovery replays). Jobs without one must not
+    /// journal a completion either — orphan `Completed` records would grow
+    /// the uncompacted journal forever.
+    journaled: bool,
     respond: mpsc::Sender<Result<ServedPlan, ServeError>>,
+}
+
+/// What [`TuningService::recover`] found and replayed. Read with
+/// [`TuningService::recovery_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Plans loaded into the exact-match cache.
+    pub loaded_plans: u64,
+    /// Validated family snapshots loaded into the rehydration archive.
+    pub loaded_families: u64,
+    /// Journaled in-flight jobs re-enqueued under their original ids.
+    pub replayed_jobs: u64,
+    /// Replayed jobs refused by admission control (they stay journaled and
+    /// are retried on the next recovery).
+    pub dropped_replays: u64,
+    /// Streams skipped whole for an unknown/mangled header.
+    pub corrupt_streams: u64,
+    /// Truncated or bit-flipped record suffixes dropped during replay.
+    pub corrupt_tails: u64,
+    /// Checksummed-valid records that failed semantic re-validation.
+    pub invalid_records: u64,
 }
 
 /// The multi-tenant tuning service.
@@ -204,19 +244,86 @@ pub struct TuningService {
     cache: Arc<PlanCache>,
     families: Arc<PlanFamilies>,
     metrics: Arc<ServiceMetrics>,
+    store: Option<Arc<PlanStore>>,
+    recovery: Option<RecoveryStats>,
     workers: Vec<JoinHandle<()>>,
     next_job_id: AtomicU64,
 }
 
 impl TuningService {
-    /// Starts the worker pool.
+    /// Starts the worker pool with in-memory state only (no durability —
+    /// restarts re-solve the working set).
     pub fn start(config: ServiceConfig) -> Self {
+        Self::boot(config, None)
+    }
+
+    /// Starts the worker pool against a durable store directory, recovering
+    /// whatever a previous process left there: persisted plans warm the
+    /// exact-match cache, validated family snapshots arm the rehydration
+    /// archive, and journaled in-flight jobs are re-enqueued under their
+    /// original ids. An empty or absent directory is a fresh durable start.
+    ///
+    /// Every corruption mode (truncated tail, bit flip, version-mismatch
+    /// header, semantically invalid record) degrades to cold solves —
+    /// recovery never serves a wrong plan. Damage counts are reported via
+    /// [`TuningService::recovery_stats`].
+    pub fn recover(config: ServiceConfig, path: impl AsRef<Path>) -> Result<Self, ServeError> {
+        let (store, snapshot) = PlanStore::open(path)?;
+        Ok(Self::boot(config, Some((store, snapshot))))
+    }
+
+    fn boot(config: ServiceConfig, durable: Option<(Arc<PlanStore>, StoreSnapshot)>) -> Self {
         let queue = Arc::new(JobQueue::new(config.admission));
         let cache = Arc::new(PlanCache::new(
             config.cache_shards,
             config.cache_capacity_per_shard,
         ));
-        let families = Arc::new(PlanFamilies::new(config.family_shards));
+        let mut next_job_id = 0;
+        let mut recovery = None;
+        let mut pending_jobs = Vec::new();
+        let (families, store) = match durable {
+            Some((store, snapshot)) => {
+                let mut stats = RecoveryStats {
+                    loaded_plans: snapshot.plans.len() as u64,
+                    loaded_families: snapshot.families.len() as u64,
+                    corrupt_streams: snapshot.report.corrupt_streams,
+                    corrupt_tails: snapshot.report.corrupt_tails,
+                    invalid_records: snapshot.report.invalid_records,
+                    ..RecoveryStats::default()
+                };
+                for record in snapshot.plans {
+                    cache.insert(PlanFingerprint(record.fingerprint), Arc::new(record.plan));
+                }
+                let families = Arc::new(PlanFamilies::durable(
+                    config.family_shards,
+                    store.clone(),
+                    snapshot.families,
+                ));
+                // Rebuild the journaled in-flight jobs; enqueueing happens
+                // after the workers are up. Invalid rate specs were already
+                // filtered by the store's load path, but `build` re-validates
+                // so a corrupt-but-checksummed spec only loses that job.
+                for job in snapshot.pending_jobs {
+                    match job.rate.build() {
+                        Ok(rate_model) => pending_jobs.push((
+                            job.job_id,
+                            JobRequest {
+                                tenant: job.tenant,
+                                task_set: job.task_set,
+                                budget: Budget::units(job.budget),
+                                rate_model,
+                                strategy: job.strategy,
+                            },
+                        )),
+                        Err(_) => stats.invalid_records += 1,
+                    }
+                }
+                next_job_id = snapshot.max_job_id + 1;
+                recovery = Some(stats);
+                (families, Some(store))
+            }
+            None => (Arc::new(PlanFamilies::new(config.family_shards)), None),
+        };
         let metrics = Arc::new(ServiceMetrics::default());
         let workers = (0..config.workers.max(1))
             .map(|index| {
@@ -224,31 +331,100 @@ impl TuningService {
                 let cache = cache.clone();
                 let families = families.clone();
                 let metrics = metrics.clone();
+                let store = store.clone();
                 std::thread::Builder::new()
                     .name(format!("tuner-worker-{index}"))
-                    .spawn(move || worker_loop(&queue, &cache, &families, &metrics))
+                    .spawn(move || {
+                        worker_loop(&queue, &cache, &families, &metrics, store.as_deref())
+                    })
                     .expect("spawn tuner worker")
             })
             .collect();
-        TuningService {
+        let mut service = TuningService {
             queue,
             cache,
             families,
             metrics,
+            store,
+            recovery,
             workers,
-            next_job_id: AtomicU64::new(0),
+            next_job_id: AtomicU64::new(next_job_id),
+        };
+        // Replay in-flight work under the original ids: the journal already
+        // holds their `Submitted` records, so the replay is not re-journaled
+        // — completion retires the original record. The handles are dropped
+        // (whoever submitted the jobs is gone); the answers warm the cache.
+        let mut replayed = 0;
+        let mut dropped = 0;
+        for (id, request) in pending_jobs {
+            // `journaled: true` — the on-disk `Submitted` record is the one
+            // being replayed; completion must retire it.
+            match service.enqueue_job(id, request, true) {
+                Ok(_handle) => replayed += 1,
+                Err(_) => dropped += 1,
+            }
         }
+        if let Some(stats) = service.recovery.as_mut() {
+            stats.replayed_jobs = replayed;
+            stats.dropped_replays = dropped;
+        }
+        service
     }
 
     /// Submits a job; returns immediately with a handle (or an admission
-    /// error under back-pressure).
+    /// error under back-pressure). With a durable store attached, accepted
+    /// jobs whose rate model is serializable are journaled for crash
+    /// recovery.
     pub fn submit(&self, request: JobRequest) -> Result<JobHandle, ServeError> {
         let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
+        // Journal *before* enqueueing so an accepted job can never be lost
+        // between the queue and the journal; a rejected submission retires
+        // its record immediately. (The journal and the completion share one
+        // ordered writer queue, so `Submitted` always lands first.)
+        let journaled = if let Some(store) = &self.store {
+            if let Some(rate) = request.rate_model.to_spec() {
+                store.record_journal(&JournalRecord::Submitted {
+                    job_id: id,
+                    tenant: request.tenant.clone(),
+                    task_set: request.task_set.clone(),
+                    budget: request.budget.as_units(),
+                    rate,
+                    strategy: request.strategy,
+                });
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        match self.enqueue_job(id, request, journaled) {
+            Ok(handle) => Ok(handle),
+            Err(e) => {
+                if journaled {
+                    if let Some(store) = &self.store {
+                        store.record_journal(&JournalRecord::Completed { job_id: id });
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Queue insertion shared by [`TuningService::submit`] and journal
+    /// replay (which must not re-journal its `Submitted` record).
+    fn enqueue_job(
+        &self,
+        id: u64,
+        request: JobRequest,
+        journaled: bool,
+    ) -> Result<JobHandle, ServeError> {
         let (sender, receiver) = mpsc::channel();
         let tenant = request.tenant.clone();
         let job = QueuedJob {
             id,
             request,
+            journaled,
             respond: sender,
         };
         match self.queue.submit(&tenant, job) {
@@ -298,12 +474,49 @@ impl TuningService {
         self.queue.pending()
     }
 
-    /// Drains the queue and stops the workers.
+    /// Write-behind counters of the attached store, if any.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|store| store.stats())
+    }
+
+    /// What [`TuningService::recover`] loaded and replayed (`None` for a
+    /// service started without a store).
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.recovery
+    }
+
+    /// Flushes the full working set to the durable store: every resident
+    /// plan and family is re-recorded (catching up anything the bounded
+    /// write-behind queue dropped under load), then the queue is drained.
+    /// After this returns, a `recover` of the same directory warm-starts the
+    /// entire current working set. A no-op without a store.
+    pub fn flush_store(&self) {
+        let Some(store) = &self.store else {
+            return;
+        };
+        // Blocking enqueues: a flush has no latency constraint, and letting
+        // the drop-oldest backpressure shed records here would break the
+        // "a clean stop restarts fully warm" guarantee whenever the working
+        // set outruns the writer (the default cache capacity alone equals
+        // the default queue capacity).
+        self.cache
+            .for_each_entry(|key, plan| store.record_plan_blocking(key.0, plan));
+        self.families.flush_resident();
+        store.flush();
+    }
+
+    /// Drains the queue and stops the workers; with a store attached, the
+    /// working set is flushed first so the next [`TuningService::recover`]
+    /// starts fully warm.
     pub fn shutdown(mut self) {
         self.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.flush_store();
+        // Hand the store to its own Drop (queue drain) now; the service's
+        // Drop must not flush the working set a second time.
+        self.store = None;
     }
 }
 
@@ -313,6 +526,9 @@ impl Drop for TuningService {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Dropping the service is the planned-exit path (a crash never runs
+        // this); make it durable. The store's own Drop then drains its queue.
+        self.flush_store();
     }
 }
 
@@ -321,22 +537,44 @@ fn worker_loop(
     cache: &PlanCache,
     families: &PlanFamilies,
     metrics: &ServiceMetrics,
+    store: Option<&PlanStore>,
 ) {
     while let Some(job) = queue.pop() {
         let QueuedJob {
             id,
             request,
+            journaled,
             respond,
         } = job;
         let outcome = serve_one(cache, families, &request);
         match &outcome {
-            Ok((_, PlanSource::CacheHit)) => metrics.cache_hits.fetch_add(1, Ordering::Relaxed),
-            Ok((_, PlanSource::FamilyHit)) => metrics.family_hits.fetch_add(1, Ordering::Relaxed),
-            Ok((_, PlanSource::ColdSolve)) => metrics.cold_solves.fetch_add(1, Ordering::Relaxed),
+            Ok((_, PlanSource::CacheHit, _)) => metrics.cache_hits.fetch_add(1, Ordering::Relaxed),
+            Ok((_, PlanSource::FamilyHit, _)) => {
+                metrics.family_hits.fetch_add(1, Ordering::Relaxed)
+            }
+            Ok((_, PlanSource::ColdSolve, _)) => {
+                metrics.cold_solves.fetch_add(1, Ordering::Relaxed)
+            }
             Err(_) => metrics.solve_errors.fetch_add(1, Ordering::Relaxed),
         };
+        if let Some(store) = store {
+            // Write-behind persistence: newly solved plans (cache hits are
+            // already on disk) and, for journaled jobs, the completion
+            // record. Completion is journaled for errors too — a failing
+            // job must not be replayed forever. Unjournaled jobs (ad-hoc
+            // rate models) skip it: an orphan `Completed` per job would
+            // grow the uncompacted journal for nothing.
+            if let Ok((plan, source, fingerprint)) = &outcome {
+                if *source != PlanSource::CacheHit {
+                    store.record_plan(fingerprint.0, plan);
+                }
+            }
+            if journaled {
+                store.record_journal(&JournalRecord::Completed { job_id: id });
+            }
+        }
         // The submitter may have dropped the handle; that is not an error.
-        let _ = respond.send(outcome.map(|(plan, source)| ServedPlan {
+        let _ = respond.send(outcome.map(|(plan, source, _)| ServedPlan {
             job_id: id,
             plan,
             source,
@@ -359,7 +597,7 @@ fn serve_one(
     cache: &PlanCache,
     families: &PlanFamilies,
     request: &JobRequest,
-) -> Result<(Arc<TunedPlan>, PlanSource), ServeError> {
+) -> Result<(Arc<TunedPlan>, PlanSource, PlanFingerprint), ServeError> {
     let problem = HTuningProblem::new(
         request.task_set.clone(),
         request.budget,
@@ -368,7 +606,7 @@ fn serve_one(
     .map_err(ServeError::Tuning)?;
     let fingerprint = PlanFingerprint::of(&problem, request.strategy);
     if let Some(plan) = cache.get(fingerprint) {
-        return Ok((plan, PlanSource::CacheHit));
+        return Ok((plan, PlanSource::CacheHit, fingerprint));
     }
     // RA-resolved jobs route through the family layer: a resident family
     // answers any budget from its shared table; a miss seeds the family with
@@ -384,14 +622,14 @@ fn serve_one(
             FamilyServe::Hit => PlanSource::FamilyHit,
             FamilyServe::Seeded => PlanSource::ColdSolve,
         };
-        return Ok((plan, source));
+        return Ok((plan, source, fingerprint));
     }
     let tuner = Tuner::new(request.rate_model.clone()).with_strategy(request.strategy);
     let plan = tuner
         .plan(request.task_set.clone(), request.budget)
         .map_err(ServeError::Tuning)?;
     let plan = cache.insert(fingerprint, Arc::new(plan));
-    Ok((plan, PlanSource::ColdSolve))
+    Ok((plan, PlanSource::ColdSolve, fingerprint))
 }
 
 #[cfg(test)]

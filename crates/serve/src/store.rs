@@ -1,0 +1,1098 @@
+//! Durable plan store: write-behind persistence for the serving layer.
+//!
+//! The tuning algorithms are deterministic given a fingerprinted workload,
+//! which makes solved state durable by nature: a
+//! [`DpTableSnapshot`] is a compact, budget-agnostic artifact that can answer
+//! whole budget ladders after a restart without a single latency
+//! integration. This module persists three append-only record streams under
+//! one directory:
+//!
+//! | file           | stream  | record                                        |
+//! |----------------|---------|-----------------------------------------------|
+//! | `plans.log`    | plans   | [`PlanRecord`] — exact-match cache snapshots  |
+//! | `families.log` | families| [`FamilyRecord`] — family DP-table snapshots  |
+//! | `journal.log`  | journal | [`JournalRecord`] — submit/complete journal   |
+//!
+//! ## Write-behind semantics
+//!
+//! Recording is fire-and-forget: producers enqueue records onto a bounded
+//! in-memory queue and a single background writer thread appends them to
+//! disk. Under overload the queue drops its **oldest** pending record
+//! (counted in [`StoreStats::dropped`]) rather than stalling the serve path
+//! — losing a persistence record only costs a cold solve after the next
+//! restart, never a wrong plan. [`PlanStore::flush`] drains the queue for
+//! planned shutdowns and tests.
+//!
+//! ## On-disk format and corruption handling
+//!
+//! Every file starts with a one-line header (`crowdtune-store v1 <stream>`);
+//! a header from a different version marks the whole file unreadable — it is
+//! **sidelined** to `<stream>.log.unreadable` (not destroyed: after a binary
+//! rollback those bytes may be a newer format) and the stream starts cold
+//! ([`LoadReport::corrupt_streams`]). Each
+//! record is one line, `<fnv1a-64 hex of payload>\t<payload json>`. Replay
+//! stops at the first line whose checksum or JSON fails — a truncated or
+//! bit-flipped tail drops the suffix ([`LoadReport::corrupt_tails`]) and the
+//! file is truncated back to the last good byte before appending resumes.
+//! Family records additionally re-validate semantically on load (rate-model
+//! rebuild, unit-cost/group-shape consistency, DP-chain integrity via
+//! [`DpTable::from_snapshot`], and the base-state objective check — the
+//! persisted form of the `DpTable::extend_to` debug assertion); failures
+//! drop the record ([`LoadReport::invalid_records`]). Every degradation path
+//! ends in a cold solve, never in serving a wrong plan.
+
+use crowdtune_core::algorithms::{DpTable, DpTableSnapshot};
+use crowdtune_core::hash::Fnv1a;
+use crowdtune_core::latency::group_phase1_expected;
+use crowdtune_core::rate::{RateModel, RateSpec};
+use crowdtune_core::task::TaskSet;
+use crowdtune_core::tuner::{StrategyChoice, TunedPlan};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Store format magic + version, the first token of every stream header. A
+/// mismatch (future format, corrupted header) marks the file unreadable and
+/// recovery starts that stream cold.
+const STORE_HEADER: &str = "crowdtune-store v1";
+
+/// A persisted exact-match cache entry: the canonical
+/// [`PlanFingerprint`](crate::fingerprint::PlanFingerprint) and the tuned
+/// plan served under it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanRecord {
+    /// The plan's canonical fingerprint (`PlanFingerprint.0`).
+    pub fingerprint: u64,
+    /// The served plan, bit-exact through the JSON round trip (integer
+    /// payments verbatim; finite `f64`s via shortest-round-trip decimals).
+    pub plan: TunedPlan,
+}
+
+/// A persisted plan family: everything needed to re-serve the family's whole
+/// budget ladder after a restart without a single latency integration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyRecord {
+    /// The family's budget-agnostic fingerprint
+    /// ([`FamilyFingerprint`](crate::fingerprint::FamilyFingerprint)`.0`).
+    pub fingerprint: u64,
+    /// The market belief the family's table was built against (the creating
+    /// job's model). Round-trips bit-exactly, so the reloaded family
+    /// canonicalises jobs to the very same curve.
+    pub rate: RateSpec,
+    /// Per repetition group, in group order: `(member count, repetitions)`.
+    /// Redundant with the table's unit costs (`u_i = n_i · k_i`) — the load
+    /// path cross-checks the two and recomputes the base-state objective
+    /// from these shapes.
+    pub groups: Vec<(u64, u32)>,
+    /// The budget-indexed DP table.
+    pub table: DpTableSnapshot,
+}
+
+/// One entry of the crash-recovery job journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A job was accepted into the queue. Only jobs whose rate model has a
+    /// [`RateSpec`] are journaled; ad-hoc models degrade to "lost on crash".
+    Submitted {
+        /// Service-assigned job id (unique across restarts — recovery
+        /// resumes the id counter past the largest journaled id).
+        job_id: u64,
+        /// Submitting tenant.
+        tenant: String,
+        /// The job's task set.
+        task_set: TaskSet,
+        /// Total budget in units.
+        budget: u64,
+        /// The tenant's market belief.
+        rate: RateSpec,
+        /// Strategy override.
+        strategy: StrategyChoice,
+    },
+    /// The job with this id was answered (successfully or with a reported
+    /// solve error — either way it needs no replay).
+    Completed {
+        /// Service-assigned job id.
+        job_id: u64,
+    },
+}
+
+/// A journaled job that was submitted but never completed — in flight when
+/// the process died. Recovery re-enqueues these under their original ids.
+#[derive(Debug, Clone)]
+pub struct PendingJob {
+    /// The job's original service-assigned id.
+    pub job_id: u64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// The job's task set.
+    pub task_set: TaskSet,
+    /// Total budget in units.
+    pub budget: u64,
+    /// The tenant's market belief.
+    pub rate: RateSpec,
+    /// Strategy override.
+    pub strategy: StrategyChoice,
+}
+
+/// A family record that survived every load-time validation, paired with its
+/// rebuilt rate model. The table itself is rehydrated lazily (first serve of
+/// the family) from the retained compact record.
+pub struct LoadedFamily {
+    /// The validated record.
+    pub record: FamilyRecord,
+    /// The rate model rebuilt from [`FamilyRecord::rate`].
+    pub rate_model: Arc<dyn RateModel>,
+}
+
+impl fmt::Debug for LoadedFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LoadedFamily")
+            .field("fingerprint", &self.record.fingerprint)
+            .field("coverage", &self.record.table.max_budget())
+            .finish()
+    }
+}
+
+/// What a [`PlanStore::open`] found on disk, after deduplication and
+/// validation.
+#[derive(Debug, Default)]
+pub struct StoreSnapshot {
+    /// Plan records, first-writer-wins per fingerprint (mirroring the cache's
+    /// incumbent semantics).
+    pub plans: Vec<PlanRecord>,
+    /// Validated families, largest table coverage wins per fingerprint.
+    pub families: Vec<LoadedFamily>,
+    /// Journaled jobs submitted but never completed, in submit order.
+    pub pending_jobs: Vec<PendingJob>,
+    /// Largest job id seen anywhere in the journal (0 when empty); recovery
+    /// resumes the id counter past it.
+    pub max_job_id: u64,
+    /// Per-stream damage accounting.
+    pub report: LoadReport,
+}
+
+/// Damage accounting of a store load. All counters are "events survived":
+/// every one of them degrades to cold solves, never to wrong plans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Streams whose header was missing-but-non-empty or from an unknown
+    /// version; the whole file was ignored and truncated.
+    pub corrupt_streams: u64,
+    /// Streams whose record suffix failed a checksum or parse (truncated
+    /// tail, bit flip); the suffix was dropped and truncated away.
+    pub corrupt_tails: u64,
+    /// Checksummed-valid records that failed semantic re-validation (family
+    /// base-state mismatch, broken DP chain, invalid rate spec, ...).
+    pub invalid_records: u64,
+}
+
+impl LoadReport {
+    /// Whether the load saw any damage at all.
+    pub fn clean(&self) -> bool {
+        *self == LoadReport::default()
+    }
+}
+
+/// Write-behind counters. Monotone; read with [`PlanStore::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records accepted onto the write-behind queue.
+    pub enqueued: u64,
+    /// Records the writer has retired (written, or dropped/failed — see the
+    /// other counters). `enqueued - retired` is the current queue depth.
+    pub retired: u64,
+    /// Records dropped under backpressure (queue full, oldest evicted).
+    pub dropped: u64,
+    /// Records whose disk write failed (counted retired; the writer keeps
+    /// going so the serve path never blocks on a sick disk).
+    pub write_errors: u64,
+}
+
+/// Errors opening a store. Runtime write failures are *not* errors — they are
+/// counted in [`StoreStats::write_errors`] and degrade durability, not
+/// service.
+#[derive(Debug)]
+pub struct StoreError {
+    context: String,
+    source: std::io::Error,
+}
+
+impl StoreError {
+    fn new(context: impl Into<String>, source: std::io::Error) -> Self {
+        StoreError {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.context, self.source)
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// The three streams, used to route queued records to their appender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stream {
+    Plans,
+    Families,
+    Journal,
+}
+
+impl Stream {
+    const ALL: [Stream; 3] = [Stream::Plans, Stream::Families, Stream::Journal];
+
+    fn file_name(self) -> &'static str {
+        match self {
+            Stream::Plans => "plans.log",
+            Stream::Families => "families.log",
+            Stream::Journal => "journal.log",
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Stream::Plans => "plans",
+            Stream::Families => "families",
+            Stream::Journal => "journal",
+        }
+    }
+
+    fn header(self) -> String {
+        format!("{STORE_HEADER} {}", self.label())
+    }
+}
+
+/// A queued write: the target stream and the already-serialized payload.
+/// Serialization happens on the producer side so a record captured now is
+/// immune to later mutation of the live object (a family table that keeps
+/// extending, say).
+struct QueuedRecord {
+    stream: Stream,
+    payload: String,
+}
+
+/// Queue state guarded by the store mutex.
+struct QueueState {
+    records: VecDeque<QueuedRecord>,
+    closed: bool,
+    enqueued: u64,
+    retired: u64,
+}
+
+struct StoreShared {
+    queue: Mutex<QueueState>,
+    /// Signals the writer that records (or close) arrived.
+    work_ready: Condvar,
+    /// Signals flushers that the writer retired more records.
+    drained: Condvar,
+    dropped: AtomicU64,
+    write_errors: AtomicU64,
+    capacity: usize,
+}
+
+/// The durable plan store: three append-only streams behind one background
+/// writer. Cheap to share: wrap in an `Arc` (the service and the family
+/// layer both hold one).
+pub struct PlanStore {
+    shared: Arc<StoreShared>,
+    dir: PathBuf,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for PlanStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanStore")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Default bound on the write-behind queue. Each record is one serialized
+/// line; at the default the queue tops out around a few MB of pending JSON
+/// before drop-oldest kicks in.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 4096;
+
+impl PlanStore {
+    /// Opens (creating if absent) the store directory, replays all three
+    /// streams, truncates any corrupt tails, and starts the background
+    /// writer. Returns the store handle plus everything that was loaded.
+    ///
+    /// One store directory must be owned by one process at a time; the store
+    /// performs no cross-process locking.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(Arc<PlanStore>, StoreSnapshot), StoreError> {
+        Self::open_with_capacity(dir, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// [`PlanStore::open`] with an explicit write-behind queue bound.
+    pub fn open_with_capacity(
+        dir: impl AsRef<Path>,
+        queue_capacity: usize,
+    ) -> Result<(Arc<PlanStore>, StoreSnapshot), StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::new(format!("creating store dir {}", dir.display()), e))?;
+
+        let mut report = LoadReport::default();
+        let mut appenders = Vec::new();
+        let mut raw: HashMap<&'static str, Vec<String>> = HashMap::new();
+        for stream in Stream::ALL {
+            let path = dir.join(stream.file_name());
+            let replayed = replay_stream(&path, stream, &mut report)?;
+            if replayed.sideline {
+                // Preserve the unreadable bytes (newer format after a
+                // rollback?) instead of destroying them; a previously
+                // sidelined file of the same stream is replaced.
+                let parked = dir.join(format!("{}.unreadable", stream.file_name()));
+                std::fs::rename(&path, &parked)
+                    .map_err(|e| StoreError::new(format!("sidelining {}", path.display()), e))?;
+            }
+            appenders.push((stream, open_appender(&path, stream, replayed.good_prefix)?));
+            raw.insert(stream.label(), replayed.payloads);
+        }
+
+        let mut snapshot = StoreSnapshot {
+            report,
+            ..StoreSnapshot::default()
+        };
+        reduce_plans(&raw[Stream::Plans.label()], &mut snapshot);
+        reduce_families(&raw[Stream::Families.label()], &mut snapshot);
+        reduce_journal(&raw[Stream::Journal.label()], &mut snapshot);
+
+        let shared = Arc::new(StoreShared {
+            queue: Mutex::new(QueueState {
+                records: VecDeque::new(),
+                closed: false,
+                enqueued: 0,
+                retired: 0,
+            }),
+            work_ready: Condvar::new(),
+            drained: Condvar::new(),
+            dropped: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            capacity: queue_capacity.max(1),
+        });
+        let writer = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("store-writer".to_owned())
+                .spawn(move || writer_loop(&shared, appenders))
+                .map_err(|e| StoreError::new("spawning store writer", e))?
+        };
+        Ok((
+            Arc::new(PlanStore {
+                shared,
+                dir,
+                writer: Some(writer),
+            }),
+            snapshot,
+        ))
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Queues a plan snapshot for the exact-match stream.
+    pub fn record_plan(&self, fingerprint: u64, plan: &TunedPlan) {
+        let record = PlanRecord {
+            fingerprint,
+            plan: plan.clone(),
+        };
+        self.enqueue(Stream::Plans, &record, false);
+    }
+
+    /// [`PlanStore::record_plan`], but blocking while the queue is full
+    /// instead of dropping the oldest record. For flush paths, which have no
+    /// latency constraint and must not lose working-set records to
+    /// backpressure.
+    pub fn record_plan_blocking(&self, fingerprint: u64, plan: &TunedPlan) {
+        let record = PlanRecord {
+            fingerprint,
+            plan: plan.clone(),
+        };
+        self.enqueue(Stream::Plans, &record, true);
+    }
+
+    /// Queues a family snapshot. Callers re-record a family whenever its
+    /// table grows; on load the record with the largest coverage wins.
+    pub fn record_family(&self, record: &FamilyRecord) {
+        self.enqueue(Stream::Families, record, false);
+    }
+
+    /// [`PlanStore::record_family`] with full-queue blocking (see
+    /// [`PlanStore::record_plan_blocking`]).
+    pub fn record_family_blocking(&self, record: &FamilyRecord) {
+        self.enqueue(Stream::Families, record, true);
+    }
+
+    /// Queues a journal entry.
+    pub fn record_journal(&self, record: &JournalRecord) {
+        self.enqueue(Stream::Journal, record, false);
+    }
+
+    /// Blocks until every record enqueued before this call has been retired
+    /// by the writer (written, or counted as a write error). Used by planned
+    /// shutdowns and tests; crash durability is whatever the writer had
+    /// already retired.
+    pub fn flush(&self) {
+        let mut queue = self.shared.queue.lock().expect("store queue poisoned");
+        let target = queue.enqueued;
+        while queue.retired < target && !queue.closed {
+            queue = self
+                .shared
+                .drained
+                .wait(queue)
+                .expect("store queue poisoned");
+        }
+    }
+
+    /// Current write-behind counters.
+    pub fn stats(&self) -> StoreStats {
+        let (enqueued, retired) = {
+            let queue = self.shared.queue.lock().expect("store queue poisoned");
+            (queue.enqueued, queue.retired)
+        };
+        StoreStats {
+            enqueued,
+            retired,
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            write_errors: self.shared.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn enqueue<T: Serialize>(&self, stream: Stream, record: &T, block_when_full: bool) {
+        let payload = match serde_json::to_string(record) {
+            Ok(payload) => payload,
+            Err(_) => {
+                // The shim serializer is infallible for these types; treat a
+                // failure like a write error rather than panicking the
+                // serve path.
+                self.shared.write_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let mut queue = self.shared.queue.lock().expect("store queue poisoned");
+        if queue.closed {
+            return;
+        }
+        if block_when_full {
+            // Flush path: wait for the writer instead of shedding — a
+            // planned shutdown must persist the *full* working set.
+            while queue.records.len() >= self.shared.capacity && !queue.closed {
+                queue = self
+                    .shared
+                    .drained
+                    .wait(queue)
+                    .expect("store queue poisoned");
+            }
+            if queue.closed {
+                return;
+            }
+        } else if queue.records.len() >= self.shared.capacity {
+            // Drop-oldest backpressure: persistence lags, serving does not.
+            queue.records.pop_front();
+            queue.retired += 1;
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        queue.records.push_back(QueuedRecord { stream, payload });
+        queue.enqueued += 1;
+        drop(queue);
+        self.shared.work_ready.notify_one();
+    }
+}
+
+impl Drop for PlanStore {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("store queue poisoned");
+            queue.closed = true;
+        }
+        self.shared.work_ready.notify_all();
+        self.shared.drained.notify_all();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+/// The background writer: drains the queue in batches, appends each record
+/// to its stream and flushes the touched appenders. On close it drains
+/// whatever is left before exiting, so a graceful drop loses nothing.
+fn writer_loop(shared: &StoreShared, appenders: Vec<(Stream, BufWriter<File>)>) {
+    let mut appenders: HashMap<&'static str, BufWriter<File>> = appenders
+        .into_iter()
+        .map(|(stream, writer)| (stream.label(), writer))
+        .collect();
+    loop {
+        let batch: Vec<QueuedRecord> = {
+            let mut queue = shared.queue.lock().expect("store queue poisoned");
+            while queue.records.is_empty() && !queue.closed {
+                queue = shared.work_ready.wait(queue).expect("store queue poisoned");
+            }
+            if queue.records.is_empty() {
+                return; // closed and drained
+            }
+            queue.records.drain(..).collect()
+        };
+        let mut touched: Vec<&'static str> = Vec::new();
+        let count = batch.len() as u64;
+        for record in batch {
+            let label = record.stream.label();
+            let appender = appenders.get_mut(label).expect("appender per stream");
+            let mut hash = Fnv1a::new();
+            hash.write_bytes(record.payload.as_bytes());
+            let line = format!("{:016x}\t{}\n", hash.finish(), record.payload);
+            if appender.write_all(line.as_bytes()).is_err() {
+                shared.write_errors.fetch_add(1, Ordering::Relaxed);
+            } else if !touched.contains(&label) {
+                touched.push(label);
+            }
+        }
+        for label in touched {
+            if appenders
+                .get_mut(label)
+                .expect("appender per stream")
+                .flush()
+                .is_err()
+            {
+                shared.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut queue = shared.queue.lock().expect("store queue poisoned");
+        queue.retired += count;
+        drop(queue);
+        shared.drained.notify_all();
+    }
+}
+
+/// The outcome of replaying one stream: the checksummed-valid record
+/// payloads, plus what the appender must do before writing resumes.
+struct ReplayedStream {
+    payloads: Vec<String>,
+    /// Byte length of the good prefix; anything after it is corrupt and is
+    /// truncated away before appending resumes.
+    good_prefix: u64,
+    /// The whole file is unreadable (unknown header version): it must be
+    /// **sidelined, not truncated** — the data may belong to a newer store
+    /// format, and a binary rollback must not destroy it.
+    sideline: bool,
+}
+
+impl ReplayedStream {
+    fn empty() -> Self {
+        ReplayedStream {
+            payloads: Vec::new(),
+            good_prefix: 0,
+            sideline: false,
+        }
+    }
+}
+
+/// Reads one stream; see [`ReplayedStream`] for what the caller must do with
+/// the result.
+fn replay_stream(
+    path: &Path,
+    stream: Stream,
+    report: &mut LoadReport,
+) -> Result<ReplayedStream, StoreError> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut file) => {
+            file.read_to_end(&mut bytes)
+                .map_err(|e| StoreError::new(format!("reading {}", path.display()), e))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ReplayedStream::empty()),
+        Err(e) => return Err(StoreError::new(format!("opening {}", path.display()), e)),
+    }
+    if bytes.is_empty() {
+        return Ok(ReplayedStream::empty());
+    }
+
+    let header = stream.header();
+    let mut offset = match bytes.iter().position(|&b| b == b'\n') {
+        Some(end) if bytes[..end] == *header.as_bytes() => end + 1,
+        _ => {
+            // Unknown version or mangled header: the whole file is
+            // unreadable here. Start the stream cold, but keep the bytes
+            // (sidelined) — they may be a newer format after a rollback.
+            report.corrupt_streams += 1;
+            return Ok(ReplayedStream {
+                payloads: Vec::new(),
+                good_prefix: 0,
+                sideline: true,
+            });
+        }
+    };
+
+    let mut payloads = Vec::new();
+    while offset < bytes.len() {
+        let line_end = bytes[offset..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| offset + i);
+        let Some(line_end) = line_end else {
+            // Unterminated final line: even if its checksum happens to pass
+            // (a crash can land exactly at the end of a payload, before the
+            // newline), accepting it would leave `good_prefix` without a
+            // terminator and the next append would merge onto this line —
+            // corrupting *both* records at the following recovery. Drop it.
+            report.corrupt_tails += 1;
+            break;
+        };
+        match parse_record_line(&bytes[offset..line_end]) {
+            Some(payload) => {
+                payloads.push(payload);
+                offset = line_end + 1;
+            }
+            None => {
+                // Truncated tail or bit flip: drop this line and everything
+                // after it.
+                report.corrupt_tails += 1;
+                break;
+            }
+        }
+    }
+    Ok(ReplayedStream {
+        payloads,
+        good_prefix: offset as u64,
+        sideline: false,
+    })
+}
+
+/// Checks one `<checksum>\t<payload>` line, returning the payload when the
+/// checksum matches and the payload is valid UTF-8.
+fn parse_record_line(line: &[u8]) -> Option<String> {
+    let tab = line.iter().position(|&b| b == b'\t')?;
+    let (checksum_hex, payload) = (&line[..tab], &line[tab + 1..]);
+    let checksum_hex = std::str::from_utf8(checksum_hex).ok()?;
+    let expected = u64::from_str_radix(checksum_hex, 16).ok()?;
+    let mut hash = Fnv1a::new();
+    hash.write_bytes(payload);
+    if hash.finish() != expected {
+        return None;
+    }
+    String::from_utf8(payload.to_vec()).ok()
+}
+
+/// Opens a stream for appending after its good prefix, truncating any
+/// corrupt tail away and writing the header into fresh/unreadable files.
+fn open_appender(
+    path: &Path,
+    stream: Stream,
+    good_prefix: u64,
+) -> Result<BufWriter<File>, StoreError> {
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)
+        .map_err(|e| StoreError::new(format!("opening {} for append", path.display()), e))?;
+    file.set_len(good_prefix)
+        .map_err(|e| StoreError::new(format!("truncating {}", path.display()), e))?;
+    file.seek(SeekFrom::End(0))
+        .map_err(|e| StoreError::new(format!("seeking {}", path.display()), e))?;
+    let mut writer = BufWriter::new(file);
+    if good_prefix == 0 {
+        writer
+            .write_all(format!("{}\n", stream.header()).as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| StoreError::new(format!("writing header to {}", path.display()), e))?;
+    }
+    Ok(writer)
+}
+
+/// Parses and deduplicates plan records: first writer wins per fingerprint,
+/// mirroring the cache's incumbent semantics (equal fingerprints imply
+/// bit-identical plans anyway).
+fn reduce_plans(payloads: &[String], snapshot: &mut StoreSnapshot) {
+    let mut seen: HashSet<u64> = HashSet::new();
+    for payload in payloads {
+        let Ok(record) = serde_json::from_str::<PlanRecord>(payload) else {
+            snapshot.report.invalid_records += 1;
+            continue;
+        };
+        if seen.insert(record.fingerprint) {
+            snapshot.plans.push(record);
+        }
+    }
+}
+
+/// Parses, deduplicates (largest table coverage wins) and semantically
+/// re-validates family records.
+fn reduce_families(payloads: &[String], snapshot: &mut StoreSnapshot) {
+    let mut best: HashMap<u64, FamilyRecord> = HashMap::new();
+    for payload in payloads {
+        let Ok(record) = serde_json::from_str::<FamilyRecord>(payload) else {
+            snapshot.report.invalid_records += 1;
+            continue;
+        };
+        match best.entry(record.fingerprint) {
+            Entry::Vacant(slot) => {
+                slot.insert(record);
+            }
+            Entry::Occupied(mut slot) => {
+                if record.table.max_budget() > slot.get().table.max_budget() {
+                    slot.insert(record);
+                }
+            }
+        }
+    }
+    let mut families: Vec<FamilyRecord> = best.into_values().collect();
+    families.sort_by_key(|record| record.fingerprint);
+    for record in families {
+        match validate_family(record) {
+            Some(loaded) => snapshot.families.push(loaded),
+            None => snapshot.report.invalid_records += 1,
+        }
+    }
+}
+
+/// The load-time family validation described in the module docs. `None`
+/// means "discard the record and let the family re-seed cold".
+fn validate_family(record: FamilyRecord) -> Option<LoadedFamily> {
+    let rate_model = record.rate.build().ok()?;
+    // Unit costs must be exactly the group shapes' `n_i · k_i`.
+    if record.table.unit_costs.len() != record.groups.len() {
+        return None;
+    }
+    for (&cost, &(size, repetitions)) in record.table.unit_costs.iter().zip(&record.groups) {
+        if size == 0 || repetitions == 0 || cost != size * u64::from(repetitions) {
+            return None;
+        }
+    }
+    // Full DP-chain validation (decisions affordable, spend chain
+    // consistent, objectives finite). The rebuilt table is discarded —
+    // rehydration is lazy — but a record that cannot rebuild must not reach
+    // the archive.
+    DpTable::from_snapshot(&record.table).ok()?;
+    // The base-state objective check of `DpTable::extend_to`, run eagerly:
+    // re-evaluate the level-0 objective (one unit per repetition of every
+    // group) against the reloaded curve and require bit equality. This is
+    // what catches a rate spec that no longer matches the table — wrong
+    // tables are discarded, never extended.
+    let rate = rate_model.on_hold_rate(1.0);
+    if !rate.is_finite() || rate <= 0.0 {
+        return None;
+    }
+    let mut base = 0.0;
+    for &(size, repetitions) in &record.groups {
+        base += group_phase1_expected(size, repetitions, rate).ok()?;
+    }
+    if Some(base.to_bits()) != record.table.base_objective_bits() {
+        return None;
+    }
+    Some(LoadedFamily { record, rate_model })
+}
+
+/// Replays the journal: submits without a matching completion become
+/// [`PendingJob`]s, in submit order.
+fn reduce_journal(payloads: &[String], snapshot: &mut StoreSnapshot) {
+    let mut pending: Vec<PendingJob> = Vec::new();
+    // HashSet, not Vec: the journal is append-only and uncompacted, so after
+    // N served jobs a linear `contains` would make recovery O(N²).
+    let mut completed: HashSet<u64> = HashSet::new();
+    for payload in payloads {
+        let Ok(record) = serde_json::from_str::<JournalRecord>(payload) else {
+            snapshot.report.invalid_records += 1;
+            continue;
+        };
+        match record {
+            JournalRecord::Submitted {
+                job_id,
+                tenant,
+                task_set,
+                budget,
+                rate,
+                strategy,
+            } => {
+                snapshot.max_job_id = snapshot.max_job_id.max(job_id);
+                pending.push(PendingJob {
+                    job_id,
+                    tenant,
+                    task_set,
+                    budget,
+                    rate,
+                    strategy,
+                });
+            }
+            JournalRecord::Completed { job_id } => {
+                snapshot.max_job_id = snapshot.max_job_id.max(job_id);
+                completed.insert(job_id);
+            }
+        }
+    }
+    pending.retain(|job| !completed.contains(&job.job_id));
+    snapshot.pending_jobs = pending;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_core::money::{Allocation, Payment};
+    use crowdtune_core::problem::{LatencyTarget, TuningResult};
+    use crowdtune_core::rate::LinearRate;
+    use std::sync::atomic::AtomicU32;
+
+    /// A process-unique scratch directory (no tempfile crate offline).
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "crowdtune-store-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn plan(tag: u64) -> TunedPlan {
+        TunedPlan {
+            result: TuningResult::new(
+                "RA",
+                Allocation::uniform(&[2, 3], Payment::units(tag)),
+                Some(tag as f64 * 0.37),
+                LatencyTarget::GroupSumOnHold,
+            ),
+            expected_latency: tag as f64 * 1.21,
+            expected_on_hold_latency: tag as f64 * 0.5,
+        }
+    }
+
+    #[test]
+    fn fresh_store_is_empty_and_round_trips_records() {
+        let dir = scratch_dir("roundtrip");
+        {
+            let (store, snapshot) = PlanStore::open(&dir).unwrap();
+            assert!(snapshot.report.clean());
+            assert!(snapshot.plans.is_empty());
+            store.record_plan(7, &plan(1));
+            store.record_plan(9, &plan(2));
+            store.record_plan(7, &plan(3)); // duplicate key: incumbent wins on load
+            store.record_journal(&JournalRecord::Submitted {
+                job_id: 4,
+                tenant: "acme".to_owned(),
+                task_set: {
+                    let mut set = TaskSet::new();
+                    let ty = set.add_type("vote", 2.0).unwrap();
+                    set.add_tasks(ty, 3, 2).unwrap();
+                    set
+                },
+                budget: 40,
+                rate: RateSpec::Linear(LinearRate::unit_slope()),
+                strategy: StrategyChoice::Auto,
+            });
+            store.record_journal(&JournalRecord::Submitted {
+                job_id: 5,
+                tenant: "acme".to_owned(),
+                task_set: {
+                    let mut set = TaskSet::new();
+                    let ty = set.add_type("vote", 2.0).unwrap();
+                    set.add_tasks(ty, 3, 2).unwrap();
+                    set
+                },
+                budget: 60,
+                rate: RateSpec::Linear(LinearRate::unit_slope()),
+                strategy: StrategyChoice::Auto,
+            });
+            store.record_journal(&JournalRecord::Completed { job_id: 4 });
+            store.flush();
+            let stats = store.stats();
+            assert_eq!(stats.enqueued, 6);
+            assert_eq!(stats.retired, 6);
+            assert_eq!(stats.dropped, 0);
+            assert_eq!(stats.write_errors, 0);
+        }
+        let (_store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert!(snapshot.report.clean());
+        assert_eq!(snapshot.plans.len(), 2);
+        let by_key: HashMap<u64, &TunedPlan> = snapshot
+            .plans
+            .iter()
+            .map(|r| (r.fingerprint, &r.plan))
+            .collect();
+        assert_eq!(by_key[&7], &plan(1), "first writer wins");
+        assert_eq!(
+            by_key[&7].expected_latency.to_bits(),
+            plan(1).expected_latency.to_bits()
+        );
+        assert_eq!(by_key[&9], &plan(2));
+        // Job 4 completed; job 5 is pending, and the id counter resumes past
+        // the largest journaled id.
+        assert_eq!(snapshot.pending_jobs.len(), 1);
+        assert_eq!(snapshot.pending_jobs[0].job_id, 5);
+        assert_eq!(snapshot.pending_jobs[0].budget, 60);
+        assert_eq!(snapshot.max_job_id, 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bounded_queue_drops_oldest_under_backpressure() {
+        let dir = scratch_dir("backpressure");
+        // Enqueue far more than the tiny capacity in a tight loop: whenever
+        // the producer outruns the writer the queue drops its oldest entry
+        // instead of blocking the (serve-path) producer.
+        let (store, _) = PlanStore::open_with_capacity(&dir, 2).unwrap();
+        for i in 0..64u64 {
+            store.record_plan(i, &plan(i));
+        }
+        store.flush();
+        let stats = store.stats();
+        assert_eq!(stats.enqueued, 64);
+        assert_eq!(stats.retired, 64);
+        // With capacity 2 and a racing writer some records persist and some
+        // drop; the invariant is accounting consistency, not a drop count.
+        assert_eq!(stats.write_errors, 0);
+        drop(store);
+        let (_store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert!(snapshot.report.clean());
+        assert!(!snapshot.plans.is_empty(), "some records persisted");
+        assert!(snapshot.plans.len() <= 64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_drops_only_the_suffix() {
+        let dir = scratch_dir("truncate");
+        {
+            let (store, _) = PlanStore::open(&dir).unwrap();
+            for i in 0..4u64 {
+                store.record_plan(i, &plan(i));
+            }
+            store.flush();
+        }
+        let path = dir.join("plans.log");
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut mid-way through the last record (simulating a crash mid-write).
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let (store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert_eq!(snapshot.report.corrupt_tails, 1);
+        assert_eq!(snapshot.plans.len(), 3, "good prefix survives");
+        // Appending after recovery lands cleanly after the truncated point.
+        store.record_plan(99, &plan(99));
+        store.flush();
+        drop(store);
+        let (_store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert!(snapshot.report.clean());
+        assert_eq!(snapshot.plans.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_invalidates_the_record_and_its_suffix() {
+        let dir = scratch_dir("bitflip");
+        {
+            let (store, _) = PlanStore::open(&dir).unwrap();
+            for i in 0..5u64 {
+                store.record_plan(i, &plan(i));
+            }
+            store.flush();
+        }
+        let path = dir.join("plans.log");
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit inside the third record's payload.
+        let mut newlines = 0usize;
+        let mut target = None;
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                newlines += 1;
+                if newlines == 3 {
+                    target = Some(i + 24);
+                    break;
+                }
+            }
+        }
+        let target = target.unwrap();
+        bytes[target] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert_eq!(snapshot.report.corrupt_tails, 1);
+        assert_eq!(
+            snapshot.plans.len(),
+            2,
+            "records before the flipped one survive; the rest are dropped"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_starts_the_stream_cold() {
+        let dir = scratch_dir("version");
+        {
+            let (store, _) = PlanStore::open(&dir).unwrap();
+            store.record_plan(1, &plan(1));
+            store.flush();
+        }
+        let path = dir.join("plans.log");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let bumped = text.replace("crowdtune-store v1", "crowdtune-store v2");
+        assert_ne!(text, bumped);
+        std::fs::write(&path, bumped).unwrap();
+        let (store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert_eq!(snapshot.report.corrupt_streams, 1);
+        assert!(snapshot.plans.is_empty(), "unknown version loads nothing");
+        // The unreadable bytes are sidelined, not destroyed: a rolled-back
+        // binary must never wipe a newer format's durable state.
+        let parked = std::fs::read_to_string(dir.join("plans.log.unreadable")).unwrap();
+        assert!(parked.starts_with("crowdtune-store v2"));
+        // The stream restarts under the current header and works again.
+        store.record_plan(2, &plan(2));
+        store.flush();
+        drop(store);
+        let (_store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert!(snapshot.report.clean());
+        assert_eq!(snapshot.plans.len(), 1);
+        assert_eq!(snapshot.plans[0].fingerprint, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A crash can cut a stream exactly at the end of a payload, before its
+    /// newline: the checksum of that line passes, but accepting it would
+    /// make the next append merge onto it and corrupt both records at the
+    /// following recovery. The unterminated line must be dropped instead.
+    #[test]
+    fn unterminated_final_line_is_dropped_even_with_a_valid_checksum() {
+        let dir = scratch_dir("no-newline");
+        {
+            let (store, _) = PlanStore::open(&dir).unwrap();
+            for i in 0..3u64 {
+                store.record_plan(i, &plan(i));
+            }
+            store.flush();
+        }
+        let path = dir.join("plans.log");
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.last(), Some(&b'\n'));
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        // First recovery: the final record is checksum-valid but
+        // unterminated — dropped and truncated away.
+        let (store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert_eq!(snapshot.report.corrupt_tails, 1);
+        assert_eq!(snapshot.plans.len(), 2);
+        // Appends land on a clean prefix: the next recovery sees every
+        // surviving record plus the new one, with no merged-line damage.
+        store.record_plan(9, &plan(9));
+        store.flush();
+        drop(store);
+        let (_store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert!(snapshot.report.clean());
+        assert_eq!(snapshot.plans.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Bench regression guard driven by a per-metric tolerance table.
+
+Compares a freshly measured bench JSON (quick mode, emitted by the CI bench
+smoke steps) against the committed baseline and fails when any guarded
+metric drops below its per-metric tolerance floor.
+
+Raw nanoseconds are not comparable across runner generations, so every
+guarded metric is an **in-run speedup ratio**: both sides of the ratio are
+measured in the same process on the same machine, which normalises CPU speed
+away. A real slowdown of the guarded hot path shows up as a drop in the
+ratio.
+
+Suites (see SUITES below):
+
+* ``dp`` — the separable DP scan (BENCH_dp.json): per-budget rows, guarding
+  ``speedup_vs_reference`` at 25% tolerance. Quick mode uses few samples, so
+  small wobbles are expected; 25% is far outside the observed noise (<10%)
+  while still catching an accidental O(n)-per-candidate regression (2x+).
+* ``family`` — cross-job plan-family reuse (BENCH_family.json): guarding the
+  cross-budget medians. The solve-only speedup (~30x: table read/extension
+  vs cold RA solve) is tight and gets the standard 25% tolerance; the
+  end-to-end speedup (~2.7x) includes the latency-estimate attach and is
+  noisier in quick mode, so it gets a looser 60% floor that still catches
+  "family layer stopped reusing" (which costs the full ~2.7x).
+
+Usage: check_bench_regression.py <suite> <baseline.json> <fresh.json>
+"""
+
+import json
+import sys
+
+# suite -> {"rows": (list key, row key, [(metric, tolerance)...]) | None,
+#           "scalars": [(top-level metric, tolerance)...]}
+SUITES = {
+    "dp": {
+        "rows": ("results", "budget", [("speedup_vs_reference", 1.25)]),
+        "scalars": [],
+    },
+    "family": {
+        "rows": None,
+        "scalars": [
+            ("median_family_hit_speedup_solve_only", 1.25),
+            ("median_family_hit_speedup_end_to_end", 1.60),
+        ],
+    },
+}
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def check(label, baseline_value, fresh_value, tolerance, failures):
+    floor = baseline_value / tolerance
+    verdict = "ok" if fresh_value >= floor else "REGRESSION"
+    print(
+        f"{label}: baseline {baseline_value:.2f}x, fresh {fresh_value:.2f}x "
+        f"(floor {floor:.2f}x, tolerance {tolerance:.2f}x) -> {verdict}"
+    )
+    if fresh_value < floor:
+        failures.append(label)
+
+
+def main():
+    if len(sys.argv) != 4 or sys.argv[1] not in SUITES:
+        suites = ", ".join(sorted(SUITES))
+        sys.exit(f"usage: {sys.argv[0]} <{suites}> <baseline.json> <fresh.json>")
+    suite = SUITES[sys.argv[1]]
+    baseline = load(sys.argv[2])
+    fresh = load(sys.argv[3])
+
+    failures = []
+    checked = 0
+    if suite["rows"] is not None:
+        list_key, row_key, metrics = suite["rows"]
+        base_rows = {row[row_key]: row for row in baseline[list_key]}
+        fresh_rows = {row[row_key]: row for row in fresh[list_key]}
+        shared = sorted(set(base_rows) & set(fresh_rows))
+        if not shared:
+            sys.exit("no common rows between baseline and fresh results")
+        for key in shared:
+            for metric, tolerance in metrics:
+                if base_rows[key].get(metric) is None or fresh_rows[key].get(metric) is None:
+                    continue
+                check(
+                    f"{row_key} {key} {metric}",
+                    base_rows[key][metric],
+                    fresh_rows[key][metric],
+                    tolerance,
+                    failures,
+                )
+                checked += 1
+    for metric, tolerance in suite["scalars"]:
+        check(metric, baseline[metric], fresh[metric], tolerance, failures)
+        checked += 1
+
+    if checked == 0:
+        sys.exit("nothing to check: metric table matched no data")
+    if failures:
+        sys.exit(f"bench suite '{sys.argv[1]}' regressed beyond tolerance: {failures}")
+    print(f"bench suite '{sys.argv[1]}' regression guard passed ({checked} metrics)")
+
+
+if __name__ == "__main__":
+    main()
