@@ -104,6 +104,25 @@ impl AtomicTask {
     }
 }
 
+/// The network wire form of one homogeneous batch of tasks: `tasks` atomic
+/// tasks of one difficulty class, each requiring `repetitions` answers.
+///
+/// This is the client-facing description a job submission carries over the
+/// wire (see the `crowdtune-gateway` crate): compact, self-contained (no id
+/// bookkeeping), and convertible into a validated [`TaskSet`] with
+/// [`TaskSet::from_group_specs`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskGroupSpec {
+    /// Human readable name of the difficulty class, e.g. `"sorting vote"`.
+    pub name: String,
+    /// Processing-phase clock rate `λp` of the class.
+    pub processing_rate: f64,
+    /// Number of atomic tasks in this batch.
+    pub tasks: u64,
+    /// Answer repetitions required per task.
+    pub repetitions: u32,
+}
+
 /// A set of atomic tasks forming one job, together with the catalogue of task
 /// types they reference.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -129,6 +148,74 @@ impl TaskSet {
         debug_assert!(staged.is_empty());
         let pending = tasks_into(set, tasks)?;
         Ok(pending)
+    }
+
+    /// Builds a task set from the network wire form: one [`TaskGroupSpec`]
+    /// per homogeneous batch of tasks. Specs naming the same `(name,
+    /// processing-rate)` pair share one registered [`TaskType`], so a job
+    /// described as several groups of one difficulty classifies into the same
+    /// paper scenario as the equivalent hand-built set (`is_homogeneous_type`
+    /// would otherwise split on spurious duplicate type ids).
+    pub fn from_group_specs(groups: &[TaskGroupSpec]) -> Result<Self> {
+        let mut set = TaskSet::new();
+        let mut types: Vec<(String, u64, TaskTypeId)> = Vec::new();
+        for group in groups {
+            if group.tasks == 0 {
+                return Err(CoreError::invalid_argument(format!(
+                    "group `{}` declares zero tasks",
+                    group.name
+                )));
+            }
+            let rate_bits = group.processing_rate.to_bits();
+            let ty = match types
+                .iter()
+                .find(|(name, bits, _)| *name == group.name && *bits == rate_bits)
+            {
+                Some(&(_, _, id)) => id,
+                None => {
+                    let id = set.add_type(group.name.clone(), group.processing_rate)?;
+                    types.push((group.name.clone(), rate_bits, id));
+                    id
+                }
+            };
+            let count = usize::try_from(group.tasks).map_err(|_| {
+                CoreError::invalid_argument(format!(
+                    "group `{}` declares {} tasks, beyond addressable range",
+                    group.name, group.tasks
+                ))
+            })?;
+            set.add_tasks(ty, group.repetitions, count)?;
+        }
+        Ok(set)
+    }
+
+    /// The inverse of [`TaskSet::from_group_specs`]: collapses the set into
+    /// its wire form, one spec per maximal run of tasks sharing type and
+    /// repetition count (in task order, so round-tripping preserves the
+    /// grouping structure a client submitted).
+    pub fn to_group_specs(&self) -> Vec<TaskGroupSpec> {
+        let mut specs: Vec<TaskGroupSpec> = Vec::new();
+        for task in &self.tasks {
+            let ty = self
+                .type_by_id(task.task_type)
+                .expect("tasks reference registered types");
+            match specs.last_mut() {
+                Some(last)
+                    if last.name == ty.name
+                        && last.processing_rate.to_bits() == ty.processing_rate.to_bits()
+                        && last.repetitions == task.repetitions =>
+                {
+                    last.tasks += 1;
+                }
+                _ => specs.push(TaskGroupSpec {
+                    name: ty.name.clone(),
+                    processing_rate: ty.processing_rate,
+                    tasks: 1,
+                    repetitions: task.repetitions,
+                }),
+            }
+        }
+        specs
     }
 
     /// Registers a task type and returns its id.
@@ -331,6 +418,69 @@ mod tests {
         set.add_tasks(sort, 3, 2).unwrap();
         set.add_tasks(filter, 5, 3).unwrap();
         set
+    }
+
+    #[test]
+    fn group_specs_round_trip_and_share_types() {
+        let specs = vec![
+            TaskGroupSpec {
+                name: "vote".to_owned(),
+                processing_rate: 2.0,
+                tasks: 3,
+                repetitions: 3,
+            },
+            TaskGroupSpec {
+                name: "vote".to_owned(),
+                processing_rate: 2.0,
+                tasks: 4,
+                repetitions: 5,
+            },
+        ];
+        let set = TaskSet::from_group_specs(&specs).unwrap();
+        assert_eq!(set.len(), 7);
+        // Same (name, rate) pair → one registered type, so the set still
+        // classifies as homogeneous (Scenario II shape).
+        assert_eq!(set.types().len(), 1);
+        assert!(set.is_homogeneous_type());
+        assert!(!set.is_uniform_repetitions());
+        // The wire form survives the round trip.
+        assert_eq!(set.to_group_specs(), specs);
+        // And matches the equivalent hand-built set exactly.
+        let mut manual = TaskSet::new();
+        let ty = manual.add_type("vote", 2.0).unwrap();
+        manual.add_tasks(ty, 3, 3).unwrap();
+        manual.add_tasks(ty, 5, 4).unwrap();
+        assert_eq!(set, manual);
+    }
+
+    #[test]
+    fn group_specs_distinguish_types_by_name_and_rate() {
+        let spec = |name: &str, rate: f64| TaskGroupSpec {
+            name: name.to_owned(),
+            processing_rate: rate,
+            tasks: 2,
+            repetitions: 3,
+        };
+        let set =
+            TaskSet::from_group_specs(&[spec("easy", 3.0), spec("hard", 1.0), spec("easy", 1.0)])
+                .unwrap();
+        assert_eq!(set.types().len(), 3, "name or rate difference splits types");
+        assert!(!set.is_homogeneous_type());
+    }
+
+    #[test]
+    fn group_specs_reject_invalid_shapes() {
+        let spec = |tasks: u64, repetitions: u32, rate: f64| TaskGroupSpec {
+            name: "t".to_owned(),
+            processing_rate: rate,
+            tasks,
+            repetitions,
+        };
+        assert!(TaskSet::from_group_specs(&[spec(0, 3, 1.0)]).is_err());
+        assert!(TaskSet::from_group_specs(&[spec(2, 0, 1.0)]).is_err());
+        assert!(TaskSet::from_group_specs(&[spec(2, 3, 0.0)]).is_err());
+        assert!(TaskSet::from_group_specs(&[spec(2, 3, f64::NAN)]).is_err());
+        assert!(TaskSet::from_group_specs(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,581 @@
+//! A hand-rolled, std-only HTTP/1.1 message layer: bounded request parsing
+//! and response writing over any `BufRead`/`Write` pair.
+//!
+//! The parser is deliberately small — exactly the subset the gateway's JSON
+//! API needs — but strict about resource bounds: the request line, each
+//! header line, the header count and the body length are all capped by
+//! [`Limits`], and every torn, malformed or oversized input maps to a typed
+//! [`RequestError`] the server turns into a 4xx response (or a silent close
+//! for I/O failures) — never a panic, never unbounded buffering. Torn reads
+//! are first-class: the parser only ever consumes through a `BufRead`, so a
+//! request split at any byte boundary (slow clients, small MTUs) parses
+//! identically to one arriving whole, and bytes after a request stay in the
+//! reader — pipelined requests are simply parsed back to back.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Resource bounds applied while parsing one request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Longest accepted request line, in bytes.
+    pub max_request_line: usize,
+    /// Longest accepted single header line, in bytes.
+    pub max_header_line: usize,
+    /// Most headers accepted per request.
+    pub max_headers: usize,
+    /// Largest accepted body, in bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_header_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, as sent (e.g. `GET`, `POST`).
+    pub method: String,
+    /// The target path, up to but excluding any `?`.
+    pub path: String,
+    /// Decoded `k=v` query pairs in target order (no percent-decoding — the
+    /// gateway's API uses none).
+    pub query: Vec<(String, String)>,
+    /// Lower-cased header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client may reuse the connection (HTTP/1.1 default, or an
+    /// explicit `Connection: keep-alive`; `Connection: close` wins).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a (lower-cased) header, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed. Every variant except [`Io`] maps to an
+/// HTTP status via [`RequestError::status`]; [`Io`] means the transport
+/// failed mid-request (torn connection, read timeout) and the only honest
+/// answer is closing the socket.
+///
+/// [`Io`]: RequestError::Io
+#[derive(Debug)]
+pub enum RequestError {
+    /// Syntactically invalid request (bad request line, header or body
+    /// framing) → 400.
+    Malformed(String),
+    /// Request line or a header line exceeded its byte bound, or too many
+    /// headers → 431.
+    HeadersTooLarge,
+    /// Declared `Content-Length` beyond [`Limits::max_body`] → 413.
+    BodyTooLarge {
+        /// The configured bound the declaration exceeded.
+        limit: usize,
+    },
+    /// A feature this parser deliberately does not speak (chunked transfer
+    /// encoding, unknown HTTP version) → 501.
+    Unsupported(String),
+    /// The transport failed mid-request; no response can be delivered.
+    Io(std::io::Error),
+}
+
+impl RequestError {
+    /// The response status this error maps to (`None` for [`RequestError::Io`]:
+    /// close without answering).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            RequestError::Malformed(_) => Some(400),
+            RequestError::HeadersTooLarge => Some(431),
+            RequestError::BodyTooLarge { .. } => Some(413),
+            RequestError::Unsupported(_) => Some(501),
+            RequestError::Io(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Malformed(detail) => write!(f, "malformed request: {detail}"),
+            RequestError::HeadersTooLarge => f.write_str("request head exceeds configured bounds"),
+            RequestError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte bound")
+            }
+            RequestError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            RequestError::Io(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Reads one `\n`-terminated line (dropping the terminator and an optional
+/// preceding `\r`), consuming at most `limit` bytes. `Ok(None)` is a clean
+/// EOF before the first byte — the keep-alive "no further request" signal.
+fn read_line(reader: &mut impl BufRead, limit: usize) -> Result<Option<Vec<u8>>, RequestError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RequestError::Io(e)),
+        };
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(RequestError::Malformed(
+                    "connection closed mid-line".to_owned(),
+                ))
+            };
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map(|i| i + 1).unwrap_or(buf.len());
+        if line.len() + take > limit + 2 {
+            // +2: allow the terminator itself on a limit-sized line.
+            return Err(RequestError::HeadersTooLarge);
+        }
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            line.pop(); // '\n'
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if line.len() > limit {
+                return Err(RequestError::HeadersTooLarge);
+            }
+            return Ok(Some(line));
+        }
+    }
+}
+
+/// Parses one request from the reader. `Ok(None)` means the connection was
+/// closed cleanly before a request started (normal keep-alive end).
+pub fn read_request(
+    reader: &mut impl BufRead,
+    limits: &Limits,
+) -> Result<Option<Request>, RequestError> {
+    // Tolerate a little leading emptiness (RFC 9112 §2.2 asks servers to
+    // ignore at least one stray CRLF between pipelined requests).
+    let mut request_line = None;
+    for _ in 0..4 {
+        match read_line(reader, limits.max_request_line)? {
+            None => return Ok(None),
+            Some(line) if line.is_empty() => continue,
+            Some(line) => {
+                request_line = Some(line);
+                break;
+            }
+        }
+    }
+    let Some(line) = request_line else {
+        return Err(RequestError::Malformed(
+            "blank lines where a request line was expected".to_owned(),
+        ));
+    };
+    let line = String::from_utf8(line)
+        .map_err(|_| RequestError::Malformed("request line is not UTF-8".to_owned()))?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "request line is not `METHOD TARGET VERSION`: {line:?}"
+            )))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(RequestError::Malformed(format!(
+            "method is not an uppercase token: {method:?}"
+        )));
+    }
+    let keep_alive_default = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other if other.starts_with("HTTP/") => {
+            return Err(RequestError::Unsupported(format!("version {other}")))
+        }
+        other => {
+            return Err(RequestError::Malformed(format!(
+                "not an HTTP version: {other:?}"
+            )))
+        }
+    };
+    if !target.starts_with('/') {
+        return Err(RequestError::Malformed(format!(
+            "target must be origin-form: {target:?}"
+        )));
+    }
+    let (path, query_text) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
+    let query = query_text
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_owned(), v.to_owned()),
+            None => (pair.to_owned(), String::new()),
+        })
+        .collect();
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line(reader, limits.max_header_line)?.ok_or_else(|| {
+            RequestError::Malformed("connection closed inside the header block".to_owned())
+        })?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(RequestError::HeadersTooLarge);
+        }
+        let line = String::from_utf8(line)
+            .map_err(|_| RequestError::Malformed("header line is not UTF-8".to_owned()))?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed(format!(
+                "header line without a colon: {line:?}"
+            )));
+        };
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(RequestError::Malformed(format!(
+                "invalid header name: {name:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let mut keep_alive = keep_alive_default;
+    if let Some(connection) = header_value(&headers, "connection") {
+        let tokens: Vec<String> = connection
+            .split(',')
+            .map(|t| t.trim().to_ascii_lowercase())
+            .collect();
+        if tokens.iter().any(|t| t == "close") {
+            keep_alive = false;
+        } else if tokens.iter().any(|t| t == "keep-alive") {
+            keep_alive = true;
+        }
+    }
+
+    if header_value(&headers, "transfer-encoding").is_some() {
+        return Err(RequestError::Unsupported(
+            "transfer-encoding (use Content-Length)".to_owned(),
+        ));
+    }
+    // Repeated Content-Length headers are rejected outright (even when the
+    // values agree): behind a fronting proxy, any disagreement over which
+    // declaration frames the body is a request-smuggling desync vector
+    // (RFC 9112 §6.3 requires refusing differing values; refusing
+    // repetition entirely is the conservative superset).
+    let mut content_lengths = headers
+        .iter()
+        .filter(|(name, _)| name == "content-length")
+        .map(|(_, value)| value.as_str());
+    let declared_length = content_lengths.next();
+    if content_lengths.next().is_some() {
+        return Err(RequestError::Malformed(
+            "repeated Content-Length headers".to_owned(),
+        ));
+    }
+    let body = match declared_length {
+        None => Vec::new(),
+        Some(text) => {
+            let declared: u64 = text.trim().parse().map_err(|_| {
+                RequestError::Malformed(format!("invalid Content-Length: {text:?}"))
+            })?;
+            if declared > limits.max_body as u64 {
+                return Err(RequestError::BodyTooLarge {
+                    limit: limits.max_body,
+                });
+            }
+            let mut body = vec![0u8; declared as usize];
+            match reader.read_exact(&mut body) {
+                Ok(()) => body,
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                    return Err(RequestError::Malformed(
+                        "connection closed inside the declared body".to_owned(),
+                    ))
+                }
+                Err(e) => return Err(RequestError::Io(e)),
+            }
+        }
+    };
+
+    Ok(Some(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        query,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+fn header_value<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// One response about to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (the gateway always sends JSON).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+}
+
+/// The reason phrase for the statuses this gateway emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Serializes and writes one response in a single `write_all` (head and body
+/// together — one syscall per response on the socket path).
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut message = String::with_capacity(response.body.len() + 128);
+    message.push_str(&format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status,
+        reason_phrase(response.status)
+    ));
+    message.push_str("Content-Type: application/json\r\n");
+    message.push_str(&format!("Content-Length: {}\r\n", response.body.len()));
+    if !keep_alive {
+        message.push_str("Connection: close\r\n");
+    }
+    message.push_str("\r\n");
+    message.push_str(&response.body);
+    writer.write_all(message.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Option<Request>, RequestError> {
+        read_request(&mut BufReader::new(text.as_bytes()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.query.is_empty());
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_query_and_body() {
+        let req = parse("POST /v1/jobs?wait=1&x=y HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.query_param("wait"), Some("1"));
+        assert_eq!(req.query_param("x"), Some("y"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn connection_header_overrides_the_version_default() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_torn_requests_are_malformed() {
+        assert!(parse("").unwrap().is_none());
+        assert!(matches!(
+            parse("GET /x HT"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nHost: y"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_400_shaped_errors() {
+        for bad in [
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "get /x HTTP/1.1\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            "GET /x FTP/9\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad name: y\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert_eq!(err.status(), Some(400), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_inputs_map_to_4xx() {
+        let limits = Limits {
+            max_request_line: 32,
+            max_header_line: 32,
+            max_headers: 2,
+            max_body: 8,
+        };
+        let parse = |text: &str| read_request(&mut BufReader::new(text.as_bytes()), &limits);
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64));
+        assert_eq!(
+            parse(&long_target).unwrap_err().status(),
+            Some(431),
+            "oversized request line"
+        );
+        let long_header = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "v".repeat(64));
+        assert_eq!(parse(&long_header).unwrap_err().status(), Some(431));
+        assert_eq!(
+            parse("GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            Some(431),
+            "too many headers"
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789")
+                .unwrap_err()
+                .status(),
+            Some(413),
+            "oversized body is refused from the declaration alone"
+        );
+    }
+
+    /// Repeated `Content-Length` headers — agreeing or not — are refused:
+    /// ambiguity over which declaration frames the body is the classic
+    /// request-smuggling desync behind a fronting proxy.
+    #[test]
+    fn repeated_content_length_headers_are_rejected() {
+        for bad in [
+            "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 50\r\n\r\nhello",
+            "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert_eq!(err.status(), Some(400), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_unsupported() {
+        let err = parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), Some(501));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let text = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                    GET /c HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = BufReader::new(text.as_bytes());
+        let limits = Limits::default();
+        let a = read_request(&mut reader, &limits).unwrap().unwrap();
+        let b = read_request(&mut reader, &limits).unwrap().unwrap();
+        let c = read_request(&mut reader, &limits).unwrap().unwrap();
+        assert_eq!(
+            (a.path.as_str(), b.path.as_str(), c.path.as_str()),
+            ("/a", "/b", "/c")
+        );
+        assert_eq!(b.body, b"hi");
+        assert!(!c.keep_alive);
+        assert!(read_request(&mut reader, &limits).unwrap().is_none());
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let req = parse("GET /x HTTP/1.1\nHost: y\n\n").unwrap().unwrap();
+        assert_eq!(req.path, "/x");
+        assert_eq!(req.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn responses_render_with_length_and_close_header() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}"), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(202, "{}"), true).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("Connection:"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # crowdtune-gateway
+//!
+//! A **std-only HTTP/1.1 + JSON front-end** for the transport-agnostic
+//! [`TuningService`](crowdtune_serve::TuningService): the first network
+//! boundary of the crowdtune stack. No async runtime, no HTTP crate — a
+//! hand-rolled bounded parser ([`http`]) over `TcpListener`, a
+//! thread-per-connection worker pool with keep-alive and graceful drain
+//! ([`server`]), and self-contained JSON wire forms ([`wire`]) built on the
+//! same `RateSpec`/`TaskGroupSpec` catalogue the durable store persists —
+//! anything a client can submit is journal-able, and every plan served over
+//! the wire is **bit-identical** to an in-process `submit` of the same job
+//! (the `gateway_loadgen` example asserts this over real sockets).
+//!
+//! ```text
+//!  clients ──HTTP/1.1──▶ acceptor ──bounded hand-off──▶ connection pool
+//!                           │ (503 when saturated)           │ keep-alive,
+//!                           ▼                                ▼ pipelining
+//!                     graceful drain                router ─▶ TuningService
+//!                                                     │   submit / JobHandle
+//!                                                     ▼
+//!                                    POST /v1/jobs   (202 + id, or ?wait=1)
+//!                                    GET  /v1/jobs/{id}   status / plan
+//!                                    GET  /v1/metrics     all counters
+//!                                    GET  /healthz        liveness + drain
+//! ```
+//!
+//! Admission control surfaces as HTTP semantics: per-tenant rejections are
+//! `429`, global queue-full and draining are `503`, malformed requests are
+//! `400` with structured error bodies, and every response carrying a plan
+//! reports its [`PlanSource`](crowdtune_serve::PlanSource) (`cache` /
+//! `family` / `cold`) so clients can observe the reuse layers at work.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod http;
+pub mod server;
+pub mod wire;
+
+pub use http::{Limits, Request, RequestError, Response};
+pub use server::{Gateway, GatewayConfig};
+pub use wire::{
+    CacheBody, ErrorBody, FamiliesBody, HealthBody, JobBody, JobRequestWire, MetricsBody,
+    StoreBody, SubmittedBody,
+};

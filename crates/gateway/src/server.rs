@@ -1,0 +1,601 @@
+//! The gateway server: a thread-per-connection pool over a `TcpListener`
+//! exposing the [`TuningService`] as a JSON API.
+//!
+//! ## Endpoints
+//!
+//! | method & path        | meaning                                          |
+//! |----------------------|--------------------------------------------------|
+//! | `POST /v1/jobs`      | submit a [`JobRequestWire`]; `202` + job id. With `?wait=1`, block and return the plan (`200`). |
+//! | `GET /v1/jobs/{id}`  | job status: `pending`, `done` (plan + source) or `failed` |
+//! | `GET /v1/metrics`    | [`MetricsBody`]: service/cache/family/store counters |
+//! | `GET /healthz`       | liveness + drain flag                            |
+//!
+//! ## Error mapping
+//!
+//! | condition                               | status |
+//! |-----------------------------------------|--------|
+//! | malformed HTTP or JSON                  | 400    |
+//! | unknown path / job id                   | 404    |
+//! | known path, wrong method                | 405    |
+//! | body over the configured bound          | 413    |
+//! | well-formed but invalid job / no plan   | 422    |
+//! | per-tenant admission rejection          | 429    |
+//! | oversized request head                  | 431    |
+//! | unsupported HTTP feature                | 501    |
+//! | queue full, draining, or shut down      | 503    |
+//!
+//! ## Threading and drain
+//!
+//! One acceptor thread hands sockets to a fixed pool of connection workers
+//! over a bounded channel (overflow answers `503` and closes — shedding at
+//! the door mirrors the service's own admission control). Each worker owns
+//! its connection for the keep-alive duration; pipelined requests are served
+//! in order from the buffered reader. [`Gateway::shutdown`] drains
+//! gracefully: the acceptor stops, in-flight requests finish (their
+//! responses carry `Connection: close`), idle keep-alive connections expire
+//! via the read timeout, and only then do the pool threads join.
+
+use crate::http::{read_request, write_response, Limits, Request, RequestError, Response};
+use crate::wire::{ErrorBody, HealthBody, JobBody, JobRequestWire, MetricsBody, SubmittedBody};
+use crowdtune_serve::{AdmissionError, JobHandle, ServeError, ServedPlan, TuningService};
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sizing and bounds of the gateway.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// Connection-worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Accepted-but-unclaimed connections the acceptor may queue before
+    /// shedding with `503`.
+    pub connection_backlog: usize,
+    /// HTTP parse bounds (request line, headers, body).
+    pub limits: Limits,
+    /// Socket read timeout: how long an idle keep-alive connection may hold
+    /// a pool thread, and the bound on a drain waiting for idle clients.
+    pub keep_alive_timeout: Duration,
+    /// Total wall-clock bound on receiving one request (head **and** body).
+    /// The per-read keep-alive timeout resets on every byte, so without
+    /// this a client trickling one byte per interval would pin a pool
+    /// thread indefinitely; the deadline closes such connections.
+    pub request_deadline: Duration,
+    /// Completed jobs retained for `GET /v1/jobs/{id}` (oldest evicted).
+    /// Also bounds never-polled async submissions: past the cap the oldest
+    /// pending entry is resolved into the retained set if its worker has
+    /// answered, or dropped (its id then answers 404) if not.
+    pub max_completed_jobs: usize,
+    /// Largest job accepted over the wire, in total repetition slots.
+    pub max_job_slots: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            workers: 8,
+            connection_backlog: 64,
+            limits: Limits::default(),
+            keep_alive_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(30),
+            max_completed_jobs: 4096,
+            max_job_slots: 1_000_000,
+        }
+    }
+}
+
+/// One tracked job: still in flight, or its retained rendered outcome.
+enum JobSlot {
+    Pending(JobHandle),
+    Done(Arc<JobBody>),
+}
+
+/// Jobs submitted asynchronously, keyed by service job id. Completed
+/// outcomes are retained (bounded, FIFO-evicted) so clients can poll after
+/// completion. Pending entries are bounded too: clients that fire and
+/// forget must not grow the registry, so past the cap the oldest pending
+/// entry is reaped — resolved into the retained set if its worker already
+/// answered, dropped (404 from then on) if not.
+struct JobRegistry {
+    slots: HashMap<u64, JobSlot>,
+    completed_order: VecDeque<u64>,
+    /// Pending ids in insertion order. May contain stale ids whose slot has
+    /// since transitioned to `Done` (or been evicted); reaping skips those.
+    pending_order: VecDeque<u64>,
+    max_completed: usize,
+}
+
+impl JobRegistry {
+    fn store_done(&mut self, job_id: u64, body: JobBody) -> Arc<JobBody> {
+        let body = Arc::new(body);
+        let was_done = matches!(self.slots.get(&job_id), Some(JobSlot::Done(_)));
+        self.slots.insert(job_id, JobSlot::Done(body.clone()));
+        if !was_done {
+            self.completed_order.push_back(job_id);
+        }
+        while self.completed_order.len() > self.max_completed {
+            if let Some(evicted) = self.completed_order.pop_front() {
+                self.slots.remove(&evicted);
+            }
+        }
+        body
+    }
+
+    fn store_pending(&mut self, job_id: u64, handle: JobHandle) {
+        self.slots.insert(job_id, JobSlot::Pending(handle));
+        self.pending_order.push_back(job_id);
+        // Reap never-polled submissions past the cap (stale ids — already
+        // polled to completion — just pop off).
+        while self.pending_order.len() > self.max_completed {
+            let Some(oldest) = self.pending_order.pop_front() else {
+                break;
+            };
+            if !matches!(self.slots.get(&oldest), Some(JobSlot::Pending(_))) {
+                continue; // stale: resolved via GET earlier
+            }
+            let Some(JobSlot::Pending(handle)) = self.slots.remove(&oldest) else {
+                continue;
+            };
+            if let Some(outcome) = handle.try_result() {
+                self.store_done(oldest, outcome_body(oldest, outcome));
+            }
+            // Still in flight: the handle is dropped and the id answers 404
+            // from now on — the bound wins over fire-and-forget clients.
+        }
+    }
+}
+
+struct GatewayState {
+    service: Arc<TuningService>,
+    jobs: Mutex<JobRegistry>,
+    draining: AtomicBool,
+    config: GatewayConfig,
+}
+
+/// The running gateway. Dropping it (or calling [`Gateway::shutdown`])
+/// drains connections and joins every thread; the wrapped service is left
+/// running and untouched.
+pub struct Gateway {
+    addr: SocketAddr,
+    state: Arc<GatewayState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds `addr` (use port 0 for an ephemeral port — read it back with
+    /// [`Gateway::local_addr`]) and starts the acceptor and worker pool.
+    pub fn start(
+        service: Arc<TuningService>,
+        addr: impl ToSocketAddrs,
+        config: GatewayConfig,
+    ) -> std::io::Result<Gateway> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(GatewayState {
+            service,
+            jobs: Mutex::new(JobRegistry {
+                slots: HashMap::new(),
+                completed_order: VecDeque::new(),
+                pending_order: VecDeque::new(),
+                max_completed: config.max_completed_jobs.max(1),
+            }),
+            draining: AtomicBool::new(false),
+            config,
+        });
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.connection_backlog.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let workers = (0..config.workers.max(1))
+            .map(|index| {
+                let state = state.clone();
+                let conn_rx = conn_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("gateway-conn-{index}"))
+                    .spawn(move || connection_worker(&state, &conn_rx))
+                    .expect("spawn gateway worker")
+            })
+            .collect();
+        let acceptor = {
+            let state = state.clone();
+            std::thread::Builder::new()
+                .name("gateway-accept".to_owned())
+                .spawn(move || accept_loop(&state, &listener, &conn_tx))
+                .expect("spawn gateway acceptor")
+        };
+        Ok(Gateway {
+            addr,
+            state,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the gateway has begun draining.
+    pub fn is_draining(&self) -> bool {
+        self.state.draining.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight requests (responses
+    /// carry `Connection: close`), wait out idle keep-alive connections
+    /// (bounded by [`GatewayConfig::keep_alive_timeout`]) and join every
+    /// thread. The wrapped [`TuningService`] keeps running — drain it
+    /// separately via [`TuningService::begin_drain`]/`shutdown` when the
+    /// whole process is going away.
+    pub fn shutdown(mut self) {
+        self.drain_and_join();
+    }
+
+    fn drain_and_join(&mut self) {
+        self.state.draining.store(true, Ordering::Release);
+        // Wake the acceptor blocked in `accept` so it observes the flag; the
+        // probe connection itself is served a clean close by a worker.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The acceptor dropped the sender side; workers exit once the queue
+        // and their current connections drain.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.drain_and_join();
+        }
+    }
+}
+
+fn accept_loop(
+    state: &GatewayState,
+    listener: &TcpListener,
+    conn_tx: &mpsc::SyncSender<TcpStream>,
+) {
+    loop {
+        let accepted = listener.accept();
+        if state.draining.load(Ordering::Acquire) {
+            return; // drops conn_tx: workers drain and exit
+        }
+        let Ok((stream, _peer)) = accepted else {
+            // Transient accept failures (e.g. aborted handshakes) are not
+            // fatal to the listener.
+            continue;
+        };
+        match conn_tx.try_send(stream) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(mut stream)) => {
+                // Every pool thread busy and the hand-off queue full: shed at
+                // the door like the service's admission control does. Bound
+                // the write so a non-reading client cannot stall the
+                // acceptor.
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let body = error_response(
+                    503,
+                    ErrorBody::new("overloaded", "all gateway connections are busy"),
+                );
+                let _ = write_response(&mut stream, &body, false);
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn connection_worker(state: &GatewayState, conn_rx: &Mutex<mpsc::Receiver<TcpStream>>) {
+    loop {
+        let stream = {
+            let rx = conn_rx.lock().expect("gateway connection queue poisoned");
+            rx.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(state, stream),
+            Err(_) => return, // acceptor gone and queue drained
+        }
+    }
+}
+
+/// The read half of a connection with a total per-request deadline. The
+/// socket read timeout alone resets on every byte — a client trickling one
+/// byte per interval would never trip it — so each read additionally checks
+/// (and shrinks the socket timeout toward) a wall-clock deadline armed at
+/// the start of every request.
+struct DeadlineStream {
+    stream: TcpStream,
+    keep_alive_timeout: Duration,
+    deadline: std::cell::Cell<Option<std::time::Instant>>,
+}
+
+impl std::io::Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(deadline) = self.deadline.get() {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|r| !r.is_zero())
+            else {
+                return Err(std::io::ErrorKind::TimedOut.into());
+            };
+            let _ = self
+                .stream
+                .set_read_timeout(Some(remaining.min(self.keep_alive_timeout)));
+        }
+        self.stream.read(buf)
+    }
+}
+
+/// Serves one connection for its keep-alive lifetime.
+fn handle_connection(state: &GatewayState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.config.keep_alive_timeout));
+    // Writes get the same bound: a client that stops *reading* would
+    // otherwise block `write_all` forever once the kernel send buffer
+    // fills — the mirror image of the trickled-read attack.
+    let _ = stream.set_write_timeout(Some(state.config.keep_alive_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(DeadlineStream {
+        stream: read_half,
+        keep_alive_timeout: state.config.keep_alive_timeout,
+        deadline: std::cell::Cell::new(None),
+    });
+    loop {
+        // Arm the whole-request deadline. The idle wait for the first byte
+        // counts against it too, but the (shorter) keep-alive timeout still
+        // closes idle connections first.
+        reader.get_ref().deadline.set(Some(
+            std::time::Instant::now() + state.config.request_deadline,
+        ));
+        match read_request(&mut reader, &state.config.limits) {
+            Ok(None) => return, // clean close between requests
+            Ok(Some(request)) => {
+                let response = route(state, &request);
+                // Draining closes after the in-flight response; so does an
+                // explicit client `Connection: close`.
+                let keep_alive = request.keep_alive && !state.draining.load(Ordering::Acquire);
+                if write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(error) => {
+                // Malformed/oversized input: answer the mapped 4xx/5xx and
+                // close — framing can no longer be trusted. Transport
+                // failures (torn socket, idle timeout) just close.
+                if let Some(status) = error.status() {
+                    let body = error_response(status, request_error_body(&error));
+                    let _ = write_response(&mut stream, &body, false);
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn request_error_body(error: &RequestError) -> ErrorBody {
+    let code = match error {
+        RequestError::Malformed(_) => "bad_request",
+        RequestError::HeadersTooLarge => "headers_too_large",
+        RequestError::BodyTooLarge { .. } => "body_too_large",
+        RequestError::Unsupported(_) => "unsupported",
+        RequestError::Io(_) => "transport",
+    };
+    ErrorBody::new(code, error.to_string())
+}
+
+fn json_response<T: serde::Serialize>(status: u16, body: &T) -> Response {
+    match serde_json::to_string(body) {
+        Ok(text) => Response::json(status, text),
+        Err(_) => Response::json(
+            500,
+            "{\"error\":\"render\",\"detail\":\"response serialization failed\"}".to_owned(),
+        ),
+    }
+}
+
+fn error_response(status: u16, body: ErrorBody) -> Response {
+    json_response(status, &body)
+}
+
+/// Dispatches one parsed request to its handler. Known paths with the
+/// wrong method answer 405; unknown paths (including unparseable job ids)
+/// answer 404.
+fn route(state: &GatewayState, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/jobs") => post_job(state, request),
+        ("GET", "/v1/metrics") => get_metrics(state),
+        ("GET", "/healthz") => get_health(state),
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            match path["/v1/jobs/".len()..].parse::<u64>() {
+                Ok(id) => get_job(state, id),
+                Err(_) => error_response(
+                    404,
+                    ErrorBody::new(
+                        "not_found",
+                        format!("not a job id: {:?}", &path["/v1/jobs/".len()..]),
+                    ),
+                ),
+            }
+        }
+        (_, path)
+            if path == "/v1/jobs"
+                || path == "/v1/metrics"
+                || path == "/healthz"
+                || path.starts_with("/v1/jobs/") =>
+        {
+            error_response(
+                405,
+                ErrorBody::new(
+                    "method_not_allowed",
+                    format!("{} is not supported on {}", request.method, request.path),
+                ),
+            )
+        }
+        _ => not_found(request),
+    }
+}
+
+fn not_found(request: &Request) -> Response {
+    error_response(
+        404,
+        ErrorBody::new("not_found", format!("no route for {}", request.path)),
+    )
+}
+
+/// Maps a submission failure to its response. Per-tenant admission is the
+/// client's fault (429, back off per tenant); global capacity and drain are
+/// the service's state (503, retry elsewhere/later).
+fn serve_error_response(error: &ServeError) -> Response {
+    match error {
+        ServeError::Admission(AdmissionError::TenantOverLimit { limit }) => error_response(
+            429,
+            ErrorBody::new(
+                "tenant_over_limit",
+                format!("tenant exceeded its pending-job limit of {limit}"),
+            ),
+        ),
+        ServeError::Admission(AdmissionError::QueueFull { limit }) => error_response(
+            503,
+            ErrorBody::new(
+                "queue_full",
+                format!("service queue is full ({limit} jobs pending)"),
+            ),
+        ),
+        ServeError::Admission(AdmissionError::Closed) => error_response(
+            503,
+            ErrorBody::new("draining", "service is draining; resubmit elsewhere"),
+        ),
+        ServeError::Tuning(e) => {
+            error_response(422, ErrorBody::new("tuning_failed", e.to_string()))
+        }
+        ServeError::WorkerGone => error_response(
+            503,
+            ErrorBody::new("shutdown", "service stopped before the job completed"),
+        ),
+        ServeError::Store(e) => error_response(500, ErrorBody::new("store", e.to_string())),
+    }
+}
+
+fn post_job(state: &GatewayState, request: &Request) -> Response {
+    if request.body.is_empty() {
+        return error_response(
+            400,
+            ErrorBody::new("bad_request", "POST /v1/jobs requires a JSON body"),
+        );
+    }
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return error_response(400, ErrorBody::new("bad_request", "body is not UTF-8"));
+    };
+    let wire: JobRequestWire = match serde_json::from_str(text) {
+        Ok(wire) => wire,
+        Err(e) => {
+            return error_response(
+                400,
+                ErrorBody::new("bad_request", format!("invalid job JSON: {e}")),
+            )
+        }
+    };
+    let job = match wire.to_request(state.config.max_job_slots) {
+        Ok(job) => job,
+        Err(e) => return error_response(422, ErrorBody::new("invalid_job", e.to_string())),
+    };
+    let wait = matches!(request.query_param("wait"), Some("1") | Some("true"));
+    let handle = match state.service.submit(job) {
+        Ok(handle) => handle,
+        Err(e) => return serve_error_response(&e),
+    };
+    let job_id = handle.job_id;
+    if wait {
+        // Synchronous mode: resolve inline (thread-per-connection makes the
+        // block honest) and retain the outcome for later GETs too. The body
+        // is built once and shared between the response and the registry.
+        let outcome = handle.wait();
+        let error = match &outcome {
+            Ok(_) => None,
+            Err(e) => Some(serve_error_response(e)),
+        };
+        let body = outcome_body(job_id, outcome);
+        let mut jobs = state.jobs.lock().expect("gateway job registry poisoned");
+        let body = jobs.store_done(job_id, body);
+        drop(jobs);
+        match error {
+            Some(response) => response,
+            None => json_response(200, &*body),
+        }
+    } else {
+        let mut jobs = state.jobs.lock().expect("gateway job registry poisoned");
+        jobs.store_pending(job_id, handle);
+        drop(jobs);
+        json_response(
+            202,
+            &SubmittedBody {
+                job_id,
+                status: "pending".to_owned(),
+            },
+        )
+    }
+}
+
+/// Renders a job outcome into the body retained for `GET /v1/jobs/{id}`.
+/// Failures keep the job-status schema (pollers see `status: "failed"` with
+/// the same error codes the synchronous path uses).
+fn outcome_body(job_id: u64, outcome: Result<ServedPlan, ServeError>) -> JobBody {
+    match outcome {
+        Ok(served) => JobBody::done(&served),
+        Err(e) => {
+            let code = match &e {
+                ServeError::Tuning(_) => "tuning_failed",
+                ServeError::Admission(_) => "admission",
+                ServeError::WorkerGone => "shutdown",
+                ServeError::Store(_) => "store",
+            };
+            JobBody::failed(job_id, ErrorBody::new(code, e.to_string()))
+        }
+    }
+}
+
+fn get_job(state: &GatewayState, job_id: u64) -> Response {
+    let mut jobs = state.jobs.lock().expect("gateway job registry poisoned");
+    match jobs.slots.get(&job_id) {
+        None => error_response(
+            404,
+            ErrorBody::new("not_found", format!("no such job: {job_id}")),
+        ),
+        Some(JobSlot::Done(body)) => {
+            let body = body.clone();
+            drop(jobs);
+            json_response(200, &*body)
+        }
+        Some(JobSlot::Pending(handle)) => match handle.try_result() {
+            None => json_response(200, &JobBody::pending(job_id)),
+            Some(outcome) => {
+                let body = jobs.store_done(job_id, outcome_body(job_id, outcome));
+                drop(jobs);
+                json_response(200, &*body)
+            }
+        },
+    }
+}
+
+fn get_metrics(state: &GatewayState) -> Response {
+    json_response(200, &MetricsBody::from_status(&state.service.status()))
+}
+
+fn get_health(state: &GatewayState) -> Response {
+    json_response(
+        200,
+        &HealthBody {
+            status: "ok".to_owned(),
+            draining: state.draining.load(Ordering::Acquire) || state.service.is_draining(),
+        },
+    )
+}

@@ -1,0 +1,381 @@
+//! The gateway's JSON wire forms: the job-submission schema clients POST,
+//! the response bodies the server renders, and the conversion into the
+//! serve layer's [`JobRequest`].
+//!
+//! A [`JobRequestWire`] is deliberately *self-contained and declarative*: it
+//! carries the tenant, the task-group shapes ([`TaskGroupSpec`]), the budget,
+//! the serializable market belief ([`RateSpec`]) and the strategy/scenario
+//! override ([`StrategyChoice`]) — exactly the durable description the
+//! store's crash journal already persists, so anything expressible over the
+//! wire is also journal-able. Conversion re-runs every constructor
+//! validation, so a hostile body can produce a structured 4xx but never a
+//! panicking solve.
+
+use crowdtune_core::money::Budget;
+use crowdtune_core::rate::RateSpec;
+use crowdtune_core::task::{TaskGroupSpec, TaskSet};
+use crowdtune_core::tuner::StrategyChoice;
+use crowdtune_serve::{JobRequest, PlanSource, ServedPlan};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A job submission as it travels over the wire (`POST /v1/jobs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequestWire {
+    /// Submitting tenant; fairness and per-tenant admission key on it.
+    pub tenant: String,
+    /// The job's task groups (converted via [`TaskSet::from_group_specs`]).
+    pub groups: Vec<TaskGroupSpec>,
+    /// Total budget in units.
+    pub budget: u64,
+    /// The tenant's market belief.
+    pub rate: RateSpec,
+    /// Strategy override; `Auto` picks EA/RA/HA per scenario.
+    pub strategy: StrategyChoice,
+}
+
+/// A semantically invalid (but well-formed) submission → HTTP 422.
+#[derive(Debug)]
+pub struct InvalidJob {
+    detail: String,
+}
+
+impl fmt::Display for InvalidJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl std::error::Error for InvalidJob {}
+
+impl JobRequestWire {
+    /// Converts the wire form into a validated [`JobRequest`].
+    ///
+    /// `max_slots` bounds the job's total repetition slots (Σ tasks·reps),
+    /// checked **before** the task set materialises so a tiny JSON body
+    /// declaring an enormous job is refused without allocating it.
+    pub fn to_request(&self, max_slots: u64) -> Result<JobRequest, InvalidJob> {
+        let invalid = |detail: String| InvalidJob { detail };
+        if self.tenant.is_empty() {
+            return Err(invalid("tenant must be non-empty".to_owned()));
+        }
+        if self.groups.is_empty() {
+            return Err(invalid("a job needs at least one task group".to_owned()));
+        }
+        let slots = self
+            .groups
+            .iter()
+            .map(|g| g.tasks.saturating_mul(u64::from(g.repetitions)))
+            .fold(0u64, u64::saturating_add);
+        if slots > max_slots {
+            return Err(invalid(format!(
+                "job declares {slots} repetition slots, above the {max_slots} cap"
+            )));
+        }
+        let task_set = TaskSet::from_group_specs(&self.groups)
+            .map_err(|e| invalid(format!("invalid task groups: {e}")))?;
+        let rate_model = self
+            .rate
+            .build()
+            .map_err(|e| invalid(format!("invalid rate spec: {e}")))?;
+        Ok(JobRequest {
+            tenant: self.tenant.clone(),
+            task_set,
+            budget: Budget::units(self.budget),
+            rate_model,
+            strategy: self.strategy,
+        })
+    }
+}
+
+/// The wire spelling of a [`PlanSource`], so clients can observe which reuse
+/// layer answered (`"cache"`, `"family"`, `"cold"`).
+pub fn plan_source_label(source: PlanSource) -> &'static str {
+    match source {
+        PlanSource::CacheHit => "cache",
+        PlanSource::FamilyHit => "family",
+        PlanSource::ColdSolve => "cold",
+    }
+}
+
+/// The structured error body every non-2xx response carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Stable machine-readable code (`bad_request`, `invalid_job`,
+    /// `tenant_over_limit`, `queue_full`, `draining`, `tuning_failed`,
+    /// `not_found`, `method_not_allowed`, ...).
+    pub error: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl ErrorBody {
+    /// Builds an error body.
+    pub fn new(error: &str, detail: impl Into<String>) -> Self {
+        ErrorBody {
+            error: error.to_owned(),
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Response to an asynchronous submission (`202 Accepted`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmittedBody {
+    /// Service-assigned job id, for `GET /v1/jobs/{id}`.
+    pub job_id: u64,
+    /// Always `"pending"`.
+    pub status: String,
+}
+
+/// Response describing a job (`GET /v1/jobs/{id}`, and `POST ?wait=1`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobBody {
+    /// Service-assigned job id.
+    pub job_id: u64,
+    /// `"pending"`, `"done"` or `"failed"`.
+    pub status: String,
+    /// Which reuse layer answered (`"cache"`/`"family"`/`"cold"`); only on
+    /// `"done"`.
+    pub source: Option<String>,
+    /// The tuned plan; only on `"done"`. Bit-identical to an in-process
+    /// solve of the same request by construction. `Arc`ed so the body
+    /// shares the served plan (possibly the cache's own copy) instead of
+    /// deep-cloning payment vectors on every response.
+    pub plan: Option<std::sync::Arc<crowdtune_core::tuner::TunedPlan>>,
+    /// Why the job failed; only on `"failed"`.
+    pub error: Option<ErrorBody>,
+}
+
+impl JobBody {
+    /// A still-pending job.
+    pub fn pending(job_id: u64) -> Self {
+        JobBody {
+            job_id,
+            status: "pending".to_owned(),
+            source: None,
+            plan: None,
+            error: None,
+        }
+    }
+
+    /// A completed job.
+    pub fn done(served: &ServedPlan) -> Self {
+        JobBody {
+            job_id: served.job_id,
+            status: "done".to_owned(),
+            source: Some(plan_source_label(served.source).to_owned()),
+            plan: Some(served.plan.clone()),
+            error: None,
+        }
+    }
+
+    /// A failed job.
+    pub fn failed(job_id: u64, error: ErrorBody) -> Self {
+        JobBody {
+            job_id,
+            status: "failed".to_owned(),
+            source: None,
+            plan: None,
+            error: Some(error),
+        }
+    }
+}
+
+/// Response of `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthBody {
+    /// Always `"ok"` while the process answers.
+    pub status: String,
+    /// Whether the gateway/service pair is draining.
+    pub draining: bool,
+}
+
+/// Response of `GET /v1/metrics`: every service counter surface in one
+/// snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsBody {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs refused by admission control.
+    pub rejected: u64,
+    /// Exact-match plan-cache answers.
+    pub cache_hits: u64,
+    /// Cross-budget family answers.
+    pub family_hits: u64,
+    /// Full cold solves.
+    pub cold_solves: u64,
+    /// Jobs whose solve failed.
+    pub solve_errors: u64,
+    /// Jobs currently queued.
+    pub pending: u64,
+    /// Whether the service is draining.
+    pub draining: bool,
+    /// Plan-cache counters.
+    pub cache: CacheBody,
+    /// Plan-family counters.
+    pub families: FamiliesBody,
+    /// Durable-store write-behind counters (`null` without a store).
+    pub store: Option<StoreBody>,
+}
+
+/// Plan-cache counters within [`MetricsBody`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheBody {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// Plan-family counters within [`MetricsBody`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamiliesBody {
+    /// Families currently resident.
+    pub families: u64,
+    /// Jobs answered from a resident family table.
+    pub hits: u64,
+    /// Hits that first grew the table.
+    pub extensions: u64,
+    /// Cold solves that seeded a family.
+    pub builds: u64,
+    /// Families displaced by the LRU bound.
+    pub evictions: u64,
+    /// Families rehydrated from a persisted snapshot.
+    pub reloads: u64,
+}
+
+/// Durable-store counters within [`MetricsBody`]. `dropped` is the
+/// write-behind backpressure loss — records shed because the bounded queue
+/// was full — previously visible only in logs/tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreBody {
+    /// Records accepted onto the write-behind queue.
+    pub enqueued: u64,
+    /// Records the writer retired.
+    pub retired: u64,
+    /// Records dropped under backpressure (queue full, oldest evicted).
+    pub dropped: u64,
+    /// Records whose disk write failed.
+    pub write_errors: u64,
+    /// `fsync` calls issued under the configured policy.
+    pub fsyncs: u64,
+}
+
+impl MetricsBody {
+    /// Flattens a [`ServiceStatus`](crowdtune_serve::ServiceStatus) into the
+    /// wire shape.
+    pub fn from_status(status: &crowdtune_serve::ServiceStatus) -> Self {
+        MetricsBody {
+            submitted: status.metrics.submitted,
+            rejected: status.metrics.rejected,
+            cache_hits: status.metrics.cache_hits,
+            family_hits: status.metrics.family_hits,
+            cold_solves: status.metrics.cold_solves,
+            solve_errors: status.metrics.solve_errors,
+            pending: status.pending as u64,
+            draining: status.draining,
+            cache: CacheBody {
+                hits: status.cache.hits,
+                misses: status.cache.misses,
+                evictions: status.cache.evictions,
+                entries: status.cache.entries,
+            },
+            families: FamiliesBody {
+                families: status.families.families,
+                hits: status.families.hits,
+                extensions: status.families.extensions,
+                builds: status.families.builds,
+                evictions: status.families.evictions,
+                reloads: status.families.reloads,
+            },
+            store: status.store.map(|store| StoreBody {
+                enqueued: store.enqueued,
+                retired: store.retired,
+                dropped: store.dropped,
+                write_errors: store.write_errors,
+                fsyncs: store.fsyncs,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_core::rate::LinearRate;
+
+    fn wire(budget: u64) -> JobRequestWire {
+        JobRequestWire {
+            tenant: "acme".to_owned(),
+            groups: vec![
+                TaskGroupSpec {
+                    name: "vote".to_owned(),
+                    processing_rate: 2.0,
+                    tasks: 3,
+                    repetitions: 3,
+                },
+                TaskGroupSpec {
+                    name: "vote".to_owned(),
+                    processing_rate: 2.0,
+                    tasks: 4,
+                    repetitions: 5,
+                },
+            ],
+            budget,
+            rate: RateSpec::Linear(LinearRate::unit_slope()),
+            strategy: StrategyChoice::Auto,
+        }
+    }
+
+    #[test]
+    fn wire_round_trips_and_converts() {
+        let wire = wire(120);
+        let text = serde_json::to_string(&wire).unwrap();
+        let back: JobRequestWire = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, wire);
+        let request = wire.to_request(10_000).unwrap();
+        assert_eq!(request.tenant, "acme");
+        assert_eq!(request.task_set.len(), 7);
+        assert_eq!(request.budget.as_units(), 120);
+        // The conversion reuses the core group-spec path, so the set is
+        // identical to a hand-built one (Scenario II shape here).
+        assert!(request.task_set.is_homogeneous_type());
+    }
+
+    #[test]
+    fn conversion_rejects_invalid_jobs_without_allocating() {
+        let mut empty_tenant = wire(120);
+        empty_tenant.tenant.clear();
+        assert!(empty_tenant.to_request(10_000).is_err());
+
+        let mut no_groups = wire(120);
+        no_groups.groups.clear();
+        assert!(no_groups.to_request(10_000).is_err());
+
+        // An absurd declared size trips the slot cap before any task set is
+        // built (u64 arithmetic saturates instead of overflowing).
+        let mut huge = wire(120);
+        huge.groups[0].tasks = u64::MAX;
+        assert!(huge.to_request(10_000).is_err());
+
+        let mut bad_rate = wire(120);
+        bad_rate.rate = RateSpec::Linear(LinearRate { k: -1.0, b: 0.0 });
+        assert!(bad_rate.to_request(10_000).is_err());
+
+        let mut zero_reps = wire(120);
+        zero_reps.groups[0].repetitions = 0;
+        assert!(zero_reps.to_request(10_000).is_err());
+    }
+
+    #[test]
+    fn plan_sources_have_stable_labels() {
+        assert_eq!(plan_source_label(PlanSource::CacheHit), "cache");
+        assert_eq!(plan_source_label(PlanSource::FamilyHit), "family");
+        assert_eq!(plan_source_label(PlanSource::ColdSolve), "cold");
+    }
+}

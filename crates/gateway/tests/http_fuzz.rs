@@ -1,0 +1,274 @@
+//! Seeded property/fuzz tests of the gateway's HTTP parser (and the server
+//! behind it): the parser must **never panic** and must classify every
+//! input as a request, a clean close, or a typed error that maps to a 4xx/
+//! 5xx response — across malformed request lines, oversized heads, torn
+//! reads at every byte boundary, and pipelined requests.
+
+use crowdtune_gateway::http::{read_request, Limits, Request, RequestError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufReader, Read};
+
+/// A reader that yields its data in caller-chosen chunks, simulating torn
+/// socket reads. Wrapped in a tiny-capacity `BufReader` so each `fill_buf`
+/// surfaces at most one chunk to the parser.
+struct Torn {
+    data: Vec<u8>,
+    cuts: Vec<usize>,
+    pos: usize,
+}
+
+impl Torn {
+    /// Splits `data` at every index in `cuts` (sorted, deduplicated by the
+    /// caller); reads never cross a cut.
+    fn new(data: Vec<u8>, cuts: Vec<usize>) -> Self {
+        Torn { data, cuts, pos: 0 }
+    }
+}
+
+impl Read for Torn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let next_cut = self
+            .cuts
+            .iter()
+            .copied()
+            .find(|&c| c > self.pos)
+            .unwrap_or(self.data.len())
+            .min(self.data.len());
+        let n = (next_cut - self.pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn parse_whole(text: &[u8], limits: &Limits) -> Result<Option<Request>, RequestError> {
+    read_request(&mut BufReader::new(text), limits)
+}
+
+fn valid_request(rng: &mut StdRng) -> String {
+    let bodies = ["", "{}", "{\"k\":1}", "0123456789abcdef"];
+    let body = bodies[rng.gen_range(0usize..bodies.len())];
+    let path =
+        ["/healthz", "/v1/metrics", "/v1/jobs/17", "/v1/jobs?wait=1"][rng.gen_range(0usize..4)];
+    let method = if body.is_empty() { "GET" } else { "POST" };
+    let mut text = format!("{method} {path} HTTP/1.1\r\n");
+    if rng.gen_bool(0.5) {
+        text.push_str("Host: fuzz.local\r\n");
+    }
+    if rng.gen_bool(0.3) {
+        text.push_str("X-Fill: some filler value\r\n");
+    }
+    if !body.is_empty() || rng.gen_bool(0.2) {
+        text.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    if rng.gen_bool(0.2) {
+        text.push_str("Connection: keep-alive\r\n");
+    }
+    text.push_str("\r\n");
+    text.push_str(body);
+    text
+}
+
+/// Every valid request parses identically no matter where the transport
+/// tears it — exhaustively, at *every* byte boundary (and at random
+/// multi-cut combinations).
+#[test]
+fn torn_reads_at_every_boundary_parse_identically() {
+    let mut rng = StdRng::seed_from_u64(0xB0A7);
+    let limits = Limits::default();
+    for _ in 0..24 {
+        let text = valid_request(&mut rng);
+        let reference = parse_whole(text.as_bytes(), &limits)
+            .expect("valid request parses")
+            .expect("valid request is not EOF");
+        for cut in 1..text.len() {
+            let torn = Torn::new(text.clone().into_bytes(), vec![cut]);
+            let parsed = read_request(&mut BufReader::with_capacity(16, torn), &limits)
+                .unwrap_or_else(|e| panic!("cut at {cut} of {text:?}: {e}"))
+                .expect("torn request still parses");
+            assert_eq!(parsed, reference, "cut at byte {cut}");
+        }
+        // A few random many-cut shreddings on top of the exhaustive single
+        // cuts.
+        for _ in 0..8 {
+            let mut cuts: Vec<usize> = (0..rng.gen_range(2usize..9))
+                .map(|_| rng.gen_range(1usize..text.len()))
+                .collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            let torn = Torn::new(text.clone().into_bytes(), cuts.clone());
+            let parsed = read_request(&mut BufReader::with_capacity(8, torn), &limits)
+                .unwrap_or_else(|e| panic!("cuts {cuts:?} of {text:?}: {e}"))
+                .expect("shredded request still parses");
+            assert_eq!(parsed, reference, "cuts {cuts:?}");
+        }
+    }
+}
+
+/// Truncating a valid request at any byte is either a clean EOF (nothing
+/// sent yet) or a malformed-request error — never a panic, never a success.
+#[test]
+fn truncations_never_panic_and_never_parse() {
+    let mut rng = StdRng::seed_from_u64(0x7A11);
+    let limits = Limits::default();
+    for _ in 0..16 {
+        let text = valid_request(&mut rng);
+        for cut in 0..text.len() {
+            match parse_whole(&text.as_bytes()[..cut], &limits) {
+                Ok(None) => assert_eq!(cut, 0, "only zero bytes is a clean EOF"),
+                Ok(Some(_)) => panic!("truncated request at {cut} must not parse: {text:?}"),
+                Err(e) => {
+                    let status = e.status().expect("truncation is never an I/O error");
+                    assert_eq!(status, 400, "truncation at {cut} -> {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Random byte soup and mutated requests: the parser always returns — with
+/// any outcome mapping to a response or a close, never a panic. Seeded, so
+/// a failure reproduces.
+#[test]
+fn random_garbage_is_classified_never_panicking() {
+    let mut rng = StdRng::seed_from_u64(0xF022);
+    let limits = Limits {
+        max_request_line: 128,
+        max_header_line: 128,
+        max_headers: 8,
+        max_body: 256,
+    };
+    for case in 0..2048u32 {
+        let data: Vec<u8> = if rng.gen_bool(0.5) {
+            // Pure soup.
+            (0..rng.gen_range(0usize..256))
+                .map(|_| rng.gen_range(0u32..256) as u8)
+                .collect()
+        } else {
+            // A valid request, mutated: flips, truncation, garbage splice.
+            let mut data = valid_request(&mut rng).into_bytes();
+            for _ in 0..rng.gen_range(1usize..6) {
+                if data.is_empty() {
+                    break;
+                }
+                let at = rng.gen_range(0usize..data.len());
+                match rng.gen_range(0u32..3) {
+                    0 => data[at] ^= 1 << rng.gen_range(0u32..8),
+                    1 => {
+                        data.truncate(at);
+                    }
+                    _ => data.insert(at, rng.gen_range(0u32..256) as u8),
+                }
+            }
+            data
+        };
+        match parse_whole(&data, &limits) {
+            Ok(_) => {}
+            Err(e) => {
+                if let Some(status) = e.status() {
+                    assert!(
+                        (400..=599).contains(&status),
+                        "case {case}: status {status} for {e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Oversized heads are refused with 431 without buffering them: a request
+/// line, single header, or header count beyond the limits errors out even
+/// when the input keeps streaming.
+#[test]
+fn oversized_heads_hit_the_bounds() {
+    let limits = Limits {
+        max_request_line: 64,
+        max_header_line: 64,
+        max_headers: 4,
+        max_body: 64,
+    };
+    let mut rng = StdRng::seed_from_u64(0x512E);
+    for _ in 0..64 {
+        let kind = rng.gen_range(0u32..3);
+        let text = match kind {
+            0 => format!(
+                "GET /{} HTTP/1.1\r\n\r\n",
+                "x".repeat(rng.gen_range(80usize..4096))
+            ),
+            1 => format!(
+                "GET / HTTP/1.1\r\nx-long: {}\r\n\r\n",
+                "v".repeat(rng.gen_range(80usize..4096))
+            ),
+            _ => {
+                let mut text = "GET / HTTP/1.1\r\n".to_owned();
+                for i in 0..rng.gen_range(5usize..32) {
+                    text.push_str(&format!("x-{i}: v\r\n"));
+                }
+                text.push_str("\r\n");
+                text
+            }
+        };
+        let err = parse_whole(text.as_bytes(), &limits).unwrap_err();
+        assert_eq!(err.status(), Some(431), "kind {kind}");
+    }
+    // Declared bodies beyond the bound are refused from the header alone.
+    let err = parse_whole(b"POST / HTTP/1.1\r\nContent-Length: 65\r\n\r\n", &limits).unwrap_err();
+    assert_eq!(err.status(), Some(413));
+}
+
+/// Pipelined request streams parse back to back, even shredded by torn
+/// reads, and a trailing partial request is a malformed error — the earlier
+/// requests are unaffected.
+#[test]
+fn pipelined_streams_parse_in_order() {
+    let mut rng = StdRng::seed_from_u64(0x9199);
+    let limits = Limits::default();
+    for _ in 0..32 {
+        let count = rng.gen_range(2usize..6);
+        let requests: Vec<String> = (0..count).map(|_| valid_request(&mut rng)).collect();
+        let stream: String = requests.concat();
+        let references: Vec<Request> = requests
+            .iter()
+            .map(|r| parse_whole(r.as_bytes(), &limits).unwrap().unwrap())
+            .collect();
+
+        let mut cuts: Vec<usize> = (0..rng.gen_range(0usize..12))
+            .map(|_| rng.gen_range(1usize..stream.len()))
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let torn = Torn::new(stream.clone().into_bytes(), cuts);
+        let mut reader = BufReader::with_capacity(16, torn);
+        for (i, reference) in references.iter().enumerate() {
+            let parsed = read_request(&mut reader, &limits)
+                .unwrap_or_else(|e| panic!("request {i}: {e}"))
+                .expect("pipelined request present");
+            assert_eq!(&parsed, reference, "pipelined request {i}");
+        }
+        assert!(
+            read_request(&mut reader, &limits).unwrap().is_none(),
+            "stream fully consumed"
+        );
+
+        // The same stream with a torn final request: earlier requests parse,
+        // the tail is malformed (or clean EOF if nothing of it was sent).
+        let partial = valid_request(&mut rng);
+        let cut = rng.gen_range(1usize..partial.len());
+        let mut with_tail = stream.into_bytes();
+        with_tail.extend_from_slice(&partial.as_bytes()[..cut]);
+        let mut reader = BufReader::with_capacity(16, Torn::new(with_tail, vec![]));
+        for reference in &references {
+            let parsed = read_request(&mut reader, &limits).unwrap().unwrap();
+            assert_eq!(&parsed, reference);
+        }
+        let tail = read_request(&mut reader, &limits);
+        assert!(
+            matches!(tail, Err(RequestError::Malformed(_))),
+            "torn tail must be malformed, got {tail:?}"
+        );
+    }
+}

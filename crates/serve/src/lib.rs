@@ -80,9 +80,9 @@ pub use queue::{AdmissionError, AdmissionPolicy, JobQueue};
 pub use retuner::{RetunePolicy, RetuneStats, Retuner};
 pub use service::{
     JobHandle, JobRequest, MetricsSnapshot, PlanSource, RecoveryStats, ServeError, ServedPlan,
-    ServiceConfig, TuningService,
+    ServiceConfig, ServiceStatus, TuningService,
 };
 pub use store::{
-    FamilyRecord, JournalRecord, LoadReport, PlanRecord, PlanStore, StoreError, StoreSnapshot,
-    StoreStats,
+    FamilyRecord, FsyncPolicy, JournalRecord, LoadReport, PlanRecord, PlanStore, StoreError,
+    StoreOptions, StoreSnapshot, StoreStats,
 };

@@ -12,7 +12,7 @@ use crate::cache::{CacheStats, PlanCache};
 use crate::family::{FamilyServe, FamilyStats, PlanFamilies};
 use crate::fingerprint::{FamilyFingerprint, PlanFingerprint};
 use crate::queue::{AdmissionError, AdmissionPolicy, JobQueue};
-use crate::store::{JournalRecord, PlanStore, StoreError, StoreSnapshot, StoreStats};
+use crate::store::{JournalRecord, PlanStore, StoreError, StoreOptions, StoreSnapshot, StoreStats};
 use crowdtune_core::error::CoreError;
 use crowdtune_core::money::Budget;
 use crowdtune_core::problem::{HTuningProblem, Scenario};
@@ -137,6 +137,18 @@ impl JobHandle {
     pub fn wait(self) -> Result<ServedPlan, ServeError> {
         self.receiver.recv().unwrap_or(Err(ServeError::WorkerGone))
     }
+
+    /// Non-blocking poll: `None` while the job is still in flight, the
+    /// outcome once a worker delivered it. The outcome is delivered **once**
+    /// — a transport front-end polling on behalf of a client must retain it;
+    /// a later call reports [`ServeError::WorkerGone`].
+    pub fn try_result(&self) -> Option<Result<ServedPlan, ServeError>> {
+        match self.receiver.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::WorkerGone)),
+        }
+    }
 }
 
 /// Sizing of the service.
@@ -238,6 +250,29 @@ pub struct RecoveryStats {
     pub invalid_records: u64,
 }
 
+/// One coherent observability snapshot of the whole service — the shape a
+/// transport front-end (e.g. the `crowdtune-gateway` metrics endpoint)
+/// reports. Read with [`TuningService::status`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceStatus {
+    /// Service-level counters.
+    pub metrics: MetricsSnapshot,
+    /// Exact-match plan-cache counters.
+    pub cache: CacheStats,
+    /// Plan-family counters.
+    pub families: FamilyStats,
+    /// Write-behind store counters (`None` without a store). Includes the
+    /// backpressure loss counter [`StoreStats::dropped`], so operators can
+    /// see write-behind records shed under load.
+    pub store: Option<StoreStats>,
+    /// What recovery loaded (`None` without a store).
+    pub recovery: Option<RecoveryStats>,
+    /// Jobs currently waiting in the queue.
+    pub pending: usize,
+    /// Whether [`TuningService::begin_drain`] was called.
+    pub draining: bool,
+}
+
 /// The multi-tenant tuning service.
 pub struct TuningService {
     queue: Arc<JobQueue<QueuedJob>>,
@@ -248,6 +283,7 @@ pub struct TuningService {
     recovery: Option<RecoveryStats>,
     workers: Vec<JoinHandle<()>>,
     next_job_id: AtomicU64,
+    draining: std::sync::atomic::AtomicBool,
 }
 
 impl TuningService {
@@ -268,7 +304,17 @@ impl TuningService {
     /// recovery never serves a wrong plan. Damage counts are reported via
     /// [`TuningService::recovery_stats`].
     pub fn recover(config: ServiceConfig, path: impl AsRef<Path>) -> Result<Self, ServeError> {
-        let (store, snapshot) = PlanStore::open(path)?;
+        Self::recover_with(config, path, StoreOptions::default())
+    }
+
+    /// [`TuningService::recover`] with explicit [`StoreOptions`] (write-behind
+    /// queue bound, fsync policy).
+    pub fn recover_with(
+        config: ServiceConfig,
+        path: impl AsRef<Path>,
+        options: StoreOptions,
+    ) -> Result<Self, ServeError> {
+        let (store, snapshot) = PlanStore::open_with(path, options)?;
         Ok(Self::boot(config, Some((store, snapshot))))
     }
 
@@ -349,6 +395,7 @@ impl TuningService {
             recovery,
             workers,
             next_job_id: AtomicU64::new(next_job_id),
+            draining: std::sync::atomic::AtomicBool::new(false),
         };
         // Replay in-flight work under the original ids: the journal already
         // holds their `Submitted` records, so the replay is not re-journaled
@@ -376,6 +423,12 @@ impl TuningService {
     /// jobs whose rate model is serializable are journaled for crash
     /// recovery.
     pub fn submit(&self, request: JobRequest) -> Result<JobHandle, ServeError> {
+        // A draining service sheds at the door — before journaling, so the
+        // refusal costs neither a journal record nor its retirement.
+        if self.is_draining() {
+            self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Admission(AdmissionError::Closed));
+        }
         let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
         // Journal *before* enqueueing so an accepted job can never be lost
         // between the queue and the journal; a rejected submission retires
@@ -483,6 +536,37 @@ impl TuningService {
     /// service started without a store).
     pub fn recovery_stats(&self) -> Option<RecoveryStats> {
         self.recovery
+    }
+
+    /// One coherent snapshot of every counter surface, for transport
+    /// front-ends reporting service health in a single response.
+    pub fn status(&self) -> ServiceStatus {
+        ServiceStatus {
+            metrics: self.metrics(),
+            cache: self.cache_stats(),
+            families: self.family_stats(),
+            store: self.store_stats(),
+            recovery: self.recovery_stats(),
+            pending: self.pending(),
+            draining: self.is_draining(),
+        }
+    }
+
+    /// Starts a graceful drain: subsequent submissions are refused with
+    /// [`AdmissionError::Closed`] (a transport front-end maps this to HTTP
+    /// 503) while already-queued jobs keep being served; their handles
+    /// resolve normally. Unlike [`TuningService::shutdown`] this does not
+    /// block — poll [`TuningService::pending`] (or just call `shutdown`) to
+    /// observe the drain completing. Idempotent.
+    pub fn begin_drain(&self) {
+        self.draining
+            .store(true, std::sync::atomic::Ordering::Release);
+        self.queue.close();
+    }
+
+    /// Whether [`TuningService::begin_drain`] was called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Flushes the full working set to the durable store: every resident
@@ -767,6 +851,71 @@ mod tests {
         let repeat = service.tune(ra_request(64)).unwrap();
         assert_eq!(repeat.source, PlanSource::CacheHit);
         assert!(Arc::ptr_eq(&served.plan, &repeat.plan));
+        service.shutdown();
+    }
+
+    /// The non-blocking poll a transport front-end uses: `None` while in
+    /// flight, the outcome exactly once, `WorkerGone` afterwards.
+    #[test]
+    fn try_result_polls_without_blocking() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let handle = service.submit(request("acme", 5, 60)).unwrap();
+        let outcome = loop {
+            match handle.try_result() {
+                Some(outcome) => break outcome,
+                None => std::thread::yield_now(),
+            }
+        };
+        assert_eq!(outcome.unwrap().job_id, handle.job_id);
+        assert!(
+            matches!(handle.try_result(), Some(Err(ServeError::WorkerGone))),
+            "the outcome is delivered once"
+        );
+        service.shutdown();
+    }
+
+    /// `begin_drain` refuses new work with `Closed` (no journal churn) while
+    /// already-accepted jobs still resolve.
+    #[test]
+    fn drain_refuses_new_submissions_but_serves_queued_work() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        assert!(!service.is_draining());
+        let accepted = service.submit(request("acme", 5, 60)).unwrap();
+        service.begin_drain();
+        assert!(service.is_draining());
+        assert!(service.status().draining);
+        let err = service.submit(request("acme", 5, 60)).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Admission(AdmissionError::Closed)),
+            "{err}"
+        );
+        assert!(accepted.wait().is_ok(), "in-flight work still completes");
+        assert_eq!(service.metrics().rejected, 1);
+        service.shutdown();
+    }
+
+    /// `status()` is one coherent view over every counter surface.
+    #[test]
+    fn status_snapshot_agrees_with_individual_surfaces() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        service.tune(request("acme", 5, 60)).unwrap();
+        service.tune(request("acme", 5, 60)).unwrap();
+        let status = service.status();
+        assert_eq!(status.metrics, service.metrics());
+        assert_eq!(status.cache, service.cache_stats());
+        assert_eq!(status.families, service.family_stats());
+        assert!(status.store.is_none() && status.recovery.is_none());
+        assert!(!status.draining);
+        assert_eq!(status.metrics.completed(), 2);
         service.shutdown();
     }
 

@@ -174,6 +174,10 @@ pub struct StoreSnapshot {
     /// Largest job id seen anywhere in the journal (0 when empty); recovery
     /// resumes the id counter past it.
     pub max_job_id: u64,
+    /// Journal records retired by the open-time rewrite (matched
+    /// `Submitted`/`Completed` pairs and orphan completions collapsed into
+    /// the id watermark). 0 when the journal was already minimal.
+    pub retired_journal_records: u64,
     /// Per-stream damage accounting.
     pub report: LoadReport,
 }
@@ -213,6 +217,46 @@ pub struct StoreStats {
     /// Records whose disk write failed (counted retired; the writer keeps
     /// going so the serve path never blocks on a sick disk).
     pub write_errors: u64,
+    /// `fsync` calls issued by the writer (one per stream file per sync
+    /// point; always 0 under [`FsyncPolicy::Off`]).
+    pub fsyncs: u64,
+}
+
+/// When the background writer calls `fsync` on the stream files. The writer
+/// always flushes userspace buffers per batch; without an fsync a *power
+/// loss* (as opposed to a process crash) can still lose the OS page-cache
+/// tail. Stronger policies trade write throughput for that tail.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync (the default): durability against process crashes only.
+    #[default]
+    Off,
+    /// fsync every touched stream after each write batch: at most one
+    /// serve-path record batch can be lost to a power cut.
+    PerBatch,
+    /// fsync all streams dirtied since the last sync once the given interval
+    /// has elapsed (checked after each batch, and once more on close), so
+    /// the power-loss window is bounded without paying a sync per batch.
+    Interval(std::time::Duration),
+}
+
+/// Tunables of [`PlanStore::open_with`]. `..Default::default()` keeps the
+/// standing defaults (bounded queue, no fsync).
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Bound on the write-behind queue ([`DEFAULT_QUEUE_CAPACITY`]).
+    pub queue_capacity: usize,
+    /// When the writer fsyncs the stream files ([`FsyncPolicy::Off`]).
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            fsync: FsyncPolicy::Off,
+        }
+    }
 }
 
 /// Errors opening a store. Runtime write failures are *not* errors — they are
@@ -302,7 +346,9 @@ struct StoreShared {
     drained: Condvar,
     dropped: AtomicU64,
     write_errors: AtomicU64,
+    fsyncs: AtomicU64,
     capacity: usize,
+    fsync: FsyncPolicy,
 }
 
 /// The durable plan store: three append-only streams behind one background
@@ -344,17 +390,31 @@ impl PlanStore {
         dir: impl AsRef<Path>,
         queue_capacity: usize,
     ) -> Result<(Arc<PlanStore>, StoreSnapshot), StoreError> {
+        Self::open_with(
+            dir,
+            StoreOptions {
+                queue_capacity,
+                ..StoreOptions::default()
+            },
+        )
+    }
+
+    /// [`PlanStore::open`] with explicit [`StoreOptions`] (queue bound,
+    /// fsync policy).
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        options: StoreOptions,
+    ) -> Result<(Arc<PlanStore>, StoreSnapshot), StoreError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)
             .map_err(|e| StoreError::new(format!("creating store dir {}", dir.display()), e))?;
 
         let mut report = LoadReport::default();
-        let mut appenders = Vec::new();
-        let mut raw: HashMap<&'static str, Vec<String>> = HashMap::new();
+        let mut replayed: Vec<(Stream, ReplayedStream)> = Vec::new();
         for stream in Stream::ALL {
             let path = dir.join(stream.file_name());
-            let replayed = replay_stream(&path, stream, &mut report)?;
-            if replayed.sideline {
+            let stream_replay = replay_stream(&path, stream, &mut report)?;
+            if stream_replay.sideline {
                 // Preserve the unreadable bytes (newer format after a
                 // rollback?) instead of destroying them; a previously
                 // sidelined file of the same stream is replaced.
@@ -362,17 +422,43 @@ impl PlanStore {
                 std::fs::rename(&path, &parked)
                     .map_err(|e| StoreError::new(format!("sidelining {}", path.display()), e))?;
             }
-            appenders.push((stream, open_appender(&path, stream, replayed.good_prefix)?));
-            raw.insert(stream.label(), replayed.payloads);
+            replayed.push((stream, stream_replay));
         }
 
         let mut snapshot = StoreSnapshot {
             report,
             ..StoreSnapshot::default()
         };
-        reduce_plans(&raw[Stream::Plans.label()], &mut snapshot);
-        reduce_families(&raw[Stream::Families.label()], &mut snapshot);
-        reduce_journal(&raw[Stream::Journal.label()], &mut snapshot);
+        for (stream, stream_replay) in &replayed {
+            match stream {
+                Stream::Plans => reduce_plans(&stream_replay.payloads, &mut snapshot),
+                Stream::Families => reduce_families(&stream_replay.payloads, &mut snapshot),
+                Stream::Journal => reduce_journal(&stream_replay.payloads, &mut snapshot),
+            }
+        }
+
+        // Journal retirement: matched `Submitted`/`Completed` pairs carry no
+        // recovery information — rewrite the journal as its reduction
+        // (pending submits + an id watermark) whenever that strictly shrinks
+        // it, so the journal's size tracks in-flight work instead of service
+        // lifetime. Runs before the appender opens; the other two streams
+        // keep their truncated-tail prefixes untouched.
+        let journal = replayed
+            .iter_mut()
+            .find(|(stream, _)| *stream == Stream::Journal)
+            .map(|(_, r)| r)
+            .expect("journal stream replayed");
+        let kept = rewrite_journal_if_smaller(&dir, journal, &snapshot)?;
+        snapshot.retired_journal_records = kept;
+
+        let mut appenders = Vec::new();
+        for (stream, stream_replay) in &replayed {
+            let path = dir.join(stream.file_name());
+            appenders.push((
+                *stream,
+                open_appender(&path, *stream, stream_replay.good_prefix)?,
+            ));
+        }
 
         let shared = Arc::new(StoreShared {
             queue: Mutex::new(QueueState {
@@ -385,7 +471,9 @@ impl PlanStore {
             drained: Condvar::new(),
             dropped: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
-            capacity: queue_capacity.max(1),
+            fsyncs: AtomicU64::new(0),
+            capacity: options.queue_capacity.max(1),
+            fsync: options.fsync,
         });
         let writer = {
             let shared = shared.clone();
@@ -474,6 +562,7 @@ impl PlanStore {
             retired,
             dropped: self.shared.dropped.load(Ordering::Relaxed),
             write_errors: self.shared.write_errors.load(Ordering::Relaxed),
+            fsyncs: self.shared.fsyncs.load(Ordering::Relaxed),
         }
     }
 
@@ -532,22 +621,73 @@ impl Drop for PlanStore {
     }
 }
 
+/// Renders one durable record line: `<fnv1a-64 hex of payload>\t<payload>\n`.
+fn record_line(payload: &str) -> String {
+    let mut hash = Fnv1a::new();
+    hash.write_bytes(payload.as_bytes());
+    format!("{:016x}\t{}\n", hash.finish(), payload)
+}
+
 /// The background writer: drains the queue in batches, appends each record
-/// to its stream and flushes the touched appenders. On close it drains
-/// whatever is left before exiting, so a graceful drop loses nothing.
+/// to its stream and flushes the touched appenders (then fsyncs per the
+/// configured [`FsyncPolicy`]). On close it drains whatever is left before
+/// exiting, so a graceful drop loses nothing.
 fn writer_loop(shared: &StoreShared, appenders: Vec<(Stream, BufWriter<File>)>) {
     let mut appenders: HashMap<&'static str, BufWriter<File>> = appenders
         .into_iter()
         .map(|(stream, writer)| (stream.label(), writer))
         .collect();
+    // Streams flushed since the last fsync; only meaningful for policies
+    // other than `Off`.
+    let mut dirty: Vec<&'static str> = Vec::new();
+    let mut last_sync = std::time::Instant::now();
+    let sync_dirty = |dirty: &mut Vec<&'static str>,
+                      appenders: &mut HashMap<&'static str, BufWriter<File>>| {
+        for label in dirty.drain(..) {
+            let file = appenders.get_mut(label).expect("appender per stream");
+            if file.get_ref().sync_data().is_err() {
+                shared.write_errors.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
     loop {
         let batch: Vec<QueuedRecord> = {
             let mut queue = shared.queue.lock().expect("store queue poisoned");
-            while queue.records.is_empty() && !queue.closed {
-                queue = shared.work_ready.wait(queue).expect("store queue poisoned");
+            loop {
+                if !queue.records.is_empty() || queue.closed {
+                    break;
+                }
+                // An interval policy must keep its bounded-window promise
+                // even when the store goes idle: with dirty streams, sleep
+                // only until the interval elapses (then fall through with an
+                // empty batch to the sync below) instead of waiting
+                // indefinitely for records that may never come.
+                match (shared.fsync, dirty.is_empty()) {
+                    (FsyncPolicy::Interval(interval), false) => {
+                        let elapsed = last_sync.elapsed();
+                        if elapsed >= interval {
+                            break;
+                        }
+                        let (reacquired, _timeout) = shared
+                            .work_ready
+                            .wait_timeout(queue, interval - elapsed)
+                            .expect("store queue poisoned");
+                        queue = reacquired;
+                    }
+                    _ => {
+                        queue = shared.work_ready.wait(queue).expect("store queue poisoned");
+                    }
+                }
             }
-            if queue.records.is_empty() {
-                return; // closed and drained
+            if queue.records.is_empty() && queue.closed {
+                // Closed and drained: bound the power-loss window of an
+                // interval policy by syncing whatever is still dirty.
+                if !matches!(shared.fsync, FsyncPolicy::Off) {
+                    sync_dirty(&mut dirty, &mut appenders);
+                }
+                return;
             }
             queue.records.drain(..).collect()
         };
@@ -556,9 +696,7 @@ fn writer_loop(shared: &StoreShared, appenders: Vec<(Stream, BufWriter<File>)>) 
         for record in batch {
             let label = record.stream.label();
             let appender = appenders.get_mut(label).expect("appender per stream");
-            let mut hash = Fnv1a::new();
-            hash.write_bytes(record.payload.as_bytes());
-            let line = format!("{:016x}\t{}\n", hash.finish(), record.payload);
+            let line = record_line(&record.payload);
             if appender.write_all(line.as_bytes()).is_err() {
                 shared.write_errors.fetch_add(1, Ordering::Relaxed);
             } else if !touched.contains(&label) {
@@ -573,6 +711,18 @@ fn writer_loop(shared: &StoreShared, appenders: Vec<(Stream, BufWriter<File>)>) 
                 .is_err()
             {
                 shared.write_errors.fetch_add(1, Ordering::Relaxed);
+            } else if !dirty.contains(&label) {
+                dirty.push(label);
+            }
+        }
+        match shared.fsync {
+            FsyncPolicy::Off => dirty.clear(),
+            FsyncPolicy::PerBatch => sync_dirty(&mut dirty, &mut appenders),
+            FsyncPolicy::Interval(interval) => {
+                if last_sync.elapsed() >= interval {
+                    sync_dirty(&mut dirty, &mut appenders);
+                    last_sync = std::time::Instant::now();
+                }
             }
         }
         let mut queue = shared.queue.lock().expect("store queue poisoned");
@@ -580,6 +730,75 @@ fn writer_loop(shared: &StoreShared, appenders: Vec<(Stream, BufWriter<File>)>) 
         drop(queue);
         shared.drained.notify_all();
     }
+}
+
+/// Open-time journal retirement: when the replayed journal holds more
+/// records than its reduction — pending `Submitted`s plus (when needed) one
+/// `Completed` id watermark — the file is rewritten as that reduction and
+/// the number of retired records is returned. The watermark preserves
+/// [`StoreSnapshot::max_job_id`] across the rewrite, so recovered services
+/// keep assigning fresh ids; it is itself an orphan completion, which the
+/// *next* open's reduction recognises and rewrites, keeping the journal at
+/// fixed size across restarts.
+fn rewrite_journal_if_smaller(
+    dir: &Path,
+    journal: &mut ReplayedStream,
+    snapshot: &StoreSnapshot,
+) -> Result<u64, StoreError> {
+    let max_pending_id = snapshot.pending_jobs.iter().map(|job| job.job_id).max();
+    let watermark = match max_pending_id {
+        _ if snapshot.max_job_id == 0 => None,
+        Some(max_pending) if max_pending >= snapshot.max_job_id => None,
+        _ => Some(JournalRecord::Completed {
+            job_id: snapshot.max_job_id,
+        }),
+    };
+    let kept = snapshot.pending_jobs.len() + usize::from(watermark.is_some());
+    if journal.payloads.len() <= kept {
+        return Ok(0);
+    }
+    let mut content = format!("{}\n", Stream::Journal.header());
+    for job in &snapshot.pending_jobs {
+        let record = JournalRecord::Submitted {
+            job_id: job.job_id,
+            tenant: job.tenant.clone(),
+            task_set: job.task_set.clone(),
+            budget: job.budget,
+            rate: job.rate.clone(),
+            strategy: job.strategy,
+        };
+        let payload = serde_json::to_string(&record)
+            .map_err(|e| StoreError::new("re-serializing journal", std::io::Error::other(e)))?;
+        content.push_str(&record_line(&payload));
+    }
+    if let Some(record) = &watermark {
+        let payload = serde_json::to_string(record)
+            .map_err(|e| StoreError::new("re-serializing journal", std::io::Error::other(e)))?;
+        content.push_str(&record_line(&payload));
+    }
+    let path = dir.join(Stream::Journal.file_name());
+    // Write-then-rename, never truncate-in-place: the pending records being
+    // rewritten are already durable, and a crash mid-rewrite must not be the
+    // one thing that loses them. The temp file is synced before the rename
+    // so the replacement is complete before it becomes visible, and the
+    // directory entry is synced (best-effort) so the rename itself survives
+    // a power cut.
+    let tmp = dir.join(format!("{}.rewrite", Stream::Journal.file_name()));
+    {
+        let mut file = File::create(&tmp)
+            .map_err(|e| StoreError::new(format!("creating {}", tmp.display()), e))?;
+        file.write_all(content.as_bytes())
+            .map_err(|e| StoreError::new(format!("writing {}", tmp.display()), e))?;
+        file.sync_data()
+            .map_err(|e| StoreError::new(format!("syncing {}", tmp.display()), e))?;
+    }
+    std::fs::rename(&tmp, &path)
+        .map_err(|e| StoreError::new(format!("renaming over {}", path.display()), e))?;
+    if let Ok(dir_handle) = File::open(dir) {
+        let _ = dir_handle.sync_all();
+    }
+    journal.good_prefix = content.len() as u64;
+    Ok((journal.payloads.len() - kept) as u64)
 }
 
 /// The outcome of replaying one stream: the checksummed-valid record
@@ -964,6 +1183,189 @@ mod tests {
         assert!(snapshot.report.clean());
         assert!(!snapshot.plans.is_empty(), "some records persisted");
         assert!(snapshot.plans.len() <= 64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn journal_submit(job_id: u64, budget: u64) -> JournalRecord {
+        JournalRecord::Submitted {
+            job_id,
+            tenant: "acme".to_owned(),
+            task_set: {
+                let mut set = TaskSet::new();
+                let ty = set.add_type("vote", 2.0).unwrap();
+                set.add_tasks(ty, 3, 2).unwrap();
+                set
+            },
+            budget,
+            rate: RateSpec::Linear(LinearRate::unit_slope()),
+            strategy: StrategyChoice::Auto,
+        }
+    }
+
+    /// The fsync knob: `PerBatch` syncs every touched stream (observable in
+    /// the new counter), `Off` — the default — never does, and neither mode
+    /// changes what a reload sees.
+    #[test]
+    fn fsync_policy_per_batch_syncs_and_off_does_not() {
+        let dir = scratch_dir("fsync");
+        {
+            let (store, _) = PlanStore::open_with(
+                &dir,
+                StoreOptions {
+                    fsync: FsyncPolicy::PerBatch,
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap();
+            store.record_plan(1, &plan(1));
+            store.record_plan(2, &plan(2));
+            store.flush();
+            let stats = store.stats();
+            assert!(stats.fsyncs >= 1, "per-batch policy must fsync: {stats:?}");
+            assert_eq!(stats.write_errors, 0);
+        }
+        {
+            // An interval of zero degenerates to per-batch: every batch
+            // crosses the (elapsed) interval.
+            let (store, snapshot) = PlanStore::open_with(
+                &dir,
+                StoreOptions {
+                    fsync: FsyncPolicy::Interval(std::time::Duration::ZERO),
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(snapshot.plans.len(), 2);
+            store.record_plan(3, &plan(3));
+            store.flush();
+            assert!(store.stats().fsyncs >= 1);
+        }
+        let (store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert_eq!(snapshot.plans.len(), 3, "all policies persist identically");
+        store.record_plan(4, &plan(4));
+        store.flush();
+        assert_eq!(store.stats().fsyncs, 0, "default policy never fsyncs");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The interval promise holds for an *idle* store too: a batch written
+    /// just before the workload stops must still be synced once the
+    /// interval elapses, without waiting for further records (the writer
+    /// sleeps with a timeout while streams are dirty).
+    #[test]
+    fn fsync_interval_syncs_an_idle_store() {
+        let dir = scratch_dir("fsync-idle");
+        let (store, _) = PlanStore::open_with(
+            &dir,
+            StoreOptions {
+                fsync: FsyncPolicy::Interval(std::time::Duration::from_millis(20)),
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        store.record_plan(1, &plan(1));
+        store.flush();
+        // No more records arrive. The dirty stream must be synced within
+        // the interval (generous deadline for slow CI).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while store.stats().fsyncs == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(
+            store.stats().fsyncs >= 1,
+            "idle store must still sync on the interval: {:?}",
+            store.stats()
+        );
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A long-interval policy holds its syncs until close: the final drain
+    /// bounds the power-loss window even when the interval never elapsed.
+    #[test]
+    fn fsync_interval_syncs_dirty_streams_on_close() {
+        let dir = scratch_dir("fsync-close");
+        let (store, _) = PlanStore::open_with(
+            &dir,
+            StoreOptions {
+                fsync: FsyncPolicy::Interval(std::time::Duration::from_secs(3600)),
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        store.record_plan(1, &plan(1));
+        store.flush();
+        drop(store);
+        let (store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert_eq!(snapshot.plans.len(), 1);
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Open-time journal retirement: matched `Submitted`/`Completed` pairs
+    /// are rewritten away, the journal file shrinks across restarts (down to
+    /// the pending records plus one id watermark), and neither the pending
+    /// set nor the id counter changes.
+    #[test]
+    fn journal_retires_matched_pairs_at_open() {
+        let dir = scratch_dir("journal-retire");
+        {
+            let (store, _) = PlanStore::open(&dir).unwrap();
+            for id in 0..32u64 {
+                store.record_journal(&journal_submit(id, 40 + id));
+                // Jobs 0..30 complete; job 31 stays in flight.
+                if id != 31 {
+                    store.record_journal(&JournalRecord::Completed { job_id: id });
+                }
+            }
+            store.flush();
+        }
+        let grown = std::fs::metadata(dir.join("journal.log")).unwrap().len();
+        let (_store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert_eq!(snapshot.retired_journal_records, 62, "31 matched pairs");
+        assert_eq!(snapshot.pending_jobs.len(), 1);
+        assert_eq!(snapshot.pending_jobs[0].job_id, 31);
+        assert_eq!(snapshot.max_job_id, 31);
+        let shrunk = std::fs::metadata(dir.join("journal.log")).unwrap().len();
+        assert!(
+            shrunk < grown / 8,
+            "journal must shrink substantially ({grown} -> {shrunk})"
+        );
+        // A second restart is already minimal: nothing further retires and
+        // the recovery view is unchanged.
+        let (_store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert_eq!(snapshot.retired_journal_records, 0);
+        assert_eq!(snapshot.pending_jobs.len(), 1);
+        assert_eq!(snapshot.max_job_id, 31);
+        assert_eq!(
+            std::fs::metadata(dir.join("journal.log")).unwrap().len(),
+            shrunk
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// When every journaled job completed, the rewrite leaves only the id
+    /// watermark — and the watermark keeps the id counter monotone across
+    /// restarts (ids are never reused while any record could reference them).
+    #[test]
+    fn journal_watermark_preserves_the_id_counter() {
+        let dir = scratch_dir("journal-watermark");
+        {
+            let (store, _) = PlanStore::open(&dir).unwrap();
+            for id in 0..8u64 {
+                store.record_journal(&journal_submit(id, 40));
+                store.record_journal(&JournalRecord::Completed { job_id: id });
+            }
+            store.flush();
+        }
+        let (_store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert_eq!(snapshot.retired_journal_records, 15, "16 records -> 1");
+        assert!(snapshot.pending_jobs.is_empty());
+        assert_eq!(snapshot.max_job_id, 8 - 1, "watermark keeps the max id");
+        // Stable from here on: the watermark survives restarts unchanged.
+        let (_store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert_eq!(snapshot.retired_journal_records, 0);
+        assert_eq!(snapshot.max_job_id, 7);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

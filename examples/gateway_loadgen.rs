@@ -1,0 +1,443 @@
+//! Gateway end-to-end smoke + load generator: the whole stack over a real
+//! network boundary.
+//!
+//! 1. Start a `TuningService` behind a `Gateway` on an ephemeral loopback
+//!    port, plus an identically configured in-process reference service.
+//! 2. **Correctness pass** — replay a mixed EA/RA/HA multi-tenant catalogue
+//!    synchronously (`POST /v1/jobs?wait=1`) and assert every HTTP-served
+//!    plan is **bit-identical** (as rendered JSON) to an in-process `submit`
+//!    of the same `JobRequestWire`; also drive the async submit → poll path
+//!    and the `/v1/metrics` + `/healthz` endpoints.
+//! 3. **Admission pass** — flood a tiny-admission service and require the
+//!    per-tenant rejection to surface as HTTP 429.
+//! 4. **Load pass** — multi-threaded keep-alive clients replay the
+//!    catalogue over real sockets; medians and throughput go to
+//!    `BENCH_gateway.json` (override with `BENCH_GATEWAY_JSON`), including
+//!    `inprocess_vs_http_p50_ratio`, the in-run overhead ratio the CI
+//!    regression guard watches.
+//!
+//! Any plan byte-drift, non-2xx happy-path response, or missing 429 exits
+//! non-zero. `CROWDTUNE_BENCH_QUICK=1` shrinks thread/round counts for CI.
+//!
+//! Run with `cargo run --release --example gateway_loadgen`.
+
+use crowdtune_core::rate::{LinearRate, LogRate, RateSpec};
+use crowdtune_core::task::TaskGroupSpec;
+use crowdtune_core::tuner::StrategyChoice;
+use crowdtune_gateway::{Gateway, GatewayConfig, JobRequestWire};
+use crowdtune_serve::{AdmissionPolicy, ServiceConfig, TuningService};
+use serde::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Minimal HTTP client (std-only, keep-alive)
+// ---------------------------------------------------------------------------
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+struct HttpResponse {
+    status: u16,
+    body: String,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to gateway");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("set read timeout");
+        stream.set_nodelay(true).expect("set nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn request(&mut self, method: &str, target: &str, body: Option<&str>) -> HttpResponse {
+        let mut text = format!("{method} {target} HTTP/1.1\r\nHost: loadgen\r\n");
+        if let Some(body) = body {
+            text.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        text.push_str("\r\n");
+        if let Some(body) = body {
+            text.push_str(body);
+        }
+        self.stream
+            .write_all(text.as_bytes())
+            .expect("send request");
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> HttpResponse {
+        let mut status_line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut status_line)
+            .expect("status line");
+        assert!(n > 0, "connection closed before a response");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header line");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("content length value");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("response body");
+        HttpResponse {
+            status,
+            body: String::from_utf8(body).expect("utf-8 body"),
+        }
+    }
+}
+
+fn json_field<'v>(value: &'v Value, name: &str) -> &'v Value {
+    value.field(name).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn json_str(value: &Value) -> &str {
+    match value {
+        Value::Str(s) => s.as_str(),
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload catalogue: mixed EA / RA / HA tenants
+// ---------------------------------------------------------------------------
+
+fn group(name: &str, rate: f64, tasks: u64, repetitions: u32) -> TaskGroupSpec {
+    TaskGroupSpec {
+        name: name.to_owned(),
+        processing_rate: rate,
+        tasks,
+        repetitions,
+    }
+}
+
+/// The replayed catalogue: per tenant, Scenario I (EA), II (RA budget
+/// ladder — exercises family reuse) and III (HA) jobs, plus a non-linear
+/// rate model. Deliberately includes exact repeats (cache hits).
+fn catalogue() -> Vec<JobRequestWire> {
+    let linear = RateSpec::Linear(LinearRate::new(1.5, 0.5).unwrap());
+    let steep = RateSpec::Linear(LinearRate::steep());
+    let log = RateSpec::Log(LogRate::new(2.0).unwrap());
+    let mut jobs = Vec::new();
+    // EA tenant: homogeneous type, uniform repetitions (Scenario I).
+    jobs.push(JobRequestWire {
+        tenant: "ea-tenant".to_owned(),
+        groups: vec![group("filter", 2.5, 8, 3)],
+        budget: 60,
+        rate: linear.clone(),
+        strategy: StrategyChoice::Auto,
+    });
+    // RA tenant: one workload family across a budget ladder (Scenario II).
+    for budget in [240u64, 120, 400, 240] {
+        jobs.push(JobRequestWire {
+            tenant: "ra-tenant".to_owned(),
+            groups: vec![group("vote", 2.0, 5, 3), group("vote", 2.0, 5, 5)],
+            budget,
+            rate: linear.clone(),
+            strategy: StrategyChoice::Auto,
+        });
+    }
+    // HA tenant: heterogeneous difficulty (Scenario III).
+    jobs.push(JobRequestWire {
+        tenant: "ha-tenant".to_owned(),
+        groups: vec![group("easy", 3.0, 4, 3), group("hard", 1.0, 4, 5)],
+        budget: 160,
+        rate: steep,
+        strategy: StrategyChoice::Auto,
+    });
+    // Non-linear belief + forced RA override.
+    jobs.push(JobRequestWire {
+        tenant: "ra-tenant".to_owned(),
+        groups: vec![group("vote", 2.0, 5, 3), group("vote", 2.0, 5, 5)],
+        budget: 180,
+        rate: log,
+        strategy: StrategyChoice::RepetitionAlgorithm,
+    });
+    // Exact repeat of the EA job from a different tenant: cache hit.
+    jobs.push(JobRequestWire {
+        tenant: "ea-tenant-2".to_owned(),
+        groups: vec![group("filter", 2.5, 8, 3)],
+        budget: 60,
+        rate: linear,
+        strategy: StrategyChoice::Auto,
+    });
+    jobs
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let quick = std::env::var("CROWDTUNE_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let mut failures = 0u32;
+
+    let service_config = ServiceConfig::default();
+    let service = Arc::new(TuningService::start(service_config));
+    let reference = TuningService::start(service_config);
+    let gateway = Gateway::start(
+        service.clone(),
+        "127.0.0.1:0",
+        GatewayConfig {
+            workers: 16,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("bind gateway");
+    let addr = gateway.local_addr();
+    println!("gateway_loadgen: serving on {addr} (quick={quick})");
+
+    let jobs = catalogue();
+
+    // -- Correctness pass: sync submits must be bit-identical to in-process.
+    let mut client = Client::connect(addr);
+    for (index, wire) in jobs.iter().enumerate() {
+        let body = serde_json::to_string(wire).expect("serialize wire request");
+        let response = client.request("POST", "/v1/jobs?wait=1", Some(&body));
+        if response.status != 200 {
+            eprintln!(
+                "FAIL: job {index} answered {} on the happy path: {}",
+                response.status, response.body
+            );
+            failures += 1;
+            continue;
+        }
+        let json = serde_json::parse_value_str(&response.body).expect("response JSON");
+        let source = json_str(json_field(&json, "source")).to_owned();
+        let http_plan = serde_json::to_string(json_field(&json, "plan")).expect("render plan");
+        let in_process = reference
+            .tune(wire.to_request(1_000_000).expect("wire converts"))
+            .expect("in-process submit");
+        let reference_plan =
+            serde_json::to_string(&*in_process.plan).expect("render reference plan");
+        if http_plan != reference_plan {
+            eprintln!(
+                "FAIL: job {index} (tenant {}, budget {}) drifted over HTTP\n  http: {http_plan}\n  ref:  {reference_plan}",
+                wire.tenant, wire.budget
+            );
+            failures += 1;
+        } else {
+            println!(
+                "job {index:>2}: {:<12} budget {:>4} -> {source:<6} bit-identical over HTTP",
+                wire.tenant, wire.budget
+            );
+        }
+    }
+
+    // -- Async path: submit, poll to completion, re-poll the retained result.
+    let async_wire = &jobs[1];
+    let body = serde_json::to_string(async_wire).expect("serialize wire request");
+    let submitted = client.request("POST", "/v1/jobs", Some(&body));
+    if submitted.status != 202 {
+        eprintln!("FAIL: async submit answered {}", submitted.status);
+        failures += 1;
+    } else {
+        let json = serde_json::parse_value_str(&submitted.body).expect("submit JSON");
+        let job_id = match json_field(&json, "job_id") {
+            Value::I64(v) => *v as u64,
+            Value::U64(v) => *v,
+            other => panic!("job_id not an integer: {other:?}"),
+        };
+        let target = format!("/v1/jobs/{job_id}");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let polled = client.request("GET", &target, None);
+            let json = serde_json::parse_value_str(&polled.body).expect("poll JSON");
+            match json_str(json_field(&json, "status")) {
+                "pending" if Instant::now() < deadline => continue,
+                "done" => {
+                    println!("async job {job_id}: done via poll");
+                    break;
+                }
+                other => {
+                    eprintln!("FAIL: async job {job_id} ended as {other}");
+                    failures += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    // -- Health + metrics surfaces.
+    let health = client.request("GET", "/healthz", None);
+    let metrics = client.request("GET", "/v1/metrics", None);
+    if health.status != 200 || metrics.status != 200 {
+        eprintln!(
+            "FAIL: health/metrics answered {}/{}",
+            health.status, metrics.status
+        );
+        failures += 1;
+    } else if !metrics.body.contains("cache_hits") {
+        eprintln!("FAIL: metrics body lacks counters: {}", metrics.body);
+        failures += 1;
+    }
+    drop(client);
+
+    // -- Admission pass: a tiny-admission service must answer 429.
+    {
+        let tiny = Arc::new(TuningService::start(ServiceConfig {
+            workers: 1,
+            admission: AdmissionPolicy {
+                max_pending: 64,
+                max_pending_per_tenant: 1,
+            },
+            ..ServiceConfig::default()
+        }));
+        let tiny_gateway = Gateway::start(tiny, "127.0.0.1:0", GatewayConfig::default())
+            .expect("bind tiny gateway");
+        let mut client = Client::connect(tiny_gateway.local_addr());
+        let mut saw_429 = false;
+        for budget in 0..128u64 {
+            let wire = JobRequestWire {
+                tenant: "flood".to_owned(),
+                groups: vec![group("vote", 2.0, 10, 3), group("vote", 2.0, 10, 5)],
+                budget: 4000 + budget,
+                rate: RateSpec::Linear(LinearRate::unit_slope()),
+                strategy: StrategyChoice::Auto,
+            };
+            let body = serde_json::to_string(&wire).expect("serialize flood job");
+            let response = client.request("POST", "/v1/jobs", Some(&body));
+            match response.status {
+                202 => continue,
+                429 => {
+                    saw_429 = true;
+                    break;
+                }
+                other => {
+                    eprintln!("FAIL: flood answered {other}: {}", response.body);
+                    failures += 1;
+                    break;
+                }
+            }
+        }
+        if saw_429 {
+            println!("admission: per-tenant rejection surfaced as 429");
+        } else {
+            eprintln!("FAIL: flood never observed a 429");
+            failures += 1;
+        }
+        drop(client);
+        tiny_gateway.shutdown();
+    }
+
+    // -- Load pass: multi-threaded keep-alive clients, wait-mode submits.
+    let threads = if quick { 4 } else { 8 };
+    let rounds = if quick { 25 } else { 250 };
+    let bodies: Arc<Vec<String>> = Arc::new(
+        jobs.iter()
+            .map(|wire| serde_json::to_string(wire).expect("serialize wire request"))
+            .collect(),
+    );
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let bodies = bodies.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut samples = Vec::with_capacity(rounds * bodies.len());
+                    for _ in 0..rounds {
+                        for body in bodies.iter() {
+                            let sent = Instant::now();
+                            let response = client.request("POST", "/v1/jobs?wait=1", Some(body));
+                            let micros = sent.elapsed().as_secs_f64() * 1e6;
+                            assert_eq!(
+                                response.status, 200,
+                                "load-pass happy path: {}",
+                                response.body
+                            );
+                            samples.push(micros);
+                        }
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let total_requests = latencies.len();
+    let http_p50 = percentile(&latencies, 0.50);
+    let http_p90 = percentile(&latencies, 0.90);
+    let throughput = total_requests as f64 / elapsed;
+
+    // -- In-process comparison: the same requests straight into `submit`.
+    let mut in_process: Vec<f64> = Vec::with_capacity(rounds.min(50) * jobs.len());
+    for _ in 0..rounds.min(50) {
+        for wire in &jobs {
+            let request = wire.to_request(1_000_000).expect("wire converts");
+            let sent = Instant::now();
+            service.tune(request).expect("in-process submit");
+            in_process.push(sent.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    in_process.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let inprocess_p50 = percentile(&in_process, 0.50);
+    let ratio = inprocess_p50 / http_p50;
+
+    println!(
+        "load: {total_requests} requests over {threads} connections in {elapsed:.2}s \
+         ({throughput:.0} req/s) | http p50 {http_p50:.0}µs p90 {http_p90:.0}µs | \
+         in-process p50 {inprocess_p50:.0}µs | ratio {ratio:.3}"
+    );
+
+    let metrics = Client::connect(addr).request("GET", "/v1/metrics", None);
+    println!("metrics: {}", metrics.body);
+
+    gateway.shutdown();
+    // The gateway held the only other reference; dropping ours stops the
+    // service (its Drop drains the queue and joins the workers).
+    drop(service);
+    reference.shutdown();
+
+    // -- Bench artifact.
+    let json_path = std::env::var("BENCH_GATEWAY_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_gateway.json").to_owned());
+    let json = format!(
+        "{{\n  \"bench\": \"gateway_loadgen_mixed_tenants\",\n  \"quick\": {quick},\n  \
+         \"threads\": {threads},\n  \"requests\": {total_requests},\n  \
+         \"http_p50_us\": {http_p50:.1},\n  \"http_p90_us\": {http_p90:.1},\n  \
+         \"http_throughput_rps\": {throughput:.0},\n  \
+         \"inprocess_p50_us\": {inprocess_p50:.1},\n  \
+         \"inprocess_vs_http_p50_ratio\": {ratio:.4}\n}}\n"
+    );
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("gateway_loadgen: wrote {json_path}"),
+        Err(err) => {
+            eprintln!("FAIL: could not write {json_path}: {err}");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("gateway_loadgen: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("gateway_loadgen: all checks passed");
+}

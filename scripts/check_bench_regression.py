@@ -23,6 +23,15 @@ Suites (see SUITES below):
   end-to-end speedup (~2.7x) includes the latency-estimate attach and is
   noisier in quick mode, so it gets a looser 60% floor that still catches
   "family layer stopped reusing" (which costs the full ~2.7x).
+* ``gateway`` — the HTTP front-end (BENCH_gateway.json): guarding
+  ``inprocess_vs_http_p50_ratio``, the in-run ratio of the in-process p50
+  submit latency to the HTTP p50 latency of the same requests (~0.02-0.04:
+  the wire costs ~25-50x an in-process cache hit). Both sides are measured
+  in one process, so machine speed cancels; the ratio is scheduler-noisy
+  (and systematically higher in quick mode, which runs fewer concurrent
+  clients), so it gets a loose 3x floor — still far above the 5-10x ratio
+  collapse of a real gateway regression (losing keep-alive, an O(n)
+  registry scan, a per-request allocation storm).
 
 Usage: check_bench_regression.py <suite> <baseline.json> <fresh.json>
 """
@@ -42,6 +51,12 @@ SUITES = {
         "scalars": [
             ("median_family_hit_speedup_solve_only", 1.25),
             ("median_family_hit_speedup_end_to_end", 1.60),
+        ],
+    },
+    "gateway": {
+        "rows": None,
+        "scalars": [
+            ("inprocess_vs_http_p50_ratio", 3.00),
         ],
     },
 }
