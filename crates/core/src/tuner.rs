@@ -53,17 +53,41 @@ impl TunedPlan {
     /// (e.g. a plan-family table read) produce plans bit-identical to the
     /// cold path.
     pub fn from_result(problem: &HTuningProblem, result: TuningResult) -> Result<TunedPlan> {
+        Ok(Self::from_result_timed(problem, result)?.0)
+    }
+
+    /// [`TunedPlan::from_result`] plus the wall-clock nanoseconds the
+    /// estimate attach took — the telemetry hook serving layers use to split
+    /// "solve" from "estimate" in per-stage latency histograms.
+    pub fn from_result_timed(
+        problem: &HTuningProblem,
+        result: TuningResult,
+    ) -> Result<(TunedPlan, u64)> {
+        let started = std::time::Instant::now();
         let estimator = JobLatencyEstimator::new(problem.task_set(), problem.rate_model());
         let expected_latency =
             estimator.analytic_expected_latency(&result.allocation, PhaseSelection::Both)?;
         let expected_on_hold_latency =
             estimator.analytic_expected_latency(&result.allocation, PhaseSelection::OnHoldOnly)?;
-        Ok(TunedPlan {
-            result,
-            expected_latency,
-            expected_on_hold_latency,
-        })
+        let estimate_ns = started.elapsed().as_nanos() as u64;
+        Ok((
+            TunedPlan {
+                result,
+                expected_latency,
+                expected_on_hold_latency,
+            },
+            estimate_ns,
+        ))
     }
+}
+
+/// Wall-clock breakdown of a [`Tuner::plan_timed`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanTiming {
+    /// Nanoseconds spent in the strategy solve (problem build included).
+    pub solve_ns: u64,
+    /// Nanoseconds spent attaching the analytic latency estimates.
+    pub estimate_ns: u64,
 }
 
 /// High-level budget tuner.
@@ -124,9 +148,24 @@ impl Tuner {
     /// Tunes the budget and attaches analytic latency estimates for the
     /// resulting allocation.
     pub fn plan(&self, task_set: TaskSet, budget: Budget) -> Result<TunedPlan> {
+        Ok(self.plan_timed(task_set, budget)?.0)
+    }
+
+    /// [`Tuner::plan`] plus a wall-clock solve/estimate breakdown — the
+    /// telemetry hook for serving layers that report per-stage latency.
+    pub fn plan_timed(&self, task_set: TaskSet, budget: Budget) -> Result<(TunedPlan, PlanTiming)> {
+        let started = std::time::Instant::now();
         let problem = self.problem(task_set, budget)?;
         let result = self.tune_problem(&problem)?;
-        TunedPlan::from_result(&problem, result)
+        let solve_ns = started.elapsed().as_nanos() as u64;
+        let (plan, estimate_ns) = TunedPlan::from_result_timed(&problem, result)?;
+        Ok((
+            plan,
+            PlanTiming {
+                solve_ns,
+                estimate_ns,
+            },
+        ))
     }
 }
 

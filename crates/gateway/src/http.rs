@@ -348,7 +348,10 @@ fn header_value<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h s
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (the gateway always sends JSON).
+    /// `Content-Type` header value (JSON for the API; the Prometheus
+    /// exposition of `/v1/metrics` negotiates plain text).
+    pub content_type: &'static str,
+    /// Response body.
     pub body: String,
 }
 
@@ -357,6 +360,17 @@ impl Response {
     pub fn json(status: u16, body: impl Into<String>) -> Self {
         Response {
             status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A response with an explicit content type (e.g. the Prometheus text
+    /// exposition, `text/plain; version=0.0.4`).
+    pub fn text(status: u16, content_type: &'static str, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type,
             body: body.into(),
         }
     }
@@ -382,19 +396,20 @@ pub fn reason_phrase(status: u16) -> &'static str {
 }
 
 /// Serializes and writes one response in a single `write_all` (head and body
-/// together — one syscall per response on the socket path).
+/// together — one syscall per response on the socket path). Returns the
+/// bytes put on the wire, for egress accounting.
 pub fn write_response(
     writer: &mut impl Write,
     response: &Response,
     keep_alive: bool,
-) -> std::io::Result<()> {
+) -> std::io::Result<usize> {
     let mut message = String::with_capacity(response.body.len() + 128);
     message.push_str(&format!(
         "HTTP/1.1 {} {}\r\n",
         response.status,
         reason_phrase(response.status)
     ));
-    message.push_str("Content-Type: application/json\r\n");
+    message.push_str(&format!("Content-Type: {}\r\n", response.content_type));
     message.push_str(&format!("Content-Length: {}\r\n", response.body.len()));
     if !keep_alive {
         message.push_str("Connection: close\r\n");
@@ -402,7 +417,8 @@ pub fn write_response(
     message.push_str("\r\n");
     message.push_str(&response.body);
     writer.write_all(message.as_bytes())?;
-    writer.flush()
+    writer.flush()?;
+    Ok(message.len())
 }
 
 #[cfg(test)]

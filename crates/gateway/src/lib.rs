@@ -19,9 +19,11 @@
 //!                                                     │   submit / JobHandle
 //!                                                     ▼
 //!                                    POST /v1/jobs   (202 + id, or ?wait=1)
-//!                                    GET  /v1/jobs/{id}   status / plan
-//!                                    GET  /v1/metrics     all counters
-//!                                    GET  /healthz        liveness + drain
+//!                                    GET  /v1/jobs/{id}      status / plan
+//!                                    GET  /v1/metrics        counters (JSON)
+//!                                      …?format=prometheus   text exposition
+//!                                    GET  /v1/debug/slowest  slowest traces
+//!                                    GET  /healthz           liveness + drain
 //! ```
 //!
 //! Admission control surfaces as HTTP semantics: per-tenant rejections are
@@ -29,12 +31,20 @@
 //! `400` with structured error bodies, and every response carrying a plan
 //! reports its [`PlanSource`](crowdtune_serve::PlanSource) (`cache` /
 //! `family` / `cold`) so clients can observe the reuse layers at work.
+//!
+//! The gateway is itself instrumented into the service's metric registry
+//! (connections accepted/shed/timed-out, parse rejects by class, request
+//! counts and latency histograms per endpoint × status class, bytes in/out),
+//! so one scrape of `/v1/metrics?format=prometheus` covers transport and
+//! solver alike; `GET /v1/debug/slowest` exposes the service's ring of
+//! slowest completed job traces ([`SlowestBody`]) stage by stage.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
 pub mod http;
+mod metrics;
 pub mod server;
 pub mod wire;
 
@@ -42,5 +52,5 @@ pub use http::{Limits, Request, RequestError, Response};
 pub use server::{Gateway, GatewayConfig};
 pub use wire::{
     CacheBody, ErrorBody, FamiliesBody, HealthBody, JobBody, JobRequestWire, MetricsBody,
-    StoreBody, SubmittedBody,
+    SlowestBody, StoreBody, SubmittedBody, TraceBody,
 };

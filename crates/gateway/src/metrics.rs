@@ -1,0 +1,171 @@
+//! Gateway-side instrumentation: connection accounting, parse rejects by
+//! class, per-endpoint × status-class request counters and latency
+//! histograms, and byte totals in both directions.
+//!
+//! All cells live in the **service's** registry (the gateway has no registry
+//! of its own), so one scrape of `/v1/metrics?format=prometheus` covers the
+//! whole process: solver stage timings and transport health side by side.
+//! Handles are fetched with the registry's get-or-create calls, so two
+//! gateways wrapping the same service share cells instead of double
+//! registering.
+
+use crate::http::RequestError;
+use crowdtune_obs::{Counter, Histogram, Registry};
+
+/// The `endpoint` label values, one per route plus a catch-all for requests
+/// that never matched a route (404s, unparseable job ids).
+pub(crate) const ENDPOINT_LABELS: [&str; 6] = [
+    "post_jobs",
+    "get_job",
+    "get_metrics",
+    "get_healthz",
+    "get_debug_slowest",
+    "other",
+];
+
+/// The `class` label values for [`GatewayMetrics::observe`]. The gateway
+/// never emits 1xx/3xx, so anything outside 2xx/4xx folds into `5xx`.
+const CLASS_LABELS: [&str; 3] = ["2xx", "4xx", "5xx"];
+
+/// The `class` label values for parse rejects, mirroring the
+/// [`RequestError`] variants that map to a response.
+const REJECT_LABELS: [&str; 4] = [
+    "malformed",
+    "headers_too_large",
+    "body_too_large",
+    "unsupported",
+];
+
+/// Which route a request resolved to, for the `endpoint` label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Endpoint {
+    /// `POST /v1/jobs`.
+    PostJobs = 0,
+    /// `GET /v1/jobs/{id}`.
+    GetJob = 1,
+    /// `GET /v1/metrics`.
+    GetMetrics = 2,
+    /// `GET /healthz`.
+    GetHealthz = 3,
+    /// `GET /v1/debug/slowest`.
+    GetDebugSlowest = 4,
+    /// No route matched (404) or the method was wrong (405).
+    Other = 5,
+}
+
+/// Every gateway-owned metric handle. Cheap to clone counters are held
+/// directly; the per-endpoint families are pre-created arrays so the
+/// request path never takes the registry lock.
+pub(crate) struct GatewayMetrics {
+    /// Connections the acceptor handed to the pool.
+    pub connections_accepted: Counter,
+    /// Connections shed with `503` because the hand-off queue was full.
+    pub connections_shed: Counter,
+    /// Connections closed by the keep-alive timeout or request deadline.
+    pub connections_timed_out: Counter,
+    /// Bytes read off sockets (request heads and bodies).
+    pub bytes_in: Counter,
+    /// Bytes written to sockets (response heads and bodies).
+    pub bytes_out: Counter,
+    /// Parse rejects by [`RequestError`] class, [`REJECT_LABELS`] order.
+    parse_rejects: [Counter; 4],
+    /// Requests by endpoint × status class.
+    requests: [[Counter; 3]; 6],
+    /// Request service time (route dispatch through handler return) by
+    /// endpoint, recorded in nanoseconds, exposed in seconds.
+    latency: [Histogram; 6],
+}
+
+impl GatewayMetrics {
+    /// Fetches (creating on first use) every gateway cell from `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        let conn = |state: &str, help: &str| {
+            registry.counter(
+                &format!("crowdtune_gateway_connections_{state}_total"),
+                help,
+                &[],
+            )
+        };
+        GatewayMetrics {
+            connections_accepted: conn("accepted", "Connections handed to the worker pool."),
+            connections_shed: conn(
+                "shed",
+                "Connections answered 503 at the door (hand-off queue full).",
+            ),
+            connections_timed_out: conn(
+                "timed_out",
+                "Connections closed by the keep-alive timeout or request deadline.",
+            ),
+            bytes_in: registry.counter(
+                "crowdtune_gateway_bytes_in_total",
+                "Bytes read from client sockets.",
+                &[],
+            ),
+            bytes_out: registry.counter(
+                "crowdtune_gateway_bytes_out_total",
+                "Bytes written to client sockets.",
+                &[],
+            ),
+            parse_rejects: std::array::from_fn(|i| {
+                registry.counter(
+                    "crowdtune_gateway_parse_rejects_total",
+                    "Requests refused before routing, by parse-failure class.",
+                    &[("class", REJECT_LABELS[i])],
+                )
+            }),
+            requests: std::array::from_fn(|e| {
+                std::array::from_fn(|c| {
+                    registry.counter(
+                        "crowdtune_gateway_requests_total",
+                        "Routed requests by endpoint and status class.",
+                        &[("endpoint", ENDPOINT_LABELS[e]), ("class", CLASS_LABELS[c])],
+                    )
+                })
+            }),
+            latency: std::array::from_fn(|e| {
+                registry.histogram(
+                    "crowdtune_gateway_request_seconds",
+                    "Request service time (dispatch to handler return) by endpoint.",
+                    &[("endpoint", ENDPOINT_LABELS[e])],
+                    1e9,
+                )
+            }),
+        }
+    }
+
+    /// Records one routed request: its endpoint, response status, and
+    /// service time in nanoseconds.
+    pub fn observe(&self, endpoint: Endpoint, status: u16, nanos: u64) {
+        let class = match status / 100 {
+            2 => 0,
+            4 => 1,
+            _ => 2,
+        };
+        self.requests[endpoint as usize][class].inc();
+        self.latency[endpoint as usize].record(nanos);
+    }
+
+    /// Counts a request that failed before routing. Parse failures bump the
+    /// classed reject counter; a timed-out transport bumps the timeout
+    /// counter; other transport failures (torn sockets, clean disconnects
+    /// mid-request) are not an error class worth a series.
+    pub fn request_failed(&self, error: &RequestError) {
+        match error {
+            RequestError::Malformed(_) => self.parse_rejects[0].inc(),
+            RequestError::HeadersTooLarge => self.parse_rejects[1].inc(),
+            RequestError::BodyTooLarge { .. } => self.parse_rejects[2].inc(),
+            RequestError::Unsupported(_) => self.parse_rejects[3].inc(),
+            // The deadline stream reports `TimedOut`; an expired socket read
+            // timeout (idle keep-alive) surfaces as `WouldBlock` on Unix.
+            RequestError::Io(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                self.connections_timed_out.inc();
+            }
+            RequestError::Io(_) => {}
+        }
+    }
+}

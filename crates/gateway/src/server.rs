@@ -7,7 +7,8 @@
 //! |----------------------|--------------------------------------------------|
 //! | `POST /v1/jobs`      | submit a [`JobRequestWire`]; `202` + job id. With `?wait=1`, block and return the plan (`200`). |
 //! | `GET /v1/jobs/{id}`  | job status: `pending`, `done` (plan + source) or `failed` |
-//! | `GET /v1/metrics`    | [`MetricsBody`]: service/cache/family/store counters |
+//! | `GET /v1/metrics`    | [`MetricsBody`] JSON by default; the full Prometheus text exposition with `?format=prometheus` or `Accept: text/plain` |
+//! | `GET /v1/debug/slowest` | [`SlowestBody`]: the N slowest completed job traces, stage by stage |
 //! | `GET /healthz`       | liveness + drain flag                            |
 //!
 //! ## Error mapping
@@ -36,7 +37,12 @@
 //! via the read timeout, and only then do the pool threads join.
 
 use crate::http::{read_request, write_response, Limits, Request, RequestError, Response};
-use crate::wire::{ErrorBody, HealthBody, JobBody, JobRequestWire, MetricsBody, SubmittedBody};
+use crate::metrics::{Endpoint, GatewayMetrics};
+use crate::wire::{
+    ErrorBody, HealthBody, JobBody, JobRequestWire, MetricsBody, SlowestBody, SubmittedBody,
+    TraceBody,
+};
+use crowdtune_obs::Counter;
 use crowdtune_serve::{AdmissionError, JobHandle, ServeError, ServedPlan, TuningService};
 use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
@@ -153,6 +159,7 @@ struct GatewayState {
     jobs: Mutex<JobRegistry>,
     draining: AtomicBool,
     config: GatewayConfig,
+    metrics: GatewayMetrics,
 }
 
 /// The running gateway. Dropping it (or calling [`Gateway::shutdown`])
@@ -175,6 +182,10 @@ impl Gateway {
     ) -> std::io::Result<Gateway> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // Gateway cells live in the service's registry: one scrape covers
+        // the whole process, and a second gateway on the same service
+        // shares cells via the registry's get-or-create semantics.
+        let metrics = GatewayMetrics::new(&service.registry());
         let state = Arc::new(GatewayState {
             service,
             jobs: Mutex::new(JobRegistry {
@@ -185,6 +196,7 @@ impl Gateway {
             }),
             draining: AtomicBool::new(false),
             config,
+            metrics,
         });
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.connection_backlog.max(1));
         let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -273,18 +285,21 @@ fn accept_loop(
             continue;
         };
         match conn_tx.try_send(stream) {
-            Ok(()) => {}
+            Ok(()) => state.metrics.connections_accepted.inc(),
             Err(mpsc::TrySendError::Full(mut stream)) => {
                 // Every pool thread busy and the hand-off queue full: shed at
                 // the door like the service's admission control does. Bound
                 // the write so a non-reading client cannot stall the
                 // acceptor.
+                state.metrics.connections_shed.inc();
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
                 let body = error_response(
                     503,
                     ErrorBody::new("overloaded", "all gateway connections are busy"),
                 );
-                let _ = write_response(&mut stream, &body, false);
+                if let Ok(sent) = write_response(&mut stream, &body, false) {
+                    state.metrics.bytes_out.add(sent as u64);
+                }
             }
             Err(mpsc::TrySendError::Disconnected(_)) => return,
         }
@@ -313,6 +328,8 @@ struct DeadlineStream {
     stream: TcpStream,
     keep_alive_timeout: Duration,
     deadline: std::cell::Cell<Option<std::time::Instant>>,
+    /// Ingress accounting: every byte read off the socket.
+    bytes_in: Counter,
 }
 
 impl std::io::Read for DeadlineStream {
@@ -329,7 +346,9 @@ impl std::io::Read for DeadlineStream {
                 .stream
                 .set_read_timeout(Some(remaining.min(self.keep_alive_timeout)));
         }
-        self.stream.read(buf)
+        let n = self.stream.read(buf)?;
+        self.bytes_in.add(n as u64);
+        Ok(n)
     }
 }
 
@@ -348,6 +367,7 @@ fn handle_connection(state: &GatewayState, mut stream: TcpStream) {
         stream: read_half,
         keep_alive_timeout: state.config.keep_alive_timeout,
         deadline: std::cell::Cell::new(None),
+        bytes_in: state.metrics.bytes_in.clone(),
     });
     loop {
         // Arm the whole-request deadline. The idle wait for the first byte
@@ -359,11 +379,19 @@ fn handle_connection(state: &GatewayState, mut stream: TcpStream) {
         match read_request(&mut reader, &state.config.limits) {
             Ok(None) => return, // clean close between requests
             Ok(Some(request)) => {
+                let endpoint = endpoint_of(&request);
+                let started = std::time::Instant::now();
                 let response = route(state, &request);
+                let nanos = started.elapsed().as_nanos() as u64;
+                state.metrics.observe(endpoint, response.status, nanos);
                 // Draining closes after the in-flight response; so does an
                 // explicit client `Connection: close`.
                 let keep_alive = request.keep_alive && !state.draining.load(Ordering::Acquire);
-                if write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
+                match write_response(&mut stream, &response, keep_alive) {
+                    Ok(sent) => state.metrics.bytes_out.add(sent as u64),
+                    Err(_) => return,
+                }
+                if !keep_alive {
                     return;
                 }
             }
@@ -371,13 +399,37 @@ fn handle_connection(state: &GatewayState, mut stream: TcpStream) {
                 // Malformed/oversized input: answer the mapped 4xx/5xx and
                 // close — framing can no longer be trusted. Transport
                 // failures (torn socket, idle timeout) just close.
+                state.metrics.request_failed(&error);
                 if let Some(status) = error.status() {
                     let body = error_response(status, request_error_body(&error));
-                    let _ = write_response(&mut stream, &body, false);
+                    if let Ok(sent) = write_response(&mut stream, &body, false) {
+                        state.metrics.bytes_out.add(sent as u64);
+                    }
                 }
                 return;
             }
         }
+    }
+}
+
+/// Classifies a request for the `endpoint` metric label, mirroring the
+/// [`route`] table. Requests no route will claim (404s, wrong methods,
+/// unparseable job ids) fold into `other` so the label set stays bounded
+/// whatever clients throw at the socket.
+fn endpoint_of(request: &Request) -> Endpoint {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/jobs") => Endpoint::PostJobs,
+        ("GET", "/v1/metrics") => Endpoint::GetMetrics,
+        ("GET", "/healthz") => Endpoint::GetHealthz,
+        ("GET", "/v1/debug/slowest") => Endpoint::GetDebugSlowest,
+        ("GET", path)
+            if path
+                .strip_prefix("/v1/jobs/")
+                .is_some_and(|id| id.parse::<u64>().is_ok()) =>
+        {
+            Endpoint::GetJob
+        }
+        _ => Endpoint::Other,
     }
 }
 
@@ -412,7 +464,8 @@ fn error_response(status: u16, body: ErrorBody) -> Response {
 fn route(state: &GatewayState, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/jobs") => post_job(state, request),
-        ("GET", "/v1/metrics") => get_metrics(state),
+        ("GET", "/v1/metrics") => get_metrics(state, request),
+        ("GET", "/v1/debug/slowest") => get_slowest(state),
         ("GET", "/healthz") => get_health(state),
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             match path["/v1/jobs/".len()..].parse::<u64>() {
@@ -429,6 +482,7 @@ fn route(state: &GatewayState, request: &Request) -> Response {
         (_, path)
             if path == "/v1/jobs"
                 || path == "/v1/metrics"
+                || path == "/v1/debug/slowest"
                 || path == "/healthz"
                 || path.starts_with("/v1/jobs/") =>
         {
@@ -586,8 +640,38 @@ fn get_job(state: &GatewayState, job_id: u64) -> Response {
     }
 }
 
-fn get_metrics(state: &GatewayState) -> Response {
-    json_response(200, &MetricsBody::from_status(&state.service.status()))
+/// `GET /v1/metrics`, content-negotiated: the JSON [`MetricsBody`] snapshot
+/// by default (wire back-compat), the full Prometheus text exposition when
+/// asked for via `?format=prometheus` or `Accept: text/plain`. An explicit
+/// `format` query parameter outranks the `Accept` header.
+fn get_metrics(state: &GatewayState, request: &Request) -> Response {
+    let prometheus = match request.query_param("format") {
+        Some(format) => format.eq_ignore_ascii_case("prometheus"),
+        None => request
+            .header("accept")
+            .is_some_and(|accept| accept.contains("text/plain")),
+    };
+    if prometheus {
+        Response::text(
+            200,
+            "text/plain; version=0.0.4",
+            state.service.render_prometheus(),
+        )
+    } else {
+        json_response(200, &MetricsBody::from_status(&state.service.status()))
+    }
+}
+
+/// `GET /v1/debug/slowest`: the retained ring of slowest completed job
+/// traces, slowest first, with per-stage timings in seconds.
+fn get_slowest(state: &GatewayState) -> Response {
+    let traces: Vec<TraceBody> = state
+        .service
+        .slowest_traces()
+        .iter()
+        .map(TraceBody::from_trace)
+        .collect();
+    json_response(200, &SlowestBody { traces })
 }
 
 fn get_health(state: &GatewayState) -> Response {

@@ -15,7 +15,7 @@ use crowdtune_core::money::Budget;
 use crowdtune_core::rate::RateSpec;
 use crowdtune_core::task::{TaskGroupSpec, TaskSet};
 use crowdtune_core::tuner::StrategyChoice;
-use crowdtune_serve::{JobRequest, PlanSource, ServedPlan};
+use crowdtune_serve::{JobRequest, JobTrace, PlanSource, ServedPlan};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -178,6 +178,57 @@ impl JobBody {
             source: None,
             plan: None,
             error: Some(error),
+        }
+    }
+}
+
+/// Response of `GET /v1/debug/slowest`: the retained ring of slowest
+/// completed jobs, slowest first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowestBody {
+    /// Traces ordered by descending total time.
+    pub traces: Vec<TraceBody>,
+}
+
+/// One completed job's stage timeline, flattened to per-stage durations in
+/// seconds (the stamps themselves are process-relative and meaningless over
+/// the wire).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceBody {
+    /// Service-assigned job id.
+    pub job_id: u64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Scenario the solver actually ran (`"EA"`/`"RA"`/`"HA"`).
+    pub scenario: String,
+    /// Which reuse layer answered (`"cache"`/`"family"`/`"cold"`).
+    pub source: String,
+    /// Admission (or enqueue) to worker pickup.
+    pub queue_wait_seconds: f64,
+    /// Fingerprint to plan-in-hand (cache lookup, family serve or DP solve).
+    pub solve_seconds: f64,
+    /// Quality/cost estimation of the chosen plan.
+    pub estimate_seconds: f64,
+    /// Time blocked on a plan family's table lock (zero off the family path).
+    pub family_lock_wait_seconds: f64,
+    /// Admission to response delivered.
+    pub total_seconds: f64,
+}
+
+impl TraceBody {
+    /// Flattens a [`JobTrace`] into the wire shape.
+    pub fn from_trace(trace: &JobTrace) -> Self {
+        let seconds = |ns: u64| ns as f64 / 1e9;
+        TraceBody {
+            job_id: trace.job_id,
+            tenant: trace.tenant.clone(),
+            scenario: trace.scenario.to_owned(),
+            source: trace.source.to_owned(),
+            queue_wait_seconds: seconds(trace.queue_wait_ns()),
+            solve_seconds: seconds(trace.solve_ns()),
+            estimate_seconds: seconds(trace.estimate_ns()),
+            family_lock_wait_seconds: seconds(trace.family_lock_wait_ns),
+            total_seconds: seconds(trace.total_ns()),
         }
     }
 }

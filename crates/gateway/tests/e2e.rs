@@ -23,6 +23,7 @@ use std::time::Duration;
 /// One parsed HTTP response.
 struct HttpResponse {
     status: u16,
+    content_type: String,
     body: String,
 }
 
@@ -54,7 +55,20 @@ impl Client {
     }
 
     fn request(&mut self, method: &str, target: &str, body: Option<&str>) -> HttpResponse {
+        self.request_with(method, target, &[], body)
+    }
+
+    fn request_with(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> HttpResponse {
         let mut text = format!("{method} {target} HTTP/1.1\r\nHost: test\r\n");
+        for (name, value) in headers {
+            text.push_str(&format!("{name}: {value}\r\n"));
+        }
         if let Some(body) = body {
             text.push_str(&format!("Content-Length: {}\r\n", body.len()));
         }
@@ -77,6 +91,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
         let mut content_length = 0usize;
+        let mut content_type = String::new();
         loop {
             let mut line = String::new();
             self.reader.read_line(&mut line).expect("header line");
@@ -87,6 +102,8 @@ impl Client {
             if let Some((name, value)) = line.split_once(':') {
                 if name.eq_ignore_ascii_case("content-length") {
                     content_length = value.trim().parse().expect("content length");
+                } else if name.eq_ignore_ascii_case("content-type") {
+                    content_type = value.trim().to_owned();
                 }
             }
         }
@@ -94,6 +111,7 @@ impl Client {
         self.reader.read_exact(&mut body).expect("body");
         Some(HttpResponse {
             status,
+            content_type,
             body: String::from_utf8(body).expect("utf-8 body"),
         })
     }
@@ -562,6 +580,155 @@ fn trickled_requests_hit_the_request_deadline() {
     // The pool thread is free again: a well-behaved client is served.
     let health = one_shot(addr, "GET", "/healthz", None);
     assert_eq!(health.status, 200);
+    gateway.shutdown();
+}
+
+/// Pulls the value of `name{labels}` out of a Prometheus text exposition.
+fn prom_value(text: &str, name: &str, labels: &str) -> Option<u64> {
+    let needle = if labels.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{name}{{{labels}}}")
+    };
+    text.lines().find_map(|line| {
+        let (metric, value) = line.rsplit_once(' ')?;
+        (metric == needle).then(|| value.parse().ok())?
+    })
+}
+
+/// The observability surface over real sockets: `/v1/metrics` negotiates
+/// JSON (back-compat default) vs the Prometheus text exposition, the
+/// exposition carries the gateway's own transport metrics, and
+/// `/v1/debug/slowest` returns the per-stage trace ring.
+#[test]
+fn observability_endpoints_over_http() {
+    let (_service, gateway) = start_gateway(
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        GatewayConfig::default(),
+    );
+    let addr = gateway.local_addr();
+    let mut client = Client::connect(addr);
+    for budget in [120, 120, 90] {
+        let body = serde_json::to_string(&ra_wire("acme", budget)).unwrap();
+        let response = client.request("POST", "/v1/jobs?wait=1", Some(&body));
+        assert_eq!(response.status, 200, "{}", response.body);
+    }
+
+    // Default: the JSON snapshot, exactly as before the exposition existed.
+    let json_metrics = client.request("GET", "/v1/metrics", None);
+    assert_eq!(json_metrics.status, 200);
+    assert_eq!(json_metrics.content_type, "application/json");
+    assert_eq!(as_u64(field(&json_metrics.json(), "submitted")), 3);
+
+    // `?format=prometheus` switches to the text exposition.
+    let prom = client.request("GET", "/v1/metrics?format=prometheus", None);
+    assert_eq!(prom.status, 200);
+    assert_eq!(prom.content_type, "text/plain; version=0.0.4");
+    assert!(prom.body.starts_with("# HELP"), "{}", prom.body);
+    let text = &prom.body;
+    assert_eq!(
+        prom_value(text, "crowdtune_jobs_submitted_total", ""),
+        Some(3)
+    );
+    // The gateway's own transport metrics ride the same scrape.
+    assert_eq!(
+        prom_value(
+            text,
+            "crowdtune_gateway_requests_total",
+            "endpoint=\"post_jobs\",class=\"2xx\""
+        ),
+        Some(3)
+    );
+    assert!(
+        prom_value(
+            text,
+            "crowdtune_gateway_request_seconds_count",
+            "endpoint=\"post_jobs\""
+        ) == Some(3)
+    );
+    assert!(prom_value(text, "crowdtune_gateway_connections_accepted_total", "") >= Some(1));
+    assert!(prom_value(text, "crowdtune_gateway_bytes_in_total", "") > Some(0));
+    assert!(prom_value(text, "crowdtune_gateway_bytes_out_total", "") > Some(0));
+
+    // `Accept: text/plain` negotiates the exposition too; an explicit
+    // `format` outranks the header.
+    let via_accept = client.request_with("GET", "/v1/metrics", &[("Accept", "text/plain")], None);
+    assert_eq!(via_accept.content_type, "text/plain; version=0.0.4");
+    let forced_json = client.request_with(
+        "GET",
+        "/v1/metrics?format=json",
+        &[("Accept", "text/plain")],
+        None,
+    );
+    assert_eq!(forced_json.content_type, "application/json");
+
+    // Parse rejects are classed: a malformed request (separate socket — the
+    // gateway closes it) bumps the malformed counter.
+    let mut broken = Client::connect(addr);
+    broken.send_raw("THIS IS NOT HTTP\r\n\r\n");
+    assert_eq!(broken.read_response().expect("error response").status, 400);
+    drop(broken);
+    let text = client
+        .request("GET", "/v1/metrics?format=prometheus", None)
+        .body;
+    assert!(
+        prom_value(
+            &text,
+            "crowdtune_gateway_parse_rejects_total",
+            "class=\"malformed\""
+        ) >= Some(1),
+        "{text}"
+    );
+
+    // The slowest-trace ring: traces fold in after the response is sent, so
+    // poll briefly for all three.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let slowest = loop {
+        let response = client.request("GET", "/v1/debug/slowest", None);
+        assert_eq!(response.status, 200);
+        assert_eq!(response.content_type, "application/json");
+        let json = response.json();
+        let Value::Arr(traces) = field(&json, "traces") else {
+            panic!("traces is not an array: {}", response.body);
+        };
+        if traces.len() >= 3 {
+            break traces.clone();
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slowest ring never filled: {}",
+            response.body
+        );
+        std::thread::yield_now();
+    };
+    let mut last_total = f64::INFINITY;
+    for trace in &slowest {
+        assert_eq!(as_str(field(trace, "tenant")), "acme");
+        assert!(!as_str(field(trace, "scenario")).is_empty());
+        assert!(matches!(
+            as_str(field(trace, "source")),
+            "cache" | "family" | "cold"
+        ));
+        let total = match field(trace, "total_seconds") {
+            Value::F64(v) => *v,
+            Value::I64(v) => *v as f64,
+            Value::U64(v) => *v as f64,
+            other => panic!("total_seconds is {other:?}"),
+        };
+        assert!(total <= last_total, "ring not sorted slowest-first");
+        assert!(total >= 0.0);
+        last_total = total;
+    }
+
+    // The debug route participates in the 405 contract.
+    assert_eq!(
+        client.request("POST", "/v1/debug/slowest", None).status,
+        405
+    );
+    drop(client);
     gateway.shutdown();
 }
 

@@ -1,0 +1,314 @@
+//! Lock-free fixed-bucket **log-linear histogram** (HdrHistogram-style
+//! bucketing over the full `u64` range).
+//!
+//! ## Bucketing scheme
+//!
+//! With `b = `[`SUB_BUCKET_BITS`]` = 3`:
+//!
+//! * values `< 2^b` map one-to-one onto the first `2^b` buckets (**exact**);
+//! * every octave `[2^m, 2^(m+1))` for `m in b..=63` is split into `2^b`
+//!   equal-width sub-buckets.
+//!
+//! Total: `2^b · (64 - b + 1) = 496` buckets — one `AtomicU64` each, ~4 KB
+//! per histogram, fixed at construction. [`Histogram::record`] is two relaxed
+//! `fetch_add`s: no locks, no allocation, safe from any number of threads.
+//!
+//! ## Error bound
+//!
+//! A quantile estimate is the **upper bound** of the bucket holding the exact
+//! (nearest-rank) quantile value `v`, so for every quantile `q`:
+//!
+//! ```text
+//! v <= estimate(q) <= v + v/2^b      (exact when v < 2^b)
+//! ```
+//!
+//! i.e. estimates never under-report and over-report by at most
+//! `2^-b = 12.5%` relative error. Counts and sums are exact (no sampling,
+//! no decay); concurrent recording drops nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BUCKET_BITS`
+/// equal-width buckets, bounding relative quantile error at
+/// `2^-SUB_BUCKET_BITS` (12.5%).
+pub const SUB_BUCKET_BITS: u32 = 3;
+
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+
+/// Number of buckets: the linear region plus one group of `2^b` sub-buckets
+/// per octave `m in b..=63`.
+pub const BUCKET_COUNT: usize = SUB_BUCKETS * (64 - SUB_BUCKET_BITS as usize + 1);
+
+/// Bucket index for a value. Monotone in `value`; total over `u64`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        value as usize
+    } else {
+        let m = 63 - value.leading_zeros(); // highest set bit, >= SUB_BUCKET_BITS
+        let octave = (m - SUB_BUCKET_BITS) as usize;
+        let sub = ((value >> (m - SUB_BUCKET_BITS)) as usize) - SUB_BUCKETS;
+        SUB_BUCKETS * (1 + octave) + sub
+    }
+}
+
+/// Largest value mapping to bucket `index` (inclusive upper bound).
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        index as u64
+    } else {
+        let octave = index / SUB_BUCKETS - 1;
+        let m = SUB_BUCKET_BITS + octave as u32;
+        let width = 1u64 << (m - SUB_BUCKET_BITS);
+        let sub = (index % SUB_BUCKETS) as u64;
+        (1u64 << m) + sub * width + (width - 1)
+    }
+}
+
+struct Shared {
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+/// A lock-free, mergeable histogram of `u64` samples. Cheap to clone: clones
+/// share the same buckets, so a component can own a handle while the
+/// registry renders the same data.
+#[derive(Clone)]
+pub struct Histogram {
+    shared: Arc<Shared>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("sum", &snap.sum)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram with its own bucket storage.
+    pub fn new() -> Self {
+        Histogram {
+            shared: Arc::new(Shared {
+                counts: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one sample. Two relaxed atomic adds; never blocks, never
+    /// drops.
+    pub fn record(&self, value: u64) {
+        self.shared.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.shared.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise). Merging is
+    /// associative and commutative up to bucket resolution — bucket counts
+    /// and sums add exactly.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.shared.counts.iter().zip(other.shared.counts.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.shared
+            .sum
+            .fetch_add(other.shared.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts. The total count is derived
+    /// from the bucket loads of *this* snapshot (not a separate atomic), so
+    /// `sum(buckets) == count` holds by construction — the property the
+    /// Prometheus `le="+Inf"` bucket relies on.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .shared
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.shared.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s buckets, for quantile queries and
+/// rendering.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    /// Total number of recorded samples (sum of bucket counts).
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank quantile estimate: the upper bound of the bucket holding
+    /// the sample of rank `ceil(q · count)`. See the module docs for the
+    /// error bound (`exact <= estimate <= exact · 1.125`). Returns 0 on an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(BUCKET_COUNT - 1)
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, cumulative count)`
+    /// pairs, in increasing value order — the shape Prometheus histogram
+    /// exposition wants. The last cumulative count equals [`Self::count`].
+    pub fn cumulative_nonzero(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                cum += c;
+                out.push((bucket_upper(i), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.sum, 28);
+        for v in 0..8u64 {
+            let rank_q = (v as f64 + 1.0) / 8.0;
+            assert_eq!(snap.quantile(rank_q), v);
+        }
+    }
+
+    #[test]
+    fn index_and_upper_are_consistent() {
+        // Every probe value must land in a bucket whose range contains it.
+        let probes = [
+            0u64,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            100,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+            1 << 40,
+            (1 << 40) + 12345,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < BUCKET_COUNT, "index {i} out of range for {v}");
+            let upper = bucket_upper(i);
+            assert!(v <= upper, "value {v} above its bucket upper {upper}");
+            if i > 0 {
+                let prev_upper = bucket_upper(i - 1);
+                assert!(prev_upper < v, "value {v} below bucket {i} lower bound");
+            }
+        }
+        // Bucket upper bounds are strictly increasing.
+        for i in 1..BUCKET_COUNT {
+            assert!(bucket_upper(i) > bucket_upper(i - 1));
+        }
+        assert_eq!(bucket_upper(BUCKET_COUNT - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_error_bound_holds() {
+        let h = Histogram::new();
+        let mut values: Vec<u64> = (0..10_000u64).map(|i| i * i % 777_777).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.01, 0.10, 0.50, 0.90, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            let exact = values[rank - 1];
+            let est = snap.quantile(q);
+            assert!(est >= exact, "q={q}: estimate {est} < exact {exact}");
+            assert!(
+                est <= exact + (exact >> SUB_BUCKET_BITS),
+                "q={q}: estimate {est} above error bound for exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn cumulative_ends_at_count() {
+        let h = Histogram::new();
+        for v in [0u64, 5, 9, 9, 1024, 1 << 33] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let cum = snap.cumulative_nonzero();
+        assert_eq!(cum.last().unwrap().1, snap.count);
+        // Cumulative counts are non-decreasing and uppers strictly increase.
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sums() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v * 3);
+            b.record(v * 7 + 1);
+        }
+        let merged = Histogram::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        let snap = merged.snapshot();
+        assert_eq!(snap.count, 200);
+        assert_eq!(snap.sum, a.snapshot().sum + b.snapshot().sum);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Histogram::new();
+        let b = a.clone();
+        b.record(42);
+        assert_eq!(a.snapshot().count, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # crowdtune-obs
+//!
+//! Std-only telemetry primitives for the crowdtune stack: the pieces every
+//! layer (queue, service, family store, durable store, HTTP gateway) uses to
+//! expose *where time goes* without perturbing the paths being measured.
+//!
+//! * [`Histogram`] — lock-free fixed-bucket log-linear histogram over the
+//!   full `u64` range: relaxed atomic adds on the record path, mergeable,
+//!   quantile estimates with a documented ≤ 12.5% relative error bound
+//!   (see [`hist`]).
+//! * [`Counter`] / [`Gauge`] — `Arc`-shared atomic scalars, designed to
+//!   *back* existing stats structs so a legacy snapshot and a Prometheus
+//!   scrape read the same cells.
+//! * [`Registry`] — named metric families rendered as Prometheus text
+//!   exposition v0.0.4 or JSON, in registration order (which is the
+//!   mechanism for cross-counter scrape invariants; see [`registry`]).
+//! * [`JobTrace`] / [`SlowestRing`] — per-job stage timelines (admitted →
+//!   queued → dequeued → solve → estimate → completed) and a bounded ring
+//!   of the N slowest, powering `GET /v1/debug/slowest`.
+//!
+//! The crate is dependency-free by design: it renders its own exposition
+//! text, so it can sit below every other crate in the workspace.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod hist;
+pub mod metric;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot, BUCKET_COUNT, SUB_BUCKET_BITS};
+pub use metric::{Counter, Gauge};
+pub use registry::Registry;
+pub use trace::{JobTrace, SlowestRing};

@@ -1,0 +1,193 @@
+//! Per-job lifecycle traces and the bounded ring of slowest traces.
+//!
+//! A [`JobTrace`] is a set of **monotonic stage stamps** — nanosecond
+//! offsets from one fixed epoch (the owning service's boot instant), all
+//! taken from the same monotonic clock, so stage durations are simple
+//! saturating differences and stamps are comparable across jobs within one
+//! process lifetime:
+//!
+//! ```text
+//! admitted → enqueued → dequeued → solve start → solve end → estimate end → completed
+//! ```
+//!
+//! `family_lock_wait_ns` is a duration, not a stamp: time spent blocked on
+//! the plan-family entry lock inside the solve window (zero for cache hits
+//! and cold non-family solves).
+//!
+//! The [`SlowestRing`] keeps the N completed traces with the largest total
+//! latency. The hot path pays one relaxed atomic load when the new trace is
+//! too fast to qualify; only qualifying traces take the ring's mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Stage stamps (ns offsets from the service epoch) and labels for one
+/// served job. A stamp of zero means the stage was not reached (or telemetry
+/// was off).
+#[derive(Debug, Clone, Default)]
+pub struct JobTrace {
+    /// Service-assigned job id.
+    pub job_id: u64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Paper scenario the problem resolved to: `"EA"`, `"RA"` or `"HA"`.
+    pub scenario: &'static str,
+    /// Where the plan came from: `"cache"`, `"family"` or `"cold"`.
+    pub source: &'static str,
+    /// Admission control passed.
+    pub admitted_ns: u64,
+    /// Job visible in its tenant lane (journal write, if any, included).
+    pub enqueued_ns: u64,
+    /// A worker picked the job up.
+    pub dequeued_ns: u64,
+    /// Solve began (fingerprint + cache probe done).
+    pub solve_start_ns: u64,
+    /// A plan existed (cache read / family read-extend / cold DP solve).
+    pub solve_end_ns: u64,
+    /// Latency-estimate attach done (equals `solve_end_ns` when no estimate
+    /// step ran, e.g. cache hits).
+    pub estimate_end_ns: u64,
+    /// Response handed to the submitter.
+    pub completed_ns: u64,
+    /// Time blocked acquiring the plan-family entry lock (duration).
+    pub family_lock_wait_ns: u64,
+}
+
+impl JobTrace {
+    /// Time from lane visibility to worker pickup.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.dequeued_ns.saturating_sub(self.enqueued_ns)
+    }
+
+    /// Time producing the plan (includes `family_lock_wait_ns`).
+    pub fn solve_ns(&self) -> u64 {
+        self.solve_end_ns.saturating_sub(self.solve_start_ns)
+    }
+
+    /// Time attaching the latency estimate after the plan existed.
+    pub fn estimate_ns(&self) -> u64 {
+        self.estimate_end_ns.saturating_sub(self.solve_end_ns)
+    }
+
+    /// End-to-end time from admission to response.
+    pub fn total_ns(&self) -> u64 {
+        self.completed_ns.saturating_sub(self.admitted_ns)
+    }
+}
+
+/// A bounded collection of the N slowest completed [`JobTrace`]s by
+/// [`JobTrace::total_ns`].
+#[derive(Debug)]
+pub struct SlowestRing {
+    capacity: usize,
+    /// Smallest total among kept traces once the ring is full; 0 while
+    /// filling. Lets the hot path skip the mutex for fast jobs.
+    floor_ns: AtomicU64,
+    traces: Mutex<Vec<JobTrace>>,
+}
+
+impl SlowestRing {
+    /// A ring keeping the `capacity` slowest traces (capacity is clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> Self {
+        SlowestRing {
+            capacity: capacity.max(1),
+            floor_ns: AtomicU64::new(0),
+            traces: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Offers a completed trace; keeps it iff it ranks among the slowest N.
+    pub fn offer(&self, trace: JobTrace) {
+        let total = trace.total_ns();
+        // Relaxed is fine: a stale floor only means one extra mutex trip or
+        // one marginal trace missed — never a wrong ring invariant.
+        if total <= self.floor_ns.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut traces = self.traces.lock().expect("slowest ring poisoned");
+        if traces.len() < self.capacity {
+            traces.push(trace);
+        } else {
+            let (min_idx, min_total) = traces
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i, t.total_ns()))
+                .min_by_key(|&(_, t)| t)
+                .expect("ring is non-empty at capacity");
+            if total <= min_total {
+                return;
+            }
+            traces[min_idx] = trace;
+        }
+        if traces.len() == self.capacity {
+            let floor = traces
+                .iter()
+                .map(JobTrace::total_ns)
+                .min()
+                .expect("ring is non-empty at capacity");
+            self.floor_ns.store(floor, Ordering::Relaxed);
+        }
+    }
+
+    /// The kept traces, slowest first.
+    pub fn snapshot(&self) -> Vec<JobTrace> {
+        let mut traces = self.traces.lock().expect("slowest ring poisoned").clone();
+        traces.sort_by_key(|t| std::cmp::Reverse(t.total_ns()));
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, total: u64) -> JobTrace {
+        JobTrace {
+            job_id: id,
+            admitted_ns: 100,
+            completed_ns: 100 + total,
+            ..JobTrace::default()
+        }
+    }
+
+    #[test]
+    fn durations_are_saturating_differences() {
+        let t = JobTrace {
+            enqueued_ns: 10,
+            dequeued_ns: 25,
+            solve_start_ns: 30,
+            solve_end_ns: 90,
+            estimate_end_ns: 95,
+            admitted_ns: 5,
+            completed_ns: 100,
+            ..JobTrace::default()
+        };
+        assert_eq!(t.queue_wait_ns(), 15);
+        assert_eq!(t.solve_ns(), 60);
+        assert_eq!(t.estimate_ns(), 5);
+        assert_eq!(t.total_ns(), 95);
+        assert_eq!(JobTrace::default().total_ns(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_the_slowest() {
+        let ring = SlowestRing::new(3);
+        for (id, total) in [(1, 50), (2, 10), (3, 80), (4, 20), (5, 60), (6, 5)] {
+            ring.offer(trace(id, total));
+        }
+        let kept: Vec<u64> = ring.snapshot().iter().map(|t| t.job_id).collect();
+        assert_eq!(kept, vec![3, 5, 1]);
+    }
+
+    #[test]
+    fn ring_fast_path_skips_slow_enough_traces() {
+        let ring = SlowestRing::new(2);
+        ring.offer(trace(1, 100));
+        ring.offer(trace(2, 200));
+        // Ring full; floor is 100 — this one must not displace anything.
+        ring.offer(trace(3, 40));
+        let kept: Vec<u64> = ring.snapshot().iter().map(|t| t.job_id).collect();
+        assert_eq!(kept, vec![2, 1]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Seeded property tests for the histogram core (satellite of the
+//! observability PR): quantile error bounds against exact sorted samples,
+//! merge associativity/commutativity, and lossless concurrent recording.
+
+use crowdtune_obs::{Histogram, SUB_BUCKET_BITS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Draws a sample set that mixes magnitudes (sub-bucket exact region,
+/// microsecond-ish mid range, huge outliers) so quantile walks cross many
+/// octaves.
+fn arbitrary_samples(rng: &mut StdRng, len: usize) -> Vec<u64> {
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..10) {
+            0 => rng.gen_range(0u64..8),           // exact linear region
+            1..=6 => rng.gen_range(8u64..100_000), // typical latency band
+            7 | 8 => rng.gen_range(100_000u64..1_000_000_000),
+            _ => rng.gen_range(1_000_000_000u64..(1u64 << 50)),
+        })
+        .collect()
+}
+
+/// The documented bound: `exact <= estimate <= exact + exact/2^b`, exact for
+/// values below `2^b`.
+fn assert_within_bound(q: f64, exact: u64, estimate: u64, seed: u64) {
+    assert!(
+        estimate >= exact,
+        "seed {seed} q {q}: estimate {estimate} under-reports exact {exact}"
+    );
+    let slack = exact >> SUB_BUCKET_BITS;
+    assert!(
+        estimate <= exact + slack,
+        "seed {seed} q {q}: estimate {estimate} exceeds exact {exact} + {slack}"
+    );
+}
+
+#[test]
+fn quantile_estimates_respect_error_bound() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(9100 + seed);
+        let len = rng.gen_range(1usize..5000);
+        let mut samples = arbitrary_samples(&mut rng, len);
+        let hist = Histogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        samples.sort_unstable();
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, len as u64);
+        assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        for q in [0.0, 0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            // Same nearest-rank definition the histogram documents.
+            let rank = ((q * len as f64).ceil() as usize).clamp(1, len);
+            let exact = samples[rank - 1];
+            assert_within_bound(q, exact, snap.quantile(q), seed);
+        }
+    }
+}
+
+#[test]
+fn merge_is_commutative_and_associative() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(9200 + seed);
+        let parts: Vec<Vec<u64>> = (0..3)
+            .map(|_| {
+                let len = rng.gen_range(1usize..800);
+                arbitrary_samples(&mut rng, len)
+            })
+            .collect();
+        let hist_of = |sets: &[&Vec<u64>]| {
+            let h = Histogram::new();
+            for set in sets {
+                let part = Histogram::new();
+                for &v in set.iter() {
+                    part.record(v);
+                }
+                h.merge_from(&part);
+            }
+            h.snapshot()
+        };
+        let abc = hist_of(&[&parts[0], &parts[1], &parts[2]]);
+        let cba = hist_of(&[&parts[2], &parts[1], &parts[0]]);
+        let bac = hist_of(&[&parts[1], &parts[0], &parts[2]]);
+        // Bucket-wise addition commutes and associates exactly, so every
+        // derived statistic must agree bit-for-bit across merge orders.
+        for other in [&cba, &bac] {
+            assert_eq!(abc.count, other.count, "seed {seed}");
+            assert_eq!(abc.sum, other.sum, "seed {seed}");
+            assert_eq!(
+                abc.cumulative_nonzero(),
+                other.cumulative_nonzero(),
+                "seed {seed}"
+            );
+        }
+        // Merging pre-merged pairs equals merging parts one at a time.
+        let pair = Histogram::new();
+        for &v in parts[0].iter().chain(parts[1].iter()) {
+            pair.record(v);
+        }
+        let nested = Histogram::new();
+        nested.merge_from(&pair);
+        let tail = Histogram::new();
+        for &v in parts[2].iter() {
+            tail.record(v);
+        }
+        nested.merge_from(&tail);
+        assert_eq!(
+            nested.snapshot().cumulative_nonzero(),
+            abc.cumulative_nonzero(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_recording_drops_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 20_000;
+    let hist = Arc::new(Histogram::new());
+    let mut expected_sum = 0u64;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let mut rng = StdRng::seed_from_u64(9300 + t as u64);
+        let samples = arbitrary_samples(&mut rng, PER_THREAD);
+        expected_sum += samples.iter().sum::<u64>();
+        let hist = Arc::clone(&hist);
+        handles.push(std::thread::spawn(move || {
+            for v in samples {
+                hist.record(v);
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("recorder thread panicked");
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(snap.sum, expected_sum);
+    let cum = snap.cumulative_nonzero();
+    assert_eq!(cum.last().expect("non-empty").1, snap.count);
+}
+
+#[test]
+fn snapshot_under_concurrent_writes_is_consistent() {
+    // A scrape taken mid-load must still satisfy count == sum(buckets) and
+    // monotone cumulative counts — the le="+Inf" == _count contract.
+    let hist = Arc::new(Histogram::new());
+    let writer = {
+        let hist = Arc::clone(&hist);
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(9400);
+            for _ in 0..200_000 {
+                hist.record(rng.gen_range(0u64..1_000_000));
+            }
+        })
+    };
+    let mut last_count = 0u64;
+    while !writer.is_finished() {
+        let snap = hist.snapshot();
+        let cum = snap.cumulative_nonzero();
+        if let Some(&(_, total)) = cum.last() {
+            assert_eq!(total, snap.count, "snapshot count != sum of its buckets");
+        }
+        assert!(snap.count >= last_count, "count went backwards");
+        last_count = snap.count;
+    }
+    writer.join().expect("writer panicked");
+}

@@ -17,8 +17,8 @@
 
 use crate::fingerprint::PlanFingerprint;
 use crowdtune_core::tuner::TunedPlan;
+use crowdtune_obs::{Counter, Registry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Counters exposed by the cache. Monotone; read with [`PlanCache::stats`].
@@ -57,9 +57,11 @@ struct Shard {
 pub struct PlanCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    // Obs-backed counters: the same cells the service registry renders, so
+    // `stats()` and a Prometheus scrape can never disagree on a counter.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl PlanCache {
@@ -72,9 +74,9 @@ impl PlanCache {
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             capacity_per_shard: capacity_per_shard.max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
         }
     }
 
@@ -99,12 +101,12 @@ impl PlanCache {
                 *last_used = tick;
                 let plan = plan.clone();
                 drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(plan)
             }
             None => {
                 drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -135,7 +137,7 @@ impl PlanCache {
                 .min_by_key(|(_, (_, last_used))| *last_used)
             {
                 shard.entries.remove(&lru_key);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
         shard.entries.insert(key.0, (plan.clone(), tick));
@@ -172,11 +174,35 @@ impl PlanCache {
             .map(|s| s.lock().expect("cache shard poisoned").entries.len() as u64)
             .sum();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             entries,
         }
+    }
+
+    /// Registers the cache's counters into `registry` under the
+    /// `crowdtune_cache_*` names. The registry renders the very cells the
+    /// cache increments — no copying, no divergence from [`PlanCache::stats`].
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "crowdtune_cache_hits_total",
+            "Plan-cache lookups answered by a live entry.",
+            &[],
+            self.hits.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_cache_misses_total",
+            "Plan-cache lookups that missed.",
+            &[],
+            self.misses.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_cache_evictions_total",
+            "Plan-cache entries displaced by the LRU policy.",
+            &[],
+            self.evictions.clone(),
+        );
     }
 }
 

@@ -70,6 +70,7 @@ use crowdtune_core::error::Result;
 use crowdtune_core::problem::{HTuningProblem, TuningStrategy};
 use crowdtune_core::rate::RateModel;
 use crowdtune_core::tuner::TunedPlan;
+use crowdtune_obs::{Counter, Registry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -92,6 +93,17 @@ pub struct FamilyStats {
     /// Families rehydrated from a persisted snapshot (after eviction or a
     /// restart) instead of re-seeding cold.
     pub reloads: u64,
+}
+
+/// Wall-clock breakdown of one family serve, reported by
+/// [`PlanFamilies::serve_timed`] for per-stage latency histograms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FamilyTiming {
+    /// Nanoseconds blocked acquiring the per-family entry lock (contention
+    /// with same-family jobs; distinct families never serialise here).
+    pub lock_wait_ns: u64,
+    /// Nanoseconds attaching the latency estimates after the table work.
+    pub estimate_ns: u64,
 }
 
 /// How a family answered a job.
@@ -230,11 +242,12 @@ struct Shard {
 pub struct PlanFamilies {
     shards: Vec<Mutex<Shard>>,
     persistence: Option<FamilyPersistence>,
-    hits: AtomicU64,
-    extensions: AtomicU64,
-    builds: AtomicU64,
-    evictions: AtomicU64,
-    reloads: AtomicU64,
+    // Obs-backed counters: the same cells the service registry renders.
+    hits: Counter,
+    extensions: Counter,
+    builds: Counter,
+    evictions: Counter,
+    reloads: Counter,
 }
 
 impl PlanFamilies {
@@ -282,11 +295,11 @@ impl PlanFamilies {
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             persistence,
-            hits: AtomicU64::new(0),
-            extensions: AtomicU64::new(0),
-            builds: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            reloads: AtomicU64::new(0),
+            hits: Counter::new(),
+            extensions: Counter::new(),
+            builds: Counter::new(),
+            evictions: Counter::new(),
+            reloads: Counter::new(),
         }
     }
 
@@ -323,7 +336,7 @@ impl PlanFamilies {
                 .map(|(key, _)| key)
             {
                 shard.entries.remove(&lru);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
         let entry = Arc::new(FamilyEntry {
@@ -382,18 +395,31 @@ impl PlanFamilies {
         key: FamilyFingerprint,
         problem: &HTuningProblem,
     ) -> Result<(TunedPlan, FamilyServe)> {
+        self.serve_timed(key, problem)
+            .map(|(plan, how, _)| (plan, how))
+    }
+
+    /// [`PlanFamilies::serve`] plus a wall-clock breakdown (entry-lock wait,
+    /// estimate attach) for the service's per-stage telemetry.
+    pub fn serve_timed(
+        &self,
+        key: FamilyFingerprint,
+        problem: &HTuningProblem,
+    ) -> Result<(TunedPlan, FamilyServe, FamilyTiming)> {
         let entry = self.entry(key);
         // The entry lock covers only the table work (read/extension/seed);
         // attaching the latency estimates — the dominant serve cost — runs
         // after it drops, so same-family jobs serialise on the DP alone.
+        let lock_started = std::time::Instant::now();
         let mut slot = entry.state.lock().expect("family entry poisoned");
+        let lock_wait_ns = lock_started.elapsed().as_nanos() as u64;
         if slot.is_none() {
             // Not resident: a persisted snapshot (evicted earlier, or loaded
             // at recovery) rebuilds the exact table instead of re-seeding.
             if let Some(persistence) = &self.persistence {
                 if let Some(state) = persistence.rehydrate(key.0) {
                     *slot = Some(state);
-                    self.reloads.fetch_add(1, Ordering::Relaxed);
+                    self.reloads.inc();
                 }
             }
         }
@@ -415,18 +441,25 @@ impl PlanFamilies {
                 if !same_shape {
                     drop(slot);
                     let result = RepetitionAlgorithm::new().tune(problem)?;
-                    let plan = TunedPlan::from_result(problem, result)?;
-                    return Ok((plan, FamilyServe::Seeded));
+                    let (plan, estimate_ns) = TunedPlan::from_result_timed(problem, result)?;
+                    return Ok((
+                        plan,
+                        FamilyServe::Seeded,
+                        FamilyTiming {
+                            lock_wait_ns,
+                            estimate_ns,
+                        },
+                    ));
                 }
                 // Canonicalise to the family's belief (see module docs).
                 let problem = problem.with_rate_model(state.rate_model.clone());
                 if problem.discretionary_budget() > state.table.max_budget() {
                     RepetitionAlgorithm::extend_table(&problem, &mut state.table)?;
-                    self.extensions.fetch_add(1, Ordering::Relaxed);
+                    self.extensions.inc();
                     captured = self.capture_snapshot(key, state, &problem);
                 }
                 let result = RepetitionAlgorithm::result_from_table(&problem, &state.table)?;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 (problem, result, FamilyServe::Hit)
             }
             None => {
@@ -437,14 +470,21 @@ impl PlanFamilies {
                 };
                 captured = self.capture_snapshot(key, &state, problem);
                 *slot = Some(state);
-                self.builds.fetch_add(1, Ordering::Relaxed);
+                self.builds.inc();
                 (problem.clone(), result, FamilyServe::Seeded)
             }
         };
         drop(slot);
         self.commit_snapshot(captured);
-        let plan = TunedPlan::from_result(&problem, result)?;
-        Ok((plan, how))
+        let (plan, estimate_ns) = TunedPlan::from_result_timed(&problem, result)?;
+        Ok((
+            plan,
+            how,
+            FamilyTiming {
+                lock_wait_ns,
+                estimate_ns,
+            },
+        ))
     }
 
     /// Snapshots every resident family into the store (catch-up for records
@@ -510,12 +550,48 @@ impl PlanFamilies {
             .sum();
         FamilyStats {
             families,
-            hits: self.hits.load(Ordering::Relaxed),
-            extensions: self.extensions.load(Ordering::Relaxed),
-            builds: self.builds.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            reloads: self.reloads.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            extensions: self.extensions.get(),
+            builds: self.builds.get(),
+            evictions: self.evictions.get(),
+            reloads: self.reloads.get(),
         }
+    }
+
+    /// Registers the family layer's counters into `registry` under the
+    /// `crowdtune_family_*` names, backed by the same cells
+    /// [`PlanFamilies::stats`] reads.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "crowdtune_family_hits_total",
+            "Jobs answered from a resident plan-family table.",
+            &[],
+            self.hits.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_family_extensions_total",
+            "Family hits that first grew the table to a larger budget.",
+            &[],
+            self.extensions.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_family_builds_total",
+            "Cold solves that seeded a new plan family.",
+            &[],
+            self.builds.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_family_evictions_total",
+            "Families displaced by the per-shard LRU bound.",
+            &[],
+            self.evictions.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_family_reloads_total",
+            "Families rehydrated from a persisted snapshot.",
+            &[],
+            self.reloads.clone(),
+        );
     }
 }
 

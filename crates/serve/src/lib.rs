@@ -74,7 +74,8 @@ pub mod service;
 pub mod store;
 
 pub use cache::{CacheStats, PlanCache};
-pub use family::{FamilyServe, FamilyStats, PlanFamilies};
+pub use crowdtune_obs::{JobTrace, Registry};
+pub use family::{FamilyServe, FamilyStats, FamilyTiming, PlanFamilies};
 pub use fingerprint::{FamilyFingerprint, PlanFingerprint};
 pub use queue::{AdmissionError, AdmissionPolicy, JobQueue};
 pub use retuner::{RetunePolicy, RetuneStats, Retuner};

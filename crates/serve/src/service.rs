@@ -19,11 +19,13 @@ use crowdtune_core::problem::{HTuningProblem, Scenario};
 use crowdtune_core::rate::RateModel;
 use crowdtune_core::task::TaskSet;
 use crowdtune_core::tuner::{StrategyChoice, TunedPlan, Tuner};
+use crowdtune_obs::{Counter, Gauge, Histogram, JobTrace, Registry, SlowestRing};
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One tuning job as submitted by a tenant.
 #[derive(Clone)]
@@ -166,6 +168,15 @@ pub struct ServiceConfig {
     /// attached, evicted families remain rehydratable from their persisted
     /// snapshots).
     pub family_shards: usize,
+    /// Whether the telemetry spine records (stage stamps, per-stage
+    /// histograms, the slowest-trace ring). On by default; switched off only
+    /// by the instrumentation-overhead benchmark guard. Counters and the
+    /// registry itself stay live either way — they are the same cells the
+    /// legacy stats snapshots read.
+    pub telemetry: bool,
+    /// Completed traces retained by the slowest-trace ring
+    /// (see [`TuningService::slowest_traces`]).
+    pub slowest_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -178,19 +189,242 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             cache_capacity_per_shard: 512,
             family_shards: 8,
+            telemetry: true,
+            slowest_capacity: 32,
         }
     }
 }
 
-/// Service-level counters (monotone).
+/// Service-level counters (monotone), backed by registry-shared cells: the
+/// Prometheus scrape and [`TuningService::metrics`] read the same atomics.
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    cache_hits: AtomicU64,
-    family_hits: AtomicU64,
-    cold_solves: AtomicU64,
-    solve_errors: AtomicU64,
+    submitted: Counter,
+    rejected: Counter,
+    cache_hits: Counter,
+    family_hits: Counter,
+    cold_solves: Counter,
+    solve_errors: Counter,
+}
+
+impl ServiceMetrics {
+    /// Registers the counter cells. Order is the scrape contract: the
+    /// per-source "parts" (and failures) come before the `submitted`
+    /// "whole", and every part increment strictly follows the matching
+    /// `submitted` increment, so a concurrent scrape can never observe
+    /// `cache + family + cold + failed > submitted`.
+    fn register(&self, registry: &Registry) {
+        for (source, cell) in [
+            ("cache", &self.cache_hits),
+            ("family", &self.family_hits),
+            ("cold", &self.cold_solves),
+        ] {
+            registry.register_counter(
+                "crowdtune_jobs_answered_total",
+                "Jobs answered, by the reuse layer that produced the plan.",
+                &[("source", source)],
+                cell.clone(),
+            );
+        }
+        registry.register_counter(
+            "crowdtune_jobs_failed_total",
+            "Jobs whose solve failed.",
+            &[],
+            self.solve_errors.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_jobs_submitted_total",
+            "Jobs accepted into the queue.",
+            &[],
+            self.submitted.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_jobs_rejected_total",
+            "Jobs refused by admission control (or shed while draining).",
+            &[],
+            self.rejected.clone(),
+        );
+    }
+}
+
+/// Scenario label values, indexed by [`scenario_index`].
+const SCENARIO_LABELS: [&str; 3] = ["EA", "RA", "HA"];
+/// Plan-source label values, indexed by [`source_index`].
+const SOURCE_LABELS: [&str; 3] = ["cache", "family", "cold"];
+
+fn scenario_index(scenario: Scenario) -> usize {
+    match scenario {
+        Scenario::Homogeneous => 0,
+        Scenario::Repetition => 1,
+        Scenario::Heterogeneous => 2,
+    }
+}
+
+fn source_index(source: PlanSource) -> usize {
+    match source {
+        PlanSource::CacheHit => 0,
+        PlanSource::FamilyHit => 1,
+        PlanSource::ColdSolve => 2,
+    }
+}
+
+/// Per-stage latency histograms, indexed `[scenario][source]`.
+struct StageHists {
+    queue_wait: [[Histogram; 3]; 3],
+    solve: [[Histogram; 3]; 3],
+    estimate: [[Histogram; 3]; 3],
+    total: [[Histogram; 3]; 3],
+    lock_wait: [[Histogram; 3]; 3],
+    persist_lag: [[Histogram; 3]; 3],
+}
+
+/// One `{scenario, source}`-labelled family of nanosecond histograms,
+/// exposed in seconds (scale `1e9`).
+fn stage_family(registry: &Registry, name: &str, help: &str) -> [[Histogram; 3]; 3] {
+    std::array::from_fn(|si| {
+        std::array::from_fn(|pi| {
+            registry.histogram(
+                name,
+                help,
+                &[
+                    ("scenario", SCENARIO_LABELS[si]),
+                    ("source", SOURCE_LABELS[pi]),
+                ],
+                1e9,
+            )
+        })
+    })
+}
+
+/// The service's telemetry spine: the registry every layer publishes into,
+/// the per-stage histograms, and the slowest-trace ring. With `enabled ==
+/// false` every stamp helper returns 0 and per-job recording is skipped —
+/// the hot path pays one branch (the overhead-guard configuration).
+struct Telemetry {
+    enabled: bool,
+    /// Epoch for every [`JobTrace`] stamp taken by this service.
+    epoch: Instant,
+    registry: Arc<Registry>,
+    stage: StageHists,
+    slowest: SlowestRing,
+    pending_gauge: Gauge,
+    draining_gauge: Gauge,
+    cache_entries_gauge: Gauge,
+    families_resident_gauge: Gauge,
+    store_depth_gauge: Gauge,
+}
+
+impl Telemetry {
+    fn new(config: &ServiceConfig, registry: Arc<Registry>) -> Telemetry {
+        let stage = StageHists {
+            queue_wait: stage_family(
+                &registry,
+                "crowdtune_job_queue_wait_seconds",
+                "Time from tenant-lane visibility to worker pickup.",
+            ),
+            solve: stage_family(
+                &registry,
+                "crowdtune_job_solve_seconds",
+                "Time producing the plan (family-lock wait included).",
+            ),
+            estimate: stage_family(
+                &registry,
+                "crowdtune_job_estimate_seconds",
+                "Time attaching the analytic latency estimates to the plan.",
+            ),
+            total: stage_family(
+                &registry,
+                "crowdtune_job_total_seconds",
+                "End-to-end time from admission to response.",
+            ),
+            lock_wait: stage_family(
+                &registry,
+                "crowdtune_job_family_lock_wait_seconds",
+                "Time blocked on the plan-family entry lock.",
+            ),
+            persist_lag: stage_family(
+                &registry,
+                "crowdtune_job_persist_lag_seconds",
+                "Write-behind lag from plan enqueue to durable write.",
+            ),
+        };
+        let pending_gauge = registry.gauge(
+            "crowdtune_jobs_pending",
+            "Jobs currently waiting in the queue.",
+            &[],
+        );
+        let draining_gauge = registry.gauge(
+            "crowdtune_service_draining",
+            "1 once a graceful drain has begun, else 0.",
+            &[],
+        );
+        let cache_entries_gauge = registry.gauge(
+            "crowdtune_cache_entries",
+            "Plans resident in the exact-match cache.",
+            &[],
+        );
+        let families_resident_gauge = registry.gauge(
+            "crowdtune_families_resident",
+            "Plan families resident in memory.",
+            &[],
+        );
+        let store_depth_gauge = registry.gauge(
+            "crowdtune_store_queue_depth",
+            "Write-behind records waiting for the store writer.",
+            &[],
+        );
+        Telemetry {
+            enabled: config.telemetry,
+            epoch: Instant::now(),
+            stage,
+            slowest: SlowestRing::new(config.slowest_capacity),
+            pending_gauge,
+            draining_gauge,
+            cache_entries_gauge,
+            families_resident_gauge,
+            store_depth_gauge,
+            registry,
+        }
+    }
+
+    /// Nanoseconds since the service epoch — 0 when telemetry is off (a
+    /// zero stamp marks "not recorded" in a [`JobTrace`]).
+    fn now_ns(&self) -> u64 {
+        if self.enabled {
+            self.epoch.elapsed().as_nanos() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Histogram indices for a labelled trace; `None` when telemetry was
+    /// off or the job never produced a plan (labels unset).
+    fn scenario_source(trace: &JobTrace) -> Option<(usize, usize)> {
+        let si = SCENARIO_LABELS.iter().position(|&s| s == trace.scenario)?;
+        let pi = SOURCE_LABELS.iter().position(|&s| s == trace.source)?;
+        Some((si, pi))
+    }
+
+    /// Folds a completed trace into the per-stage histograms and offers it
+    /// to the slowest ring.
+    fn record_job(&self, trace: JobTrace) {
+        let Some((si, pi)) = Self::scenario_source(&trace) else {
+            return;
+        };
+        self.stage.queue_wait[si][pi].record(trace.queue_wait_ns());
+        self.stage.solve[si][pi].record(trace.solve_ns());
+        self.stage.estimate[si][pi].record(trace.estimate_ns());
+        self.stage.total[si][pi].record(trace.total_ns());
+        if trace.family_lock_wait_ns > 0 {
+            self.stage.lock_wait[si][pi].record(trace.family_lock_wait_ns);
+        }
+        self.slowest.offer(trace);
+    }
+
+    /// The persist-lag histogram matching the trace's labels, if any.
+    fn persist_hist(&self, trace: &JobTrace) -> Option<&Histogram> {
+        Self::scenario_source(trace).map(|(si, pi)| &self.stage.persist_lag[si][pi])
+    }
 }
 
 /// A point-in-time snapshot of [`ServiceMetrics`].
@@ -227,6 +461,9 @@ struct QueuedJob {
     /// the uncompacted journal forever.
     journaled: bool,
     respond: mpsc::Sender<Result<ServedPlan, ServeError>>,
+    /// Stage stamps accumulated as the job moves through the pipeline
+    /// (all zero when telemetry is off).
+    trace: JobTrace,
 }
 
 /// What [`TuningService::recover`] found and replayed. Read with
@@ -279,6 +516,7 @@ pub struct TuningService {
     cache: Arc<PlanCache>,
     families: Arc<PlanFamilies>,
     metrics: Arc<ServiceMetrics>,
+    telemetry: Arc<Telemetry>,
     store: Option<Arc<PlanStore>>,
     recovery: Option<RecoveryStats>,
     workers: Vec<JoinHandle<()>>,
@@ -371,6 +609,19 @@ impl TuningService {
             None => (Arc::new(PlanFamilies::new(config.family_shards)), None),
         };
         let metrics = Arc::new(ServiceMetrics::default());
+        // One registry for the whole process; every layer registers the
+        // cells its legacy stats snapshot reads, so a scrape and a snapshot
+        // can never disagree. Registration order is the scrape contract —
+        // "parts" before their "whole" (see `ServiceMetrics::register` and
+        // `PlanStore::register_metrics`).
+        let registry = Arc::new(Registry::new());
+        metrics.register(&registry);
+        cache.register_metrics(&registry);
+        families.register_metrics(&registry);
+        if let Some(store) = &store {
+            store.register_metrics(&registry);
+        }
+        let telemetry = Arc::new(Telemetry::new(&config, registry));
         let workers = (0..config.workers.max(1))
             .map(|index| {
                 let queue = queue.clone();
@@ -378,10 +629,18 @@ impl TuningService {
                 let families = families.clone();
                 let metrics = metrics.clone();
                 let store = store.clone();
+                let telemetry = telemetry.clone();
                 std::thread::Builder::new()
                     .name(format!("tuner-worker-{index}"))
                     .spawn(move || {
-                        worker_loop(&queue, &cache, &families, &metrics, store.as_deref())
+                        worker_loop(
+                            &queue,
+                            &cache,
+                            &families,
+                            &metrics,
+                            store.as_deref(),
+                            &telemetry,
+                        )
                     })
                     .expect("spawn tuner worker")
             })
@@ -391,6 +650,7 @@ impl TuningService {
             cache,
             families,
             metrics,
+            telemetry,
             store,
             recovery,
             workers,
@@ -406,7 +666,7 @@ impl TuningService {
         for (id, request) in pending_jobs {
             // `journaled: true` — the on-disk `Submitted` record is the one
             // being replayed; completion must retire it.
-            match service.enqueue_job(id, request, true) {
+            match service.enqueue_job(id, request, true, 0) {
                 Ok(_handle) => replayed += 1,
                 Err(_) => dropped += 1,
             }
@@ -426,10 +686,18 @@ impl TuningService {
         // A draining service sheds at the door — before journaling, so the
         // refusal costs neither a journal record nor its retirement.
         if self.is_draining() {
-            self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            self.metrics.rejected.inc();
             return Err(ServeError::Admission(AdmissionError::Closed));
         }
         let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
+        // Stamp admission only when a journal write will separate admission
+        // from queue insertion; otherwise `enqueue_job` stamps both stages
+        // with one clock read (stamp 0 means "take it at enqueue").
+        let admitted_ns = if self.store.is_some() {
+            self.telemetry.now_ns()
+        } else {
+            0
+        };
         // Journal *before* enqueueing so an accepted job can never be lost
         // between the queue and the journal; a rejected submission retires
         // its record immediately. (The journal and the completion share one
@@ -451,7 +719,7 @@ impl TuningService {
         } else {
             false
         };
-        match self.enqueue_job(id, request, journaled) {
+        match self.enqueue_job(id, request, journaled, admitted_ns) {
             Ok(handle) => Ok(handle),
             Err(e) => {
                 if journaled {
@@ -471,25 +739,43 @@ impl TuningService {
         id: u64,
         request: JobRequest,
         journaled: bool,
+        admitted_ns: u64,
     ) -> Result<JobHandle, ServeError> {
         let (sender, receiver) = mpsc::channel();
         let tenant = request.tenant.clone();
+        let trace = if self.telemetry.enabled {
+            let enqueued_ns = self.telemetry.now_ns();
+            JobTrace {
+                job_id: id,
+                tenant: tenant.clone(),
+                admitted_ns: if admitted_ns != 0 {
+                    admitted_ns
+                } else {
+                    enqueued_ns
+                },
+                enqueued_ns,
+                ..JobTrace::default()
+            }
+        } else {
+            JobTrace::default()
+        };
         let job = QueuedJob {
             id,
             request,
             journaled,
             respond: sender,
+            trace,
         };
         match self.queue.submit(&tenant, job) {
             Ok(()) => {
-                self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                self.metrics.submitted.inc();
                 Ok(JobHandle {
                     job_id: id,
                     receiver,
                 })
             }
             Err(e) => {
-                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                self.metrics.rejected.inc();
                 Err(e.into())
             }
         }
@@ -510,16 +796,71 @@ impl TuningService {
         self.families.stats()
     }
 
-    /// Service counters.
+    /// Service counters. Reads the per-source "parts" before the
+    /// `submitted` "whole" (mirroring the registration order), so even a
+    /// snapshot taken mid-flood satisfies `completed() <= submitted`.
     pub fn metrics(&self) -> MetricsSnapshot {
+        let cache_hits = self.metrics.cache_hits.get();
+        let family_hits = self.metrics.family_hits.get();
+        let cold_solves = self.metrics.cold_solves.get();
+        let solve_errors = self.metrics.solve_errors.get();
+        let rejected = self.metrics.rejected.get();
+        let submitted = self.metrics.submitted.get();
         MetricsSnapshot {
-            submitted: self.metrics.submitted.load(Ordering::Relaxed),
-            rejected: self.metrics.rejected.load(Ordering::Relaxed),
-            cache_hits: self.metrics.cache_hits.load(Ordering::Relaxed),
-            family_hits: self.metrics.family_hits.load(Ordering::Relaxed),
-            cold_solves: self.metrics.cold_solves.load(Ordering::Relaxed),
-            solve_errors: self.metrics.solve_errors.load(Ordering::Relaxed),
+            submitted,
+            rejected,
+            cache_hits,
+            family_hits,
+            cold_solves,
+            solve_errors,
         }
+    }
+
+    /// The metric registry every layer publishes into. A transport
+    /// front-end registers its own metrics here so one scrape covers the
+    /// whole process.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.telemetry.registry.clone()
+    }
+
+    /// Whether the per-job telemetry spine is recording
+    /// (see [`ServiceConfig::telemetry`]).
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.enabled
+    }
+
+    /// Renders the registry as Prometheus text exposition format v0.0.4,
+    /// refreshing the point-in-time gauges first.
+    pub fn render_prometheus(&self) -> String {
+        self.refresh_gauges();
+        self.telemetry.registry.render_prometheus()
+    }
+
+    /// Renders the registry as JSON (same gauge refresh as
+    /// [`TuningService::render_prometheus`]).
+    pub fn render_metrics_json(&self) -> String {
+        self.refresh_gauges();
+        self.telemetry.registry.render_json()
+    }
+
+    fn refresh_gauges(&self) {
+        let tel = &*self.telemetry;
+        tel.pending_gauge.set(self.pending() as i64);
+        tel.draining_gauge.set(self.is_draining() as i64);
+        tel.cache_entries_gauge
+            .set(self.cache_stats().entries as i64);
+        tel.families_resident_gauge
+            .set(self.family_stats().families as i64);
+        if let Some(store) = self.store_stats() {
+            tel.store_depth_gauge
+                .set(store.enqueued.saturating_sub(store.retired) as i64);
+        }
+    }
+
+    /// The slowest completed traces, slowest first — the payload of the
+    /// gateway's `GET /v1/debug/slowest`. Empty when telemetry is off.
+    pub fn slowest_traces(&self) -> Vec<JobTrace> {
+        self.telemetry.slowest.snapshot()
     }
 
     /// Jobs waiting in the queue.
@@ -622,6 +963,7 @@ fn worker_loop(
     families: &PlanFamilies,
     metrics: &ServiceMetrics,
     store: Option<&PlanStore>,
+    telemetry: &Telemetry,
 ) {
     while let Some(job) = queue.pop() {
         let QueuedJob {
@@ -629,17 +971,15 @@ fn worker_loop(
             request,
             journaled,
             respond,
+            mut trace,
         } = job;
-        let outcome = serve_one(cache, families, &request);
+        trace.dequeued_ns = telemetry.now_ns();
+        let outcome = serve_one(cache, families, &request, telemetry, &mut trace);
         match &outcome {
-            Ok((_, PlanSource::CacheHit, _)) => metrics.cache_hits.fetch_add(1, Ordering::Relaxed),
-            Ok((_, PlanSource::FamilyHit, _)) => {
-                metrics.family_hits.fetch_add(1, Ordering::Relaxed)
-            }
-            Ok((_, PlanSource::ColdSolve, _)) => {
-                metrics.cold_solves.fetch_add(1, Ordering::Relaxed)
-            }
-            Err(_) => metrics.solve_errors.fetch_add(1, Ordering::Relaxed),
+            Ok((_, PlanSource::CacheHit, _)) => metrics.cache_hits.inc(),
+            Ok((_, PlanSource::FamilyHit, _)) => metrics.family_hits.inc(),
+            Ok((_, PlanSource::ColdSolve, _)) => metrics.cold_solves.inc(),
+            Err(_) => metrics.solve_errors.inc(),
         };
         if let Some(store) = store {
             // Write-behind persistence: newly solved plans (cache hits are
@@ -650,19 +990,32 @@ fn worker_loop(
             // grow the uncompacted journal for nothing.
             if let Ok((plan, source, fingerprint)) = &outcome {
                 if *source != PlanSource::CacheHit {
-                    store.record_plan(fingerprint.0, plan);
+                    // With telemetry on, the record carries the per-label
+                    // persist-lag probe: the writer thread stamps the
+                    // enqueue-to-durable-write interval into it.
+                    match telemetry.persist_hist(&trace) {
+                        Some(lag_into) => store.record_plan_traced(fingerprint.0, plan, lag_into),
+                        None => store.record_plan(fingerprint.0, plan),
+                    }
                 }
             }
             if journaled {
                 store.record_journal(&JournalRecord::Completed { job_id: id });
             }
         }
+        let served = outcome.is_ok();
         // The submitter may have dropped the handle; that is not an error.
         let _ = respond.send(outcome.map(|(plan, source, _)| ServedPlan {
             job_id: id,
             plan,
             source,
         }));
+        // Fold the trace in *after* responding — the histograms and the
+        // slowest ring are off the submitter's latency path.
+        if telemetry.enabled && served {
+            trace.completed_ns = telemetry.now_ns();
+            telemetry.record_job(trace);
+        }
     }
 }
 
@@ -677,10 +1030,40 @@ fn resolves_to_ra(problem: &HTuningProblem, strategy: StrategyChoice) -> bool {
     }
 }
 
+/// The scenario whose algorithm served the job: the classified scenario
+/// under `Auto`, otherwise the scenario the forced strategy belongs to
+/// (telemetry labels report the algorithm that actually ran).
+fn resolved_scenario(problem: &HTuningProblem, strategy: StrategyChoice) -> Scenario {
+    match strategy {
+        StrategyChoice::Auto => problem.scenario(),
+        StrategyChoice::EvenAllocation => Scenario::Homogeneous,
+        StrategyChoice::RepetitionAlgorithm => Scenario::Repetition,
+        StrategyChoice::HeterogeneousAlgorithm => Scenario::Heterogeneous,
+    }
+}
+
+/// Stamps the post-solve stages on `trace`: the estimate-attach boundary is
+/// reconstructed from the reported `estimate_ns` so one clock read covers
+/// both the solve-end and estimate-end stamps.
+fn stamp_solved(
+    trace: &mut JobTrace,
+    telemetry: &Telemetry,
+    scenario: Scenario,
+    source: PlanSource,
+    estimate_ns: u64,
+) {
+    trace.estimate_end_ns = telemetry.now_ns();
+    trace.solve_end_ns = trace.estimate_end_ns.saturating_sub(estimate_ns);
+    trace.scenario = SCENARIO_LABELS[scenario_index(scenario)];
+    trace.source = SOURCE_LABELS[source_index(source)];
+}
+
 fn serve_one(
     cache: &PlanCache,
     families: &PlanFamilies,
     request: &JobRequest,
+    telemetry: &Telemetry,
+    trace: &mut JobTrace,
 ) -> Result<(Arc<TunedPlan>, PlanSource, PlanFingerprint), ServeError> {
     let problem = HTuningProblem::new(
         request.task_set.clone(),
@@ -689,7 +1072,18 @@ fn serve_one(
     )
     .map_err(ServeError::Tuning)?;
     let fingerprint = PlanFingerprint::of(&problem, request.strategy);
+    trace.solve_start_ns = telemetry.now_ns();
     if let Some(plan) = cache.get(fingerprint) {
+        if telemetry.enabled {
+            // No estimate step runs on a cache hit: estimate-end == solve-end.
+            stamp_solved(
+                trace,
+                telemetry,
+                resolved_scenario(&problem, request.strategy),
+                PlanSource::CacheHit,
+                0,
+            );
+        }
         return Ok((plan, PlanSource::CacheHit, fingerprint));
     }
     // RA-resolved jobs route through the family layer: a resident family
@@ -698,20 +1092,39 @@ fn serve_one(
     // cache, so the PR 1 fast path above is unchanged.
     if resolves_to_ra(&problem, request.strategy) {
         let family = FamilyFingerprint::of(&problem, StrategyChoice::RepetitionAlgorithm);
-        let (plan, how) = families
-            .serve(family, &problem)
+        let (plan, how, timing) = families
+            .serve_timed(family, &problem)
             .map_err(ServeError::Tuning)?;
-        let plan = cache.insert(fingerprint, Arc::new(plan));
         let source = match how {
             FamilyServe::Hit => PlanSource::FamilyHit,
             FamilyServe::Seeded => PlanSource::ColdSolve,
         };
+        if telemetry.enabled {
+            stamp_solved(
+                trace,
+                telemetry,
+                Scenario::Repetition,
+                source,
+                timing.estimate_ns,
+            );
+            trace.family_lock_wait_ns = timing.lock_wait_ns;
+        }
+        let plan = cache.insert(fingerprint, Arc::new(plan));
         return Ok((plan, source, fingerprint));
     }
     let tuner = Tuner::new(request.rate_model.clone()).with_strategy(request.strategy);
-    let plan = tuner
-        .plan(request.task_set.clone(), request.budget)
+    let (plan, timing) = tuner
+        .plan_timed(request.task_set.clone(), request.budget)
         .map_err(ServeError::Tuning)?;
+    if telemetry.enabled {
+        stamp_solved(
+            trace,
+            telemetry,
+            resolved_scenario(&problem, request.strategy),
+            PlanSource::ColdSolve,
+            timing.estimate_ns,
+        );
+    }
     let plan = cache.insert(fingerprint, Arc::new(plan));
     Ok((plan, PlanSource::ColdSolve, fingerprint))
 }

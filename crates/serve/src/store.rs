@@ -47,6 +47,7 @@ use crowdtune_core::latency::group_phase1_expected;
 use crowdtune_core::rate::{RateModel, RateSpec};
 use crowdtune_core::task::TaskSet;
 use crowdtune_core::tuner::{StrategyChoice, TunedPlan};
+use crowdtune_obs::{Counter, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -54,7 +55,6 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -328,6 +328,10 @@ impl Stream {
 struct QueuedRecord {
     stream: Stream,
     payload: String,
+    /// Persistence-lag probe: enqueue instant plus the histogram to record
+    /// the enqueue-to-retire latency into when the writer appends the
+    /// record. `None` for untraced records.
+    lag: Option<(std::time::Instant, Histogram)>,
 }
 
 /// Queue state guarded by the store mutex.
@@ -344,9 +348,15 @@ struct StoreShared {
     work_ready: Condvar,
     /// Signals flushers that the writer retired more records.
     drained: Condvar,
-    dropped: AtomicU64,
-    write_errors: AtomicU64,
-    fsyncs: AtomicU64,
+    // Obs-backed counters (registry-renderable). `enqueued`/`retired` mirror
+    // the queue-state fields: the mutexed pair stays the coherent source for
+    // `stats()` (depth = enqueued - retired must never be torn), while the
+    // counters give scrapes the same monotone values without the lock.
+    enqueued_total: Counter,
+    retired_total: Counter,
+    dropped: Counter,
+    write_errors: Counter,
+    fsyncs: Counter,
     capacity: usize,
     fsync: FsyncPolicy,
 }
@@ -469,9 +479,11 @@ impl PlanStore {
             }),
             work_ready: Condvar::new(),
             drained: Condvar::new(),
-            dropped: AtomicU64::new(0),
-            write_errors: AtomicU64::new(0),
-            fsyncs: AtomicU64::new(0),
+            enqueued_total: Counter::new(),
+            retired_total: Counter::new(),
+            dropped: Counter::new(),
+            write_errors: Counter::new(),
+            fsyncs: Counter::new(),
             capacity: options.queue_capacity.max(1),
             fsync: options.fsync,
         });
@@ -504,6 +516,19 @@ impl PlanStore {
             plan: plan.clone(),
         };
         self.enqueue(Stream::Plans, &record, false);
+    }
+
+    /// [`PlanStore::record_plan`] with a persistence-lag probe: the
+    /// enqueue-to-retire latency of this record is recorded into `lag_into`
+    /// (in nanoseconds) once the background writer appends it. This is how
+    /// the service attributes write-behind lag to the job's scenario and
+    /// plan source.
+    pub fn record_plan_traced(&self, fingerprint: u64, plan: &TunedPlan, lag_into: &Histogram) {
+        let record = PlanRecord {
+            fingerprint,
+            plan: plan.clone(),
+        };
+        self.enqueue_traced(Stream::Plans, &record, false, Some(lag_into.clone()));
     }
 
     /// [`PlanStore::record_plan`], but blocking while the queue is full
@@ -560,20 +585,71 @@ impl PlanStore {
         StoreStats {
             enqueued,
             retired,
-            dropped: self.shared.dropped.load(Ordering::Relaxed),
-            write_errors: self.shared.write_errors.load(Ordering::Relaxed),
-            fsyncs: self.shared.fsyncs.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.get(),
+            write_errors: self.shared.write_errors.get(),
+            fsyncs: self.shared.fsyncs.get(),
         }
     }
 
+    /// Registers the store's write-behind counters into `registry` under the
+    /// `crowdtune_store_*` names, backed by the same cells
+    /// [`PlanStore::stats`] reports.
+    pub fn register_metrics(&self, registry: &Registry) {
+        // Retired before enqueued: a scrape must never observe
+        // retired > enqueued (records retire only after being enqueued).
+        registry.register_counter(
+            "crowdtune_store_retired_total",
+            "Write-behind records retired by the writer (written or failed).",
+            &[],
+            self.shared.retired_total.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_store_enqueued_total",
+            "Records accepted onto the write-behind queue.",
+            &[],
+            self.shared.enqueued_total.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_store_dropped_total",
+            "Records dropped under backpressure (queue full, oldest evicted).",
+            &[],
+            self.shared.dropped.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_store_write_errors_total",
+            "Records or syncs whose disk operation failed.",
+            &[],
+            self.shared.write_errors.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_store_fsyncs_total",
+            "fsync calls issued by the background writer.",
+            &[],
+            self.shared.fsyncs.clone(),
+        );
+    }
+
     fn enqueue<T: Serialize>(&self, stream: Stream, record: &T, block_when_full: bool) {
+        self.enqueue_traced(stream, record, block_when_full, None);
+    }
+
+    /// [`PlanStore::enqueue`] with an optional persistence-lag probe: when
+    /// `lag_into` is given, the enqueue-to-retire latency of this record is
+    /// recorded into that histogram by the writer thread.
+    fn enqueue_traced<T: Serialize>(
+        &self,
+        stream: Stream,
+        record: &T,
+        block_when_full: bool,
+        lag_into: Option<Histogram>,
+    ) {
         let payload = match serde_json::to_string(record) {
             Ok(payload) => payload,
             Err(_) => {
                 // The shim serializer is infallible for these types; treat a
                 // failure like a write error rather than panicking the
                 // serve path.
-                self.shared.write_errors.fetch_add(1, Ordering::Relaxed);
+                self.shared.write_errors.inc();
                 return;
             }
         };
@@ -598,10 +674,16 @@ impl PlanStore {
             // Drop-oldest backpressure: persistence lags, serving does not.
             queue.records.pop_front();
             queue.retired += 1;
-            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            self.shared.retired_total.inc();
+            self.shared.dropped.inc();
         }
-        queue.records.push_back(QueuedRecord { stream, payload });
+        queue.records.push_back(QueuedRecord {
+            stream,
+            payload,
+            lag: lag_into.map(|hist| (std::time::Instant::now(), hist)),
+        });
         queue.enqueued += 1;
+        self.shared.enqueued_total.inc();
         drop(queue);
         self.shared.work_ready.notify_one();
     }
@@ -646,9 +728,9 @@ fn writer_loop(shared: &StoreShared, appenders: Vec<(Stream, BufWriter<File>)>) 
         for label in dirty.drain(..) {
             let file = appenders.get_mut(label).expect("appender per stream");
             if file.get_ref().sync_data().is_err() {
-                shared.write_errors.fetch_add(1, Ordering::Relaxed);
+                shared.write_errors.inc();
             } else {
-                shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+                shared.fsyncs.inc();
             }
         }
     };
@@ -698,9 +780,14 @@ fn writer_loop(shared: &StoreShared, appenders: Vec<(Stream, BufWriter<File>)>) 
             let appender = appenders.get_mut(label).expect("appender per stream");
             let line = record_line(&record.payload);
             if appender.write_all(line.as_bytes()).is_err() {
-                shared.write_errors.fetch_add(1, Ordering::Relaxed);
-            } else if !touched.contains(&label) {
-                touched.push(label);
+                shared.write_errors.inc();
+            } else {
+                if let Some((enqueued_at, hist)) = &record.lag {
+                    hist.record(enqueued_at.elapsed().as_nanos() as u64);
+                }
+                if !touched.contains(&label) {
+                    touched.push(label);
+                }
             }
         }
         for label in touched {
@@ -710,7 +797,7 @@ fn writer_loop(shared: &StoreShared, appenders: Vec<(Stream, BufWriter<File>)>) 
                 .flush()
                 .is_err()
             {
-                shared.write_errors.fetch_add(1, Ordering::Relaxed);
+                shared.write_errors.inc();
             } else if !dirty.contains(&label) {
                 dirty.push(label);
             }
@@ -727,6 +814,7 @@ fn writer_loop(shared: &StoreShared, appenders: Vec<(Stream, BufWriter<File>)>) 
         }
         let mut queue = shared.queue.lock().expect("store queue poisoned");
         queue.retired += count;
+        shared.retired_total.add(count);
         drop(queue);
         shared.drained.notify_all();
     }
@@ -1067,7 +1155,7 @@ mod tests {
     use crowdtune_core::money::{Allocation, Payment};
     use crowdtune_core::problem::{LatencyTarget, TuningResult};
     use crowdtune_core::rate::LinearRate;
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     /// A process-unique scratch directory (no tempfile crate offline).
     fn scratch_dir(tag: &str) -> PathBuf {

@@ -15,6 +15,15 @@
 //!    `BENCH_gateway.json` (override with `BENCH_GATEWAY_JSON`), including
 //!    `inprocess_vs_http_p50_ratio`, the in-run overhead ratio the CI
 //!    regression guard watches.
+//! 5. **Endpoint pass** — a single keep-alive client measures p50/p90/p99
+//!    for each GET surface (`/v1/metrics` in both formats, `/v1/jobs/{id}`,
+//!    `/v1/debug/slowest`, `/healthz`); the per-endpoint rows land in the
+//!    bench JSON with their in-run `p99_vs_p50_ratio` (tail health, guarded
+//!    with a ceiling by the CI regression script).
+//! 6. **Overhead pass** — two fresh in-process services, telemetry on vs
+//!    off, alternating warm cache-hit submits; `telemetry_off_vs_on_p50_ratio`
+//!    (~1.0, guarded with a floor) is the cost of the per-job tracing and
+//!    histogram instrumentation on the hottest path.
 //!
 //! Any plan byte-drift, non-2xx happy-path response, or missing 429 exits
 //! non-zero. `CROWDTUNE_BENCH_QUICK=1` shrinks thread/round counts for CI.
@@ -385,7 +394,58 @@ fn main() {
     let total_requests = latencies.len();
     let http_p50 = percentile(&latencies, 0.50);
     let http_p90 = percentile(&latencies, 0.90);
+    let http_p99 = percentile(&latencies, 0.99);
     let throughput = total_requests as f64 / elapsed;
+
+    // -- Endpoint pass: per-endpoint percentiles over one keep-alive client.
+    // Uses the warm post-load service so reads hit realistic state (filled
+    // cache, populated registry and slowest ring).
+    let ep_rounds = if quick { 60 } else { 300 };
+    let mut endpoint_rows: Vec<(String, f64, f64, f64)> =
+        vec![("post_jobs_wait".to_owned(), http_p50, http_p90, http_p99)];
+    {
+        let mut client = Client::connect(addr);
+        let submitted = client.request(
+            "POST",
+            "/v1/jobs",
+            Some(&serde_json::to_string(&jobs[0]).expect("serialize wire request")),
+        );
+        assert_eq!(submitted.status, 202, "endpoint-pass async submit");
+        let poll_target = {
+            let json = serde_json::parse_value_str(&submitted.body).expect("submit JSON");
+            match json_field(&json, "job_id") {
+                Value::I64(v) => format!("/v1/jobs/{v}"),
+                Value::U64(v) => format!("/v1/jobs/{v}"),
+                other => panic!("job_id not an integer: {other:?}"),
+            }
+        };
+        let targets: [(&str, &str); 4] = [
+            ("get_job", poll_target.as_str()),
+            ("get_metrics_json", "/v1/metrics"),
+            ("get_metrics_prometheus", "/v1/metrics?format=prometheus"),
+            ("get_debug_slowest", "/v1/debug/slowest"),
+        ];
+        for (endpoint, target) in targets {
+            let mut samples = Vec::with_capacity(ep_rounds);
+            for _ in 0..ep_rounds {
+                let sent = Instant::now();
+                let response = client.request("GET", target, None);
+                let micros = sent.elapsed().as_secs_f64() * 1e6;
+                assert_eq!(response.status, 200, "endpoint pass {endpoint}");
+                samples.push(micros);
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            endpoint_rows.push((
+                endpoint.to_owned(),
+                percentile(&samples, 0.50),
+                percentile(&samples, 0.90),
+                percentile(&samples, 0.99),
+            ));
+        }
+    }
+    for (endpoint, p50, p90, p99) in &endpoint_rows {
+        println!("endpoint {endpoint:<22} p50 {p50:>8.1}µs p90 {p90:>8.1}µs p99 {p99:>8.1}µs");
+    }
 
     // -- In-process comparison: the same requests straight into `submit`.
     let mut in_process: Vec<f64> = Vec::with_capacity(rounds.min(50) * jobs.len());
@@ -403,12 +463,69 @@ fn main() {
 
     println!(
         "load: {total_requests} requests over {threads} connections in {elapsed:.2}s \
-         ({throughput:.0} req/s) | http p50 {http_p50:.0}µs p90 {http_p90:.0}µs | \
-         in-process p50 {inprocess_p50:.0}µs | ratio {ratio:.3}"
+         ({throughput:.0} req/s) | http p50 {http_p50:.0}µs p90 {http_p90:.0}µs \
+         p99 {http_p99:.0}µs | in-process p50 {inprocess_p50:.0}µs | ratio {ratio:.3}"
+    );
+
+    // -- Overhead pass: what does the per-job tracing + histogram recording
+    // cost on the hottest path? Two fresh services, telemetry on vs off,
+    // warm caches, alternating submits so scheduler drift hits both sides
+    // equally. The off/on p50 ratio sits near 1.0; a drop means the
+    // instrumentation got expensive.
+    let overhead_rounds = if quick { 150 } else { 600 };
+    let telemetry_on = TuningService::start(ServiceConfig::default());
+    let telemetry_off = TuningService::start(ServiceConfig {
+        telemetry: false,
+        ..ServiceConfig::default()
+    });
+    for wire in &jobs {
+        let request = wire.to_request(1_000_000).expect("wire converts");
+        telemetry_on.tune(request).expect("warm telemetry-on");
+        let request = wire.to_request(1_000_000).expect("wire converts");
+        telemetry_off.tune(request).expect("warm telemetry-off");
+    }
+    let mut on_samples = Vec::with_capacity(overhead_rounds * jobs.len());
+    let mut off_samples = Vec::with_capacity(overhead_rounds * jobs.len());
+    for _ in 0..overhead_rounds {
+        for wire in &jobs {
+            let request = wire.to_request(1_000_000).expect("wire converts");
+            let sent = Instant::now();
+            telemetry_on.tune(request).expect("telemetry-on submit");
+            on_samples.push(sent.elapsed().as_secs_f64() * 1e6);
+            let request = wire.to_request(1_000_000).expect("wire converts");
+            let sent = Instant::now();
+            telemetry_off.tune(request).expect("telemetry-off submit");
+            off_samples.push(sent.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    telemetry_on.shutdown();
+    telemetry_off.shutdown();
+    on_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    off_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let telemetry_on_p50 = percentile(&on_samples, 0.50);
+    let telemetry_off_p50 = percentile(&off_samples, 0.50);
+    let overhead_ratio = telemetry_off_p50 / telemetry_on_p50;
+    println!(
+        "telemetry overhead: on p50 {telemetry_on_p50:.2}µs, off p50 {telemetry_off_p50:.2}µs, \
+         off/on ratio {overhead_ratio:.3} (overhead {:.1}%)",
+        (telemetry_on_p50 / telemetry_off_p50 - 1.0) * 100.0
     );
 
     let metrics = Client::connect(addr).request("GET", "/v1/metrics", None);
     println!("metrics: {}", metrics.body);
+    // The Prometheus exposition after real load, for the CI format checker.
+    let exposition = Client::connect(addr)
+        .request("GET", "/v1/metrics?format=prometheus", None)
+        .body;
+    if let Ok(path) = std::env::var("PROM_EXPOSITION_OUT") {
+        match std::fs::write(&path, &exposition) {
+            Ok(()) => println!("gateway_loadgen: wrote exposition to {path}"),
+            Err(err) => {
+                eprintln!("FAIL: could not write {path}: {err}");
+                failures += 1;
+            }
+        }
+    }
 
     gateway.shutdown();
     // The gateway held the only other reference; dropping ours stops the
@@ -419,13 +536,30 @@ fn main() {
     // -- Bench artifact.
     let json_path = std::env::var("BENCH_GATEWAY_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_gateway.json").to_owned());
+    let endpoint_json: Vec<String> = endpoint_rows
+        .iter()
+        .map(|(endpoint, p50, p90, p99)| {
+            format!(
+                "    {{\"endpoint\": \"{endpoint}\", \"p50_us\": {p50:.1}, \
+                 \"p90_us\": {p90:.1}, \"p99_us\": {p99:.1}, \
+                 \"p99_vs_p50_ratio\": {:.3}}}",
+                p99 / p50
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"gateway_loadgen_mixed_tenants\",\n  \"quick\": {quick},\n  \
          \"threads\": {threads},\n  \"requests\": {total_requests},\n  \
          \"http_p50_us\": {http_p50:.1},\n  \"http_p90_us\": {http_p90:.1},\n  \
+         \"http_p99_us\": {http_p99:.1},\n  \
          \"http_throughput_rps\": {throughput:.0},\n  \
          \"inprocess_p50_us\": {inprocess_p50:.1},\n  \
-         \"inprocess_vs_http_p50_ratio\": {ratio:.4}\n}}\n"
+         \"inprocess_vs_http_p50_ratio\": {ratio:.4},\n  \
+         \"telemetry_on_p50_us\": {telemetry_on_p50:.2},\n  \
+         \"telemetry_off_p50_us\": {telemetry_off_p50:.2},\n  \
+         \"telemetry_off_vs_on_p50_ratio\": {overhead_ratio:.4},\n  \
+         \"endpoints\": [\n{}\n  ]\n}}\n",
+        endpoint_json.join(",\n")
     );
     match std::fs::write(&json_path, &json) {
         Ok(()) => println!("gateway_loadgen: wrote {json_path}"),

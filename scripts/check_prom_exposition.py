@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition (v0.0.4) format checker.
+
+Validates a scraped exposition file structurally — the contract a real
+Prometheus scraper relies on — without any third-party client library:
+
+* every sample line parses as ``name{labels} value``;
+* family names are unique: one ``# TYPE`` per family, no family split
+  across the file, ``# TYPE``/``# HELP`` precede the family's samples;
+* ``# TYPE`` values are one of counter/gauge/histogram;
+* counter samples are non-negative and finite;
+* histogram children are well-formed: cumulative ``_bucket`` counts are
+  non-decreasing as ``le`` increases, the ``le="+Inf"`` bucket is present
+  and exactly equals ``_count``, and ``_sum``/``_count`` exist for every
+  child label set;
+* no duplicate sample lines (same name + label set twice).
+
+Extra names passed via ``--require NAME`` must appear as families (CI uses
+this to assert the crowdtune job/gateway metrics actually rode the scrape).
+
+Usage: check_prom_exposition.py <exposition.txt> [--require NAME]...
+"""
+
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_family(name, types):
+    """Maps a sample name to its family: histogram samples append
+    _bucket/_sum/_count to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            stem = name[: -len(suffix)]
+            if types.get(stem) == "histogram":
+                return stem
+    return name
+
+
+def parse_labels(text):
+    if not text:
+        return ()
+    labels = []
+    rest = text
+    while rest:
+        match = LABEL_RE.match(rest)
+        if not match:
+            return None
+        labels.append((match.group(1), match.group(2)))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            return None
+    return tuple(labels)
+
+
+def main():
+    args = sys.argv[1:]
+    if not args:
+        sys.exit(f"usage: {sys.argv[0]} <exposition.txt> [--require NAME]...")
+    path = args[0]
+    required = [args[i + 1] for i, a in enumerate(args) if a == "--require"]
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+
+    errors = []
+    types = {}   # family -> type
+    helps = set()
+    closed = set()   # families whose block has ended (another family seen after)
+    samples = {}  # (name, labels) -> value
+    order = []    # (name, labels) in file order
+    last_family = None
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            _, _, name, kind = parts
+            if name in types:
+                errors.append(f"line {lineno}: duplicate TYPE for family {name}")
+            if name in closed:
+                errors.append(f"line {lineno}: family {name} split across the file")
+            if kind not in VALID_TYPES:
+                errors.append(f"line {lineno}: invalid type {kind!r} for {name}")
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                errors.append(f"line {lineno}: malformed HELP line: {line!r}")
+                continue
+            name = parts[2]
+            if name in helps:
+                errors.append(f"line {lineno}: duplicate HELP for family {name}")
+            helps.add(name)
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparseable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        labels = parse_labels(match.group("labels") or "")
+        if labels is None:
+            errors.append(f"line {lineno}: unparseable label set: {line!r}")
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value: {line!r}")
+            continue
+        family = base_family(name, types)
+        if family not in types:
+            errors.append(f"line {lineno}: sample {name} has no preceding TYPE line")
+        if last_family is not None and family != last_family:
+            closed.add(last_family)
+            if family in closed:
+                errors.append(f"line {lineno}: family {family} split across the file")
+        last_family = family
+        key = (name, labels)
+        if key in samples:
+            errors.append(f"line {lineno}: duplicate sample {name}{dict(labels)}")
+        samples[key] = value
+        order.append(key)
+        if types.get(family) == "counter" and (value < 0 or not math.isfinite(value)):
+            errors.append(f"line {lineno}: counter {name} has invalid value {value}")
+
+    # Histogram contract per child label set.
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        # Group buckets by their non-`le` labels.
+        children = {}
+        for (name, labels), value in samples.items():
+            if name != f"{family}_bucket":
+                continue
+            le = dict(labels).get("le")
+            if le is None:
+                errors.append(f"{family}: bucket sample without an le label")
+                continue
+            rest = tuple(kv for kv in labels if kv[0] != "le")
+            children.setdefault(rest, []).append((le, value))
+        for rest, buckets in children.items():
+            label_text = dict(rest) if rest else "{}"
+            bounds = []
+            inf = None
+            for le, value in buckets:
+                if le == "+Inf":
+                    inf = value
+                else:
+                    try:
+                        bounds.append((float(le), value))
+                    except ValueError:
+                        errors.append(f"{family}{label_text}: bad le {le!r}")
+            if inf is None:
+                errors.append(f"{family}{label_text}: no le=\"+Inf\" bucket")
+                continue
+            bounds.sort(key=lambda item: item[0])
+            last = 0.0
+            for bound, cum in bounds:
+                if cum < last:
+                    errors.append(
+                        f"{family}{label_text}: bucket le={bound} count {cum} "
+                        f"decreased (previous {last})"
+                    )
+                last = cum
+            if bounds and inf < bounds[-1][1]:
+                errors.append(
+                    f"{family}{label_text}: +Inf bucket {inf} below "
+                    f"le={bounds[-1][0]} count {bounds[-1][1]}"
+                )
+            count = samples.get((f"{family}_count", rest))
+            if count is None:
+                errors.append(f"{family}{label_text}: missing _count")
+            elif count != inf:
+                errors.append(
+                    f"{family}{label_text}: le=\"+Inf\" bucket {inf} != _count {count}"
+                )
+            if (f"{family}_sum", rest) not in samples:
+                errors.append(f"{family}{label_text}: missing _sum")
+
+    for name in required:
+        if name not in types:
+            errors.append(f"required family {name} is absent from the exposition")
+
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        sys.exit(f"{len(errors)} exposition-format violation(s) in {path}")
+    histograms = sum(1 for kind in types.values() if kind == "histogram")
+    print(
+        f"exposition OK: {len(types)} families ({histograms} histograms), "
+        f"{len(samples)} samples, {len(required)} required families present"
+    )
+
+
+if __name__ == "__main__":
+    main()
