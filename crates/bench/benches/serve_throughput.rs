@@ -9,7 +9,7 @@
 use crowdtune_bench::{compare_tune_once_vs_retuned, DriftScenario};
 use crowdtune_core::money::Budget;
 use crowdtune_core::prelude::*;
-use crowdtune_serve::{JobRequest, ServiceConfig, TuningService};
+use crowdtune_serve::{JobRequest, MarketId, ServiceConfig, TuningService};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -48,6 +48,7 @@ fn request(tenant: usize, shape: usize) -> JobRequest {
     let (task_set, budget) = workload(shape);
     JobRequest {
         tenant: format!("tenant-{tenant}"),
+        market: MarketId::DEFAULT,
         task_set,
         budget,
         rate_model: Arc::new(LinearRate::unit_slope()),

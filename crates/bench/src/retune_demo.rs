@@ -52,6 +52,7 @@ impl DriftScenario {
                 every_completions: 3,
                 min_observations: 6,
                 drift_threshold: 0.35,
+                ..RetunePolicy::default()
             },
         }
     }

@@ -783,6 +783,22 @@ impl DpTable {
             extra_spent: state.spent,
         })
     }
+
+    /// Reads just the objective value at a budget level — `O(1)`, no
+    /// decision-chain walk. The cross-market router assembles per-group
+    /// objective frontiers out of thousands of these reads, so skipping the
+    /// payment reconstruction that [`DpTable::outcome_at`] performs matters.
+    pub fn objective_at(&self, extra_budget: u64) -> Result<f64> {
+        self.levels
+            .get(extra_budget as usize)
+            .map(|level| level.objective)
+            .ok_or_else(|| {
+                CoreError::invalid_argument(format!(
+                    "DP table covers budgets up to {}, requested {extra_budget}",
+                    self.max_budget()
+                ))
+            })
+    }
 }
 
 /// The compact durable image of a [`DpTable`] — what the serving layer's
@@ -1047,6 +1063,19 @@ mod tests {
             assert_eq!(cached, fresh, "budget {budget}");
         }
         assert!(table.outcome_at(21).is_err());
+    }
+
+    #[test]
+    fn dp_table_objective_reads_match_full_outcomes() {
+        let table = DpTable::build(&[2, 3], 20, harmonic_objective(&[4.0, 9.0])).unwrap();
+        for budget in 0..=20u64 {
+            assert_eq!(
+                table.objective_at(budget).unwrap().to_bits(),
+                table.outcome_at(budget).unwrap().objective.to_bits(),
+                "budget {budget}"
+            );
+        }
+        assert!(table.objective_at(21).is_err());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod error;
 pub mod hash;
 pub mod inference;
 pub mod latency;
+pub mod market;
 pub mod money;
 pub mod prelude;
 pub mod problem;
@@ -69,6 +70,7 @@ pub mod task;
 pub mod tuner;
 
 pub use error::{CoreError, Result};
+pub use market::MarketId;
 pub use money::{Allocation, Budget, Payment};
 pub use problem::{HTuningProblem, RemainingProblem, Scenario, TuningResult, TuningStrategy};
 pub use rate::{LinearRate, PaperRateModel, RateModel, RateSpec};

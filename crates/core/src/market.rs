@@ -1,0 +1,80 @@
+//! Market identity: which crowdsourcing marketplace a job is tuned against.
+//!
+//! The paper tunes every job against a single marketplace; a federated
+//! deployment straddles several (AMT, Prolific, an internal workforce, ...),
+//! each with its own price → on-hold-rate regime. A [`MarketId`] names one
+//! of them. It is deliberately a tiny copyable token: every layer of the
+//! stack (requests, fingerprints, the journal, telemetry labels) carries it,
+//! and the set of valid ids is owned by the market registry, not by this
+//! type.
+//!
+//! ## Wire and persistence compatibility
+//!
+//! `MarketId` serializes as a bare integer. Everywhere it appears in a
+//! persisted or wire format, the field is **optional on decode**: records
+//! and requests written before markets existed carry no market id and decode
+//! onto [`MarketId::DEFAULT`], which by construction behaves exactly like
+//! the pre-market single-market world (default-market fingerprints hash
+//! identically to the pre-market scheme).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one crowdsourcing marketplace.
+///
+/// Serializes as a bare integer (the newtype wrapper is transparent on the
+/// wire). The default market — id 0 — is what every pre-market record,
+/// request, and fingerprint maps onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MarketId(pub u16);
+
+impl MarketId {
+    /// The default market: the single marketplace the stack tuned against
+    /// before federation. Absent market fields on the wire and in the
+    /// journal decode to this, and default-market fingerprints are
+    /// bit-identical to pre-market fingerprints.
+    pub const DEFAULT: MarketId = MarketId(0);
+
+    /// Whether this is the default market.
+    pub fn is_default(self) -> bool {
+        self == Self::DEFAULT
+    }
+
+    /// The raw id.
+    pub fn as_u16(self) -> u16 {
+        self.0
+    }
+}
+
+impl Default for MarketId {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+impl fmt::Display for MarketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "market-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_market_is_id_zero() {
+        assert_eq!(MarketId::default(), MarketId::DEFAULT);
+        assert!(MarketId::DEFAULT.is_default());
+        assert!(!MarketId(3).is_default());
+        assert_eq!(MarketId(7).as_u16(), 7);
+    }
+
+    #[test]
+    fn serializes_as_a_bare_integer() {
+        let json = serde_json::to_string(&MarketId(5)).unwrap();
+        assert_eq!(json, "5");
+        let back: MarketId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, MarketId(5));
+    }
+}

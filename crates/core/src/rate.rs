@@ -341,12 +341,44 @@ impl TabulatedRate {
     pub fn points(&self) -> &[(f64, f64)] {
         &self.points
     }
+
+    /// Samples an arbitrary model onto the integer payment grid
+    /// `1..=max_payment` (at least `1..=2`), producing a serializable
+    /// stand-in for models that have no [`RateSpec`] of their own (ad-hoc
+    /// closures).
+    ///
+    /// At every integer payment inside the grid the sampled table returns
+    /// the original model's rate **bit-exactly** (knot hits bypass
+    /// interpolation), so for budgets whose DP never explores payments past
+    /// `max_payment` a re-solve against the sampled table reproduces the
+    /// original plan bit-identically. Payments beyond the grid extrapolate
+    /// the last segment — an approximation, which is why callers cap the
+    /// grid at the largest payment the job's budget can reach.
+    pub fn sampled_from(model: &dyn RateModel, max_payment: u64) -> Result<Self> {
+        let max_payment = max_payment.max(2);
+        let points = (1..=max_payment)
+            .map(|p| (p as f64, model.on_hold_rate(p as f64)))
+            .collect();
+        TabulatedRate::new(points)
+    }
 }
 
 impl RateModel for TabulatedRate {
     fn on_hold_rate(&self, payment_units: f64) -> f64 {
         let pts = &self.points;
         let n = pts.len();
+        // A payment that hits a table knot exactly returns the tabulated
+        // rate verbatim: interpolating `r_lo + slope·Δ` across a full
+        // segment can be off by an ulp, and the sampled-fallback journal
+        // path (`TabulatedRate::sampled_from`) relies on knot hits being
+        // bit-exact. Also turns the common integer-grid lookup into a
+        // binary search instead of the linear segment scan below.
+        if let Ok(idx) = pts.binary_search_by(|(p, _)| {
+            p.partial_cmp(&payment_units)
+                .expect("payments must not be NaN")
+        }) {
+            return pts[idx].1.max(f64::MIN_POSITIVE);
+        }
         // Locate the segment to interpolate on (clamping to the outermost
         // segments for extrapolation).
         let (lo, hi) = if payment_units <= pts[0].0 {
@@ -628,6 +660,44 @@ mod tests {
         // Linear extrapolation to payment 0 would be negative; the model
         // clamps to a tiny positive value instead.
         assert!(m.on_hold_rate(0.0) > 0.0);
+    }
+
+    #[test]
+    fn tabulated_knot_hits_are_bit_exact() {
+        // Knot values whose segment interpolation `r_lo + slope·Δ` would
+        // round differently from the stored rate must still come back
+        // verbatim — the sampled-fallback journal path depends on it.
+        let pts: Vec<(f64, f64)> = (1..=64)
+            .map(|p| (p as f64, (p as f64).sqrt() + 0.1 * (p as f64).ln_1p()))
+            .collect();
+        let m = TabulatedRate::new(pts.clone()).unwrap();
+        for (p, r) in pts {
+            assert_eq!(m.on_hold_rate(p).to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn sampled_from_agrees_bit_exactly_on_the_grid() {
+        let source = FnRate::new("adhoc", |p| p.sqrt() * 1.7 + 0.3);
+        let sampled = TabulatedRate::sampled_from(&source, 48).unwrap();
+        assert_eq!(sampled.points().len(), 48);
+        for p in 1..=48u64 {
+            assert_eq!(
+                sampled.on_hold_rate(p as f64).to_bits(),
+                source.on_hold_rate(p as f64).to_bits(),
+                "grid payment {p}"
+            );
+        }
+        // A sampled table has a spec, so it can be journaled.
+        assert!(sampled.to_spec().is_some());
+    }
+
+    #[test]
+    fn sampled_from_widens_tiny_grids() {
+        // A one-unit budget still yields a valid (two-point) table.
+        let source = LinearRate::unit_slope();
+        let sampled = TabulatedRate::sampled_from(&source, 1).unwrap();
+        assert_eq!(sampled.points().len(), 2);
     }
 
     #[test]

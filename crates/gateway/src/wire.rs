@@ -11,6 +11,7 @@
 //! validation, so a hostile body can produce a structured 4xx but never a
 //! panicking solve.
 
+use crowdtune_core::market::MarketId;
 use crowdtune_core::money::Budget;
 use crowdtune_core::rate::RateSpec;
 use crowdtune_core::task::{TaskGroupSpec, TaskSet};
@@ -20,10 +21,15 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A job submission as it travels over the wire (`POST /v1/jobs`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct JobRequestWire {
     /// Submitting tenant; fairness and per-tenant admission key on it.
     pub tenant: String,
+    /// Target market; absent (or `null`) means the default market, so every
+    /// pre-federation client body keeps working unchanged. Unknown ids are
+    /// rejected by the service, not the wire layer — the gateway cannot know
+    /// which markets the service registered.
+    pub market: Option<MarketId>,
     /// The job's task groups (converted via [`TaskSet::from_group_specs`]).
     pub groups: Vec<TaskGroupSpec>,
     /// Total budget in units.
@@ -32,6 +38,24 @@ pub struct JobRequestWire {
     pub rate: RateSpec,
     /// Strategy override; `Auto` picks EA/RA/HA per scenario.
     pub strategy: StrategyChoice,
+}
+
+// Hand-written so `market` can be *absent* from client JSON: the derived
+// impl treats every field as mandatory, which would break existing clients.
+impl Deserialize for JobRequestWire {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(JobRequestWire {
+            tenant: Deserialize::deserialize_value(value.field("tenant")?)?,
+            market: match value.opt_field("market")? {
+                Some(market) => Deserialize::deserialize_value(market)?,
+                None => None,
+            },
+            groups: Deserialize::deserialize_value(value.field("groups")?)?,
+            budget: Deserialize::deserialize_value(value.field("budget")?)?,
+            rate: Deserialize::deserialize_value(value.field("rate")?)?,
+            strategy: Deserialize::deserialize_value(value.field("strategy")?)?,
+        })
+    }
 }
 
 /// A semantically invalid (but well-formed) submission → HTTP 422.
@@ -80,6 +104,7 @@ impl JobRequestWire {
             .map_err(|e| invalid(format!("invalid rate spec: {e}")))?;
         Ok(JobRequest {
             tenant: self.tenant.clone(),
+            market: self.market.unwrap_or(MarketId::DEFAULT),
             task_set,
             budget: Budget::units(self.budget),
             rate_model,
@@ -363,6 +388,7 @@ mod tests {
     fn wire(budget: u64) -> JobRequestWire {
         JobRequestWire {
             tenant: "acme".to_owned(),
+            market: None,
             groups: vec![
                 TaskGroupSpec {
                     name: "vote".to_owned(),
@@ -421,6 +447,34 @@ mod tests {
         let mut zero_reps = wire(120);
         zero_reps.groups[0].repetitions = 0;
         assert!(zero_reps.to_request(10_000).is_err());
+    }
+
+    /// Wire back-compat: pre-federation client bodies carry no `market`
+    /// key at all — they must keep parsing and land on the default market.
+    #[test]
+    fn bodies_without_a_market_key_land_on_the_default_market() {
+        let text = r#"{
+            "tenant": "acme",
+            "groups": [{"name": "vote", "processing_rate": 2.0, "tasks": 3, "repetitions": 3}],
+            "budget": 60,
+            "rate": {"Linear": {"k": 1.0, "b": 1.0}},
+            "strategy": "Auto"
+        }"#;
+        let wire: JobRequestWire = serde_json::from_str(text).unwrap();
+        assert_eq!(wire.market, None);
+        let request = wire.to_request(10_000).unwrap();
+        assert_eq!(request.market, MarketId::DEFAULT);
+    }
+
+    #[test]
+    fn explicit_market_ids_travel_over_the_wire() {
+        let mut with_market = wire(120);
+        with_market.market = Some(MarketId(3));
+        let text = serde_json::to_string(&with_market).unwrap();
+        assert!(text.contains("\"market\":3"), "{text}");
+        let back: JobRequestWire = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, with_market);
+        assert_eq!(back.to_request(10_000).unwrap().market, MarketId(3));
     }
 
     #[test]

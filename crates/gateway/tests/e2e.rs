@@ -124,6 +124,7 @@ fn one_shot(addr: SocketAddr, method: &str, target: &str, body: Option<&str>) ->
 fn ra_wire(tenant: &str, budget: u64) -> JobRequestWire {
     JobRequestWire {
         tenant: tenant.to_owned(),
+        market: None,
         groups: vec![
             TaskGroupSpec {
                 name: "vote".to_owned(),

@@ -45,6 +45,7 @@ pub mod config;
 pub mod control;
 pub mod events;
 pub mod metrics;
+pub mod registry;
 pub mod simulator;
 pub mod time;
 
@@ -52,5 +53,6 @@ pub use config::{ChoiceModel, MarketConfig, MarketMode, WorkerPoolConfig};
 pub use control::{ControlAction, MarketController, MarketRate, MarketView, PiecewiseRate};
 pub use events::{Event, EventQueue, RepetitionId, WorkerId};
 pub use metrics::{RepetitionRecord, SimulationReport};
+pub use registry::{DriftConfig, DriftEvidence, DriftWindow, MarketRegistry};
 pub use simulator::MarketSimulator;
 pub use time::SimTime;

@@ -30,6 +30,9 @@ pub struct JobTrace {
     pub job_id: u64,
     /// Submitting tenant.
     pub tenant: String,
+    /// Name of the market the job was tuned against (empty when the owning
+    /// service predates markets or telemetry was off).
+    pub market: String,
     /// Paper scenario the problem resolved to: `"EA"`, `"RA"` or `"HA"`.
     pub scenario: &'static str,
     /// Where the plan came from: `"cache"`, `"family"` or `"cold"`.

@@ -487,6 +487,79 @@ impl PlanFamilies {
         ))
     }
 
+    /// Reads the family's **objective frontier** for a problem: the DP
+    /// objective at every discretionary budget `0..=B'`, in order. This is
+    /// the primitive the cross-market router consumes — element `x` answers
+    /// "what objective does this workload reach on this market with `x`
+    /// extra units" — and on a resident (or rehydratable) family it costs
+    /// `B'+1` O(1) level reads, no payment reconstruction and no latency
+    /// estimation. A cold family is seeded exactly as a served job would
+    /// seed it (the table is kept, so the subsequent real serve is a hit).
+    ///
+    /// Fails (instead of falling back to a detached solve) when a key
+    /// collision across group structures is detected; callers treat a failed
+    /// frontier as "this market can't quote" and fall back to single-market
+    /// tuning.
+    pub fn objective_frontier(
+        &self,
+        key: FamilyFingerprint,
+        problem: &HTuningProblem,
+    ) -> Result<(Vec<f64>, FamilyServe)> {
+        let entry = self.entry(key);
+        let mut slot = entry.state.lock().expect("family entry poisoned");
+        if slot.is_none() {
+            if let Some(persistence) = &self.persistence {
+                if let Some(state) = persistence.rehydrate(key.0) {
+                    *slot = Some(state);
+                    self.reloads.inc();
+                }
+            }
+        }
+        let mut captured = None;
+        let (frontier, how) = match slot.as_mut() {
+            Some(state) => {
+                let same_shape = {
+                    let groups = problem.task_set().group_by_repetitions();
+                    groups.len() == state.table.unit_costs().len()
+                        && groups.iter().map(|g| g.unit_increment_cost()).eq(state
+                            .table
+                            .unit_costs()
+                            .iter()
+                            .copied())
+                };
+                if !same_shape {
+                    return Err(crowdtune_core::CoreError::invalid_argument(
+                        "family fingerprint collision across group structures",
+                    ));
+                }
+                let problem = problem.with_rate_model(state.rate_model.clone());
+                if problem.discretionary_budget() > state.table.max_budget() {
+                    RepetitionAlgorithm::extend_table(&problem, &mut state.table)?;
+                    self.extensions.inc();
+                    captured = self.capture_snapshot(key, state, &problem);
+                }
+                let frontier = read_frontier(&state.table, problem.discretionary_budget())?;
+                self.hits.inc();
+                (frontier, FamilyServe::Hit)
+            }
+            None => {
+                let (_, table) = RepetitionAlgorithm::new().tune_with_table(problem)?;
+                let state = FamilyState {
+                    rate_model: problem.rate_model().clone(),
+                    table,
+                };
+                captured = self.capture_snapshot(key, &state, problem);
+                let frontier = read_frontier(&state.table, problem.discretionary_budget())?;
+                *slot = Some(state);
+                self.builds.inc();
+                (frontier, FamilyServe::Seeded)
+            }
+        };
+        drop(slot);
+        self.commit_snapshot(captured);
+        Ok((frontier, how))
+    }
+
     /// Snapshots every resident family into the store (catch-up for records
     /// the bounded write-behind queue may have dropped under load). Called
     /// by planned shutdowns; a no-op without persistence.
@@ -595,6 +668,11 @@ impl PlanFamilies {
     }
 }
 
+/// Reads levels `0..=extra` of a table's objective column.
+fn read_frontier(table: &DpTable, extra: u64) -> Result<Vec<f64>> {
+    (0..=extra).map(|x| table.objective_at(x)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -666,6 +744,37 @@ mod tests {
         let (_, how) = families.serve(key(&b), &b).unwrap();
         assert_eq!(how, FamilyServe::Seeded);
         assert_eq!(families.stats().families, 2);
+    }
+
+    /// The objective frontier must agree, level by level, with full serves
+    /// at every discretionary budget — and its first read seeds the family
+    /// so the later real serve is a hit.
+    #[test]
+    fn objective_frontier_matches_per_budget_serves() {
+        let families = PlanFamilies::new(4);
+        let problem = ra_problem(120, 1.0);
+        let (frontier, how) = families
+            .objective_frontier(key(&problem), &problem)
+            .unwrap();
+        assert_eq!(how, FamilyServe::Seeded);
+        assert_eq!(frontier.len() as u64, problem.discretionary_budget() + 1);
+        let minimum = problem.minimum_budget();
+        for (extra, objective) in frontier.iter().enumerate() {
+            let at_budget = ra_problem(minimum + extra as u64, 1.0);
+            let (plan, _) = families.serve(key(&at_budget), &at_budget).unwrap();
+            assert_eq!(
+                objective.to_bits(),
+                plan.result.objective.unwrap().to_bits(),
+                "extra {extra}"
+            );
+        }
+        // The frontier seeded the family: the serves above were all hits.
+        assert_eq!(families.stats().builds, 1);
+        // A warm frontier is a pure prefix read.
+        let (_, how) = families
+            .objective_frontier(key(&problem), &problem)
+            .unwrap();
+        assert_eq!(how, FamilyServe::Hit);
     }
 
     /// LRU eviction at the per-shard cap: a stream of one-shot families

@@ -25,6 +25,7 @@
 //! * the **strategy choice**, since a forced strategy changes the plan.
 
 use crowdtune_core::hash::Fnv1a;
+use crowdtune_core::market::MarketId;
 use crowdtune_core::problem::HTuningProblem;
 use crowdtune_core::rate::RateModel;
 use crowdtune_core::tuner::StrategyChoice;
@@ -60,9 +61,27 @@ fn hash_task_shape(hash: &mut Fnv1a, task_set: &crowdtune_core::task::TaskSet) {
     }
 }
 
+/// Folds the market id into a fingerprint hash.
+///
+/// The default market contributes **nothing**: default-market fingerprints
+/// are bit-identical to the pre-market scheme, so stores and caches written
+/// before markets existed keep hitting after an upgrade (zero cold solves on
+/// a warm set). Only non-default markets perturb the hash — families solved
+/// against market A must never answer market B.
+fn hash_market(hash: &mut Fnv1a, market: MarketId) {
+    if !market.is_default() {
+        hash.write_u64(u64::from(market.as_u16()));
+    }
+}
+
 impl PlanFingerprint {
-    /// Fingerprints a problem/strategy pair.
+    /// Fingerprints a problem/strategy pair on the default market.
     pub fn of(problem: &HTuningProblem, strategy: StrategyChoice) -> Self {
+        Self::of_market(problem, strategy, MarketId::DEFAULT)
+    }
+
+    /// Fingerprints a problem/strategy pair on a specific market.
+    pub fn of_market(problem: &HTuningProblem, strategy: StrategyChoice, market: MarketId) -> Self {
         let mut hash = Fnv1a::new();
         hash_task_shape(&mut hash, problem.task_set());
         // Budget.
@@ -93,6 +112,9 @@ impl PlanFingerprint {
         }
         // Strategy choice.
         hash.write_u64(strategy_tag(strategy));
+        // Market (contributes nothing on the default market, keeping
+        // pre-market fingerprints stable).
+        hash_market(&mut hash, market);
         PlanFingerprint(hash.finish())
     }
 }
@@ -113,17 +135,27 @@ impl PlanFingerprint {
 pub struct FamilyFingerprint(pub u64);
 
 impl FamilyFingerprint {
-    /// Fingerprints everything but the budget: task shape, rate curve and
-    /// the strategy the job resolves to. Callers normalise `strategy` before
-    /// keying (e.g. `Auto` on a Scenario-II problem and a forced RA resolve
-    /// to the same algorithm and may share a family).
+    /// Fingerprints everything but the budget on the default market: task
+    /// shape, rate curve and the strategy the job resolves to. Callers
+    /// normalise `strategy` before keying (e.g. `Auto` on a Scenario-II
+    /// problem and a forced RA resolve to the same algorithm and may share a
+    /// family).
     pub fn of(problem: &HTuningProblem, strategy: StrategyChoice) -> Self {
+        Self::of_market(problem, strategy, MarketId::DEFAULT)
+    }
+
+    /// [`FamilyFingerprint::of`] on a specific market. Even when two markets
+    /// currently hold bit-identical beliefs the keys differ for non-default
+    /// markets: beliefs drift independently, and a family that answered for
+    /// both would go stale for one of them silently.
+    pub fn of_market(problem: &HTuningProblem, strategy: StrategyChoice, market: MarketId) -> Self {
         let mut hash = Fnv1a::new();
         hash_task_shape(&mut hash, problem.task_set());
         let model = problem.rate_model();
         hash.write_bytes(model.describe().as_bytes());
         hash.write_u64(model.curve_fingerprint());
         hash.write_u64(strategy_tag(strategy));
+        hash_market(&mut hash, market);
         FamilyFingerprint(hash.finish())
     }
 }
@@ -350,6 +382,37 @@ mod tests {
         )
         .unwrap();
         assert_ne!(base, FamilyFingerprint::of(&other, ra));
+    }
+
+    /// Back-compat contract: the default market must hash identically to the
+    /// market-less scheme, so pre-market caches and stores stay warm, while
+    /// any other market must split both key spaces.
+    #[test]
+    fn default_market_fingerprints_match_the_pre_market_scheme() {
+        let p = problem("v", 100, 1.0);
+        let ra = StrategyChoice::RepetitionAlgorithm;
+        assert_eq!(
+            PlanFingerprint::of(&p, ra),
+            PlanFingerprint::of_market(&p, ra, MarketId::DEFAULT)
+        );
+        assert_eq!(
+            FamilyFingerprint::of(&p, ra),
+            FamilyFingerprint::of_market(&p, ra, MarketId::DEFAULT)
+        );
+        // A non-default market splits the key space even when the belief is
+        // bit-identical.
+        assert_ne!(
+            PlanFingerprint::of(&p, ra),
+            PlanFingerprint::of_market(&p, ra, MarketId(1))
+        );
+        assert_ne!(
+            FamilyFingerprint::of(&p, ra),
+            FamilyFingerprint::of_market(&p, ra, MarketId(1))
+        );
+        assert_ne!(
+            FamilyFingerprint::of_market(&p, ra, MarketId(1)),
+            FamilyFingerprint::of_market(&p, ra, MarketId(2))
+        );
     }
 
     #[test]

@@ -43,6 +43,12 @@
 //!   ([`fingerprint::FamilyFingerprint`]), answered by a prefix read (budget
 //!   covered) or an in-place warm-start extension (budget above coverage),
 //!   bit-identical to cold solves by construction.
+//! * [`router::MarketRouter`] — **cross-market routing**: with several
+//!   markets registered ([`crowdtune_market::MarketRegistry`]), a job's task
+//!   groups are split across markets by solving the separable DP against
+//!   each market's belief and assembling the per-group frontier (warm
+//!   family tables make a routed quote pure prefix reads), falling back to
+//!   single-market tuning whenever the split does not strictly win.
 //! * [`store::PlanStore`] — **write-behind durability**: plans, family DP
 //!   tables and a crash-recovery job journal persisted as checksummed
 //!   append-only streams by a background writer (bounded queue, drop-oldest
@@ -70,15 +76,19 @@ pub mod family;
 pub mod fingerprint;
 pub mod queue;
 pub mod retuner;
+pub mod router;
 pub mod service;
 pub mod store;
 
 pub use cache::{CacheStats, PlanCache};
+pub use crowdtune_core::market::MarketId;
+pub use crowdtune_market::MarketRegistry;
 pub use crowdtune_obs::{JobTrace, Registry};
 pub use family::{FamilyServe, FamilyStats, FamilyTiming, PlanFamilies};
 pub use fingerprint::{FamilyFingerprint, PlanFingerprint};
 pub use queue::{AdmissionError, AdmissionPolicy, JobQueue};
 pub use retuner::{RetunePolicy, RetuneStats, Retuner};
+pub use router::{GroupAssignment, MarketRouter, RouteQuote, RoutedPlan};
 pub use service::{
     JobHandle, JobRequest, MetricsSnapshot, PlanSource, RecoveryStats, ServeError, ServedPlan,
     ServiceConfig, ServiceStatus, TuningService,

@@ -38,6 +38,14 @@ pub struct RetunePolicy {
     /// than this relative amount (observation-weighted). Re-tuning below the
     /// threshold is suppressed, which makes no-drift re-tuning a no-op.
     pub drift_threshold: f64,
+    /// Maximum completed observations retained **per price point** (oldest
+    /// evicted first). The window used to grow without bound between
+    /// re-tunes, so on a long steady stretch followed by a regime switch the
+    /// stale pre-switch mass dominated the censored MLE and drift stayed
+    /// statistically invisible for hundreds of events; a sliding window
+    /// turns over within `observation_window` acceptances and lets the
+    /// switch un-mix.
+    pub observation_window: usize,
 }
 
 impl Default for RetunePolicy {
@@ -46,6 +54,7 @@ impl Default for RetunePolicy {
             every_completions: 5,
             min_observations: 8,
             drift_threshold: 0.25,
+            observation_window: 64,
         }
     }
 }
@@ -282,10 +291,14 @@ impl MarketController for Retuner {
             }
             Event::Accept { repetition, .. } => {
                 if let Some((since, payment)) = self.pending.remove(&repetition) {
-                    self.observations
-                        .entry(payment)
-                        .or_default()
-                        .push(time.since(since));
+                    let window = self.observations.entry(payment).or_default();
+                    window.push(time.since(since));
+                    let overflow = window
+                        .len()
+                        .saturating_sub(self.policy.observation_window.max(1));
+                    if overflow > 0 {
+                        window.drain(..overflow);
+                    }
                 }
                 ControlAction::Continue
             }
@@ -335,6 +348,7 @@ mod tests {
                 every_completions: 1,
                 min_observations: 4,
                 drift_threshold: 0.05,
+                ..RetunePolicy::default()
             },
         );
         let allocation = Allocation::uniform(&[2, 2, 2, 2], Payment::units(4));
@@ -393,6 +407,88 @@ mod tests {
         assert!(retuner.stats().evaluations >= 1);
     }
 
+    /// Replays one regime-switch trace — a long on-belief stretch, then the
+    /// market speeds up 20× — through two retuners differing only in window
+    /// bound. Returns the number of re-tunes. 64 on-belief acceptances
+    /// (delay exactly `1/λ(4)`) are followed by 16 post-switch acceptances
+    /// at `1/(20·λ(4))`; with an effectively unbounded window the stale mass
+    /// keeps the mixed MLE at ≈4.9 (insignificant against a belief of 4),
+    /// while a 16-deep window turns over and estimates ≈80.
+    fn regime_switch_retunes(observation_window: usize) -> u32 {
+        let problem = problem(1, 96, 500);
+        let mut retuner = Retuner::new(
+            problem,
+            StrategyChoice::Auto,
+            RetunePolicy {
+                every_completions: 1,
+                min_observations: 8,
+                drift_threshold: 0.25,
+                observation_window,
+            },
+        );
+        let allocation = Allocation::uniform(&[96], Payment::units(4));
+        let mut now = 0.0;
+        let mut published = vec![0u32];
+        let mut completed = vec![0u32];
+        let mut committed = 0u64;
+        for i in 0..80u32 {
+            let rep = RepetitionId::new(0, i);
+            published[0] = i + 1;
+            committed += 4;
+            let view = MarketView {
+                completed: &completed,
+                published: &published,
+                committed_units: committed,
+                allocation: &allocation,
+            };
+            retuner.on_event(SimTime::new(now), &Event::Publish(rep), &view);
+            // Pre-switch delays match the belief exactly; post-switch the
+            // market accepts 20× faster.
+            now += if i < 64 { 0.25 } else { 0.0125 };
+            retuner.on_event(
+                SimTime::new(now),
+                &Event::Accept {
+                    repetition: rep,
+                    worker: None,
+                },
+                &view,
+            );
+            completed[0] = i + 1;
+            let view = MarketView {
+                completed: &completed,
+                published: &published,
+                committed_units: committed,
+                allocation: &allocation,
+            };
+            retuner.on_event(
+                SimTime::new(now),
+                &Event::Submit {
+                    repetition: rep,
+                    worker: None,
+                },
+                &view,
+            );
+        }
+        retuner.stats().retunes
+    }
+
+    /// Regression test for the unbounded observation window: on a
+    /// regime-switch trace the stale pre-switch observations used to bias
+    /// the censored MLE so heavily that the switch went undetected; the
+    /// bounded sliding window un-mixes it.
+    #[test]
+    fn sliding_window_unmixes_a_regime_switch() {
+        assert_eq!(
+            regime_switch_retunes(usize::MAX),
+            0,
+            "unbounded window: stale mass must mask the switch (the old, buggy behaviour)"
+        );
+        assert!(
+            regime_switch_retunes(16) >= 1,
+            "a bounded window must detect the switch within one window turnover"
+        );
+    }
+
     /// A collapsed market (observed delays 20× the belief) must trigger a
     /// re-tune that re-prices only unpublished repetitions.
     #[test]
@@ -405,6 +501,7 @@ mod tests {
                 every_completions: 1,
                 min_observations: 2,
                 drift_threshold: 0.25,
+                ..RetunePolicy::default()
             },
         );
         let allocation = Allocation::uniform(&[3, 3], Payment::units(4));

@@ -12,13 +12,17 @@ use crate::cache::{CacheStats, PlanCache};
 use crate::family::{FamilyServe, FamilyStats, PlanFamilies};
 use crate::fingerprint::{FamilyFingerprint, PlanFingerprint};
 use crate::queue::{AdmissionError, AdmissionPolicy, JobQueue};
+use crate::router::{MarketRouter, RoutedPlan};
 use crate::store::{JournalRecord, PlanStore, StoreError, StoreOptions, StoreSnapshot, StoreStats};
+use crowdtune_core::algorithms::MAX_TABLE_PAYMENT;
 use crowdtune_core::error::CoreError;
+use crowdtune_core::market::MarketId;
 use crowdtune_core::money::Budget;
 use crowdtune_core::problem::{HTuningProblem, Scenario};
-use crowdtune_core::rate::RateModel;
+use crowdtune_core::rate::{LinearRate, RateModel, TabulatedRate};
 use crowdtune_core::task::TaskSet;
 use crowdtune_core::tuner::{StrategyChoice, TunedPlan, Tuner};
+use crowdtune_market::MarketRegistry;
 use crowdtune_obs::{Counter, Gauge, Histogram, JobTrace, Registry, SlowestRing};
 use std::fmt;
 use std::path::Path;
@@ -32,6 +36,11 @@ use std::time::Instant;
 pub struct JobRequest {
     /// Tenant identifier; fairness and per-tenant admission are keyed on it.
     pub tenant: String,
+    /// The market the job is tuned against. Jobs naming a market the
+    /// service does not know are rejected at the door; services started
+    /// without an explicit registry run one default market, so
+    /// [`MarketId::DEFAULT`] always exists.
+    pub market: MarketId,
     /// The job's atomic tasks.
     pub task_set: TaskSet,
     /// Total budget.
@@ -46,6 +55,7 @@ impl fmt::Debug for JobRequest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("JobRequest")
             .field("tenant", &self.tenant)
+            .field("market", &self.market)
             .field("tasks", &self.task_set.len())
             .field("budget", &self.budget)
             .finish()
@@ -268,32 +278,45 @@ fn source_index(source: PlanSource) -> usize {
     }
 }
 
-/// Per-stage latency histograms, indexed `[scenario][source]`.
+/// Per-stage latency histograms, indexed `[market][scenario][source]`. The
+/// market axis is bounded by the registry's static market set, so the label
+/// cardinality is fixed at boot.
 struct StageHists {
-    queue_wait: [[Histogram; 3]; 3],
-    solve: [[Histogram; 3]; 3],
-    estimate: [[Histogram; 3]; 3],
-    total: [[Histogram; 3]; 3],
-    lock_wait: [[Histogram; 3]; 3],
-    persist_lag: [[Histogram; 3]; 3],
+    queue_wait: Vec<[[Histogram; 3]; 3]>,
+    solve: Vec<[[Histogram; 3]; 3]>,
+    estimate: Vec<[[Histogram; 3]; 3]>,
+    total: Vec<[[Histogram; 3]; 3]>,
+    lock_wait: Vec<[[Histogram; 3]; 3]>,
+    persist_lag: Vec<[[Histogram; 3]; 3]>,
 }
 
-/// One `{scenario, source}`-labelled family of nanosecond histograms,
-/// exposed in seconds (scale `1e9`).
-fn stage_family(registry: &Registry, name: &str, help: &str) -> [[Histogram; 3]; 3] {
-    std::array::from_fn(|si| {
-        std::array::from_fn(|pi| {
-            registry.histogram(
-                name,
-                help,
-                &[
-                    ("scenario", SCENARIO_LABELS[si]),
-                    ("source", SOURCE_LABELS[pi]),
-                ],
-                1e9,
-            )
+/// One `{market, scenario, source}`-labelled family of nanosecond
+/// histograms, exposed in seconds (scale `1e9`).
+fn stage_family(
+    registry: &Registry,
+    name: &str,
+    help: &str,
+    markets: &[String],
+) -> Vec<[[Histogram; 3]; 3]> {
+    markets
+        .iter()
+        .map(|market| {
+            std::array::from_fn(|si| {
+                std::array::from_fn(|pi| {
+                    registry.histogram(
+                        name,
+                        help,
+                        &[
+                            ("market", market.as_str()),
+                            ("scenario", SCENARIO_LABELS[si]),
+                            ("source", SOURCE_LABELS[pi]),
+                        ],
+                        1e9,
+                    )
+                })
+            })
         })
-    })
+        .collect()
 }
 
 /// The service's telemetry spine: the registry every layer publishes into,
@@ -305,6 +328,9 @@ struct Telemetry {
     /// Epoch for every [`JobTrace`] stamp taken by this service.
     epoch: Instant,
     registry: Arc<Registry>,
+    /// Market names in registry order; the market axis of every stage
+    /// histogram family is indexed by position in this list.
+    market_names: Vec<String>,
     stage: StageHists,
     slowest: SlowestRing,
     pending_gauge: Gauge,
@@ -315,37 +341,47 @@ struct Telemetry {
 }
 
 impl Telemetry {
-    fn new(config: &ServiceConfig, registry: Arc<Registry>) -> Telemetry {
+    fn new(
+        config: &ServiceConfig,
+        registry: Arc<Registry>,
+        market_names: Vec<String>,
+    ) -> Telemetry {
         let stage = StageHists {
             queue_wait: stage_family(
                 &registry,
                 "crowdtune_job_queue_wait_seconds",
                 "Time from tenant-lane visibility to worker pickup.",
+                &market_names,
             ),
             solve: stage_family(
                 &registry,
                 "crowdtune_job_solve_seconds",
                 "Time producing the plan (family-lock wait included).",
+                &market_names,
             ),
             estimate: stage_family(
                 &registry,
                 "crowdtune_job_estimate_seconds",
                 "Time attaching the analytic latency estimates to the plan.",
+                &market_names,
             ),
             total: stage_family(
                 &registry,
                 "crowdtune_job_total_seconds",
                 "End-to-end time from admission to response.",
+                &market_names,
             ),
             lock_wait: stage_family(
                 &registry,
                 "crowdtune_job_family_lock_wait_seconds",
                 "Time blocked on the plan-family entry lock.",
+                &market_names,
             ),
             persist_lag: stage_family(
                 &registry,
                 "crowdtune_job_persist_lag_seconds",
                 "Write-behind lag from plan enqueue to durable write.",
+                &market_names,
             ),
         };
         let pending_gauge = registry.gauge(
@@ -376,6 +412,7 @@ impl Telemetry {
         Telemetry {
             enabled: config.telemetry,
             epoch: Instant::now(),
+            market_names,
             stage,
             slowest: SlowestRing::new(config.slowest_capacity),
             pending_gauge,
@@ -398,32 +435,39 @@ impl Telemetry {
     }
 
     /// Histogram indices for a labelled trace; `None` when telemetry was
-    /// off or the job never produced a plan (labels unset).
-    fn scenario_source(trace: &JobTrace) -> Option<(usize, usize)> {
+    /// off, the job never produced a plan (labels unset), or the trace
+    /// names a market this service does not track (e.g. a replay from a
+    /// registry that shrank across a restart).
+    fn market_scenario_source(&self, trace: &JobTrace) -> Option<(usize, usize, usize)> {
+        let mi = self
+            .market_names
+            .iter()
+            .position(|name| *name == trace.market)?;
         let si = SCENARIO_LABELS.iter().position(|&s| s == trace.scenario)?;
         let pi = SOURCE_LABELS.iter().position(|&s| s == trace.source)?;
-        Some((si, pi))
+        Some((mi, si, pi))
     }
 
     /// Folds a completed trace into the per-stage histograms and offers it
     /// to the slowest ring.
     fn record_job(&self, trace: JobTrace) {
-        let Some((si, pi)) = Self::scenario_source(&trace) else {
+        let Some((mi, si, pi)) = self.market_scenario_source(&trace) else {
             return;
         };
-        self.stage.queue_wait[si][pi].record(trace.queue_wait_ns());
-        self.stage.solve[si][pi].record(trace.solve_ns());
-        self.stage.estimate[si][pi].record(trace.estimate_ns());
-        self.stage.total[si][pi].record(trace.total_ns());
+        self.stage.queue_wait[mi][si][pi].record(trace.queue_wait_ns());
+        self.stage.solve[mi][si][pi].record(trace.solve_ns());
+        self.stage.estimate[mi][si][pi].record(trace.estimate_ns());
+        self.stage.total[mi][si][pi].record(trace.total_ns());
         if trace.family_lock_wait_ns > 0 {
-            self.stage.lock_wait[si][pi].record(trace.family_lock_wait_ns);
+            self.stage.lock_wait[mi][si][pi].record(trace.family_lock_wait_ns);
         }
         self.slowest.offer(trace);
     }
 
     /// The persist-lag histogram matching the trace's labels, if any.
     fn persist_hist(&self, trace: &JobTrace) -> Option<&Histogram> {
-        Self::scenario_source(trace).map(|(si, pi)| &self.stage.persist_lag[si][pi])
+        self.market_scenario_source(trace)
+            .map(|(mi, si, pi)| &self.stage.persist_lag[mi][si][pi])
     }
 }
 
@@ -515,6 +559,8 @@ pub struct TuningService {
     queue: Arc<JobQueue<QueuedJob>>,
     cache: Arc<PlanCache>,
     families: Arc<PlanFamilies>,
+    markets: Arc<MarketRegistry>,
+    router: Arc<MarketRouter>,
     metrics: Arc<ServiceMetrics>,
     telemetry: Arc<Telemetry>,
     store: Option<Arc<PlanStore>>,
@@ -526,9 +572,25 @@ pub struct TuningService {
 
 impl TuningService {
     /// Starts the worker pool with in-memory state only (no durability —
-    /// restarts re-solve the working set).
+    /// restarts re-solve the working set) on a single default market.
     pub fn start(config: ServiceConfig) -> Self {
-        Self::boot(config, None)
+        Self::boot(config, None, Self::default_markets())
+    }
+
+    /// [`TuningService::start`] against an explicit market registry: every
+    /// job names one of its markets, fingerprints and journal records carry
+    /// the market id, and the cross-market [`MarketRouter`] solves against
+    /// each market's belief.
+    pub fn start_with_markets(config: ServiceConfig, markets: Arc<MarketRegistry>) -> Self {
+        Self::boot(config, None, markets)
+    }
+
+    /// The registry a service runs when none is supplied: one default
+    /// market. Its placeholder belief is never consulted on the serve path
+    /// (jobs carry their own rate model); it only matters to the router,
+    /// where a single market degenerates to plain tuning anyway.
+    fn default_markets() -> Arc<MarketRegistry> {
+        Arc::new(MarketRegistry::single(Arc::new(LinearRate::unit_slope())))
     }
 
     /// Starts the worker pool against a durable store directory, recovering
@@ -552,11 +614,27 @@ impl TuningService {
         path: impl AsRef<Path>,
         options: StoreOptions,
     ) -> Result<Self, ServeError> {
-        let (store, snapshot) = PlanStore::open_with(path, options)?;
-        Ok(Self::boot(config, Some((store, snapshot))))
+        Self::recover_with_markets(config, path, options, Self::default_markets())
     }
 
-    fn boot(config: ServiceConfig, durable: Option<(Arc<PlanStore>, StoreSnapshot)>) -> Self {
+    /// [`TuningService::recover_with`] against an explicit market registry.
+    /// Journals written before markets existed replay onto the default
+    /// market (their records decode to [`MarketId::DEFAULT`]).
+    pub fn recover_with_markets(
+        config: ServiceConfig,
+        path: impl AsRef<Path>,
+        options: StoreOptions,
+        markets: Arc<MarketRegistry>,
+    ) -> Result<Self, ServeError> {
+        let (store, snapshot) = PlanStore::open_with(path, options)?;
+        Ok(Self::boot(config, Some((store, snapshot)), markets))
+    }
+
+    fn boot(
+        config: ServiceConfig,
+        durable: Option<(Arc<PlanStore>, StoreSnapshot)>,
+        markets: Arc<MarketRegistry>,
+    ) -> Self {
         let queue = Arc::new(JobQueue::new(config.admission));
         let cache = Arc::new(PlanCache::new(
             config.cache_shards,
@@ -593,6 +671,7 @@ impl TuningService {
                             job.job_id,
                             JobRequest {
                                 tenant: job.tenant,
+                                market: job.market,
                                 task_set: job.task_set,
                                 budget: Budget::units(job.budget),
                                 rate_model,
@@ -621,7 +700,14 @@ impl TuningService {
         if let Some(store) = &store {
             store.register_metrics(&registry);
         }
-        let telemetry = Arc::new(Telemetry::new(&config, registry));
+        let router = Arc::new(MarketRouter::new(markets.clone(), families.clone()));
+        router.register_metrics(&registry);
+        let market_names = markets
+            .names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect::<Vec<_>>();
+        let telemetry = Arc::new(Telemetry::new(&config, registry, market_names));
         let workers = (0..config.workers.max(1))
             .map(|index| {
                 let queue = queue.clone();
@@ -649,6 +735,8 @@ impl TuningService {
             queue,
             cache,
             families,
+            markets,
+            router,
             metrics,
             telemetry,
             store,
@@ -689,6 +777,17 @@ impl TuningService {
             self.metrics.rejected.inc();
             return Err(ServeError::Admission(AdmissionError::Closed));
         }
+        // Unknown markets are refused before any id, journal record or
+        // queue slot is spent on them — the market set is static, so this
+        // is a malformed submission, not a transient condition.
+        if !self.markets.contains(request.market) {
+            self.metrics.rejected.inc();
+            return Err(ServeError::Tuning(CoreError::invalid_argument(format!(
+                "unknown {}; registered markets: {}",
+                request.market,
+                self.markets.names().join(", ")
+            ))));
+        }
         let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
         // Stamp admission only when a journal write will separate admission
         // from queue insertion; otherwise `enqueue_job` stamps both stages
@@ -703,18 +802,33 @@ impl TuningService {
         // its record immediately. (The journal and the completion share one
         // ordered writer queue, so `Submitted` always lands first.)
         let journaled = if let Some(store) = &self.store {
-            if let Some(rate) = request.rate_model.to_spec() {
-                store.record_journal(&JournalRecord::Submitted {
-                    job_id: id,
-                    tenant: request.tenant.clone(),
-                    task_set: request.task_set.clone(),
-                    budget: request.budget.as_units(),
-                    rate,
-                    strategy: request.strategy,
-                });
-                true
-            } else {
-                false
+            // Models without a native spec (ad-hoc closures) are journaled
+            // through a sampled tabulated stand-in so the job still
+            // survives a crash. The exact-knot interpolation of
+            // `TabulatedRate` makes the rebuilt model bit-identical to the
+            // original at every on-grid payment, and the grid covers every
+            // payment this job can award (capped at the shared-table bound
+            // the solver samples anyway).
+            let rate = request.rate_model.to_spec().or_else(|| {
+                let grid = request.budget.as_units().min(MAX_TABLE_PAYMENT);
+                TabulatedRate::sampled_from(request.rate_model.as_ref(), grid)
+                    .ok()
+                    .and_then(|table| table.to_spec())
+            });
+            match rate {
+                Some(rate) => {
+                    store.record_journal(&JournalRecord::Submitted {
+                        job_id: id,
+                        tenant: request.tenant.clone(),
+                        market: request.market,
+                        task_set: request.task_set.clone(),
+                        budget: request.budget.as_units(),
+                        rate,
+                        strategy: request.strategy,
+                    });
+                    true
+                }
+                None => false,
             }
         } else {
             false
@@ -748,6 +862,11 @@ impl TuningService {
             JobTrace {
                 job_id: id,
                 tenant: tenant.clone(),
+                market: self
+                    .markets
+                    .name_of(request.market)
+                    .unwrap_or_default()
+                    .to_owned(),
                 admitted_ns: if admitted_ns != 0 {
                     admitted_ns
                 } else {
@@ -784,6 +903,26 @@ impl TuningService {
     /// Convenience: submit and wait.
     pub fn tune(&self, request: JobRequest) -> Result<ServedPlan, ServeError> {
         self.submit(request)?.wait()
+    }
+
+    /// The market registry this service runs against.
+    pub fn markets(&self) -> Arc<MarketRegistry> {
+        self.markets.clone()
+    }
+
+    /// The cross-market router sharing this service's family tables.
+    pub fn router(&self) -> Arc<MarketRouter> {
+        self.router.clone()
+    }
+
+    /// Routes a job across markets (see [`MarketRouter::route`]): splits
+    /// its task groups over the registered markets when the assembled
+    /// frontier beats every single-market tune, and falls back to plain
+    /// single-market tuning otherwise.
+    pub fn route(&self, task_set: &TaskSet, budget: Budget) -> Result<RoutedPlan, ServeError> {
+        self.router
+            .route(task_set, budget)
+            .map_err(ServeError::Tuning)
     }
 
     /// Plan-cache counters.
@@ -1071,7 +1210,10 @@ fn serve_one(
         request.rate_model.clone(),
     )
     .map_err(ServeError::Tuning)?;
-    let fingerprint = PlanFingerprint::of(&problem, request.strategy);
+    // Fingerprints fold the market in (default-market keys hash exactly as
+    // the pre-market scheme), so plans and families solved against market A
+    // can never answer market B.
+    let fingerprint = PlanFingerprint::of_market(&problem, request.strategy, request.market);
     trace.solve_start_ns = telemetry.now_ns();
     if let Some(plan) = cache.get(fingerprint) {
         if telemetry.enabled {
@@ -1091,7 +1233,11 @@ fn serve_one(
     // this job's cold solve. Either way the plan lands in the exact-match
     // cache, so the PR 1 fast path above is unchanged.
     if resolves_to_ra(&problem, request.strategy) {
-        let family = FamilyFingerprint::of(&problem, StrategyChoice::RepetitionAlgorithm);
+        let family = FamilyFingerprint::of_market(
+            &problem,
+            StrategyChoice::RepetitionAlgorithm,
+            request.market,
+        );
         let (plan, how, timing) = families
             .serve_timed(family, &problem)
             .map_err(ServeError::Tuning)?;
@@ -1140,6 +1286,7 @@ mod tests {
         set.add_tasks(ty, 3, tasks).unwrap();
         JobRequest {
             tenant: tenant.to_owned(),
+            market: MarketId::DEFAULT,
             task_set: set,
             budget: Budget::units(budget),
             rate_model: Arc::new(LinearRate::unit_slope()),
@@ -1198,6 +1345,7 @@ mod tests {
             set.add_tasks(ty, 5, 4).unwrap();
             JobRequest {
                 tenant: "acme".to_owned(),
+                market: MarketId::DEFAULT,
                 task_set: set,
                 budget: Budget::units(budget),
                 rate_model: Arc::new(LinearRate::new(0.75, 1.0).unwrap()),
@@ -1244,6 +1392,7 @@ mod tests {
             set.add_tasks(ty, 4, 3).unwrap();
             JobRequest {
                 tenant: "acme".to_owned(),
+                market: MarketId::DEFAULT,
                 task_set: set,
                 budget: Budget::units(budget),
                 rate_model: Arc::new(LinearRate::new(1.5, 0.5).unwrap()),
@@ -1410,5 +1559,104 @@ mod tests {
             "expected heavy cache reuse, got {total_hits}"
         );
         assert_eq!(service.metrics().completed(), 80);
+    }
+
+    fn two_market_registry() -> Arc<MarketRegistry> {
+        Arc::new(
+            MarketRegistry::new(vec![
+                (
+                    MarketId::DEFAULT,
+                    "amt".to_owned(),
+                    Arc::new(LinearRate::unit_slope()) as Arc<dyn RateModel>,
+                ),
+                (
+                    MarketId(1),
+                    "prolific".to_owned(),
+                    Arc::new(LinearRate::new(2.0, 0.5).unwrap()) as Arc<dyn RateModel>,
+                ),
+            ])
+            .unwrap(),
+        )
+    }
+
+    /// Identical workloads on different markets must not share plans: the
+    /// market id is part of the cache and family keys.
+    #[test]
+    fn markets_never_share_cached_plans() {
+        let service =
+            TuningService::start_with_markets(ServiceConfig::default(), two_market_registry());
+        let on_market = |market: MarketId| JobRequest {
+            market,
+            ..request("acme", 5, 60)
+        };
+        let first = service.tune(on_market(MarketId::DEFAULT)).unwrap();
+        assert_eq!(first.source, PlanSource::ColdSolve);
+        let other = service.tune(on_market(MarketId(1))).unwrap();
+        assert_eq!(
+            other.source,
+            PlanSource::ColdSolve,
+            "market B must never be answered by market A's plan"
+        );
+        let repeat = service.tune(on_market(MarketId::DEFAULT)).unwrap();
+        assert_eq!(repeat.source, PlanSource::CacheHit);
+        assert!(Arc::ptr_eq(&first.plan, &repeat.plan));
+        service.shutdown();
+    }
+
+    /// Submissions naming an unregistered market are refused at the door
+    /// (counted as rejected, no queue slot spent).
+    #[test]
+    fn unknown_markets_are_rejected_at_the_door() {
+        let service =
+            TuningService::start_with_markets(ServiceConfig::default(), two_market_registry());
+        let err = service
+            .tune(JobRequest {
+                market: MarketId(9),
+                ..request("acme", 5, 60)
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Tuning(_)), "{err}");
+        assert!(err.to_string().contains("market-9"), "{err}");
+        assert_eq!(service.metrics().rejected, 1);
+        assert_eq!(service.metrics().submitted, 0);
+        service.shutdown();
+    }
+
+    /// The per-market telemetry axis: jobs on different markets land in
+    /// differently-labelled stage histograms, and the router's split
+    /// counter rides the same scrape.
+    #[test]
+    fn stage_histograms_carry_the_market_label() {
+        let service =
+            TuningService::start_with_markets(ServiceConfig::default(), two_market_registry());
+        service
+            .tune(JobRequest {
+                market: MarketId(1),
+                ..request("acme", 5, 60)
+            })
+            .unwrap();
+        // The trace folds into telemetry after the response is sent (off
+        // the submitter's latency path), so wait for it to land.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let slowest = loop {
+            let slowest = service.slowest_traces();
+            if !slowest.is_empty() {
+                break slowest;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "trace fold-in never settled"
+            );
+            std::thread::yield_now();
+        };
+        assert_eq!(slowest.len(), 1);
+        assert_eq!(slowest[0].market, "prolific");
+        let exposition = service.render_prometheus();
+        assert!(
+            exposition.contains(r#"market="prolific",scenario="EA",source="cold""#),
+            "expected a prolific-labelled stage sample:\n{exposition}"
+        );
+        assert!(exposition.contains("crowdtune_router_split_total 0"));
+        service.shutdown();
     }
 }

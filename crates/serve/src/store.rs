@@ -44,6 +44,7 @@
 use crowdtune_core::algorithms::{DpTable, DpTableSnapshot};
 use crowdtune_core::hash::Fnv1a;
 use crowdtune_core::latency::group_phase1_expected;
+use crowdtune_core::market::MarketId;
 use crowdtune_core::rate::{RateModel, RateSpec};
 use crowdtune_core::task::TaskSet;
 use crowdtune_core::tuner::{StrategyChoice, TunedPlan};
@@ -96,16 +97,26 @@ pub struct FamilyRecord {
 }
 
 /// One entry of the crash-recovery job journal.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (versioned decode): journals written before
+/// markets existed carry no `market` field on `Submitted` records, and those
+/// records must recover cleanly onto [`MarketId::DEFAULT`] — not count as
+/// invalid. Every field added to this format later must follow the same
+/// absent-tolerant pattern.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum JournalRecord {
-    /// A job was accepted into the queue. Only jobs whose rate model has a
-    /// [`RateSpec`] are journaled; ad-hoc models degrade to "lost on crash".
+    /// A job was accepted into the queue. Jobs whose rate model has no
+    /// [`RateSpec`] of its own are journaled with a sampled tabulated
+    /// fallback (see the service's submit path).
     Submitted {
         /// Service-assigned job id (unique across restarts — recovery
         /// resumes the id counter past the largest journaled id).
         job_id: u64,
         /// Submitting tenant.
         tenant: String,
+        /// The market the job is tuned against. Absent in pre-market
+        /// journals ⇒ decodes to the default market.
+        market: MarketId,
         /// The job's task set.
         task_set: TaskSet,
         /// Total budget in units.
@@ -123,6 +134,44 @@ pub enum JournalRecord {
     },
 }
 
+impl Deserialize for JournalRecord {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Obj(pairs) = value else {
+            return Err(serde::DeError::new(format!(
+                "expected externally-tagged journal record, found {}",
+                value.kind()
+            )));
+        };
+        let [(tag, body)] = pairs.as_slice() else {
+            return Err(serde::DeError::new(
+                "expected single-variant journal record object",
+            ));
+        };
+        match tag.as_str() {
+            "Submitted" => Ok(JournalRecord::Submitted {
+                job_id: Deserialize::deserialize_value(body.field("job_id")?)?,
+                tenant: Deserialize::deserialize_value(body.field("tenant")?)?,
+                // Absent in pre-market journals: recover onto the default
+                // market instead of rejecting the record.
+                market: match body.opt_field("market")? {
+                    Some(market) => Deserialize::deserialize_value(market)?,
+                    None => MarketId::DEFAULT,
+                },
+                task_set: Deserialize::deserialize_value(body.field("task_set")?)?,
+                budget: Deserialize::deserialize_value(body.field("budget")?)?,
+                rate: Deserialize::deserialize_value(body.field("rate")?)?,
+                strategy: Deserialize::deserialize_value(body.field("strategy")?)?,
+            }),
+            "Completed" => Ok(JournalRecord::Completed {
+                job_id: Deserialize::deserialize_value(body.field("job_id")?)?,
+            }),
+            other => Err(serde::DeError::new(format!(
+                "unknown journal record variant `{other}`"
+            ))),
+        }
+    }
+}
+
 /// A journaled job that was submitted but never completed — in flight when
 /// the process died. Recovery re-enqueues these under their original ids.
 #[derive(Debug, Clone)]
@@ -131,6 +180,8 @@ pub struct PendingJob {
     pub job_id: u64,
     /// Submitting tenant.
     pub tenant: String,
+    /// The market the job is tuned against (default for pre-market records).
+    pub market: MarketId,
     /// The job's task set.
     pub task_set: TaskSet,
     /// Total budget in units.
@@ -850,6 +901,7 @@ fn rewrite_journal_if_smaller(
         let record = JournalRecord::Submitted {
             job_id: job.job_id,
             tenant: job.tenant.clone(),
+            market: job.market,
             task_set: job.task_set.clone(),
             budget: job.budget,
             rate: job.rate.clone(),
@@ -1124,6 +1176,7 @@ fn reduce_journal(payloads: &[String], snapshot: &mut StoreSnapshot) {
             JournalRecord::Submitted {
                 job_id,
                 tenant,
+                market,
                 task_set,
                 budget,
                 rate,
@@ -1133,6 +1186,7 @@ fn reduce_journal(payloads: &[String], snapshot: &mut StoreSnapshot) {
                 pending.push(PendingJob {
                     job_id,
                     tenant,
+                    market,
                     task_set,
                     budget,
                     rate,
@@ -1195,6 +1249,7 @@ mod tests {
             store.record_journal(&JournalRecord::Submitted {
                 job_id: 4,
                 tenant: "acme".to_owned(),
+                market: MarketId::DEFAULT,
                 task_set: {
                     let mut set = TaskSet::new();
                     let ty = set.add_type("vote", 2.0).unwrap();
@@ -1208,6 +1263,7 @@ mod tests {
             store.record_journal(&JournalRecord::Submitted {
                 job_id: 5,
                 tenant: "acme".to_owned(),
+                market: MarketId::DEFAULT,
                 task_set: {
                     let mut set = TaskSet::new();
                     let ty = set.add_type("vote", 2.0).unwrap();
@@ -1278,6 +1334,7 @@ mod tests {
         JournalRecord::Submitted {
             job_id,
             tenant: "acme".to_owned(),
+            market: MarketId::DEFAULT,
             task_set: {
                 let mut set = TaskSet::new();
                 let ty = set.add_type("vote", 2.0).unwrap();
@@ -1288,6 +1345,51 @@ mod tests {
             rate: RateSpec::Linear(LinearRate::unit_slope()),
             strategy: StrategyChoice::Auto,
         }
+    }
+
+    /// Version back-compat: a journal written before markets existed (no
+    /// `market` field on `Submitted` records) must recover **cleanly** —
+    /// zero corrupt streams, zero corrupt tails, zero invalid records — with
+    /// every pending job assigned the default market.
+    #[test]
+    fn pre_market_journal_recovers_onto_the_default_market() {
+        let dir = scratch_dir("premarket");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Produce fixture bytes identical to the pre-market format by
+        // serializing current records and stripping the `market` key from
+        // the Submitted body before writing the checksummed line.
+        let mut content = format!("{}\n", Stream::Journal.header());
+        for record in [journal_submit(3, 44), journal_submit(7, 61)] {
+            let mut value = record.serialize_value();
+            let serde::Value::Obj(variants) = &mut value else {
+                panic!("journal records serialize as externally-tagged objects");
+            };
+            let serde::Value::Obj(body) = &mut variants[0].1 else {
+                panic!("the Submitted body serializes as an object");
+            };
+            let fields = body.len();
+            body.retain(|(key, _)| key != "market");
+            assert_eq!(body.len(), fields - 1, "fixture must strip the field");
+            content.push_str(&record_line(&serde_json::to_string(&value).unwrap()));
+        }
+        let completed = serde_json::to_string(&JournalRecord::Completed { job_id: 3 }).unwrap();
+        content.push_str(&record_line(&completed));
+        std::fs::write(dir.join(Stream::Journal.file_name()), content).unwrap();
+
+        let (_store, snapshot) = PlanStore::open(&dir).unwrap();
+        assert!(snapshot.report.clean(), "{:?}", snapshot.report);
+        assert_eq!(snapshot.report.invalid_records, 0);
+        assert_eq!(snapshot.pending_jobs.len(), 1);
+        let job = &snapshot.pending_jobs[0];
+        assert_eq!(job.job_id, 7);
+        assert_eq!(job.budget, 61);
+        assert_eq!(
+            job.market,
+            MarketId::DEFAULT,
+            "pre-market records recover onto the default market"
+        );
+        assert_eq!(snapshot.max_job_id, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// The fsync knob: `PerBatch` syncs every touched stream (observable in

@@ -12,11 +12,11 @@
 //!   via `ServiceMetrics` counters), never to wrong plans.
 
 use crowdtune_core::money::Budget;
-use crowdtune_core::rate::{LinearRate, RateSpec};
+use crowdtune_core::rate::{LinearRate, RateModel, RateSpec, TabulatedRate};
 use crowdtune_core::task::TaskSet;
 use crowdtune_core::tuner::{StrategyChoice, TunedPlan, Tuner};
 use crowdtune_serve::{
-    JobRequest, JournalRecord, PlanSource, PlanStore, ServiceConfig, TuningService,
+    JobRequest, JournalRecord, MarketId, PlanSource, PlanStore, ServiceConfig, TuningService,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -84,6 +84,7 @@ fn arbitrary_request(rng: &mut StdRng, tenant: &str) -> JobRequest {
     let intercept = rng.gen_range(0.05f64..2.0);
     JobRequest {
         tenant: tenant.to_owned(),
+        market: MarketId::DEFAULT,
         task_set: set,
         budget: Budget::units(budget),
         rate_model: Arc::new(LinearRate::new(slope, intercept).unwrap()),
@@ -155,6 +156,7 @@ fn recovered_families_answer_new_budgets_without_cold_solves() {
     let model = Arc::new(LinearRate::new(1.5, 0.5).unwrap());
     let request = |budget: u64| JobRequest {
         tenant: "acme".to_owned(),
+        market: MarketId::DEFAULT,
         task_set: set.clone(),
         budget: Budget::units(budget),
         rate_model: model.clone(),
@@ -214,6 +216,7 @@ fn evicted_families_rehydrate_from_the_archive() {
         set.add_tasks(ty, reps_a + 1, 2).unwrap();
         JobRequest {
             tenant: "acme".to_owned(),
+            market: MarketId::DEFAULT,
             task_set: set,
             budget: Budget::units(budget),
             rate_model: Arc::new(LinearRate::new(1.0 + slope_milli as f64 / 1000.0, 1.0).unwrap()),
@@ -272,6 +275,7 @@ fn journal_replays_only_unfinished_jobs() {
         store.record_journal(&JournalRecord::Submitted {
             job_id: 3,
             tenant: "acme".to_owned(),
+            market: MarketId::DEFAULT,
             task_set: set.clone(),
             budget: 30,
             rate: RateSpec::Linear(LinearRate::unit_slope()),
@@ -281,6 +285,7 @@ fn journal_replays_only_unfinished_jobs() {
         store.record_journal(&JournalRecord::Submitted {
             job_id: 7,
             tenant: "acme".to_owned(),
+            market: MarketId::DEFAULT,
             task_set: set.clone(),
             budget: 60,
             rate: RateSpec::Linear(LinearRate::unit_slope()),
@@ -302,6 +307,7 @@ fn journal_replays_only_unfinished_jobs() {
     let served = service
         .tune(JobRequest {
             tenant: "acme".to_owned(),
+            market: MarketId::DEFAULT,
             task_set: set,
             budget: Budget::units(60),
             rate_model: Arc::new(LinearRate::unit_slope()),
@@ -340,6 +346,7 @@ fn recover_after_corruption(
     set.add_tasks(hard, 5, 2).unwrap();
     let request = JobRequest {
         tenant: "acme".to_owned(),
+        market: MarketId::DEFAULT,
         task_set: set,
         budget: Budget::units(100),
         rate_model: Arc::new(LinearRate::new(1.25, 0.75).unwrap()),
@@ -402,6 +409,58 @@ fn bit_flipped_plan_snapshot_recovers_cold() {
         .unwrap();
     assert_plans_bit_identical(&served.plan, &cold, "post-corruption solve");
     service.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Ad-hoc rate models (no native `RateSpec`) are journaled through a
+/// sampled tabulated stand-in, so closure-backed jobs survive a crash. The
+/// exact-knot interpolation of `TabulatedRate` makes a plan solved from the
+/// journaled spec bit-identical to one solved from the original model at
+/// every on-grid budget.
+#[test]
+fn adhoc_rate_models_are_journaled_via_sampled_tables() {
+    struct AdHoc;
+    impl RateModel for AdHoc {
+        fn on_hold_rate(&self, payment_units: f64) -> f64 {
+            0.4 * payment_units.sqrt() + 0.3
+        }
+        fn describe(&self) -> String {
+            "adhoc sqrt curve".to_owned()
+        }
+    }
+    let dir = scratch_dir("adhoc");
+    let mut set = TaskSet::new();
+    let ty = set.add_type("vote", 2.0).unwrap();
+    set.add_tasks(ty, 3, 2).unwrap();
+    let request = JobRequest {
+        tenant: "acme".to_owned(),
+        market: MarketId::DEFAULT,
+        task_set: set.clone(),
+        budget: Budget::units(40),
+        rate_model: Arc::new(AdHoc),
+        strategy: StrategyChoice::Auto,
+    };
+    let served = {
+        let service = TuningService::recover(service_config(), &dir).unwrap();
+        let served = service.tune(request).unwrap();
+        service.shutdown();
+        served
+    };
+    // The journal holds a Submitted record for the ad-hoc job, with the
+    // model persisted as a sampled table (a crash before completion would
+    // replay it; before this fallback the job was simply not journaled).
+    let journal = std::fs::read_to_string(dir.join("journal.log")).unwrap();
+    assert!(
+        journal.contains("Submitted") && journal.contains("Tabulated"),
+        "ad-hoc submissions must journal a sampled tabulated spec:\n{journal}"
+    );
+    // Bit-identity on the grid: a replay would rebuild the sampled spec and
+    // re-solve — which matches the original closure's plan exactly, because
+    // every payment the solver evaluates is an interpolation knot.
+    let sampled = TabulatedRate::sampled_from(&AdHoc, 40).unwrap();
+    let rebuilt = sampled.to_spec().unwrap().build().unwrap();
+    let replayed = Tuner::new(rebuilt).plan(set, Budget::units(40)).unwrap();
+    assert_plans_bit_identical(&served.plan, &replayed, "sampled stand-in");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

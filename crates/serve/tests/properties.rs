@@ -17,7 +17,7 @@ use crowdtune_market::control::{ControlAction, MarketController, MarketView};
 use crowdtune_market::events::{Event, RepetitionId};
 use crowdtune_market::time::SimTime;
 use crowdtune_serve::{
-    JobRequest, PlanSource, RetunePolicy, Retuner, ServiceConfig, TuningService,
+    JobRequest, MarketId, PlanSource, RetunePolicy, Retuner, ServiceConfig, TuningService,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,6 +41,7 @@ fn arbitrary_request(rng: &mut StdRng, tenant: &str) -> JobRequest {
     let intercept = rng.gen_range(0.0f64..2.0);
     JobRequest {
         tenant: tenant.to_owned(),
+        market: MarketId::DEFAULT,
         task_set: set,
         budget: Budget::units(budget),
         rate_model: Arc::new(LinearRate::new(slope, intercept).unwrap()),
@@ -178,6 +179,7 @@ fn family_served_budget_ladders_are_bit_identical_to_cold_solves() {
             let served = service
                 .tune(JobRequest {
                     tenant: format!("tenant-{step}"),
+                    market: MarketId::DEFAULT,
                     task_set: set.clone(),
                     budget: Budget::units(budget),
                     rate_model: model.clone(),
@@ -233,6 +235,7 @@ fn concurrent_family_extensions_are_bit_identical_to_cold_solves() {
                         let served = service
                             .tune(JobRequest {
                                 tenant: format!("tenant-{budget}"),
+                                market: MarketId::DEFAULT,
                                 task_set: set,
                                 budget: Budget::units(budget),
                                 rate_model: model,
@@ -284,6 +287,7 @@ fn retuning_without_drift_never_changes_the_allocation() {
                 every_completions: 1,
                 min_observations: 1,
                 drift_threshold: 0.05,
+                ..RetunePolicy::default()
             },
         );
 

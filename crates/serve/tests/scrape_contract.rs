@@ -7,7 +7,7 @@ use crowdtune_core::money::Budget;
 use crowdtune_core::rate::LinearRate;
 use crowdtune_core::task::TaskSet;
 use crowdtune_core::tuner::StrategyChoice;
-use crowdtune_serve::{JobRequest, ServiceConfig, TuningService};
+use crowdtune_serve::{JobRequest, MarketId, ServiceConfig, TuningService};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -17,6 +17,7 @@ fn request(tenant: &str, reps: u32, tasks: usize, budget: u64) -> JobRequest {
     set.add_tasks(ty, reps, tasks).unwrap();
     JobRequest {
         tenant: tenant.to_owned(),
+        market: MarketId::DEFAULT,
         task_set: set,
         budget: Budget::units(budget),
         rate_model: Arc::new(LinearRate::unit_slope()),
@@ -106,6 +107,7 @@ fn counters_are_monotone_and_untorn_under_concurrent_load() {
                     let _ = service
                         .tune(JobRequest {
                             tenant: format!("tenant-{t}"),
+                            market: MarketId::DEFAULT,
                             task_set: set,
                             budget: Budget::units(60 + (round % 8) * 10),
                             rate_model: Arc::new(LinearRate::unit_slope()),
@@ -149,6 +151,7 @@ fn rendered_expositions_match_snapshots() {
         service
             .tune(JobRequest {
                 tenant: "acme".to_owned(),
+                market: MarketId::DEFAULT,
                 task_set: set,
                 budget: Budget::units(budget),
                 rate_model: Arc::new(LinearRate::unit_slope()),

@@ -54,6 +54,22 @@ impl Value {
         }
     }
 
+    /// Looks up a field of an object value, tolerating absence: `None` when
+    /// the key is missing, `Err` when `self` is not an object. This is the
+    /// hook hand-written `Deserialize` impls use for fields added to a
+    /// persisted format after records without them were already written —
+    /// [`Value::field`] treats a missing key as an error, which is right for
+    /// mandatory fields but would reject old records wholesale.
+    pub fn opt_field(&self, name: &str) -> Result<Option<&Value>, DeError> {
+        match self {
+            Value::Obj(pairs) => Ok(pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v)),
+            other => Err(DeError::new(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
     /// Short description of the variant, for error messages.
     pub fn kind(&self) -> &'static str {
         match self {

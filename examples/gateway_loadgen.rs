@@ -151,6 +151,7 @@ fn catalogue() -> Vec<JobRequestWire> {
     // EA tenant: homogeneous type, uniform repetitions (Scenario I).
     jobs.push(JobRequestWire {
         tenant: "ea-tenant".to_owned(),
+        market: None,
         groups: vec![group("filter", 2.5, 8, 3)],
         budget: 60,
         rate: linear.clone(),
@@ -160,6 +161,7 @@ fn catalogue() -> Vec<JobRequestWire> {
     for budget in [240u64, 120, 400, 240] {
         jobs.push(JobRequestWire {
             tenant: "ra-tenant".to_owned(),
+            market: None,
             groups: vec![group("vote", 2.0, 5, 3), group("vote", 2.0, 5, 5)],
             budget,
             rate: linear.clone(),
@@ -169,6 +171,7 @@ fn catalogue() -> Vec<JobRequestWire> {
     // HA tenant: heterogeneous difficulty (Scenario III).
     jobs.push(JobRequestWire {
         tenant: "ha-tenant".to_owned(),
+        market: None,
         groups: vec![group("easy", 3.0, 4, 3), group("hard", 1.0, 4, 5)],
         budget: 160,
         rate: steep,
@@ -177,6 +180,7 @@ fn catalogue() -> Vec<JobRequestWire> {
     // Non-linear belief + forced RA override.
     jobs.push(JobRequestWire {
         tenant: "ra-tenant".to_owned(),
+        market: None,
         groups: vec![group("vote", 2.0, 5, 3), group("vote", 2.0, 5, 5)],
         budget: 180,
         rate: log,
@@ -185,6 +189,7 @@ fn catalogue() -> Vec<JobRequestWire> {
     // Exact repeat of the EA job from a different tenant: cache hit.
     jobs.push(JobRequestWire {
         tenant: "ea-tenant-2".to_owned(),
+        market: None,
         groups: vec![group("filter", 2.5, 8, 3)],
         budget: 60,
         rate: linear,
@@ -321,6 +326,7 @@ fn main() {
         for budget in 0..128u64 {
             let wire = JobRequestWire {
                 tenant: "flood".to_owned(),
+                market: None,
                 groups: vec![group("vote", 2.0, 10, 3), group("vote", 2.0, 10, 5)],
                 budget: 4000 + budget,
                 rate: RateSpec::Linear(LinearRate::unit_slope()),

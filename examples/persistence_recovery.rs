@@ -22,7 +22,7 @@ use crowdtune_core::money::Budget;
 use crowdtune_core::rate::LinearRate;
 use crowdtune_core::task::TaskSet;
 use crowdtune_core::tuner::StrategyChoice;
-use crowdtune_serve::{JobRequest, PlanSource, ServiceConfig, TuningService};
+use crowdtune_serve::{JobRequest, MarketId, PlanSource, ServiceConfig, TuningService};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -61,6 +61,7 @@ fn warm_set() -> Vec<(&'static str, JobRequest)> {
             label,
             JobRequest {
                 tenant: "smoke".to_owned(),
+                market: MarketId::DEFAULT,
                 task_set: set,
                 budget: Budget::units(budget),
                 rate_model: model,
@@ -182,6 +183,7 @@ fn main() {
         let served = service
             .tune(JobRequest {
                 tenant: "smoke".to_owned(),
+                market: MarketId::DEFAULT,
                 task_set: ra_ladder_set(),
                 budget: Budget::units(budget),
                 rate_model: ra_model.clone(),

@@ -44,6 +44,17 @@ Suites (see SUITES below):
   baseline, loose because single-client quick-mode p99 is one sample, but a
   real tail regression (a lock convoy in the metrics render, an O(n²)
   rendering path) blows the ratio up by orders of magnitude.
+* ``market`` — cross-market routing (BENCH_market.json): guarding
+  ``router_vs_best_single_improvement``, the deterministic factor by which
+  the routed split beats the best single-market tune on the smoke's crossing
+  curves (~1.32; 5% tolerance catches any change in the DP frontier or the
+  knapsack assembly — the value is exact arithmetic, so any drift is a
+  semantic change), and ``warm_quote_vs_cold_route_ratio`` (~100x: a warm
+  quote is pure family-table prefix reads vs the cold route's table builds
+  and plan serves). The ratio is in-run so machine speed cancels, but the
+  warm side is a microsecond-scale minimum and scheduler-noisy, so it gets
+  a loose 5x floor — still far above the collapse of a real regression
+  (losing frontier reuse costs the full ~100x).
 
 Usage: check_bench_regression.py <suite> <baseline.json> <fresh.json>
 """
@@ -73,6 +84,13 @@ SUITES = {
         "scalars": [
             ("inprocess_vs_http_p50_ratio", 3.00),
             ("telemetry_off_vs_on_p50_ratio", 1.20),
+        ],
+    },
+    "market": {
+        "rows": None,
+        "scalars": [
+            ("router_vs_best_single_improvement", 1.05),
+            ("warm_quote_vs_cold_route_ratio", 5.00),
         ],
     },
 }
