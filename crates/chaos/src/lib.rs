@@ -1,0 +1,308 @@
+//! # crowdtune-chaos
+//!
+//! Injectable fault harness for the serving stack — the proof half of the
+//! fault-tolerance layer. Every fault here plugs into a hook the production
+//! code exposes anyway (so the fault-free hot path pays nothing it was not
+//! already paying):
+//!
+//! * [`ChaosWriteFault`] implements the store's
+//!   [`WriteFault`] injection point and can make
+//!   appends fail, fail N times, report a full disk, or crawl — driving the
+//!   writer's retry/reopen/impairment machinery and the `Degraded` health
+//!   state.
+//! * [`ChaosRate`] wraps any [`RateModel`] and, when armed, panics inside the
+//!   worker's solve (exercising per-job `catch_unwind` containment) or kills
+//!   the worker thread outright via the [`WorkerDeath`] marker (exercising
+//!   supervisor respawn and the typed `WorkerLost` observer error).
+//!
+//! Faults are **armed explicitly and disarm themselves** after firing (except
+//! the persistent modes, which stay on until [`ChaosWriteFault::heal`]), so a
+//! chaos schedule interleaves cleanly with a correctness-checked workload:
+//! every non-faulted job must still produce bit-identical plans.
+//!
+//! `examples/chaos_recovery.rs` drives the full schedule end to end and is
+//! wired into CI.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crowdtune_core::rate::{RateModel, RateSpec};
+pub use crowdtune_serve::{WorkerDeath, WriteFault};
+
+/// What [`ChaosWriteFault`] does to the next store append(s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultMode {
+    /// Pass-through: the store behaves as if no fault layer were installed.
+    Clear,
+    /// Fail the next `n` appends, then pass through again.
+    FailNext(u32),
+    /// Fail every append until [`ChaosWriteFault::heal`].
+    FailAll,
+    /// Report a full disk (`ErrorKind::StorageFull`) until healed.
+    DiskFull,
+    /// Sleep this long before every (successful) append until healed —
+    /// models a device that answers, slowly.
+    Slow(Duration),
+}
+
+/// Injectable store-write fault: installed via
+/// [`StoreOptions::write_fault`](crowdtune_serve::StoreOptions), armed and
+/// healed at runtime from the test harness. Disarmed it is a single relaxed
+/// atomic-free mutex lock per append on the background writer thread —
+/// nothing on the serve path.
+#[derive(Debug)]
+pub struct ChaosWriteFault {
+    mode: Mutex<FaultMode>,
+    injected: AtomicU64,
+}
+
+impl Default for ChaosWriteFault {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChaosWriteFault {
+    /// A disarmed fault layer (pass-through until armed).
+    pub fn new() -> Self {
+        ChaosWriteFault {
+            mode: Mutex::new(FaultMode::Clear),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    fn set(&self, mode: FaultMode) {
+        *self.mode.lock().expect("chaos fault mode poisoned") = mode;
+    }
+
+    /// Disarm: appends pass through again (the store's next success flips
+    /// the service back to `Healthy`).
+    pub fn heal(&self) {
+        self.set(FaultMode::Clear);
+    }
+
+    /// Fail the next `n` appends with a generic I/O error, then self-heal —
+    /// a transient blip the retry/backoff path should absorb invisibly.
+    pub fn fail_next(&self, n: u32) {
+        self.set(FaultMode::FailNext(n));
+    }
+
+    /// Fail every append until [`ChaosWriteFault::heal`] — a persistent
+    /// outage that must impair the write path and degrade health.
+    pub fn fail_all(&self) {
+        self.set(FaultMode::FailAll);
+    }
+
+    /// Report `StorageFull` on every append until healed.
+    pub fn disk_full(&self) {
+        self.set(FaultMode::DiskFull);
+    }
+
+    /// Delay every append by `pause` (appends still succeed) until healed.
+    pub fn slow(&self, pause: Duration) {
+        self.set(FaultMode::Slow(pause));
+    }
+
+    /// How many faults have actually been injected (errors returned; slow
+    /// appends count too) — asserts that a chaos schedule really fired.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Acquire)
+    }
+}
+
+impl WriteFault for ChaosWriteFault {
+    fn before_write(&self, _stream: &str, _bytes: &[u8]) -> std::io::Result<()> {
+        let mut mode = self.mode.lock().expect("chaos fault mode poisoned");
+        match *mode {
+            FaultMode::Clear => Ok(()),
+            FaultMode::FailNext(n) => {
+                *mode = if n > 1 {
+                    FaultMode::FailNext(n - 1)
+                } else {
+                    FaultMode::Clear
+                };
+                drop(mode);
+                self.injected.fetch_add(1, Ordering::AcqRel);
+                Err(std::io::Error::other("chaos: injected write failure"))
+            }
+            FaultMode::FailAll => {
+                drop(mode);
+                self.injected.fetch_add(1, Ordering::AcqRel);
+                Err(std::io::Error::other("chaos: injected write outage"))
+            }
+            FaultMode::DiskFull => {
+                drop(mode);
+                self.injected.fetch_add(1, Ordering::AcqRel);
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "chaos: injected disk-full",
+                ))
+            }
+            FaultMode::Slow(pause) => {
+                drop(mode);
+                self.injected.fetch_add(1, Ordering::AcqRel);
+                std::thread::sleep(pause);
+                Ok(())
+            }
+        }
+    }
+}
+
+const RATE_CLEAR: u8 = 0;
+const RATE_PANIC: u8 = 1;
+const RATE_DIE: u8 = 2;
+
+/// A [`RateModel`] wrapper that can be armed to blow up inside the worker's
+/// solve — exactly once per arming, so a single submission takes the hit and
+/// the rest of the workload is untouched.
+///
+/// Delegation contract: [`to_spec`](RateModel::to_spec),
+/// [`describe`](RateModel::describe) and
+/// [`curve_fingerprint`](RateModel::curve_fingerprint) forward to the inner
+/// model *without* consulting the armed state. That keeps the submit thread
+/// safe (journaling samples `to_spec`, never the armed curve) and means an
+/// armed `ChaosRate` shares plan/family keys with its inner model — give
+/// armed jobs a distinct inner curve if key collisions with healthy jobs
+/// would confuse an assertion, and remember a plan-cache hit skips the solve
+/// entirely (an armed panic only fires on non-cache-hit paths).
+pub struct ChaosRate {
+    inner: Arc<dyn RateModel>,
+    mode: AtomicU8,
+}
+
+impl std::fmt::Debug for ChaosRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosRate")
+            .field("inner", &self.inner.describe())
+            .field("mode", &self.mode.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+impl ChaosRate {
+    /// Wraps `inner`, disarmed: behaves exactly like `inner` until armed.
+    pub fn new(inner: Arc<dyn RateModel>) -> Self {
+        ChaosRate {
+            inner,
+            mode: AtomicU8::new(RATE_CLEAR),
+        }
+    }
+
+    /// Arm a one-shot `panic!` in the next solve that evaluates this curve
+    /// (contained by the worker's `catch_unwind`; the job fails with
+    /// `WorkerPanic`).
+    pub fn arm_panic(&self) {
+        self.mode.store(RATE_PANIC, Ordering::Release);
+    }
+
+    /// Arm a one-shot worker death: the next evaluating solve panics with
+    /// the [`WorkerDeath`] marker, killing its worker thread (the job fails
+    /// with `WorkerLost`; the supervisor respawns the thread).
+    pub fn arm_worker_death(&self) {
+        self.mode.store(RATE_DIE, Ordering::Release);
+    }
+
+    /// Whether an armed fault is still waiting for a solve to trip it.
+    pub fn armed(&self) -> bool {
+        self.mode.load(Ordering::Acquire) != RATE_CLEAR
+    }
+}
+
+impl RateModel for ChaosRate {
+    fn on_hold_rate(&self, payment_units: f64) -> f64 {
+        // One-shot: swap to Clear first, so the unwound stack can never
+        // re-trip the fault (and a respawned worker serving the retry sees a
+        // healthy curve).
+        match self.mode.swap(RATE_CLEAR, Ordering::AcqRel) {
+            RATE_PANIC => panic!("chaos: injected rate-model panic"),
+            RATE_DIE => std::panic::panic_any(WorkerDeath),
+            _ => self.inner.on_hold_rate(payment_units),
+        }
+    }
+
+    fn to_spec(&self) -> Option<RateSpec> {
+        self.inner.to_spec()
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+
+    fn curve_fingerprint(&self) -> u64 {
+        self.inner.curve_fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_core::rate::LinearRate;
+
+    #[test]
+    fn write_fault_modes_fire_and_disarm() {
+        let fault = ChaosWriteFault::new();
+        assert!(fault.before_write("plans", b"x").is_ok());
+        assert_eq!(fault.injected(), 0);
+
+        fault.fail_next(2);
+        assert!(fault.before_write("plans", b"x").is_err());
+        assert!(fault.before_write("plans", b"x").is_err());
+        assert!(fault.before_write("plans", b"x").is_ok(), "self-heals");
+        assert_eq!(fault.injected(), 2);
+
+        fault.fail_all();
+        assert!(fault.before_write("journal", b"x").is_err());
+        assert!(fault.before_write("journal", b"x").is_err(), "persistent");
+        fault.heal();
+        assert!(fault.before_write("journal", b"x").is_ok());
+
+        fault.disk_full();
+        let err = fault.before_write("families", b"x").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        fault.heal();
+
+        fault.slow(Duration::from_millis(1));
+        let before = std::time::Instant::now();
+        assert!(fault.before_write("plans", b"x").is_ok());
+        assert!(before.elapsed() >= Duration::from_millis(1));
+        assert_eq!(fault.injected(), 6);
+    }
+
+    #[test]
+    fn chaos_rate_delegates_and_fires_once() {
+        let inner = Arc::new(LinearRate::unit_slope());
+        let rate = ChaosRate::new(inner.clone());
+        assert_eq!(
+            rate.on_hold_rate(3.0).to_bits(),
+            inner.on_hold_rate(3.0).to_bits()
+        );
+        assert_eq!(rate.curve_fingerprint(), inner.curve_fingerprint());
+        assert_eq!(rate.describe(), inner.describe());
+        assert!(rate.to_spec().is_some(), "journaling path stays safe");
+
+        rate.arm_panic();
+        assert!(rate.armed());
+        let unwound =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rate.on_hold_rate(3.0)));
+        assert!(unwound.is_err());
+        assert!(!rate.armed(), "one-shot: the fault disarmed itself");
+        assert_eq!(
+            rate.on_hold_rate(3.0).to_bits(),
+            inner.on_hold_rate(3.0).to_bits()
+        );
+
+        rate.arm_worker_death();
+        let unwound =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rate.on_hold_rate(3.0)));
+        let payload = unwound.unwrap_err();
+        assert!(
+            payload.downcast_ref::<WorkerDeath>().is_some(),
+            "worker-death arming panics with the typed marker"
+        );
+    }
+}

@@ -43,7 +43,9 @@ use crate::wire::{
     TraceBody,
 };
 use crowdtune_obs::Counter;
-use crowdtune_serve::{AdmissionError, JobHandle, ServeError, ServedPlan, TuningService};
+use crowdtune_serve::{
+    AdmissionError, HealthState, JobHandle, ServeError, ServedPlan, TuningService,
+};
 use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -535,6 +537,12 @@ fn serve_error_response(error: &ServeError) -> Response {
             503,
             ErrorBody::new("shutdown", "service stopped before the job completed"),
         ),
+        ServeError::WorkerPanic { .. } => {
+            error_response(500, ErrorBody::new("worker_panic", error.to_string()))
+        }
+        ServeError::WorkerLost => {
+            error_response(500, ErrorBody::new("worker_lost", error.to_string()))
+        }
         ServeError::Store(e) => error_response(500, ErrorBody::new("store", e.to_string())),
     }
 }
@@ -610,6 +618,8 @@ fn outcome_body(job_id: u64, outcome: Result<ServedPlan, ServeError>) -> JobBody
                 ServeError::Tuning(_) => "tuning_failed",
                 ServeError::Admission(_) => "admission",
                 ServeError::WorkerGone => "shutdown",
+                ServeError::WorkerPanic { .. } => "worker_panic",
+                ServeError::WorkerLost => "worker_lost",
                 ServeError::Store(_) => "store",
             };
             JobBody::failed(job_id, ErrorBody::new(code, e.to_string()))
@@ -674,12 +684,32 @@ fn get_slowest(state: &GatewayState) -> Response {
     json_response(200, &SlowestBody { traces })
 }
 
+/// `GET /healthz`: the service-wide health state machine. `healthy` and
+/// `degraded` answer 200 (a degraded service still serves bit-correct plans
+/// — load balancers should keep routing to it), `draining` answers 503 so
+/// probes take the instance out of rotation. The gateway's own drain (its
+/// listener is closing) outranks whatever the service reports.
 fn get_health(state: &GatewayState) -> Response {
+    let draining = state.draining.load(Ordering::Acquire) || state.service.is_draining();
+    let health = if draining {
+        HealthState::Draining
+    } else {
+        state.service.health()
+    };
+    let status = match health {
+        HealthState::Draining => 503,
+        _ => 200,
+    };
     json_response(
-        200,
+        status,
         &HealthBody {
-            status: "ok".to_owned(),
-            draining: state.draining.load(Ordering::Acquire) || state.service.is_draining(),
+            status: health.label().to_owned(),
+            reasons: health
+                .reasons()
+                .iter()
+                .map(|reason| reason.as_str().to_owned())
+                .collect(),
+            draining,
         },
     )
 }

@@ -258,11 +258,16 @@ impl TraceBody {
     }
 }
 
-/// Response of `GET /healthz`.
+/// Response of `GET /healthz`: the health state machine's wire form.
+/// `healthy`/`degraded` ride a 200, `draining` a 503.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HealthBody {
-    /// Always `"ok"` while the process answers.
+    /// `"healthy"`, `"degraded"` or `"draining"`
+    /// (see [`crowdtune_serve::HealthState::label`]).
     pub status: String,
+    /// Machine-readable degradation reasons
+    /// ([`crowdtune_serve::HealthReason::as_str`]); empty unless degraded.
+    pub reasons: Vec<String>,
     /// Whether the gateway/service pair is draining.
     pub draining: bool,
 }

@@ -390,7 +390,7 @@ fn keep_alive_pipelining_over_one_socket() {
     );
     let first = client.read_response().expect("first");
     assert_eq!(first.status, 200);
-    assert_eq!(as_str(field(&first.json(), "status")), "ok");
+    assert_eq!(as_str(field(&first.json(), "status")), "healthy");
     let second = client.read_response().expect("second");
     assert_eq!(second.status, 200);
     assert!(second.body.contains("cache_hits"));
@@ -441,7 +441,8 @@ fn drain_rejects_submissions_and_shutdown_completes() {
     let addr = gateway.local_addr();
     let mut client = Client::connect(addr);
     let health = client.request("GET", "/healthz", None);
-    assert_eq!(as_str(field(&health.json(), "status")), "ok");
+    assert_eq!(health.status, 200);
+    assert_eq!(as_str(field(&health.json(), "status")), "healthy");
     assert!(matches!(
         field(&health.json(), "draining"),
         Value::Bool(false)
@@ -449,6 +450,8 @@ fn drain_rejects_submissions_and_shutdown_completes() {
 
     service.begin_drain();
     let health = client.request("GET", "/healthz", None);
+    assert_eq!(health.status, 503, "probes take a draining node out");
+    assert_eq!(as_str(field(&health.json(), "status")), "draining");
     assert!(matches!(
         field(&health.json(), "draining"),
         Value::Bool(true)
@@ -749,6 +752,7 @@ fn metrics_expose_store_backpressure_drops() {
             StoreOptions {
                 queue_capacity: 1,
                 fsync: FsyncPolicy::Off,
+                ..StoreOptions::default()
             },
         )
         .expect("open durable service"),

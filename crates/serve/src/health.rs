@@ -1,0 +1,244 @@
+//! Service-wide health: a small state machine evaluated from live fault
+//! signals.
+//!
+//! The service does not *latch* health transitions — [`HealthState::evaluate`]
+//! is a pure function of the current [`HealthSignals`], recomputed on every
+//! probe. That gives the required automatic recovery for free: when the store
+//! writer's next append succeeds it clears the impairment flag, and the next
+//! health probe reports [`HealthState::Healthy`] again without anyone having
+//! to "reset" anything.
+//!
+//! Precedence: `Draining` wins over everything (the operator asked the
+//! service to go away; degraded-ness of a service that is leaving is not
+//! actionable), then `Degraded` with the full list of reasons, then
+//! `Healthy`.
+
+/// Why a service reports [`HealthState::Degraded`]. The gateway serializes
+/// these into the `/healthz` body via [`HealthReason::as_str`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthReason {
+    /// The durable store's write path has exhausted a record's retry budget
+    /// and not succeeded since: durability is impaired (served plans are
+    /// correct but might not survive a crash).
+    StoreWritesFailing,
+    /// Fewer worker threads are alive than the configured pool size — jobs
+    /// still complete, but throughput is reduced until the supervisor
+    /// finishes respawning.
+    WorkerPoolDegraded,
+    /// The job queue is at ≥ 90% of its admission bound; submissions are
+    /// about to be refused with 429s.
+    QueueSaturated,
+}
+
+impl HealthReason {
+    /// Stable machine-readable label (the `/healthz` wire form).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthReason::StoreWritesFailing => "store-writes-failing",
+            HealthReason::WorkerPoolDegraded => "worker-pool-degraded",
+            HealthReason::QueueSaturated => "queue-saturated",
+        }
+    }
+}
+
+/// The live fault signals health is computed from — a plain snapshot so the
+/// evaluation itself is pure and unit-testable without a running service.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HealthSignals {
+    /// Whether a graceful drain has begun (refusing new work).
+    pub draining: bool,
+    /// Whether the store's write path is currently impaired (see
+    /// [`crate::PlanStore::write_path_impaired`]).
+    pub store_impaired: bool,
+    /// Worker threads currently alive.
+    pub live_workers: usize,
+    /// Worker threads the pool was configured with.
+    pub target_workers: usize,
+    /// Jobs currently waiting in the queue.
+    pub pending: usize,
+    /// The queue's global admission bound.
+    pub max_pending: usize,
+}
+
+/// The service-wide health state surfaced at `/healthz` and as the
+/// `crowdtune_health_state` gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthState {
+    /// Everything nominal: serving, durable, full pool, queue headroom.
+    Healthy,
+    /// Still serving, but impaired — the reasons say how. Probes should keep
+    /// routing traffic here (HTTP 200): plans served in a degraded state are
+    /// still bit-correct.
+    Degraded {
+        /// Every currently-firing degradation signal, in a stable order.
+        reasons: Vec<HealthReason>,
+    },
+    /// A graceful drain is in progress: new submissions are refused, probes
+    /// should route traffic elsewhere (HTTP 503).
+    Draining,
+}
+
+impl HealthState {
+    /// Evaluates health from a snapshot of the fault signals. Pure: same
+    /// signals, same state.
+    pub fn evaluate(signals: &HealthSignals) -> HealthState {
+        if signals.draining {
+            return HealthState::Draining;
+        }
+        let mut reasons = Vec::new();
+        if signals.store_impaired {
+            reasons.push(HealthReason::StoreWritesFailing);
+        }
+        if signals.live_workers < signals.target_workers {
+            reasons.push(HealthReason::WorkerPoolDegraded);
+        }
+        // Saturated at ≥ 90% of the bound, computed in integers:
+        // pending/max ≥ 9/10  ⇔  pending·10 ≥ max·9.
+        if signals.max_pending > 0 && signals.pending * 10 >= signals.max_pending * 9 {
+            reasons.push(HealthReason::QueueSaturated);
+        }
+        if reasons.is_empty() {
+            HealthState::Healthy
+        } else {
+            HealthState::Degraded { reasons }
+        }
+    }
+
+    /// Stable machine-readable label (the `/healthz` `status` field).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded { .. } => "degraded",
+            HealthState::Draining => "draining",
+        }
+    }
+
+    /// Numeric code for the `crowdtune_health_state` gauge: 0 healthy,
+    /// 1 degraded, 2 draining.
+    pub fn code(&self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded { .. } => 1,
+            HealthState::Draining => 2,
+        }
+    }
+
+    /// The degradation reasons (empty unless `Degraded`).
+    pub fn reasons(&self) -> &[HealthReason] {
+        match self {
+            HealthState::Degraded { reasons } => reasons,
+            _ => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> HealthSignals {
+        HealthSignals {
+            draining: false,
+            store_impaired: false,
+            live_workers: 4,
+            target_workers: 4,
+            pending: 0,
+            max_pending: 100,
+        }
+    }
+
+    #[test]
+    fn nominal_is_healthy() {
+        assert_eq!(HealthState::evaluate(&nominal()), HealthState::Healthy);
+        assert_eq!(HealthState::Healthy.code(), 0);
+        assert_eq!(HealthState::Healthy.label(), "healthy");
+        assert!(HealthState::Healthy.reasons().is_empty());
+    }
+
+    #[test]
+    fn draining_wins_over_everything() {
+        let state = HealthState::evaluate(&HealthSignals {
+            draining: true,
+            store_impaired: true,
+            live_workers: 0,
+            ..nominal()
+        });
+        assert_eq!(state, HealthState::Draining);
+        assert_eq!(state.code(), 2);
+        assert_eq!(state.label(), "draining");
+        assert!(state.reasons().is_empty());
+    }
+
+    #[test]
+    fn store_impairment_degrades_and_recovers() {
+        let degraded = HealthState::evaluate(&HealthSignals {
+            store_impaired: true,
+            ..nominal()
+        });
+        assert_eq!(degraded.label(), "degraded");
+        assert_eq!(degraded.code(), 1);
+        assert_eq!(degraded.reasons(), &[HealthReason::StoreWritesFailing]);
+        // Evaluation is pure: the signal clearing *is* the recovery.
+        assert_eq!(HealthState::evaluate(&nominal()), HealthState::Healthy);
+    }
+
+    #[test]
+    fn dead_workers_degrade_until_respawned() {
+        let state = HealthState::evaluate(&HealthSignals {
+            live_workers: 3,
+            ..nominal()
+        });
+        assert_eq!(state.reasons(), &[HealthReason::WorkerPoolDegraded]);
+    }
+
+    #[test]
+    fn queue_saturation_threshold_is_ninety_percent() {
+        let below = HealthState::evaluate(&HealthSignals {
+            pending: 89,
+            ..nominal()
+        });
+        assert_eq!(below, HealthState::Healthy);
+        let at = HealthState::evaluate(&HealthSignals {
+            pending: 90,
+            ..nominal()
+        });
+        assert_eq!(at.reasons(), &[HealthReason::QueueSaturated]);
+        // An unbounded-looking zero max never divides by zero or saturates.
+        let zero = HealthState::evaluate(&HealthSignals {
+            pending: 10,
+            max_pending: 0,
+            ..nominal()
+        });
+        assert_eq!(zero, HealthState::Healthy);
+    }
+
+    #[test]
+    fn reasons_accumulate_in_stable_order() {
+        let state = HealthState::evaluate(&HealthSignals {
+            store_impaired: true,
+            live_workers: 1,
+            pending: 100,
+            ..nominal()
+        });
+        assert_eq!(
+            state.reasons(),
+            &[
+                HealthReason::StoreWritesFailing,
+                HealthReason::WorkerPoolDegraded,
+                HealthReason::QueueSaturated,
+            ]
+        );
+        assert_eq!(
+            state
+                .reasons()
+                .iter()
+                .map(|reason| reason.as_str())
+                .collect::<Vec<_>>(),
+            vec![
+                "store-writes-failing",
+                "worker-pool-degraded",
+                "queue-saturated"
+            ]
+        );
+    }
+}

@@ -74,6 +74,7 @@
 pub mod cache;
 pub mod family;
 pub mod fingerprint;
+pub mod health;
 pub mod queue;
 pub mod retuner;
 pub mod router;
@@ -86,14 +87,16 @@ pub use crowdtune_market::MarketRegistry;
 pub use crowdtune_obs::{JobTrace, Registry};
 pub use family::{FamilyServe, FamilyStats, FamilyTiming, PlanFamilies};
 pub use fingerprint::{FamilyFingerprint, PlanFingerprint};
+pub use health::{HealthReason, HealthSignals, HealthState};
 pub use queue::{AdmissionError, AdmissionPolicy, JobQueue};
 pub use retuner::{RetunePolicy, RetuneStats, Retuner};
 pub use router::{GroupAssignment, MarketRouter, RouteQuote, RoutedPlan};
 pub use service::{
     JobHandle, JobRequest, MetricsSnapshot, PlanSource, RecoveryStats, ServeError, ServedPlan,
-    ServiceConfig, ServiceStatus, TuningService,
+    ServiceConfig, ServiceStatus, TuningService, WorkerDeath, REPLAY_ATTEMPT_LIMIT,
 };
 pub use store::{
-    FamilyRecord, FsyncPolicy, JournalRecord, LoadReport, PlanRecord, PlanStore, StoreError,
-    StoreOptions, StoreSnapshot, StoreStats,
+    backoff_delay, FamilyRecord, FsyncPolicy, JournalRecord, LoadReport, PlanRecord, PlanStore,
+    RetryPolicy, Sleeper, StoreError, StoreOptions, StoreSnapshot, StoreStats, ThreadSleeper,
+    WriteFault,
 };

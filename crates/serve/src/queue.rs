@@ -174,6 +174,13 @@ impl<T> JobQueue<T> {
         self.inner.lock().expect("job queue poisoned").closed = true;
         self.ready.notify_all();
     }
+
+    /// Whether [`JobQueue::close`] was called. A worker exiting against a
+    /// closed queue is an orderly drain, not a death — the supervisor
+    /// consults this to avoid respawning into a stopping pool.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("job queue poisoned").closed
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 use crate::cache::{CacheStats, PlanCache};
 use crate::family::{FamilyServe, FamilyStats, PlanFamilies};
 use crate::fingerprint::{FamilyFingerprint, PlanFingerprint};
+use crate::health::{HealthSignals, HealthState};
 use crate::queue::{AdmissionError, AdmissionPolicy, JobQueue};
 use crate::router::{MarketRouter, RoutedPlan};
 use crate::store::{JournalRecord, PlanStore, StoreError, StoreOptions, StoreSnapshot, StoreStats};
@@ -25,11 +26,12 @@ use crowdtune_core::tuner::{StrategyChoice, TunedPlan, Tuner};
 use crowdtune_market::MarketRegistry;
 use crowdtune_obs::{Counter, Gauge, Histogram, JobTrace, Registry, SlowestRing};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One tuning job as submitted by a tenant.
 #[derive(Clone)]
@@ -105,6 +107,18 @@ pub enum ServeError {
     Tuning(CoreError),
     /// The worker processing the job disappeared (service shut down).
     WorkerGone,
+    /// The job's solve panicked inside the worker (a hostile objective or
+    /// rate model). The worker caught it and keeps serving — only this job
+    /// failed, and its journal record is retired with a terminal `Failed`
+    /// entry so recovery never replays the poison job.
+    WorkerPanic {
+        /// The panic payload rendered to text (when it carried one).
+        detail: String,
+    },
+    /// The worker thread serving the job died mid-job (e.g. a chaos-injected
+    /// [`WorkerDeath`]). The supervisor respawns the worker; this job fails
+    /// with its journal record retired.
+    WorkerLost,
     /// The durable store could not be opened (I/O failure). Runtime write
     /// failures never surface here — they only degrade durability (see
     /// [`StoreStats::write_errors`]).
@@ -117,10 +131,25 @@ impl fmt::Display for ServeError {
             ServeError::Admission(e) => write!(f, "admission: {e}"),
             ServeError::Tuning(e) => write!(f, "tuning: {e}"),
             ServeError::WorkerGone => f.write_str("service shut down before the job completed"),
+            ServeError::WorkerPanic { detail } => {
+                write!(f, "the job's solve panicked in the worker: {detail}")
+            }
+            ServeError::WorkerLost => {
+                f.write_str("the worker thread serving the job died (respawned)")
+            }
             ServeError::Store(e) => write!(f, "store: {e}"),
         }
     }
 }
+
+/// Panic payload that instructs a worker thread to die instead of surviving
+/// the panic: `std::panic::panic_any(WorkerDeath)` inside a solve kills the
+/// worker (the supervisor respawns it, the job fails with
+/// [`ServeError::WorkerLost`]), where any other panic payload is contained
+/// to the job. Exists for the chaos harness — production code never throws
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerDeath;
 
 impl std::error::Error for ServeError {}
 
@@ -215,6 +244,8 @@ pub struct ServiceMetrics {
     family_hits: Counter,
     cold_solves: Counter,
     solve_errors: Counter,
+    worker_panics: Counter,
+    worker_restarts: Counter,
 }
 
 impl ServiceMetrics {
@@ -253,6 +284,18 @@ impl ServiceMetrics {
             "Jobs refused by admission control (or shed while draining).",
             &[],
             self.rejected.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_worker_panics_total",
+            "Job solves that panicked inside a worker (caught and contained).",
+            &[],
+            self.worker_panics.clone(),
+        );
+        registry.register_counter(
+            "crowdtune_worker_restarts_total",
+            "Dead worker threads respawned by the supervisor.",
+            &[],
+            self.worker_restarts.clone(),
         );
     }
 }
@@ -338,6 +381,8 @@ struct Telemetry {
     cache_entries_gauge: Gauge,
     families_resident_gauge: Gauge,
     store_depth_gauge: Gauge,
+    health_gauge: Gauge,
+    workers_live_gauge: Gauge,
 }
 
 impl Telemetry {
@@ -409,6 +454,16 @@ impl Telemetry {
             "Write-behind records waiting for the store writer.",
             &[],
         );
+        let health_gauge = registry.gauge(
+            "crowdtune_health_state",
+            "Service health: 0 healthy, 1 degraded, 2 draining.",
+            &[],
+        );
+        let workers_live_gauge = registry.gauge(
+            "crowdtune_workers_live",
+            "Tuner worker threads currently alive.",
+            &[],
+        );
         Telemetry {
             enabled: config.telemetry,
             epoch: Instant::now(),
@@ -420,6 +475,8 @@ impl Telemetry {
             cache_entries_gauge,
             families_resident_gauge,
             store_depth_gauge,
+            health_gauge,
+            workers_live_gauge,
             registry,
         }
     }
@@ -486,6 +543,11 @@ pub struct MetricsSnapshot {
     pub cold_solves: u64,
     /// Jobs whose solve failed.
     pub solve_errors: u64,
+    /// Job solves that panicked inside a worker (contained; counted in
+    /// `solve_errors` too).
+    pub worker_panics: u64,
+    /// Dead worker threads respawned by the supervisor.
+    pub worker_restarts: u64,
 }
 
 impl MetricsSnapshot {
@@ -521,8 +583,14 @@ pub struct RecoveryStats {
     /// Journaled in-flight jobs re-enqueued under their original ids.
     pub replayed_jobs: u64,
     /// Replayed jobs refused by admission control (they stay journaled and
-    /// are retried on the next recovery).
+    /// are retried on the next recovery, with their replay-attempt count
+    /// bumped).
     pub dropped_replays: u64,
+    /// Journaled jobs quarantined at recovery: their replay-attempt count
+    /// exceeded the cap (a poison job that keeps killing the process, or a
+    /// replay that keeps being refused), so a terminal `Failed` record was
+    /// journaled instead of re-enqueueing them.
+    pub quarantined: u64,
     /// Streams skipped whole for an unknown/mangled header.
     pub corrupt_streams: u64,
     /// Truncated or bit-flipped record suffixes dropped during replay.
@@ -554,6 +622,78 @@ pub struct ServiceStatus {
     pub draining: bool,
 }
 
+/// Replay-attempt cap: a journaled job that recovery has already replayed
+/// this many times (it keeps killing the process, or keeps being refused
+/// by admission) is quarantined — a terminal `Failed` record retires it and
+/// [`RecoveryStats::quarantined`] counts it — instead of being replayed
+/// forever.
+pub const REPLAY_ATTEMPT_LIMIT: u32 = 3;
+
+/// Everything a worker thread reads, `Arc`-shared with the supervisor so a
+/// dead worker can be respawned with identical wiring.
+struct WorkerContext {
+    queue: Arc<JobQueue<QueuedJob>>,
+    cache: Arc<PlanCache>,
+    families: Arc<PlanFamilies>,
+    metrics: Arc<ServiceMetrics>,
+    store: Option<Arc<PlanStore>>,
+    telemetry: Arc<Telemetry>,
+    /// Worker threads currently alive (maintained by a drop guard inside
+    /// each worker, so chaos-killed threads are counted out immediately).
+    live_workers: Arc<AtomicUsize>,
+}
+
+fn spawn_worker(ctx: &Arc<WorkerContext>, index: usize) -> JoinHandle<()> {
+    // Count the worker in before its thread runs: a health probe racing the
+    // spawn must not see a transient hole in the pool.
+    ctx.live_workers.fetch_add(1, Ordering::AcqRel);
+    let ctx = Arc::clone(ctx);
+    std::thread::Builder::new()
+        .name(format!("tuner-worker-{index}"))
+        .spawn(move || {
+            struct LiveGuard(Arc<AtomicUsize>);
+            impl Drop for LiveGuard {
+                fn drop(&mut self) {
+                    self.0.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            // Decrements on *any* exit — normal drain or an injected death.
+            let _guard = LiveGuard(ctx.live_workers.clone());
+            worker_loop(&ctx);
+        })
+        .expect("spawn tuner worker")
+}
+
+/// How often the supervisor scans the pool for dead workers. Bounds the
+/// respawn latency; shutdown unparks the supervisor so it never waits a
+/// full tick.
+const SUPERVISOR_TICK: Duration = Duration::from_millis(20);
+
+/// The worker supervisor: owns the pool's join handles, respawns any worker
+/// that exited while the service is live, and joins the pool on stop. A
+/// worker that drained a *closed* queue is an orderly exit, not a death —
+/// respawning there would spin the pool forever on a drained service.
+fn supervisor_loop(
+    ctx: Arc<WorkerContext>,
+    mut workers: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    restarts: Counter,
+) {
+    while !stop.load(Ordering::Acquire) {
+        for (index, slot) in workers.iter_mut().enumerate() {
+            if slot.is_finished() && !stop.load(Ordering::Acquire) && !ctx.queue.is_closed() {
+                let dead = std::mem::replace(slot, spawn_worker(&ctx, index));
+                let _ = dead.join();
+                restarts.inc();
+            }
+        }
+        std::thread::park_timeout(SUPERVISOR_TICK);
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
 /// The multi-tenant tuning service.
 pub struct TuningService {
     queue: Arc<JobQueue<QueuedJob>>,
@@ -565,9 +705,14 @@ pub struct TuningService {
     telemetry: Arc<Telemetry>,
     store: Option<Arc<PlanStore>>,
     recovery: Option<RecoveryStats>,
-    workers: Vec<JoinHandle<()>>,
+    /// The supervisor thread owning the worker pool's join handles.
+    supervisor: Option<JoinHandle<()>>,
+    supervisor_stop: Arc<AtomicBool>,
+    live_workers: Arc<AtomicUsize>,
+    worker_target: usize,
+    admission: AdmissionPolicy,
     next_job_id: AtomicU64,
-    draining: std::sync::atomic::AtomicBool,
+    draining: AtomicBool,
 }
 
 impl TuningService {
@@ -664,20 +809,22 @@ impl TuningService {
                 // Rebuild the journaled in-flight jobs; enqueueing happens
                 // after the workers are up. Invalid rate specs were already
                 // filtered by the store's load path, but `build` re-validates
-                // so a corrupt-but-checksummed spec only loses that job.
+                // so a corrupt-but-checksummed spec only loses that job. The
+                // original `PendingJob` rides along: the replay path
+                // re-journals it with a bumped attempt count.
                 for job in snapshot.pending_jobs {
                     match job.rate.build() {
-                        Ok(rate_model) => pending_jobs.push((
-                            job.job_id,
-                            JobRequest {
-                                tenant: job.tenant,
+                        Ok(rate_model) => {
+                            let request = JobRequest {
+                                tenant: job.tenant.clone(),
                                 market: job.market,
-                                task_set: job.task_set,
+                                task_set: job.task_set.clone(),
                                 budget: Budget::units(job.budget),
                                 rate_model,
                                 strategy: job.strategy,
-                            },
-                        )),
+                            };
+                            pending_jobs.push((job, request));
+                        }
                         Err(_) => stats.invalid_records += 1,
                     }
                 }
@@ -708,29 +855,29 @@ impl TuningService {
             .map(str::to_owned)
             .collect::<Vec<_>>();
         let telemetry = Arc::new(Telemetry::new(&config, registry, market_names));
-        let workers = (0..config.workers.max(1))
-            .map(|index| {
-                let queue = queue.clone();
-                let cache = cache.clone();
-                let families = families.clone();
-                let metrics = metrics.clone();
-                let store = store.clone();
-                let telemetry = telemetry.clone();
-                std::thread::Builder::new()
-                    .name(format!("tuner-worker-{index}"))
-                    .spawn(move || {
-                        worker_loop(
-                            &queue,
-                            &cache,
-                            &families,
-                            &metrics,
-                            store.as_deref(),
-                            &telemetry,
-                        )
-                    })
-                    .expect("spawn tuner worker")
-            })
+        let worker_target = config.workers.max(1);
+        let live_workers = Arc::new(AtomicUsize::new(0));
+        let ctx = Arc::new(WorkerContext {
+            queue: queue.clone(),
+            cache: cache.clone(),
+            families: families.clone(),
+            metrics: metrics.clone(),
+            store: store.clone(),
+            telemetry: telemetry.clone(),
+            live_workers: live_workers.clone(),
+        });
+        let workers: Vec<JoinHandle<()>> = (0..worker_target)
+            .map(|index| spawn_worker(&ctx, index))
             .collect();
+        let supervisor_stop = Arc::new(AtomicBool::new(false));
+        let supervisor = {
+            let stop = supervisor_stop.clone();
+            let restarts = metrics.worker_restarts.clone();
+            std::thread::Builder::new()
+                .name("tuner-supervisor".to_owned())
+                .spawn(move || supervisor_loop(ctx, workers, stop, restarts))
+                .expect("spawn worker supervisor")
+        };
         let mut service = TuningService {
             queue,
             cache,
@@ -741,20 +888,47 @@ impl TuningService {
             telemetry,
             store,
             recovery,
-            workers,
+            supervisor: Some(supervisor),
+            supervisor_stop,
+            live_workers,
+            worker_target,
+            admission: config.admission,
             next_job_id: AtomicU64::new(next_job_id),
-            draining: std::sync::atomic::AtomicBool::new(false),
+            draining: AtomicBool::new(false),
         };
-        // Replay in-flight work under the original ids: the journal already
-        // holds their `Submitted` records, so the replay is not re-journaled
-        // — completion retires the original record. The handles are dropped
-        // (whoever submitted the jobs is gone); the answers warm the cache.
+        // Replay in-flight work under the original ids. The handles are
+        // dropped (whoever submitted the jobs is gone); the answers warm the
+        // cache. Each replay first re-journals its `Submitted` record with a
+        // bumped attempt count — durably, *before* the enqueue — so a job
+        // that keeps killing the process runs out of attempts and is
+        // quarantined with a terminal `Failed` record instead of replaying
+        // forever.
         let mut replayed = 0;
         let mut dropped = 0;
-        for (id, request) in pending_jobs {
-            // `journaled: true` — the on-disk `Submitted` record is the one
-            // being replayed; completion must retire it.
-            match service.enqueue_job(id, request, true, 0) {
+        let mut quarantined = 0;
+        for (job, request) in pending_jobs {
+            let store = service
+                .store
+                .as_ref()
+                .expect("pending jobs only exist with a store");
+            if job.attempts >= REPLAY_ATTEMPT_LIMIT {
+                store.record_journal(&JournalRecord::Failed { job_id: job.job_id });
+                quarantined += 1;
+                continue;
+            }
+            store.record_journal(&JournalRecord::Submitted {
+                job_id: job.job_id,
+                tenant: job.tenant,
+                market: job.market,
+                task_set: job.task_set,
+                budget: job.budget,
+                rate: job.rate,
+                strategy: job.strategy,
+                attempts: job.attempts + 1,
+            });
+            // `journaled: true` — completion (or terminal failure) must
+            // retire the on-disk record.
+            match service.enqueue_job(job.job_id, request, true, 0) {
                 Ok(_handle) => replayed += 1,
                 Err(_) => dropped += 1,
             }
@@ -762,6 +936,7 @@ impl TuningService {
         if let Some(stats) = service.recovery.as_mut() {
             stats.replayed_jobs = replayed;
             stats.dropped_replays = dropped;
+            stats.quarantined = quarantined;
         }
         service
     }
@@ -825,6 +1000,7 @@ impl TuningService {
                         budget: request.budget.as_units(),
                         rate,
                         strategy: request.strategy,
+                        attempts: 0,
                     });
                     true
                 }
@@ -943,6 +1119,8 @@ impl TuningService {
         let family_hits = self.metrics.family_hits.get();
         let cold_solves = self.metrics.cold_solves.get();
         let solve_errors = self.metrics.solve_errors.get();
+        let worker_panics = self.metrics.worker_panics.get();
+        let worker_restarts = self.metrics.worker_restarts.get();
         let rejected = self.metrics.rejected.get();
         let submitted = self.metrics.submitted.get();
         MetricsSnapshot {
@@ -952,6 +1130,8 @@ impl TuningService {
             family_hits,
             cold_solves,
             solve_errors,
+            worker_panics,
+            worker_restarts,
         }
     }
 
@@ -994,6 +1174,9 @@ impl TuningService {
             tel.store_depth_gauge
                 .set(store.enqueued.saturating_sub(store.retired) as i64);
         }
+        tel.health_gauge.set(i64::from(self.health().code()));
+        tel.workers_live_gauge
+            .set(self.live_workers.load(Ordering::Acquire) as i64);
     }
 
     /// The slowest completed traces, slowest first — the payload of the
@@ -1030,6 +1213,26 @@ impl TuningService {
             pending: self.pending(),
             draining: self.is_draining(),
         }
+    }
+
+    /// Evaluates the service-wide health state from the live fault signals:
+    /// store write-path impairment, worker-pool attrition, and queue
+    /// saturation (see [`HealthState::evaluate`] for the exact rules). The
+    /// state is recomputed on every call — there is no latching, so a store
+    /// whose writes recover flips the service back to `Healthy`
+    /// automatically.
+    pub fn health(&self) -> HealthState {
+        HealthState::evaluate(&HealthSignals {
+            draining: self.is_draining(),
+            store_impaired: self
+                .store
+                .as_ref()
+                .is_some_and(|store| store.write_path_impaired()),
+            live_workers: self.live_workers.load(Ordering::Acquire),
+            target_workers: self.worker_target,
+            pending: self.pending(),
+            max_pending: self.admission.max_pending,
+        })
     }
 
     /// Starts a graceful drain: subsequent submissions are refused with
@@ -1069,14 +1272,23 @@ impl TuningService {
         store.flush();
     }
 
+    /// Stops supervision and the pool: the supervisor must see the stop
+    /// flag *before* the queue closes (otherwise it would respawn workers
+    /// into a closing pool), then joining it joins every worker it owns.
+    fn stop_workers(&mut self) {
+        self.supervisor_stop.store(true, Ordering::Release);
+        self.queue.close();
+        if let Some(supervisor) = self.supervisor.take() {
+            supervisor.thread().unpark();
+            let _ = supervisor.join();
+        }
+    }
+
     /// Drains the queue and stops the workers; with a store attached, the
     /// working set is flushed first so the next [`TuningService::recover`]
     /// starts fully warm.
     pub fn shutdown(mut self) {
-        self.queue.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.stop_workers();
         self.flush_store();
         // Hand the store to its own Drop (queue drain) now; the service's
         // Drop must not flush the working set a second time.
@@ -1086,24 +1298,37 @@ impl TuningService {
 
 impl Drop for TuningService {
     fn drop(&mut self) {
-        self.queue.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.stop_workers();
         // Dropping the service is the planned-exit path (a crash never runs
         // this); make it durable. The store's own Drop then drains its queue.
         self.flush_store();
     }
 }
 
-fn worker_loop(
-    queue: &JobQueue<QueuedJob>,
-    cache: &PlanCache,
-    families: &PlanFamilies,
-    metrics: &ServiceMetrics,
-    store: Option<&PlanStore>,
-    telemetry: &Telemetry,
-) {
+/// Renders a panic payload for [`ServeError::WorkerPanic`]: the `&str` /
+/// `String` payloads `panic!` produces are quoted verbatim, anything else is
+/// opaque.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn worker_loop(ctx: &WorkerContext) {
+    let WorkerContext {
+        queue,
+        cache,
+        families,
+        metrics,
+        store,
+        telemetry,
+        ..
+    } = ctx;
+    let store = store.as_deref();
     while let Some(job) = queue.pop() {
         let QueuedJob {
             id,
@@ -1113,7 +1338,33 @@ fn worker_loop(
             mut trace,
         } = job;
         trace.dequeued_ns = telemetry.now_ns();
-        let outcome = serve_one(cache, families, &request, telemetry, &mut trace);
+        // Panic isolation: a panicking objective or rate model fails *this
+        // job* (typed `WorkerPanic`), not the thread. The solve takes no
+        // lock before it can panic (family-table locks are acquired after
+        // the model is validated inside `serve_timed`), so unwinding here
+        // cannot poison shared state — hence the `AssertUnwindSafe`.
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            serve_one(cache, families, &request, telemetry, &mut trace)
+        }));
+        let (outcome, fatal) = match solved {
+            Ok(outcome) => (outcome, false),
+            Err(payload) => {
+                metrics.worker_panics.inc();
+                if payload.downcast_ref::<WorkerDeath>().is_some() {
+                    // The one payload that *is* fatal: the injected
+                    // worker-death marker. The observer gets a typed error,
+                    // the supervisor respawns the thread.
+                    (Err(ServeError::WorkerLost), true)
+                } else {
+                    (
+                        Err(ServeError::WorkerPanic {
+                            detail: panic_detail(payload.as_ref()),
+                        }),
+                        false,
+                    )
+                }
+            }
+        };
         match &outcome {
             Ok((_, PlanSource::CacheHit, _)) => metrics.cache_hits.inc(),
             Ok((_, PlanSource::FamilyHit, _)) => metrics.family_hits.inc(),
@@ -1122,11 +1373,13 @@ fn worker_loop(
         };
         if let Some(store) = store {
             // Write-behind persistence: newly solved plans (cache hits are
-            // already on disk) and, for journaled jobs, the completion
-            // record. Completion is journaled for errors too — a failing
-            // job must not be replayed forever. Unjournaled jobs (ad-hoc
-            // rate models) skip it: an orphan `Completed` per job would
-            // grow the uncompacted journal for nothing.
+            // already on disk) and, for journaled jobs, the terminal record.
+            // Errors — panics included — retire the journal entry too: a
+            // panicking job journals `Failed`, so recovery never replays a
+            // poison job, while ordinary errors keep journaling `Completed`
+            // as before. Unjournaled jobs (ad-hoc rate models) skip it: an
+            // orphan terminal record per job would grow the uncompacted
+            // journal for nothing.
             if let Ok((plan, source, fingerprint)) = &outcome {
                 if *source != PlanSource::CacheHit {
                     // With telemetry on, the record carries the per-label
@@ -1139,7 +1392,13 @@ fn worker_loop(
                 }
             }
             if journaled {
-                store.record_journal(&JournalRecord::Completed { job_id: id });
+                let record = match &outcome {
+                    Err(ServeError::WorkerPanic { .. } | ServeError::WorkerLost) => {
+                        JournalRecord::Failed { job_id: id }
+                    }
+                    _ => JournalRecord::Completed { job_id: id },
+                };
+                store.record_journal(&record);
             }
         }
         let served = outcome.is_ok();
@@ -1154,6 +1413,9 @@ fn worker_loop(
         if telemetry.enabled && served {
             trace.completed_ns = telemetry.now_ns();
             telemetry.record_job(trace);
+        }
+        if fatal {
+            return;
         }
     }
 }
@@ -1657,6 +1919,116 @@ mod tests {
             "expected a prolific-labelled stage sample:\n{exposition}"
         );
         assert!(exposition.contains("crowdtune_router_split_total 0"));
+        service.shutdown();
+    }
+
+    /// Hostile model whose panic must be contained to its own job.
+    #[derive(Debug)]
+    struct PanickingRate;
+
+    impl RateModel for PanickingRate {
+        fn on_hold_rate(&self, _payment_units: f64) -> f64 {
+            panic!("hostile rate model")
+        }
+        fn describe(&self) -> String {
+            "panicking rate".to_owned()
+        }
+        fn curve_fingerprint(&self) -> u64 {
+            0xbad0_bad0
+        }
+    }
+
+    /// Chaos model that kills the worker thread outright (the one payload
+    /// `catch_unwind` treats as fatal).
+    #[derive(Debug)]
+    struct MurderousRate;
+
+    impl RateModel for MurderousRate {
+        fn on_hold_rate(&self, _payment_units: f64) -> f64 {
+            std::panic::panic_any(WorkerDeath)
+        }
+        fn describe(&self) -> String {
+            "worker-killing rate".to_owned()
+        }
+        fn curve_fingerprint(&self) -> u64 {
+            0xdead_0001
+        }
+    }
+
+    /// A panicking rate model fails *its* job with the typed `WorkerPanic`
+    /// (payload text preserved) while the worker thread survives — no
+    /// restart, and the very next job on the same single-worker pool serves
+    /// normally.
+    #[test]
+    fn panicking_model_fails_the_job_not_the_worker() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let hostile = JobRequest {
+            rate_model: Arc::new(PanickingRate),
+            ..request("acme", 5, 60)
+        };
+        let err = service.tune(hostile).unwrap_err();
+        match &err {
+            ServeError::WorkerPanic { detail } => {
+                assert!(detail.contains("hostile rate model"), "{detail}");
+            }
+            other => panic!("expected WorkerPanic, got {other}"),
+        }
+        // The same worker keeps serving.
+        assert!(service.tune(request("acme", 5, 60)).is_ok());
+        let metrics = service.metrics();
+        assert_eq!(metrics.worker_panics, 1);
+        assert_eq!(metrics.worker_restarts, 0, "the thread never died");
+        assert_eq!(metrics.solve_errors, 1, "panics count as solve errors");
+        assert_eq!(service.health(), HealthState::Healthy);
+        service.shutdown();
+    }
+
+    /// An injected worker death resolves the observer with the typed
+    /// `WorkerLost`, the supervisor respawns the thread (restart counter,
+    /// live-worker gauge), and health returns to `Healthy` once the pool is
+    /// whole again.
+    #[test]
+    fn dead_workers_are_respawned_and_observers_get_worker_lost() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let lethal = JobRequest {
+            rate_model: Arc::new(MurderousRate),
+            ..request("acme", 5, 60)
+        };
+        let err = service.tune(lethal).unwrap_err();
+        assert!(matches!(err, ServeError::WorkerLost), "{err}");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while service.metrics().worker_restarts == 0 {
+            assert!(Instant::now() < deadline, "supervisor never respawned");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        while service.health() != HealthState::Healthy {
+            assert!(Instant::now() < deadline, "pool never became whole again");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(service.tune(request("acme", 5, 60)).is_ok());
+        let metrics = service.metrics();
+        assert_eq!(metrics.worker_panics, 1);
+        assert!(metrics.worker_restarts >= 1);
+        service.shutdown();
+    }
+
+    /// Draining outranks every other health signal and maps to the 503 side
+    /// of `/healthz`.
+    #[test]
+    fn health_reports_drain() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        assert_eq!(service.health(), HealthState::Healthy);
+        service.begin_drain();
+        assert_eq!(service.health(), HealthState::Draining);
         service.shutdown();
     }
 }

@@ -280,6 +280,7 @@ fn journal_replays_only_unfinished_jobs() {
             budget: 30,
             rate: RateSpec::Linear(LinearRate::unit_slope()),
             strategy: StrategyChoice::Auto,
+            attempts: 0,
         });
         store.record_journal(&JournalRecord::Completed { job_id: 3 });
         store.record_journal(&JournalRecord::Submitted {
@@ -290,6 +291,7 @@ fn journal_replays_only_unfinished_jobs() {
             budget: 60,
             rate: RateSpec::Linear(LinearRate::unit_slope()),
             strategy: StrategyChoice::Auto,
+            attempts: 0,
         });
         store.flush();
     }

@@ -38,7 +38,11 @@ Suites (see SUITES below):
   tolerance is wider because the ~4µs medians of two separate service
   instances wobble more than that in quick mode, but an instrumentation
   regression (extra allocation, a lock on the hot path) costs far more than
-  20% at that scale; and per-endpoint ``p99_vs_p50_ratio`` rows (tail
+  20% at that scale; ``fault_layer_off_vs_on_p50_ratio`` (~1.0, same 1.20x
+  floor) is the analogous guard for the chaos fault-injection layer — the
+  warm submit p50 of a durable service with the write-fault hook installed
+  but disarmed vs one without it, proving fault-injection support stays off
+  the fault-free hot path; and per-endpoint ``p99_vs_p50_ratio`` rows (tail
   health of each GET surface plus the submit path) guarded with a
   **ceiling** — the fresh tail/median ratio may grow at most 6x over the
   baseline, loose because single-client quick-mode p99 is one sample, but a
@@ -84,6 +88,7 @@ SUITES = {
         "scalars": [
             ("inprocess_vs_http_p50_ratio", 3.00),
             ("telemetry_off_vs_on_p50_ratio", 1.20),
+            ("fault_layer_off_vs_on_p50_ratio", 1.20),
         ],
     },
     "market": {
