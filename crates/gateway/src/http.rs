@@ -343,6 +343,89 @@ fn header_value<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h s
         .map(|(_, v)| v.as_str())
 }
 
+/// Outcome of [`parse_buffered`]: either one complete request (and how many
+/// buffer bytes it consumed), or a signal that the buffer ends before the
+/// request does and more bytes must arrive first.
+#[derive(Debug)]
+pub enum ParsedRequest {
+    /// A complete request parsed from the front of the buffer. `consumed`
+    /// bytes belong to it; the caller drains them and may parse again
+    /// (pipelining).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer the request occupied.
+        consumed: usize,
+    },
+    /// The buffer holds only a request prefix. Not an error: read more
+    /// bytes and retry. (An actual peer close with a non-empty buffer is
+    /// the caller's torn-request case — the parser cannot see the socket.)
+    Incomplete,
+}
+
+/// A `BufRead` over the front of a byte slice that reports `WouldBlock`
+/// instead of EOF when it runs out, so the shared request parser
+/// distinguishes "buffer exhausted, more may arrive" (→ [`ParsedRequest::Incomplete`])
+/// from a real connection close. Tracks how many bytes parsing consumed.
+struct PartialSlice<'b> {
+    buf: &'b [u8],
+    pos: usize,
+}
+
+impl std::io::Read for PartialSlice<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.buf.len() {
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        let n = out.len().min(self.buf.len() - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl BufRead for PartialSlice<'_> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.pos >= self.buf.len() {
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        Ok(&self.buf[self.pos..])
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+    }
+}
+
+/// Non-blocking entry point to the same parser [`read_request`] uses:
+/// attempts to parse one complete request from the front of `buf`.
+///
+/// This is how an event-driven server uses the blocking-oriented
+/// incremental parser: accumulate socket bytes into a buffer, call this on
+/// every readable event, and on [`ParsedRequest::Incomplete`] simply wait
+/// for more bytes (the partial parse is discarded — re-parsing from the
+/// buffer start is O(head) and request heads are bounded by [`Limits`], so
+/// the worst-case total cost of a trickled request stays bounded too). All
+/// resource bounds apply to the *buffered prefix* exactly as they do on the
+/// blocking path, so an over-limit head or body declaration is refused
+/// before the request ever completes.
+pub fn parse_buffered(buf: &[u8], limits: &Limits) -> Result<ParsedRequest, RequestError> {
+    let mut slice = PartialSlice { buf, pos: 0 };
+    match read_request(&mut slice, limits) {
+        Ok(Some(request)) => Ok(ParsedRequest::Complete {
+            request,
+            consumed: slice.pos,
+        }),
+        // `read_request` only reports a clean pre-request EOF through a
+        // reader that can signal EOF; `PartialSlice` never does.
+        Ok(None) => Ok(ParsedRequest::Incomplete),
+        Err(RequestError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            Ok(ParsedRequest::Incomplete)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// One response about to be written.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
@@ -353,6 +436,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// When set, a `Retry-After: <seconds>` header is emitted (quota and
+    /// shed 429/503 responses tell clients when to come back).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -362,6 +448,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -372,7 +459,14 @@ impl Response {
             status,
             content_type,
             body: body.into(),
+            retry_after: None,
         }
+    }
+
+    /// Attach a `Retry-After` hint (whole seconds, rounded up by callers).
+    pub fn with_retry_after(mut self, seconds: u64) -> Self {
+        self.retry_after = Some(seconds);
+        self
     }
 }
 
@@ -381,7 +475,10 @@ pub fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
         202 => "Accepted",
+        204 => "No Content",
         400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Content Too Large",
@@ -395,14 +492,10 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
-/// Serializes and writes one response in a single `write_all` (head and body
-/// together — one syscall per response on the socket path). Returns the
-/// bytes put on the wire, for egress accounting.
-pub fn write_response(
-    writer: &mut impl Write,
-    response: &Response,
-    keep_alive: bool,
-) -> std::io::Result<usize> {
+/// Serializes one response to the bytes that go on the wire (head and body
+/// together, so a socket path can put it out in one write). The reactor
+/// queues these bytes and drains them as the socket accepts them.
+pub fn render_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut message = String::with_capacity(response.body.len() + 128);
     message.push_str(&format!(
         "HTTP/1.1 {} {}\r\n",
@@ -411,12 +504,27 @@ pub fn write_response(
     ));
     message.push_str(&format!("Content-Type: {}\r\n", response.content_type));
     message.push_str(&format!("Content-Length: {}\r\n", response.body.len()));
+    if let Some(seconds) = response.retry_after {
+        message.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
     if !keep_alive {
         message.push_str("Connection: close\r\n");
     }
     message.push_str("\r\n");
     message.push_str(&response.body);
-    writer.write_all(message.as_bytes())?;
+    message.into_bytes()
+}
+
+/// Serializes and writes one response in a single `write_all` (one syscall
+/// per response on a blocking socket — used by the accept-time shed path and
+/// tests). Returns the bytes put on the wire, for egress accounting.
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<usize> {
+    let message = render_response(response, keep_alive);
+    writer.write_all(&message)?;
     writer.flush()?;
     Ok(message.len())
 }
@@ -593,5 +701,94 @@ mod tests {
         let mut out = Vec::new();
         write_response(&mut out, &Response::json(202, "{}"), true).unwrap();
         assert!(!String::from_utf8(out).unwrap().contains("Connection:"));
+    }
+
+    #[test]
+    fn retry_after_header_renders_when_requested() {
+        let rendered = render_response(&Response::json(429, "{}").with_retry_after(3), true);
+        let text = String::from_utf8(rendered).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 3\r\n"));
+        let plain = render_response(&Response::json(429, "{}"), true);
+        assert!(!String::from_utf8(plain).unwrap().contains("Retry-After"));
+    }
+
+    /// Every proper prefix of a request is `Incomplete`, never an error,
+    /// and the full buffer parses with an exact consumed count — the
+    /// invariant the reactor leans on when bytes trickle in.
+    #[test]
+    fn buffered_parse_is_incomplete_at_every_split_point() {
+        let text = "POST /v1/jobs?wait=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let limits = Limits::default();
+        for cut in 0..text.len() {
+            match parse_buffered(&text.as_bytes()[..cut], &limits) {
+                Ok(ParsedRequest::Incomplete) => {}
+                other => panic!("prefix of {cut} bytes: expected Incomplete, got {other:?}"),
+            }
+        }
+        match parse_buffered(text.as_bytes(), &limits).unwrap() {
+            ParsedRequest::Complete { request, consumed } => {
+                assert_eq!(consumed, text.len());
+                assert_eq!(request.path, "/v1/jobs");
+                assert_eq!(request.body, b"abcd");
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    /// A buffer holding several pipelined requests yields them one at a
+    /// time, with `consumed` advancing the drain point exactly.
+    #[test]
+    fn buffered_parse_walks_pipelined_requests_by_consumed() {
+        let text = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                    GET /c HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let limits = Limits::default();
+        let mut at = 0;
+        let mut paths = Vec::new();
+        while at < text.len() {
+            match parse_buffered(&text.as_bytes()[at..], &limits).unwrap() {
+                ParsedRequest::Complete { request, consumed } => {
+                    paths.push(request.path);
+                    at += consumed;
+                }
+                ParsedRequest::Incomplete => panic!("unexpected Incomplete at {at}"),
+            }
+        }
+        assert_eq!(at, text.len());
+        assert_eq!(paths, ["/a", "/b", "/c"]);
+    }
+
+    /// Resource bounds bite on the buffered path even before the request
+    /// completes: a too-long head prefix or an over-limit Content-Length
+    /// declaration is a hard error, not an Incomplete that grows forever.
+    #[test]
+    fn buffered_parse_enforces_limits_on_partial_input() {
+        let limits = Limits {
+            max_request_line: 64,
+            max_header_line: 64,
+            max_headers: 4,
+            max_body: 16,
+        };
+        let long_line = format!("GET /{} HTTP", "x".repeat(200));
+        assert_eq!(
+            parse_buffered(long_line.as_bytes(), &limits)
+                .unwrap_err()
+                .status(),
+            Some(431)
+        );
+        let big_body = "POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+        assert_eq!(
+            parse_buffered(big_body.as_bytes(), &limits)
+                .unwrap_err()
+                .status(),
+            Some(413)
+        );
+        let garbage = "NOT AN HTTP REQUEST LINE\r\n\r\n";
+        assert_eq!(
+            parse_buffered(garbage.as_bytes(), &limits)
+                .unwrap_err()
+                .status(),
+            Some(400)
+        );
     }
 }

@@ -2,35 +2,58 @@
 //!
 //! A **std-only HTTP/1.1 + JSON front-end** for the transport-agnostic
 //! [`TuningService`](crowdtune_serve::TuningService): the first network
-//! boundary of the crowdtune stack. No async runtime, no HTTP crate — a
-//! hand-rolled bounded parser ([`http`]) over `TcpListener`, a
-//! thread-per-connection worker pool with keep-alive and graceful drain
-//! ([`server`]), and self-contained JSON wire forms ([`wire`]) built on the
-//! same `RateSpec`/`TaskGroupSpec` catalogue the durable store persists —
-//! anything a client can submit is journal-able, and every plan served over
-//! the wire is **bit-identical** to an in-process `submit` of the same job
-//! (the `gateway_loadgen` example asserts this over real sockets).
+//! boundary of the crowdtune stack. No async runtime, no HTTP crate — an
+//! **event-driven reactor** over non-blocking sockets ([`server`], readiness
+//! from an epoll-backed poller) drives every connection as a
+//! small state machine, a hand-rolled bounded parser ([`http`]) handles
+//! incremental reads, and self-contained JSON wire forms ([`wire`]) are
+//! built on the same `RateSpec`/`TaskGroupSpec` catalogue the durable store
+//! persists — anything a client can submit is journal-able, and every plan
+//! served over the wire is **bit-identical** to an in-process `submit` of
+//! the same job (the `gateway_loadgen` example asserts this over real
+//! sockets).
 //!
 //! ```text
-//!  clients ──HTTP/1.1──▶ acceptor ──bounded hand-off──▶ connection pool
-//!                           │ (503 when saturated)           │ keep-alive,
-//!                           ▼                                ▼ pipelining
-//!                     graceful drain                router ─▶ TuningService
-//!                                                     │   submit / JobHandle
+//!  clients ──HTTP/1.1──▶ reactor threads (epoll readiness loop)
+//!                           │ accept / shed 503 at the connection cap
+//!                           ▼
+//!                   connection state machines          TuningService
+//!                   idle ─ reading ─ dispatched ──────▶ tuner pool
+//!                     ▲                │ completion        │
+//!                     └── writing ◀────┘ notify (waker)  solver work
 //!                                                     ▼
-//!                                    POST /v1/jobs   (202 + id, or ?wait=1)
-//!                                    GET  /v1/jobs/{id}      status / plan
-//!                                    GET  /v1/metrics        counters (JSON)
+//!                                    POST   /v1/jobs (202 + id, or ?wait=1)
+//!                                    GET    /v1/jobs/{id}    status / plan
+//!                                    DELETE /v1/jobs/{id}    release result
+//!                                    GET    /v1/metrics      counters (JSON)
 //!                                      …?format=prometheus   text exposition
-//!                                    GET  /v1/debug/slowest  slowest traces
-//!                                    GET  /healthz           liveness + drain
+//!                                    GET    /v1/debug/slowest slowest traces
+//!                                    GET    /healthz         liveness + drain
 //! ```
 //!
-//! Admission control surfaces as HTTP semantics: per-tenant rejections are
-//! `429`, global queue-full and draining are `503`, malformed requests are
-//! `400` with structured error bodies, and every response carrying a plan
-//! reports its [`PlanSource`](crowdtune_serve::PlanSource) (`cache` /
-//! `family` / `cold`) so clients can observe the reuse layers at work.
+//! A handful of reactor threads (one by default) holds tens of thousands of
+//! keep-alive connections: parked clients cost a registered fd and a timer
+//! entry, never a thread. Synchronous submits (`?wait=1`) park the
+//! *connection*, not a thread — the tuner pool signals completion through a
+//! per-reactor waker and the response is written on the next readiness turn.
+//! Request deadlines, idle keep-alive timeouts, write-stall bounds, and
+//! graceful drain all ride one timer heap.
+//!
+//! The v1 API is authenticated and metered: API keys
+//! (`Authorization: Bearer` or `X-Api-Key`) resolve the tenant a submit
+//! runs under ([`AuthConfig`]; the legacy self-declared body tenant remains
+//! available behind a flag), per-tenant token buckets answer `429` with
+//! `Retry-After` when a tenant outruns its quota ([`QuotaConfig`]), and
+//! completed results live until a TTL, a FIFO cap, or an idempotent
+//! `DELETE /v1/jobs/{id}` releases them.
+//!
+//! Admission control surfaces as HTTP semantics: quota and per-tenant depth
+//! rejections are `429`, global queue-full and draining are `503`,
+//! unauthenticated submits are `401`, key/tenant contradictions are `403`,
+//! malformed requests are `400` with structured error bodies, and every
+//! response carrying a plan reports its
+//! [`PlanSource`](crowdtune_serve::PlanSource) (`cache` / `family` /
+//! `cold`) so clients can observe the reuse layers at work.
 //!
 //! The gateway is itself instrumented into the service's metric registry
 //! (connections accepted/shed/timed-out, parse rejects by class, request
@@ -45,11 +68,12 @@
 
 pub mod http;
 mod metrics;
+mod reactor;
 pub mod server;
 pub mod wire;
 
 pub use http::{Limits, Request, RequestError, Response};
-pub use server::{Gateway, GatewayConfig};
+pub use server::{AuthConfig, Gateway, GatewayConfig, QuotaConfig};
 pub use wire::{
     CacheBody, ErrorBody, FamiliesBody, HealthBody, JobBody, JobRequestWire, MetricsBody,
     SlowestBody, StoreBody, SubmittedBody, TraceBody,

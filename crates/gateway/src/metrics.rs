@@ -10,13 +10,14 @@
 //! registering.
 
 use crate::http::RequestError;
-use crowdtune_obs::{Counter, Histogram, Registry};
+use crowdtune_obs::{Counter, Gauge, Histogram, Registry};
 
 /// The `endpoint` label values, one per route plus a catch-all for requests
 /// that never matched a route (404s, unparseable job ids).
-pub(crate) const ENDPOINT_LABELS: [&str; 6] = [
+pub(crate) const ENDPOINT_LABELS: [&str; 7] = [
     "post_jobs",
     "get_job",
+    "delete_job",
     "get_metrics",
     "get_healthz",
     "get_debug_slowest",
@@ -36,6 +37,9 @@ const REJECT_LABELS: [&str; 4] = [
     "unsupported",
 ];
 
+/// The `reason` label values for auth rejects.
+const AUTH_REJECT_LABELS: [&str; 2] = ["unauthenticated", "tenant_mismatch"];
+
 /// Which route a request resolved to, for the `endpoint` label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Endpoint {
@@ -43,37 +47,61 @@ pub(crate) enum Endpoint {
     PostJobs = 0,
     /// `GET /v1/jobs/{id}`.
     GetJob = 1,
+    /// `DELETE /v1/jobs/{id}`.
+    DeleteJob = 2,
     /// `GET /v1/metrics`.
-    GetMetrics = 2,
+    GetMetrics = 3,
     /// `GET /healthz`.
-    GetHealthz = 3,
+    GetHealthz = 4,
     /// `GET /v1/debug/slowest`.
-    GetDebugSlowest = 4,
+    GetDebugSlowest = 5,
     /// No route matched (404) or the method was wrong (405).
-    Other = 5,
+    Other = 6,
+}
+
+/// Why an authenticated-principal check refused a submit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AuthReject {
+    /// No usable credential (missing or unknown key) → 401.
+    Unauthenticated = 0,
+    /// Valid key, but the body named a different tenant → 403.
+    TenantMismatch = 1,
 }
 
 /// Every gateway-owned metric handle. Cheap to clone counters are held
 /// directly; the per-endpoint families are pre-created arrays so the
 /// request path never takes the registry lock.
 pub(crate) struct GatewayMetrics {
-    /// Connections the acceptor handed to the pool.
+    /// Connections the reactor took on (shed ones not included).
     pub connections_accepted: Counter,
-    /// Connections shed with `503` because the hand-off queue was full.
+    /// Connections shed with `503` because the connection cap was reached.
     pub connections_shed: Counter,
     /// Connections closed by the keep-alive timeout or request deadline.
     pub connections_timed_out: Counter,
+    /// Connections currently registered with a reactor.
+    pub connections_open: Gauge,
     /// Bytes read off sockets (request heads and bodies).
     pub bytes_in: Counter,
     /// Bytes written to sockets (response heads and bodies).
     pub bytes_out: Counter,
+    /// Submits refused by the authenticated-principal check, by reason.
+    auth_rejects: [Counter; 2],
+    /// Submits refused by the per-tenant token-bucket quota (429 +
+    /// `Retry-After`), distinct from queue-depth admission 429s.
+    pub quota_rejects: Counter,
+    /// Completed job outcomes currently retained for polling.
+    pub jobs_retained: Gauge,
+    /// Retained outcomes dropped by TTL expiry.
+    pub jobs_expired: Counter,
+    /// Jobs removed by `DELETE /v1/jobs/{id}`.
+    pub jobs_deleted: Counter,
     /// Parse rejects by [`RequestError`] class, [`REJECT_LABELS`] order.
     parse_rejects: [Counter; 4],
     /// Requests by endpoint × status class.
-    requests: [[Counter; 3]; 6],
+    requests: [[Counter; 3]; 7],
     /// Request service time (route dispatch through handler return) by
     /// endpoint, recorded in nanoseconds, exposed in seconds.
-    latency: [Histogram; 6],
+    latency: [Histogram; 7],
 }
 
 impl GatewayMetrics {
@@ -87,14 +115,46 @@ impl GatewayMetrics {
             )
         };
         GatewayMetrics {
-            connections_accepted: conn("accepted", "Connections handed to the worker pool."),
+            connections_accepted: conn("accepted", "Connections taken on by a reactor."),
             connections_shed: conn(
                 "shed",
-                "Connections answered 503 at the door (hand-off queue full).",
+                "Connections answered 503 at the door (connection cap reached).",
             ),
             connections_timed_out: conn(
                 "timed_out",
                 "Connections closed by the keep-alive timeout or request deadline.",
+            ),
+            connections_open: registry.gauge(
+                "crowdtune_gateway_connections_open",
+                "Connections currently registered with a reactor.",
+                &[],
+            ),
+            auth_rejects: std::array::from_fn(|i| {
+                registry.counter(
+                    "crowdtune_gateway_auth_rejects_total",
+                    "Submits refused by the authenticated-principal check, by reason.",
+                    &[("reason", AUTH_REJECT_LABELS[i])],
+                )
+            }),
+            quota_rejects: registry.counter(
+                "crowdtune_gateway_quota_rejects_total",
+                "Submits refused by the per-tenant request quota (429 + Retry-After).",
+                &[],
+            ),
+            jobs_retained: registry.gauge(
+                "crowdtune_gateway_jobs_retained",
+                "Completed job outcomes currently retained for polling.",
+                &[],
+            ),
+            jobs_expired: registry.counter(
+                "crowdtune_gateway_jobs_expired_total",
+                "Retained job outcomes dropped by TTL expiry.",
+                &[],
+            ),
+            jobs_deleted: registry.counter(
+                "crowdtune_gateway_jobs_deleted_total",
+                "Jobs removed by DELETE /v1/jobs/{id}.",
+                &[],
             ),
             bytes_in: registry.counter(
                 "crowdtune_gateway_bytes_in_total",
@@ -143,6 +203,11 @@ impl GatewayMetrics {
         };
         self.requests[endpoint as usize][class].inc();
         self.latency[endpoint as usize].record(nanos);
+    }
+
+    /// Counts a submit refused by the authenticated-principal check.
+    pub fn auth_rejected(&self, reason: AuthReject) {
+        self.auth_rejects[reason as usize].inc();
     }
 
     /// Counts a request that failed before routing. Parse failures bump the

@@ -1,96 +1,173 @@
-//! The gateway server: a thread-per-connection pool over a `TcpListener`
+//! The gateway server: an event-driven reactor over non-blocking sockets
 //! exposing the [`TuningService`] as a JSON API.
 //!
 //! ## Endpoints
 //!
-//! | method & path        | meaning                                          |
-//! |----------------------|--------------------------------------------------|
-//! | `POST /v1/jobs`      | submit a [`JobRequestWire`]; `202` + job id. With `?wait=1`, block and return the plan (`200`). |
-//! | `GET /v1/jobs/{id}`  | job status: `pending`, `done` (plan + source) or `failed` |
-//! | `GET /v1/metrics`    | [`MetricsBody`] JSON by default; the full Prometheus text exposition with `?format=prometheus` or `Accept: text/plain` |
+//! | method & path           | meaning                                       |
+//! |-------------------------|-----------------------------------------------|
+//! | `POST /v1/jobs`         | submit a [`JobRequestWire`]; `202` + job id. With `?wait=1`, the response is held until the plan is ready (`200`) — without parking a thread. |
+//! | `GET /v1/jobs/{id}`     | job status: `pending`, `done` (plan + source) or `failed` |
+//! | `DELETE /v1/jobs/{id}`  | drop a retained/pending result: `204` once, `404` after |
+//! | `GET /v1/metrics`       | [`MetricsBody`] JSON by default; the full Prometheus text exposition with `?format=prometheus` or `Accept: text/plain` |
 //! | `GET /v1/debug/slowest` | [`SlowestBody`]: the N slowest completed job traces, stage by stage |
-//! | `GET /healthz`       | liveness + drain flag                            |
+//! | `GET /healthz`          | liveness + drain flag                         |
 //!
 //! ## Error mapping
 //!
 //! | condition                               | status |
 //! |-----------------------------------------|--------|
 //! | malformed HTTP or JSON                  | 400    |
+//! | missing or unknown API key              | 401    |
+//! | body tenant contradicts the key's       | 403    |
 //! | unknown path / job id                   | 404    |
 //! | known path, wrong method                | 405    |
 //! | body over the configured bound          | 413    |
 //! | well-formed but invalid job / no plan   | 422    |
-//! | per-tenant admission rejection          | 429    |
+//! | per-tenant admission or request quota   | 429    |
 //! | oversized request head                  | 431    |
 //! | unsupported HTTP feature                | 501    |
-//! | queue full, draining, or shut down      | 503    |
+//! | queue full, connection cap, draining    | 503    |
 //!
-//! ## Threading and drain
+//! Quota 429s carry a `Retry-After` header and the code `quota_exceeded`,
+//! distinct from the queue-depth `tenant_over_limit` 429.
 //!
-//! One acceptor thread hands sockets to a fixed pool of connection workers
-//! over a bounded channel (overflow answers `503` and closes — shedding at
-//! the door mirrors the service's own admission control). Each worker owns
-//! its connection for the keep-alive duration; pipelined requests are served
-//! in order from the buffered reader. [`Gateway::shutdown`] drains
-//! gracefully: the acceptor stops, in-flight requests finish (their
-//! responses carry `Connection: close`), idle keep-alive connections expire
-//! via the read timeout, and only then do the pool threads join.
+//! ## The reactor
+//!
+//! Each reactor thread owns a readiness poller (the `reactor` module), the
+//! listener, and every connection it accepted. A connection is a small state
+//! machine — reading (accumulate + incrementally parse), dispatched (job
+//! handed to the tuner pool), then writing from a buffer — driven entirely
+//! by readiness events and a timer heap, so **idle keep-alive connections
+//! cost a registration, not a thread**: tens of thousands of idle clients
+//! are held by `reactors + tuner` threads total.
+//!
+//! `?wait=1` submits never park the reactor: the job goes to the tuner pool
+//! with a completion hook ([`TuningService::submit_with_notify`]) that wakes
+//! the owning reactor when the outcome is readable, and the response is
+//! rendered then. Pipelined requests behind a dispatched one wait in the
+//! read buffer so responses keep request order.
+//!
+//! Request deadlines are wall-clock timers armed at the first byte of every
+//! request (a trickling client cannot pin anything); the same timer wheel
+//! bounds idle keep-alive lifetimes and stalled response writes. Graceful
+//! drain stops accepting, closes idle connections, lets in-flight requests
+//! (including dispatched jobs) finish with `Connection: close`, and bounds
+//! the whole farewell by the configured deadlines.
 
-use crate::http::{read_request, write_response, Limits, Request, RequestError, Response};
-use crate::metrics::{Endpoint, GatewayMetrics};
+use crate::http::{
+    parse_buffered, render_response, write_response, Limits, ParsedRequest, Request, RequestError,
+    Response,
+};
+use crate::metrics::{AuthReject, Endpoint, GatewayMetrics};
+use crate::reactor::{waker, Interest, PollEvent, Poller, WakeReceiver, Waker};
 use crate::wire::{
     ErrorBody, HealthBody, JobBody, JobRequestWire, MetricsBody, SlowestBody, SubmittedBody,
     TraceBody,
 };
-use crowdtune_obs::Counter;
 use crowdtune_serve::{
     AdmissionError, HealthState, JobHandle, ServeError, ServedPlan, TuningService,
 };
-use std::collections::{HashMap, VecDeque};
-use std::io::BufReader;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The authenticated-principal policy: how `POST /v1/jobs` resolves the
+/// tenant a job is billed and admission-controlled under.
+///
+/// With a key configured, clients authenticate with `Authorization: Bearer
+/// <key>` or `X-Api-Key: <key>` and the tenant comes from this map — the
+/// body's `tenant` field may be omitted, and if present it must agree (403
+/// otherwise). Requests with an unknown key are refused 401 regardless of
+/// mode. Requests with *no* key fall back to the legacy self-declared body
+/// tenant only while [`AuthConfig::allow_body_tenant`] is set.
+#[derive(Debug, Clone)]
+pub struct AuthConfig {
+    /// API key → tenant. Empty map + `allow_body_tenant` = the pre-auth
+    /// contract, unchanged.
+    pub keys: HashMap<String, String>,
+    /// Accept keyless submits that self-declare a body tenant (legacy
+    /// wire contract). Defaults to `true` for back-compat; production
+    /// deployments and the loadgen turn it off.
+    pub allow_body_tenant: bool,
+}
+
+impl Default for AuthConfig {
+    fn default() -> Self {
+        AuthConfig {
+            keys: HashMap::new(),
+            allow_body_tenant: true,
+        }
+    }
+}
+
+/// Per-tenant request quota: a token bucket refilled continuously at
+/// [`QuotaConfig::requests_per_sec`] up to [`QuotaConfig::burst`]. Each
+/// `POST /v1/jobs` spends one token; an empty bucket answers 429
+/// `quota_exceeded` with a `Retry-After` header. This prices *request
+/// arrival rate* at the door, upstream of (and distinct from) the queue's
+/// depth-based `tenant_over_limit` admission control.
+#[derive(Debug, Clone, Copy)]
+pub struct QuotaConfig {
+    /// Sustained submits per second per tenant.
+    pub requests_per_sec: f64,
+    /// Bucket capacity: the burst a quiet tenant may spend at once.
+    pub burst: f64,
+}
 
 /// Sizing and bounds of the gateway.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GatewayConfig {
-    /// Connection-worker threads (each owns one connection at a time).
-    pub workers: usize,
-    /// Accepted-but-unclaimed connections the acceptor may queue before
-    /// shedding with `503`.
-    pub connection_backlog: usize,
+    /// Reactor (event-loop) threads. Each owns its accepted connections;
+    /// one is plenty below ~50k req/s — the tuner pool does the real work.
+    pub reactors: usize,
+    /// Connections held concurrently across all reactors; the door sheds
+    /// `503` above it (mirrors the service's own admission control).
+    pub max_connections: usize,
     /// HTTP parse bounds (request line, headers, body).
     pub limits: Limits,
-    /// Socket read timeout: how long an idle keep-alive connection may hold
-    /// a pool thread, and the bound on a drain waiting for idle clients.
+    /// How long an idle keep-alive connection stays registered, and the
+    /// bound on a stalled response write.
     pub keep_alive_timeout: Duration,
-    /// Total wall-clock bound on receiving one request (head **and** body).
-    /// The per-read keep-alive timeout resets on every byte, so without
-    /// this a client trickling one byte per interval would pin a pool
-    /// thread indefinitely; the deadline closes such connections.
+    /// Total wall-clock bound on receiving one request (head **and**
+    /// body), armed at its first byte — a client trickling one byte per
+    /// interval is closed at the deadline.
     pub request_deadline: Duration,
     /// Completed jobs retained for `GET /v1/jobs/{id}` (oldest evicted).
     /// Also bounds never-polled async submissions: past the cap the oldest
     /// pending entry is resolved into the retained set if its worker has
     /// answered, or dropped (its id then answers 404) if not.
     pub max_completed_jobs: usize,
+    /// Retention TTL for completed outcomes: expired results answer 404
+    /// and count `jobs_expired_total`. `None` retains until the FIFO cap
+    /// or an explicit `DELETE` evicts.
+    pub result_ttl: Option<Duration>,
     /// Largest job accepted over the wire, in total repetition slots.
     pub max_job_slots: u64,
+    /// Tenant resolution for submits.
+    pub auth: AuthConfig,
+    /// Per-tenant submit quota; `None` disables the bucket entirely.
+    pub quota: Option<QuotaConfig>,
 }
 
 impl Default for GatewayConfig {
     fn default() -> Self {
         GatewayConfig {
-            workers: 8,
-            connection_backlog: 64,
+            reactors: 1,
+            max_connections: 8192,
             limits: Limits::default(),
             keep_alive_timeout: Duration::from_secs(5),
             request_deadline: Duration::from_secs(30),
             max_completed_jobs: 4096,
+            result_ttl: None,
             max_job_slots: 1_000_000,
+            auth: AuthConfig::default(),
+            quota: None,
         }
     }
 }
@@ -98,37 +175,84 @@ impl Default for GatewayConfig {
 /// One tracked job: still in flight, or its retained rendered outcome.
 enum JobSlot {
     Pending(JobHandle),
-    Done(Arc<JobBody>),
+    Done {
+        body: Arc<JobBody>,
+        done_at: Instant,
+    },
 }
 
-/// Jobs submitted asynchronously, keyed by service job id. Completed
-/// outcomes are retained (bounded, FIFO-evicted) so clients can poll after
-/// completion. Pending entries are bounded too: clients that fire and
-/// forget must not grow the registry, so past the cap the oldest pending
-/// entry is reaped — resolved into the retained set if its worker already
-/// answered, dropped (404 from then on) if not.
+/// Jobs submitted over the wire, keyed by service job id. Completed
+/// outcomes are retained (bounded FIFO, optional TTL, explicit `DELETE`) so
+/// clients can poll after completion. Pending entries are bounded too:
+/// clients that fire and forget must not grow the registry, so past the cap
+/// the oldest pending entry is reaped — resolved into the retained set if
+/// its worker already answered, dropped (404 from then on) if not.
 struct JobRegistry {
     slots: HashMap<u64, JobSlot>,
+    /// Done ids in completion order (== expiry order under a fixed TTL).
+    /// May hold stale ids whose slot was deleted; sweeps skip those.
     completed_order: VecDeque<u64>,
     /// Pending ids in insertion order. May contain stale ids whose slot has
     /// since transitioned to `Done` (or been evicted); reaping skips those.
     pending_order: VecDeque<u64>,
     max_completed: usize,
+    result_ttl: Option<Duration>,
+    /// Live `Done` slots, mirrored into the `jobs_retained` gauge.
+    done_count: usize,
+    retained_gauge: crowdtune_obs::Gauge,
+    expired_total: crowdtune_obs::Counter,
 }
 
 impl JobRegistry {
+    /// Drops every retained outcome whose TTL has lapsed. `completed_order`
+    /// is in completion order and the TTL is constant, so expiry stops at
+    /// the first still-fresh entry.
+    fn expire_stale(&mut self, now: Instant) {
+        let Some(ttl) = self.result_ttl else { return };
+        while let Some(&oldest) = self.completed_order.front() {
+            match self.slots.get(&oldest) {
+                Some(JobSlot::Done { done_at, .. }) => {
+                    if now.duration_since(*done_at) < ttl {
+                        break;
+                    }
+                    self.slots.remove(&oldest);
+                    self.completed_order.pop_front();
+                    self.done_count -= 1;
+                    self.expired_total.inc();
+                }
+                // Deleted (or long since evicted) id: drop the stale entry.
+                _ => {
+                    self.completed_order.pop_front();
+                }
+            }
+        }
+        self.retained_gauge.set(self.done_count as i64);
+    }
+
     fn store_done(&mut self, job_id: u64, body: JobBody) -> Arc<JobBody> {
+        let now = Instant::now();
+        self.expire_stale(now);
         let body = Arc::new(body);
-        let was_done = matches!(self.slots.get(&job_id), Some(JobSlot::Done(_)));
-        self.slots.insert(job_id, JobSlot::Done(body.clone()));
+        let was_done = matches!(self.slots.get(&job_id), Some(JobSlot::Done { .. }));
+        self.slots.insert(
+            job_id,
+            JobSlot::Done {
+                body: body.clone(),
+                done_at: now,
+            },
+        );
         if !was_done {
             self.completed_order.push_back(job_id);
+            self.done_count += 1;
         }
         while self.completed_order.len() > self.max_completed {
             if let Some(evicted) = self.completed_order.pop_front() {
-                self.slots.remove(&evicted);
+                if self.slots.remove(&evicted).is_some() {
+                    self.done_count -= 1;
+                }
             }
         }
+        self.retained_gauge.set(self.done_count as i64);
         body
     }
 
@@ -154,76 +278,132 @@ impl JobRegistry {
             // from now on — the bound wins over fire-and-forget clients.
         }
     }
+
+    /// `DELETE /v1/jobs/{id}`: drops the slot whatever its state. Returns
+    /// whether anything was there (the 204-vs-404 decision). Stale ids left
+    /// in the order queues are skipped by the sweeps.
+    fn delete(&mut self, job_id: u64) -> bool {
+        self.expire_stale(Instant::now());
+        match self.slots.remove(&job_id) {
+            Some(JobSlot::Done { .. }) => {
+                self.done_count -= 1;
+                self.retained_gauge.set(self.done_count as i64);
+                true
+            }
+            Some(JobSlot::Pending(_)) => true,
+            None => false,
+        }
+    }
 }
 
 struct GatewayState {
     service: Arc<TuningService>,
     jobs: Mutex<JobRegistry>,
     draining: AtomicBool,
+    /// Connections currently registered, across every reactor (the
+    /// `max_connections` shed decision needs the global count).
+    open_connections: AtomicUsize,
+    /// Token buckets by tenant, lazily created on first submit.
+    quota_buckets: Mutex<HashMap<String, TokenBucket>>,
     config: GatewayConfig,
     metrics: GatewayMetrics,
 }
 
+struct TokenBucket {
+    tokens: f64,
+    refilled_at: Instant,
+}
+
+/// Spends one token from `tenant`'s bucket, or reports how many whole
+/// seconds until one accrues (the `Retry-After` value, at least 1).
+fn try_take_token(state: &GatewayState, tenant: &str, quota: &QuotaConfig) -> Result<(), u64> {
+    let rate = quota.requests_per_sec.max(1e-9);
+    let burst = quota.burst.max(1.0);
+    let now = Instant::now();
+    let mut buckets = state.quota_buckets.lock().expect("quota buckets poisoned");
+    let bucket = buckets
+        .entry(tenant.to_owned())
+        .or_insert_with(|| TokenBucket {
+            tokens: burst,
+            refilled_at: now,
+        });
+    let elapsed = now.duration_since(bucket.refilled_at).as_secs_f64();
+    bucket.tokens = (bucket.tokens + elapsed * rate).min(burst);
+    bucket.refilled_at = now;
+    if bucket.tokens >= 1.0 {
+        bucket.tokens -= 1.0;
+        Ok(())
+    } else {
+        Err(((1.0 - bucket.tokens) / rate).ceil().max(1.0) as u64)
+    }
+}
+
 /// The running gateway. Dropping it (or calling [`Gateway::shutdown`])
-/// drains connections and joins every thread; the wrapped service is left
+/// drains connections and joins every reactor; the wrapped service is left
 /// running and untouched.
 pub struct Gateway {
     addr: SocketAddr,
     state: Arc<GatewayState>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    wakers: Vec<Waker>,
 }
 
 impl Gateway {
     /// Binds `addr` (use port 0 for an ephemeral port — read it back with
-    /// [`Gateway::local_addr`]) and starts the acceptor and worker pool.
+    /// [`Gateway::local_addr`]) and starts the reactor threads.
     pub fn start(
         service: Arc<TuningService>,
         addr: impl ToSocketAddrs,
         config: GatewayConfig,
     ) -> std::io::Result<Gateway> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         // Gateway cells live in the service's registry: one scrape covers
         // the whole process, and a second gateway on the same service
         // shares cells via the registry's get-or-create semantics.
         let metrics = GatewayMetrics::new(&service.registry());
+        let registry = JobRegistry {
+            slots: HashMap::new(),
+            completed_order: VecDeque::new(),
+            pending_order: VecDeque::new(),
+            max_completed: config.max_completed_jobs.max(1),
+            result_ttl: config.result_ttl,
+            done_count: 0,
+            retained_gauge: metrics.jobs_retained.clone(),
+            expired_total: metrics.jobs_expired.clone(),
+        };
         let state = Arc::new(GatewayState {
             service,
-            jobs: Mutex::new(JobRegistry {
-                slots: HashMap::new(),
-                completed_order: VecDeque::new(),
-                pending_order: VecDeque::new(),
-                max_completed: config.max_completed_jobs.max(1),
-            }),
+            jobs: Mutex::new(registry),
             draining: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+            quota_buckets: Mutex::new(HashMap::new()),
             config,
             metrics,
         });
-        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.connection_backlog.max(1));
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
-        let workers = (0..config.workers.max(1))
-            .map(|index| {
-                let state = state.clone();
-                let conn_rx = conn_rx.clone();
+        let mut reactors = Vec::new();
+        let mut wakers = Vec::new();
+        for index in 0..state.config.reactors.max(1) {
+            // Every reactor polls its own dup of the listening socket
+            // (shared open file description — a connection is accepted by
+            // exactly one of them).
+            let listener = listener.try_clone()?;
+            let (wake_tx, wake_rx) = waker()?;
+            let mut reactor = Reactor::new(state.clone(), listener, wake_tx.clone(), wake_rx)?;
+            wakers.push(wake_tx);
+            reactors.push(
                 std::thread::Builder::new()
-                    .name(format!("gateway-conn-{index}"))
-                    .spawn(move || connection_worker(&state, &conn_rx))
-                    .expect("spawn gateway worker")
-            })
-            .collect();
-        let acceptor = {
-            let state = state.clone();
-            std::thread::Builder::new()
-                .name("gateway-accept".to_owned())
-                .spawn(move || accept_loop(&state, &listener, &conn_tx))
-                .expect("spawn gateway acceptor")
-        };
+                    .name(format!("gateway-reactor-{index}"))
+                    .spawn(move || reactor.run())
+                    .expect("spawn gateway reactor"),
+            );
+        }
         Ok(Gateway {
             addr,
             state,
-            acceptor: Some(acceptor),
-            workers,
+            reactors,
+            wakers,
         })
     }
 
@@ -237,180 +417,657 @@ impl Gateway {
         self.state.draining.load(Ordering::Acquire)
     }
 
-    /// Graceful drain: stop accepting, finish in-flight requests (responses
-    /// carry `Connection: close`), wait out idle keep-alive connections
-    /// (bounded by [`GatewayConfig::keep_alive_timeout`]) and join every
-    /// thread. The wrapped [`TuningService`] keeps running — drain it
-    /// separately via [`TuningService::begin_drain`]/`shutdown` when the
-    /// whole process is going away.
+    /// Graceful drain: stop accepting, close idle keep-alive connections,
+    /// finish in-flight requests and dispatched jobs (responses carry
+    /// `Connection: close`) and join every reactor, all bounded by the
+    /// configured deadlines. The wrapped [`TuningService`] keeps running —
+    /// drain it separately via [`TuningService::begin_drain`]/`shutdown`
+    /// when the whole process is going away.
     pub fn shutdown(mut self) {
         self.drain_and_join();
     }
 
     fn drain_and_join(&mut self) {
         self.state.draining.store(true, Ordering::Release);
-        // Wake the acceptor blocked in `accept` so it observes the flag; the
-        // probe connection itself is served a clean close by a worker.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        for waker in &self.wakers {
+            waker.wake();
         }
-        // The acceptor dropped the sender side; workers exit once the queue
-        // and their current connections drain.
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        for reactor in self.reactors.drain(..) {
+            let _ = reactor.join();
         }
     }
 }
 
 impl Drop for Gateway {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.workers.is_empty() {
+        if !self.reactors.is_empty() {
             self.drain_and_join();
         }
     }
 }
 
-fn accept_loop(
-    state: &GatewayState,
-    listener: &TcpListener,
-    conn_tx: &mpsc::SyncSender<TcpStream>,
-) {
-    loop {
-        let accepted = listener.accept();
-        if state.draining.load(Ordering::Acquire) {
-            return; // drops conn_tx: workers drain and exit
-        }
-        let Ok((stream, _peer)) = accepted else {
-            // Transient accept failures (e.g. aborted handshakes) are not
-            // fatal to the listener.
-            continue;
-        };
-        match conn_tx.try_send(stream) {
-            Ok(()) => state.metrics.connections_accepted.inc(),
-            Err(mpsc::TrySendError::Full(mut stream)) => {
-                // Every pool thread busy and the hand-off queue full: shed at
-                // the door like the service's admission control does. Bound
-                // the write so a non-reading client cannot stall the
-                // acceptor.
-                state.metrics.connections_shed.inc();
-                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                let body = error_response(
-                    503,
-                    ErrorBody::new("overloaded", "all gateway connections are busy"),
-                );
-                if let Ok(sent) = write_response(&mut stream, &body, false) {
-                    state.metrics.bytes_out.add(sent as u64);
-                }
-            }
-            Err(mpsc::TrySendError::Disconnected(_)) => return,
-        }
-    }
+/// What a reactor's completion hooks write into: the tokens of connections
+/// whose dispatched job finished, plus the waker that un-parks the poller.
+struct ReactorShared {
+    completions: Mutex<Vec<u64>>,
+    waker: Waker,
 }
 
-fn connection_worker(state: &GatewayState, conn_rx: &Mutex<mpsc::Receiver<TcpStream>>) {
-    loop {
-        let stream = {
-            let rx = conn_rx.lock().expect("gateway connection queue poisoned");
-            rx.recv()
-        };
-        match stream {
-            Ok(stream) => handle_connection(state, stream),
-            Err(_) => return, // acceptor gone and queue drained
-        }
-    }
+const WAKER_TOKEN: u64 = 0;
+const LISTENER_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Connection lifecycle. Writing is orthogonal (a non-empty write buffer),
+/// so it is not a phase: a connection can be parsing request N+1 while
+/// response N drains.
+enum Phase {
+    /// Between requests; the idle keep-alive deadline is armed.
+    Idle,
+    /// A request prefix sits in the read buffer; its deadline is armed.
+    Reading,
+    /// A `?wait=1` submit is with the tuner pool; parsing is paused so
+    /// pipelined responses keep request order.
+    Dispatched {
+        handle: JobHandle,
+        started: Instant,
+        keep_alive: bool,
+    },
 }
 
-/// The read half of a connection with a total per-request deadline. The
-/// socket read timeout alone resets on every byte — a client trickling one
-/// byte per interval would never trip it — so each read additionally checks
-/// (and shrinks the socket timeout toward) a wall-clock deadline armed at
-/// the start of every request.
-struct DeadlineStream {
+struct Conn {
     stream: TcpStream,
-    keep_alive_timeout: Duration,
-    deadline: std::cell::Cell<Option<std::time::Instant>>,
-    /// Ingress accounting: every byte read off the socket.
-    bytes_in: Counter,
+    token: u64,
+    /// Bumped whenever the armed deadline changes; stale timer-heap entries
+    /// (older gen) are ignored on pop.
+    gen: u64,
+    deadline: Option<Instant>,
+    phase: Phase,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    /// Registered readiness, to skip no-op `modify` syscalls.
+    interest: Interest,
+    /// Close once the write buffer drains (draining, `Connection: close`,
+    /// or a parse error that poisoned framing).
+    close_after_write: bool,
+    /// Stop reading (peer half-closed or framing poisoned).
+    reads_done: bool,
 }
 
-impl std::io::Read for DeadlineStream {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        if let Some(deadline) = self.deadline.get() {
-            let now = std::time::Instant::now();
-            let Some(remaining) = deadline
-                .checked_duration_since(now)
-                .filter(|r| !r.is_zero())
-            else {
-                return Err(std::io::ErrorKind::TimedOut.into());
-            };
-            let _ = self
-                .stream
-                .set_read_timeout(Some(remaining.min(self.keep_alive_timeout)));
+impl Conn {
+    fn pending_write(&self) -> bool {
+        self.written < self.write_buf.len()
+    }
+
+    fn wanted_interest(&self) -> Interest {
+        Interest {
+            read: !self.reads_done && !matches!(self.phase, Phase::Dispatched { .. }),
+            write: self.pending_write(),
         }
-        let n = self.stream.read(buf)?;
-        self.bytes_in.add(n as u64);
-        Ok(n)
     }
 }
 
-/// Serves one connection for its keep-alive lifetime.
-fn handle_connection(state: &GatewayState, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(state.config.keep_alive_timeout));
-    // Writes get the same bound: a client that stops *reading* would
-    // otherwise block `write_all` forever once the kernel send buffer
-    // fills — the mirror image of the trickled-read attack.
-    let _ = stream.set_write_timeout(Some(state.config.keep_alive_timeout));
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(DeadlineStream {
-        stream: read_half,
-        keep_alive_timeout: state.config.keep_alive_timeout,
-        deadline: std::cell::Cell::new(None),
-        bytes_in: state.metrics.bytes_in.clone(),
-    });
-    loop {
-        // Arm the whole-request deadline. The idle wait for the first byte
-        // counts against it too, but the (shorter) keep-alive timeout still
-        // closes idle connections first.
-        reader.get_ref().deadline.set(Some(
-            std::time::Instant::now() + state.config.request_deadline,
-        ));
-        match read_request(&mut reader, &state.config.limits) {
-            Ok(None) => return, // clean close between requests
-            Ok(Some(request)) => {
-                let endpoint = endpoint_of(&request);
-                let started = std::time::Instant::now();
-                let response = route(state, &request);
-                let nanos = started.elapsed().as_nanos() as u64;
-                state.metrics.observe(endpoint, response.status, nanos);
-                // Draining closes after the in-flight response; so does an
-                // explicit client `Connection: close`.
-                let keep_alive = request.keep_alive && !state.draining.load(Ordering::Acquire);
-                match write_response(&mut stream, &response, keep_alive) {
-                    Ok(sent) => state.metrics.bytes_out.add(sent as u64),
-                    Err(_) => return,
-                }
-                if !keep_alive {
-                    return;
+struct Reactor {
+    state: Arc<GatewayState>,
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: WakeReceiver,
+    shared: Arc<ReactorShared>,
+    conns: HashMap<u64, Conn>,
+    /// (deadline, token, gen) min-heap; entries are invalidated by gen.
+    timers: BinaryHeap<Reverse<(Instant, u64, u64)>>,
+    next_token: u64,
+    /// Still registered for accept readiness (false once draining).
+    accepting: bool,
+    /// Hard bound on the whole drain, armed when draining is observed.
+    drain_deadline: Option<Instant>,
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    fn new(
+        state: Arc<GatewayState>,
+        listener: TcpListener,
+        wake_tx: Waker,
+        wake_rx: WakeReceiver,
+    ) -> std::io::Result<Reactor> {
+        let mut poller = Poller::new()?;
+        poller.register(wake_rx.as_raw_fd(), WAKER_TOKEN, Interest::READ)?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        Ok(Reactor {
+            state,
+            poller,
+            listener,
+            wake_rx,
+            shared: Arc::new(ReactorShared {
+                completions: Mutex::new(Vec::new()),
+                waker: wake_tx,
+            }),
+            conns: HashMap::new(),
+            timers: BinaryHeap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            accepting: true,
+            drain_deadline: None,
+            scratch: vec![0; 16 * 1024],
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            let timeout = self.next_timeout();
+            events.clear();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // A failing poller cannot drive anything; bail rather than
+                // spin. Connections close with the process.
+                return;
+            }
+            let mut woken = false;
+            for event in &events {
+                match event.token {
+                    WAKER_TOKEN => woken = true,
+                    LISTENER_TOKEN => self.accept_ready(),
+                    token => self.conn_event(token, *event),
                 }
             }
-            Err(error) => {
-                // Malformed/oversized input: answer the mapped 4xx/5xx and
-                // close — framing can no longer be trusted. Transport
-                // failures (torn socket, idle timeout) just close.
-                state.metrics.request_failed(&error);
-                if let Some(status) = error.status() {
-                    let body = error_response(status, request_error_body(&error));
-                    if let Ok(sent) = write_response(&mut stream, &body, false) {
-                        state.metrics.bytes_out.add(sent as u64);
-                    }
-                }
+            if woken {
+                self.wake_rx.drain();
+            }
+            self.complete_dispatches();
+            self.fire_timers(Instant::now());
+            if self.drain_tick() {
                 return;
             }
         }
+    }
+
+    /// The poll timeout: the nearest timer (or drain bound), or park
+    /// indefinitely when nothing is scheduled.
+    fn next_timeout(&self) -> Option<Duration> {
+        let mut next: Option<Instant> = self.timers.peek().map(|Reverse((when, _, _))| *when);
+        if let Some(bound) = self.drain_deadline {
+            next = Some(next.map_or(bound, |n| n.min(bound)));
+        }
+        next.map(|when| when.saturating_duration_since(Instant::now()))
+    }
+
+    /// Handles drain progression; returns true when the reactor is done.
+    fn drain_tick(&mut self) -> bool {
+        if !self.state.draining.load(Ordering::Acquire) {
+            return false;
+        }
+        if self.accepting {
+            // Drain just became visible: stop accepting and close every
+            // connection with nothing in flight. In-flight phases (partial
+            // request, dispatched job, undrained response) finish under
+            // their own deadlines.
+            self.accepting = false;
+            let _ = self.poller.deregister(self.listener.as_raw_fd());
+            self.drain_deadline = Some(
+                Instant::now()
+                    + self.state.config.keep_alive_timeout
+                    + self.state.config.request_deadline,
+            );
+            let idle: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| {
+                    matches!(c.phase, Phase::Idle) && !c.pending_write() && c.read_buf.is_empty()
+                })
+                .map(|(&t, _)| t)
+                .collect();
+            for token in idle {
+                self.close_conn(token);
+            }
+        }
+        if self.conns.is_empty() {
+            return true;
+        }
+        if self.drain_deadline.is_some_and(|d| Instant::now() >= d) {
+            // Farewell bound hit: force-close stragglers.
+            let remaining: Vec<u64> = self.conns.keys().copied().collect();
+            for token in remaining {
+                self.close_conn(token);
+            }
+            return true;
+        }
+        false
+    }
+
+    fn accept_ready(&mut self) {
+        if !self.accepting {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.take_connection(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (aborted handshakes, fd
+                // pressure) are not fatal to the listener.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn take_connection(&mut self, stream: TcpStream) {
+        let state = &self.state;
+        if state.draining.load(Ordering::Acquire) {
+            return; // raced a drain; the listener is about to deregister
+        }
+        let open = state.open_connections.load(Ordering::Relaxed);
+        if open >= state.config.max_connections.max(1) {
+            // Shed at the door like the service's admission control does.
+            // The accepted socket is still blocking; bound the farewell
+            // write so a non-reading client cannot stall the reactor.
+            let mut stream = stream;
+            state.metrics.connections_shed.inc();
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let body = error_response(
+                503,
+                ErrorBody::new("overloaded", "gateway is at its connection cap"),
+            );
+            if let Ok(sent) = write_response(&mut stream, &body, false) {
+                state.metrics.bytes_out.add(sent as u64);
+            }
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .register(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        state.open_connections.fetch_add(1, Ordering::Relaxed);
+        state.metrics.connections_open.add(1);
+        state.metrics.connections_accepted.inc();
+        let mut conn = Conn {
+            stream,
+            token,
+            gen: 0,
+            deadline: None,
+            phase: Phase::Idle,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            interest: Interest::READ,
+            close_after_write: false,
+            reads_done: false,
+        };
+        self.arm_deadline(&mut conn, Instant::now() + state.config.keep_alive_timeout);
+        self.conns.insert(token, conn);
+    }
+
+    fn arm_deadline(&mut self, conn: &mut Conn, when: Instant) {
+        conn.gen += 1;
+        conn.deadline = Some(when);
+        self.timers.push(Reverse((when, conn.token, conn.gen)));
+    }
+
+    fn clear_deadline(conn: &mut Conn) {
+        conn.gen += 1;
+        conn.deadline = None;
+    }
+
+    fn fire_timers(&mut self, now: Instant) {
+        while let Some(Reverse((when, token, gen))) = self.timers.peek().copied() {
+            if when > now {
+                break;
+            }
+            self.timers.pop();
+            let live = self
+                .conns
+                .get(&token)
+                .is_some_and(|conn| conn.gen == gen && conn.deadline == Some(when));
+            if live {
+                // Whatever was armed — idle keep-alive, request deadline,
+                // stalled write — expiry closes the connection.
+                self.state.metrics.connections_timed_out.inc();
+                self.close_conn(token);
+            }
+        }
+    }
+
+    /// Jobs whose completion hooks fired since the last pass: render their
+    /// responses and resume pipelining.
+    fn complete_dispatches(&mut self) {
+        let tokens = std::mem::take(
+            &mut *self
+                .shared
+                .completions
+                .lock()
+                .expect("completion queue poisoned"),
+        );
+        for token in tokens {
+            let Some(mut conn) = self.conns.remove(&token) else {
+                continue; // connection closed while the job ran
+            };
+            let phase = std::mem::replace(&mut conn.phase, Phase::Idle);
+            let Phase::Dispatched {
+                handle,
+                started,
+                keep_alive,
+            } = phase
+            else {
+                conn.phase = phase; // spurious token; not dispatched
+                self.conns.insert(token, conn);
+                continue;
+            };
+            let job_id = handle.job_id;
+            // The hook fires after the worker's send, so the outcome is
+            // readable now; a dropped worker reads as `WorkerGone`.
+            let outcome = handle.try_result().unwrap_or(Err(ServeError::WorkerGone));
+            let error = match &outcome {
+                Ok(_) => None,
+                Err(e) => Some(serve_error_response(e)),
+            };
+            let body = outcome_body(job_id, outcome);
+            let response = {
+                let mut jobs = self
+                    .state
+                    .jobs
+                    .lock()
+                    .expect("gateway job registry poisoned");
+                let body = jobs.store_done(job_id, body);
+                match error {
+                    Some(response) => response,
+                    None => json_response(200, &*body),
+                }
+            };
+            let nanos = started.elapsed().as_nanos() as u64;
+            self.state
+                .metrics
+                .observe(Endpoint::PostJobs, response.status, nanos);
+            let keep_alive = keep_alive && !self.state.draining.load(Ordering::Acquire);
+            self.queue_response(&mut conn, response, keep_alive);
+            // Pipelined requests read before the dispatch are sitting in
+            // the buffer with no readiness event to reparse them — resume
+            // here.
+            let mut alive = true;
+            if !conn.close_after_write {
+                alive = self.process_buffer(&mut conn);
+            }
+            let alive = alive && self.after_work(&mut conn);
+            self.finish_event(token, conn, alive);
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, event: PollEvent) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return; // stale event for a just-closed connection
+        };
+        let mut alive = true;
+        if event.writable && alive {
+            alive = self.flush(&mut conn);
+        }
+        if event.readable && alive {
+            alive = self.readable(&mut conn);
+        }
+        if event.closed && alive && !event.readable {
+            // Pure error/hangup with nothing to read: the connection is
+            // gone.
+            alive = false;
+        }
+        if alive {
+            alive = self.after_work(&mut conn);
+        }
+        self.finish_event(token, conn, alive);
+    }
+
+    /// Post-processing common to socket events and job completions:
+    /// close-after-write resolution. Returns whether the connection stays.
+    fn after_work(&mut self, conn: &mut Conn) -> bool {
+        if !conn.pending_write() && conn.close_after_write {
+            return false;
+        }
+        if !conn.pending_write() && conn.reads_done && matches!(conn.phase, Phase::Idle) {
+            // Peer half-closed and nothing left to say.
+            return false;
+        }
+        true
+    }
+
+    /// Reinserts a live connection (refreshing poller interest) or finishes
+    /// closing it.
+    fn finish_event(&mut self, token: u64, mut conn: Conn, alive: bool) {
+        if !alive {
+            self.release_conn(conn);
+            return;
+        }
+        let wanted = conn.wanted_interest();
+        if wanted != conn.interest {
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, wanted)
+                .is_err()
+            {
+                self.release_conn(conn);
+                return;
+            }
+            conn.interest = wanted;
+        }
+        self.conns.insert(token, conn);
+    }
+
+    /// Closes a connection still present in the map.
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.release_conn(conn);
+        }
+    }
+
+    /// Deregisters and accounts a connection on its way out. A dispatched
+    /// job's handle moves to the registry so the outcome is retained for
+    /// polling even though the submitting connection died.
+    fn release_conn(&mut self, conn: Conn) {
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        self.state.open_connections.fetch_sub(1, Ordering::Relaxed);
+        self.state.metrics.connections_open.add(-1);
+        if let Phase::Dispatched { handle, .. } = conn.phase {
+            let job_id = handle.job_id;
+            self.state
+                .jobs
+                .lock()
+                .expect("gateway job registry poisoned")
+                .store_pending(job_id, handle);
+        }
+    }
+
+    /// Drains readable bytes into the buffer and advances parsing. Returns
+    /// whether the connection survives.
+    fn readable(&mut self, conn: &mut Conn) -> bool {
+        if conn.reads_done {
+            return true;
+        }
+        loop {
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.reads_done = true;
+                    if !conn.read_buf.is_empty() || matches!(conn.phase, Phase::Reading) {
+                        // Peer quit mid-request: framing is torn. No
+                        // response can be framed; just close (flushing any
+                        // queued earlier responses first).
+                        conn.read_buf.clear();
+                        conn.close_after_write = true;
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    self.state.metrics.bytes_in.add(n as u64);
+                    conn.read_buf.extend_from_slice(&self.scratch[..n]);
+                    if conn.read_buf.len() > 4 * 1024 * 1024 {
+                        // Backstop: the parser bounds any *single* request
+                        // well below this, so a buffer this deep means a
+                        // pipelining flood behind a dispatched job. Stop
+                        // reading until it drains (level-triggered
+                        // readiness re-fires later).
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false, // torn transport
+            }
+        }
+        self.process_buffer(conn)
+    }
+
+    /// Parses and serves as many complete pipelined requests as the buffer
+    /// holds, stopping at a dispatch (ordering) or an incomplete tail.
+    fn process_buffer(&mut self, conn: &mut Conn) -> bool {
+        loop {
+            if matches!(conn.phase, Phase::Dispatched { .. }) {
+                return true; // resume once the job completes
+            }
+            if conn.read_buf.is_empty() {
+                conn.phase = Phase::Idle;
+                if conn.deadline.is_none() {
+                    // Nothing armed (a request just completed): the idle
+                    // keep-alive clock starts. A pending write's stall
+                    // deadline, if armed, already covers the connection.
+                    self.arm_deadline(conn, Instant::now() + self.state.config.keep_alive_timeout);
+                }
+                return true;
+            }
+            if matches!(conn.phase, Phase::Idle) {
+                // First byte of a new request: arm its wall-clock deadline.
+                conn.phase = Phase::Reading;
+                self.arm_deadline(conn, Instant::now() + self.state.config.request_deadline);
+            }
+            match parse_buffered(&conn.read_buf, &self.state.config.limits) {
+                Ok(ParsedRequest::Incomplete) => return true, // need more bytes
+                Ok(ParsedRequest::Complete { request, consumed }) => {
+                    conn.read_buf.drain(..consumed);
+                    // The request is fully received: its receive deadline is
+                    // done. Handler deadlines are the dispatch path's job.
+                    Self::clear_deadline(conn);
+                    conn.phase = Phase::Idle;
+                    self.serve_request(conn, request);
+                    if conn.close_after_write {
+                        // `Connection: close` (or draining): later pipelined
+                        // bytes get no responses.
+                        conn.read_buf.clear();
+                        conn.reads_done = true;
+                        return true;
+                    }
+                }
+                Err(error) => {
+                    // Malformed/oversized input: answer the mapped 4xx/5xx
+                    // and close — framing can no longer be trusted.
+                    self.state.metrics.request_failed(&error);
+                    conn.read_buf.clear();
+                    conn.reads_done = true;
+                    Self::clear_deadline(conn);
+                    conn.phase = Phase::Idle;
+                    if let Some(status) = error.status() {
+                        let body = error_response(status, request_error_body(&error));
+                        self.queue_response(conn, body, false);
+                    } else {
+                        return false;
+                    }
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Routes one parsed request: everything but a `?wait=1` submit is
+    /// answered inline; a waiting submit parks the *connection* (never a
+    /// thread) in `Dispatched` until the tuner pool's completion hook fires.
+    fn serve_request(&mut self, conn: &mut Conn, request: Request) {
+        let endpoint = endpoint_of(&request);
+        let started = Instant::now();
+        let keep_alive = request.keep_alive && !self.state.draining.load(Ordering::Acquire);
+        if endpoint == Endpoint::PostJobs {
+            let shared = self.shared.clone();
+            let token = conn.token;
+            let notify = move || -> crowdtune_serve::CompletionNotify {
+                Arc::new(move |_job_id| {
+                    shared
+                        .completions
+                        .lock()
+                        .expect("completion queue poisoned")
+                        .push(token);
+                    shared.waker.wake();
+                })
+            };
+            match post_job(&self.state, &request, notify) {
+                PostOutcome::Respond(response) => {
+                    let nanos = started.elapsed().as_nanos() as u64;
+                    self.state.metrics.observe(endpoint, response.status, nanos);
+                    self.queue_response(conn, response, keep_alive);
+                }
+                PostOutcome::Dispatched(handle) => {
+                    Self::clear_deadline(conn);
+                    conn.phase = Phase::Dispatched {
+                        handle,
+                        started,
+                        keep_alive,
+                    };
+                }
+            }
+        } else {
+            let response = route(&self.state, &request);
+            let nanos = started.elapsed().as_nanos() as u64;
+            self.state.metrics.observe(endpoint, response.status, nanos);
+            self.queue_response(conn, response, keep_alive);
+        }
+    }
+
+    /// Renders a response into the write buffer and optimistically flushes.
+    fn queue_response(&mut self, conn: &mut Conn, response: Response, keep_alive: bool) {
+        let bytes = render_response(&response, keep_alive);
+        if conn.written == conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.written = 0;
+        }
+        conn.write_buf.extend_from_slice(&bytes);
+        if !keep_alive {
+            conn.close_after_write = true;
+        }
+        if !self.flush(conn) {
+            // Transport died mid-write; drop what's left and let the
+            // event path close us.
+            conn.write_buf.clear();
+            conn.written = 0;
+            conn.close_after_write = true;
+            conn.reads_done = true;
+        } else if conn.pending_write() {
+            // Kernel buffer full: bound the stall like the old write
+            // timeout did.
+            self.arm_deadline(conn, Instant::now() + self.state.config.keep_alive_timeout);
+        }
+    }
+
+    /// Writes as much buffered response as the socket accepts. Returns
+    /// whether the transport survives.
+    fn flush(&mut self, conn: &mut Conn) -> bool {
+        while conn.pending_write() {
+            match conn.stream.write(&conn.write_buf[conn.written..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.written += n;
+                    self.state.metrics.bytes_out.add(n as u64);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if conn.write_buf.capacity() > 64 * 1024 {
+            conn.write_buf = Vec::new();
+        } else {
+            conn.write_buf.clear();
+        }
+        conn.written = 0;
+        true
     }
 }
 
@@ -419,18 +1076,17 @@ fn handle_connection(state: &GatewayState, mut stream: TcpStream) {
 /// unparseable job ids) fold into `other` so the label set stays bounded
 /// whatever clients throw at the socket.
 fn endpoint_of(request: &Request) -> Endpoint {
+    let job_path = |path: &str| {
+        path.strip_prefix("/v1/jobs/")
+            .is_some_and(|id| id.parse::<u64>().is_ok())
+    };
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/jobs") => Endpoint::PostJobs,
         ("GET", "/v1/metrics") => Endpoint::GetMetrics,
         ("GET", "/healthz") => Endpoint::GetHealthz,
         ("GET", "/v1/debug/slowest") => Endpoint::GetDebugSlowest,
-        ("GET", path)
-            if path
-                .strip_prefix("/v1/jobs/")
-                .is_some_and(|id| id.parse::<u64>().is_ok()) =>
-        {
-            Endpoint::GetJob
-        }
+        ("GET", path) if job_path(path) => Endpoint::GetJob,
+        ("DELETE", path) if job_path(path) => Endpoint::DeleteJob,
         _ => Endpoint::Other,
     }
 }
@@ -462,16 +1118,28 @@ fn error_response(status: u16, body: ErrorBody) -> Response {
 
 /// Dispatches one parsed request to its handler. Known paths with the
 /// wrong method answer 405; unknown paths (including unparseable job ids)
-/// answer 404.
+/// answer 404. `POST /v1/jobs` is routed by the reactor itself (it may
+/// dispatch instead of respond) and never reaches this table.
 fn route(state: &GatewayState, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/jobs") => post_job(state, request),
         ("GET", "/v1/metrics") => get_metrics(state, request),
         ("GET", "/v1/debug/slowest") => get_slowest(state),
         ("GET", "/healthz") => get_health(state),
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             match path["/v1/jobs/".len()..].parse::<u64>() {
                 Ok(id) => get_job(state, id),
+                Err(_) => error_response(
+                    404,
+                    ErrorBody::new(
+                        "not_found",
+                        format!("not a job id: {:?}", &path["/v1/jobs/".len()..]),
+                    ),
+                ),
+            }
+        }
+        ("DELETE", path) if path.starts_with("/v1/jobs/") => {
+            match path["/v1/jobs/".len()..].parse::<u64>() {
+                Ok(id) => delete_job(state, id),
                 Err(_) => error_response(
                     404,
                     ErrorBody::new(
@@ -547,63 +1215,166 @@ fn serve_error_response(error: &ServeError) -> Response {
     }
 }
 
-fn post_job(state: &GatewayState, request: &Request) -> Response {
+/// How a `POST /v1/jobs` resolves: an immediate response, or a job parked
+/// with the tuner pool (`?wait=1`) whose completion hook will wake the
+/// reactor.
+enum PostOutcome {
+    Respond(Response),
+    Dispatched(JobHandle),
+}
+
+/// Extracts the API key, if any: `Authorization: Bearer <key>` wins,
+/// `X-Api-Key: <key>` is the curl-friendly fallback.
+fn api_key(request: &Request) -> Option<&str> {
+    if let Some(auth) = request.header("authorization") {
+        let mut parts = auth.splitn(2, char::is_whitespace);
+        let scheme = parts.next().unwrap_or("");
+        if scheme.eq_ignore_ascii_case("bearer") {
+            return Some(parts.next().unwrap_or("").trim());
+        }
+        // An Authorization header in a scheme we don't speak is not
+        // silently ignored — that would fall through to the legacy path
+        // and bill the self-declared tenant.
+        return Some("");
+    }
+    request.header("x-api-key").map(str::trim)
+}
+
+/// Resolves the tenant a submit runs under, per [`AuthConfig`]. `Err` is
+/// the finished 401/403 response.
+fn resolve_tenant(
+    state: &GatewayState,
+    request: &Request,
+    body_tenant: &str,
+) -> Result<String, Response> {
+    let auth = &state.config.auth;
+    match api_key(request) {
+        Some(key) => match auth.keys.get(key) {
+            Some(tenant) => {
+                if !body_tenant.is_empty() && body_tenant != tenant {
+                    state.metrics.auth_rejected(AuthReject::TenantMismatch);
+                    Err(error_response(
+                        403,
+                        ErrorBody::new(
+                            "tenant_mismatch",
+                            format!(
+                                "the API key belongs to tenant {tenant:?}, not {body_tenant:?}"
+                            ),
+                        ),
+                    ))
+                } else {
+                    Ok(tenant.clone())
+                }
+            }
+            None => {
+                state.metrics.auth_rejected(AuthReject::Unauthenticated);
+                Err(error_response(
+                    401,
+                    ErrorBody::new("unauthenticated", "unknown API key"),
+                ))
+            }
+        },
+        None if auth.allow_body_tenant => Ok(body_tenant.to_owned()),
+        None => {
+            state.metrics.auth_rejected(AuthReject::Unauthenticated);
+            Err(error_response(
+                401,
+                ErrorBody::new(
+                    "unauthenticated",
+                    "submit requires Authorization: Bearer <key> or X-Api-Key",
+                ),
+            ))
+        }
+    }
+}
+
+fn post_job(
+    state: &GatewayState,
+    request: &Request,
+    notify: impl FnOnce() -> crowdtune_serve::CompletionNotify,
+) -> PostOutcome {
+    let respond = PostOutcome::Respond;
     if request.body.is_empty() {
-        return error_response(
+        return respond(error_response(
             400,
             ErrorBody::new("bad_request", "POST /v1/jobs requires a JSON body"),
-        );
+        ));
     }
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return error_response(400, ErrorBody::new("bad_request", "body is not UTF-8"));
+        return respond(error_response(
+            400,
+            ErrorBody::new("bad_request", "body is not UTF-8"),
+        ));
     };
-    let wire: JobRequestWire = match serde_json::from_str(text) {
+    let mut wire: JobRequestWire = match serde_json::from_str(text) {
         Ok(wire) => wire,
         Err(e) => {
-            return error_response(
+            return respond(error_response(
                 400,
                 ErrorBody::new("bad_request", format!("invalid job JSON: {e}")),
-            )
+            ))
         }
     };
+    // Authenticated principal first: nothing downstream (quota, admission,
+    // the solve) may see a tenant the credentials don't vouch for.
+    wire.tenant = match resolve_tenant(state, request, &wire.tenant) {
+        Ok(tenant) => tenant,
+        Err(response) => return respond(response),
+    };
+    if let Some(quota) = &state.config.quota {
+        if !wire.tenant.is_empty() {
+            if let Err(retry_after) = try_take_token(state, &wire.tenant, quota) {
+                state.metrics.quota_rejects.inc();
+                return respond(
+                    error_response(
+                        429,
+                        ErrorBody::new(
+                            "quota_exceeded",
+                            format!(
+                                "tenant {:?} is over its request quota; retry in {retry_after}s",
+                                wire.tenant
+                            ),
+                        ),
+                    )
+                    .with_retry_after(retry_after),
+                );
+            }
+        }
+    }
     let job = match wire.to_request(state.config.max_job_slots) {
         Ok(job) => job,
-        Err(e) => return error_response(422, ErrorBody::new("invalid_job", e.to_string())),
+        Err(e) => {
+            return respond(error_response(
+                422,
+                ErrorBody::new("invalid_job", e.to_string()),
+            ))
+        }
     };
     let wait = matches!(request.query_param("wait"), Some("1") | Some("true"));
-    let handle = match state.service.submit(job) {
-        Ok(handle) => handle,
-        Err(e) => return serve_error_response(&e),
-    };
-    let job_id = handle.job_id;
     if wait {
-        // Synchronous mode: resolve inline (thread-per-connection makes the
-        // block honest) and retain the outcome for later GETs too. The body
-        // is built once and shared between the response and the registry.
-        let outcome = handle.wait();
-        let error = match &outcome {
-            Ok(_) => None,
-            Err(e) => Some(serve_error_response(e)),
-        };
-        let body = outcome_body(job_id, outcome);
-        let mut jobs = state.jobs.lock().expect("gateway job registry poisoned");
-        let body = jobs.store_done(job_id, body);
-        drop(jobs);
-        match error {
-            Some(response) => response,
-            None => json_response(200, &*body),
+        // Waiting mode: hand the job to the tuner pool with a completion
+        // hook; the reactor renders the response when it fires. The
+        // connection parks — no thread does.
+        match state.service.submit_with_notify(job, notify()) {
+            Ok(handle) => PostOutcome::Dispatched(handle),
+            Err(e) => respond(serve_error_response(&e)),
         }
     } else {
+        let handle = match state.service.submit(job) {
+            Ok(handle) => handle,
+            Err(e) => return respond(serve_error_response(&e)),
+        };
+        let job_id = handle.job_id;
         let mut jobs = state.jobs.lock().expect("gateway job registry poisoned");
         jobs.store_pending(job_id, handle);
         drop(jobs);
-        json_response(
+        respond(json_response(
             202,
             &SubmittedBody {
                 job_id,
                 status: "pending".to_owned(),
             },
-        )
+        ))
     }
 }
 
@@ -629,12 +1400,13 @@ fn outcome_body(job_id: u64, outcome: Result<ServedPlan, ServeError>) -> JobBody
 
 fn get_job(state: &GatewayState, job_id: u64) -> Response {
     let mut jobs = state.jobs.lock().expect("gateway job registry poisoned");
+    jobs.expire_stale(Instant::now());
     match jobs.slots.get(&job_id) {
         None => error_response(
             404,
             ErrorBody::new("not_found", format!("no such job: {job_id}")),
         ),
-        Some(JobSlot::Done(body)) => {
+        Some(JobSlot::Done { body, .. }) => {
             let body = body.clone();
             drop(jobs);
             json_response(200, &*body)
@@ -647,6 +1419,27 @@ fn get_job(state: &GatewayState, job_id: u64) -> Response {
                 json_response(200, &*body)
             }
         },
+    }
+}
+
+/// `DELETE /v1/jobs/{id}`: idempotent removal of a pending or retained job
+/// — `204` the time it existed, `404` ever after. Lets fire-and-forget
+/// clients release results deterministically instead of leaning on the
+/// bounded-FIFO reaping order.
+fn delete_job(state: &GatewayState, job_id: u64) -> Response {
+    let deleted = state
+        .jobs
+        .lock()
+        .expect("gateway job registry poisoned")
+        .delete(job_id);
+    if deleted {
+        state.metrics.jobs_deleted.inc();
+        Response::json(204, String::new())
+    } else {
+        error_response(
+            404,
+            ErrorBody::new("not_found", format!("no such job: {job_id}")),
+        )
     }
 }
 

@@ -24,6 +24,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct JobRequestWire {
     /// Submitting tenant; fairness and per-tenant admission key on it.
+    /// Optional on the wire: authenticated submits derive the tenant from
+    /// the API key and may omit (or empty) this field entirely — when
+    /// present alongside a key it must *agree* with the key's tenant (403
+    /// otherwise). Unauthenticated submits in legacy body-tenant mode still
+    /// require it non-empty.
     pub tenant: String,
     /// Target market; absent (or `null`) means the default market, so every
     /// pre-federation client body keeps working unchanged. Unknown ids are
@@ -40,12 +45,16 @@ pub struct JobRequestWire {
     pub strategy: StrategyChoice,
 }
 
-// Hand-written so `market` can be *absent* from client JSON: the derived
-// impl treats every field as mandatory, which would break existing clients.
+// Hand-written so `market` and `tenant` can be *absent* from client JSON:
+// the derived impl treats every field as mandatory, which would break
+// existing clients (and authenticated bodies need no tenant at all).
 impl Deserialize for JobRequestWire {
     fn deserialize_value(value: &serde::Value) -> Result<Self, serde::DeError> {
         Ok(JobRequestWire {
-            tenant: Deserialize::deserialize_value(value.field("tenant")?)?,
+            tenant: match value.opt_field("tenant")? {
+                Some(tenant) => Deserialize::deserialize_value(tenant)?,
+                None => String::new(),
+            },
             market: match value.opt_field("market")? {
                 Some(market) => Deserialize::deserialize_value(market)?,
                 None => None,

@@ -336,7 +336,11 @@ fn error_mapping_over_http() {
         405,
         "known path, wrong method — the collection has no GET"
     );
-    assert_eq!(client.request("DELETE", "/v1/jobs/1", None).status, 405);
+    assert_eq!(
+        client.request("DELETE", "/v1/jobs/1", None).status,
+        404,
+        "DELETE is routed now; an unknown id is 404, not 405"
+    );
 
     // Flood one tenant with async submissions: the per-tenant depth bound
     // (1) must answer 429 once a job is queued behind the busy worker.

@@ -1,0 +1,524 @@
+//! End-to-end coverage of the v1 API contract added with the event-driven
+//! gateway: API-key authentication (401/403 and the legacy body-tenant
+//! fallback), per-tenant token-bucket quotas (429 + `Retry-After`, distinct
+//! from queue-depth admission), the result lifecycle (idempotent `DELETE`,
+//! TTL expiry, retention counters), and the reactor's headline property —
+//! thousands of idle keep-alive connections held open without starving a
+//! fresh submit.
+
+use crowdtune_core::rate::{LinearRate, RateSpec};
+use crowdtune_core::task::TaskGroupSpec;
+use crowdtune_core::tuner::StrategyChoice;
+use crowdtune_gateway::{AuthConfig, Gateway, GatewayConfig, JobRequestWire, QuotaConfig};
+use crowdtune_serve::{ServiceConfig, TuningService};
+use serde::Value;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One parsed HTTP response, including the `Retry-After` header when the
+/// server sent one.
+struct HttpResponse {
+    status: u16,
+    retry_after: Option<u64>,
+    body: String,
+}
+
+impl HttpResponse {
+    fn json(&self) -> Value {
+        serde_json::parse_value_str(&self.body)
+            .unwrap_or_else(|e| panic!("body is not JSON ({e}): {}", self.body))
+    }
+
+    fn error_code(&self) -> String {
+        as_str(field(&self.json(), "error")).to_owned()
+    }
+}
+
+/// A keep-alive test client over one TCP connection.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to gateway");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn request(&mut self, method: &str, target: &str, body: Option<&str>) -> HttpResponse {
+        self.request_with(method, target, &[], body)
+    }
+
+    fn request_with(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> HttpResponse {
+        let mut text = format!("{method} {target} HTTP/1.1\r\nHost: test\r\n");
+        for (name, value) in headers {
+            text.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if let Some(body) = body {
+            text.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        text.push_str("\r\n");
+        if let Some(body) = body {
+            text.push_str(body);
+        }
+        self.stream.write_all(text.as_bytes()).expect("send");
+        self.read_response().expect("response")
+    }
+
+    fn read_response(&mut self) -> Option<HttpResponse> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line).ok()? == 0 {
+            return None;
+        }
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut content_length = 0usize;
+        let mut retry_after = None;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header line");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("content length");
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = Some(value.trim().parse().expect("retry-after seconds"));
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        Some(HttpResponse {
+            status,
+            retry_after,
+            body: String::from_utf8(body).expect("utf-8 body"),
+        })
+    }
+}
+
+fn ra_wire(tenant: &str, budget: u64) -> JobRequestWire {
+    JobRequestWire {
+        tenant: tenant.to_owned(),
+        market: None,
+        groups: vec![TaskGroupSpec {
+            name: "vote".to_owned(),
+            processing_rate: 2.0,
+            tasks: 4,
+            repetitions: 3,
+        }],
+        budget,
+        rate: RateSpec::Linear(LinearRate::new(1.5, 0.5).unwrap()),
+        strategy: StrategyChoice::Auto,
+    }
+}
+
+fn wire_body(tenant: &str, budget: u64) -> String {
+    serde_json::to_string(&ra_wire(tenant, budget)).unwrap()
+}
+
+fn start_gateway(config: GatewayConfig) -> (Arc<TuningService>, Gateway) {
+    let service = Arc::new(TuningService::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    }));
+    let gateway = Gateway::start(service.clone(), "127.0.0.1:0", config).expect("bind gateway");
+    (service, gateway)
+}
+
+fn field<'v>(value: &'v Value, name: &str) -> &'v Value {
+    value.field(name).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn as_str(value: &Value) -> &str {
+    match value {
+        Value::Str(s) => s.as_str(),
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+fn as_u64(value: &Value) -> u64 {
+    match value {
+        Value::I64(v) => u64::try_from(*v).expect("non-negative"),
+        Value::U64(v) => *v,
+        other => panic!("expected integer, got {other:?}"),
+    }
+}
+
+/// Pulls the value of `name{labels}` out of a Prometheus text exposition.
+fn prom_value(text: &str, name: &str, labels: &str) -> Option<u64> {
+    let needle = if labels.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{name}{{{labels}}}")
+    };
+    text.lines().find_map(|line| {
+        let (metric, value) = line.rsplit_once(' ')?;
+        (metric == needle).then(|| value.parse().ok())?
+    })
+}
+
+fn scrape(client: &mut Client) -> String {
+    let response = client.request("GET", "/v1/metrics?format=prometheus", None);
+    assert_eq!(response.status, 200);
+    response.body
+}
+
+/// Polls `GET /v1/jobs/{id}` until the job reports `done`.
+fn poll_done(client: &mut Client, job_id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let polled = client.request("GET", &format!("/v1/jobs/{job_id}"), None);
+        assert_eq!(polled.status, 200, "job {job_id}: {}", polled.body);
+        match as_str(field(&polled.json(), "status")) {
+            "pending" => {
+                assert!(Instant::now() < deadline, "job {job_id} never completed");
+                std::thread::yield_now();
+            }
+            "done" => return,
+            other => panic!("job {job_id} ended as {other}"),
+        }
+    }
+}
+
+/// With `allow_body_tenant` off, every submit must present a key the
+/// gateway knows: keyless and unknown-key submits are 401, a key vouching
+/// for a different tenant than the body names is 403, and the tenant that
+/// runs is always the key's — whether the body repeats it or leaves the
+/// field empty. Both header spellings work, and the rejects land in the
+/// scrape by reason.
+#[test]
+fn auth_contract_enforced_when_body_tenant_disallowed() {
+    let mut keys = HashMap::new();
+    keys.insert("sk-acme".to_owned(), "acme".to_owned());
+    keys.insert("sk-beta".to_owned(), "beta".to_owned());
+    let (_service, gateway) = start_gateway(GatewayConfig {
+        auth: AuthConfig {
+            keys,
+            allow_body_tenant: false,
+        },
+        ..GatewayConfig::default()
+    });
+    let mut client = Client::connect(gateway.local_addr());
+    let body = wire_body("acme", 40);
+
+    // No credential at all: 401, even though the body names a tenant.
+    let keyless = client.request("POST", "/v1/jobs", Some(&body));
+    assert_eq!(keyless.status, 401, "{}", keyless.body);
+    assert_eq!(keyless.error_code(), "unauthenticated");
+
+    // A key the gateway has never heard of: 401.
+    let unknown = client.request_with(
+        "POST",
+        "/v1/jobs",
+        &[("Authorization", "Bearer sk-nope")],
+        Some(&body),
+    );
+    assert_eq!(unknown.status, 401);
+    assert_eq!(unknown.error_code(), "unauthenticated");
+
+    // An Authorization scheme we don't speak must not silently fall
+    // through to the legacy body-tenant path.
+    let basic = client.request_with(
+        "POST",
+        "/v1/jobs",
+        &[("Authorization", "Basic dXNlcjpwdw==")],
+        Some(&body),
+    );
+    assert_eq!(basic.status, 401);
+
+    // A valid key whose tenant contradicts the body: 403.
+    let mismatch = client.request_with(
+        "POST",
+        "/v1/jobs?wait=1",
+        &[("Authorization", "Bearer sk-beta")],
+        Some(&body),
+    );
+    assert_eq!(mismatch.status, 403, "{}", mismatch.body);
+    assert_eq!(mismatch.error_code(), "tenant_mismatch");
+
+    // The happy paths: Bearer with a matching body tenant, Bearer with an
+    // empty body tenant (the key alone names the principal), and the
+    // X-Api-Key spelling.
+    let matching = client.request_with(
+        "POST",
+        "/v1/jobs?wait=1",
+        &[("Authorization", "Bearer sk-acme")],
+        Some(&body),
+    );
+    assert_eq!(matching.status, 200, "{}", matching.body);
+
+    let tenantless = client.request_with(
+        "POST",
+        "/v1/jobs?wait=1",
+        &[("Authorization", "bearer sk-acme")],
+        Some(&wire_body("", 41)),
+    );
+    assert_eq!(tenantless.status, 200, "{}", tenantless.body);
+
+    let api_key = client.request_with(
+        "POST",
+        "/v1/jobs?wait=1",
+        &[("X-Api-Key", "sk-beta")],
+        Some(&wire_body("beta", 42)),
+    );
+    assert_eq!(api_key.status, 200, "{}", api_key.body);
+
+    // The scrape accounts for every reject, by reason.
+    let text = scrape(&mut client);
+    assert_eq!(
+        prom_value(
+            &text,
+            "crowdtune_gateway_auth_rejects_total",
+            "reason=\"unauthenticated\""
+        ),
+        Some(3),
+        "{text}"
+    );
+    assert_eq!(
+        prom_value(
+            &text,
+            "crowdtune_gateway_auth_rejects_total",
+            "reason=\"tenant_mismatch\""
+        ),
+        Some(1)
+    );
+    drop(client);
+    gateway.shutdown();
+}
+
+/// The default config keeps the pre-auth wire contract: keyless submits
+/// run under the body's self-declared tenant. But presenting a key still
+/// means opting in to authentication — an unknown key is refused, never
+/// silently downgraded to the legacy path.
+#[test]
+fn legacy_body_tenant_works_until_a_key_is_presented() {
+    let (_service, gateway) = start_gateway(GatewayConfig::default());
+    let mut client = Client::connect(gateway.local_addr());
+
+    let legacy = client.request("POST", "/v1/jobs?wait=1", Some(&wire_body("acme", 50)));
+    assert_eq!(legacy.status, 200, "{}", legacy.body);
+
+    let with_key = client.request_with(
+        "POST",
+        "/v1/jobs?wait=1",
+        &[("Authorization", "Bearer sk-unknown")],
+        Some(&wire_body("acme", 51)),
+    );
+    assert_eq!(with_key.status, 401, "{}", with_key.body);
+    assert_eq!(with_key.error_code(), "unauthenticated");
+
+    // A keyless submit with no tenant at all is still a 422 (invalid job),
+    // exactly as before auth existed.
+    let tenantless = client.request("POST", "/v1/jobs", Some(&wire_body("", 52)));
+    assert_eq!(tenantless.status, 422, "{}", tenantless.body);
+    drop(client);
+    gateway.shutdown();
+}
+
+/// The token-bucket quota: a tenant may spend its burst, then gets 429
+/// `quota_exceeded` with a `Retry-After` header — a different refusal than
+/// the queue-depth `tenant_over_limit` — while other tenants are
+/// unaffected. Rejects land in the scrape.
+#[test]
+fn quota_answers_429_with_retry_after() {
+    let (_service, gateway) = start_gateway(GatewayConfig {
+        quota: Some(QuotaConfig {
+            requests_per_sec: 0.2,
+            burst: 2.0,
+        }),
+        ..GatewayConfig::default()
+    });
+    let mut client = Client::connect(gateway.local_addr());
+
+    // The burst of 2 is spendable immediately...
+    for budget in [60, 61] {
+        let ok = client.request("POST", "/v1/jobs", Some(&wire_body("metered", budget)));
+        assert_eq!(ok.status, 202, "{}", ok.body);
+    }
+    // ...and the third submit is over quota: at 0.2 tokens/s the next token
+    // is ~5s out, and the refusal says so in the header and the body.
+    let over = client.request("POST", "/v1/jobs", Some(&wire_body("metered", 62)));
+    assert_eq!(over.status, 429, "{}", over.body);
+    assert_eq!(over.error_code(), "quota_exceeded");
+    let retry_after = over.retry_after.expect("429 carries Retry-After");
+    assert!(
+        (1..=6).contains(&retry_after),
+        "Retry-After {retry_after} should be ~5s"
+    );
+
+    // The bucket is per-tenant: someone else still gets through.
+    let other = client.request("POST", "/v1/jobs", Some(&wire_body("unmetered", 63)));
+    assert_eq!(other.status, 202, "{}", other.body);
+
+    let text = scrape(&mut client);
+    assert_eq!(
+        prom_value(&text, "crowdtune_gateway_quota_rejects_total", ""),
+        Some(1),
+        "{text}"
+    );
+    drop(client);
+    gateway.shutdown();
+}
+
+/// The result lifecycle: `DELETE /v1/jobs/{id}` releases a retained result
+/// (204 the time it existed, 404 ever after, and the id stops resolving),
+/// and a configured TTL expires unfetched results on its own. Both paths
+/// are visible in the scrape: `jobs_deleted_total`, `jobs_expired_total`,
+/// and the `jobs_retained` gauge.
+#[test]
+fn delete_is_idempotent_and_ttl_expires_results() {
+    let (_service, gateway) = start_gateway(GatewayConfig {
+        result_ttl: Some(Duration::from_millis(250)),
+        ..GatewayConfig::default()
+    });
+    let mut client = Client::connect(gateway.local_addr());
+
+    // Job one: complete it, then delete it.
+    let submitted = client.request("POST", "/v1/jobs", Some(&wire_body("acme", 70)));
+    assert_eq!(submitted.status, 202, "{}", submitted.body);
+    let job_id = as_u64(field(&submitted.json(), "job_id"));
+    poll_done(&mut client, job_id);
+
+    let target = format!("/v1/jobs/{job_id}");
+    let deleted = client.request("DELETE", &target, None);
+    assert_eq!(deleted.status, 204, "{}", deleted.body);
+    let again = client.request("DELETE", &target, None);
+    assert_eq!(
+        again.status, 404,
+        "DELETE is idempotent: second call is 404"
+    );
+    assert_eq!(client.request("GET", &target, None).status, 404);
+
+    // Job two: complete it, let the TTL lapse, and watch it vanish.
+    let submitted = client.request("POST", "/v1/jobs", Some(&wire_body("acme", 71)));
+    assert_eq!(submitted.status, 202);
+    let expiring_id = as_u64(field(&submitted.json(), "job_id"));
+    poll_done(&mut client, expiring_id);
+    std::thread::sleep(Duration::from_millis(400));
+    let expired = client.request("GET", &format!("/v1/jobs/{expiring_id}"), None);
+    assert_eq!(expired.status, 404, "{}", expired.body);
+
+    let text = scrape(&mut client);
+    assert_eq!(
+        prom_value(&text, "crowdtune_gateway_jobs_deleted_total", ""),
+        Some(1),
+        "{text}"
+    );
+    assert!(
+        prom_value(&text, "crowdtune_gateway_jobs_expired_total", "") >= Some(1),
+        "{text}"
+    );
+    assert_eq!(
+        prom_value(&text, "crowdtune_gateway_jobs_retained", ""),
+        Some(0),
+        "nothing should remain retained: {text}"
+    );
+    drop(client);
+    gateway.shutdown();
+}
+
+/// Reads this process's soft open-files limit, the binding constraint on
+/// how many sockets the herd test may hold (each held connection costs two
+/// descriptors here — client and server ends live in the same process).
+fn open_files_limit() -> usize {
+    let limits = std::fs::read_to_string("/proc/self/limits").unwrap_or_default();
+    limits
+        .lines()
+        .find(|line| line.starts_with("Max open files"))
+        .and_then(|line| line.split_whitespace().nth(3))
+        .and_then(|soft| soft.parse().ok())
+        .unwrap_or(1024)
+}
+
+/// The reactor's headline property: thousands of idle keep-alive
+/// connections parked on the event loop cost no threads and no service
+/// capacity — a fresh connection's synchronous submit still completes
+/// promptly, the herd stays live, and the `connections_open` gauge reports
+/// the crowd.
+#[test]
+fn idle_keep_alive_herd_does_not_starve_fresh_submits() {
+    let (_service, gateway) = start_gateway(GatewayConfig {
+        // The herd must outlive the test, not the idle reaper.
+        keep_alive_timeout: Duration::from_secs(120),
+        max_connections: 16_384,
+        ..GatewayConfig::default()
+    });
+    let addr = gateway.local_addr();
+
+    // Size the herd to the fd budget: two descriptors per held connection,
+    // plus slack for the harness itself.
+    let herd_size = (open_files_limit().saturating_sub(128) / 2).min(3000);
+    assert!(
+        herd_size >= 200,
+        "fd limit too low to exercise the reactor meaningfully"
+    );
+    let mut herd = Vec::with_capacity(herd_size);
+    for _ in 0..herd_size {
+        herd.push(TcpStream::connect(addr).expect("connect herd member"));
+    }
+
+    // Every member is accepted and registered: the open-connections gauge
+    // reaches the herd (+1 for the scraping client itself).
+    let mut observer = Client::connect(addr);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let text = scrape(&mut observer);
+        let open = prom_value(&text, "crowdtune_gateway_connections_open", "").unwrap_or(0);
+        if open >= herd_size as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {open}/{herd_size} connections registered"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // A fresh connection's synchronous submit is not starved by the herd.
+    let started = Instant::now();
+    let mut fresh = Client::connect(addr);
+    let response = fresh.request("POST", "/v1/jobs?wait=1", Some(&wire_body("acme", 80)));
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(as_str(field(&response.json(), "status")), "done");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "submit took {:?} with {herd_size} idle connections parked",
+        started.elapsed()
+    );
+
+    // The herd is still live: a member picked from the middle can speak.
+    let mid = herd.swap_remove(herd_size / 2);
+    mid.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut member = Client {
+        reader: BufReader::new(mid.try_clone().unwrap()),
+        stream: mid,
+    };
+    let health = member.request("GET", "/healthz", None);
+    assert_eq!(health.status, 200, "{}", health.body);
+
+    drop(member);
+    drop(fresh);
+    drop(observer);
+    drop(herd);
+    gateway.shutdown();
+}

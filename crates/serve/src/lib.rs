@@ -92,8 +92,9 @@ pub use queue::{AdmissionError, AdmissionPolicy, JobQueue};
 pub use retuner::{RetunePolicy, RetuneStats, Retuner};
 pub use router::{GroupAssignment, MarketRouter, RouteQuote, RoutedPlan};
 pub use service::{
-    JobHandle, JobRequest, MetricsSnapshot, PlanSource, RecoveryStats, ServeError, ServedPlan,
-    ServiceConfig, ServiceStatus, TuningService, WorkerDeath, REPLAY_ATTEMPT_LIMIT,
+    CompletionNotify, JobHandle, JobRequest, MetricsSnapshot, PlanSource, RecoveryStats,
+    ServeError, ServedPlan, ServiceConfig, ServiceStatus, TuningService, WorkerDeath,
+    REPLAY_ATTEMPT_LIMIT,
 };
 pub use store::{
     backoff_delay, FamilyRecord, FsyncPolicy, JournalRecord, LoadReport, PlanRecord, PlanStore,

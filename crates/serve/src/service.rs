@@ -173,6 +173,35 @@ pub struct JobHandle {
     receiver: mpsc::Receiver<Result<ServedPlan, ServeError>>,
 }
 
+/// A completion hook for event-driven front-ends: invoked with the job id
+/// exactly once, after the outcome is deliverable via
+/// [`JobHandle::try_result`]. See [`TuningService::submit_with_notify`].
+pub type CompletionNotify = Arc<dyn Fn(u64) + Send + Sync>;
+
+/// Fires the completion hook exactly once — normally right after the worker
+/// delivers the outcome, but also on drop, so a job discarded while still
+/// queued (service drain, queue teardown) still wakes its observer instead
+/// of leaving an event loop parked on a notification that never comes (the
+/// observer then reads [`ServeError::WorkerGone`] from the dropped channel).
+struct NotifyOnce {
+    job_id: u64,
+    hook: Option<CompletionNotify>,
+}
+
+impl NotifyOnce {
+    fn fire(&mut self) {
+        if let Some(hook) = self.hook.take() {
+            hook(self.job_id);
+        }
+    }
+}
+
+impl Drop for NotifyOnce {
+    fn drop(&mut self) {
+        self.fire();
+    }
+}
+
 impl JobHandle {
     /// Blocks until the job completes.
     pub fn wait(self) -> Result<ServedPlan, ServeError> {
@@ -567,6 +596,9 @@ struct QueuedJob {
     /// the uncompacted journal forever.
     journaled: bool,
     respond: mpsc::Sender<Result<ServedPlan, ServeError>>,
+    /// Completion hook fired once the outcome is deliverable (or on drop,
+    /// if the job is discarded unserved).
+    notify: NotifyOnce,
     /// Stage stamps accumulated as the job moves through the pipeline
     /// (all zero when telemetry is off).
     trace: JobTrace,
@@ -928,7 +960,7 @@ impl TuningService {
             });
             // `journaled: true` — completion (or terminal failure) must
             // retire the on-disk record.
-            match service.enqueue_job(job.job_id, request, true, 0) {
+            match service.enqueue_job(job.job_id, request, true, 0, None) {
                 Ok(_handle) => replayed += 1,
                 Err(_) => dropped += 1,
             }
@@ -946,6 +978,33 @@ impl TuningService {
     /// jobs whose rate model is serializable are journaled for crash
     /// recovery.
     pub fn submit(&self, request: JobRequest) -> Result<JobHandle, ServeError> {
+        self.submit_inner(request, None)
+    }
+
+    /// Like [`TuningService::submit`], but additionally registers a
+    /// completion hook: `notify` is invoked with the job id exactly once,
+    /// *after* the outcome becomes readable via [`JobHandle::try_result`].
+    /// This is the non-blocking integration point for event-driven
+    /// front-ends (the gateway's reactor): instead of parking a thread in
+    /// [`JobHandle::wait`] per pending job, the front-end polls
+    /// `try_result` only when the hook fires. The hook also fires if the
+    /// job is discarded unserved (drain, teardown) — `try_result` then
+    /// reports [`ServeError::WorkerGone`] — so an event loop is never left
+    /// waiting on a notification that cannot come. The hook runs on a
+    /// worker (or teardown) thread: it must be cheap and must not block.
+    pub fn submit_with_notify(
+        &self,
+        request: JobRequest,
+        notify: CompletionNotify,
+    ) -> Result<JobHandle, ServeError> {
+        self.submit_inner(request, Some(notify))
+    }
+
+    fn submit_inner(
+        &self,
+        request: JobRequest,
+        notify: Option<CompletionNotify>,
+    ) -> Result<JobHandle, ServeError> {
         // A draining service sheds at the door — before journaling, so the
         // refusal costs neither a journal record nor its retirement.
         if self.is_draining() {
@@ -1009,7 +1068,7 @@ impl TuningService {
         } else {
             false
         };
-        match self.enqueue_job(id, request, journaled, admitted_ns) {
+        match self.enqueue_job(id, request, journaled, admitted_ns, notify) {
             Ok(handle) => Ok(handle),
             Err(e) => {
                 if journaled {
@@ -1030,6 +1089,7 @@ impl TuningService {
         request: JobRequest,
         journaled: bool,
         admitted_ns: u64,
+        notify: Option<CompletionNotify>,
     ) -> Result<JobHandle, ServeError> {
         let (sender, receiver) = mpsc::channel();
         let tenant = request.tenant.clone();
@@ -1059,6 +1119,10 @@ impl TuningService {
             request,
             journaled,
             respond: sender,
+            notify: NotifyOnce {
+                job_id: id,
+                hook: notify,
+            },
             trace,
         };
         match self.queue.submit(&tenant, job) {
@@ -1335,6 +1399,7 @@ fn worker_loop(ctx: &WorkerContext) {
             request,
             journaled,
             respond,
+            mut notify,
             mut trace,
         } = job;
         trace.dequeued_ns = telemetry.now_ns();
@@ -1408,6 +1473,9 @@ fn worker_loop(ctx: &WorkerContext) {
             plan,
             source,
         }));
+        // Completion hook *after* the send: by the time an event loop is
+        // woken, `try_result` is guaranteed to yield the outcome.
+        notify.fire();
         // Fold the trace in *after* responding — the histograms and the
         // slowest ring are off the submitter's latency path.
         if telemetry.enabled && served {
@@ -1697,6 +1765,39 @@ mod tests {
         assert!(
             matches!(handle.try_result(), Some(Err(ServeError::WorkerGone))),
             "the outcome is delivered once"
+        );
+        service.shutdown();
+    }
+
+    /// The event-driven integration contract: the completion hook fires
+    /// exactly once, with the job id, and only after `try_result` can see
+    /// the outcome — no polling loop required.
+    #[test]
+    fn submit_with_notify_fires_after_the_outcome_is_readable() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let (tx, rx) = mpsc::channel::<u64>();
+        let handle = service
+            .submit_with_notify(
+                request("acme", 5, 60),
+                Arc::new(move |job_id| {
+                    let _ = tx.send(job_id);
+                }),
+            )
+            .unwrap();
+        let notified = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("completion hook fires");
+        assert_eq!(notified, handle.job_id);
+        let outcome = handle
+            .try_result()
+            .expect("outcome is readable once the hook has fired");
+        assert_eq!(outcome.unwrap().job_id, notified);
+        assert!(
+            rx.try_recv().is_err(),
+            "the hook fires exactly once per job"
         );
         service.shutdown();
     }

@@ -28,6 +28,17 @@
 //!    chaos write-fault layer absent vs installed-but-disarmed;
 //!    `fault_layer_off_vs_on_p50_ratio` (~1.0, guarded with a floor) proves
 //!    fault injection support costs nothing on the fault-free hot path.
+//! 8. **Idle-herd + open-loop pass** — parks thousands of idle keep-alive
+//!    connections on the reactor (sized to the process fd limit), verifies
+//!    the `connections_open` gauge reports the crowd, then drives
+//!    **open-loop** arrivals (requests fire on a fixed schedule, latency
+//!    measured from the scheduled send time — coordinated-omission-safe)
+//!    from fresh connections while the herd stays parked. Emits
+//!    `concurrent_connections`, `open_loop_http_p50_us`,
+//!    `open_loop_http_throughput_rps`, and two in-run guard ratios:
+//!    `idle_herd_held_ratio` (herd still registered after the pass, floor)
+//!    and `open_loop_p50_vs_closed_p50_ratio` (parked herd must not tax
+//!    latency, ceiling).
 //!
 //! Any plan byte-drift, non-2xx happy-path response, or missing 429 exits
 //! non-zero. `CROWDTUNE_BENCH_QUICK=1` shrinks thread/round counts for CI.
@@ -209,6 +220,27 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
+/// Pulls the value of `name{labels}` out of a Prometheus text exposition.
+fn prom_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let (metric, value) = line.rsplit_once(' ')?;
+        (metric == name).then(|| value.parse().ok())?
+    })
+}
+
+/// This process's soft open-files limit: the binding constraint on the
+/// idle-herd size (client and server ends of every held connection live in
+/// this one process, so each costs two descriptors).
+fn open_files_limit() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .unwrap_or_default()
+        .lines()
+        .find(|line| line.starts_with("Max open files"))
+        .and_then(|line| line.split_whitespace().nth(3))
+        .and_then(|soft| soft.parse().ok())
+        .unwrap_or(1024)
+}
+
 fn main() {
     let quick = std::env::var("CROWDTUNE_BENCH_QUICK").is_ok_and(|v| v == "1");
     let mut failures = 0u32;
@@ -220,7 +252,10 @@ fn main() {
         service.clone(),
         "127.0.0.1:0",
         GatewayConfig {
-            workers: 16,
+            // The idle-herd pass parks connections across several measurement
+            // phases; the default 5s idle reaper would cull them mid-pass.
+            keep_alive_timeout: Duration::from_secs(120),
+            max_connections: 16_384,
             ..GatewayConfig::default()
         },
     )
@@ -458,6 +493,85 @@ fn main() {
         println!("endpoint {endpoint:<22} p50 {p50:>8.1}µs p90 {p90:>8.1}µs p99 {p99:>8.1}µs");
     }
 
+    // -- Idle-herd + open-loop pass: park an fd-limit-sized crowd of idle
+    // keep-alive connections on the reactor, then drive open-loop arrivals
+    // from fresh connections. Requests fire on a fixed schedule and latency
+    // is measured from the *scheduled* send time, so a stalled server can't
+    // hide behind coordinated omission.
+    let herd_target = if quick { 1200 } else { 6000 };
+    let herd_size = herd_target.min(open_files_limit().saturating_sub(512) / 2);
+    let mut herd = Vec::with_capacity(herd_size);
+    for _ in 0..herd_size {
+        herd.push(TcpStream::connect(addr).expect("connect herd member"));
+    }
+    println!("idle herd: {herd_size} keep-alive connections parked (target {herd_target})");
+
+    let open_loop_rate = if quick { 1000.0 } else { 4000.0 };
+    let open_loop_secs = if quick { 2.0 } else { 5.0 };
+    let open_loop_threads = if quick { 2 } else { 4 };
+    let per_thread = open_loop_rate / open_loop_threads as f64;
+    let shots = (per_thread * open_loop_secs) as usize;
+    let open_started = Instant::now();
+    let mut open_latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..open_loop_threads)
+            .map(|_| {
+                let bodies = bodies.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let interval = Duration::from_secs_f64(1.0 / per_thread);
+                    let start = Instant::now();
+                    let mut samples = Vec::with_capacity(shots);
+                    for shot in 0..shots {
+                        let scheduled = start + interval * shot as u32;
+                        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let body = &bodies[shot % bodies.len()];
+                        let response = client.request("POST", "/v1/jobs?wait=1", Some(body));
+                        assert_eq!(
+                            response.status, 200,
+                            "open-loop happy path: {}",
+                            response.body
+                        );
+                        samples.push(scheduled.elapsed().as_secs_f64() * 1e6);
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("open-loop thread"))
+            .collect()
+    });
+    let open_elapsed = open_started.elapsed().as_secs_f64();
+    open_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let open_loop_p50 = percentile(&open_latencies, 0.50);
+    let open_loop_p99 = percentile(&open_latencies, 0.99);
+    let open_loop_throughput = open_latencies.len() as f64 / open_elapsed;
+
+    // The herd must still be registered after the pass: the reactor held
+    // every idle connection while serving the open-loop traffic.
+    let exposition = Client::connect(addr)
+        .request("GET", "/v1/metrics?format=prometheus", None)
+        .body;
+    let connections_open = prom_value(&exposition, "crowdtune_gateway_connections_open")
+        .unwrap_or(0.0)
+        .round() as u64;
+    let herd_held_ratio = connections_open as f64 / herd_size as f64;
+    if herd_held_ratio < 1.0 {
+        eprintln!(
+            "FAIL: only {connections_open} of {herd_size} idle connections survived the open-loop pass"
+        );
+        failures += 1;
+    }
+    println!(
+        "open-loop: {} requests at {open_loop_rate:.0}/s target ({open_loop_throughput:.0} achieved) \
+         with {connections_open} connections parked | p50 {open_loop_p50:.0}µs p99 {open_loop_p99:.0}µs",
+        open_latencies.len()
+    );
+    drop(herd);
+
     // -- In-process comparison: the same requests straight into `submit`.
     let mut in_process: Vec<f64> = Vec::with_capacity(rounds.min(50) * jobs.len());
     for _ in 0..rounds.min(50) {
@@ -471,6 +585,7 @@ fn main() {
     in_process.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let inprocess_p50 = percentile(&in_process, 0.50);
     let ratio = inprocess_p50 / http_p50;
+    let open_loop_vs_closed = open_loop_p50 / http_p50;
 
     println!(
         "load: {total_requests} requests over {threads} connections in {elapsed:.2}s \
@@ -617,6 +732,13 @@ fn main() {
          \"http_p50_us\": {http_p50:.1},\n  \"http_p90_us\": {http_p90:.1},\n  \
          \"http_p99_us\": {http_p99:.1},\n  \
          \"http_throughput_rps\": {throughput:.0},\n  \
+         \"concurrent_connections\": {connections_open},\n  \
+         \"idle_herd_held_ratio\": {herd_held_ratio:.4},\n  \
+         \"open_loop_target_rps\": {open_loop_rate:.0},\n  \
+         \"open_loop_http_p50_us\": {open_loop_p50:.1},\n  \
+         \"open_loop_http_p99_us\": {open_loop_p99:.1},\n  \
+         \"open_loop_http_throughput_rps\": {open_loop_throughput:.0},\n  \
+         \"open_loop_p50_vs_closed_p50_ratio\": {open_loop_vs_closed:.4},\n  \
          \"inprocess_p50_us\": {inprocess_p50:.1},\n  \
          \"inprocess_vs_http_p50_ratio\": {ratio:.4},\n  \
          \"telemetry_on_p50_us\": {telemetry_on_p50:.2},\n  \

@@ -47,7 +47,17 @@ Suites (see SUITES below):
   **ceiling** — the fresh tail/median ratio may grow at most 6x over the
   baseline, loose because single-client quick-mode p99 is one sample, but a
   real tail regression (a lock convoy in the metrics render, an O(n²)
-  rendering path) blows the ratio up by orders of magnitude.
+  rendering path) blows the ratio up by orders of magnitude. Two reactor
+  guards cover the event-driven front end: ``idle_herd_held_ratio`` (~1.0,
+  floor) is the fraction of the parked idle keep-alive herd still registered
+  after the open-loop pass — a drop means the reactor started culling or
+  leaking live connections; ``open_loop_p50_vs_closed_p50_ratio`` (~1x,
+  **ceiling** at 6x growth — loose because the quick-mode scheduled-send
+  p50 is scheduler-noisy on shared runners) is the open-loop submit p50
+  (scheduled-send clock, herd parked) over the closed-loop p50 — both
+  in-run, so machine speed cancels; blow-up means parked connections
+  started taxing the request path (an O(connections) scan per event,
+  timer-heap collapse), which costs 10x+ at herd scale.
 * ``market`` — cross-market routing (BENCH_market.json): guarding
   ``router_vs_best_single_improvement``, the deterministic factor by which
   the routed split beats the best single-market tune on the smoke's crossing
@@ -89,6 +99,8 @@ SUITES = {
             ("inprocess_vs_http_p50_ratio", 3.00),
             ("telemetry_off_vs_on_p50_ratio", 1.20),
             ("fault_layer_off_vs_on_p50_ratio", 1.20),
+            ("idle_herd_held_ratio", 1.10),
+            ("open_loop_p50_vs_closed_p50_ratio", 6.00, "ceiling"),
         ],
     },
     "market": {
