@@ -1,0 +1,181 @@
+//! At-rest hardening for API keys: the wire-facing [`AuthConfig`] still
+//! carries `key → tenant` in plain text (config files, env injection — the
+//! contract is unchanged), but the running gateway never holds the keys
+//! themselves. At startup every key is folded into a salted, iterated
+//! digest ([`HashedKeys`]); lookups re-derive the digest from the presented
+//! credential and compare in constant time, so neither a heap dump nor a
+//! comparison-timing probe recovers a key.
+//!
+//! The digest is a PBKDF-shaped construction over FNV-1a (the only hash
+//! this std-only workspace has): four independently-offset 64-bit lanes
+//! over `salt ‖ key`, re-folded `ITERATIONS` (2048) times with the lane index
+//! and round counter mixed in, yielding a 32-byte digest. This is a
+//! work-factor construction against offline guessing of *leaked digests*,
+//! not a cryptographic MAC — the threat model is accidental exposure
+//! (logs, dumps, debug endpoints), which is exactly what storing plaintext
+//! keys loses to.
+//!
+//! [`AuthConfig`]: crate::AuthConfig
+
+use std::collections::HashMap;
+
+/// Rounds of re-folding per lane. High enough that bulk offline guessing
+/// of a leaked digest costs real work, low enough that the per-request
+/// lookup (one derivation per configured key) stays in the tens of
+/// microseconds.
+const ITERATIONS: u32 = 2048;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = seed;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Derives the 32-byte digest of `key` under `salt`.
+fn derive(salt: &[u8; 16], key: &str) -> [u8; 32] {
+    let mut lanes = [0u64; 4];
+    for (lane, out) in lanes.iter_mut().enumerate() {
+        // Independent lane seeds, then the salted key.
+        let mut hash = fnv1a(FNV_OFFSET ^ (lane as u64).wrapping_mul(FNV_PRIME), salt);
+        hash = fnv1a(hash, key.as_bytes());
+        for round in 0..ITERATIONS {
+            hash = fnv1a(hash, &u64::from(round).to_le_bytes());
+            hash = fnv1a(hash, salt);
+        }
+        *out = hash;
+    }
+    let mut digest = [0u8; 32];
+    for (i, lane) in lanes.iter().enumerate() {
+        digest[i * 8..(i + 1) * 8].copy_from_slice(&lane.to_le_bytes());
+    }
+    digest
+}
+
+/// Constant-time equality over fixed-width digests: the comparison touches
+/// every byte regardless of where the first mismatch sits.
+fn digests_match(a: &[u8; 32], b: &[u8; 32]) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+struct HashedKey {
+    salt: [u8; 16],
+    digest: [u8; 32],
+    tenant: String,
+}
+
+/// The gateway's in-memory credential set: salted iterated digests only,
+/// built once at startup from the plaintext `key → tenant` map and then
+/// the sole authority for [`HashedKeys::tenant_for`] lookups.
+pub struct HashedKeys {
+    keys: Vec<HashedKey>,
+}
+
+impl HashedKeys {
+    /// Hashes every configured key under a fresh per-key random salt. The
+    /// plaintext map is consumed here and dropped by the caller — after
+    /// this returns, the process holds digests only.
+    pub fn build(plain: &HashMap<String, String>) -> HashedKeys {
+        let keys = plain
+            .iter()
+            .map(|(key, tenant)| {
+                let salt = crowdtune_obs::span::random_trace_id().0.to_le_bytes();
+                HashedKey {
+                    salt,
+                    digest: derive(&salt, key),
+                    tenant: tenant.clone(),
+                }
+            })
+            .collect();
+        HashedKeys { keys }
+    }
+
+    /// Whether any keys are configured at all.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Resolves a presented credential to its tenant: re-derives the
+    /// digest under each stored salt and compares in constant time. Cost
+    /// is one derivation per configured key — fine for the handful of
+    /// keys a deployment carries.
+    pub fn tenant_for(&self, presented: &str) -> Option<&str> {
+        let mut found: Option<&str> = None;
+        for key in &self.keys {
+            let candidate = derive(&key.salt, presented);
+            if digests_match(&candidate, &key.digest) && found.is_none() {
+                found = Some(&key.tenant);
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(pairs: &[(&str, &str)]) -> HashedKeys {
+        let plain: HashMap<String, String> = pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        HashedKeys::build(&plain)
+    }
+
+    #[test]
+    fn configured_keys_resolve_to_their_tenants() {
+        let hashed = keys(&[("secret-a", "acme"), ("secret-b", "globex")]);
+        assert_eq!(hashed.tenant_for("secret-a"), Some("acme"));
+        assert_eq!(hashed.tenant_for("secret-b"), Some("globex"));
+    }
+
+    #[test]
+    fn unknown_and_near_miss_keys_are_refused() {
+        let hashed = keys(&[("secret-a", "acme")]);
+        assert_eq!(hashed.tenant_for("secret-A"), None);
+        assert_eq!(hashed.tenant_for("secret-a "), None);
+        assert_eq!(hashed.tenant_for(""), None);
+        assert_eq!(hashed.tenant_for("secret-aa"), None);
+    }
+
+    #[test]
+    fn salts_differ_so_equal_keys_hash_differently() {
+        let plain: HashMap<String, String> = [("same".to_owned(), "t1".to_owned())].into();
+        let a = HashedKeys::build(&plain);
+        let b = HashedKeys::build(&plain);
+        assert_ne!(
+            (a.keys[0].salt, a.keys[0].digest),
+            (b.keys[0].salt, b.keys[0].digest),
+            "fresh salts must make digests non-comparable across builds"
+        );
+        assert_eq!(a.tenant_for("same"), Some("t1"));
+        assert_eq!(b.tenant_for("same"), Some("t1"));
+    }
+
+    #[test]
+    fn digest_derivation_is_deterministic_under_a_fixed_salt() {
+        let salt = [7u8; 16];
+        assert_eq!(derive(&salt, "key"), derive(&salt, "key"));
+        assert_ne!(derive(&salt, "key"), derive(&salt, "kez"));
+        assert_ne!(derive(&[8u8; 16], "key"), derive(&salt, "key"));
+    }
+
+    #[test]
+    fn constant_time_compare_is_correct() {
+        let a = [1u8; 32];
+        let mut b = a;
+        assert!(digests_match(&a, &b));
+        b[31] ^= 0x80;
+        assert!(!digests_match(&a, &b));
+    }
+}

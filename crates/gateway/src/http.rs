@@ -439,6 +439,10 @@ pub struct Response {
     /// When set, a `Retry-After: <seconds>` header is emitted (quota and
     /// shed 429/503 responses tell clients when to come back).
     pub retry_after: Option<u64>,
+    /// Additional response headers (name, value), emitted verbatim after
+    /// the framing headers — the gateway uses this to echo `traceparent`
+    /// so clients learn the trace id of each submit.
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -449,6 +453,7 @@ impl Response {
             content_type: "application/json",
             body: body.into(),
             retry_after: None,
+            headers: Vec::new(),
         }
     }
 
@@ -460,12 +465,21 @@ impl Response {
             content_type,
             body: body.into(),
             retry_after: None,
+            headers: Vec::new(),
         }
     }
 
     /// Attach a `Retry-After` hint (whole seconds, rounded up by callers).
     pub fn with_retry_after(mut self, seconds: u64) -> Self {
         self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Attach an arbitrary response header. The value must already be a
+    /// valid header value (no CR/LF); the gateway only passes values it
+    /// rendered itself.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
         self
     }
 }
@@ -506,6 +520,9 @@ pub fn render_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     message.push_str(&format!("Content-Length: {}\r\n", response.body.len()));
     if let Some(seconds) = response.retry_after {
         message.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    for (name, value) in &response.headers {
+        message.push_str(&format!("{name}: {value}\r\n"));
     }
     if !keep_alive {
         message.push_str("Connection: close\r\n");
@@ -701,6 +718,20 @@ mod tests {
         let mut out = Vec::new();
         write_response(&mut out, &Response::json(202, "{}"), true).unwrap();
         assert!(!String::from_utf8(out).unwrap().contains("Connection:"));
+    }
+
+    #[test]
+    fn extra_headers_render_verbatim() {
+        let rendered = render_response(
+            &Response::json(202, "{}").with_header(
+                "traceparent",
+                "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+            ),
+            true,
+        );
+        let text = String::from_utf8(rendered).unwrap();
+        assert!(text
+            .contains("traceparent: 00-0123456789abcdef0123456789abcdef-0123456789abcdef-01\r\n"));
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!                                    GET    /v1/metrics      counters (JSON)
 //!                                      …?format=prometheus   text exposition
 //!                                    GET    /v1/debug/slowest slowest traces
+//!                                    GET    /v1/debug/traces  sampled span trees
+//!                                    GET    /v1/debug/traces/{trace_id}
+//!                                    GET    /v1/debug/logs    structured log ring
 //!                                    GET    /healthz         liveness + drain
 //! ```
 //!
@@ -42,7 +45,9 @@
 //! The v1 API is authenticated and metered: API keys
 //! (`Authorization: Bearer` or `X-Api-Key`) resolve the tenant a submit
 //! runs under ([`AuthConfig`]; the legacy self-declared body tenant remains
-//! available behind a flag), per-tenant token buckets answer `429` with
+//! available behind a flag). Configured keys are held in memory only as
+//! salted iterated digests with constant-time comparison ([`auth`]) — the
+//! plaintext map is consumed at startup. Per-tenant token buckets answer `429` with
 //! `Retry-After` when a tenant outruns its quota ([`QuotaConfig`]), and
 //! completed results live until a TTL, a FIFO cap, or an idempotent
 //! `DELETE /v1/jobs/{id}` releases them.
@@ -61,20 +66,33 @@
 //! so one scrape of `/v1/metrics?format=prometheus` covers transport and
 //! solver alike; `GET /v1/debug/slowest` exposes the service's ring of
 //! slowest completed job traces ([`SlowestBody`]) stage by stage.
+//!
+//! Causal request tracing rides the same socket: a `traceparent` request
+//! header (W3C Trace Context) joins the submit to the caller's trace, the
+//! job's whole span tree — gateway parse/auth/quota/dispatch, queue wait,
+//! solve, store persist — lands in the service's span store under the
+//! caller's trace id, the response echoes `traceparent` so clients learn
+//! minted ids, and `GET /v1/debug/traces[/{trace_id}]` serves the sampled
+//! trees ([`TracesBody`], [`TraceTreeBody`]). `GET /v1/debug/logs` exposes
+//! the structured log ring ([`LogsBody`]), each record stamped with the
+//! trace/span that was active when it was emitted.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+pub mod auth;
 pub mod http;
 mod metrics;
 mod reactor;
 pub mod server;
 pub mod wire;
 
+pub use auth::HashedKeys;
 pub use http::{Limits, Request, RequestError, Response};
 pub use server::{AuthConfig, Gateway, GatewayConfig, QuotaConfig};
 pub use wire::{
-    CacheBody, ErrorBody, FamiliesBody, HealthBody, JobBody, JobRequestWire, MetricsBody,
-    SlowestBody, StoreBody, SubmittedBody, TraceBody,
+    CacheBody, ErrorBody, FamiliesBody, HealthBody, JobBody, JobRequestWire, LogRecordBody,
+    LogsBody, MetricsBody, SlowestBody, SpanBody, StoreBody, SubmittedBody, TraceBody,
+    TraceSummaryBody, TraceTreeBody, TracesBody,
 };

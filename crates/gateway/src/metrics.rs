@@ -14,13 +14,15 @@ use crowdtune_obs::{Counter, Gauge, Histogram, Registry};
 
 /// The `endpoint` label values, one per route plus a catch-all for requests
 /// that never matched a route (404s, unparseable job ids).
-pub(crate) const ENDPOINT_LABELS: [&str; 7] = [
+pub(crate) const ENDPOINT_LABELS: [&str; 9] = [
     "post_jobs",
     "get_job",
     "delete_job",
     "get_metrics",
     "get_healthz",
     "get_debug_slowest",
+    "get_debug_traces",
+    "get_debug_logs",
     "other",
 ];
 
@@ -55,8 +57,12 @@ pub(crate) enum Endpoint {
     GetHealthz = 4,
     /// `GET /v1/debug/slowest`.
     GetDebugSlowest = 5,
+    /// `GET /v1/debug/traces` and `GET /v1/debug/traces/{trace_id}`.
+    GetDebugTraces = 6,
+    /// `GET /v1/debug/logs`.
+    GetDebugLogs = 7,
     /// No route matched (404) or the method was wrong (405).
-    Other = 6,
+    Other = 8,
 }
 
 /// Why an authenticated-principal check refused a submit.
@@ -95,13 +101,16 @@ pub(crate) struct GatewayMetrics {
     pub jobs_expired: Counter,
     /// Jobs removed by `DELETE /v1/jobs/{id}`.
     pub jobs_deleted: Counter,
+    /// Submits whose `traceparent` header failed W3C Trace Context
+    /// validation (the header is ignored and a fresh trace minted).
+    pub traceparent_invalid: Counter,
     /// Parse rejects by [`RequestError`] class, [`REJECT_LABELS`] order.
     parse_rejects: [Counter; 4],
     /// Requests by endpoint × status class.
-    requests: [[Counter; 3]; 7],
+    requests: [[Counter; 3]; 9],
     /// Request service time (route dispatch through handler return) by
     /// endpoint, recorded in nanoseconds, exposed in seconds.
-    latency: [Histogram; 7],
+    latency: [Histogram; 9],
 }
 
 impl GatewayMetrics {
@@ -164,6 +173,11 @@ impl GatewayMetrics {
             bytes_out: registry.counter(
                 "crowdtune_gateway_bytes_out_total",
                 "Bytes written to client sockets.",
+                &[],
+            ),
+            traceparent_invalid: registry.counter(
+                "crowdtune_gateway_traceparent_invalid_total",
+                "Submits carrying a traceparent header that failed W3C validation.",
                 &[],
             ),
             parse_rejects: std::array::from_fn(|i| {

@@ -10,7 +10,21 @@
 //! | `DELETE /v1/jobs/{id}`  | drop a retained/pending result: `204` once, `404` after |
 //! | `GET /v1/metrics`       | [`MetricsBody`] JSON by default; the full Prometheus text exposition with `?format=prometheus` or `Accept: text/plain` |
 //! | `GET /v1/debug/slowest` | [`SlowestBody`]: the N slowest completed job traces, stage by stage |
+//! | `GET /v1/debug/traces`  | [`TracesBody`]: sampled span trees, newest first; filters `tenant`, `market`, `scenario`, `status`, `sampled`, `min_duration_ms` |
+//! | `GET /v1/debug/traces/{trace_id}` | [`TraceTreeBody`]: one trace's full span tree by 32-hex trace id |
+//! | `GET /v1/debug/logs`    | [`LogsBody`]: the structured log ring; filters `level`, `limit` |
 //! | `GET /healthz`          | liveness + drain flag                         |
+//!
+//! ## Causal tracing
+//!
+//! `POST /v1/jobs` participates in W3C Trace Context: a valid `traceparent`
+//! request header joins the submit to the caller's trace (invalid headers
+//! are counted and ignored), and every submit response echoes `traceparent`
+//! so clients learn minted ids. The gateway records `gateway.parse`,
+//! `gateway.auth`, `gateway.quota` and `gateway.dispatch` spans under the
+//! request root; the serve layer appends queue wait, solve and store
+//! persist. Gateway-refused submits (4xx/5xx) mark the trace errored so the
+//! tail sampler always keeps them.
 //!
 //! ## Error mapping
 //!
@@ -54,6 +68,7 @@
 //! (including dispatched jobs) finish with `Connection: close`, and bounds
 //! the whole farewell by the configured deadlines.
 
+use crate::auth::HashedKeys;
 use crate::http::{
     parse_buffered, render_response, write_response, Limits, ParsedRequest, Request, RequestError,
     Response,
@@ -61,8 +76,12 @@ use crate::http::{
 use crate::metrics::{AuthReject, Endpoint, GatewayMetrics};
 use crate::reactor::{waker, Interest, PollEvent, Poller, WakeReceiver, Waker};
 use crate::wire::{
-    ErrorBody, HealthBody, JobBody, JobRequestWire, MetricsBody, SlowestBody, SubmittedBody,
-    TraceBody,
+    ErrorBody, HealthBody, JobBody, JobRequestWire, LogRecordBody, LogsBody, MetricsBody,
+    SlowestBody, SubmittedBody, TraceBody, TraceSummaryBody, TraceTreeBody, TracesBody,
+};
+use crowdtune_obs::span::enter_span;
+use crowdtune_obs::{
+    ActiveTrace, AttrValue, LogLevel, SpanStatus, StoredTrace, TraceContext, TraceId,
 };
 use crowdtune_serve::{
     AdmissionError, HealthState, JobHandle, ServeError, ServedPlan, TuningService,
@@ -89,7 +108,10 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone)]
 pub struct AuthConfig {
     /// API key → tenant. Empty map + `allow_body_tenant` = the pre-auth
-    /// contract, unchanged.
+    /// contract, unchanged. The plaintext map is **consumed at startup**:
+    /// [`Gateway::start`] folds it into salted iterated digests
+    /// ([`crate::auth::HashedKeys`]) and clears this field, so a running
+    /// gateway can verify keys but never reveal them.
     pub keys: HashMap<String, String>,
     /// Accept keyless submits that self-declare a body tenant (legacy
     /// wire contract). Defaults to `true` for back-compat; production
@@ -299,6 +321,9 @@ impl JobRegistry {
 struct GatewayState {
     service: Arc<TuningService>,
     jobs: Mutex<JobRegistry>,
+    /// Configured API keys as salted iterated digests (the plaintext map in
+    /// `config.auth` is consumed and cleared at startup).
+    auth_keys: HashedKeys,
     draining: AtomicBool,
     /// Connections currently registered, across every reactor (the
     /// `max_connections` shed decision needs the global count).
@@ -354,8 +379,13 @@ impl Gateway {
     pub fn start(
         service: Arc<TuningService>,
         addr: impl ToSocketAddrs,
-        config: GatewayConfig,
+        mut config: GatewayConfig,
     ) -> std::io::Result<Gateway> {
+        // Fold the configured keys into salted digests and drop the
+        // plaintext: from here on the process can verify credentials but
+        // not reveal them.
+        let auth_keys = HashedKeys::build(&config.auth.keys);
+        config.auth.keys.clear();
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -376,6 +406,7 @@ impl Gateway {
         let state = Arc::new(GatewayState {
             service,
             jobs: Mutex::new(registry),
+            auth_keys,
             draining: AtomicBool::new(false),
             open_connections: AtomicUsize::new(0),
             quota_buckets: Mutex::new(HashMap::new()),
@@ -471,6 +502,9 @@ enum Phase {
         handle: JobHandle,
         started: Instant,
         keep_alive: bool,
+        /// Rendered `traceparent` to echo on the eventual response (the
+        /// trace handle itself rides with the job through the serve layer).
+        traceparent: Option<String>,
     },
 }
 
@@ -754,6 +788,7 @@ impl Reactor {
                 handle,
                 started,
                 keep_alive,
+                traceparent,
             } = phase
             else {
                 conn.phase = phase; // spurious token; not dispatched
@@ -780,6 +815,10 @@ impl Reactor {
                     Some(response) => response,
                     None => json_response(200, &*body),
                 }
+            };
+            let response = match traceparent {
+                Some(value) => response.with_header("traceparent", value),
+                None => response,
             };
             let nanos = started.elapsed().as_nanos() as u64;
             self.state
@@ -1004,12 +1043,16 @@ impl Reactor {
                     self.state.metrics.observe(endpoint, response.status, nanos);
                     self.queue_response(conn, response, keep_alive);
                 }
-                PostOutcome::Dispatched(handle) => {
+                PostOutcome::Dispatched {
+                    handle,
+                    traceparent,
+                } => {
                     Self::clear_deadline(conn);
                     conn.phase = Phase::Dispatched {
                         handle,
                         started,
                         keep_alive,
+                        traceparent,
                     };
                 }
             }
@@ -1085,6 +1128,9 @@ fn endpoint_of(request: &Request) -> Endpoint {
         ("GET", "/v1/metrics") => Endpoint::GetMetrics,
         ("GET", "/healthz") => Endpoint::GetHealthz,
         ("GET", "/v1/debug/slowest") => Endpoint::GetDebugSlowest,
+        ("GET", "/v1/debug/traces") => Endpoint::GetDebugTraces,
+        ("GET", path) if path.starts_with("/v1/debug/traces/") => Endpoint::GetDebugTraces,
+        ("GET", "/v1/debug/logs") => Endpoint::GetDebugLogs,
         ("GET", path) if job_path(path) => Endpoint::GetJob,
         ("DELETE", path) if job_path(path) => Endpoint::DeleteJob,
         _ => Endpoint::Other,
@@ -1124,6 +1170,11 @@ fn route(state: &GatewayState, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/v1/metrics") => get_metrics(state, request),
         ("GET", "/v1/debug/slowest") => get_slowest(state),
+        ("GET", "/v1/debug/traces") => get_traces(state, request),
+        ("GET", path) if path.starts_with("/v1/debug/traces/") => {
+            get_trace(state, &path["/v1/debug/traces/".len()..])
+        }
+        ("GET", "/v1/debug/logs") => get_logs(state, request),
         ("GET", "/healthz") => get_health(state),
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             match path["/v1/jobs/".len()..].parse::<u64>() {
@@ -1153,6 +1204,9 @@ fn route(state: &GatewayState, request: &Request) -> Response {
             if path == "/v1/jobs"
                 || path == "/v1/metrics"
                 || path == "/v1/debug/slowest"
+                || path == "/v1/debug/traces"
+                || path == "/v1/debug/logs"
+                || path.starts_with("/v1/debug/traces/")
                 || path == "/healthz"
                 || path.starts_with("/v1/jobs/") =>
         {
@@ -1220,7 +1274,11 @@ fn serve_error_response(error: &ServeError) -> Response {
 /// reactor.
 enum PostOutcome {
     Respond(Response),
-    Dispatched(JobHandle),
+    Dispatched {
+        handle: JobHandle,
+        /// Rendered `traceparent` to echo once the response exists.
+        traceparent: Option<String>,
+    },
 }
 
 /// Extracts the API key, if any: `Authorization: Bearer <key>` wins,
@@ -1249,7 +1307,7 @@ fn resolve_tenant(
 ) -> Result<String, Response> {
     let auth = &state.config.auth;
     match api_key(request) {
-        Some(key) => match auth.keys.get(key) {
+        Some(key) => match state.auth_keys.tenant_for(key) {
             Some(tenant) => {
                 if !body_tenant.is_empty() && body_tenant != tenant {
                     state.metrics.auth_rejected(AuthReject::TenantMismatch);
@@ -1263,7 +1321,7 @@ fn resolve_tenant(
                         ),
                     ))
                 } else {
-                    Ok(tenant.clone())
+                    Ok(tenant.to_owned())
                 }
             }
             None => {
@@ -1288,44 +1346,139 @@ fn resolve_tenant(
     }
 }
 
+/// Records one gateway-side stage span at the request root (no-op when the
+/// request is untraced).
+fn gateway_span(trace: &Option<ActiveTrace>, name: &'static str, start_ns: Option<u64>, ok: bool) {
+    if let (Some(active), Some(start_ns)) = (trace, start_ns) {
+        let status = if ok {
+            SpanStatus::Ok
+        } else {
+            SpanStatus::Error
+        };
+        active.span_with(name, None, start_ns, active.now_ns(), status, Vec::new());
+    }
+}
+
+/// Finishes a gateway-answered submit: 4xx/5xx marks the trace errored (so
+/// the tail sampler keeps it), and every response echoes `traceparent`.
+fn finish_post(
+    trace: &Option<ActiveTrace>,
+    echo: &Option<String>,
+    response: Response,
+) -> PostOutcome {
+    if response.status >= 400 {
+        if let Some(active) = trace {
+            active.mark_error();
+        }
+    }
+    let response = match echo {
+        Some(value) => response.with_header("traceparent", value.clone()),
+        None => response,
+    };
+    PostOutcome::Respond(response)
+}
+
 fn post_job(
     state: &GatewayState,
     request: &Request,
     notify: impl FnOnce() -> crowdtune_serve::CompletionNotify,
 ) -> PostOutcome {
-    let respond = PostOutcome::Respond;
+    // Trace context first: a valid `traceparent` joins the caller's trace;
+    // an invalid one is counted and ignored (fresh ids, per W3C guidance).
+    let context = request.header("traceparent").and_then(|header| {
+        let parsed = TraceContext::parse_traceparent(header);
+        if parsed.is_none() {
+            state.metrics.traceparent_invalid.inc();
+        }
+        parsed
+    });
+    let trace = state
+        .service
+        .tracer()
+        .map(|tracer| tracer.start_trace("http.request", context));
+    // Logs emitted while this submit is handled carry the request's ids.
+    let _log_scope = trace
+        .as_ref()
+        .map(|active| enter_span(active.trace_id(), active.root_span_id()));
+    // The echoed header names the *root span* as parent, so a client that
+    // keeps tracing downstream work parents it correctly.
+    let echo = trace
+        .as_ref()
+        .map(|active| active.context(active.root_span_id()).render_traceparent());
+
+    let parse_start = trace.as_ref().map(|active| active.now_ns());
     if request.body.is_empty() {
-        return respond(error_response(
-            400,
-            ErrorBody::new("bad_request", "POST /v1/jobs requires a JSON body"),
-        ));
+        gateway_span(&trace, "gateway.parse", parse_start, false);
+        return finish_post(
+            &trace,
+            &echo,
+            error_response(
+                400,
+                ErrorBody::new("bad_request", "POST /v1/jobs requires a JSON body"),
+            ),
+        );
     }
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return respond(error_response(
-            400,
-            ErrorBody::new("bad_request", "body is not UTF-8"),
-        ));
+        gateway_span(&trace, "gateway.parse", parse_start, false);
+        return finish_post(
+            &trace,
+            &echo,
+            error_response(400, ErrorBody::new("bad_request", "body is not UTF-8")),
+        );
     };
     let mut wire: JobRequestWire = match serde_json::from_str(text) {
         Ok(wire) => wire,
         Err(e) => {
-            return respond(error_response(
-                400,
-                ErrorBody::new("bad_request", format!("invalid job JSON: {e}")),
-            ))
+            gateway_span(&trace, "gateway.parse", parse_start, false);
+            return finish_post(
+                &trace,
+                &echo,
+                error_response(
+                    400,
+                    ErrorBody::new("bad_request", format!("invalid job JSON: {e}")),
+                ),
+            );
         }
     };
+    gateway_span(&trace, "gateway.parse", parse_start, true);
     // Authenticated principal first: nothing downstream (quota, admission,
     // the solve) may see a tenant the credentials don't vouch for.
+    let auth_start = trace.as_ref().map(|active| active.now_ns());
     wire.tenant = match resolve_tenant(state, request, &wire.tenant) {
         Ok(tenant) => tenant,
-        Err(response) => return respond(response),
+        Err(response) => {
+            gateway_span(&trace, "gateway.auth", auth_start, false);
+            state.service.logger().log_with(
+                LogLevel::Warn,
+                "gateway",
+                "submit refused by the authenticated-principal check",
+                vec![("status", response.status.to_string())],
+            );
+            return finish_post(&trace, &echo, response);
+        }
     };
+    gateway_span(&trace, "gateway.auth", auth_start, true);
+    if let Some(active) = &trace {
+        active.annotate(&wire.tenant, "", "");
+    }
     if let Some(quota) = &state.config.quota {
         if !wire.tenant.is_empty() {
+            let quota_start = trace.as_ref().map(|active| active.now_ns());
             if let Err(retry_after) = try_take_token(state, &wire.tenant, quota) {
                 state.metrics.quota_rejects.inc();
-                return respond(
+                gateway_span(&trace, "gateway.quota", quota_start, false);
+                state.service.logger().log_with(
+                    LogLevel::Warn,
+                    "gateway",
+                    "submit refused by the per-tenant quota",
+                    vec![
+                        ("tenant", wire.tenant.clone()),
+                        ("retry_after_s", retry_after.to_string()),
+                    ],
+                );
+                return finish_post(
+                    &trace,
+                    &echo,
                     error_response(
                         429,
                         ErrorBody::new(
@@ -1339,42 +1492,87 @@ fn post_job(
                     .with_retry_after(retry_after),
                 );
             }
+            gateway_span(&trace, "gateway.quota", quota_start, true);
         }
     }
     let job = match wire.to_request(state.config.max_job_slots) {
         Ok(job) => job,
         Err(e) => {
-            return respond(error_response(
-                422,
-                ErrorBody::new("invalid_job", e.to_string()),
-            ))
+            return finish_post(
+                &trace,
+                &echo,
+                error_response(422, ErrorBody::new("invalid_job", e.to_string())),
+            )
         }
     };
     let wait = matches!(request.query_param("wait"), Some("1") | Some("true"));
+    // The trace handle is *cloned* into the serve layer: the job's spans
+    // (queue wait, solve, store persist) land in this same tree, and the
+    // trace flushes when the last handle drops — after persist, off the
+    // submitter's latency path.
+    let dispatch_start = trace.as_ref().map(|active| active.now_ns());
     if wait {
         // Waiting mode: hand the job to the tuner pool with a completion
         // hook; the reactor renders the response when it fires. The
         // connection parks — no thread does.
-        match state.service.submit_with_notify(job, notify()) {
-            Ok(handle) => PostOutcome::Dispatched(handle),
-            Err(e) => respond(serve_error_response(&e)),
+        match state
+            .service
+            .submit_observed(job, Some(notify()), trace.clone())
+        {
+            Ok(handle) => {
+                if let Some(active) = &trace {
+                    active.span_with(
+                        "gateway.dispatch",
+                        None,
+                        dispatch_start.unwrap_or(0),
+                        active.now_ns(),
+                        SpanStatus::Ok,
+                        vec![("job_id", AttrValue::U64(handle.job_id))],
+                    );
+                }
+                PostOutcome::Dispatched {
+                    handle,
+                    traceparent: echo,
+                }
+            }
+            Err(e) => {
+                gateway_span(&trace, "gateway.dispatch", dispatch_start, false);
+                finish_post(&trace, &echo, serve_error_response(&e))
+            }
         }
     } else {
-        let handle = match state.service.submit(job) {
+        let handle = match state.service.submit_observed(job, None, trace.clone()) {
             Ok(handle) => handle,
-            Err(e) => return respond(serve_error_response(&e)),
+            Err(e) => {
+                gateway_span(&trace, "gateway.dispatch", dispatch_start, false);
+                return finish_post(&trace, &echo, serve_error_response(&e));
+            }
         };
         let job_id = handle.job_id;
+        if let Some(active) = &trace {
+            active.span_with(
+                "gateway.dispatch",
+                None,
+                dispatch_start.unwrap_or(0),
+                active.now_ns(),
+                SpanStatus::Ok,
+                vec![("job_id", AttrValue::U64(job_id))],
+            );
+        }
         let mut jobs = state.jobs.lock().expect("gateway job registry poisoned");
         jobs.store_pending(job_id, handle);
         drop(jobs);
-        respond(json_response(
-            202,
-            &SubmittedBody {
-                job_id,
-                status: "pending".to_owned(),
-            },
-        ))
+        finish_post(
+            &trace,
+            &echo,
+            json_response(
+                202,
+                &SubmittedBody {
+                    job_id,
+                    status: "pending".to_owned(),
+                },
+            ),
+        )
     }
 }
 
@@ -1475,6 +1673,121 @@ fn get_slowest(state: &GatewayState) -> Response {
         .map(TraceBody::from_trace)
         .collect();
     json_response(200, &SlowestBody { traces })
+}
+
+/// `GET /v1/debug/traces`: summaries of sampled traces, newest first.
+/// Optional query filters: `tenant`, `market`, `scenario`, `status`
+/// (`ok`/`error`), `sampled` (`head`/`tail_slow`/`tail_error`), and
+/// `min_duration_ms`. With tracing disabled the list is simply empty.
+fn get_traces(state: &GatewayState, request: &Request) -> Response {
+    let min_duration_ns = match request.query_param("min_duration_ms") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => ms.saturating_mul(1_000_000),
+            Err(_) => {
+                return error_response(
+                    400,
+                    ErrorBody::new(
+                        "bad_request",
+                        format!("min_duration_ms must be an integer, got {raw:?}"),
+                    ),
+                )
+            }
+        },
+        None => 0,
+    };
+    let keep = |trace: &StoredTrace| {
+        let field_matches = |param: Option<&str>, value: &str| match param {
+            Some(want) => want == value,
+            None => true,
+        };
+        field_matches(request.query_param("tenant"), &trace.tenant)
+            && field_matches(request.query_param("market"), &trace.market)
+            && field_matches(request.query_param("scenario"), trace.scenario)
+            && field_matches(request.query_param("status"), trace.status.as_str())
+            && field_matches(request.query_param("sampled"), trace.reason.as_str())
+            && trace.duration_ns >= min_duration_ns
+    };
+    let traces: Vec<TraceSummaryBody> = match state.service.tracer() {
+        Some(tracer) => tracer
+            .store()
+            .snapshot()
+            .iter()
+            .filter(|trace| keep(trace))
+            .map(|trace| TraceSummaryBody::from_stored(trace))
+            .collect(),
+        None => Vec::new(),
+    };
+    json_response(200, &TracesBody { traces })
+}
+
+/// `GET /v1/debug/traces/{trace_id}`: the full span tree of one sampled
+/// trace, by 32-hex-digit W3C trace id. 404 when the id is not hex or the
+/// trace was never sampled (or has since been evicted from the ring).
+fn get_trace(state: &GatewayState, raw_id: &str) -> Response {
+    let Some(trace_id) = TraceId::from_hex(raw_id) else {
+        return error_response(
+            404,
+            ErrorBody::new("not_found", format!("not a trace id: {raw_id:?}")),
+        );
+    };
+    let stored = state
+        .service
+        .tracer()
+        .and_then(|tracer| tracer.store().get(trace_id));
+    match stored {
+        Some(trace) => json_response(200, &TraceTreeBody::from_stored(&trace)),
+        None => error_response(
+            404,
+            ErrorBody::new(
+                "not_found",
+                format!("trace {raw_id} is not in the sampled ring"),
+            ),
+        ),
+    }
+}
+
+/// `GET /v1/debug/logs`: the structured log ring, newest first, each record
+/// stamped with the trace/span active when it was emitted. Optional query
+/// filters: `level` (minimum severity) and `limit` (default 256).
+fn get_logs(state: &GatewayState, request: &Request) -> Response {
+    let min_level = match request.query_param("level") {
+        Some(raw) => match LogLevel::parse(raw) {
+            Some(level) => Some(level),
+            None => {
+                return error_response(
+                    400,
+                    ErrorBody::new(
+                        "bad_request",
+                        format!("unknown log level {raw:?} (want debug/info/warn/error)"),
+                    ),
+                )
+            }
+        },
+        None => None,
+    };
+    let limit = match request.query_param("limit") {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(limit) => limit,
+            Err(_) => {
+                return error_response(
+                    400,
+                    ErrorBody::new(
+                        "bad_request",
+                        format!("limit must be an integer, got {raw:?}"),
+                    ),
+                )
+            }
+        },
+        None => 256,
+    };
+    let records: Vec<LogRecordBody> = state
+        .service
+        .logger()
+        .snapshot(min_level, limit)
+        .iter()
+        .map(LogRecordBody::from_record)
+        .collect();
+    json_response(200, &LogsBody { records })
 }
 
 /// `GET /healthz`: the service-wide health state machine. `healthy` and

@@ -237,6 +237,10 @@ pub struct TraceBody {
     pub scenario: String,
     /// Which reuse layer answered (`"cache"`/`"family"`/`"cold"`).
     pub source: String,
+    /// How the job ended: `"ok"`, `"failed"`, `"panicked"` or `"lost"` —
+    /// failed jobs sit in the ring alongside slow ones, so the status is
+    /// part of the wire shape.
+    pub status: String,
     /// Admission (or enqueue) to worker pickup.
     pub queue_wait_seconds: f64,
     /// Fingerprint to plan-in-hand (cache lookup, family serve or DP solve).
@@ -258,11 +262,181 @@ impl TraceBody {
             tenant: trace.tenant.clone(),
             scenario: trace.scenario.to_owned(),
             source: trace.source.to_owned(),
+            status: trace.status_str().to_owned(),
             queue_wait_seconds: seconds(trace.queue_wait_ns()),
             solve_seconds: seconds(trace.solve_ns()),
             estimate_seconds: seconds(trace.estimate_ns()),
             family_lock_wait_seconds: seconds(trace.family_lock_wait_ns),
             total_seconds: seconds(trace.total_ns()),
+        }
+    }
+}
+
+/// Response of `GET /v1/debug/traces`: the span store's sampled traces,
+/// newest first, after any query filters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracesBody {
+    /// One summary per sampled trace.
+    pub traces: Vec<TraceSummaryBody>,
+}
+
+/// One sampled trace in the `GET /v1/debug/traces` listing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummaryBody {
+    /// The 32-hex-digit W3C trace id; fetch the tree at
+    /// `GET /v1/debug/traces/{trace_id}`.
+    pub trace_id: String,
+    /// Root operation name (`"http.request"`, `"job.submit"`, ...).
+    pub name: String,
+    /// Submitting tenant (empty when the request failed before one was
+    /// resolved).
+    pub tenant: String,
+    /// Market the job tuned against (empty off the job path).
+    pub market: String,
+    /// Paper scenario (`"EA"`/`"RA"`/`"HA"`, empty off the solve path).
+    pub scenario: String,
+    /// Root status: `"ok"` or `"error"`.
+    pub status: String,
+    /// Why the trace was kept: `"head"`, `"tail_slow"` or `"tail_error"`.
+    pub sampled: String,
+    /// Wall-clock length of the root span, in seconds.
+    pub duration_seconds: f64,
+    /// Number of spans in the tree.
+    pub spans: u64,
+}
+
+impl TraceSummaryBody {
+    /// Flattens a stored trace into the listing shape.
+    pub fn from_stored(trace: &crowdtune_obs::StoredTrace) -> Self {
+        TraceSummaryBody {
+            trace_id: trace.trace_id.to_hex(),
+            name: trace.name.to_owned(),
+            tenant: trace.tenant.clone(),
+            market: trace.market.clone(),
+            scenario: trace.scenario.to_owned(),
+            status: trace.status.as_str().to_owned(),
+            sampled: trace.reason.as_str().to_owned(),
+            duration_seconds: trace.duration_ns as f64 / 1e9,
+            spans: trace.spans.len() as u64,
+        }
+    }
+}
+
+/// Response of `GET /v1/debug/traces/{trace_id}`: one sampled trace with
+/// its full span tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceTreeBody {
+    /// The trace's summary line.
+    pub trace: TraceSummaryBody,
+    /// Every span of the tree, parents before children.
+    pub spans: Vec<SpanBody>,
+}
+
+impl TraceTreeBody {
+    /// Renders a stored trace and its spans.
+    pub fn from_stored(trace: &crowdtune_obs::StoredTrace) -> Self {
+        TraceTreeBody {
+            trace: TraceSummaryBody::from_stored(trace),
+            spans: trace.spans.iter().map(SpanBody::from_span).collect(),
+        }
+    }
+}
+
+/// One span inside a [`TraceTreeBody`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanBody {
+    /// The span's 16-hex-digit id.
+    pub span_id: String,
+    /// The parent span's id; `null` only on the root.
+    pub parent: Option<String>,
+    /// Operation name (`"gateway.auth"`, `"queue.wait"`, `"solve"`, ...).
+    pub name: String,
+    /// Start offset from the tracer epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Span length in nanoseconds.
+    pub duration_ns: u64,
+    /// `"ok"` or `"error"`.
+    pub status: String,
+    /// Typed attributes, rendered as strings.
+    pub attrs: Vec<SpanAttrBody>,
+}
+
+impl SpanBody {
+    /// Flattens one span (attribute values render via their JSON forms).
+    pub fn from_span(span: &crowdtune_obs::Span) -> Self {
+        SpanBody {
+            span_id: span.span_id.to_hex(),
+            parent: span.parent.map(|p| p.to_hex()),
+            name: span.name.to_owned(),
+            start_ns: span.start_ns,
+            duration_ns: span.duration_ns,
+            status: span.status.as_str().to_owned(),
+            attrs: span
+                .attrs
+                .iter()
+                .map(|(key, value)| SpanAttrBody {
+                    key: (*key).to_owned(),
+                    value: value.render(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One `key = value` span attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanAttrBody {
+    /// Attribute key.
+    pub key: String,
+    /// Attribute value, rendered as text.
+    pub value: String,
+}
+
+/// Response of `GET /v1/debug/logs`: the structured log ring, oldest
+/// surviving record first, after the level filter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogsBody {
+    /// The retained records.
+    pub records: Vec<LogRecordBody>,
+}
+
+/// One structured log record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecordBody {
+    /// Unix timestamp of the record, in nanoseconds.
+    pub ts_unix_ns: u64,
+    /// `"debug"`, `"info"`, `"warn"` or `"error"`.
+    pub level: String,
+    /// Emitting subsystem (`"gateway"`, `"serve::worker"`, ...).
+    pub target: String,
+    /// The message text.
+    pub message: String,
+    /// 32-hex trace id active at emission; `null` outside any trace.
+    pub trace_id: Option<String>,
+    /// 16-hex span id active at emission; `null` outside any span.
+    pub span_id: Option<String>,
+    /// Structured fields, rendered as strings.
+    pub fields: Vec<SpanAttrBody>,
+}
+
+impl LogRecordBody {
+    /// Flattens a log record into the wire shape.
+    pub fn from_record(record: &crowdtune_obs::LogRecord) -> Self {
+        LogRecordBody {
+            ts_unix_ns: record.ts_unix_ns,
+            level: record.level.as_str().to_owned(),
+            target: record.target.to_owned(),
+            message: record.message.clone(),
+            trace_id: record.trace_id.map(|id| id.to_hex()),
+            span_id: record.span_id.map(|id| id.to_hex()),
+            fields: record
+                .fields
+                .iter()
+                .map(|(key, value)| SpanAttrBody {
+                    key: (*key).to_owned(),
+                    value: value.clone(),
+                })
+                .collect(),
         }
     }
 }

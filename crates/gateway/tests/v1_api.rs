@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 struct HttpResponse {
     status: u16,
     retry_after: Option<u64>,
+    traceparent: Option<String>,
     body: String,
 }
 
@@ -91,6 +92,7 @@ impl Client {
             .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
         let mut content_length = 0usize;
         let mut retry_after = None;
+        let mut traceparent = None;
         loop {
             let mut line = String::new();
             self.reader.read_line(&mut line).expect("header line");
@@ -103,6 +105,8 @@ impl Client {
                     content_length = value.trim().parse().expect("content length");
                 } else if name.eq_ignore_ascii_case("retry-after") {
                     retry_after = Some(value.trim().parse().expect("retry-after seconds"));
+                } else if name.eq_ignore_ascii_case("traceparent") {
+                    traceparent = Some(value.trim().to_owned());
                 }
             }
         }
@@ -111,6 +115,7 @@ impl Client {
         Some(HttpResponse {
             status,
             retry_after,
+            traceparent,
             body: String::from_utf8(body).expect("utf-8 body"),
         })
     }
@@ -520,5 +525,169 @@ fn idle_keep_alive_herd_does_not_starve_fresh_submits() {
     drop(fresh);
     drop(observer);
     drop(herd);
+    gateway.shutdown();
+}
+
+/// The tentpole acceptance path over a real socket: a submit carrying a
+/// sampled W3C `traceparent` joins the caller's trace, the response echoes
+/// a `traceparent` naming the gateway's root span under the same trace id,
+/// and `GET /v1/debug/traces/{trace_id}` serves a span tree covering the
+/// gateway stages and the job's whole serve-side life — parse, dispatch,
+/// queue wait, solve, store persist. The summary listing filters by tenant,
+/// and a malformed `traceparent` is counted and replaced, not trusted.
+#[test]
+fn traceparent_joins_submit_and_span_tree_is_queryable() {
+    // A durable store so the tree includes the persist stage.
+    let dir = std::env::temp_dir().join(format!("crowdtune-v1api-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = Arc::new(
+        TuningService::recover(
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            dir.join("store"),
+        )
+        .expect("open durable store"),
+    );
+    let gateway = Gateway::start(service.clone(), "127.0.0.1:0", GatewayConfig::default())
+        .expect("bind gateway");
+    let mut client = Client::connect(gateway.local_addr());
+
+    let trace_id = "af7651916cd43dd8448eb211c80319c7";
+    let sent = format!("00-{trace_id}-00f067aa0ba902b7-01");
+    let response = client.request_with(
+        "POST",
+        "/v1/jobs?wait=1",
+        &[("traceparent", sent.as_str())],
+        Some(&wire_body("acme", 80)),
+    );
+    assert_eq!(response.status, 200, "{}", response.body);
+    let echoed = response.traceparent.expect("response echoes traceparent");
+    assert!(
+        echoed.starts_with(&format!("00-{trace_id}-")),
+        "echo keeps the caller's trace id: {echoed}"
+    );
+    assert!(
+        !echoed.contains("00f067aa0ba902b7"),
+        "echo names the gateway's root span, not the caller's parent: {echoed}"
+    );
+
+    // The trace flushes asynchronously when its last handle drops (after
+    // store persist) — poll the tree endpoint briefly.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let tree = loop {
+        let got = client.request("GET", &format!("/v1/debug/traces/{trace_id}"), None);
+        if got.status == 200 {
+            break got.json();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "trace {trace_id} never reached the span store: {}",
+            got.body
+        );
+        std::thread::yield_now();
+    };
+    assert_eq!(as_str(field(field(&tree, "trace"), "trace_id")), trace_id);
+    assert_eq!(as_str(field(field(&tree, "trace"), "tenant")), "acme");
+    assert_eq!(as_str(field(field(&tree, "trace"), "status")), "ok");
+    let spans = match field(&tree, "spans") {
+        Value::Arr(spans) => spans,
+        other => panic!("spans is not an array: {other:?}"),
+    };
+    let names: Vec<&str> = spans
+        .iter()
+        .map(|span| as_str(field(span, "name")))
+        .collect();
+    for expected in [
+        "http.request",
+        "gateway.parse",
+        "gateway.auth",
+        "gateway.dispatch",
+        "job",
+        "queue.wait",
+        "solve",
+        "store.persist",
+    ] {
+        assert!(names.contains(&expected), "no {expected} span in {names:?}");
+    }
+
+    // The summary listing finds the trace by tenant and misses on others.
+    let listed = client.request("GET", "/v1/debug/traces?tenant=acme", None);
+    assert_eq!(listed.status, 200);
+    let body = listed.json();
+    let traces = match field(&body, "traces") {
+        Value::Arr(traces) => traces,
+        other => panic!("traces is not an array: {other:?}"),
+    };
+    assert!(traces
+        .iter()
+        .any(|t| as_str(field(t, "trace_id")) == trace_id));
+    let missed = client.request("GET", "/v1/debug/traces?tenant=nobody", None);
+    let missed_body = missed.json();
+    match field(&missed_body, "traces") {
+        Value::Arr(traces) => assert!(traces.is_empty(), "{:?}", missed.body),
+        other => panic!("traces is not an array: {other:?}"),
+    }
+
+    // A malformed traceparent is ignored (fresh ids minted) and counted.
+    let response = client.request_with(
+        "POST",
+        "/v1/jobs?wait=1",
+        &[("traceparent", "garbage-header")],
+        Some(&wire_body("acme", 80)),
+    );
+    assert_eq!(response.status, 200, "{}", response.body);
+    let minted = response.traceparent.expect("fresh traceparent minted");
+    assert!(!minted.contains(trace_id), "minted ids are fresh: {minted}");
+    let text = scrape(&mut client);
+    assert_eq!(
+        prom_value(&text, "crowdtune_gateway_traceparent_invalid_total", ""),
+        Some(1)
+    );
+
+    gateway.shutdown();
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Gateway rejects are visible in the structured log ring: a keyless submit
+/// against a key-only gateway answers 401 and leaves a warn-level record at
+/// `GET /v1/debug/logs`, while a bad `level` filter is a 400.
+#[test]
+fn auth_rejects_leave_warn_records_in_the_log_ring() {
+    let mut keys = HashMap::new();
+    keys.insert("secret-key".to_owned(), "acme".to_owned());
+    let (_service, gateway) = start_gateway(GatewayConfig {
+        auth: AuthConfig {
+            keys,
+            allow_body_tenant: false,
+        },
+        ..GatewayConfig::default()
+    });
+    let mut client = Client::connect(gateway.local_addr());
+
+    let refused = client.request("POST", "/v1/jobs", Some(&wire_body("acme", 80)));
+    assert_eq!(refused.status, 401, "{}", refused.body);
+
+    let logs = client.request("GET", "/v1/debug/logs?level=warn", None);
+    assert_eq!(logs.status, 200, "{}", logs.body);
+    let body = logs.json();
+    let records = match field(&body, "records") {
+        Value::Arr(records) => records,
+        other => panic!("records is not an array: {other:?}"),
+    };
+    assert!(
+        records.iter().any(|record| {
+            as_str(field(record, "target")) == "gateway" && as_str(field(record, "level")) == "warn"
+        }),
+        "no gateway warn record in {}",
+        logs.body
+    );
+
+    let bad = client.request("GET", "/v1/debug/logs?level=loud", None);
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    assert_eq!(bad.error_code(), "bad_request");
+
     gateway.shutdown();
 }

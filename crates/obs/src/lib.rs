@@ -17,6 +17,13 @@
 //! * [`JobTrace`] / [`SlowestRing`] — per-job stage timelines (admitted →
 //!   queued → dequeued → solve → estimate → completed) and a bounded ring
 //!   of the N slowest, powering `GET /v1/debug/slowest`.
+//! * [`span`] — causal request tracing: W3C `traceparent` propagation
+//!   ([`TraceContext`]), per-request span trees ([`ActiveTrace`]) with head
+//!   plus tail (slow/error) sampling, and the bounded [`SpanStore`] behind
+//!   `GET /v1/debug/traces`.
+//! * [`log`] — a leveled, rate-limited ring of structured JSON-lines
+//!   records stamped with the active trace/span, behind
+//!   `GET /v1/debug/logs`.
 //!
 //! The crate is dependency-free by design: it renders its own exposition
 //! text, so it can sit below every other crate in the workspace.
@@ -26,11 +33,18 @@
 #![deny(unsafe_code)]
 
 pub mod hist;
+pub mod log;
 pub mod metric;
 pub mod registry;
+pub mod span;
 pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot, BUCKET_COUNT, SUB_BUCKET_BITS};
+pub use log::{LogLevel, LogRecord, Logger, LoggerConfig};
 pub use metric::{Counter, Gauge};
 pub use registry::Registry;
+pub use span::{
+    ActiveTrace, AttrValue, SampleReason, Span, SpanId, SpanStatus, SpanStore, StoredTrace,
+    TraceContext, TraceId, Tracer, TracerConfig,
+};
 pub use trace::{JobTrace, SlowestRing};

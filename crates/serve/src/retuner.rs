@@ -18,12 +18,14 @@
 //! can therefore still be re-priced.
 
 use crowdtune_core::inference::{fit_linearity, PriceRatePoint};
+use crowdtune_core::market::MarketId;
 use crowdtune_core::problem::HTuningProblem;
 use crowdtune_core::rate::{FnRate, RateModel};
 use crowdtune_core::tuner::{StrategyChoice, Tuner};
 use crowdtune_market::control::{ControlAction, MarketController, MarketView};
 use crowdtune_market::events::{Event, RepetitionId};
 use crowdtune_market::time::SimTime;
+use crowdtune_market::MarketRegistry;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -91,6 +93,10 @@ pub struct Retuner {
     observations: BTreeMap<u64, Vec<f64>>,
     completions_since_check: u32,
     stats: RetuneStats,
+    /// When set, every acceptance observation is also forwarded into the
+    /// registry's drift detector for `market` (see
+    /// [`Retuner::with_evidence_sink`]).
+    evidence_sink: Option<(Arc<MarketRegistry>, MarketId)>,
 }
 
 impl Retuner {
@@ -108,7 +114,21 @@ impl Retuner {
             observations: BTreeMap::new(),
             completions_since_check: 0,
             stats: RetuneStats::default(),
+            evidence_sink: None,
         }
+    }
+
+    /// Forwards every acceptance observation (payment, on-hold delay) into
+    /// `registry`'s drift detector for `market` as it arrives, so the
+    /// evidence this re-tuner collects for its own job also accumulates
+    /// toward registry-level confirmed drift
+    /// ([`MarketRegistry::confirmed_drift`]) — previously callers had to
+    /// replay the same observations into the registry by hand. A `market`
+    /// the registry does not know makes the forwarding a silent no-op (the
+    /// re-tuner itself is unaffected).
+    pub fn with_evidence_sink(mut self, registry: Arc<MarketRegistry>, market: MarketId) -> Self {
+        self.evidence_sink = Some((registry, market));
+        self
     }
 
     /// What the re-tuner has done so far.
@@ -291,6 +311,9 @@ impl MarketController for Retuner {
             }
             Event::Accept { repetition, .. } => {
                 if let Some((since, payment)) = self.pending.remove(&repetition) {
+                    if let Some((registry, market)) = &self.evidence_sink {
+                        let _ = registry.observe_acceptance(*market, payment, time.since(since));
+                    }
                     let window = self.observations.entry(payment).or_default();
                     window.push(time.since(since));
                     let overflow = window
@@ -487,6 +510,54 @@ mod tests {
             regime_switch_retunes(16) >= 1,
             "a bounded window must detect the switch within one window turnover"
         );
+    }
+
+    /// The evidence sink: acceptance observations flowing through the
+    /// re-tuner must land in the registry's drift window — enough slow
+    /// acceptances confirm drift at the registry with no manual
+    /// `observe_acceptance` wiring.
+    #[test]
+    fn evidence_sink_feeds_registry_drift_detection() {
+        let registry = Arc::new(MarketRegistry::single(Arc::new(
+            LinearRate::new(1.0, 0.0).unwrap(),
+        )));
+        let problem = problem(1, 16, 200);
+        let mut retuner = Retuner::new(problem, StrategyChoice::Auto, RetunePolicy::default())
+            .with_evidence_sink(registry.clone(), MarketId::DEFAULT);
+        let allocation = Allocation::uniform(&[16], Payment::units(4));
+        let published = vec![16u32];
+        let completed = vec![0u32];
+        let view = MarketView {
+            completed: &completed,
+            published: &published,
+            committed_units: 64,
+            allocation: &allocation,
+        };
+        // Belief: λ(4) = 4 (expected delay 0.25). Observed: 5.0 — a 20×
+        // collapse, repeated past the registry's min-observations floor.
+        let mut now = 0.0;
+        for i in 0..12u32 {
+            let rep = RepetitionId::new(0, i);
+            retuner.on_event(SimTime::new(now), &Event::Publish(rep), &view);
+            now += 5.0;
+            retuner.on_event(
+                SimTime::new(now),
+                &Event::Accept {
+                    repetition: rep,
+                    worker: None,
+                },
+                &view,
+            );
+        }
+        let evidence = registry
+            .confirmed_drift(MarketId::DEFAULT)
+            .expect("market exists");
+        assert!(
+            !evidence.is_empty(),
+            "12 observations of a 20x collapse must confirm drift at the registry"
+        );
+        assert_eq!(evidence[0].price, 4);
+        assert!(evidence[0].observed < 1.0, "observed ≈ 0.2");
     }
 
     /// A collapsed market (observed delays 20× the belief) must trigger a

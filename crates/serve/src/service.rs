@@ -13,6 +13,7 @@ use crate::family::{FamilyServe, FamilyStats, PlanFamilies};
 use crate::fingerprint::{FamilyFingerprint, PlanFingerprint};
 use crate::health::{HealthSignals, HealthState};
 use crate::queue::{AdmissionError, AdmissionPolicy, JobQueue};
+use crate::retuner::{RetunePolicy, Retuner};
 use crate::router::{MarketRouter, RoutedPlan};
 use crate::store::{JournalRecord, PlanStore, StoreError, StoreOptions, StoreSnapshot, StoreStats};
 use crowdtune_core::algorithms::MAX_TABLE_PAYMENT;
@@ -24,7 +25,10 @@ use crowdtune_core::rate::{LinearRate, RateModel, TabulatedRate};
 use crowdtune_core::task::TaskSet;
 use crowdtune_core::tuner::{StrategyChoice, TunedPlan, Tuner};
 use crowdtune_market::MarketRegistry;
-use crowdtune_obs::{Counter, Gauge, Histogram, JobTrace, Registry, SlowestRing};
+use crowdtune_obs::{
+    ActiveTrace, Counter, Gauge, Histogram, JobTrace, LogLevel, Logger, LoggerConfig, Registry,
+    SlowestRing, TraceContext, Tracer, TracerConfig,
+};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -245,6 +249,25 @@ pub struct ServiceConfig {
     /// Completed traces retained by the slowest-trace ring
     /// (see [`TuningService::slowest_traces`]).
     pub slowest_capacity: usize,
+    /// Whether causal request tracing records span trees (requires
+    /// `telemetry`; the effective setting is `telemetry && tracing`). With
+    /// tracing on, every job accumulates spans into an [`ActiveTrace`] and
+    /// the [`Tracer`]'s head/tail sampling decides at completion whether the
+    /// tree is kept (see [`TuningService::tracer`]).
+    pub tracing: bool,
+    /// Sampling and capacity policy of the tracer (head-sample rate, slow
+    /// threshold, span-store ring size).
+    pub tracing_config: TracerConfig,
+    /// Level, rate-limit and ring policy of the structured logger. The
+    /// logger is always live (its counters are part of the exposition
+    /// contract); the level floor and rate limit bound its cost.
+    pub logging: LoggerConfig,
+    /// Whether re-tuners built via [`TuningService::retuner`] auto-feed
+    /// their acceptance observations into the service's
+    /// [`MarketRegistry`] drift detector, so confirmed drift on a served
+    /// job's own repetitions becomes registry evidence without manual
+    /// wiring.
+    pub feed_drift_evidence: bool,
 }
 
 impl Default for ServiceConfig {
@@ -259,6 +282,10 @@ impl Default for ServiceConfig {
             family_shards: 8,
             telemetry: true,
             slowest_capacity: 32,
+            tracing: true,
+            tracing_config: TracerConfig::default(),
+            logging: LoggerConfig::default(),
+            feed_drift_evidence: true,
         }
     }
 }
@@ -405,6 +432,12 @@ struct Telemetry {
     market_names: Vec<String>,
     stage: StageHists,
     slowest: SlowestRing,
+    /// The causal-tracing engine; `None` when telemetry or tracing is off —
+    /// the hot path then pays exactly what it paid before spans existed.
+    tracer: Option<Arc<Tracer>>,
+    /// The structured JSON-lines logger (always live; level floor and rate
+    /// limit bound its cost).
+    logger: Arc<Logger>,
     pending_gauge: Gauge,
     draining_gauge: Gauge,
     cache_entries_gauge: Gauge,
@@ -493,12 +526,17 @@ impl Telemetry {
             "Tuner worker threads currently alive.",
             &[],
         );
+        let tracer = (config.telemetry && config.tracing)
+            .then(|| Tracer::new(&registry, config.tracing_config));
+        let logger = Logger::new(&registry, config.logging);
         Telemetry {
             enabled: config.telemetry,
             epoch: Instant::now(),
             market_names,
             stage,
             slowest: SlowestRing::new(config.slowest_capacity),
+            tracer,
+            logger,
             pending_gauge,
             draining_gauge,
             cache_entries_gauge,
@@ -511,12 +549,17 @@ impl Telemetry {
     }
 
     /// Nanoseconds since the service epoch — 0 when telemetry is off (a
-    /// zero stamp marks "not recorded" in a [`JobTrace`]).
+    /// zero stamp marks "not recorded" in a [`JobTrace`]). With tracing on,
+    /// the tracer's epoch is the service epoch, so stage stamps and span
+    /// boundaries live on one clock and [`JobTrace::record_spans`] can reuse
+    /// the stamps verbatim.
     fn now_ns(&self) -> u64 {
-        if self.enabled {
-            self.epoch.elapsed().as_nanos() as u64
-        } else {
-            0
+        if !self.enabled {
+            return 0;
+        }
+        match &self.tracer {
+            Some(tracer) => tracer.now_ns(),
+            None => self.epoch.elapsed().as_nanos() as u64,
         }
     }
 
@@ -537,16 +580,20 @@ impl Telemetry {
     /// Folds a completed trace into the per-stage histograms and offers it
     /// to the slowest ring.
     fn record_job(&self, trace: JobTrace) {
-        let Some((mi, si, pi)) = self.market_scenario_source(&trace) else {
-            return;
-        };
-        self.stage.queue_wait[mi][si][pi].record(trace.queue_wait_ns());
-        self.stage.solve[mi][si][pi].record(trace.solve_ns());
-        self.stage.estimate[mi][si][pi].record(trace.estimate_ns());
-        self.stage.total[mi][si][pi].record(trace.total_ns());
-        if trace.family_lock_wait_ns > 0 {
-            self.stage.lock_wait[mi][si][pi].record(trace.family_lock_wait_ns);
+        if let Some((mi, si, pi)) = self.market_scenario_source(&trace) {
+            self.stage.queue_wait[mi][si][pi].record(trace.queue_wait_ns());
+            self.stage.solve[mi][si][pi].record(trace.solve_ns());
+            self.stage.estimate[mi][si][pi].record(trace.estimate_ns());
+            self.stage.total[mi][si][pi].record(trace.total_ns());
+            if trace.family_lock_wait_ns > 0 {
+                self.stage.lock_wait[mi][si][pi].record(trace.family_lock_wait_ns);
+            }
         }
+        // Failed/panicked jobs never set scenario/source labels, so they
+        // skip the per-stage histograms above — but the slowest ring must
+        // still see them: the worst outcomes are exactly what
+        // `/v1/debug/slowest` exists to surface. They carry a non-`"ok"`
+        // [`JobTrace::status`].
         self.slowest.offer(trace);
     }
 
@@ -602,6 +649,11 @@ struct QueuedJob {
     /// Stage stamps accumulated as the job moves through the pipeline
     /// (all zero when telemetry is off).
     trace: JobTrace,
+    /// The live causal trace the job's spans join (`None` when tracing is
+    /// off). Either minted at submit (in-process callers) or handed in by
+    /// the transport front-end so the job span tree lands in the request's
+    /// own trace.
+    span: Option<ActiveTrace>,
 }
 
 /// What [`TuningService::recover`] found and replayed. Read with
@@ -743,6 +795,7 @@ pub struct TuningService {
     live_workers: Arc<AtomicUsize>,
     worker_target: usize,
     admission: AdmissionPolicy,
+    feed_drift_evidence: bool,
     next_job_id: AtomicU64,
     draining: AtomicBool,
 }
@@ -925,6 +978,7 @@ impl TuningService {
             live_workers,
             worker_target,
             admission: config.admission,
+            feed_drift_evidence: config.feed_drift_evidence,
             next_job_id: AtomicU64::new(next_job_id),
             draining: AtomicBool::new(false),
         };
@@ -960,7 +1014,8 @@ impl TuningService {
             });
             // `journaled: true` — completion (or terminal failure) must
             // retire the on-disk record.
-            match service.enqueue_job(job.job_id, request, true, 0, None) {
+            let span = service.start_job_trace(None);
+            match service.enqueue_job(job.job_id, request, true, 0, None, span) {
                 Ok(_handle) => replayed += 1,
                 Err(_) => dropped += 1,
             }
@@ -978,7 +1033,22 @@ impl TuningService {
     /// jobs whose rate model is serializable are journaled for crash
     /// recovery.
     pub fn submit(&self, request: JobRequest) -> Result<JobHandle, ServeError> {
-        self.submit_inner(request, None)
+        let trace = self.start_job_trace(None);
+        self.submit_inner(request, None, trace)
+    }
+
+    /// [`TuningService::submit`] under an explicit trace context: the job's
+    /// span tree joins the caller's trace (its id, its parent span, its
+    /// sampled flag — the in-process equivalent of sending a `traceparent`
+    /// header to the gateway). With `None` a fresh trace is minted exactly
+    /// as `submit` does. A no-op distinction when tracing is off.
+    pub fn submit_traced(
+        &self,
+        request: JobRequest,
+        context: Option<TraceContext>,
+    ) -> Result<JobHandle, ServeError> {
+        let trace = self.start_job_trace(context);
+        self.submit_inner(request, None, trace)
     }
 
     /// Like [`TuningService::submit`], but additionally registers a
@@ -997,13 +1067,41 @@ impl TuningService {
         request: JobRequest,
         notify: CompletionNotify,
     ) -> Result<JobHandle, ServeError> {
-        self.submit_inner(request, Some(notify))
+        let trace = self.start_job_trace(None);
+        self.submit_inner(request, Some(notify), trace)
+    }
+
+    /// The fully-observed submit: an optional completion hook plus an
+    /// optional **live** trace handle. A transport front-end that already
+    /// opened a trace for the request (the gateway's `http.request` root)
+    /// passes its handle here so the job's spans — queue wait, solve,
+    /// store persist — land in the request's own span tree instead of a
+    /// service-minted one.
+    pub fn submit_observed(
+        &self,
+        request: JobRequest,
+        notify: Option<CompletionNotify>,
+        trace: Option<ActiveTrace>,
+    ) -> Result<JobHandle, ServeError> {
+        let trace = trace.or_else(|| self.start_job_trace(None));
+        self.submit_inner(request, notify, trace)
+    }
+
+    /// Mints the job's [`ActiveTrace`] when tracing is on: fresh ids (and
+    /// the every-Nth head-sampling decision), or the caller's ids when an
+    /// explicit context is handed in.
+    fn start_job_trace(&self, context: Option<TraceContext>) -> Option<ActiveTrace> {
+        self.telemetry
+            .tracer
+            .as_ref()
+            .map(|tracer| tracer.start_trace("job.submit", context))
     }
 
     fn submit_inner(
         &self,
         request: JobRequest,
         notify: Option<CompletionNotify>,
+        span: Option<ActiveTrace>,
     ) -> Result<JobHandle, ServeError> {
         // A draining service sheds at the door — before journaling, so the
         // refusal costs neither a journal record nor its retirement.
@@ -1068,7 +1166,7 @@ impl TuningService {
         } else {
             false
         };
-        match self.enqueue_job(id, request, journaled, admitted_ns, notify) {
+        match self.enqueue_job(id, request, journaled, admitted_ns, notify, span) {
             Ok(handle) => Ok(handle),
             Err(e) => {
                 if journaled {
@@ -1090,6 +1188,7 @@ impl TuningService {
         journaled: bool,
         admitted_ns: u64,
         notify: Option<CompletionNotify>,
+        span: Option<ActiveTrace>,
     ) -> Result<JobHandle, ServeError> {
         let (sender, receiver) = mpsc::channel();
         let tenant = request.tenant.clone();
@@ -1124,6 +1223,7 @@ impl TuningService {
                 hook: notify,
             },
             trace,
+            span,
         };
         match self.queue.submit(&tenant, job) {
             Ok(()) => {
@@ -1158,11 +1258,44 @@ impl TuningService {
     /// Routes a job across markets (see [`MarketRouter::route`]): splits
     /// its task groups over the registered markets when the assembled
     /// frontier beats every single-market tune, and falls back to plain
-    /// single-market tuning otherwise.
+    /// single-market tuning otherwise. When tracing is on, the decision is
+    /// recorded as a `router.split` span under a `router.route` trace.
     pub fn route(&self, task_set: &TaskSet, budget: Budget) -> Result<RoutedPlan, ServeError> {
-        self.router
-            .route(task_set, budget)
-            .map_err(ServeError::Tuning)
+        let trace = self
+            .tracer()
+            .map(|tracer| tracer.start_trace("router.route", None));
+        let start_ns = trace.as_ref().map(|active| active.now_ns());
+        let routed = self.router.route(task_set, budget);
+        if let (Some(active), Some(start_ns)) = (&trace, start_ns) {
+            let (status, attrs) = match &routed {
+                Ok(plan) => {
+                    let markets = match plan {
+                        RoutedPlan::Split { groups, .. } => groups.len() as u64,
+                        RoutedPlan::Single { .. } => 1,
+                    };
+                    (
+                        crowdtune_obs::SpanStatus::Ok,
+                        vec![
+                            ("is_split", crowdtune_obs::AttrValue::Bool(plan.is_split())),
+                            ("markets", crowdtune_obs::AttrValue::U64(markets)),
+                        ],
+                    )
+                }
+                Err(_) => (crowdtune_obs::SpanStatus::Error, Vec::new()),
+            };
+            if routed.is_err() {
+                active.mark_error();
+            }
+            active.span_with(
+                "router.split",
+                None,
+                start_ns,
+                active.now_ns(),
+                status,
+                attrs,
+            );
+        }
+        routed.map_err(ServeError::Tuning)
     }
 
     /// Plan-cache counters.
@@ -1244,9 +1377,48 @@ impl TuningService {
     }
 
     /// The slowest completed traces, slowest first — the payload of the
-    /// gateway's `GET /v1/debug/slowest`. Empty when telemetry is off.
+    /// gateway's `GET /v1/debug/slowest`. Includes failed and panicked jobs
+    /// (their [`JobTrace::status`] is non-`"ok"`). Empty when telemetry is
+    /// off.
     pub fn slowest_traces(&self) -> Vec<JobTrace> {
         self.telemetry.slowest.snapshot()
+    }
+
+    /// The causal-tracing engine, when tracing is on: the span clock, the
+    /// sampling policy and the ring of kept traces behind
+    /// `GET /v1/debug/traces`. A transport front-end starts its request
+    /// roots here and hands the live handles to
+    /// [`TuningService::submit_observed`].
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.telemetry.tracer.clone()
+    }
+
+    /// The structured JSON-lines logger (always live), behind
+    /// `GET /v1/debug/logs`. Records emitted while a traced job solves are
+    /// stamped with its trace/span ids.
+    pub fn logger(&self) -> Arc<Logger> {
+        self.telemetry.logger.clone()
+    }
+
+    /// Builds an online [`Retuner`] for a job served against `market`. With
+    /// [`ServiceConfig::feed_drift_evidence`] on, the re-tuner's acceptance
+    /// observations are forwarded into this service's [`MarketRegistry`]
+    /// drift detector as they arrive — the evidence that re-tunes the job
+    /// also accumulates toward registry-level confirmed drift, with no
+    /// manual `observe_acceptance` wiring.
+    pub fn retuner(
+        &self,
+        problem: HTuningProblem,
+        strategy: StrategyChoice,
+        policy: RetunePolicy,
+        market: MarketId,
+    ) -> Retuner {
+        let retuner = Retuner::new(problem, strategy, policy);
+        if self.feed_drift_evidence {
+            retuner.with_evidence_sink(self.markets.clone(), market)
+        } else {
+            retuner
+        }
     }
 
     /// Jobs waiting in the queue.
@@ -1401,8 +1573,14 @@ fn worker_loop(ctx: &WorkerContext) {
             respond,
             mut notify,
             mut trace,
+            span,
         } = job;
         trace.dequeued_ns = telemetry.now_ns();
+        // Log records emitted while this job solves are stamped with its
+        // trace/root-span ids (see `obs::log`).
+        let _log_scope = span.as_ref().map(|active| {
+            crowdtune_obs::span::enter_span(active.trace_id(), active.root_span_id())
+        });
         // Panic isolation: a panicking objective or rate model fails *this
         // job* (typed `WorkerPanic`), not the thread. The solve takes no
         // lock before it can panic (family-table locks are acquired after
@@ -1436,6 +1614,34 @@ fn worker_loop(ctx: &WorkerContext) {
             Ok((_, PlanSource::ColdSolve, _)) => metrics.cold_solves.inc(),
             Err(_) => metrics.solve_errors.inc(),
         };
+        // How the job ended, in the vocabulary of [`JobTrace::status`].
+        let status = match &outcome {
+            Ok(_) => "ok",
+            Err(ServeError::WorkerLost) => "lost",
+            Err(ServeError::WorkerPanic { .. }) => "panicked",
+            Err(_) => "failed",
+        };
+        match &outcome {
+            Err(ServeError::WorkerPanic { detail }) => telemetry.logger.log_with(
+                LogLevel::Error,
+                "serve::worker",
+                "job solve panicked (contained)",
+                vec![("job_id", id.to_string()), ("detail", detail.clone())],
+            ),
+            Err(ServeError::WorkerLost) => telemetry.logger.log_with(
+                LogLevel::Error,
+                "serve::worker",
+                "worker thread died mid-job",
+                vec![("job_id", id.to_string())],
+            ),
+            Err(error) => telemetry.logger.log_with(
+                LogLevel::Warn,
+                "serve::worker",
+                "job solve failed",
+                vec![("job_id", id.to_string()), ("error", error.to_string())],
+            ),
+            Ok(_) => {}
+        }
         if let Some(store) = store {
             // Write-behind persistence: newly solved plans (cache hits are
             // already on disk) and, for journaled jobs, the terminal record.
@@ -1448,11 +1654,19 @@ fn worker_loop(ctx: &WorkerContext) {
             if let Ok((plan, source, fingerprint)) = &outcome {
                 if *source != PlanSource::CacheHit {
                     // With telemetry on, the record carries the per-label
-                    // persist-lag probe: the writer thread stamps the
-                    // enqueue-to-durable-write interval into it.
-                    match telemetry.persist_hist(&trace) {
-                        Some(lag_into) => store.record_plan_traced(fingerprint.0, plan, lag_into),
-                        None => store.record_plan(fingerprint.0, plan),
+                    // persist-lag probe (the writer thread stamps the
+                    // enqueue-to-durable-write interval into it) and, with
+                    // tracing on, a clone of the job's trace handle — the
+                    // writer records the `store.persist` span at retire,
+                    // extending the trace past the response.
+                    let lag_into = telemetry.persist_hist(&trace);
+                    let persist_span = span
+                        .as_ref()
+                        .map(|active| (active.clone(), active.now_ns()));
+                    if lag_into.is_none() && persist_span.is_none() {
+                        store.record_plan(fingerprint.0, plan);
+                    } else {
+                        store.record_plan_observed(fingerprint.0, plan, lag_into, persist_span);
                     }
                 }
             }
@@ -1466,7 +1680,6 @@ fn worker_loop(ctx: &WorkerContext) {
                 store.record_journal(&record);
             }
         }
-        let served = outcome.is_ok();
         // The submitter may have dropped the handle; that is not an error.
         let _ = respond.send(outcome.map(|(plan, source, _)| ServedPlan {
             job_id: id,
@@ -1476,12 +1689,22 @@ fn worker_loop(ctx: &WorkerContext) {
         // Completion hook *after* the send: by the time an event loop is
         // woken, `try_result` is guaranteed to yield the outcome.
         notify.fire();
-        // Fold the trace in *after* responding — the histograms and the
-        // slowest ring are off the submitter's latency path.
-        if telemetry.enabled && served {
+        // Fold the trace in *after* responding — the histograms, the
+        // slowest ring and the span render are off the submitter's latency
+        // path. Failed and panicked jobs are folded too: they carry their
+        // status into the slowest ring and mark their span tree errored
+        // (which tail-samples the trace).
+        if telemetry.enabled {
+            trace.status = status;
             trace.completed_ns = telemetry.now_ns();
+            if let Some(active) = &span {
+                trace.record_spans(active);
+            }
             telemetry.record_job(trace);
         }
+        // Dropping `span` here may complete the trace (unless the store
+        // writer still holds the persist-probe clone).
+        drop(span);
         if fatal {
             return;
         }
@@ -2130,6 +2353,153 @@ mod tests {
         assert_eq!(service.health(), HealthState::Healthy);
         service.begin_drain();
         assert_eq!(service.health(), HealthState::Draining);
+        service.shutdown();
+    }
+
+    /// Waits (bounded) for a condition driven by the post-response trace
+    /// fold-in, which runs on the worker thread after `respond.send`.
+    fn poll_until<T>(mut probe: impl FnMut() -> Option<T>, what: &str) -> T {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(value) = probe() {
+                return value;
+            }
+            assert!(Instant::now() < deadline, "{what} never settled");
+            std::thread::yield_now();
+        }
+    }
+
+    /// Satellite regression: a job that *fails* must still reach the
+    /// slowest ring (carrying its status) and — because failures are
+    /// errors — must be tail-sampled into the span store even when head
+    /// sampling is off and the job was fast.
+    #[test]
+    fn failed_jobs_reach_the_ring_and_are_tail_sampled() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            tracing_config: TracerConfig {
+                head_sample_every: 0,
+                slow_threshold_ns: u64::MAX,
+                capacity: 16,
+            },
+            ..ServiceConfig::default()
+        });
+        let trace_id = crowdtune_obs::TraceId(0xabc);
+        let context = TraceContext {
+            trace_id,
+            parent: crowdtune_obs::SpanId(1),
+            sampled: false,
+        };
+        let hostile = JobRequest {
+            rate_model: Arc::new(PanickingRate),
+            ..request("acme", 5, 60)
+        };
+        let handle = service.submit_traced(hostile, Some(context)).unwrap();
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, ServeError::WorkerPanic { .. }), "{err}");
+        let slowest = poll_until(
+            || {
+                let slowest = service.slowest_traces();
+                (!slowest.is_empty()).then_some(slowest)
+            },
+            "failed job's ring entry",
+        );
+        assert_eq!(slowest[0].status_str(), "panicked");
+        assert!(!slowest[0].is_ok());
+        let tracer = service.tracer().expect("tracing on");
+        let stored = poll_until(|| tracer.store().get(trace_id), "error tail sample");
+        assert_eq!(stored.reason, crowdtune_obs::SampleReason::TailError);
+        assert_eq!(stored.status, crowdtune_obs::SpanStatus::Error);
+        assert_eq!(stored.tenant, "acme");
+        service.shutdown();
+    }
+
+    /// With a 1 ns slow threshold every job is "slow": even unsampled
+    /// traces must land in the store with the `TailSlow` reason.
+    #[test]
+    fn slow_jobs_are_tail_sampled() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            tracing_config: TracerConfig {
+                head_sample_every: 0,
+                slow_threshold_ns: 1,
+                capacity: 16,
+            },
+            ..ServiceConfig::default()
+        });
+        service.tune(request("acme", 5, 60)).unwrap();
+        let tracer = service.tracer().expect("tracing on");
+        let stored = poll_until(
+            || tracer.store().snapshot().into_iter().next(),
+            "slow-job tail sample",
+        );
+        assert_eq!(stored.reason, crowdtune_obs::SampleReason::TailSlow);
+        assert_eq!(stored.status, crowdtune_obs::SpanStatus::Ok);
+        service.shutdown();
+    }
+
+    /// The full-fidelity path: a caller-supplied sampled context yields a
+    /// queryable span tree under the caller's trace id covering admission →
+    /// queue wait → solve, and the tree reconstructs the stamp view.
+    #[test]
+    fn sampled_jobs_yield_a_span_tree_under_the_callers_trace_id() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let trace_id = crowdtune_obs::TraceId(0xfeed_beef);
+        let context = TraceContext {
+            trace_id,
+            parent: crowdtune_obs::SpanId(7),
+            sampled: true,
+        };
+        service
+            .submit_traced(request("acme", 5, 60), Some(context))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let tracer = service.tracer().expect("tracing on");
+        let stored = poll_until(|| tracer.store().get(trace_id), "sampled span tree");
+        assert_eq!(stored.reason, crowdtune_obs::SampleReason::Head);
+        let names: Vec<&str> = stored.spans.iter().map(|s| s.name).collect();
+        for expected in ["job.submit", "job", "queue.wait", "solve"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        // Every span carries the caller's trace id, and the root continues
+        // the caller's parent span.
+        for span in &stored.spans {
+            assert_eq!(span.trace_id, trace_id);
+        }
+        let root = stored
+            .spans
+            .iter()
+            .find(|s| s.name == "job.submit")
+            .unwrap();
+        assert_eq!(root.parent, Some(crowdtune_obs::SpanId(7)));
+        let view = JobTrace::from_spans(&stored.spans).expect("job span present");
+        assert_eq!(view.tenant, "acme");
+        assert_eq!(view.status_str(), "ok");
+        assert!(view.solve_end_ns >= view.solve_start_ns);
+        service.shutdown();
+    }
+
+    /// `tracing: false` (or telemetry off entirely) keeps the tracer out of
+    /// the pipeline: no tracer handle, and jobs still serve.
+    #[test]
+    fn tracing_can_be_disabled_independently() {
+        let service = TuningService::start(ServiceConfig {
+            workers: 1,
+            tracing: false,
+            ..ServiceConfig::default()
+        });
+        assert!(service.tracer().is_none());
+        service.tune(request("acme", 5, 60)).unwrap();
+        // The stamp-based debug surface still works without spans.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while service.slowest_traces().is_empty() {
+            assert!(Instant::now() < deadline, "ring entry never settled");
+            std::thread::yield_now();
+        }
         service.shutdown();
     }
 }

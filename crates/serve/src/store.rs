@@ -48,7 +48,7 @@ use crowdtune_core::market::MarketId;
 use crowdtune_core::rate::{RateModel, RateSpec};
 use crowdtune_core::task::TaskSet;
 use crowdtune_core::tuner::{StrategyChoice, TunedPlan};
-use crowdtune_obs::{Counter, Histogram, Registry};
+use crowdtune_obs::{ActiveTrace, AttrValue, Counter, Histogram, Registry, SpanStatus};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -528,6 +528,12 @@ struct QueuedRecord {
     /// the enqueue-to-retire latency into when the writer appends the
     /// record. `None` for untraced records.
     lag: Option<(std::time::Instant, Histogram)>,
+    /// Causal-tracing probe: the job's live trace handle plus the span
+    /// start stamp (tracer clock) taken at enqueue. The writer records a
+    /// `store.persist` span at retire and then drops the handle — which may
+    /// be the trace's last, triggering its sampling flush. `None` for
+    /// untraced records.
+    span: Option<(ActiveTrace, u64)>,
 }
 
 /// Queue state guarded by the store mutex.
@@ -741,11 +747,28 @@ impl PlanStore {
     /// the service attributes write-behind lag to the job's scenario and
     /// plan source.
     pub fn record_plan_traced(&self, fingerprint: u64, plan: &TunedPlan, lag_into: &Histogram) {
+        self.record_plan_observed(fingerprint, plan, Some(lag_into), None);
+    }
+
+    /// The full-observability variant of [`PlanStore::record_plan`]: an
+    /// optional persistence-lag probe (see [`PlanStore::record_plan_traced`])
+    /// plus an optional causal-tracing probe — the job's live [`ActiveTrace`]
+    /// and the `store.persist` span's start stamp. The writer thread records
+    /// the span when the record retires (so the span covers queue wait plus
+    /// the disk write, errored when the write failed) and then releases the
+    /// trace handle, letting the trace's sampling flush run.
+    pub fn record_plan_observed(
+        &self,
+        fingerprint: u64,
+        plan: &TunedPlan,
+        lag_into: Option<&Histogram>,
+        span: Option<(ActiveTrace, u64)>,
+    ) {
         let record = PlanRecord {
             fingerprint,
             plan: plan.clone(),
         };
-        self.enqueue_traced(Stream::Plans, &record, false, Some(lag_into.clone()));
+        self.enqueue_observed(Stream::Plans, &record, false, lag_into.cloned(), span);
     }
 
     /// [`PlanStore::record_plan`], but blocking while the queue is full
@@ -870,18 +893,21 @@ impl PlanStore {
     }
 
     fn enqueue<T: Serialize>(&self, stream: Stream, record: &T, block_when_full: bool) {
-        self.enqueue_traced(stream, record, block_when_full, None);
+        self.enqueue_observed(stream, record, block_when_full, None, None);
     }
 
-    /// [`PlanStore::enqueue`] with an optional persistence-lag probe: when
+    /// [`PlanStore::enqueue`] with optional observability probes: when
     /// `lag_into` is given, the enqueue-to-retire latency of this record is
-    /// recorded into that histogram by the writer thread.
-    fn enqueue_traced<T: Serialize>(
+    /// recorded into that histogram by the writer thread; when `span` is
+    /// given, the writer records a `store.persist` span into the carried
+    /// trace at retire.
+    fn enqueue_observed<T: Serialize>(
         &self,
         stream: Stream,
         record: &T,
         block_when_full: bool,
         lag_into: Option<Histogram>,
+        span: Option<(ActiveTrace, u64)>,
     ) {
         let payload = match serde_json::to_string(record) {
             Ok(payload) => payload,
@@ -921,6 +947,7 @@ impl PlanStore {
             stream,
             payload,
             lag: lag_into.map(|hist| (std::time::Instant::now(), hist)),
+            span,
         });
         queue.enqueued += 1;
         self.shared.enqueued_total.inc();
@@ -1103,7 +1130,8 @@ fn writer_loop(shared: &StoreShared, mut appenders: Vec<StreamAppender>) {
                 .expect("appender per stream");
             let line = record_line(&record.payload);
             seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            if appender.append(line.as_bytes(), shared, seed) {
+            let written = appender.append(line.as_bytes(), shared, seed);
+            if written {
                 if let Some((enqueued_at, hist)) = &record.lag {
                     hist.record(enqueued_at.elapsed().as_nanos() as u64);
                 }
@@ -1113,6 +1141,23 @@ fn writer_loop(shared: &StoreShared, mut appenders: Vec<StreamAppender>) {
             } else {
                 shared.write_errors.inc();
                 shared.impaired.store(true, Ordering::Release);
+            }
+            if let Some((trace, start_ns)) = record.span {
+                let status = if written {
+                    SpanStatus::Ok
+                } else {
+                    SpanStatus::Error
+                };
+                trace.span_with(
+                    "store.persist",
+                    None,
+                    start_ns,
+                    trace.now_ns(),
+                    status,
+                    vec![("stream", AttrValue::Str(record.stream.label().to_owned()))],
+                );
+                // Dropping the handle here may be the trace's completion:
+                // the persist span extends the trace past the HTTP response.
             }
         }
         match shared.fsync {

@@ -13,7 +13,10 @@
 //! 3. **Disk full** (`StorageFull` errors) — same degrade/heal cycle.
 //! 4. **Worker panic** (armed `ChaosRate`) — the poisoned job fails with the
 //!    typed `WorkerPanic`; the worker thread survives (no restart) and the
-//!    re-submitted job solves bit-identically.
+//!    re-submitted job solves bit-identically. The panicked job runs under
+//!    an explicit *unsampled* caller trace context, and its span tree must
+//!    be error-tail-sampled and queryable over the gateway socket at
+//!    `GET /v1/debug/traces/{trace_id}`.
 //! 5. **Worker death** (`WorkerDeath` marker) — the observer gets
 //!    `WorkerLost`, the supervisor respawns the thread, health returns to
 //!    `healthy` once the pool is whole.
@@ -36,6 +39,7 @@ use crowdtune_core::rate::{LinearRate, RateModel, RateSpec};
 use crowdtune_core::task::TaskSet;
 use crowdtune_core::tuner::StrategyChoice;
 use crowdtune_gateway::{Gateway, GatewayConfig};
+use crowdtune_obs::{SpanId, TraceContext, TraceId};
 use crowdtune_serve::{
     HealthState, JobRequest, JournalRecord, MarketId, PlanSource, PlanStore, ServeError,
     ServiceConfig, StoreOptions, TuningService, REPLAY_ATTEMPT_LIMIT,
@@ -363,13 +367,64 @@ fn main() {
     let restarts_before = service.metrics().worker_restarts;
     let panic_rate = Arc::new(ChaosRate::new(panic_model()));
     panic_rate.arm_panic();
+    // Submit under an explicit *unsampled* caller trace context: only the
+    // error-tail sampler can keep this trace, and it must be queryable by
+    // the caller's id afterwards.
+    let panic_context = TraceContext {
+        trace_id: TraceId(0xdead_beef_cafe),
+        parent: SpanId(0x51),
+        sampled: false,
+    };
     let err = service
-        .tune(request(ra_set(), 200, panic_rate.clone()))
+        .submit_traced(
+            request(ra_set(), 200, panic_rate.clone()),
+            Some(panic_context),
+        )
+        .expect("panic job admitted")
+        .wait()
         .expect_err("armed panic must fail the job");
     std::panic::set_hook(default_hook);
     assert!(
         matches!(err, ServeError::WorkerPanic { .. }),
         "expected WorkerPanic, got {err}"
+    );
+    // The panicked trace flushes asynchronously once the job retires; the
+    // span tree must be tail-sampled (reason `tail_error`) and served over
+    // the gateway socket by trace id.
+    let panic_trace_path = format!("/v1/debug/traces/{}", panic_context.trace_id.to_hex());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let tree_body = loop {
+        let (status, body) = http_get(addr, &panic_trace_path);
+        if status == 200 {
+            break body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "panicked trace never reached the span store: {status} {body}"
+        );
+        std::thread::yield_now();
+    };
+    assert!(
+        tree_body.contains("\"sampled\": \"tail_error\"") || tree_body.contains("\"tail_error\""),
+        "panicked trace must be error-tail-sampled: {tree_body}"
+    );
+    assert!(
+        tree_body.contains("\"error\""),
+        "panicked trace must carry error status: {tree_body}"
+    );
+    // A panicked solve never stamps its end, so the tree carries the job
+    // and queue.wait spans with the panic recorded on the job span.
+    assert!(
+        tree_body.contains("queue.wait"),
+        "panicked trace must include the queue.wait span: {tree_body}"
+    );
+    assert!(
+        tree_body.contains("panicked"),
+        "panicked trace must record the panic outcome: {tree_body}"
+    );
+    println!(
+        "panic        trace {} tail-sampled (error) and queryable over the socket",
+        panic_context.trace_id.to_hex()
     );
     assert!(service.metrics().worker_panics >= 1);
     assert_eq!(

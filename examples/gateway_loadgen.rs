@@ -23,7 +23,13 @@
 //! 6. **Overhead pass** — two fresh in-process services, telemetry on vs
 //!    off, alternating warm cache-hit submits; `telemetry_off_vs_on_p50_ratio`
 //!    (~1.0, guarded with a floor) is the cost of the per-job tracing and
-//!    histogram instrumentation on the hottest path.
+//!    histogram instrumentation on the hottest path. A second pass repeats
+//!    the pattern for causal span recording (tracing on vs off, telemetry on
+//!    in both); `tracing_off_vs_on_p50_ratio` (~1.0, floor-guarded at 1.20x)
+//!    proves the mostly-unsampled span path stays off the hot path. The
+//!    correctness pass also submits one job with a W3C `traceparent` header
+//!    and asserts the echoed header keeps the caller's trace id and the span
+//!    tree is queryable at `GET /v1/debug/traces/{trace_id}`.
 //! 7. **Fault-layer pass** — same in-run pattern over two durable services,
 //!    chaos write-fault layer absent vs installed-but-disarmed;
 //!    `fault_layer_off_vs_on_p50_ratio` (~1.0, guarded with a floor) proves
@@ -68,6 +74,7 @@ struct Client {
 
 struct HttpResponse {
     status: u16,
+    traceparent: Option<String>,
     body: String,
 }
 
@@ -83,7 +90,20 @@ impl Client {
     }
 
     fn request(&mut self, method: &str, target: &str, body: Option<&str>) -> HttpResponse {
+        self.request_with(method, target, &[], body)
+    }
+
+    fn request_with(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> HttpResponse {
         let mut text = format!("{method} {target} HTTP/1.1\r\nHost: loadgen\r\n");
+        for (name, value) in headers {
+            text.push_str(&format!("{name}: {value}\r\n"));
+        }
         if let Some(body) = body {
             text.push_str(&format!("Content-Length: {}\r\n", body.len()));
         }
@@ -110,6 +130,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
         let mut content_length = 0usize;
+        let mut traceparent = None;
         loop {
             let mut line = String::new();
             self.reader.read_line(&mut line).expect("header line");
@@ -120,6 +141,8 @@ impl Client {
             if let Some((name, value)) = line.split_once(':') {
                 if name.eq_ignore_ascii_case("content-length") {
                     content_length = value.trim().parse().expect("content length value");
+                } else if name.eq_ignore_ascii_case("traceparent") {
+                    traceparent = Some(value.trim().to_owned());
                 }
             }
         }
@@ -127,6 +150,7 @@ impl Client {
         self.reader.read_exact(&mut body).expect("response body");
         HttpResponse {
             status,
+            traceparent,
             body: String::from_utf8(body).expect("utf-8 body"),
         }
     }
@@ -346,6 +370,55 @@ fn main() {
     } else if !metrics.body.contains("cache_hits") {
         eprintln!("FAIL: metrics body lacks counters: {}", metrics.body);
         failures += 1;
+    }
+
+    // -- Tracing pass: a sampled W3C traceparent joins the submit to the
+    // caller's trace, the response echoes the gateway's root span under the
+    // same trace id, and the span tree is queryable by that id.
+    let trace_id = "4bf92f3577b34da6a3ce929d0e0e4736";
+    let sent_traceparent = format!("00-{trace_id}-00f067aa0ba902b7-01");
+    let body = serde_json::to_string(&jobs[0]).expect("serialize wire request");
+    let traced = client.request_with(
+        "POST",
+        "/v1/jobs?wait=1",
+        &[("traceparent", sent_traceparent.as_str())],
+        Some(&body),
+    );
+    if traced.status != 200 {
+        eprintln!("FAIL: traced submit answered {}", traced.status);
+        failures += 1;
+    }
+    match &traced.traceparent {
+        Some(echo) if echo.starts_with(&format!("00-{trace_id}-")) => {
+            println!("traceparent echoed under the caller's trace id: {echo}");
+        }
+        other => {
+            eprintln!("FAIL: traced submit echoed {other:?}, want trace id {trace_id}");
+            failures += 1;
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let tree = client.request("GET", &format!("/v1/debug/traces/{trace_id}"), None);
+        if tree.status == 200 {
+            let json = serde_json::parse_value_str(&tree.body).expect("trace tree JSON");
+            let spans = match json_field(&json, "spans") {
+                Value::Arr(spans) => spans.len(),
+                other => panic!("spans is not an array: {other:?}"),
+            };
+            println!("trace {trace_id}: {spans}-span tree queryable over the socket");
+            if spans < 4 {
+                eprintln!("FAIL: traced submit produced only {spans} spans");
+                failures += 1;
+            }
+            break;
+        }
+        if Instant::now() >= deadline {
+            eprintln!("FAIL: trace {trace_id} never reached the span store");
+            failures += 1;
+            break;
+        }
+        std::thread::yield_now();
     }
     drop(client);
 
@@ -637,6 +710,48 @@ fn main() {
         (telemetry_on_p50 / telemetry_off_p50 - 1.0) * 100.0
     );
 
+    // -- Tracing overhead pass: same in-run pattern, telemetry on in both,
+    // causal span recording on vs off. The unsampled path (head sampling
+    // keeps 1-in-64 by default) must stay off the hot path: the off/on p50
+    // ratio sits near 1.0 and is floor-guarded at 1.20x by CI.
+    let tracing_on = TuningService::start(ServiceConfig::default());
+    let tracing_off = TuningService::start(ServiceConfig {
+        tracing: false,
+        ..ServiceConfig::default()
+    });
+    for wire in &jobs {
+        let request = wire.to_request(1_000_000).expect("wire converts");
+        tracing_on.tune(request).expect("warm tracing-on");
+        let request = wire.to_request(1_000_000).expect("wire converts");
+        tracing_off.tune(request).expect("warm tracing-off");
+    }
+    let mut tracing_on_samples = Vec::with_capacity(overhead_rounds * jobs.len());
+    let mut tracing_off_samples = Vec::with_capacity(overhead_rounds * jobs.len());
+    for _ in 0..overhead_rounds {
+        for wire in &jobs {
+            let request = wire.to_request(1_000_000).expect("wire converts");
+            let sent = Instant::now();
+            tracing_on.tune(request).expect("tracing-on submit");
+            tracing_on_samples.push(sent.elapsed().as_secs_f64() * 1e6);
+            let request = wire.to_request(1_000_000).expect("wire converts");
+            let sent = Instant::now();
+            tracing_off.tune(request).expect("tracing-off submit");
+            tracing_off_samples.push(sent.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    tracing_on.shutdown();
+    tracing_off.shutdown();
+    tracing_on_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    tracing_off_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let tracing_on_p50 = percentile(&tracing_on_samples, 0.50);
+    let tracing_off_p50 = percentile(&tracing_off_samples, 0.50);
+    let tracing_ratio = tracing_off_p50 / tracing_on_p50;
+    println!(
+        "tracing overhead: on p50 {tracing_on_p50:.2}µs, off p50 {tracing_off_p50:.2}µs, \
+         off/on ratio {tracing_ratio:.3} (overhead {:.1}%)",
+        (tracing_on_p50 / tracing_off_p50 - 1.0) * 100.0
+    );
+
     // -- Fault-layer pass: an *installed but disarmed* chaos write-fault must
     // cost nothing on the fault-free hot path. Two fresh durable services,
     // fault layer absent vs installed, warm caches, alternating submits (the
@@ -744,6 +859,9 @@ fn main() {
          \"telemetry_on_p50_us\": {telemetry_on_p50:.2},\n  \
          \"telemetry_off_p50_us\": {telemetry_off_p50:.2},\n  \
          \"telemetry_off_vs_on_p50_ratio\": {overhead_ratio:.4},\n  \
+         \"tracing_on_p50_us\": {tracing_on_p50:.2},\n  \
+         \"tracing_off_p50_us\": {tracing_off_p50:.2},\n  \
+         \"tracing_off_vs_on_p50_ratio\": {tracing_ratio:.4},\n  \
          \"fault_layer_on_p50_us\": {fault_on_p50:.2},\n  \
          \"fault_layer_off_p50_us\": {fault_off_p50:.2},\n  \
          \"fault_layer_off_vs_on_p50_ratio\": {fault_ratio:.4},\n  \

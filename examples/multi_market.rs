@@ -9,11 +9,15 @@
 //!    markets and the routed objective must strictly beat the best
 //!    *single*-market tune (verified against independent `Tuner` solves of
 //!    the whole job on each market, not just the router's own bookkeeping).
-//! 2. **Drift** — "prolific" flips regime mid-stream. Censored acceptance
-//!    observations feed the registry's sliding-window MLE until drift is
-//!    *confirmed*, a probe ladder (§3.3.1) is priced, and `relearn` replaces
-//!    the belief with the curve fitted from the probe campaign. "amt"
-//!    drifts the other way (operator-applied update, same effect).
+//! 2. **Drift** — "prolific" flips regime mid-stream. A service-built
+//!    [`Retuner`](crowdtune_serve::Retuner) watches a job's own repetitions
+//!    and (with `ServiceConfig::feed_drift_evidence` on, the default)
+//!    auto-forwards every censored acceptance observation into the
+//!    registry's sliding-window MLE until drift is *confirmed* — no
+//!    hand-wired `observe_acceptance` replay. A probe ladder (§3.3.1) is
+//!    then priced and `relearn` replaces the belief with the curve fitted
+//!    from the probe campaign. "amt" drifts the other way
+//!    (operator-applied update, same effect).
 //! 3. **Phase 2** — with the regimes swapped out of phase, routing flips:
 //!    every group lands on the *other* market, and the split again beats
 //!    the best single-market tune.
@@ -31,11 +35,17 @@
 //! Run with `cargo run --release --example multi_market`.
 
 use crowdtune_core::inference::{PriceObservation, ProbeCampaign};
-use crowdtune_core::money::Budget;
+use crowdtune_core::money::{Allocation, Budget, Payment};
+use crowdtune_core::problem::HTuningProblem;
 use crowdtune_core::rate::{LinearRate, RateModel};
 use crowdtune_core::task::TaskSet;
-use crowdtune_core::tuner::Tuner;
-use crowdtune_serve::{MarketId, MarketRegistry, RoutedPlan, ServiceConfig, TuningService};
+use crowdtune_core::tuner::{StrategyChoice, Tuner};
+use crowdtune_market::control::{MarketController, MarketView};
+use crowdtune_market::events::{Event, RepetitionId};
+use crowdtune_market::time::SimTime;
+use crowdtune_serve::{
+    MarketId, MarketRegistry, RetunePolicy, RoutedPlan, ServiceConfig, TuningService,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -129,14 +139,52 @@ fn route_and_check(
 /// Drives "prolific" through the full drift machinery: observations that
 /// contradict the flat belief, confirmed drift, a probe ladder, and a
 /// relearned steep belief.
-fn drift_prolific_to_steep(registry: &MarketRegistry, failures: &mut u32) {
+///
+/// The observations arrive through a *service-built* [`Retuner`] watching a
+/// job's own repetitions: with `ServiceConfig::feed_drift_evidence` on (the
+/// default), every acceptance the re-tuner sees is auto-forwarded into the
+/// registry's drift detector — no hand-wired `observe_acceptance` replay.
+fn drift_prolific_to_steep(service: &TuningService, failures: &mut u32) {
+    let registry = service.markets();
     // The steep regime at price 6 accepts at λ = 5·6 + 0.5 = 30.5/s; the
     // standing flat belief predicts 12/s. 64 acceptances at the new pace
     // push the windowed censored MLE far outside the belief's band.
-    for _ in 0..64 {
-        registry
-            .observe_acceptance(PROLIFIC, 6, 1.0 / 30.5)
-            .expect("observe");
+    let mut set = TaskSet::new();
+    let ty = set.add_type("vote", 2.0).expect("task type");
+    set.add_tasks(ty, 64, 1).expect("tasks");
+    let problem =
+        HTuningProblem::new(set, Budget::units(64 * 6), flat()).expect("re-tuned problem");
+    let mut retuner = service.retuner(
+        problem,
+        StrategyChoice::Auto,
+        RetunePolicy::default(),
+        PROLIFIC,
+    );
+    let allocation = Allocation::uniform(&[64], Payment::units(6));
+    let completed = vec![0u32; 1];
+    let mut published = vec![0u32; 1];
+    let mut committed = 0u64;
+    let mut now = 0.0;
+    for i in 0..64u32 {
+        let rep = RepetitionId::new(0, i);
+        published[0] = i + 1;
+        committed += 6;
+        let view = MarketView {
+            completed: &completed,
+            published: &published,
+            committed_units: committed,
+            allocation: &allocation,
+        };
+        retuner.on_event(SimTime::new(now), &Event::Publish(rep), &view);
+        now += 1.0 / 30.5;
+        retuner.on_event(
+            SimTime::new(now),
+            &Event::Accept {
+                repetition: rep,
+                worker: None,
+            },
+            &view,
+        );
     }
     let evidence = registry.confirmed_drift(PROLIFIC).expect("drift check");
     if evidence.is_empty() {
@@ -225,7 +273,7 @@ fn main() {
     );
 
     // ---- Drift: the markets swap regimes out of phase. ----
-    drift_prolific_to_steep(&registry, &mut failures);
+    drift_prolific_to_steep(&service, &mut failures);
     // amt's drift arrives as an operator-applied belief update (the same
     // mechanism retuning uses; the detection path was exercised above).
     registry.set_belief(AMT, flat()).expect("set amt belief");

@@ -38,7 +38,11 @@ Suites (see SUITES below):
   tolerance is wider because the ~4µs medians of two separate service
   instances wobble more than that in quick mode, but an instrumentation
   regression (extra allocation, a lock on the hot path) costs far more than
-  20% at that scale; ``fault_layer_off_vs_on_p50_ratio`` (~1.0, same 1.20x
+  20% at that scale; ``tracing_off_vs_on_p50_ratio`` (~1.0, same 1.20x
+  floor) is the analogous guard for causal span recording — the warm submit
+  p50 with tracing disabled over tracing enabled, proving the
+  mostly-unsampled span path stays off the hot path;
+  ``fault_layer_off_vs_on_p50_ratio`` (~1.0, same 1.20x
   floor) is the analogous guard for the chaos fault-injection layer — the
   warm submit p50 of a durable service with the write-fault hook installed
   but disarmed vs one without it, proving fault-injection support stays off
@@ -98,6 +102,7 @@ SUITES = {
         "scalars": [
             ("inprocess_vs_http_p50_ratio", 3.00),
             ("telemetry_off_vs_on_p50_ratio", 1.20),
+            ("tracing_off_vs_on_p50_ratio", 1.20),
             ("fault_layer_off_vs_on_p50_ratio", 1.20),
             ("idle_herd_held_ratio", 1.10),
             ("open_loop_p50_vs_closed_p50_ratio", 6.00, "ceiling"),
